@@ -1,0 +1,96 @@
+// Ablation (DESIGN.md §4.4): the predictive scan engine's contribution to
+// coverage beyond the priority scans and the slow background sweep — the
+// trade-off §4.1 describes (more coverage, less explainability).
+//
+// Also covers the multi-PoP ablation (DESIGN.md §4.5): single vantage
+// point vs three PoPs under fractured visibility.
+#include <array>
+#include <unordered_set>
+
+#include "bench_common.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool predictive;
+  bool background;
+  int pops;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: predictive scanning and PoP diversity ==\n\n");
+  TablePrinter table({"Variant", "Top-100 cov", "Rest cov", "Overall cov",
+                      "Accuracy"});
+
+  constexpr std::array<Variant, 5> kVariants = {{
+      {"full (predictive+bg, 3 PoPs)", true, true, 3},
+      {"no predictive", false, true, 3},
+      {"no background 65K", true, false, 3},
+      {"neither (priority only)", false, false, 3},
+      {"full, single PoP", true, true, 1},
+  }};
+
+  for (const Variant& variant : kVariants) {
+    engines::WorldConfig cfg;
+    cfg.universe.seed = 42;
+    cfg.universe.universe_size = 1u << 17;
+    cfg.universe.target_services = 20000;
+    cfg.universe.ics_scale = 16;
+    cfg.with_alternatives = false;
+    cfg.censys.enable_predictive = variant.predictive;
+    cfg.censys.enable_background = variant.background;
+    cfg.censys.pop_count = variant.pops;
+
+    World world(cfg);
+    world.Bootstrap();
+    world.RunForDays(6.0);
+
+    std::unordered_set<std::uint64_t> keys;
+    std::uint64_t tracked = 0, live = 0;
+    world.censys().ForEachEntry([&](const EngineEntry& e) {
+      keys.insert(e.key.Pack());
+      ++tracked;
+      if (world.internet().FindService(e.key, world.now()) != nullptr) ++live;
+    });
+
+    std::uint64_t top_total = 0, top_hit = 0, rest_total = 0, rest_hit = 0;
+    world.internet().ForEachActiveService(
+        world.now(), [&](const simnet::SimService& svc) {
+          if (svc.pseudo) return;
+          const bool known = keys.contains(svc.key.Pack());
+          if (BucketOf(world.internet().ports(), svc.key.port) ==
+              PortBucket::kRest) {
+            ++rest_total;
+            rest_hit += known;
+          } else {
+            ++top_total;
+            top_hit += known;
+          }
+        });
+
+    table.AddRow(
+        {variant.name,
+         Percent(static_cast<double>(top_hit) /
+                 std::max<std::uint64_t>(1, top_total)),
+         Percent(static_cast<double>(rest_hit) /
+                 std::max<std::uint64_t>(1, rest_total)),
+         Percent(static_cast<double>(top_hit + rest_hit) /
+                 std::max<std::uint64_t>(1, top_total + rest_total)),
+         Percent(static_cast<double>(live) /
+                 std::max<std::uint64_t>(1, tracked))});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: background sweep and predictive engine matter only off "
+      "the top ports (the 'Rest' column); removing either cuts all-port "
+      "coverage, removing both collapses it (§4.1, §9 'predictive "
+      "approaches do not find most services'); a single PoP loses a few "
+      "points everywhere (§4.5)\n");
+  return 0;
+}

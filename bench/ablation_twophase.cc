@@ -1,0 +1,95 @@
+// Ablation (DESIGN.md §4.2): two-phase scanning vs publishing raw L4 hits.
+//
+// "Since L4 responsiveness does not reliably indicate the presence of an
+// actual service, we do not directly publish L4 scan data" (§4.1). This
+// harness runs Censys once with the full L7 validation phase and once as a
+// naive pipeline that publishes every L4 responder labeled by port
+// assumption, then measures label accuracy and pseudo-service pollution.
+#include <unordered_set>
+
+#include "bench_common.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t entries = 0;
+  std::uint64_t correct_label = 0;
+  std::uint64_t wrong_label = 0;
+  std::uint64_t phantom = 0;       // no live service behind the entry
+  std::uint64_t pseudo_noise = 0;  // entries on middlebox hosts
+};
+
+Outcome Measure(World& world) {
+  Outcome outcome;
+  std::uint64_t sampled = 0;
+  world.censys().ForEachEntry([&](const EngineEntry& entry) {
+    ++outcome.entries;
+    if (sampled >= 6000) return;
+    ++sampled;
+    if (world.internet().IsPseudoHost(entry.key.ip)) {
+      ++outcome.pseudo_noise;
+      return;
+    }
+    const simnet::SimService* svc =
+        world.internet().FindService(entry.key, world.now());
+    if (svc == nullptr) {
+      ++outcome.phantom;
+    } else if (svc->protocol == entry.label) {
+      ++outcome.correct_label;
+    } else {
+      ++outcome.wrong_label;
+    }
+  });
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: two-phase L7 validation vs raw L4 publishing ==\n\n");
+  TablePrinter table({"Pipeline", "Entries", "Correct label", "Wrong label",
+                      "Dead entries", "Middlebox noise"});
+
+  for (const bool two_phase : {true, false}) {
+    engines::WorldConfig cfg;
+    cfg.universe.seed = 42;
+    cfg.universe.universe_size = 1u << 17;
+    cfg.universe.target_services = 20000;
+    cfg.universe.ics_scale = 16;
+    cfg.universe.pseudo_host_fraction = 0.004;
+    cfg.with_alternatives = false;
+    cfg.censys.two_phase_validation = two_phase;
+    // A pipeline without L7 data has no service content to build the
+    // pseudo-service filter from.
+    cfg.censys.write_options.filter_pseudo_services = two_phase;
+    // Both variants discover from scratch so the publishing policy is the
+    // only difference.
+    cfg.censys.warm_start = false;
+
+    World world(cfg);
+    world.Bootstrap();
+    world.RunForDays(5.0);
+    const Outcome outcome = Measure(world);
+
+    const double denom = static_cast<double>(
+        outcome.correct_label + outcome.wrong_label + outcome.phantom +
+        outcome.pseudo_noise);
+    table.AddRow({two_phase ? "two-phase (L4 -> L7 validate)"
+                            : "naive (publish L4, port label)",
+                  std::to_string(outcome.entries),
+                  Percent(outcome.correct_label / denom),
+                  Percent(outcome.wrong_label / denom),
+                  Percent(outcome.phantom / denom),
+                  Percent(outcome.pseudo_noise / denom)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: the naive pipeline mislabels diffused services (wrong "
+      "port assumption), keeps unvalidated middlebox noise, and matches the "
+      "keyword-labeling failure mode of Table 4; two-phase trades a little "
+      "volume for label correctness (§4.1, §6.3)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Figure 2: "Service Data Freshness" — the distribution of the
+// last-scanned age of services returned by each engine.
+//
+// Paper shape: 100% of Censys services scanned within 48 h; Shodan next
+// freshest (days-weeks); Netlas ~a month; Fofa months; ZoomEye has entries
+// more than three years old. "There is perfect rank-order correlation
+// between accuracy and data freshness."
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+int main() {
+  auto world = bench::MakeWorld("Figure 2: Service Data Freshness",
+                                bench::BenchOptions{});
+
+  const std::array<double, 7> checkpoints_days = {1, 2, 7, 14, 30, 180, 1095};
+  TablePrinter table({"Engine", "<24h", "<48h", "<7d", "<14d", "<30d",
+                      "<180d", "<3y", "median-age"});
+
+  const std::array<const char*, 5> order = {"Censys", "Shodan", "Netlas",
+                                            "Fofa", "ZoomEye"};
+  for (const char* name : order) {
+    ScanEngine* engine = nullptr;
+    for (ScanEngine* e : world->engines()) {
+      if (e->name() == name) engine = e;
+    }
+    std::vector<double> ages_days;
+    engine->ForEachEntry([&](const EngineEntry& entry) {
+      ages_days.push_back((world->now() - entry.last_scanned).ToDays());
+    });
+    std::sort(ages_days.begin(), ages_days.end());
+
+    std::vector<std::string> row{std::string(name)};
+    for (double checkpoint : checkpoints_days) {
+      const auto within = std::upper_bound(ages_days.begin(), ages_days.end(),
+                                           checkpoint) -
+                          ages_days.begin();
+      row.push_back(Percent(static_cast<double>(within) /
+                            static_cast<double>(ages_days.size())));
+    }
+    const double median = ages_days[ages_days.size() / 2];
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fd", median);
+    row.push_back(buf);
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf(
+      "\npaper (Figure 2): Censys 100%% within 48h; freshness order "
+      "Censys > Shodan > Netlas > Fofa > ZoomEye (ZoomEye tail >3 years); "
+      "freshness rank-order matches accuracy rank-order (Table 2)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Figure 3: "Scan Engine Coverage Overlap" — a matrix where
+// cell (A, B) is engine A's coverage of engine B's confirmed-active
+// services.
+//
+// Paper shape: Censys has the greatest coverage of every other engine
+// (e.g. 96% of Shodan's accurate services); every other engine covers
+// Censys worst (39-57%), because only Censys finds services across all
+// 65K ports.
+#include <array>
+#include <map>
+#include <unordered_set>
+
+#include "bench_common.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+int main() {
+  auto world = bench::MakeWorld("Figure 3: Scan Engine Coverage Overlap",
+                                bench::BenchOptions{});
+
+  const std::array<const char*, 5> order = {"Censys", "Shodan", "Fofa",
+                                            "ZoomEye", "Netlas"};
+
+  // Confirmed-active service keys per engine.
+  std::map<std::string, std::vector<std::uint64_t>> active;
+  std::map<std::string, std::unordered_set<std::uint64_t>> all_keys;
+  for (ScanEngine* engine : world->engines()) {
+    const std::string name(engine->name());
+    engine->ForEachEntry([&](const EngineEntry& entry) {
+      all_keys[name].insert(entry.key.Pack());
+      if (world->internet().FindService(entry.key, world->now()) != nullptr) {
+        active[name].push_back(entry.key.Pack());
+      }
+    });
+  }
+
+  TablePrinter table({"A covers B ->", "Censys", "Shodan", "Fofa", "ZoomEye",
+                      "Netlas"});
+  for (const char* a : order) {
+    std::vector<std::string> row{a};
+    for (const char* b : order) {
+      if (std::string(a) == b) {
+        row.push_back("100%");
+        continue;
+      }
+      const auto& reference = active[b];
+      std::size_t hit = 0;
+      for (std::uint64_t key : reference) {
+        if (all_keys[a].contains(key)) ++hit;
+      }
+      row.push_back(reference.empty()
+                        ? "-"
+                        : Percent(static_cast<double>(hit) /
+                                  static_cast<double>(reference.size())));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf(
+      "\npaper (Figure 3): Censys row highest everywhere (>=90%% of every "
+      "other engine's active services); Censys column lowest (39-57%%)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 4 (Appendix B): "Service Population by Port" — from a
+// sampled scan of all ports, port popularity follows a smoothly decaying
+// distribution with no cut-off between "popular" and "unpopular" ports.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+int main() {
+  bench::BenchOptions opts;
+  opts.run_days = 0.0;  // population shape needs no engine activity
+  opts.with_alternatives = false;
+  auto world = bench::MakeWorld("Figure 4: Service Population by Port", opts);
+
+  const GroundTruthSample gt =
+      SubsampledScan(world->internet(), world->now(), 1.0, 4);
+  std::map<Port, std::uint64_t> per_port;
+  for (const simnet::SimService& svc : gt.services) ++per_port[svc.key.port];
+
+  std::vector<std::pair<std::uint64_t, Port>> ranked;
+  for (const auto& [port, count] : per_port) ranked.emplace_back(count, port);
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  TablePrinter table({"Rank", "Port", "Services", "Share", "CumShare"});
+  const std::uint64_t total = gt.services.size();
+  std::uint64_t cumulative = 0;
+  std::size_t next_row = 0;
+  const std::vector<std::size_t> show = {0,  1,  2,  3,  4,   5,   6,   7,
+                                         8,  9,  14, 19, 29,  49,  99,  199,
+                                         499, 999, 1999, 4999, 9999};
+  for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
+    cumulative += ranked[rank].first;
+    if (next_row < show.size() && rank == show[next_row]) {
+      ++next_row;
+      table.AddRow({std::to_string(rank + 1),
+                    std::to_string(ranked[rank].second),
+                    std::to_string(ranked[rank].first),
+                    Percent(static_cast<double>(ranked[rank].first) /
+                                static_cast<double>(total),
+                            2),
+                    Percent(static_cast<double>(cumulative) /
+                                static_cast<double>(total),
+                            1)});
+    }
+  }
+  table.Print();
+
+  std::printf("\ndistinct responsive ports: %zu; sampled services: %llu\n",
+              ranked.size(), static_cast<unsigned long long>(total));
+
+  // Smooth-decay check: the count ratio between adjacent log-spaced ranks
+  // should fall gradually, with no knee.
+  std::printf("decay ratios (count[rank]/count[2*rank]): ");
+  for (std::size_t rank : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    if (2 * rank - 1 < ranked.size() && ranked[2 * rank - 1].first > 0) {
+      std::printf("r%zu=%.2f ", rank,
+                  static_cast<double>(ranked[rank - 1].first) /
+                      static_cast<double>(ranked[2 * rank - 1].first));
+    }
+  }
+  std::printf(
+      "\npaper (Figure 4 / Appendix B): smoothly decaying distribution; no "
+      "cut-off divides popular from unpopular ports\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// the ZMap-style permutation, SHA-256, delta encoding, journal writes,
+// journal reconstruction, search queries, and the simulated L4 probe path.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "core/sha256.h"
+#include "fingerprint/fingerprints.h"
+#include "scan/cyclic.h"
+#include "search/index.h"
+#include "simnet/internet.h"
+#include "storage/delta.h"
+#include "storage/journal.h"
+
+namespace censys {
+namespace {
+
+void BM_CyclicPermutationNext(benchmark::State& state) {
+  scan::CyclicPermutation perm(1ull << 32, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm.Next());
+  }
+}
+BENCHMARK(BM_CyclicPermutationNext);
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_XoshiroNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_XoshiroNext);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(1);
+  ZipfSampler zipf(65536, 1.08);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+storage::FieldMap MakeRecord(int fields, int salt) {
+  storage::FieldMap map;
+  for (int i = 0; i < fields; ++i) {
+    map["service.field" + std::to_string(i)] =
+        "value-" + std::to_string(i * 31 + salt);
+  }
+  return map;
+}
+
+void BM_DeltaCompute(benchmark::State& state) {
+  const auto before = MakeRecord(static_cast<int>(state.range(0)), 0);
+  auto after = before;
+  after["service.field1"] = "changed";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::ComputeDelta(before, after));
+  }
+}
+BENCHMARK(BM_DeltaCompute)->Arg(8)->Arg(32);
+
+void BM_JournalAppend(benchmark::State& state) {
+  storage::EventJournal journal;
+  std::uint64_t i = 0;
+  const auto base = MakeRecord(16, 0);
+  for (auto _ : state) {
+    auto changed = base;
+    changed["counter"] = std::to_string(i);
+    const std::string entity = std::to_string(i % 512);
+    const storage::FieldMap* current = journal.CurrentState(entity);
+    static const storage::FieldMap kEmpty;
+    journal.Append(entity, storage::EventKind::kServiceChanged,
+                   Timestamp{static_cast<std::int64_t>(i)},
+                   storage::ComputeDelta(current ? *current : kEmpty, changed));
+    ++i;
+  }
+}
+BENCHMARK(BM_JournalAppend);
+
+void BM_JournalReconstruct(benchmark::State& state) {
+  storage::EventJournal journal;
+  storage::FieldMap prev;
+  for (int i = 0; i < 200; ++i) {
+    auto cur = MakeRecord(16, 0);
+    cur["counter"] = std::to_string(i);
+    journal.Append("host", storage::EventKind::kServiceChanged,
+                   Timestamp{i * 10}, storage::ComputeDelta(prev, cur));
+    prev = cur;
+  }
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t = (t + 137) % 2000;
+    benchmark::DoNotOptimize(journal.ReconstructAt("host", Timestamp{t}));
+  }
+}
+BENCHMARK(BM_JournalReconstruct);
+
+void BM_SearchIndexQuery(benchmark::State& state) {
+  search::SearchIndex index;
+  for (int i = 0; i < 5000; ++i) {
+    storage::FieldMap doc;
+    doc["service.name"] = (i % 3 == 0) ? "HTTP" : "SSH";
+    doc["service.banner"] = "Server: nginx/1." + std::to_string(i % 25);
+    doc["host.country"] = (i % 5 == 0) ? "US" : "DE";
+    index.Index("10.0." + std::to_string(i / 256) + "." +
+                    std::to_string(i % 256),
+                doc);
+  }
+  std::string error;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(
+        R"(service.name: "HTTP" AND host.country: "US")", &error));
+  }
+}
+BENCHMARK(BM_SearchIndexQuery);
+
+void BM_L4Probe(benchmark::State& state) {
+  simnet::UniverseConfig cfg;
+  cfg.seed = 3;
+  cfg.universe_size = 1u << 18;
+  cfg.target_services = 40000;
+  static simnet::Internet* net = new simnet::Internet(cfg);
+  static const simnet::ScannerProfile profile{1, "bench", 300.0, 1280.0};
+  const simnet::ProbeContext ctx{&profile, 0};
+  Rng rng(9);
+  for (auto _ : state) {
+    const ServiceKey key{
+        IPv4Address(static_cast<std::uint32_t>(rng.NextBelow(1u << 18))),
+        static_cast<Port>(rng.NextBelow(65536)), Transport::kTcp};
+    benchmark::DoNotOptimize(net->L4Probe(ctx, key, Timestamp{0}));
+  }
+}
+BENCHMARK(BM_L4Probe);
+
+void BM_FingerprintCorpusEvaluate(benchmark::State& state) {
+  const auto engine = fingerprint::FingerprintEngine::BuiltIn(2000);
+  const storage::FieldMap fields = {
+      {"service.name", "HTTP"},
+      {"http.html_title", "Some Unremarkable Page"},
+      {"service.banner", "Server: nginx/1.25.3"},
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Evaluate(fields));
+  }
+}
+BENCHMARK(BM_FingerprintCorpusEvaluate);
+
+}  // namespace
+}  // namespace censys
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Reproduces the §6.2 ground-truth coverage claims and the §4.1 scan-engine
+// operating statistics: "we estimate that Censys sees 98% of IPv4 services
+// on the top 10 ports, 97% of the top 100, and 62% of services across all
+// 65K ports", and the probe/service throughput shape of the scan engine.
+#include <array>
+#include <unordered_set>
+
+#include "bench_common.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+int main() {
+  auto world = bench::MakeWorld(
+      "S1: Censys coverage of sub-sampled 65K ground truth + engine stats",
+      bench::BenchOptions{});
+
+  const GroundTruthSample gt =
+      SubsampledScan(world->internet(), world->now(), 0.6, 5);
+  std::printf("ground truth sample: %zu services (%zu pseudo filtered)\n\n",
+              gt.services.size(), gt.pseudo_filtered);
+
+  std::unordered_set<std::uint64_t> censys_keys;
+  world->censys().ForEachEntry(
+      [&](const EngineEntry& e) { censys_keys.insert(e.key.Pack()); });
+
+  std::array<std::uint64_t, 3> total{}, hit{};
+  for (const simnet::SimService& svc : gt.services) {
+    const auto bucket =
+        static_cast<std::size_t>(BucketOf(world->internet().ports(),
+                                          svc.key.port));
+    ++total[bucket];
+    hit[bucket] += censys_keys.contains(svc.key.Pack());
+  }
+
+  TablePrinter table({"Port range", "GT services", "Censys coverage",
+                      "paper"});
+  const std::array<const char*, 3> paper = {"98%", "97%", "62%"};
+  for (int b = 0; b < 3; ++b) {
+    const auto i = static_cast<std::size_t>(b);
+    table.AddRow({std::string(ToString(static_cast<PortBucket>(b))),
+                  std::to_string(total[i]),
+                  Percent(static_cast<double>(hit[i]) /
+                          static_cast<double>(std::max<std::uint64_t>(
+                              1, total[i]))),
+                  paper[i]});
+  }
+  table.Print();
+
+  // §4.1 scan-engine statistics (scaled to the simulated universe).
+  const double sim_days = (world->now() - Timestamp{0}).ToDays();
+  const double probes = static_cast<double>(world->censys().probes_sent());
+  const double universe =
+      static_cast<double>(world->internet().blocks().universe_size());
+  std::printf("\nscan engine stats over %.1f simulated days:\n", sim_days);
+  std::printf("  probes sent: %.3g (%.0f probes/IP/day)\n", probes,
+              probes / universe / sim_days);
+  std::printf("  tracked services: %zu; evicted: %llu; pruned re-injection "
+              "pool: %zu\n",
+              world->censys().write_side().tracked_count(),
+              static_cast<unsigned long long>(
+                  world->censys().write_side().services_evicted()),
+              world->censys().write_side().RecentlyPruned(world->now()).size());
+  const auto& predictor = world->censys().predictor_stats();
+  std::printf("  predictive engine: %llu observations, %llu candidates "
+              "(%llu affinity, %llu co-occurrence)\n",
+              static_cast<unsigned long long>(predictor.observations),
+              static_cast<unsigned long long>(predictor.candidates_emitted),
+              static_cast<unsigned long long>(predictor.affinity_candidates),
+              static_cast<unsigned long long>(
+                  predictor.cooccurrence_candidates));
+  std::printf("  journal: %llu events, %llu snapshots, delta bytes %llu "
+              "(full-record equivalent %llu, %.1fx saving)\n",
+              static_cast<unsigned long long>(
+                  world->censys().journal().event_count()),
+              static_cast<unsigned long long>(
+                  world->censys().journal().snapshot_count()),
+              static_cast<unsigned long long>(
+                  world->censys().journal().delta_bytes()),
+              static_cast<unsigned long long>(
+                  world->censys().journal().full_record_bytes_equivalent()),
+              static_cast<double>(
+                  world->censys().journal().full_record_bytes_equivalent()) /
+                  static_cast<double>(std::max<std::uint64_t>(
+                      1, world->censys().journal().delta_bytes())));
+  std::printf("  web properties: %zu catalogued, %zu reachable\n",
+              world->censys().web_catalog().size(),
+              world->censys().web_catalog().reachable_count());
+  std::printf(
+      "\npaper (§4.1/§6.2): 26.5M probes/s over 4B IPs = ~576 probes/IP/day; "
+      "coverage 98/97/62%% by port range; dataset underestimates the "
+      "Internet because pruning is more aggressive than discovery\n");
+  return 0;
+}

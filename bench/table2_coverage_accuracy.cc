@@ -1,0 +1,89 @@
+// Reproduces Table 2: "Coverage of Current IPv4 Services" — self-reported
+// counts, estimated accuracy (liveness-validated via follow-up scans of
+// services returned for random IPs), estimated uniqueness, and the
+// resulting estimate of accurately-covered current services.
+//
+// Paper values:            Censys  Shodan  Fofa  ZoomEye  Netlas
+//   Self-Reported           794M    810M   3.1B   3.5B     877M
+//   Est. % Accurate          92%     68%    20%    10%      49%
+//   Est. % Unique           100%    100%    65%    99%      63%
+//   Est. # Accurate         730M    550M   403M   346M     270M
+#include <array>
+
+#include "bench_common.h"
+#include "core/rng.h"
+#include "core/strings.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+int main() {
+  auto world = bench::MakeWorld("Table 2: Coverage of Current IPv4 Services",
+                                bench::BenchOptions{});
+
+  const std::array<const char*, 5> order = {"Censys", "Shodan", "Fofa",
+                                            "ZoomEye", "Netlas"};
+  struct Row {
+    std::uint64_t self_reported = 0;
+    double accurate = 0;
+    double unique = 0;
+  };
+  std::array<Row, 5> rows;
+
+  // §6.1 methodology: query engines for random IP addresses, then conduct
+  // follow-up scans of the returned services. We sample until each engine
+  // has yielded a solid number of services (Appendix C: estimates converge
+  // after ~50; we gather far more).
+  Rng rng(7);
+  const std::uint32_t universe = world->internet().blocks().universe_size();
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ScanEngine* engine = nullptr;
+    for (ScanEngine* e : world->engines()) {
+      if (e->name() == order[i]) engine = e;
+    }
+    rows[i].self_reported = engine->SelfReportedCount();
+    const std::uint64_t unique_entries = UniqueCount(*engine);
+    rows[i].unique = rows[i].self_reported == 0
+                         ? 1.0
+                         : static_cast<double>(unique_entries) /
+                               static_cast<double>(rows[i].self_reported);
+
+    std::uint64_t returned = 0, live = 0;
+    Rng ip_rng = rng.Fork(i);
+    for (int probe = 0; probe < 200000 && returned < 3000; ++probe) {
+      const IPv4Address ip(
+          static_cast<std::uint32_t>(ip_rng.NextBelow(universe)));
+      for (const EngineEntry& entry : engine->QueryHost(ip)) {
+        ++returned;
+        if (ValidateLive(world->internet(), entry.key, world->now())) ++live;
+      }
+    }
+    rows[i].accurate =
+        returned == 0 ? 0.0
+                      : static_cast<double>(live) / static_cast<double>(returned);
+  }
+
+  TablePrinter table(
+      {"", "Censys", "Shodan", "Fofa", "ZoomEye", "Netlas"});
+  std::vector<std::string> self{"Self-Reported"}, acc{"Est. % Accurate"},
+      uniq{"Est. % Unique"}, est{"Est. # Accurate"};
+  for (const Row& row : rows) {
+    self.push_back(HumanCount(row.self_reported));
+    acc.push_back(Percent(row.accurate));
+    uniq.push_back(Percent(row.unique));
+    est.push_back(HumanCount(static_cast<std::uint64_t>(
+        static_cast<double>(row.self_reported) * row.unique * row.accurate)));
+  }
+  table.AddRow(std::move(self));
+  table.AddRow(std::move(acc));
+  table.AddRow(std::move(uniq));
+  table.AddRow(std::move(est));
+  table.Print();
+
+  std::printf(
+      "\npaper (Table 2): accuracy ranking Censys(92%%) > Shodan(68%%) > "
+      "Netlas(49%%) > Fofa(20%%) > ZoomEye(10%%); Censys highest Est. # "
+      "Accurate\n");
+  return 0;
+}

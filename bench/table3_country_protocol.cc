@@ -1,0 +1,78 @@
+// Reproduces Table 3: "Country and Protocol Coverage" — each engine's
+// coverage of the sub-sampled 65K-port ground-truth scan, split by host
+// country (US / CN / DE) and by protocol (HTTP / HTTPS / SSH).
+//
+// Paper shape: Censys leads every row; the country a scanner is
+// headquartered in does not imply better coverage of that region.
+#include <array>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "bench_common.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+int main() {
+  auto world = bench::MakeWorld("Table 3: Country and Protocol Coverage",
+                                bench::BenchOptions{});
+
+  const GroundTruthSample gt =
+      SubsampledScan(world->internet(), world->now(), 0.6, 99);
+
+  // Category -> reference hosts (Table 3 counts hosts, not services: a
+  // host is covered if the engine knows any of its services).
+  std::map<std::string, std::set<std::uint32_t>> categories;
+  for (const simnet::SimService& svc : gt.services) {
+    const simnet::NetworkBlock& block =
+        world->internet().blocks().BlockOf(svc.key.ip);
+    const std::string country(simnet::ToString(block.country));
+    if (country == "US" || country == "CN" || country == "DE") {
+      categories[country].insert(svc.key.ip.value());
+    }
+    if (svc.protocol == proto::Protocol::kHttp ||
+        svc.protocol == proto::Protocol::kHttps ||
+        svc.protocol == proto::Protocol::kSsh) {
+      categories[std::string(proto::Name(svc.protocol))].insert(
+          svc.key.ip.value());
+    }
+  }
+
+  const std::array<const char*, 5> order = {"Censys", "Shodan", "ZoomEye",
+                                            "Fofa", "Netlas"};
+  std::map<std::string, std::unordered_set<std::uint32_t>> engine_hosts;
+  for (ScanEngine* engine : world->engines()) {
+    auto& hosts = engine_hosts[std::string(engine->name())];
+    engine->ForEachEntry(
+        [&](const EngineEntry& e) { hosts.insert(e.key.ip.value()); });
+  }
+
+  TablePrinter table({"Category", "Hosts", "Censys", "Shodan", "ZoomEye",
+                      "Fofa", "Netlas"});
+  const std::array<const char*, 6> row_order = {"US",   "CN",    "DE",
+                                                "HTTP", "HTTPS", "SSH"};
+  for (const char* category : row_order) {
+    const auto& reference = categories[category];
+    std::vector<std::string> row{
+        category, "(" + std::to_string(reference.size()) + ")"};
+    for (const char* name : order) {
+      const auto& hosts = engine_hosts[name];
+      std::size_t hit = 0;
+      for (std::uint32_t ip : reference) {
+        if (hosts.contains(ip)) ++hit;
+      }
+      row.push_back(reference.empty()
+                        ? "-"
+                        : Percent(static_cast<double>(hit) /
+                                  static_cast<double>(reference.size())));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf(
+      "\npaper (Table 3): Censys US 86%% CN 93%% DE 85%%, HTTP 95%% HTTPS "
+      "92%% SSH 95%%; no scanner does best in its home country\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Table 4: "ICS Coverage" — the self-reported (Rep.) and
+// handshake-validated (Acc.) number of services running each industrial
+// control protocol, per engine.
+//
+// Paper shape: Censys' Rep. is close to its Acc. for every protocol
+// (handshake-validated labeling) and Censys leads on everything except
+// CODESYS; Shodan over-reports ATG/CODESYS/EIP/WDBRPC by orders of
+// magnitude due to keyword labeling; ZoomEye and Fofa over-report several;
+// Netlas reports only S7.
+#include <array>
+
+#include "bench_common.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+int main() {
+  bench::BenchOptions opts;
+  opts.ics_scale = 512.0;  // enough control systems at 1/16384 universe scale
+  opts.services = 40000;
+  auto world = bench::MakeWorld("Table 4: ICS Coverage", opts);
+
+  const std::array<const char*, 5> order = {"Censys", "Shodan", "ZoomEye",
+                                            "Fofa", "Netlas"};
+  TablePrinter table({"Protocol", "Censys A/R", "Shodan A/R", "ZoomEye A/R",
+                      "Fofa A/R", "Netlas A/R"});
+
+  for (proto::Protocol protocol : proto::IcsProtocols()) {
+    std::vector<std::string> row{std::string(proto::Name(protocol))};
+    for (const char* name : order) {
+      ScanEngine* engine = nullptr;
+      for (ScanEngine* e : world->engines()) {
+        if (e->name() == name) engine = e;
+      }
+      if (!engine->SupportsProtocolQuery(protocol)) {
+        row.push_back("-");
+        continue;
+      }
+      std::vector<EngineEntry> reported;
+      if (auto* alt = dynamic_cast<AltEngine*>(engine)) {
+        reported = alt->QueryProtocol(protocol);  // includes keyword misfires
+      } else {
+        reported = engine->QueryProtocol(protocol);
+      }
+      std::size_t accurate = 0;
+      for (const EngineEntry& entry : reported) {
+        if (ValidateProtocol(world->internet(), entry.key, protocol,
+                             world->now())) {
+          ++accurate;
+        }
+      }
+      row.push_back(std::to_string(accurate) + "/" +
+                    std::to_string(reported.size()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf(
+      "\npaper (Table 4): Censys validated counts highest for all but "
+      "CODESYS; Shodan reported/validated ratio >50x for ATG, CODESYS, EIP, "
+      "WDBRPC; Netlas reports only S7\n");
+  return 0;
+}

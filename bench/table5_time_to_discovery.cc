@@ -1,0 +1,145 @@
+// Reproduces Table 5: "Time To Discovery" — honeypots are deployed on
+// cloud addresses with staggered creation times; we measure the hours
+// until Censys and Shodan first complete a connection to each listener.
+//
+// Paper: Censys finds honeypots in 12.3 h mean (5.7 h median); Shodan in
+// 76.5 h mean (60.9 h median); Shodan never finds 500/HTTP or 60000/HTTP;
+// Censys finds 500/HTTP slowly (75.5 h mean) since no daily scan covers it.
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/rng.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+namespace {
+
+struct Listener {
+  Port port;
+  proto::Protocol protocol;
+  const char* label;
+};
+
+constexpr std::array<Listener, 13> kListeners = {{
+    {80, proto::Protocol::kHttp, "80/HTTP"},
+    {443, proto::Protocol::kHttps, "443/HTTPS"},
+    {161, proto::Protocol::kSnmp, "161/SNMP"},
+    {3389, proto::Protocol::kRdp, "3389/RDP"},
+    {21, proto::Protocol::kFtp, "21/FTP"},
+    {2082, proto::Protocol::kHttp, "2082/HTTP"},
+    {3306, proto::Protocol::kMysql, "3306/MYSQL"},
+    {2222, proto::Protocol::kSsh, "2222/SSH"},
+    {23, proto::Protocol::kTelnet, "23/TELNET"},
+    {5060, proto::Protocol::kSip, "5060/SIP"},
+    {7547, proto::Protocol::kHttp, "7547/HTTP"},
+    {60000, proto::Protocol::kHttp, "60000/HTTP"},
+    {500, proto::Protocol::kHttp, "500/HTTP"},
+}};
+
+struct Stats {
+  double mean = 0;
+  double median = 0;
+  std::size_t found = 0;
+};
+
+Stats Summarize(std::vector<double>& hours) {
+  Stats s;
+  s.found = hours.size();
+  if (hours.empty()) return s;
+  double sum = 0;
+  for (double h : hours) sum += h;
+  s.mean = sum / static_cast<double>(hours.size());
+  std::sort(hours.begin(), hours.end());
+  s.median = hours[hours.size() / 2];
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  // Build the world but run the clock manually: honeypots deploy while the
+  // simulation is live, staggered every eight hours (§6.4).
+  bench::BenchOptions opts;
+  opts.run_days = 0.0;  // we drive the clock below
+  auto world =
+      bench::MakeWorld("Table 5: Time To Discovery (honeypots)", opts);
+
+  constexpr int kHoneypots = 100;
+  Rng rng(2024);
+  std::vector<IPv4Address> honeypots;
+  std::vector<Timestamp> births;
+
+  // Deploy 4 honeypots every 8 hours across ~8 days, running the world
+  // between deployments.
+  int deployed = 0;
+  while (deployed < kHoneypots) {
+    world->RunUntil(world->now() + Duration::Hours(8));
+    for (int i = 0; i < 4 && deployed < kHoneypots; ++i, ++deployed) {
+      const IPv4Address ip = world->internet().PickHoneypotAddress(rng);
+      std::vector<std::pair<Port, proto::Protocol>> listeners;
+      for (const Listener& l : kListeners) {
+        listeners.emplace_back(l.port, l.protocol);
+      }
+      world->internet().AddHoneypot(ip, listeners, world->now());
+      honeypots.push_back(ip);
+      births.push_back(world->now());
+    }
+  }
+  // Let discovery run for another week after the last deployment.
+  world->RunUntil(world->now() + Duration::Days(7));
+
+  const std::uint32_t censys_id = world->censys().scanner_id();
+  const std::uint32_t shodan_id = world->alternative("Shodan")->scanner_id();
+
+  TablePrinter table({"Port/Protocol", "Censys mean", "median", "found",
+                      "Shodan mean", "median", "found"});
+  std::vector<double> censys_all, shodan_all;
+  for (const Listener& listener : kListeners) {
+    std::vector<double> censys_hours, shodan_hours;
+    for (int i = 0; i < kHoneypots; ++i) {
+      const ServiceKey key{
+          honeypots[static_cast<std::size_t>(i)], listener.port,
+          proto::GetInfo(listener.protocol).transport};
+      const Timestamp born = births[static_cast<std::size_t>(i)];
+      if (const auto t = world->internet().FirstContact(key, censys_id)) {
+        censys_hours.push_back((*t - born).ToHours());
+        censys_all.push_back(censys_hours.back());
+      }
+      if (const auto t = world->internet().FirstContact(key, shodan_id)) {
+        shodan_hours.push_back((*t - born).ToHours());
+        shodan_all.push_back(shodan_hours.back());
+      }
+    }
+    const Stats censys = Summarize(censys_hours);
+    const Stats shodan = Summarize(shodan_hours);
+    auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1fh", v);
+      return std::string(buf);
+    };
+    table.AddRow({listener.label,
+                  censys.found ? fmt(censys.mean) : std::string("-"),
+                  censys.found ? fmt(censys.median) : std::string("-"),
+                  std::to_string(censys.found),
+                  shodan.found ? fmt(shodan.mean) : std::string("-"),
+                  shodan.found ? fmt(shodan.median) : std::string("-"),
+                  std::to_string(shodan.found)});
+  }
+  table.Print();
+
+  const Stats censys_total = Summarize(censys_all);
+  const Stats shodan_total = Summarize(shodan_all);
+  std::printf(
+      "\noverall: Censys mean %.1fh median %.1fh (%zu listener-contacts); "
+      "Shodan mean %.1fh median %.1fh (%zu)\n",
+      censys_total.mean, censys_total.median, censys_total.found,
+      shodan_total.mean, shodan_total.median, shodan_total.found);
+  std::printf(
+      "paper (Table 5): Censys 12.3h mean / 5.7h median; Shodan 76.5h mean "
+      "/ 60.9h median; ports outside daily scan classes (500, 60000) found "
+      "slowly or not at all\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Attack Surface Management (§7.2): the top commercial use case. Given the
+// network footprint of one organization, continuously discover its
+// Internet-facing assets, surface exposures (risky services, known-
+// exploited CVEs, expired certificates), and alert on assets that appear.
+//
+//   $ ./examples/attack_surface
+#include <cstdio>
+#include <set>
+
+#include "cert/x509.h"
+#include "core/strings.h"
+#include "engines/world.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+namespace {
+
+// The monitored organization's external perimeter: every block of one ASN.
+std::vector<const simnet::NetworkBlock*> OrgFootprint(
+    const simnet::BlockPlan& plan, std::uint32_t asn) {
+  std::vector<const simnet::NetworkBlock*> blocks;
+  for (const simnet::NetworkBlock& block : plan.blocks()) {
+    if (block.asn == asn) blocks.push_back(&block);
+  }
+  return blocks;
+}
+
+std::set<std::uint64_t> DiscoverAssets(
+    CensysEngine& censys,
+    const std::vector<const simnet::NetworkBlock*>& footprint) {
+  std::set<std::uint64_t> assets;
+  censys.write_side().ForEachTracked([&](const pipeline::ServiceState& s) {
+    for (const simnet::NetworkBlock* block : footprint) {
+      if (block->cidr.Contains(s.key.ip)) {
+        assets.insert(s.key.Pack());
+        return;
+      }
+    }
+  });
+  return assets;
+}
+
+}  // namespace
+
+int main() {
+  WorldConfig config;
+  config.universe.seed = 31;
+  config.universe.universe_size = 1u << 17;
+  config.universe.target_services = 20000;
+  config.universe.ics_scale = 32;
+  config.with_alternatives = false;
+
+  World world(config);
+  world.Bootstrap();
+  world.RunForDays(2);
+  CensysEngine& censys = world.censys();
+
+  // Pick the enterprise with the largest perimeter as our customer.
+  std::map<std::uint32_t, std::size_t> enterprise_sizes;
+  for (const simnet::NetworkBlock& block : world.internet().blocks().blocks()) {
+    if (block.type == simnet::NetworkType::kEnterprise) {
+      enterprise_sizes[block.asn] += block.cidr.size();
+    }
+  }
+  std::uint32_t org_asn = 0;
+  std::size_t best = 0;
+  for (const auto& [asn, size] : enterprise_sizes) {
+    if (size > best) {
+      best = size;
+      org_asn = asn;
+    }
+  }
+  const auto footprint = OrgFootprint(world.internet().blocks(), org_asn);
+  std::printf("monitoring AS%u: %zu network blocks, %zu addresses\n\n",
+              org_asn, footprint.size(), best);
+
+  // --- 1. asset inventory ------------------------------------------------------
+  const std::set<std::uint64_t> baseline = DiscoverAssets(censys, footprint);
+  std::printf("asset inventory: %zu Internet-facing services\n", baseline.size());
+
+  // --- 2. exposure report --------------------------------------------------------
+  const cert::RootStore roots = cert::RootStore::Default();
+  const cert::CrlStore crls;
+  int risky = 0, vulnerable = 0, kev = 0, bad_certs = 0;
+  for (std::uint64_t packed : baseline) {
+    const ServiceKey key = ServiceKey::Unpack(packed);
+    const auto host = censys.read_side().GetHost(key.ip);
+    if (!host.has_value()) continue;
+    for (const pipeline::ServiceView& svc : host->services) {
+      if (svc.record.key != key) continue;
+      // Initial-access surface: remote desktops, VPN-ish, databases, ICS.
+      switch (svc.record.protocol) {
+        case proto::Protocol::kRdp:
+        case proto::Protocol::kTelnet:
+        case proto::Protocol::kVnc:
+        case proto::Protocol::kSmb:
+        case proto::Protocol::kMysql:
+        case proto::Protocol::kRedis:
+          ++risky;
+          std::printf("  [exposure] %-22s %s\n", key.ToString().c_str(),
+                      std::string(proto::Name(svc.record.protocol)).c_str());
+          break;
+        default:
+          if (proto::GetInfo(svc.record.protocol).is_ics) {
+            ++risky;
+            std::printf("  [exposure] %-22s ICS: %s %s\n",
+                        key.ToString().c_str(),
+                        svc.record.device.manufacturer.c_str(),
+                        svc.record.device.model.c_str());
+          }
+          break;
+      }
+      if (!svc.cves.empty()) {
+        ++vulnerable;
+        if (svc.kev) {
+          ++kev;
+          std::printf("  [KEV]      %-22s %s %s: %s\n",
+                      key.ToString().c_str(),
+                      svc.record.software.product.c_str(),
+                      svc.record.software.version.c_str(),
+                      svc.cves.front().c_str());
+        }
+      }
+      if (svc.record.tls && !svc.record.cert_sha256.empty()) {
+        // Re-validate the presented certificate against browser roots.
+        // (Certificates expire while services keep running.)
+        const cert::Certificate presented = cert::SynthesizeCertificate(
+            Fnv1a64(svc.record.cert_sha256), svc.record.sni_name,
+            Timestamp{0});
+        if (cert::Validate(presented, roots, crls, world.now()) !=
+            cert::ValidationStatus::kTrusted) {
+          ++bad_certs;
+        }
+      }
+    }
+  }
+  std::printf(
+      "\nexposure summary: %d risky services, %d vulnerable, %d on CISA KEV, "
+      "%d TLS endpoints with untrusted/expired certs\n\n",
+      risky, vulnerable, kev, bad_certs);
+
+  // --- 3. continuous monitoring: alert on new assets -----------------------------
+  world.RunForDays(4);
+  const std::set<std::uint64_t> current = DiscoverAssets(censys, footprint);
+  int appeared = 0, disappeared = 0;
+  for (std::uint64_t packed : current) {
+    if (!baseline.contains(packed)) {
+      ++appeared;
+      if (appeared <= 5) {
+        std::printf("  [new asset] %s\n",
+                    ServiceKey::Unpack(packed).ToString().c_str());
+      }
+    }
+  }
+  for (std::uint64_t packed : baseline) {
+    disappeared += !current.contains(packed);
+  }
+  std::printf(
+      "\nafter 4 more days: %d new Internet-facing services appeared, %d "
+      "were retired — \"it can be difficult to know when new assets appear\" "
+      "(§7.2); continuous scanning is what catches them.\n",
+      appeared, disappeared);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// ICS exposure monitoring (§6.3, §7.2 "Critical Infrastructure
+// Monitoring"): map out Internet-exposed industrial control systems the
+// way the Censys/EPA water-utility project did — find exposed HMIs and
+// PLCs, group them by the organizations that must remediate, and track
+// remediation over time.
+//
+//   $ ./examples/ics_exposure
+#include <cstdio>
+#include <map>
+
+#include "engines/world.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+int main() {
+  WorldConfig config;
+  config.universe.seed = 11;
+  config.universe.universe_size = 1u << 17;
+  config.universe.target_services = 16000;
+  config.universe.ics_scale = 1024;  // a dense ICS landscape to investigate
+  config.with_alternatives = false;
+
+  World world(config);
+  world.Bootstrap();
+  world.RunForDays(2);
+  CensysEngine& censys = world.censys();
+
+  // --- 1. enumerate exposed control systems by protocol ----------------------
+  std::printf("Internet-exposed industrial control systems:\n");
+  std::map<std::string, std::vector<EngineEntry>> by_protocol;
+  std::size_t total = 0;
+  for (proto::Protocol protocol : proto::IcsProtocols()) {
+    auto entries = censys.QueryProtocol(protocol);
+    total += entries.size();
+    if (!entries.empty()) {
+      by_protocol[std::string(proto::Name(protocol))] = std::move(entries);
+    }
+  }
+  for (const auto& [name, entries] : by_protocol) {
+    std::printf("  %-16s %4zu exposed\n", name.c_str(), entries.size());
+  }
+  std::printf("  total: %zu control systems\n\n", total);
+
+  // --- 2. the reverse-ASM view (§7.2): group exposures by owner --------------
+  // "Governments will map out classes of vulnerabilities and then identify
+  // the organizations that need help remediating."
+  struct OrgExposure {
+    std::string org;
+    std::size_t count = 0;
+    std::size_t on_nonstandard_port = 0;
+  };
+  std::map<std::uint32_t, OrgExposure> by_asn;
+  for (const auto& [name, entries] : by_protocol) {
+    for (const EngineEntry& entry : entries) {
+      const auto host = censys.read_side().GetHost(entry.key.ip);
+      if (!host.has_value()) continue;
+      OrgExposure& exposure = by_asn[host->asn];
+      exposure.org = host->as_org;
+      ++exposure.count;
+      const auto primary = proto::PrimaryPort(entry.label);
+      if (primary.has_value() && entry.key.port != *primary) {
+        ++exposure.on_nonstandard_port;
+      }
+    }
+  }
+  std::vector<const OrgExposure*> worst;
+  for (const auto& [asn, exposure] : by_asn) worst.push_back(&exposure);
+  std::sort(worst.begin(), worst.end(),
+            [](const OrgExposure* a, const OrgExposure* b) {
+              return a->count > b->count;
+            });
+  std::printf("organizations with the largest exposed-ICS footprint "
+              "(notification targets):\n");
+  for (std::size_t i = 0; i < worst.size() && i < 8; ++i) {
+    std::printf("  %-28s %3zu exposed (%zu on non-standard ports)\n",
+                worst[i]->org.c_str(), worst[i]->count,
+                worst[i]->on_nonstandard_port);
+  }
+
+  // --- 3. device context from the read side ----------------------------------
+  std::printf("\nsample device records (manufacturer/model from handshake + "
+              "fingerprints):\n");
+  int shown = 0;
+  for (const auto& [name, entries] : by_protocol) {
+    for (const EngineEntry& entry : entries) {
+      if (shown >= 6) break;
+      const auto host = censys.read_side().GetHost(entry.key.ip);
+      if (!host.has_value()) continue;
+      for (const pipeline::ServiceView& svc : host->services) {
+        if (svc.record.key != entry.key) continue;
+        std::printf("  %s  %-16s %s %s%s\n",
+                    entry.key.ToString().c_str(),
+                    std::string(proto::Name(svc.record.protocol)).c_str(),
+                    svc.record.device.manufacturer.c_str(),
+                    svc.record.device.model.c_str(),
+                    svc.kev ? "  [known-exploited CVE]" : "");
+        ++shown;
+      }
+    }
+  }
+
+  // --- 4. remediation tracking ------------------------------------------------
+  // Re-run the map later and measure which exposures disappeared — the
+  // EPA engagement measured >97% HMI removal over months; here churn and
+  // eviction remove a few within days.
+  const std::size_t before = total;
+  world.RunForDays(5);
+  std::size_t after = 0;
+  for (proto::Protocol protocol : proto::IcsProtocols()) {
+    after += censys.QueryProtocol(protocol).size();
+  }
+  std::printf("\nexposure trend: %zu control systems tracked initially, %zu "
+              "five days later\n",
+              before, after);
+  return 0;
+}

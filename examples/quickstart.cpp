@@ -1,0 +1,89 @@
+// Quickstart: build a simulated Internet, run the Censys engine over it,
+// and use the three data-access interfaces of §5.3 — the fast lookup API
+// (host views at a timestamp), interactive search, and analytics series.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "engines/world.h"
+#include "engines/evaluation.h"
+
+using namespace censys;
+using namespace censys::engines;
+
+int main() {
+  // --- 1. a world: simulated Internet + the Censys engine --------------------
+  WorldConfig config;
+  config.universe.seed = 7;
+  config.universe.universe_size = 1u << 16;  // a /16-sized sample
+  config.universe.target_services = 8000;
+  config.universe.ics_scale = 128;
+  config.with_alternatives = false;  // just Censys for the quickstart
+
+  World world(config);
+  std::printf("simulated Internet: %zu live services across %zu network blocks\n",
+              world.internet().ActiveServiceCount(world.now()),
+              world.internet().blocks().blocks().size());
+
+  // --- 2. bootstrap the steady-state map and run three simulated days --------
+  world.Bootstrap();
+  world.RunForDays(3);
+  CensysEngine& censys = world.censys();
+  std::printf("Censys tracks %zu services (%llu journal events, %zu web "
+              "properties)\n\n",
+              censys.write_side().tracked_count(),
+              static_cast<unsigned long long>(censys.journal().event_count()),
+              censys.web_catalog().size());
+
+  // --- 3. fast lookup API: "what does IP X look like right now?" -------------
+  IPv4Address example_ip;
+  censys.write_side().ForEachTracked([&](const pipeline::ServiceState& s) {
+    if (example_ip.value() == 0) example_ip = s.key.ip;
+  });
+  if (const auto host = censys.read_side().GetHost(example_ip)) {
+    std::printf("host %s (%s, AS%u %s):\n", host->ip.ToString().c_str(),
+                host->country.c_str(), host->asn, host->as_org.c_str());
+    for (const pipeline::ServiceView& svc : host->services) {
+      std::printf("  %5u/%s  %-10s %s %s%s\n", svc.record.key.port,
+                  std::string(ToString(svc.record.key.transport)).c_str(),
+                  std::string(proto::Name(svc.record.protocol)).c_str(),
+                  svc.record.software.product.c_str(),
+                  svc.record.software.version.c_str(),
+                  svc.pending_eviction ? "  [pending eviction]" : "");
+      for (const std::string& cve : svc.cves) {
+        std::printf("         vulnerable: %s\n", cve.c_str());
+      }
+      // Protocol-specific structured fields from the per-protocol scanner.
+      int shown = 0;
+      for (const auto& [field, value] : svc.record.extra) {
+        if (shown++ >= 3) break;
+        std::printf("         %s = %s\n", field.c_str(), value.c_str());
+      }
+    }
+    // Historical lookup: the same host a day earlier.
+    const auto yesterday = censys.read_side().GetHostAt(
+        example_ip, world.now() - Duration::Days(1));
+    std::printf("  (one day ago this host had %zu service(s))\n\n",
+                yesterday.has_value() ? yesterday->services.size() : 0);
+  }
+
+  // --- 4. interactive search --------------------------------------------------
+  censys.RebuildSearchIndex();
+  std::string error;
+  for (const char* query :
+       {"svc.443/tcp.service.name: \"HTTPS\"",
+        "svc.22/tcp.software.product: openssh",
+        "svc.502/tcp.service.name: \"MODBUS\""}) {
+    const auto hits = censys.search_index().Search(query, &error);
+    std::printf("search %-45s -> %zu hosts\n", query, hits.size());
+  }
+
+  // --- 5. analytics: longitudinal protocol series ----------------------------
+  std::printf("\ndaily HTTP service counts (analytics snapshots):\n");
+  for (const auto& [day, count] :
+       censys.analytics().ProtocolSeries("HTTP")) {
+    std::printf("  day %lld: %llu\n", static_cast<long long>(day),
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "cert/ct.h"
+
+namespace censys::cert {
+
+std::uint64_t CtLog::Append(Certificate cert, Timestamp logged_at) {
+  const std::uint64_t index = entries_.size();
+  entries_.push_back(CtEntry{index, logged_at, std::move(cert)});
+  return index;
+}
+
+std::span<const CtEntry> CtLog::EntriesSince(std::uint64_t cursor) const {
+  if (cursor >= entries_.size()) return {};
+  return std::span<const CtEntry>(entries_).subspan(cursor);
+}
+
+}  // namespace censys::cert

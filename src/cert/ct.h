@@ -1,0 +1,40 @@
+// Certificate Transparency log (simulated).
+//
+// Censys polls public CT logs to find certificates — and through them, the
+// names of web properties to scan (§4.3, §4.4). The simulated log is an
+// append-only sequence of (index, certificate) entries with a cursor-based
+// poll API, which is exactly the access pattern of real CT (get-entries
+// with a start index).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cert/x509.h"
+
+namespace censys::cert {
+
+struct CtEntry {
+  std::uint64_t index = 0;
+  Timestamp logged_at;
+  Certificate certificate;
+};
+
+class CtLog {
+ public:
+  // Appends and returns the entry index.
+  std::uint64_t Append(Certificate cert, Timestamp logged_at);
+
+  // Entries with index >= cursor (get-entries). The caller advances its own
+  // cursor to tree_size() after consuming.
+  std::span<const CtEntry> EntriesSince(std::uint64_t cursor) const;
+
+  std::uint64_t tree_size() const { return entries_.size(); }
+  const CtEntry& entry(std::uint64_t index) const { return entries_[index]; }
+
+ private:
+  std::vector<CtEntry> entries_;
+};
+
+}  // namespace censys::cert

@@ -1,0 +1,248 @@
+#include "cert/x509.h"
+
+#include <array>
+#include <cstdio>
+
+#include "core/rng.h"
+#include "core/strings.h"
+
+namespace censys::cert {
+namespace {
+
+std::uint64_t Sub(std::uint64_t seed, std::uint64_t salt) {
+  return SplitMix64(seed ^ SplitMix64(salt));
+}
+
+struct CaProfile {
+  std::string_view name;
+  double weight;
+  // Issuance profile: max validity days and preferred key/signature algs.
+  int validity_days;
+  KeyAlgorithm key;
+  SignatureAlgorithm sig;
+  bool trusted;
+};
+
+// The simulated CA ecosystem: a Let's Encrypt-like 90-day issuer dominates,
+// commercial CAs issue ~1-year certificates, a legacy CA still signs with
+// SHA-1 (lint fodder), and an untrusted government CA exists.
+constexpr std::array<CaProfile, 5> kCas = {{
+    {"SimCA Encrypt R3", 0.52, 90, KeyAlgorithm::kEcdsaP256,
+     SignatureAlgorithm::kEcdsaSha256, true},
+    {"SimCert Global CA", 0.22, 365, KeyAlgorithm::kRsa2048,
+     SignatureAlgorithm::kSha256Rsa, true},
+    {"SimTrust EV CA", 0.12, 365, KeyAlgorithm::kRsa4096,
+     SignatureAlgorithm::kSha256Rsa, true},
+    {"LegacySign CA 2009", 0.06, 730, KeyAlgorithm::kRsa1024,
+     SignatureAlgorithm::kSha1Rsa, true},
+    {"StateNet Root CA", 0.08, 1095, KeyAlgorithm::kRsa2048,
+     SignatureAlgorithm::kSha256Rsa, false},
+}};
+
+const CaProfile& PickCa(std::uint64_t seed) {
+  double total = 0;
+  for (const CaProfile& ca : kCas) total += ca.weight;
+  double x = static_cast<double>(Sub(seed, 41) % 1000000) / 1000000.0 * total;
+  for (const CaProfile& ca : kCas) {
+    x -= ca.weight;
+    if (x < 0) return ca;
+  }
+  return kCas.back();
+}
+
+}  // namespace
+
+std::string_view ToString(KeyAlgorithm a) {
+  switch (a) {
+    case KeyAlgorithm::kRsa2048: return "RSA-2048";
+    case KeyAlgorithm::kRsa4096: return "RSA-4096";
+    case KeyAlgorithm::kEcdsaP256: return "ECDSA-P256";
+    case KeyAlgorithm::kRsa1024: return "RSA-1024";
+  }
+  return "?";
+}
+
+std::string_view ToString(SignatureAlgorithm a) {
+  switch (a) {
+    case SignatureAlgorithm::kSha256Rsa: return "SHA256-RSA";
+    case SignatureAlgorithm::kEcdsaSha256: return "ECDSA-SHA256";
+    case SignatureAlgorithm::kSha1Rsa: return "SHA1-RSA";
+  }
+  return "?";
+}
+
+std::string_view ToString(ValidationStatus s) {
+  switch (s) {
+    case ValidationStatus::kTrusted: return "trusted";
+    case ValidationStatus::kSelfSigned: return "self-signed";
+    case ValidationStatus::kUntrustedIssuer: return "untrusted-issuer";
+    case ValidationStatus::kExpired: return "expired";
+    case ValidationStatus::kNotYetValid: return "not-yet-valid";
+    case ValidationStatus::kRevoked: return "revoked";
+  }
+  return "?";
+}
+
+std::string Certificate::Sha256Hex() const {
+  // Canonical encoding: every field that identifies the certificate.
+  Sha256 h;
+  h.Update("x509v3");
+  h.Update(subject_cn);
+  for (const std::string& name : san_dns) h.Update(name);
+  h.Update(issuer);
+  const std::uint64_t numbers[5] = {
+      static_cast<std::uint64_t>(not_before.minutes),
+      static_cast<std::uint64_t>(not_after.minutes),
+      static_cast<std::uint64_t>(key_algorithm),
+      static_cast<std::uint64_t>(signature_algorithm), serial};
+  h.Update(numbers, sizeof(numbers));
+  return ToHex(h.Finish());
+}
+
+bool Certificate::CoversName(std::string_view raw_name) const {
+  const std::string name = ToLower(raw_name);  // DNS names are case-blind
+  auto matches = [&](std::string_view raw_pattern) {
+    const std::string pattern = ToLower(raw_pattern);
+    if (pattern == name) return true;
+    // Wildcard: "*.example.com" covers exactly one extra label.
+    if (StartsWith(pattern, "*.")) {
+      const std::string_view suffix =
+          std::string_view(pattern).substr(1);  // ".example.com"
+      if (!EndsWith(name, suffix)) return false;
+      const std::string_view label =
+          std::string_view(name).substr(0, name.size() - suffix.size());
+      return !label.empty() && label.find('.') == std::string_view::npos;
+    }
+    return false;
+  };
+  if (matches(subject_cn)) return true;
+  for (const std::string& san : san_dns) {
+    if (matches(san)) return true;
+  }
+  return false;
+}
+
+Certificate SynthesizeCertificate(std::uint64_t cert_seed,
+                                  std::string_view name, Timestamp epoch) {
+  Certificate cert;
+  cert.seed = cert_seed;
+
+  // ~14% of presented certificates are self-signed (device defaults).
+  cert.self_signed = (Sub(cert_seed, 40) % 100) < 14;
+
+  if (name.empty()) {
+    char cn[48];
+    std::snprintf(cn, sizeof(cn), "device-%08llx.local",
+                  static_cast<unsigned long long>(Sub(cert_seed, 42) & 0xffffffff));
+    cert.subject_cn = cn;
+    // Most device certs carry the CN as a SAN; a lintable minority do not.
+    if (Sub(cert_seed, 47) % 100 < 85) cert.san_dns.push_back(cn);
+  } else {
+    cert.subject_cn = std::string(name);
+    cert.san_dns.push_back(std::string(name));
+    // Half the named certs also carry a wildcard or www SAN.
+    const std::size_t dot = name.find('.');
+    if (dot != std::string_view::npos && Sub(cert_seed, 43) % 2 == 0) {
+      cert.san_dns.push_back("*" + std::string(name.substr(dot)));
+    }
+  }
+
+  const CaProfile& ca = PickCa(cert_seed);
+  if (cert.self_signed) {
+    cert.issuer = cert.subject_cn;
+    cert.key_algorithm = KeyAlgorithm::kRsa2048;
+    cert.signature_algorithm = SignatureAlgorithm::kSha256Rsa;
+    // Self-signed device certs are often issued for a decade.
+    cert.not_before = epoch - Duration::Days(static_cast<double>(
+                                  Sub(cert_seed, 44) % 2000));
+    cert.not_after = cert.not_before + Duration::Days(3650);
+  } else {
+    cert.issuer = std::string(ca.name);
+    cert.key_algorithm = ca.key;
+    cert.signature_algorithm = ca.sig;
+    // Issued up to 1.5 validity periods ago: a tail of certificates is
+    // already expired at observation time, as in the real Web PKI.
+    const double age_days =
+        static_cast<double>(Sub(cert_seed, 45) % 1000000) / 1000000.0 *
+        static_cast<double>(ca.validity_days) * 1.5;
+    cert.not_before = epoch - Duration::Days(age_days);
+    cert.not_after = cert.not_before + Duration::Days(ca.validity_days);
+  }
+  cert.serial = Sub(cert_seed, 46);
+  return cert;
+}
+
+std::string CertFingerprintHex(std::uint64_t cert_seed, std::string_view name,
+                               Timestamp epoch) {
+  return SynthesizeCertificate(cert_seed, name, epoch).Sha256Hex();
+}
+
+RootStore RootStore::Default() {
+  RootStore store;
+  for (const CaProfile& ca : kCas) {
+    if (ca.trusted) store.Trust(std::string(ca.name));
+  }
+  return store;
+}
+
+std::optional<Timestamp> CrlStore::RevokedAt(std::string_view issuer,
+                                             std::uint64_t serial) const {
+  // Synthetic baseline: ~1.2% of serials are revoked, at a deterministic
+  // date in the recent past derived from the serial.
+  const std::uint64_t h = SplitMix64(serial ^ Fnv1a64(issuer));
+  if (h % 1000 < 12) {
+    return Timestamp::FromDays(-static_cast<double>((h >> 10) % 200));
+  }
+  const auto it = revoked_.find(std::string(issuer));
+  if (it == revoked_.end()) return std::nullopt;
+  const auto jt = it->second.find(serial);
+  if (jt == it->second.end()) return std::nullopt;
+  return jt->second;
+}
+
+void CrlStore::Revoke(std::string_view issuer, std::uint64_t serial,
+                      Timestamp when) {
+  revoked_[std::string(issuer)][serial] = when;
+}
+
+ValidationStatus Validate(const Certificate& cert, const RootStore& roots,
+                          const CrlStore& crls, Timestamp t) {
+  if (t < cert.not_before) return ValidationStatus::kNotYetValid;
+  if (t >= cert.not_after) return ValidationStatus::kExpired;
+  if (cert.self_signed) return ValidationStatus::kSelfSigned;
+  if (const auto when = crls.RevokedAt(cert.issuer, cert.serial);
+      when.has_value() && *when <= t) {
+    return ValidationStatus::kRevoked;
+  }
+  if (!roots.Trusts(cert.issuer)) return ValidationStatus::kUntrustedIssuer;
+  return ValidationStatus::kTrusted;
+}
+
+LintResult Lint(const Certificate& cert) {
+  LintResult result;
+  // CABF ballot SC-063: subscriber certificates must not exceed 398 days.
+  if (!cert.self_signed && cert.ValidityWindow() > Duration::Days(398)) {
+    result.errors.push_back("validity_longer_than_398_days");
+  }
+  if (cert.signature_algorithm == SignatureAlgorithm::kSha1Rsa) {
+    result.errors.push_back("sha1_signature_deprecated");
+  }
+  if (cert.key_algorithm == KeyAlgorithm::kRsa1024) {
+    result.errors.push_back("rsa_key_below_2048_bits");
+  }
+  if (!cert.self_signed && cert.san_dns.empty()) {
+    result.errors.push_back("missing_subject_alt_name");
+  }
+  if (cert.subject_cn.empty()) {
+    result.warnings.push_back("empty_subject_common_name");
+  }
+  for (const std::string& san : cert.san_dns) {
+    if (StartsWith(san, "*.") &&
+        san.find('*', 2) != std::string::npos) {
+      result.errors.push_back("multiple_wildcards_in_san");
+    }
+  }
+  return result;
+}
+
+}  // namespace censys::cert

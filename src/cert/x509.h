@@ -1,0 +1,124 @@
+// X.509 certificates (simulated).
+//
+// Censys collects certificates from TLS scans and CT logs, validates them
+// against browser root stores, checks CRL revocation, and lints them
+// (§4.4). We model certificates as structured records synthesized
+// deterministically from a seed — the same seed the TLS layer attaches to a
+// service — so a certificate observed via scanning and the same certificate
+// observed via CT have identical fingerprints, which is what makes
+// cross-referencing (e.g. "what IPs has certificate X been seen on?") work.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/sha256.h"
+#include "core/types.h"
+
+namespace censys::cert {
+
+enum class KeyAlgorithm : std::uint8_t { kRsa2048, kRsa4096, kEcdsaP256, kRsa1024 };
+enum class SignatureAlgorithm : std::uint8_t { kSha256Rsa, kEcdsaSha256, kSha1Rsa };
+
+std::string_view ToString(KeyAlgorithm a);
+std::string_view ToString(SignatureAlgorithm a);
+
+struct Certificate {
+  std::uint64_t seed = 0;
+  std::string subject_cn;
+  std::vector<std::string> san_dns;  // subjectAltName dNSName entries
+  std::string issuer;                // CA display name; == subject if self-signed
+  bool self_signed = false;
+  Timestamp not_before;
+  Timestamp not_after;
+  KeyAlgorithm key_algorithm = KeyAlgorithm::kRsa2048;
+  SignatureAlgorithm signature_algorithm = SignatureAlgorithm::kSha256Rsa;
+  std::uint64_t serial = 0;
+
+  // SHA-256 fingerprint over the certificate's canonical encoding; stable
+  // across observations. Hex, lowercase, 64 chars.
+  std::string Sha256Hex() const;
+
+  bool CoversName(std::string_view name) const;  // CN/SAN match, with wildcards
+  bool ValidAt(Timestamp t) const {
+    return not_before <= t && t < not_after;
+  }
+  Duration ValidityWindow() const { return not_after - not_before; }
+};
+
+// Deterministically synthesizes the certificate a service with this
+// cert_seed presents for `name` (empty name => an IP/default certificate).
+// `epoch` anchors the issuance window; certificates are issued up to two
+// years before it, so some are expired at observation time.
+Certificate SynthesizeCertificate(std::uint64_t cert_seed,
+                                  std::string_view name, Timestamp epoch);
+
+// Convenience: the fingerprint a service's certificate will have, without
+// building the whole structure.
+std::string CertFingerprintHex(std::uint64_t cert_seed, std::string_view name,
+                               Timestamp epoch);
+
+// --- validation --------------------------------------------------------------
+
+enum class ValidationStatus : std::uint8_t {
+  kTrusted,
+  kSelfSigned,
+  kUntrustedIssuer,
+  kExpired,
+  kNotYetValid,
+  kRevoked,
+};
+
+std::string_view ToString(ValidationStatus s);
+
+// A browser-style root store: the set of trusted CA names.
+class RootStore {
+ public:
+  static RootStore Default();  // the simulated "browser consensus" roots
+
+  void Trust(std::string ca_name) { trusted_.insert(std::move(ca_name)); }
+  bool Trusts(std::string_view ca_name) const {
+    return trusted_.contains(std::string(ca_name));
+  }
+
+ private:
+  std::unordered_set<std::string> trusted_;
+};
+
+// CRL-based revocation (Censys stopped checking OCSP in 2024 after CABF BR
+// v2.0.1 mandated CRLs, §4.4). Revocations are synthesized deterministically:
+// a small fraction of serials per issuer are revoked as of some date.
+class CrlStore {
+ public:
+  // Returns the revocation time if (issuer, serial) is revoked.
+  std::optional<Timestamp> RevokedAt(std::string_view issuer,
+                                     std::uint64_t serial) const;
+
+  // Manually revoke (used by tests and the threat-hunting example).
+  void Revoke(std::string_view issuer, std::uint64_t serial, Timestamp when);
+
+ private:
+  std::unordered_map<std::string, std::unordered_map<std::uint64_t, Timestamp>>
+      revoked_;
+};
+
+// Full chain evaluation at time t.
+ValidationStatus Validate(const Certificate& cert, const RootStore& roots,
+                          const CrlStore& crls, Timestamp t);
+
+// --- linting -----------------------------------------------------------------
+
+// ZLint-style checks (Censys "lints" every observed certificate [65]).
+struct LintResult {
+  std::vector<std::string> errors;    // violations of the BRs
+  std::vector<std::string> warnings;
+  bool clean() const { return errors.empty() && warnings.empty(); }
+};
+
+LintResult Lint(const Certificate& cert);
+
+}  // namespace censys::cert

@@ -1,0 +1,62 @@
+#include "core/cidr.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace censys {
+
+std::optional<Cidr> Cidr::Parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto base = IPv4Address::Parse(text.substr(0, slash));
+  if (!base) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  int len = -1;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc() || next != len_text.data() + len_text.size())
+    return std::nullopt;
+  if (len < 0 || len > 32) return std::nullopt;
+  return Cidr(*base, len);
+}
+
+std::string Cidr::ToString() const {
+  return base_.ToString() + "/" + std::to_string(prefix_len_);
+}
+
+void CidrSet::Insert(const Cidr& cidr) {
+  const std::uint64_t first = cidr.base().value();
+  const std::uint64_t last = first + cidr.size() - 1;
+
+  // Find the insertion window: all ranges that overlap or touch [first,last].
+  auto lo = std::lower_bound(
+      ranges_.begin(), ranges_.end(), first,
+      [](const Range& r, std::uint64_t v) { return r.last + 1 < v; });
+  auto hi = std::upper_bound(
+      lo, ranges_.end(), last,
+      [](std::uint64_t v, const Range& r) { return v + 1 < r.first; });
+
+  Range merged{first, last};
+  if (lo != hi) {
+    merged.first = std::min(merged.first, lo->first);
+    merged.last = std::max(merged.last, std::prev(hi)->last);
+  }
+  auto pos = ranges_.erase(lo, hi);
+  ranges_.insert(pos, merged);
+}
+
+bool CidrSet::Contains(IPv4Address a) const {
+  const std::uint64_t v = a.value();
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), v,
+      [](const Range& r, std::uint64_t x) { return r.last < x; });
+  return it != ranges_.end() && it->first <= v;
+}
+
+std::uint64_t CidrSet::AddressCount() const {
+  std::uint64_t total = 0;
+  for (const Range& r : ranges_) total += r.last - r.first + 1;
+  return total;
+}
+
+}  // namespace censys

@@ -1,0 +1,85 @@
+// CIDR prefixes. Used by the simulated Internet to carve the address space
+// into networks (residential ISPs, clouds, enterprises) and by the scan
+// engine's exclusion ("opt-out") list.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+
+namespace censys {
+
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+  // `base` is masked down to the prefix boundary, so Cidr(1.2.3.4/24) is
+  // 1.2.3.0/24.
+  constexpr Cidr(IPv4Address base, int prefix_len)
+      : base_(IPv4Address(prefix_len == 0 ? 0 : (base.value() & Mask(prefix_len)))),
+        prefix_len_(prefix_len) {}
+
+  // Parses "10.0.0.0/8". Returns nullopt on malformed input or prefix > 32.
+  static std::optional<Cidr> Parse(std::string_view text);
+
+  constexpr IPv4Address base() const { return base_; }
+  constexpr int prefix_len() const { return prefix_len_; }
+
+  // Number of addresses covered. /0 covers 2^32, returned as uint64.
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - prefix_len_);
+  }
+
+  constexpr bool Contains(IPv4Address a) const {
+    if (prefix_len_ == 0) return true;
+    return (a.value() & Mask(prefix_len_)) == base_.value();
+  }
+
+  constexpr bool Contains(const Cidr& other) const {
+    return other.prefix_len_ >= prefix_len_ && Contains(other.base_);
+  }
+
+  // The i-th address of the prefix (i < size()).
+  constexpr IPv4Address AddressAt(std::uint64_t i) const {
+    return IPv4Address(base_.value() + static_cast<std::uint32_t>(i));
+  }
+
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const Cidr&) const = default;
+
+ private:
+  static constexpr std::uint32_t Mask(int prefix_len) {
+    return prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+  }
+
+  IPv4Address base_;
+  int prefix_len_ = 0;
+};
+
+// A set of CIDR prefixes with O(log n) membership tests. Backed by a sorted
+// vector of disjoint ranges; overlapping inserts are merged. This is the
+// structure behind both the scanner's exclusion list and network-category
+// lookups in the simulator.
+class CidrSet {
+ public:
+  void Insert(const Cidr& cidr);
+  bool Contains(IPv4Address a) const;
+  // Total addresses covered (after merging overlaps).
+  std::uint64_t AddressCount() const;
+  std::size_t range_count() const { return ranges_.size(); }
+  bool empty() const { return ranges_.empty(); }
+
+ private:
+  struct Range {
+    std::uint64_t first;
+    std::uint64_t last;  // inclusive
+  };
+  std::vector<Range> ranges_;  // sorted, disjoint, non-adjacent
+};
+
+}  // namespace censys

@@ -1,0 +1,22 @@
+#include "core/clock.h"
+
+namespace censys {
+
+void EventQueue::ScheduleAt(Timestamp when, Callback cb) {
+  heap_.push(Entry{when, next_sequence_++, std::move(cb)});
+}
+
+void EventQueue::RunUntil(SimClock& clock, Timestamp until) {
+  while (!heap_.empty() && heap_.top().when <= until) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle instead (std::function copy is cheap
+    // relative to simulated work).
+    Entry entry = heap_.top();
+    heap_.pop();
+    clock.AdvanceTo(entry.when);
+    entry.callback(entry.when);
+  }
+  clock.AdvanceTo(until);
+}
+
+}  // namespace censys

@@ -1,0 +1,70 @@
+// The simulated clock and a minimal discrete-event scheduler.
+//
+// censysim advances in fixed ticks (default: one simulated minute). The
+// scan engine, churn processes, pipeline timers, and evaluation harnesses
+// all observe the same SimClock, so "Censys refreshes IP data at least
+// daily" and "honeypots staggered every eight hours" are literal statements
+// about this clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.h"
+
+namespace censys {
+
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(Timestamp start) : now_(start) {}
+
+  Timestamp now() const { return now_; }
+
+  void Advance(Duration d) { now_ = now_ + d; }
+  void AdvanceTo(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Timestamp now_;
+};
+
+// A deterministic event queue keyed by (time, insertion order). Callbacks
+// scheduled for the same timestamp run in the order they were scheduled,
+// which keeps multi-module simulations reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void(Timestamp)>;
+
+  void ScheduleAt(Timestamp when, Callback cb);
+  void ScheduleAfter(Timestamp now, Duration delay, Callback cb) {
+    ScheduleAt(now + delay, std::move(cb));
+  }
+
+  // Runs all events with time <= `until`, advancing `clock` to each event
+  // time; afterwards the clock is at `until`.
+  void RunUntil(SimClock& clock, Timestamp until);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Timestamp when;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace censys

@@ -1,0 +1,176 @@
+#include "core/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace censys {
+namespace {
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::Seed(std::uint64_t seed) {
+  // xoshiro state must not be all zero; splitmix64 of distinct counters
+  // guarantees that with overwhelming probability, and we guard anyway.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    sm += 0x9E3779B97F4A7C15ull;
+    word = SplitMix64(sm);
+  }
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_spare_normal_ = false;
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBelow(span));
+}
+
+double Rng::NextExponential(double mean) {
+  assert(mean > 0);
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -mean * std::log(u);
+}
+
+double Rng::NextNormal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::NextPareto(double x_m, double alpha) {
+  assert(x_m > 0 && alpha > 0);
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::NextGeometric(double p) {
+  assert(p > 0 && p <= 1);
+  if (p >= 1.0) return 0;
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+std::uint64_t Rng::NextPoisson(double mean) {
+  assert(mean >= 0);
+  if (mean == 0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = NextDouble();
+    while (product > limit) {
+      ++k;
+      product *= NextDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // population-level counts we draw at this scale.
+  const double sample = NextNormal(mean, std::sqrt(mean));
+  return sample <= 0 ? 0 : static_cast<std::uint64_t>(sample + 0.5);
+}
+
+std::size_t Rng::PickWeighted(std::span<const double> weights) {
+  assert(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  double x = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(std::uint64_t stream_id) const {
+  // Mix the parent's state words with the stream id through splitmix64 to
+  // decorrelate child streams.
+  std::uint64_t seed = SplitMix64(s_[0] ^ SplitMix64(stream_id));
+  seed = SplitMix64(seed ^ s_[2]);
+  return Rng(seed);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s > 0 && s != 1.0);  // rejection-inversion form below assumes s != 1
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::H(double x) const {
+  return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  return std::pow((1.0 - s_) * x, 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= threshold_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s_)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace censys

@@ -1,0 +1,99 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in censysim — population synthesis, churn,
+// packet loss, scan jitter — flows from a single seed through these
+// generators, so every experiment is exactly reproducible. We implement
+// xoshiro256** (Blackman & Vigna) seeded via splitmix64, the combination
+// recommended by its authors, rather than <random> engines whose stream is
+// not guaranteed stable across standard library implementations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace censys {
+
+// splitmix64: used for seeding and for stateless hashing of ids to
+// per-entity random streams.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { Seed(seed); }
+
+  void Seed(std::uint64_t seed);
+
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Standard normal via Marsaglia polar method.
+  double NextNormal(double mean = 0.0, double stddev = 1.0);
+
+  // Pareto (power-law) sample with scale x_m and shape alpha.
+  double NextPareto(double x_m, double alpha);
+
+  // Geometric number of failures before first success, p in (0, 1].
+  std::uint64_t NextGeometric(double p);
+
+  // Poisson-distributed count with the given mean (inversion for small
+  // means, normal approximation for large).
+  std::uint64_t NextPoisson(double mean);
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t PickWeighted(std::span<const double> weights);
+
+  // Derives an independent child generator; used to give each simulated
+  // entity its own stream so iteration order never changes outcomes.
+  Rng Fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4] = {};
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+// Zipf-like sampler over ranks 1..n with exponent s, using the classic
+// rejection-inversion method (Hörmann & Derflinger). Port popularity in the
+// simulated Internet follows this distribution (paper Appendix B: "a smoothly
+// decaying distribution; no cut-off").
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  // Returns a rank in [1, n].
+  std::uint64_t Sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace censys

@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4). Certificates in censysim are addressed by their
+// SHA-256 fingerprint exactly as in the paper ("SHA256-FP-addressed X.509
+// Certificate"), so we carry a real implementation rather than a toy hash.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace censys {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, std::size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+  Sha256Digest Finish();
+
+  static Sha256Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t bit_count_;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_;
+};
+
+// Lowercase hex encoding of a digest ("e3b0c442...").
+std::string ToHex(const Sha256Digest& digest);
+
+// First 8 bytes of the digest as a big-endian uint64; convenient compact id.
+std::uint64_t DigestPrefix64(const Sha256Digest& digest);
+
+}  // namespace censys

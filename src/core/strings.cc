@@ -1,0 +1,144 @@
+#include "core/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace censys {
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  std::size_t begin = 0;
+  while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin])))
+    ++begin;
+  std::size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+    --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (EqualsIgnoreCase(haystack.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer algorithm with backtracking over the last '*'.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, match = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      match = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++match;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::string HumanCount(std::uint64_t n) {
+  char buf[32];
+  auto format = [&](double value, char suffix) {
+    if (value >= 100 || value == static_cast<std::uint64_t>(value)) {
+      std::snprintf(buf, sizeof(buf), "%.0f%c", value, suffix);
+    } else if (value >= 10) {
+      std::snprintf(buf, sizeof(buf), "%.1f%c", value, suffix);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.2f%c", value, suffix);
+    }
+    // Trim trailing ".0" forms like "13.0K" -> "13K".
+    std::string s = buf;
+    auto dot = s.find('.');
+    if (dot != std::string::npos) {
+      std::size_t end = s.size() - 1;  // suffix char
+      std::size_t last = end - 1;
+      while (last > dot && s[last] == '0') --last;
+      if (last == dot) --last;
+      s = s.substr(0, last + 1) + s[end];
+    }
+    return s;
+  };
+  if (n >= 1000000000ull) return format(static_cast<double>(n) / 1e9, 'B');
+  if (n >= 1000000ull) return format(static_cast<double>(n) / 1e6, 'M');
+  if (n >= 1000ull) return format(static_cast<double>(n) / 1e3, 'K');
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+std::string JoinColumns(const std::vector<std::string>& cells,
+                        const std::vector<int>& widths) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    std::string cell = cells[i];
+    if (static_cast<int>(cell.size()) < width) {
+      cell.append(static_cast<std::size_t>(width) - cell.size(), ' ');
+    }
+    out += cell;
+    if (i + 1 < cells.size()) out += "  ";
+  }
+  return out;
+}
+
+}  // namespace censys

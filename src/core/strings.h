@@ -1,0 +1,50 @@
+// Small string utilities used across modules (query parsing, banner
+// grammars, table formatting). Kept dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace censys {
+
+// Splits on a single character; empty fields are preserved.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+// Splits on runs of whitespace; no empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+std::string_view TrimWhitespace(std::string_view s);
+
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+// Case-insensitive substring search.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Simple glob match supporting '*' (any run) and '?' (any one char).
+// Used by declarative fingerprints and the search query language.
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+// Formats counts the way the paper's tables do: 794000000 -> "794M",
+// 13100 -> "13.1K", 49 -> "49".
+std::string HumanCount(std::uint64_t n);
+
+// Fixed-width column join for the bench tables.
+std::string JoinColumns(const std::vector<std::string>& cells,
+                        const std::vector<int>& widths);
+
+// FNV-1a 64-bit hash of a string; used for cheap token ids.
+constexpr std::uint64_t Fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace censys

@@ -1,0 +1,59 @@
+#include "core/types.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace censys {
+
+std::optional<IPv4Address> IPv4Address::Parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc() || next == p || octet > 255) return std::nullopt;
+    // Reject leading zeros beyond a lone "0" (ambiguous octal forms).
+    if (next - p > 1 && *p == '0') return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return IPv4Address(value);
+}
+
+std::string IPv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+std::string_view ToString(Transport t) {
+  return t == Transport::kTcp ? "tcp" : "udp";
+}
+
+std::string ServiceKey::ToString() const {
+  std::string s = ip.ToString();
+  s += ':';
+  s += std::to_string(port);
+  s += '/';
+  s += censys::ToString(transport);
+  return s;
+}
+
+std::string Timestamp::ToString() const {
+  const std::int64_t day = minutes / (24 * 60);
+  const std::int64_t rem = minutes % (24 * 60);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "d%lld %02lld:%02lld",
+                static_cast<long long>(day), static_cast<long long>(rem / 60),
+                static_cast<long long>(rem % 60));
+  return buf;
+}
+
+}  // namespace censys

@@ -1,0 +1,148 @@
+// Core value types shared across the censysim libraries.
+//
+// Everything here is a small, regular value type: IPv4 addresses, ports,
+// (ip, port) service locators, and simulated timestamps. These types are the
+// vocabulary of every other module, so they are deliberately cheap to copy,
+// hashable, totally ordered, and printable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace censys {
+
+// An IPv4 address stored in host byte order.
+//
+// The simulated Internet uses the same 32-bit address space as the real one;
+// the simulator populates only a configurable sample of it.
+class IPv4Address {
+ public:
+  constexpr IPv4Address() = default;
+  constexpr explicit IPv4Address(std::uint32_t value) : value_(value) {}
+
+  // Parses dotted-quad notation ("192.0.2.17"). Returns nullopt on any
+  // syntactic error (missing octets, values > 255, stray characters).
+  static std::optional<IPv4Address> Parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  // Octets in network order: octet(0) is the most significant byte.
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const IPv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// A TCP/UDP port. Plain integer wrapper for type safety at interfaces.
+using Port = std::uint16_t;
+
+inline constexpr Port kMaxPort = 65535;
+inline constexpr std::uint32_t kPortSpaceSize = 65536;
+
+// Transport protocol of a probe or service.
+enum class Transport : std::uint8_t { kTcp = 0, kUdp = 1 };
+
+std::string_view ToString(Transport t);
+
+// A service locator: one (address, port, transport) endpoint.
+struct ServiceKey {
+  IPv4Address ip;
+  Port port = 0;
+  Transport transport = Transport::kTcp;
+
+  auto operator<=>(const ServiceKey&) const = default;
+
+  std::string ToString() const;
+
+  // Packs the key into a single 64-bit integer (ip:32 | port:16 | transport:8)
+  // for use as a hash-map key or journal entity id component.
+  constexpr std::uint64_t Pack() const {
+    return (static_cast<std::uint64_t>(ip.value()) << 24) |
+           (static_cast<std::uint64_t>(port) << 8) |
+           static_cast<std::uint64_t>(transport);
+  }
+  static constexpr ServiceKey Unpack(std::uint64_t packed) {
+    return ServiceKey{IPv4Address(static_cast<std::uint32_t>(packed >> 24)),
+                      static_cast<Port>((packed >> 8) & 0xffff),
+                      static_cast<Transport>(packed & 0xff)};
+  }
+};
+
+// Simulated time. One tick is one simulated minute by default; all modules
+// treat Timestamp as opaque minutes-since-epoch.
+struct Timestamp {
+  std::int64_t minutes = 0;
+
+  constexpr auto operator<=>(const Timestamp&) const = default;
+
+  static constexpr Timestamp FromHours(double h) {
+    return Timestamp{static_cast<std::int64_t>(h * 60.0)};
+  }
+  static constexpr Timestamp FromDays(double d) {
+    return Timestamp{static_cast<std::int64_t>(d * 24.0 * 60.0)};
+  }
+  constexpr double ToHours() const { return static_cast<double>(minutes) / 60.0; }
+  constexpr double ToDays() const { return static_cast<double>(minutes) / (24.0 * 60.0); }
+
+  std::string ToString() const;  // "d12 07:30" style, for logs and tables.
+};
+
+struct Duration {
+  std::int64_t minutes = 0;
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  static constexpr Duration Minutes(std::int64_t m) { return Duration{m}; }
+  static constexpr Duration Hours(double h) {
+    return Duration{static_cast<std::int64_t>(h * 60.0)};
+  }
+  static constexpr Duration Days(double d) {
+    return Duration{static_cast<std::int64_t>(d * 24.0 * 60.0)};
+  }
+  constexpr double ToHours() const { return static_cast<double>(minutes) / 60.0; }
+  constexpr double ToDays() const { return static_cast<double>(minutes) / (24.0 * 60.0); }
+};
+
+constexpr Timestamp operator+(Timestamp t, Duration d) {
+  return Timestamp{t.minutes + d.minutes};
+}
+constexpr Timestamp operator-(Timestamp t, Duration d) {
+  return Timestamp{t.minutes - d.minutes};
+}
+constexpr Duration operator-(Timestamp a, Timestamp b) {
+  return Duration{a.minutes - b.minutes};
+}
+constexpr Duration operator+(Duration a, Duration b) {
+  return Duration{a.minutes + b.minutes};
+}
+constexpr Duration operator*(Duration d, std::int64_t k) {
+  return Duration{d.minutes * k};
+}
+
+}  // namespace censys
+
+template <>
+struct std::hash<censys::IPv4Address> {
+  std::size_t operator()(const censys::IPv4Address& a) const noexcept {
+    // Fibonacci hashing spreads sequential addresses, which are common in
+    // simulated prefixes, across buckets.
+    return static_cast<std::size_t>(a.value() * 0x9E3779B97F4A7C15ull);
+  }
+};
+
+template <>
+struct std::hash<censys::ServiceKey> {
+  std::size_t operator()(const censys::ServiceKey& k) const noexcept {
+    return static_cast<std::size_t>(k.Pack() * 0x9E3779B97F4A7C15ull);
+  }
+};

@@ -1,0 +1,105 @@
+#include "engines/access.h"
+
+#include "core/strings.h"
+
+namespace censys::engines {
+
+std::string_view ToString(AccessTier tier) {
+  switch (tier) {
+    case AccessTier::kPublic: return "public";
+    case AccessTier::kResearch: return "research";
+    case AccessTier::kVerified: return "verified";
+    case AccessTier::kCommercial: return "commercial";
+    case AccessTier::kInternal: return "internal";
+  }
+  return "?";
+}
+
+AccessPolicy AccessPolicy::ForTier(AccessTier tier) {
+  AccessPolicy policy;
+  policy.tier = tier;
+  switch (tier) {
+    case AccessTier::kPublic:
+      policy.data_delay = Duration::Days(7);
+      policy.daily_query_quota = 50;
+      break;
+    case AccessTier::kResearch:
+      policy.see_device_identity = true;
+      policy.data_delay = Duration::Days(2);
+      policy.daily_query_quota = 1000;
+      break;
+    case AccessTier::kVerified:
+      policy.see_device_identity = true;
+      policy.see_vulnerabilities = true;
+      policy.data_delay = Duration::Days(1);
+      policy.daily_query_quota = 10000;
+      break;
+    case AccessTier::kCommercial:
+      policy.see_device_identity = true;
+      policy.see_vulnerabilities = true;
+      policy.see_ics = true;
+      break;
+    case AccessTier::kInternal:
+      policy.see_device_identity = true;
+      policy.see_vulnerabilities = true;
+      policy.see_ics = true;
+      break;
+  }
+  return policy;
+}
+
+pipeline::HostView AccessControl::Filter(const pipeline::HostView& view,
+                                         AccessTier tier) const {
+  const AccessPolicy policy = AccessPolicy::ForTier(tier);
+  pipeline::HostView filtered;
+  filtered.ip = view.ip;
+  filtered.country = view.country;
+  filtered.asn = view.asn;
+  filtered.as_org = view.as_org;
+  filtered.network_type = view.network_type;
+
+  for (const pipeline::ServiceView& service : view.services) {
+    if (!policy.see_ics && proto::GetInfo(service.record.protocol).is_ics) {
+      continue;  // control-system exposure is the most abusable data (§8)
+    }
+    pipeline::ServiceView copy = service;
+    if (!policy.see_vulnerabilities) {
+      copy.cves.clear();
+      copy.max_cvss = 0.0;
+      copy.kev = false;
+    }
+    if (!policy.see_device_identity) {
+      copy.record.device = {};
+      copy.labels.reset();
+    }
+    filtered.services.push_back(std::move(copy));
+  }
+  return filtered;
+}
+
+bool AccessControl::AllowQuery(std::string_view query,
+                               AccessTier tier) const {
+  const AccessPolicy policy = AccessPolicy::ForTier(tier);
+  if (!policy.see_ics) {
+    for (const proto::ProtocolInfo& info : proto::AllProtocols()) {
+      if (!info.is_ics) continue;
+      if (ContainsIgnoreCase(query, info.name)) return false;
+    }
+  }
+  if (!policy.see_vulnerabilities && ContainsIgnoreCase(query, "cve-")) {
+    return false;
+  }
+  return true;
+}
+
+bool AccessControl::ChargeQuery(std::string_view user, AccessTier tier,
+                                std::int64_t day) {
+  const AccessPolicy policy = AccessPolicy::ForTier(tier);
+  if (policy.daily_query_quota == 0) return true;
+  std::uint32_t& used = used_[QuotaKey{std::string(user), day}];
+  if (used >= policy.daily_query_quota) return false;
+  ++used;
+  return true;
+}
+
+}  // namespace censys::engines

@@ -1,0 +1,76 @@
+// Balanced access (§3) and abuse-resistant data exposure (§8).
+//
+// "Our goal is not to provide all users with the same global Internet
+// visibility, but to provide tailored access driven by users' needs."
+// Censys restricts the data ripest for abuse — control-system,
+// vulnerability, and adversarial-infrastructure context — behind access
+// tiers, delays data for unvetted users, and gates specific query types
+// until identity is verified. This module is that policy layer: it filters
+// read-side views and vets search queries per tier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "pipeline/read_side.h"
+
+namespace censys::engines {
+
+enum class AccessTier : std::uint8_t {
+  kPublic,      // anonymous: basic service presence only, delayed
+  kResearch,    // vetted research program: full host data, CVE/ICS redacted
+  kVerified,    // identity-verified researcher: CVE context, delayed ICS
+  kCommercial,  // customer: everything except internal threat-actor tags
+  kInternal,    // Censys analysts
+};
+
+std::string_view ToString(AccessTier tier);
+
+struct AccessPolicy {
+  AccessTier tier = AccessTier::kPublic;
+  bool see_ics = false;          // industrial-control records
+  bool see_vulnerabilities = false;  // CVE/KEV context
+  bool see_device_identity = false;  // manufacturer/model labels
+  // Results are served as of (now - delay): fresh data is the most
+  // operationally sensitive ("multiple access tiers that provide delayed
+  // access", §7.1).
+  Duration data_delay = Duration::Days(0);
+  std::uint32_t daily_query_quota = 0;  // 0 = unlimited
+
+  static AccessPolicy ForTier(AccessTier tier);
+};
+
+class AccessControl {
+ public:
+  // Filters a host view down to what `tier` may see. Restricted services
+  // are removed entirely; restricted context is redacted in place.
+  pipeline::HostView Filter(const pipeline::HostView& view,
+                            AccessTier tier) const;
+
+  // Query vetting: ICS- and vulnerability-targeted searches require a tier
+  // that may see the result ("we limit specific types of searches against
+  // our data until we can verify user identity and goals", §8).
+  bool AllowQuery(std::string_view query, AccessTier tier) const;
+
+  // Per-user daily quota accounting. Returns false once the tier's quota
+  // for `day` is exhausted.
+  bool ChargeQuery(std::string_view user, AccessTier tier, std::int64_t day);
+
+ private:
+  struct QuotaKey {
+    std::string user;
+    std::int64_t day;
+    bool operator==(const QuotaKey&) const = default;
+  };
+  struct QuotaHash {
+    std::size_t operator()(const QuotaKey& k) const {
+      return std::hash<std::string>()(k.user) ^
+             std::hash<std::int64_t>()(k.day * 0x9E3779B9);
+    }
+  };
+  std::unordered_map<QuotaKey, std::uint32_t, QuotaHash> used_;
+};
+
+}  // namespace censys::engines

@@ -1,0 +1,401 @@
+#include "engines/alternatives.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/strings.h"
+#include "proto/banner.h"
+
+namespace censys::engines {
+namespace {
+
+using P = proto::Protocol;
+
+double HashUnit(std::uint64_t a, std::uint64_t b) {
+  return static_cast<double>(SplitMix64(a ^ SplitMix64(b)) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+// Calibration sources (paper): Table 1 port-range coverage, Table 2
+// self-reported/accurate/unique, Figure 2 freshness, Table 4 ICS
+// reported-vs-validated, Table 5 discovery latency, §6.2 prose (Netlas
+// one-month sweep; ZoomEye multi-year entries; Fofa/Netlas >1/3 duplicates).
+
+AltEnginePolicy ShodanPolicy() {
+  AltEnginePolicy p;
+  p.name = "Shodan";
+  p.scanner_id = 2;
+  p.probes_per_ip_day = 30.0;
+  p.source_pool_size = 48.0;
+  p.port_breadth = 1500;
+  p.sweep_period = Duration::Days(6);   // Table 5: ~60-78 h median discovery
+  p.retention = Duration::Days(60);
+  p.duplicate_rate = 0.0;               // Table 2: ~100% unique
+  p.labeling = LabelingMode::kKeyword;
+  p.p_top10 = 0.88;
+  p.p_top100 = 0.44;
+  p.p_rest = 0.12;
+  p.stale_fraction = 0.30;              // Table 2: 68% accurate
+  p.stale_age_mean_days = 14.0;         // Figure 2: days-to-weeks tail
+  p.excluded_ports = {60000, 500};      // Table 5: never found there
+  // Table 4, fp mass = (reported - validated) / 810M entries, per million.
+  p.ics_rules = {
+      {P::kAtg, 365.0, 0},      {P::kBacnet, 43.0, 0},
+      {P::kCodesys, 263.0, 0},  {P::kDnp3, 0.8, 0},
+      {P::kEip, 309.0, 0},      {P::kFins, 0.6, 0},
+      {P::kFox, 3.0, 0},        {P::kGeSrtp, 0.01, 0},
+      {P::kHart, 0.001, 0},     {P::kIec60870, 0.9, 0},
+      {P::kModbus, 17.0, 0},    {P::kOpcUa, 0.3, 0},
+      {P::kPcworx, 0.66, 0},    {P::kProconos, 0.07, 0},
+      {P::kRedlionCrimson, 0.12, 0}, {P::kS7, 3.2, 0},
+      {P::kWdbrpc, 36.0, 0},
+  };
+  return p;
+}
+
+AltEnginePolicy FofaPolicy() {
+  AltEnginePolicy p;
+  p.name = "Fofa";
+  p.scanner_id = 4;
+  p.probes_per_ip_day = 60.0;
+  p.source_pool_size = 96.0;
+  p.port_breadth = 65536;               // broad but slow
+  p.sweep_period = Duration::Days(45);
+  p.retention = Duration::Days(250);
+  p.duplicate_rate = 0.54;              // Table 2: ~65% unique
+  p.labeling = LabelingMode::kKeyword;
+  p.p_top10 = 0.75;
+  p.p_top100 = 0.70;
+  p.p_rest = 0.30;
+  p.stale_fraction = 0.78;              // Table 2: 20% accurate
+  p.stale_age_mean_days = 120.0;
+  p.ics_rules = {
+      {P::kAtg, 7.6, 0},     {P::kBacnet, 2.8, 0},  {P::kCodesys, 0.87, 0},
+      {P::kDnp3, 0.37, 0},   {P::kFox, 0.5, 0},     {P::kHart, 0.001, 0},
+      {P::kIec60870, 1.5, 0}, {P::kModbus, 20.0, 0}, {P::kPcworx, 0.41, 0},
+      {P::kProconos, 0.01, 0}, {P::kRedlionCrimson, 0.25, 0},
+      {P::kS7, 2.4, 0},      {P::kWdbrpc, 4.2, 0},
+  };
+  return p;
+}
+
+AltEnginePolicy ZoomEyePolicy() {
+  AltEnginePolicy p;
+  p.name = "ZoomEye";
+  p.scanner_id = 3;
+  p.probes_per_ip_day = 25.0;
+  p.source_pool_size = 40.0;
+  p.port_breadth = 4000;
+  p.sweep_period = Duration::Days(14);
+  p.retention = Duration::Days(1200);   // Figure 2: >3-year-old entries
+  p.duplicate_rate = 0.01;
+  p.labeling = LabelingMode::kKeyword;
+  p.p_top10 = 0.94;
+  p.p_top100 = 0.62;
+  p.p_rest = 0.22;
+  p.stale_fraction = 0.88;              // Table 2: 10% accurate
+  p.stale_age_mean_days = 420.0;
+  p.ics_rules = {
+      {P::kBacnet, 18.5, 0},  {P::kDnp3, 0.55, 0},  {P::kFins, 3.9, 0},
+      {P::kFox, 0.1, 0},      {P::kGeSrtp, 2.3, 0}, {P::kHart, 0.02, 0},
+      {P::kIec60870, 0.001, 0}, {P::kModbus, 7.4, 0},
+      {P::kProconos, 0.24, 0}, {P::kRedlionCrimson, 4.3, 0},
+      {P::kS7, 7.7, 0},       {P::kWdbrpc, 32.0, 0},
+  };
+  return p;
+}
+
+AltEnginePolicy NetlasPolicy() {
+  AltEnginePolicy p;
+  p.name = "Netlas";
+  p.scanner_id = 5;
+  p.probes_per_ip_day = 6.0;
+  p.source_pool_size = 16.0;
+  p.port_breadth = 1200;
+  p.sweep_period = Duration::Days(30);  // "a single scan takes about a month"
+  p.retention = Duration::Days(100);
+  p.duplicate_rate = 0.59;              // Table 2: ~63% unique
+  p.labeling = LabelingMode::kKeyword;
+  p.p_top10 = 0.70;
+  p.p_top100 = 0.32;
+  p.p_rest = 0.05;
+  p.stale_fraction = 0.50;              // Table 2: 49% accurate
+  p.stale_age_mean_days = 35.0;
+  p.ics_rules = {
+      {P::kS7, 1.14, 0},  // "Netlas reports results for only S7"
+  };
+  return p;
+}
+
+AltEngine::AltEngine(simnet::Internet& net, AltEnginePolicy policy,
+                     std::uint64_t seed)
+    : net_(net), policy_(std::move(policy)),
+      rng_(SplitMix64(seed ^ policy_.scanner_id * 0x9E37u)) {
+  profile_ = simnet::ScannerProfile{policy_.scanner_id, policy_.name,
+                                    policy_.probes_per_ip_day,
+                                    policy_.source_pool_size};
+  discovery_ = std::make_unique<scan::DiscoveryEngine>(
+      net_, profile_, policy_.pop_count, seed ^ policy_.scanner_id);
+  scheduler_ = std::make_unique<scan::ScanScheduler>(*discovery_);
+
+  // Alternative engines do banner + IANA-port detection; none runs Censys'
+  // full follow-up handshake battery.
+  interrogate::DetectorConfig detector;
+  detector.listen_for_banner = true;
+  detector.try_iana = true;
+  detector.try_battery = false;
+  detector.try_within_tls = true;
+  detector.battery = {proto::Protocol::kHttp};
+  interrogator_ = std::make_unique<interrogate::Interrogator>(net_, profile_,
+                                                              detector);
+
+  // The engine's sweep covers its popularity-ranked breadth plus the IANA
+  // ports of every ICS protocol it ships a module for.
+  for (const auto& rule : policy_.ics_rules) {
+    if (const auto port = proto::PrimaryPort(rule.protocol)) {
+      ics_ports_.insert(*port);
+    }
+  }
+  scan::ScheduledClass sweep;
+  sweep.klass.name = policy_.name + "-sweep";
+  sweep.klass.ports = net_.ports().TopPorts(policy_.port_breadth);
+  for (Port excluded : policy_.excluded_ports) {
+    std::erase(sweep.klass.ports, excluded);
+  }
+  for (Port port : ics_ports_) {
+    if (net_.ports().RankOf(port) > policy_.port_breadth) {
+      sweep.klass.ports.push_back(port);
+    }
+  }
+  sweep.klass.period = policy_.sweep_period;
+  scheduler_->AddClass(std::move(sweep));
+}
+
+proto::Protocol AltEngine::LabelService(
+    const simnet::L7Session& session,
+    std::optional<proto::Protocol> udp_hint) const {
+  const interrogate::DetectionOutcome outcome = interrogate::DetectProtocol(
+      session, interrogator_->config(), udp_hint);
+  return outcome.protocol;
+}
+
+bool AltEngine::PersistentlyVisible(ServiceKey key) const {
+  const std::uint32_t rank = net_.ports().RankOf(key.port);
+  double p = policy_.p_rest;
+  if (rank <= 10) {
+    p = policy_.p_top10;
+  } else if (rank <= 100) {
+    p = policy_.p_top100;
+  }
+  if (ics_ports_.contains(key.port)) p = std::max(p, policy_.p_ics_ports);
+  return HashUnit(key.Pack() ^ (policy_.scanner_id * 0x5EEDull), 0xA17B) < p;
+}
+
+void AltEngine::Observe(const scan::Candidate& candidate) {
+  if (!PersistentlyVisible(candidate.key)) return;
+  const simnet::ProbeContext ctx{&profile_, 0};
+  const auto session =
+      net_.ConnectL7(ctx, candidate.key, candidate.discovered_at);
+  if (!session.has_value()) return;
+
+  const std::uint64_t packed = candidate.key.Pack();
+  auto [it, inserted] = dataset_.try_emplace(packed);
+  Entry& stored = it->second;
+  if (inserted) {
+    auto& host_count = host_entry_counts_[candidate.key.ip.value()];
+    if (host_count >= policy_.max_entries_per_host) {
+      dataset_.erase(it);
+      return;
+    }
+    ++host_count;
+    by_host_[candidate.key.ip.value()].push_back(packed);
+    stored.entry.key = candidate.key;
+    stored.entry.first_seen = candidate.discovered_at;
+    stored.entry.record_count = DuplicateCount(packed);
+  }
+  stored.phantom = false;
+  stored.entry.last_scanned = candidate.discovered_at;
+  stored.entry.label = LabelService(*session, candidate.udp_protocol);
+}
+
+void AltEngine::Bootstrap(Timestamp t0) {
+  const std::size_t breadth = policy_.port_breadth;
+  std::size_t live_seeded = 0;
+
+  net_.ForEachActiveService(t0, [&](const simnet::SimService& svc) {
+    const std::uint32_t rank = net_.ports().RankOf(svc.key.port);
+    if (rank > breadth && !ics_ports_.contains(svc.key.port)) return;
+    for (Port excluded : policy_.excluded_ports) {
+      if (svc.key.port == excluded) return;
+    }
+    if (!PersistentlyVisible(svc.key)) return;
+    Rng fork = rng_.Fork(svc.key.Pack() ^ policy_.scanner_id);
+
+    Entry stored;
+    stored.entry.key = svc.key;
+    const double age_days =
+        fork.NextDouble() * policy_.sweep_period.ToDays();
+    stored.entry.last_scanned = t0 - Duration::Days(age_days);
+    stored.entry.first_seen = stored.entry.last_scanned;
+    stored.entry.record_count = DuplicateCount(svc.key.Pack());
+    simnet::L7Session session;
+    session.service = svc;
+    if (proto::GetInfo(svc.protocol).server_talks_first) {
+      session.server_first_banner =
+          proto::GenerateBanner(svc.protocol, svc.seed);
+    }
+    std::optional<proto::Protocol> udp_hint;
+    if (svc.key.transport == Transport::kUdp) udp_hint = svc.protocol;
+    stored.entry.label = LabelService(session, udp_hint);
+    auto& host_count = host_entry_counts_[svc.key.ip.value()];
+    if (host_count >= policy_.max_entries_per_host) return;
+    ++host_count;
+    by_host_[svc.key.ip.value()].push_back(svc.key.Pack());
+    dataset_.emplace(svc.key.Pack(), std::move(stored));
+    ++live_seeded;
+  });
+
+  // Phantom (already-stale) entries: services the engine once saw that no
+  // longer exist. Their share encodes the engine's retention policy.
+  const std::size_t phantom_count = static_cast<std::size_t>(
+      static_cast<double>(live_seeded) * policy_.stale_fraction /
+      std::max(0.01, 1.0 - policy_.stale_fraction));
+  const std::uint32_t universe = net_.blocks().universe_size();
+  std::size_t made = 0;
+  while (made < phantom_count) {
+    const IPv4Address ip(static_cast<std::uint32_t>(rng_.NextBelow(universe)));
+    const std::uint32_t rank = static_cast<std::uint32_t>(
+        1 + rng_.NextBelow(std::min<std::uint64_t>(breadth, 4000)));
+    const Port port = net_.ports().PortAtRank(rank);
+    const ServiceKey key{ip, port, Transport::kTcp};
+    if (dataset_.contains(key.Pack())) continue;
+    if (net_.FindService(key, t0) != nullptr) continue;  // must be dead
+    Entry stored;
+    stored.phantom = true;
+    stored.entry.key = key;
+    const double age_days = std::min(
+        policy_.retention.ToDays() * 0.95,
+        policy_.sweep_period.ToDays() + rng_.NextExponential(
+                                            policy_.stale_age_mean_days));
+    stored.entry.last_scanned = t0 - Duration::Days(age_days);
+    stored.entry.first_seen = stored.entry.last_scanned;
+    stored.entry.record_count = DuplicateCount(key.Pack());
+    const auto assigned = proto::AssignedToPort(port, Transport::kTcp);
+    stored.entry.label =
+        assigned.empty() ? proto::Protocol::kHttp : assigned.front();
+    auto& host_count = host_entry_counts_[key.ip.value()];
+    if (host_count >= policy_.max_entries_per_host) continue;
+    ++host_count;
+    by_host_[key.ip.value()].push_back(key.Pack());
+    dataset_.emplace(key.Pack(), std::move(stored));
+    ++made;
+  }
+}
+
+void AltEngine::Tick(Timestamp from, Timestamp to) {
+  scheduler_->Tick(from, to, [this](const scan::Candidate& candidate) {
+    Observe(candidate);
+  });
+
+  const std::int64_t day = to.minutes / 1440;
+  if (day != last_cleanup_day_) {
+    last_cleanup_day_ = day;
+    for (auto it = dataset_.begin(); it != dataset_.end();) {
+      if (it->second.entry.last_scanned + policy_.retention < to) {
+        const std::uint32_t ip = it->second.entry.key.ip.value();
+        auto host = host_entry_counts_.find(ip);
+        if (host != host_entry_counts_.end() && host->second > 0) {
+          --host->second;
+        }
+        if (auto bh = by_host_.find(ip); bh != by_host_.end()) {
+          std::erase(bh->second, it->first);
+          if (bh->second.empty()) by_host_.erase(bh);
+        }
+        it = dataset_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::uint32_t AltEngine::DuplicateCount(std::uint64_t packed) const {
+  std::uint32_t count = 1 + static_cast<std::uint32_t>(policy_.duplicate_rate);
+  const double frac =
+      policy_.duplicate_rate - std::floor(policy_.duplicate_rate);
+  if (HashUnit(packed, 0xD0B1E ^ policy_.scanner_id) < frac) ++count;
+  return count;
+}
+
+std::vector<EngineEntry> AltEngine::QueryHost(IPv4Address ip) const {
+  // Bulk-IP queries (Appendix Table 7) resolve through the host index.
+  std::vector<EngineEntry> out;
+  const auto bh = by_host_.find(ip.value());
+  if (bh == by_host_.end()) return out;
+  for (std::uint64_t packed : bh->second) {
+    const auto it = dataset_.find(packed);
+    if (it != dataset_.end()) out.push_back(it->second.entry);
+  }
+  return out;
+}
+
+void AltEngine::ForEachEntry(
+    const std::function<void(const EngineEntry&)>& fn) const {
+  for (const auto& [packed, stored] : dataset_) fn(stored.entry);
+}
+
+std::uint64_t AltEngine::SelfReportedCount() const {
+  std::uint64_t total = 0;
+  for (const auto& [packed, stored] : dataset_) {
+    total += stored.entry.record_count;
+  }
+  return total;
+}
+
+bool AltEngine::SupportsProtocolQuery(proto::Protocol protocol) const {
+  if (proto::GetInfo(protocol).is_ics) {
+    for (const auto& rule : policy_.ics_rules) {
+      if (rule.protocol == protocol) return true;
+    }
+    return false;
+  }
+  return policy_.supports_all_general;
+}
+
+bool AltEngine::KeywordMatches(
+    const EngineEntry& entry,
+    const AltEnginePolicy::IcsQueryRule& rule) const {
+  // Keyword rules misfire on ordinary (non-ICS-labeled) entries: "criteria
+  // met by hundreds of thousands of HTTP services rather than services
+  // running CODESYS" (§6.3). The false-positive mass is calibrated per
+  // million dataset entries and scales with the universe's ics_scale so
+  // reported:validated ratios are preserved.
+  if (proto::GetInfo(entry.label).is_ics) return false;
+  const double rate = rule.keyword_fp_per_million * 1e-6 *
+                      net_.config().ics_scale;
+  return HashUnit(entry.key.Pack() ^ policy_.scanner_id,
+                  static_cast<std::uint64_t>(rule.protocol)) < rate;
+}
+
+std::vector<EngineEntry> AltEngine::QueryProtocol(
+    proto::Protocol protocol) const {
+  std::vector<EngineEntry> out;
+  if (!SupportsProtocolQuery(protocol)) return out;
+  const AltEnginePolicy::IcsQueryRule* rule = nullptr;
+  for (const auto& r : policy_.ics_rules) {
+    if (r.protocol == protocol) rule = &r;
+  }
+  for (const auto& [packed, stored] : dataset_) {
+    if (stored.entry.label == protocol) {
+      out.push_back(stored.entry);
+    } else if (rule != nullptr && KeywordMatches(stored.entry, *rule)) {
+      EngineEntry fp = stored.entry;
+      fp.label = protocol;  // as the engine would report it
+      out.push_back(fp);
+    }
+  }
+  return out;
+}
+
+}  // namespace censys::engines

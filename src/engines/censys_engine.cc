@@ -1,0 +1,455 @@
+#include "engines/censys_engine.h"
+
+#include <algorithm>
+
+#include "pipeline/entity.h"
+#include "proto/banner.h"
+
+namespace censys::engines {
+namespace {
+
+// Builds the daily priority port list: the ~100 most responsive ports plus
+// the IANA-assigned ports of every protocol of interest (which is how the
+// security-critical ICS ports get daily coverage despite their rarity).
+std::vector<Port> BuildPriorityPorts(const simnet::PortModel& ports,
+                                     std::size_t top_n) {
+  std::vector<Port> list = ports.TopPorts(top_n);
+  for (const proto::ProtocolInfo& info : proto::AllProtocols()) {
+    for (Port p : info.assigned_ports) list.push_back(p);
+  }
+  std::sort(list.begin(), list.end());
+  list.erase(std::unique(list.begin(), list.end()), list.end());
+  return list;
+}
+
+}  // namespace
+
+CensysEngine::CensysEngine(simnet::Internet& net, cert::CtLog& ct_log,
+                           Config config)
+    : net_(net), ct_log_(ct_log), config_(config),
+      rng_(SplitMix64(config.seed ^ 0xCE5515)) {
+  // §8: ~576 probes per public IP per day, spread over five /24s of
+  // identifying source addresses.
+  profile_ = simnet::ScannerProfile{1, "censys", 576.0, 1280.0};
+
+  roots_ = cert::RootStore::Default();
+  discovery_ = std::make_unique<scan::DiscoveryEngine>(
+      net_, profile_, config_.pop_count, config_.seed);
+  discovery_->SetExclusionList(&exclusions_);
+  scheduler_ = std::make_unique<scan::ScanScheduler>(*discovery_);
+  interrogator_ = std::make_unique<interrogate::Interrogator>(net_, profile_);
+  interrogator_->SetCertificateObserver(
+      [this](const cert::Certificate& certificate, ServiceKey presented_by,
+             Timestamp at) {
+        cert_store_.ObserveFromScan(certificate, presented_by, at);
+      });
+  predictive_ = std::make_unique<predict::PredictiveEngine>(net_.blocks(),
+                                                            config_.seed);
+  write_side_ = std::make_unique<pipeline::WriteSide>(journal_, bus_,
+                                                      config_.write_options);
+  fingerprints_ = fingerprint::FingerprintEngine::BuiltIn();
+  cves_ = fingerprint::CveDatabase::BuiltIn();
+  read_side_ = std::make_unique<pipeline::ReadSide>(
+      journal_, *write_side_, net_.blocks(), &fingerprints_, &cves_);
+  web_catalog_ = std::make_unique<web::WebPropertyCatalog>(net_,
+                                                           *interrogator_);
+
+  // --- scan classes (§4.1) -----------------------------------------------------
+  const std::vector<Port> priority =
+      BuildPriorityPorts(net_.ports(), config_.priority_top_ports);
+  for (Port p : priority) {
+    priority_port_set_.insert(p);
+    priority_port_set_.insert(0x10000u | p);  // udp marker shares the set
+  }
+  scan::ScheduledClass priority_class;
+  priority_class.klass.name = "priority-ports";
+  priority_class.klass.ports = priority;
+  priority_class.klass.period = Duration::Days(1);
+  scheduler_->AddClass(std::move(priority_class));
+
+  if (config_.enable_cloud_class) {
+    scan::ScheduledClass cloud_class;
+    cloud_class.klass.name = "cloud-networks";
+    cloud_class.klass.ports = net_.ports().TopPorts(config_.cloud_ports);
+    cloud_class.klass.blocks =
+        net_.blocks().BlocksOfType(simnet::NetworkType::kCloud);
+    cloud_class.klass.period = Duration::Days(1);
+    scheduler_->AddClass(std::move(cloud_class));
+  }
+
+  // Asynchronous event processing (§5.2): maintain the secondary pivot
+  // tables from journaled events, off the ingest path.
+  bus_.Subscribe([this](const pipeline::PipelineEvent& event) {
+    if (event.kind == storage::EventKind::kServiceRemoved) {
+      pivots_.Forget(event.key);
+      return;
+    }
+    const storage::FieldMap* state = journal_.CurrentState(event.entity_id);
+    if (state == nullptr) return;
+    const auto record = pipeline::RecordFrom(*state, event.key);
+    if (!record.has_value()) return;
+    pivots_.Observe(event.key, record->cert_sha256, record->jarm);
+  });
+
+  if (config_.enable_background) {
+    scan::ScheduledClass background;
+    background.klass.name = "background-65k";
+    background.klass.period = Duration::Days(1);
+    const std::size_t per_day = config_.background_ports_per_day;
+    const std::uint64_t seed = config_.seed;
+    background.port_provider = [per_day, seed](std::uint64_t pass) {
+      return scan::BackgroundPortSlice(pass, per_day, seed);
+    };
+    scheduler_->AddClass(std::move(background));
+  }
+}
+
+double CensysEngine::BootstrapKnownProbability(const simnet::SimService& svc,
+                                               Timestamp t0) const {
+  const bool priority = priority_port_set_.contains(
+      svc.key.transport == Transport::kUdp ? (0x10000u | svc.key.port)
+                                           : std::uint32_t{svc.key.port});
+  if (priority) {
+    // Probed daily; only persistent visibility gaps hide it.
+    if (svc.key.transport == Transport::kUdp) {
+      // UDP needs a protocol-specific probe on an assigned port.
+      const auto assigned =
+          proto::AssignedToPort(svc.key.port, Transport::kUdp);
+      const bool probed = std::find(assigned.begin(), assigned.end(),
+                                    svc.protocol) != assigned.end();
+      return probed ? 0.95 : 0.0;
+    }
+    return 0.97;
+  }
+  if (svc.key.transport == Transport::kUdp) return 0.0;
+
+  const simnet::NetworkBlock& block = net_.blocks().BlockOf(svc.key.ip);
+  if (config_.enable_cloud_class &&
+      block.type == simnet::NetworkType::kCloud &&
+      net_.ports().RankOf(svc.key.port) <= config_.cloud_ports) {
+    return 0.95;
+  }
+
+  // Background sweep + predictive equilibrium for everything else. The
+  // paper's background scan completes a full pass of all 65K ports every
+  // nine months (§4.1), so the chance an age-A service has been swept grows
+  // linearly to 1 over ~270 days; the predictive engine adds a coverage
+  // floor that saturates over the first weeks of a service's life.
+  const double age_days = (t0 - svc.born).ToDays();
+  double p_bg = 0.0;
+  if (config_.enable_background) {
+    p_bg = std::min(1.0, age_days / 270.0);
+  }
+  double p_pred = 0.0;
+  if (config_.enable_predictive) {
+    p_pred = std::min(0.55, age_days * 0.04);
+  }
+  return 1.0 - (1.0 - p_bg) * (1.0 - p_pred);
+}
+
+void CensysEngine::Bootstrap(Timestamp t0) {
+  if (!config_.warm_start) return;
+  std::vector<simnet::SimService> to_seed;
+  net_.ForEachActiveService(t0, [&](const simnet::SimService& svc) {
+    if (svc.pseudo) return;
+    Rng fork = rng_.Fork(svc.key.Pack());
+    if (fork.NextDouble() < BootstrapKnownProbability(svc, t0)) {
+      to_seed.push_back(svc);
+    }
+  });
+  for (const simnet::SimService& svc : to_seed) {
+    simnet::L7Session session;
+    session.service = svc;
+    if (proto::GetInfo(svc.protocol).server_talks_first) {
+      session.server_first_banner =
+          proto::GenerateBanner(svc.protocol, svc.seed);
+    }
+    std::optional<proto::Protocol> udp_hint;
+    if (svc.key.transport == Transport::kUdp) udp_hint = svc.protocol;
+    // The accumulated dataset was last refreshed within the past day.
+    Rng fork = rng_.Fork(svc.key.Pack() ^ 0x0B5EE);
+    const Timestamp observed =
+        t0 - Duration{static_cast<std::int64_t>(
+                 fork.NextDouble() *
+                 static_cast<double>(config_.refresh_interval.minutes))};
+    interrogate::ServiceRecord record =
+        interrogator_->BuildRecord(session, observed, udp_hint, {});
+    write_side_->IngestScan(record);
+    predictive_->ObserveService(svc.key);
+  }
+  bus_.Drain();
+}
+
+void CensysEngine::ProcessCandidate(const scan::Candidate& candidate) {
+  if (exclusions_.IsExcluded(candidate.key.ip, candidate.discovered_at)) {
+    return;
+  }
+  // Already fresh? Skip (continuous scans rediscover known services all
+  // the time; the refresh path owns re-interrogation cadence).
+  if (const pipeline::ServiceState* state =
+          write_side_->GetState(candidate.key)) {
+    if (state->last_refreshed + config_.refresh_interval >
+        candidate.discovered_at) {
+      return;
+    }
+  }
+
+  if (!config_.two_phase_validation) {
+    // Ablation: publish the L4 hit labeled by port assumption, the way
+    // naive pipelines do — no handshake, no validation (§4.1 explains why
+    // Censys does not do this).
+    ProcessThinRecord(candidate.key, candidate.discovered_at);
+    return;
+  }
+
+  const int pop = next_pop_;
+  next_pop_ = (next_pop_ + 1) % config_.pop_count;
+  auto record = interrogator_->Interrogate(
+      candidate.key, candidate.discovered_at, pop, candidate.udp_protocol);
+  if (!record.has_value()) return;
+  write_side_->IngestScan(*record);
+  predictive_->ObserveService(candidate.key);
+}
+
+void CensysEngine::ProcessThinRecord(ServiceKey key, Timestamp at) {
+  interrogate::ServiceRecord record;
+  record.key = key;
+  record.observed_at = at;
+  const auto assigned = proto::AssignedToPort(key.port, key.transport);
+  record.protocol =
+      assigned.empty() ? proto::Protocol::kUnknown : assigned.front();
+  record.detection = interrogate::DetectionMethod::kPortAssumption;
+  record.handshake_validated = false;
+  write_side_->IngestScan(record);
+}
+
+void CensysEngine::RunRefresh(Timestamp to) {
+  struct Due {
+    ServiceKey key;
+    bool pending;
+  };
+  std::vector<Due> due;
+  write_side_->ForEachTracked([&](const pipeline::ServiceState& state) {
+    if (state.last_refreshed + config_.refresh_interval <= to) {
+      due.push_back(Due{state.key,
+                        state.pending_eviction_since.has_value()});
+    }
+  });
+  for (const Due& item : due) {
+    if (!config_.two_phase_validation) {
+      // Naive-pipeline ablation: refresh is an L4 probe, no L7 validation.
+      const int pop = next_pop_;
+      next_pop_ = (next_pop_ + 1) % config_.pop_count;
+      if (discovery_->ProbeOne(item.key, to, pop)) {
+        ProcessThinRecord(item.key, to);
+      } else {
+        write_side_->IngestFailure(item.key, to);
+      }
+      continue;
+    }
+    if (exclusions_.IsExcluded(item.key.ip, to)) {
+      // Opted-out networks stop being refreshed; their services age into
+      // pending eviction and drop out of the dataset.
+      write_side_->IngestFailure(item.key, to);
+      continue;
+    }
+    // "If a service appears unresponsive from one PoP, we attempt to scan
+    // it from the other PoPs over the following 24 hours" — pending
+    // services rotate PoPs on each retry.
+    const int pop = item.pending
+                        ? next_pop_
+                        : static_cast<int>(item.key.Pack() %
+                                           static_cast<std::uint64_t>(
+                                               config_.pop_count));
+    next_pop_ = (next_pop_ + 1) % config_.pop_count;
+    std::optional<proto::Protocol> udp_hint;
+    if (item.key.transport == Transport::kUdp) {
+      const auto assigned =
+          proto::AssignedToPort(item.key.port, Transport::kUdp);
+      if (!assigned.empty()) udp_hint = assigned.front();
+    }
+    auto record = interrogator_->Interrogate(item.key, to, pop, udp_hint);
+    if (record.has_value()) {
+      write_side_->IngestScan(*record);
+    } else {
+      write_side_->IngestFailure(item.key, to);
+    }
+  }
+}
+
+void CensysEngine::RunPredictive(Timestamp from, Timestamp to) {
+  const double day_fraction =
+      static_cast<double>((to - from).minutes) / (24.0 * 60.0);
+  const std::size_t budget = static_cast<std::size_t>(
+      config_.predictive_budget_per_day_frac *
+      static_cast<double>(net_.blocks().universe_size()) * day_fraction);
+  for (ServiceKey key : predictive_->GenerateCandidates(to, budget)) {
+    const int pop = next_pop_;
+    next_pop_ = (next_pop_ + 1) % config_.pop_count;
+    if (!discovery_->ProbeOne(key, to, pop)) continue;
+    scan_queue_.push_back(scan::Candidate{key, to, "predictive", std::nullopt});
+  }
+  while (!scan_queue_.empty()) {
+    const scan::Candidate candidate = scan_queue_.front();
+    scan_queue_.pop_front();
+    ProcessCandidate(candidate);
+  }
+}
+
+void CensysEngine::RunReinjection(Timestamp day_start) {
+  const std::int64_t day = day_start.minutes / 1440;
+  std::vector<ServiceKey> to_probe;
+  write_side_->ForEachPruned([&](const pipeline::WriteSide::PrunedService& p) {
+    const double age_days = (day_start - p.pruned_at).ToDays();
+    if (age_days < 0) return;
+    // Daily for the first week after pruning, weekly thereafter.
+    const bool due = age_days <= 7.0 ||
+                     (static_cast<std::int64_t>(p.key.Pack() % 7) == day % 7);
+    if (due) to_probe.push_back(p.key);
+  });
+  for (ServiceKey key : to_probe) {
+    const int pop = next_pop_;
+    next_pop_ = (next_pop_ + 1) % config_.pop_count;
+    std::optional<proto::Protocol> udp_hint;
+    if (key.transport == Transport::kUdp) {
+      const auto assigned = proto::AssignedToPort(key.port, Transport::kUdp);
+      if (!assigned.empty()) udp_hint = assigned.front();
+    }
+    if (!discovery_->ProbeOne(key, day_start, pop, udp_hint)) continue;
+    auto record = interrogator_->Interrogate(key, day_start, pop, udp_hint);
+    if (record.has_value()) {
+      write_side_->IngestScan(*record);
+      predictive_->ObserveService(key);
+    }
+  }
+}
+
+void CensysEngine::TakeAnalyticsSnapshot(Timestamp day_start) {
+  search::DailySnapshot snapshot;
+  snapshot.day = day_start.minutes / 1440;
+  std::unordered_set<std::uint32_t> hosts;
+  write_side_->ForEachTracked([&](const pipeline::ServiceState& state) {
+    ++snapshot.total_services;
+    hosts.insert(state.key.ip.value());
+    ++snapshot.by_port[state.key.port];
+    const EngineEntry entry = EntryFor(state);
+    ++snapshot.by_protocol[std::string(proto::Name(entry.label))];
+    if (state.key.ip.value() < net_.blocks().universe_size()) {
+      ++snapshot.by_country[std::string(simnet::ToString(
+          net_.blocks().BlockOf(state.key.ip).country))];
+    }
+  });
+  snapshot.total_hosts = hosts.size();
+  analytics_.AddSnapshot(std::move(snapshot));
+  analytics_.ThinOut(day_start);
+}
+
+void CensysEngine::Tick(Timestamp from, Timestamp to) {
+  scheduler_->Tick(from, to, [this](const scan::Candidate& candidate) {
+    scan_queue_.push_back(candidate);
+  });
+  while (!scan_queue_.empty()) {
+    const scan::Candidate candidate = scan_queue_.front();
+    scan_queue_.pop_front();
+    ProcessCandidate(candidate);
+  }
+
+  RunRefresh(to);
+  if (config_.enable_predictive) RunPredictive(from, to);
+
+  const std::int64_t day = to.minutes / 1440;
+  if (day != last_daily_run_) {
+    last_daily_run_ = day;
+    const Timestamp day_start{day * 1440};
+    RunReinjection(day_start);
+    web_catalog_->PollCtLog(ct_log_, day_start);
+    web_catalog_->RefreshDue(day_start);
+    // CT polling into the certificate store and the daily revalidation
+    // pass (§4.4, §4.6).
+    for (const cert::CtEntry& entry : ct_log_.EntriesSince(ct_cert_cursor_)) {
+      if (entry.logged_at > day_start) break;
+      ct_cert_cursor_ = entry.index + 1;
+      cert_store_.ObserveFromCt(entry, day_start);
+    }
+    cert_store_.RevalidateAll(day_start);
+    TakeAnalyticsSnapshot(day_start);
+  }
+
+  write_side_->AdvanceTo(to);
+  bus_.Drain();
+}
+
+EngineEntry CensysEngine::EntryFor(const pipeline::ServiceState& state) const {
+  EngineEntry entry;
+  entry.key = state.key;
+  entry.first_seen = state.first_seen;
+  // "Last scanned" is the most recent refresh attempt; services pending
+  // eviction keep getting probed, so Censys data is never >48 h old (Fig 2).
+  entry.last_scanned = state.last_refreshed;
+  entry.record_count = 1;
+  if (const storage::FieldMap* fields =
+          journal_.CurrentState(pipeline::HostEntityId(state.key.ip))) {
+    if (const auto record = pipeline::RecordFrom(*fields, state.key)) {
+      entry.label = record->protocol;
+    }
+  }
+  return entry;
+}
+
+std::vector<EngineEntry> CensysEngine::QueryHost(IPv4Address ip) const {
+  std::vector<EngineEntry> entries;
+  const storage::FieldMap* fields =
+      journal_.CurrentState(pipeline::HostEntityId(ip));
+  if (fields == nullptr) return entries;
+  for (ServiceKey key : pipeline::ServicesIn(*fields, ip)) {
+    const pipeline::ServiceState* state = write_side_->GetState(key);
+    if (state == nullptr) continue;
+    entries.push_back(EntryFor(*state));
+  }
+  return entries;
+}
+
+void CensysEngine::ForEachEntry(
+    const std::function<void(const EngineEntry&)>& fn) const {
+  write_side_->ForEachTracked([&](const pipeline::ServiceState& state) {
+    fn(EntryFor(state));
+  });
+}
+
+std::uint64_t CensysEngine::SelfReportedCount() const {
+  return write_side_->tracked_count();
+}
+
+std::optional<interrogate::ServiceRecord> CensysEngine::RequestScan(
+    ServiceKey key, Timestamp now) {
+  if (exclusions_.IsExcluded(key.ip, now)) return std::nullopt;
+  const int pop = next_pop_;
+  next_pop_ = (next_pop_ + 1) % config_.pop_count;
+  std::optional<proto::Protocol> udp_hint;
+  if (key.transport == Transport::kUdp) {
+    const auto assigned = proto::AssignedToPort(key.port, Transport::kUdp);
+    if (!assigned.empty()) udp_hint = assigned.front();
+  }
+  auto record = interrogator_->Interrogate(key, now, pop, udp_hint);
+  if (record.has_value()) {
+    write_side_->IngestScan(*record);
+    predictive_->ObserveService(key);
+  } else if (write_side_->GetState(key) != nullptr) {
+    write_side_->IngestFailure(key, now);
+  }
+  bus_.Drain();
+  return record;
+}
+
+std::size_t CensysEngine::RebuildSearchIndex() {
+  std::size_t indexed = 0;
+  journal_.ForEachEntity(
+      [&](std::string_view entity_id, const storage::FieldMap& fields) {
+        if (fields.empty()) return;
+        index_.Index(entity_id, fields);
+        ++indexed;
+      });
+  return indexed;
+}
+
+}  // namespace censys::engines

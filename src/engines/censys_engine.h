@@ -1,0 +1,164 @@
+// The Censys engine: the paper's full architecture wired together.
+//
+//   L4 discovery (3 continuous scan classes, multi-PoP)      §4.1
+//     -> scan queue -> L7 interrogation (LZR detection)      §4.2
+//     -> CQRS write side -> Bigtable-style event journal     §5.2
+//     -> async event bus -> read side + enrichment           §5.2
+//   plus: predictive scanning, daily refresh, 72-hour
+//   eviction with 60-day re-injection, CT polling, web
+//   properties, daily analytics snapshots.                   §4.1–5.3
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+
+#include "cert/ct.h"
+#include "cert/store.h"
+#include "engines/engine.h"
+#include "fingerprint/fingerprints.h"
+#include "fingerprint/vulns.h"
+#include "interrogate/interrogator.h"
+#include "pipeline/read_side.h"
+#include "pipeline/write_side.h"
+#include "predict/predictive.h"
+#include "scan/discovery.h"
+#include "scan/exclusion.h"
+#include "scan/scheduler.h"
+#include "search/analytics.h"
+#include "search/index.h"
+#include "search/pivots.h"
+#include "simnet/internet.h"
+#include "storage/journal.h"
+#include "web/webprops.h"
+
+namespace censys::engines {
+
+class CensysEngine : public ScanEngine {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    int pop_count = 3;  // Chicago, Frankfurt, Hong Kong (§4.5)
+
+    // Scan classes (§4.1).
+    std::size_t priority_top_ports = 100;   // most responsive ports, daily
+    std::size_t cloud_ports = 300;          // cloud-infra ports, daily
+    std::size_t background_ports_per_day = 100;  // rotating 65K sweep
+
+    // Refresh & eviction (§4.6).
+    Duration refresh_interval = Duration::Days(1);
+
+    // Predictive engine (§4.1).
+    bool enable_predictive = true;
+    double predictive_budget_per_day_frac = 0.05;  // of universe size
+
+    // Ablation switches (DESIGN.md §4).
+    bool enable_background = true;
+    bool enable_cloud_class = true;
+    bool two_phase_validation = true;  // false: publish L4 hits unvalidated
+
+    // Warm start: seed the dataset with the steady-state it would have
+    // reached after years of operation (DESIGN.md §5).
+    bool warm_start = true;
+
+    pipeline::WriteSide::Options write_options{};
+  };
+
+  CensysEngine(simnet::Internet& net, cert::CtLog& ct_log, Config config);
+
+  // Seeds the steady-state dataset at `t0` and trains the predictive
+  // models from it. Call once before the first Tick.
+  void Bootstrap(Timestamp t0);
+
+  // --- ScanEngine -------------------------------------------------------------
+  std::string_view name() const override { return "Censys"; }
+  std::uint32_t scanner_id() const override { return profile_.scanner_id; }
+  void Tick(Timestamp from, Timestamp to) override;
+  std::vector<EngineEntry> QueryHost(IPv4Address ip) const override;
+  void ForEachEntry(
+      const std::function<void(const EngineEntry&)>& fn) const override;
+  std::uint64_t SelfReportedCount() const override;
+  bool SupportsProtocolQuery(proto::Protocol) const override { return true; }
+
+  // --- component access (examples, benches) -----------------------------------
+  const pipeline::ReadSide& read_side() const { return *read_side_; }
+  pipeline::WriteSide& write_side() { return *write_side_; }
+  const pipeline::WriteSide& write_side() const { return *write_side_; }
+  storage::EventJournal& journal() { return journal_; }
+  const storage::EventJournal& journal() const { return journal_; }
+  web::WebPropertyCatalog& web_catalog() { return *web_catalog_; }
+  const search::AnalyticsStore& analytics() const { return analytics_; }
+  const predict::PredictorStats& predictor_stats() const {
+    return predictive_->stats();
+  }
+  scan::ScanScheduler& scheduler() { return *scheduler_; }
+  // Opt-out list (§8): excluded prefixes are never probed and their
+  // tracked services are dropped at the next refresh cycle.
+  scan::ExclusionList& exclusions() { return exclusions_; }
+  const simnet::ScannerProfile& profile() const { return profile_; }
+  std::uint64_t probes_sent() const { return discovery_->probes_sent(); }
+  const Config& config() const { return config_; }
+
+  // Certificate entities (§4.4) and secondary pivot tables (§5.2).
+  const cert::CertificateStore& cert_store() const { return cert_store_; }
+  cert::CrlStore& crl_store() { return crls_; }
+  const search::PivotIndex& pivots() const { return pivots_; }
+
+  // Real-time scan request (Figure 1 "User Requests"): interrogates the
+  // target immediately, ingests the result, and returns the fresh record
+  // (nullopt if nothing answered).
+  std::optional<interrogate::ServiceRecord> RequestScan(ServiceKey key,
+                                                        Timestamp now);
+
+  // Rebuilds the full-text index from current entity state; returns the
+  // number of indexed documents.
+  std::size_t RebuildSearchIndex();
+  const search::SearchIndex& search_index() const { return index_; }
+
+ private:
+  EngineEntry EntryFor(const pipeline::ServiceState& state) const;
+  void ProcessCandidate(const scan::Candidate& candidate);
+  // Naive-pipeline ablation path: journal an unvalidated port-labeled
+  // record for an L4 responder.
+  void ProcessThinRecord(ServiceKey key, Timestamp at);
+  void RunRefresh(Timestamp to);
+  void RunPredictive(Timestamp from, Timestamp to);
+  void RunReinjection(Timestamp day_start);
+  void TakeAnalyticsSnapshot(Timestamp day_start);
+  double BootstrapKnownProbability(const simnet::SimService& svc,
+                                   Timestamp t0) const;
+
+  simnet::Internet& net_;
+  cert::CtLog& ct_log_;
+  Config config_;
+  simnet::ScannerProfile profile_;
+
+  scan::ExclusionList exclusions_;
+  std::unique_ptr<scan::DiscoveryEngine> discovery_;
+  std::unique_ptr<scan::ScanScheduler> scheduler_;
+  std::unique_ptr<interrogate::Interrogator> interrogator_;
+  std::unique_ptr<predict::PredictiveEngine> predictive_;
+
+  storage::EventJournal journal_;
+  pipeline::EventBus bus_;
+  cert::RootStore roots_;
+  cert::CrlStore crls_;
+  cert::CertificateStore cert_store_{roots_, crls_};
+  search::PivotIndex pivots_;
+  std::uint64_t ct_cert_cursor_ = 0;
+  std::unique_ptr<pipeline::WriteSide> write_side_;
+  fingerprint::FingerprintEngine fingerprints_;
+  fingerprint::CveDatabase cves_;
+  std::unique_ptr<pipeline::ReadSide> read_side_;
+  std::unique_ptr<web::WebPropertyCatalog> web_catalog_;
+  search::SearchIndex index_;
+  search::AnalyticsStore analytics_;
+
+  std::deque<scan::Candidate> scan_queue_;
+  std::unordered_set<std::uint64_t> priority_port_set_;
+  Rng rng_;
+  std::int64_t last_daily_run_ = -1;
+  int next_pop_ = 0;
+};
+
+}  // namespace censys::engines

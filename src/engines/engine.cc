@@ -1,0 +1,15 @@
+#include "engines/engine.h"
+
+namespace censys::engines {
+
+std::vector<EngineEntry> ScanEngine::QueryProtocol(
+    proto::Protocol protocol) const {
+  std::vector<EngineEntry> out;
+  if (!SupportsProtocolQuery(protocol)) return out;
+  ForEachEntry([&](const EngineEntry& entry) {
+    if (entry.label == protocol) out.push_back(entry);
+  });
+  return out;
+}
+
+}  // namespace censys::engines

@@ -1,0 +1,56 @@
+// Common evaluation-facing interface over scan engines (§6).
+//
+// The paper compares engines through their query interfaces: look up the
+// current state of an IP, enumerate all results for a protocol, and read
+// self-reported dataset sizes. Every engine in censysim — Censys itself and
+// the behavioural models of Shodan / Fofa / ZoomEye / Netlas — implements
+// this interface, and the benches never look at an engine's internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "proto/protocol.h"
+
+namespace censys::engines {
+
+// One dataset entry as the engine would return it.
+struct EngineEntry {
+  ServiceKey key;
+  // The protocol label the engine reports (engine's own labeling quality).
+  proto::Protocol label = proto::Protocol::kUnknown;
+  Timestamp first_seen;
+  Timestamp last_scanned;
+  // Number of records the engine serves for this (ip, port): > 1 models the
+  // duplicate entries observed for Fofa and Netlas (§6.2).
+  std::uint32_t record_count = 1;
+};
+
+class ScanEngine {
+ public:
+  virtual ~ScanEngine() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::uint32_t scanner_id() const = 0;
+
+  // Advances the engine's scanning/processing activity over [from, to).
+  virtual void Tick(Timestamp from, Timestamp to) = 0;
+
+  // Query interface (what the evaluation uses).
+  virtual std::vector<EngineEntry> QueryHost(IPv4Address ip) const = 0;
+  virtual void ForEachEntry(
+      const std::function<void(const EngineEntry&)>& fn) const = 0;
+  // Sum of record_count — what the engine would self-report.
+  virtual std::uint64_t SelfReportedCount() const = 0;
+  // Whether the engine exposes a query for `protocol` (Table 8's "-" cells).
+  virtual bool SupportsProtocolQuery(proto::Protocol protocol) const = 0;
+
+  // All entries labeled `protocol` (each duplicated record_count times in
+  // the reported number).
+  std::vector<EngineEntry> QueryProtocol(proto::Protocol protocol) const;
+};
+
+}  // namespace censys::engines

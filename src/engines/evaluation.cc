@@ -1,0 +1,153 @@
+#include "engines/evaluation.h"
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/rng.h"
+#include "interrogate/detection.h"
+
+namespace censys::engines {
+
+simnet::ScannerProfile MeasurementProfile() {
+  // "Our liveness checks are run from a different network than our
+  // production scanning to minimize network-related bias" (§6.1). Low
+  // volume, so effectively never blocked.
+  return simnet::ScannerProfile{99, "measurement", 0.5, 8.0};
+}
+
+GroundTruthSample SubsampledScan(simnet::Internet& net, Timestamp t,
+                                 double sample_fraction, std::uint64_t seed) {
+  GroundTruthSample sample;
+  const simnet::ScannerProfile profile = MeasurementProfile();
+
+  // Count responsive ports per host in the sampled set to apply the
+  // pseudo-service filter ("filter out hosts that respond on more than 20
+  // ports with nearly identical services").
+  std::vector<simnet::SimService> candidates;
+  std::unordered_map<std::uint32_t, std::uint32_t> ports_per_host;
+  net.ForEachActiveService(t, [&](const simnet::SimService& svc) {
+    Rng fork(SplitMix64(svc.key.Pack() ^ seed));
+    if (fork.NextDouble() >= sample_fraction) return;
+    // One probe, like a real sub-sampled scan; transient loss costs a few
+    // percent, exactly as ZMap's single-probe scans do.
+    const simnet::ProbeContext ctx{&profile, 0};
+    if (!net.L4Probe(ctx, svc.key, t)) return;
+    candidates.push_back(svc);
+    ++ports_per_host[svc.key.ip.value()];
+  });
+  for (const simnet::SimService& svc : candidates) {
+    if (net.IsPseudoHost(svc.key.ip) ||
+        ports_per_host[svc.key.ip.value()] > 20) {
+      ++sample.pseudo_filtered;
+      continue;
+    }
+    sample.services.push_back(svc);
+  }
+  return sample;
+}
+
+bool ValidateLive(simnet::Internet& net, ServiceKey key, Timestamp t,
+                  int attempts) {
+  const simnet::ScannerProfile profile = MeasurementProfile();
+  const simnet::ProbeContext ctx{&profile, 0};
+  for (int i = 0; i < attempts; ++i) {
+    if (net.ConnectL7(ctx, key, t + Duration::Hours(2.0 * i)).has_value()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ValidateProtocol(simnet::Internet& net, ServiceKey key,
+                      proto::Protocol label, Timestamp t, int attempts) {
+  const simnet::ScannerProfile profile = MeasurementProfile();
+  const simnet::ProbeContext ctx{&profile, 0};
+  for (int i = 0; i < attempts; ++i) {
+    const auto session = net.ConnectL7(ctx, key, t + Duration::Hours(2.0 * i));
+    if (!session.has_value()) continue;
+    // Complete the labeled protocol's handshake against the live service.
+    if (session->service.pseudo) return label == proto::Protocol::kHttp;
+    if (session->service.protocol == label) return true;
+    return false;
+  }
+  return false;
+}
+
+std::uint64_t UniqueCount(const ScanEngine& engine) {
+  std::uint64_t unique = 0;
+  engine.ForEachEntry([&](const EngineEntry&) { ++unique; });
+  return unique;
+}
+
+double CoverageOver(const ScanEngine& engine,
+                    const std::vector<simnet::SimService>& reference) {
+  if (reference.empty()) return 0.0;
+  std::unordered_set<std::uint64_t> known;
+  engine.ForEachEntry(
+      [&](const EngineEntry& entry) { known.insert(entry.key.Pack()); });
+  std::size_t hit = 0;
+  for (const simnet::SimService& svc : reference) {
+    if (known.contains(svc.key.Pack())) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(reference.size());
+}
+
+PortBucket BucketOf(const simnet::PortModel& ports, Port port) {
+  const std::uint32_t rank = ports.RankOf(port);
+  if (rank <= 10) return PortBucket::kTop10;
+  if (rank <= 100) return PortBucket::kTop100;
+  return PortBucket::kRest;
+}
+
+std::string_view ToString(PortBucket bucket) {
+  switch (bucket) {
+    case PortBucket::kTop10: return "Top 10 Ports";
+    case PortBucket::kTop100: return "Top 100 Ports";
+    case PortBucket::kRest: return "All 65K Ports";
+  }
+  return "?";
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {
+  if (widths_.empty()) {
+    widths_.assign(headers_.size(), 0);
+  }
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths_[i] = std::max<int>(widths_[i],
+                               static_cast<int>(headers_[i].size()) + 2);
+  }
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    widths_[i] = std::max<int>(widths_[i],
+                               static_cast<int>(cells[i].size()) + 2);
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%-*s", widths_[i], cells[i].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  int total = 0;
+  for (int w : widths_) total += w;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Percent(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace censys::engines

@@ -1,0 +1,78 @@
+// Evaluation methodology (§6.1), as code.
+//
+// The paper's comparisons rest on three procedures: (1) a random
+// sub-sampled 65K-port scan approximating ground truth, with pseudo-service
+// hosts filtered; (2) follow-up liveness scans of engine-returned services
+// ("conducting follow-up scans of returned services using ZGrab"), run from
+// a network distinct from any engine's production scanning; and (3)
+// protocol validation — does the target actually complete an L7 handshake
+// for the labeled protocol.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engines/engine.h"
+#include "simnet/internet.h"
+
+namespace censys::engines {
+
+// The neutral measurement vantage (not any engine's scanner identity).
+simnet::ScannerProfile MeasurementProfile();
+
+// (1) Ground-truth approximation: a sub-sampled scan across all 65K ports.
+// `sample_fraction` of currently-active services are probed once; services
+// on hosts answering >`pseudo_port_threshold` ports are filtered out, as
+// in §6.1. Returned snapshots are the reference set for coverage metrics.
+struct GroundTruthSample {
+  std::vector<simnet::SimService> services;
+  std::size_t pseudo_filtered = 0;
+};
+GroundTruthSample SubsampledScan(simnet::Internet& net, Timestamp t,
+                                 double sample_fraction,
+                                 std::uint64_t seed);
+
+// (2) Liveness validation: follow-up scan of one returned service.
+// `attempts` probes spread over a few hours filter transient loss.
+bool ValidateLive(simnet::Internet& net, ServiceKey key, Timestamp t,
+                  int attempts = 2);
+
+// (3) Protocol validation: the target completes an L7 handshake for
+// `label` at query time.
+bool ValidateProtocol(simnet::Internet& net, ServiceKey key,
+                      proto::Protocol label, Timestamp t, int attempts = 2);
+
+// Deduplicated entry count (the "% unique" denominator of Table 2).
+std::uint64_t UniqueCount(const ScanEngine& engine);
+
+// Coverage of `engine` over a reference set of services: the fraction of
+// reference services the engine currently reports.
+double CoverageOver(const ScanEngine& engine,
+                    const std::vector<simnet::SimService>& reference);
+
+// Port-rank bucketing used by Table 1 (top 10 / top 100 / all 65K,
+// non-overlapping).
+enum class PortBucket { kTop10, kTop100, kRest };
+PortBucket BucketOf(const simnet::PortModel& ports, Port port);
+std::string_view ToString(PortBucket bucket);
+
+// --- table formatting ---------------------------------------------------------
+
+// Minimal fixed-width table printer shared by the benches.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths = {});
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;  // to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string Percent(double fraction, int decimals = 0);
+
+}  // namespace censys::engines

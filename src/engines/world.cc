@@ -1,0 +1,81 @@
+#include "engines/world.h"
+
+#include "proto/tls.h"
+
+namespace censys::engines {
+namespace {
+
+// Appends the certificate a name-addressed service presents to the CT log.
+void LogCertificate(cert::CtLog& log, const simnet::SimService& svc,
+                    Timestamp at) {
+  if (!svc.requires_sni) return;
+  const auto tls =
+      proto::DeriveTls(svc.protocol, svc.seed, /*force=*/true);
+  if (!tls.has_value()) return;
+  log.Append(cert::SynthesizeCertificate(tls->cert_seed, svc.sni_name,
+                                         Timestamp{0}),
+             at);
+}
+
+}  // namespace
+
+World::World(WorldConfig config)
+    : config_(std::move(config)), internet_(config_.universe) {
+  censys_ = std::make_unique<CensysEngine>(internet_, ct_log_,
+                                           config_.censys);
+  if (config_.with_alternatives) {
+    const std::uint64_t seed = config_.universe.seed;
+    alternatives_.push_back(
+        std::make_unique<AltEngine>(internet_, ShodanPolicy(), seed));
+    alternatives_.push_back(
+        std::make_unique<AltEngine>(internet_, FofaPolicy(), seed));
+    alternatives_.push_back(
+        std::make_unique<AltEngine>(internet_, ZoomEyePolicy(), seed));
+    alternatives_.push_back(
+        std::make_unique<AltEngine>(internet_, NetlasPolicy(), seed));
+  }
+}
+
+void World::Bootstrap() {
+  const Timestamp t0 = clock_.now();
+
+  // Pre-existing name-addressed services are already in CT; new births get
+  // logged as their certificates are issued.
+  internet_.ForEachActiveService(t0, [&](const simnet::SimService& svc) {
+    LogCertificate(ct_log_, svc, t0);
+  });
+  internet_.SetBirthObserver([this](const simnet::SimService& svc) {
+    LogCertificate(ct_log_, svc, internet_.now());
+  });
+
+  censys_->Bootstrap(t0);
+  for (auto& alt : alternatives_) alt->Bootstrap(t0);
+}
+
+void World::RunUntil(Timestamp t) {
+  while (clock_.now() < t) {
+    const Timestamp from = clock_.now();
+    Timestamp to = from + config_.tick;
+    if (to > t) to = t;
+    internet_.AdvanceTo(to);
+    censys_->Tick(from, to);
+    for (auto& alt : alternatives_) alt->Tick(from, to);
+    clock_.AdvanceTo(to);
+  }
+}
+
+std::vector<ScanEngine*> World::engines() {
+  std::vector<ScanEngine*> out;
+  out.push_back(censys_.get());
+  for (auto& alt : alternatives_) out.push_back(alt.get());
+  return out;
+}
+
+AltEngine* World::alternative(std::string_view name) {
+  for (auto& alt : alternatives_) {
+    if (alt->name() == name) return alt.get();
+  }
+  return nullptr;
+}
+
+}  // namespace censys::engines

@@ -1,0 +1,60 @@
+// The evaluation world: one simulated Internet, one CT log, Censys, and
+// the four alternative engines, advanced in lockstep. Every bench and most
+// integration tests start from a World.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cert/ct.h"
+#include "core/clock.h"
+#include "engines/alternatives.h"
+#include "engines/censys_engine.h"
+#include "simnet/internet.h"
+
+namespace censys::engines {
+
+struct WorldConfig {
+  simnet::UniverseConfig universe;
+  CensysEngine::Config censys;
+  bool with_alternatives = true;
+  // Engine activity granularity. 2 h keeps per-day work spread out the way
+  // continuous scanning does.
+  Duration tick = Duration::Hours(2);
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  // Seeds CT logs and engine warm-start datasets at the current time.
+  void Bootstrap();
+
+  // Advances the Internet and all engines to `t`.
+  void RunUntil(Timestamp t);
+  void RunForDays(double days) {
+    RunUntil(clock_.now() + Duration::Days(days));
+  }
+
+  simnet::Internet& internet() { return internet_; }
+  const simnet::Internet& internet() const { return internet_; }
+  cert::CtLog& ct_log() { return ct_log_; }
+  CensysEngine& censys() { return *censys_; }
+
+  // All engines including Censys (Censys first).
+  std::vector<ScanEngine*> engines();
+  AltEngine* alternative(std::string_view name);
+
+  Timestamp now() const { return clock_.now(); }
+  const WorldConfig& config() const { return config_; }
+
+ private:
+  WorldConfig config_;
+  simnet::Internet internet_;
+  cert::CtLog ct_log_;
+  SimClock clock_;
+  std::unique_ptr<CensysEngine> censys_;
+  std::vector<std::unique_ptr<AltEngine>> alternatives_;
+};
+
+}  // namespace censys::engines

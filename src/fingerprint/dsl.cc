@@ -1,0 +1,254 @@
+#include "fingerprint/dsl.h"
+
+#include <cctype>
+
+#include "core/strings.h"
+
+namespace censys::fingerprint {
+namespace {
+
+struct Tokenizer {
+  std::string_view source;
+  std::size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < source.size() &&
+           std::isspace(static_cast<unsigned char>(source[pos])))
+      ++pos;
+  }
+
+  // Token kinds: "(", ")", string literal, symbol. Empty optional = end.
+  std::optional<std::string> Next(bool* is_string, std::string* error) {
+    *is_string = false;
+    SkipSpace();
+    if (pos >= source.size()) return std::nullopt;
+    const char c = source[pos];
+    if (c == '(' || c == ')') {
+      ++pos;
+      return std::string(1, c);
+    }
+    if (c == '"') {
+      ++pos;
+      std::string value;
+      while (pos < source.size() && source[pos] != '"') {
+        if (source[pos] == '\\' && pos + 1 < source.size()) ++pos;
+        value.push_back(source[pos++]);
+      }
+      if (pos >= source.size()) {
+        *error = "unterminated string literal";
+        return std::nullopt;
+      }
+      ++pos;  // closing quote
+      *is_string = true;
+      return value;
+    }
+    std::string symbol;
+    while (pos < source.size() && source[pos] != '(' && source[pos] != ')' &&
+           !std::isspace(static_cast<unsigned char>(source[pos]))) {
+      symbol.push_back(source[pos++]);
+    }
+    return symbol;
+  }
+};
+
+std::optional<ExprPtr> ParseExpr(Tokenizer& tok, std::string* error);
+
+std::optional<ExprPtr> ParseList(Tokenizer& tok, std::string* error) {
+  auto list = std::make_shared<Expr>();
+  list->kind = Expr::Kind::kList;
+  while (true) {
+    tok.SkipSpace();
+    if (tok.pos >= tok.source.size()) {
+      *error = "unbalanced parentheses";
+      return std::nullopt;
+    }
+    if (tok.source[tok.pos] == ')') {
+      ++tok.pos;
+      return list;
+    }
+    auto item = ParseExpr(tok, error);
+    if (!item.has_value()) return std::nullopt;
+    list->items.push_back(std::move(*item));
+  }
+}
+
+std::optional<ExprPtr> ParseExpr(Tokenizer& tok, std::string* error) {
+  bool is_string = false;
+  const auto token = tok.Next(&is_string, error);
+  if (!token.has_value()) {
+    if (error->empty()) *error = "unexpected end of input";
+    return std::nullopt;
+  }
+  if (!is_string && *token == "(") return ParseList(tok, error);
+  if (!is_string && *token == ")") {
+    *error = "unexpected ')'";
+    return std::nullopt;
+  }
+  auto atom = std::make_shared<Expr>();
+  atom->kind = is_string ? Expr::Kind::kString : Expr::Kind::kSymbol;
+  atom->atom = *token;
+  return atom;
+}
+
+}  // namespace
+
+std::optional<ExprPtr> Parse(std::string_view source, std::string* error) {
+  error->clear();
+  Tokenizer tok{source};
+  auto expr = ParseExpr(tok, error);
+  if (!expr.has_value()) return std::nullopt;
+  tok.SkipSpace();
+  if (tok.pos != source.size()) {
+    *error = "trailing input after expression";
+    return std::nullopt;
+  }
+  return expr;
+}
+
+bool Value::IsTruthy() const {
+  if (const bool* b = std::get_if<bool>(&v)) return *b;
+  return !std::get<std::string>(v).empty();
+}
+
+std::string Value::AsString() const {
+  if (const bool* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
+  return std::get<std::string>(v);
+}
+
+std::optional<Value> Evaluator::Eval(const ExprPtr& expr,
+                                     const storage::FieldMap& env,
+                                     std::string* error) const {
+  switch (expr->kind) {
+    case Expr::Kind::kString:
+      return Value::Str(expr->atom);
+    case Expr::Kind::kSymbol: {
+      // Bare symbols are field references; missing fields read as "".
+      const auto it = env.find(expr->atom);
+      return Value::Str(it == env.end() ? std::string() : it->second);
+    }
+    case Expr::Kind::kList:
+      break;
+  }
+  if (expr->items.empty()) {
+    *error = "cannot evaluate empty list";
+    return std::nullopt;
+  }
+  const Expr& head = *expr->items[0];
+  if (head.kind != Expr::Kind::kSymbol) {
+    *error = "operator must be a symbol";
+    return std::nullopt;
+  }
+  const std::string& op = head.atom;
+  const std::size_t argc = expr->items.size() - 1;
+
+  auto arg = [&](std::size_t i) { return Eval(expr->items[i + 1], env, error); };
+
+  if (op == "and") {
+    for (std::size_t i = 0; i < argc; ++i) {
+      const auto value = arg(i);
+      if (!value.has_value()) return std::nullopt;
+      if (!value->IsTruthy()) return Value::Bool(false);
+    }
+    return Value::Bool(true);
+  }
+  if (op == "or") {
+    for (std::size_t i = 0; i < argc; ++i) {
+      const auto value = arg(i);
+      if (!value.has_value()) return std::nullopt;
+      if (value->IsTruthy()) return Value::Bool(true);
+    }
+    return Value::Bool(false);
+  }
+  if (op == "not") {
+    if (argc != 1) {
+      *error = "not expects 1 argument";
+      return std::nullopt;
+    }
+    const auto value = arg(0);
+    if (!value.has_value()) return std::nullopt;
+    return Value::Bool(!value->IsTruthy());
+  }
+  if (op == "if") {
+    if (argc != 3) {
+      *error = "if expects 3 arguments";
+      return std::nullopt;
+    }
+    const auto cond = arg(0);
+    if (!cond.has_value()) return std::nullopt;
+    return arg(cond->IsTruthy() ? 1 : 2);
+  }
+
+  // Binary string predicates.
+  if (op == "=" || op == "!=" || op == "contains" || op == "starts-with" ||
+      op == "ends-with" || op == "glob") {
+    if (argc != 2) {
+      *error = op + " expects 2 arguments";
+      return std::nullopt;
+    }
+    const auto a = arg(0);
+    const auto b = arg(1);
+    if (!a.has_value() || !b.has_value()) return std::nullopt;
+    const std::string lhs = a->AsString();
+    const std::string rhs = b->AsString();
+    if (op == "=") return Value::Bool(lhs == rhs);
+    if (op == "!=") return Value::Bool(lhs != rhs);
+    if (op == "contains") return Value::Bool(ContainsIgnoreCase(lhs, rhs));
+    if (op == "starts-with") return Value::Bool(StartsWith(lhs, rhs));
+    if (op == "ends-with") return Value::Bool(EndsWith(lhs, rhs));
+    return Value::Bool(GlobMatch(rhs, lhs));  // (glob text pattern)
+  }
+
+  if (op == "field") {
+    if (argc != 1) {
+      *error = "field expects 1 argument";
+      return std::nullopt;
+    }
+    const auto name = arg(0);
+    if (!name.has_value()) return std::nullopt;
+    const auto it = env.find(name->AsString());
+    return Value::Str(it == env.end() ? std::string() : it->second);
+  }
+  if (op == "concat") {
+    std::string out;
+    for (std::size_t i = 0; i < argc; ++i) {
+      const auto value = arg(i);
+      if (!value.has_value()) return std::nullopt;
+      out += value->AsString();
+    }
+    return Value::Str(std::move(out));
+  }
+  if (op == "lower") {
+    if (argc != 1) {
+      *error = "lower expects 1 argument";
+      return std::nullopt;
+    }
+    const auto value = arg(0);
+    if (!value.has_value()) return std::nullopt;
+    return Value::Str(ToLower(value->AsString()));
+  }
+
+  *error = "unknown function: " + op;
+  return std::nullopt;
+}
+
+CompiledRule CompiledRule::Compile(std::string_view source) {
+  CompiledRule rule;
+  std::string error;
+  auto expr = Parse(source, &error);
+  if (!expr.has_value()) {
+    rule.error_ = error;
+    return rule;
+  }
+  rule.expr_ = std::move(*expr);
+  return rule;
+}
+
+bool CompiledRule::Matches(const storage::FieldMap& fields) const {
+  if (expr_ == nullptr) return false;
+  std::string error;
+  Evaluator evaluator;
+  const auto value = evaluator.Eval(expr_, fields, &error);
+  return value.has_value() && value->IsTruthy();
+}
+
+}  // namespace censys::fingerprint

@@ -1,0 +1,85 @@
+// A Lisp-like fingerprint DSL (§5.2).
+//
+// Censys implements static fingerprints "through a combination of
+// declarative filters (e.g., html_title: "WAC6552D-S") and processors
+// written in a Lisp-like DSL". This is that DSL: s-expressions evaluated
+// against a service's flat field map.
+//
+//   (and (= service.name "HTTP")
+//        (contains http.html_title "RouterOS"))
+//
+// Values are strings or booleans. Field references are bare symbols; a
+// missing field evaluates to "". Built-ins:
+//   and or not = != contains starts-with ends-with glob
+//   field       -- explicit field lookup: (field "http.html_title")
+//   concat      -- string concatenation
+//   lower       -- lowercase
+//   if          -- (if cond then else)
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "storage/delta.h"
+
+namespace censys::fingerprint {
+
+// ----------------------------------------------------------------- S-exprs
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { kSymbol, kString, kList } kind = Kind::kList;
+  std::string atom;            // kSymbol / kString
+  std::vector<ExprPtr> items;  // kList
+};
+
+// Parses one s-expression. Returns nullopt (with *error set) on syntax
+// errors: unbalanced parens, unterminated strings, trailing tokens.
+std::optional<ExprPtr> Parse(std::string_view source, std::string* error);
+
+// ---------------------------------------------------------------- Values
+
+struct Value {
+  std::variant<bool, std::string> v;
+
+  static Value Bool(bool b) { return Value{b}; }
+  static Value Str(std::string s) { return Value{std::move(s)}; }
+
+  bool IsTruthy() const;
+  std::string AsString() const;
+  bool operator==(const Value&) const = default;
+};
+
+// ---------------------------------------------------------------- Evaluator
+
+class Evaluator {
+ public:
+  // Evaluates `expr` against the record's field map. Evaluation errors
+  // (unknown function, arity) return nullopt with *error set.
+  std::optional<Value> Eval(const ExprPtr& expr, const storage::FieldMap& env,
+                            std::string* error) const;
+};
+
+// Convenience: parse once, evaluate many times.
+class CompiledRule {
+ public:
+  // Throws nothing: invalid source yields a rule that never matches and
+  // reports its error.
+  static CompiledRule Compile(std::string_view source);
+
+  bool Matches(const storage::FieldMap& fields) const;
+  const std::string& error() const { return error_; }
+  bool valid() const { return expr_ != nullptr; }
+
+ private:
+  ExprPtr expr_;
+  std::string error_;
+};
+
+}  // namespace censys::fingerprint

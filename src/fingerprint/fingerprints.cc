@@ -1,0 +1,122 @@
+#include "fingerprint/fingerprints.h"
+
+#include <cstdio>
+
+#include "core/strings.h"
+
+namespace censys::fingerprint {
+
+bool Fingerprint::Matches(const storage::FieldMap& fields) const {
+  if (rule.has_value()) return rule->Matches(fields);
+  const auto it = fields.find(filter_field);
+  if (it == fields.end()) return false;
+  return GlobMatch(filter_pattern, it->second);
+}
+
+FingerprintEngine FingerprintEngine::BuiltIn(std::size_t generated_tail) {
+  FingerprintEngine engine;
+
+  auto filter = [&](std::string name, std::string field, std::string pattern,
+                    DerivedLabels labels) {
+    Fingerprint fp;
+    fp.name = std::move(name);
+    fp.filter_field = std::move(field);
+    fp.filter_pattern = std::move(pattern);
+    fp.labels = std::move(labels);
+    engine.Add(std::move(fp));
+  };
+  auto rule = [&](std::string name, std::string source, DerivedLabels labels) {
+    Fingerprint fp;
+    fp.name = std::move(name);
+    fp.rule = CompiledRule::Compile(source);
+    fp.labels = std::move(labels);
+    engine.Add(std::move(fp));
+  };
+
+  // --- curated fingerprints ----------------------------------------------------
+  // The paper's own example.
+  filter("zyxel-wac6552d-s", "http.html_title", "WAC6552D-S",
+         {"Zyxel", "WAC6552D-S", "access-point",
+          "cpe:2.3:h:zyxel:wac6552d-s:-"});
+  filter("mikrotik-routeros", "http.html_title", "RouterOS*",
+         {"MikroTik", "RouterOS", "router", "cpe:2.3:o:mikrotik:routeros:-"});
+  filter("hikvision-camera", "http.html_title", "*Hikvision*",
+         {"Hikvision", "IP Camera", "camera", "cpe:2.3:h:hikvision:ip_camera:-"});
+  filter("synology-nas", "http.html_title", "Synology*",
+         {"Synology", "DiskStation", "nas", "cpe:2.3:h:synology:diskstation:-"});
+  filter("tplink-router", "http.html_title", "TP-LINK*",
+         {"TP-Link", "Wireless Router", "router", "cpe:2.3:h:tp-link:router:-"});
+  filter("grafana", "http.html_title", "Grafana",
+         {"Grafana Labs", "Grafana", "dashboard", "cpe:2.3:a:grafana:grafana:-"});
+  filter("phpmyadmin", "http.html_title", "phpMyAdmin",
+         {"phpMyAdmin", "phpMyAdmin", "admin-panel",
+          "cpe:2.3:a:phpmyadmin:phpmyadmin:-"});
+  filter("prometheus", "http.html_title", "*Prometheus*",
+         {"Prometheus", "Prometheus", "monitoring",
+          "cpe:2.3:a:prometheus:prometheus:-"});
+  filter("plesk", "http.html_title", "Plesk*",
+         {"Plesk", "Obsidian", "admin-panel", "cpe:2.3:a:plesk:plesk:-"});
+  filter("openssh", "service.banner", "SSH-2.0-openssh*",
+         {"OpenBSD", "OpenSSH", "ssh-server", "cpe:2.3:a:openbsd:openssh:-"});
+  filter("dropbear", "service.banner", "SSH-2.0-dropbear*",
+         {"Dropbear", "Dropbear SSH", "ssh-server",
+          "cpe:2.3:a:dropbear_ssh_project:dropbear:-"});
+
+  // ICS devices: match on the device identity the handshake exposes.
+  rule("siemens-s7",
+       R"((and (= service.name "S7") (contains device.manufacturer "Siemens")))",
+       {"Siemens", "SIMATIC S7", "plc", "cpe:2.3:h:siemens:simatic_s7:-"});
+  rule("tridium-niagara",
+       R"((and (= service.name "FOX") (contains device.model "Niagara")))",
+       {"Tridium", "Niagara", "building-automation",
+        "cpe:2.3:a:tridium:niagara:-"});
+  rule("schneider-modicon",
+       R"((and (= service.name "MODBUS")
+               (contains device.manufacturer "Schneider")))",
+       {"Schneider Electric", "Modicon", "plc",
+        "cpe:2.3:h:schneiderelectric:modicon:-"});
+  rule("veeder-root-atg",
+       R"((and (= service.name "ATG") (contains device.manufacturer "Veeder")))",
+       {"Veeder-Root", "TLS Automatic Tank Gauge", "tank-gauge",
+        "cpe:2.3:h:veeder-root:tls:-"});
+  rule("redlion-crimson",
+       R"((= service.name "REDLION_CRIMSON"))",
+       {"Red Lion Controls", "Crimson", "hmi",
+        "cpe:2.3:h:redlioncontrols:crimson:-"});
+  rule("wdbrpc-vxworks",
+       R"((and (= service.name "WDBRPC") (contains device.manufacturer "Wind River")))",
+       {"Wind River", "VxWorks WDB Agent", "rtos-debug",
+        "cpe:2.3:o:windriver:vxworks:-"});
+
+  // Composite DSL example: nginx serving a default page.
+  rule("nginx-default",
+       R"((and (contains service.banner "nginx")
+               (= http.html_title "Welcome to nginx!")))",
+       {"F5", "nginx (default page)", "web-server",
+        "cpe:2.3:a:f5:nginx:-"});
+
+  // --- generated long tail -------------------------------------------------------
+  // Synthetic model-number fingerprints that exercise the matching path the
+  // way the real ~10K corpus does. Patterns are chosen to never collide
+  // with synthesized titles.
+  for (std::size_t i = 0; i < generated_tail; ++i) {
+    char name[64], pattern[64], model[32];
+    std::snprintf(name, sizeof(name), "tail-device-%04zu", i);
+    std::snprintf(pattern, sizeof(pattern), "*TAILDEV-%04zu*", i);
+    std::snprintf(model, sizeof(model), "TAILDEV-%04zu", i);
+    filter(name, "http.html_title", pattern,
+           {"TailVendor", model, "embedded", ""});
+  }
+
+  return engine;
+}
+
+std::optional<DerivedLabels> FingerprintEngine::Evaluate(
+    const storage::FieldMap& fields) const {
+  for (const Fingerprint& fp : fingerprints_) {
+    if (fp.Matches(fields)) return fp.labels;
+  }
+  return std::nullopt;
+}
+
+}  // namespace censys::fingerprint

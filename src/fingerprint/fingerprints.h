@@ -1,0 +1,60 @@
+// Static fingerprint corpus and evaluation engine (§5.2).
+//
+// "We implement static fingerprints through a combination of declarative
+// filters (e.g., html_title: "WAC6552D-S") and processors written in a
+// Lisp-like DSL. In total, we check just over 10K static fingerprints."
+// We carry a curated corpus of hand-written fingerprints plus a generated
+// long tail, all evaluated with the same machinery.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fingerprint/dsl.h"
+#include "storage/delta.h"
+
+namespace censys::fingerprint {
+
+// Derived context a fingerprint attaches to a service.
+struct DerivedLabels {
+  std::string manufacturer;
+  std::string product;
+  std::string device_type;  // "router", "camera", "plc", "nas", ...
+  std::string cpe;
+};
+
+struct Fingerprint {
+  std::string name;
+  // Either a declarative filter (field + glob pattern) ...
+  std::string filter_field;
+  std::string filter_pattern;
+  // ... or a DSL rule. Exactly one is set.
+  std::optional<CompiledRule> rule;
+
+  DerivedLabels labels;
+
+  bool Matches(const storage::FieldMap& fields) const;
+};
+
+class FingerprintEngine {
+ public:
+  // The built-in corpus: curated fingerprints for the devices the simulated
+  // Internet actually contains, plus `generated_tail` synthetic long-tail
+  // entries (models that never match, standing in for the breadth of the
+  // real 10K corpus — their cost is real even when they do not fire).
+  static FingerprintEngine BuiltIn(std::size_t generated_tail = 2000);
+
+  void Add(Fingerprint fp) { fingerprints_.push_back(std::move(fp)); }
+
+  // First matching fingerprint's labels (curated entries are checked before
+  // the generated tail).
+  std::optional<DerivedLabels> Evaluate(const storage::FieldMap& fields) const;
+
+  std::size_t size() const { return fingerprints_.size(); }
+
+ private:
+  std::vector<Fingerprint> fingerprints_;
+};
+
+}  // namespace censys::fingerprint

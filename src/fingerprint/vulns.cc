@@ -1,0 +1,101 @@
+#include "fingerprint/vulns.h"
+
+#include <cctype>
+
+#include "core/strings.h"
+
+namespace censys::fingerprint {
+
+int CompareVersions(std::string_view a, std::string_view b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    // Numeric run.
+    std::uint64_t na = 0, nb = 0;
+    bool has_na = false, has_nb = false;
+    while (i < a.size() && std::isdigit(static_cast<unsigned char>(a[i]))) {
+      na = na * 10 + static_cast<std::uint64_t>(a[i] - '0');
+      has_na = true;
+      ++i;
+    }
+    while (j < b.size() && std::isdigit(static_cast<unsigned char>(b[j]))) {
+      nb = nb * 10 + static_cast<std::uint64_t>(b[j] - '0');
+      has_nb = true;
+      ++j;
+    }
+    if (has_na || has_nb) {
+      if (na != nb) return na < nb ? -1 : 1;
+    }
+    // Non-numeric run.
+    std::size_t si = i, sj = j;
+    while (i < a.size() && !std::isdigit(static_cast<unsigned char>(a[i]))) ++i;
+    while (j < b.size() && !std::isdigit(static_cast<unsigned char>(b[j]))) ++j;
+    const std::string_view sa = a.substr(si, i - si);
+    const std::string_view sb = b.substr(sj, j - sj);
+    // Separators ('.') compare equal; other text compares lexically.
+    auto strip = [](std::string_view s) {
+      while (!s.empty() && (s.front() == '.' || s.front() == '-')) s.remove_prefix(1);
+      return s;
+    };
+    const std::string_view ta = strip(sa);
+    const std::string_view tb = strip(sb);
+    if (ta != tb) return ta < tb ? -1 : 1;
+  }
+  return 0;
+}
+
+CveDatabase CveDatabase::BuiltIn() {
+  CveDatabase db;
+  auto add = [&](const char* cve, const char* vendor, const char* product,
+                 const char* introduced, const char* fixed, double cvss,
+                 bool kev = false) {
+    db.Add(VulnEntry{cve, vendor, product, introduced, fixed, cvss, kev});
+  };
+  // A realistic slice of the exposure landscape the paper's use cases
+  // revolve around (initial-access software, edge devices, ICS).
+  add("CVE-2018-15473", "openbsd", "openssh", "", "7.7", 5.3);
+  add("CVE-2023-38408", "openbsd", "openssh", "5.5", "9.3p2", 9.8, true);
+  add("CVE-2019-10149", "exim", "exim", "4.87", "4.92", 9.8, true);
+  add("CVE-2021-41773", "apache", "httpd", "2.4.49", "2.4.51", 7.5, true);
+  add("CVE-2021-44790", "apache", "httpd", "", "2.4.52", 9.8);
+  add("CVE-2013-4434", "lighttpd", "lighttpd", "", "1.4.33", 5.0);
+  add("CVE-2015-3306", "proftpd", "proftpd", "", "1.3.5a", 9.8, true);
+  add("CVE-2011-2523", "vsftpd", "vsftpd", "2.3.4", "2.3.5", 9.8);
+  add("CVE-2021-23017", "nginx", "nginx", "", "1.21.0", 7.7);
+  add("CVE-2019-0708", "microsoft", "remote_desktop", "", "10.0", 9.8, true);
+  add("CVE-2020-1938", "apache", "tomcat", "", "9.0.31", 9.8);
+  add("CVE-2022-26134", "atlassian", "confluence", "", "7.18.1", 9.8, true);
+  add("CVE-2023-34362", "progress", "moveit_transfer", "", "2023.0.2", 9.8,
+      true);
+  add("CVE-2018-13379", "fortinet", "fortios", "5.4.6", "6.0.5", 9.8, true);
+  add("CVE-2012-1823", "php", "php", "", "5.4.3", 7.5);
+  add("CVE-2017-7921", "hikvision", "ip_camera", "", "5.4.5", 10.0, true);
+  add("CVE-2016-10401", "zyxel", "pk5001z", "", "", 8.8, true);
+  add("CVE-2019-18935", "telerik", "ui_for_aspnet", "", "2020.1.114", 9.8,
+      true);
+  // ICS-adjacent.
+  add("CVE-2021-22681", "rockwell automation", "1756-en2t", "", "5.029", 10.0);
+  add("CVE-2020-15782", "siemens", "simatic_s7-1200", "", "4.5.0", 8.1);
+  add("CVE-2022-30937", "codesys", "control_runtime", "", "3.5.18", 8.8);
+  add("CVE-2017-6034", "schneider", "modicon_m340", "", "3.10", 9.8);
+  return db;
+}
+
+std::vector<const VulnEntry*> CveDatabase::Lookup(
+    const proto::SoftwareInfo& software) const {
+  std::vector<const VulnEntry*> matches;
+  for (const VulnEntry& entry : entries_) {
+    if (!EqualsIgnoreCase(entry.vendor, software.vendor) ||
+        !EqualsIgnoreCase(entry.product, software.product))
+      continue;
+    if (!entry.introduced.empty() &&
+        CompareVersions(software.version, entry.introduced) < 0)
+      continue;
+    if (!entry.fixed.empty() &&
+        CompareVersions(software.version, entry.fixed) >= 0)
+      continue;
+    matches.push_back(&entry);
+  }
+  return matches;
+}
+
+}  // namespace censys::fingerprint

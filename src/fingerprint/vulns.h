@@ -1,0 +1,47 @@
+// Vulnerability (CVE) derivation.
+//
+// The read side "derives higher-level context like software, manufacturer
+// and model, vulnerabilities" (§5.2) using CVE-schema identifiers (§5.1).
+// The database matches (vendor, product, affected version range) against a
+// service's detected software.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/banner.h"
+
+namespace censys::fingerprint {
+
+// Dotted version comparison: "8.2p1" < "8.9p1" < "9.3". Non-numeric
+// suffixes are compared lexicographically after numeric components.
+int CompareVersions(std::string_view a, std::string_view b);
+
+struct VulnEntry {
+  std::string cve;
+  std::string vendor;
+  std::string product;
+  // Affected range [introduced, fixed); empty bound = unbounded.
+  std::string introduced;
+  std::string fixed;
+  double cvss = 0.0;
+  bool kev = false;  // CISA Known-Exploited-Vulnerability flag
+};
+
+class CveDatabase {
+ public:
+  static CveDatabase BuiltIn();
+
+  void Add(VulnEntry entry) { entries_.push_back(std::move(entry)); }
+
+  std::vector<const VulnEntry*> Lookup(
+      const proto::SoftwareInfo& software) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<VulnEntry> entries_;
+};
+
+}  // namespace censys::fingerprint

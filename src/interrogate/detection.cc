@@ -1,0 +1,165 @@
+#include "interrogate/detection.h"
+
+#include "core/strings.h"
+#include "proto/banner.h"
+#include "proto/tls.h"
+
+namespace censys::interrogate {
+
+std::optional<proto::Protocol> FingerprintBanner(std::string_view data) {
+  if (data.empty()) return std::nullopt;
+  if (StartsWith(data, "SSH-")) return proto::Protocol::kSsh;
+  if (StartsWith(data, "RFB ")) return proto::Protocol::kVnc;
+  if (StartsWith(data, "HTTP/")) return proto::Protocol::kHttp;
+  if (StartsWith(data, "+OK")) return proto::Protocol::kPop3;
+  if (StartsWith(data, "* OK")) return proto::Protocol::kImap;
+  if (StartsWith(data, "-NOAUTH") || StartsWith(data, "-ERR"))
+    return proto::Protocol::kRedis;
+  if (StartsWith(data, "220 ")) {
+    // FTP and SMTP share the 220 greeting; disambiguate on content.
+    if (ContainsIgnoreCase(data, "smtp") || ContainsIgnoreCase(data, "esmtp") ||
+        ContainsIgnoreCase(data, "mail"))
+      return proto::Protocol::kSmtp;
+    return proto::Protocol::kFtp;
+  }
+  if (StartsWith(data, "500 ") || StartsWith(data, "550 "))
+    return proto::Protocol::kSmtp;
+  if (ContainsIgnoreCase(data, "login:"))
+    return proto::Protocol::kTelnet;
+  if (data.find("MariaDB") != std::string_view::npos ||
+      EndsWith(data, "-log"))
+    return proto::Protocol::kMysql;
+  // ICS devices announce manufacturer identity blocks.
+  for (proto::Protocol p : proto::IcsProtocols()) {
+    const proto::DeviceIdentity any = proto::GenerateDevice(p, 0);
+    if (!any.manufacturer.empty() &&
+        ContainsIgnoreCase(data, any.manufacturer))
+      return p;
+  }
+  return std::nullopt;
+}
+
+DetectorConfig DetectorConfig::CensysDefault() {
+  DetectorConfig cfg;
+  // The battery: the generic handshakes LZR sends plus every ICS handshake
+  // Censys implements (the paper: "we have implemented approximately 200
+  // protocol scanners, ranging from IETF-ratified protocols ... to
+  // security-critical ICS protocols").
+  cfg.battery = {proto::Protocol::kHttp, proto::Protocol::kTelnet,
+                 proto::Protocol::kRdp,  proto::Protocol::kSmb,
+                 proto::Protocol::kVnc,  proto::Protocol::kRedis,
+                 proto::Protocol::kLdap, proto::Protocol::kPostgres,
+                 proto::Protocol::kMqtt, proto::Protocol::kElasticsearch,
+                 proto::Protocol::kMongodb};
+  for (proto::Protocol p : proto::IcsProtocols()) cfg.battery.push_back(p);
+  return cfg;
+}
+
+namespace {
+
+// Attempting a protocol handshake against the session's ground truth:
+// succeeds iff the service actually speaks that protocol. A failed attempt
+// may still elicit an identifiable error (LZR's key observation).
+bool TryHandshake(const simnet::SimService& service, proto::Protocol guess) {
+  if (service.pseudo) {
+    // Middleboxes complete any TCP handshake-ish exchange with the same
+    // canned HTTP-ish payload; only an HTTP attempt "succeeds".
+    return guess == proto::Protocol::kHttp;
+  }
+  if (service.protocol == guess) return true;
+  // HTTPS is HTTP within TLS: an HTTP attempt inside a TLS session against
+  // an HTTPS service succeeds (handled by the TLS step below); a plain HTTP
+  // attempt against HTTPS fails.
+  return false;
+}
+
+}  // namespace
+
+DetectionOutcome DetectProtocol(const simnet::L7Session& session,
+                                const DetectorConfig& config,
+                                std::optional<proto::Protocol> udp_hint) {
+  DetectionOutcome out;
+  const simnet::SimService& svc = session.service;
+
+  // UDP: the response already came from a protocol-specific probe.
+  if (svc.key.transport == Transport::kUdp && udp_hint.has_value()) {
+    if (TryHandshake(svc, *udp_hint)) {
+      out.protocol = *udp_hint;
+      out.step = DetectionOutcome::Step::kIanaHandshake;
+      return out;
+    }
+  }
+
+  // Step 1: server-initiated communication.
+  if (config.listen_for_banner && !session.server_first_banner.empty()) {
+    if (const auto p = FingerprintBanner(session.server_first_banner)) {
+      out.protocol = *p;
+      out.step = DetectionOutcome::Step::kServerBanner;
+      return out;
+    }
+    // Data arrived but was not fingerprintable; keep it as raw capture
+    // unless a later step identifies the protocol.
+    out.raw_response = session.server_first_banner;
+  }
+
+  // Step 2: IANA-assigned protocol for the port.
+  if (config.try_iana) {
+    for (proto::Protocol p :
+         proto::AssignedToPort(svc.key.port, svc.key.transport)) {
+      if (TryHandshake(svc, p)) {
+        out.protocol = p;
+        out.step = DetectionOutcome::Step::kIanaHandshake;
+        return out;
+      }
+    }
+  }
+
+  // Step 3: common handshake battery; a wrong-protocol attempt may elicit
+  // an identifiable error.
+  if (config.try_battery) {
+    for (proto::Protocol probe : config.battery) {
+      if (TryHandshake(svc, probe)) {
+        out.protocol = probe;
+        out.step = DetectionOutcome::Step::kBatteryHandshake;
+        return out;
+      }
+    }
+    // Fingerprint the error elicited by an HTTP probe (LZR: an SMTP error
+    // in response to an HTTP request identifies SMTP).
+    const std::string error = proto::WrongProtocolResponse(
+        svc.protocol, proto::Protocol::kHttp, svc.seed);
+    if (!error.empty()) {
+      if (const auto p = FingerprintBanner(error)) {
+        out.protocol = *p;
+        out.step = DetectionOutcome::Step::kBatteryHandshake;
+        return out;
+      }
+      out.raw_response = error;
+    }
+  }
+
+  // Step 4: retry within TLS if the service supports it.
+  if (config.try_within_tls) {
+    const auto tls = proto::DeriveTls(svc.protocol, svc.seed);
+    if (tls.has_value()) {
+      if (svc.protocol == proto::Protocol::kHttps) {
+        out.protocol = proto::Protocol::kHttps;
+        out.step = DetectionOutcome::Step::kTlsWrapped;
+        return out;
+      }
+      // TLS-wrapped variants of protocols in the battery (IMAPS, LDAPS...).
+      for (proto::Protocol probe : config.battery) {
+        if (svc.protocol == probe) {
+          out.protocol = probe;
+          out.step = DetectionOutcome::Step::kTlsWrapped;
+          return out;
+        }
+      }
+    }
+  }
+
+  // Step 5: unidentified; out.raw_response carries whatever was captured.
+  return out;
+}
+
+}  // namespace censys::interrogate

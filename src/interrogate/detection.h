@@ -1,0 +1,60 @@
+// LZR-style L7 protocol detection (§4.2 "Protocol Detection").
+//
+// The algorithm, as the paper describes it: (1) listen for server-initiated
+// communication and fingerprint it; (2) attempt the IANA-assigned protocol
+// for the port; (3) try additional common handshakes (e.g. an HTTP GET) and
+// fingerprint protocol-specific error responses; (4) repeat inside a TLS
+// session if one can be established; (5) if data is received but cannot be
+// fingerprinted, capture the raw response.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proto/protocol.h"
+#include "simnet/internet.h"
+
+namespace censys::interrogate {
+
+// Fingerprints a server-initiated banner or error blob to a protocol.
+// Mirrors the pattern tables scanners actually key on (SSH version strings,
+// SMTP/FTP numeric greetings, RFB, HTTP status lines, ...).
+std::optional<proto::Protocol> FingerprintBanner(std::string_view data);
+
+struct DetectionOutcome {
+  proto::Protocol protocol = proto::Protocol::kUnknown;
+  // Which step of the algorithm succeeded.
+  enum class Step {
+    kNone,
+    kServerBanner,
+    kIanaHandshake,
+    kBatteryHandshake,
+    kTlsWrapped,
+  } step = Step::kNone;
+  // Raw data captured when fingerprinting failed.
+  std::string raw_response;
+};
+
+struct DetectorConfig {
+  bool listen_for_banner = true;
+  bool try_iana = true;
+  // The common-handshake battery. Censys implements ~200 protocol scanners
+  // and tries a battery of likely handshakes; competitors' detection is
+  // modeled elsewhere (keyword/port labeling).
+  bool try_battery = true;
+  bool try_within_tls = true;
+  // Protocols in the battery, tried in order.
+  std::vector<proto::Protocol> battery;
+
+  static DetectorConfig CensysDefault();
+};
+
+// Runs the detection algorithm against a live session's ground truth.
+// `udp_hint` carries the protocol whose UDP probe elicited the L4 response.
+DetectionOutcome DetectProtocol(const simnet::L7Session& session,
+                                const DetectorConfig& config,
+                                std::optional<proto::Protocol> udp_hint);
+
+}  // namespace censys::interrogate

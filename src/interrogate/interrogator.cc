@@ -1,0 +1,101 @@
+#include "interrogate/interrogator.h"
+
+#include "cert/x509.h"
+#include "core/rng.h"
+#include "core/strings.h"
+#include "interrogate/scanners.h"
+#include "proto/tls.h"
+
+namespace censys::interrogate {
+
+std::optional<ServiceRecord> Interrogator::Interrogate(
+    ServiceKey key, Timestamp t, int pop_id,
+    std::optional<proto::Protocol> udp_hint, std::string_view sni_name) {
+  const simnet::ProbeContext ctx{&profile_, pop_id};
+  const auto session = net_.ConnectL7(ctx, key, t);
+  if (!session.has_value()) return std::nullopt;
+  return BuildRecord(*session, t, udp_hint, sni_name);
+}
+
+ServiceRecord Interrogator::BuildRecord(const simnet::L7Session& session,
+                                        Timestamp t,
+                                        std::optional<proto::Protocol> udp_hint,
+                                        std::string_view sni_name) {
+  ++handshakes_;
+  const simnet::SimService& svc = session.service;
+  ServiceRecord record;
+  record.key = svc.key;
+  record.observed_at = t;
+
+  const DetectionOutcome outcome =
+      DetectProtocol(session, config_, udp_hint);
+  record.protocol = outcome.protocol;
+  record.raw_response = outcome.raw_response;
+  switch (outcome.step) {
+    case DetectionOutcome::Step::kServerBanner:
+      record.detection = DetectionMethod::kServerBanner;
+      break;
+    case DetectionOutcome::Step::kIanaHandshake:
+      record.detection = DetectionMethod::kIanaHandshake;
+      break;
+    case DetectionOutcome::Step::kBatteryHandshake:
+      record.detection = DetectionMethod::kBatteryHandshake;
+      break;
+    case DetectionOutcome::Step::kTlsWrapped:
+      record.detection = DetectionMethod::kTlsWrapped;
+      break;
+    case DetectionOutcome::Step::kNone:
+      record.detection = DetectionMethod::kNone;
+      break;
+  }
+  record.handshake_validated =
+      record.detection != DetectionMethod::kNone &&
+      record.protocol != proto::Protocol::kUnknown;
+
+  if (!record.handshake_validated) {
+    // Raw capture only; no protocol-specific extraction possible.
+    return record;
+  }
+
+  // --- protocol-specific data collection -------------------------------------
+  record.banner = proto::GenerateBanner(record.protocol, svc.seed);
+  record.software = proto::GenerateSoftware(record.protocol, svc.seed);
+  record.device = proto::GenerateDevice(record.protocol, svc.seed);
+  ExtractProtocolFields(svc, record);
+
+  if (record.protocol == proto::Protocol::kHttp ||
+      record.protocol == proto::Protocol::kHttps) {
+    if (svc.requires_sni && sni_name.empty()) {
+      // Nameless scan of a name-addressed property: the frontend serves a
+      // generic page (§4.3) — the real content needs the right Host/SNI.
+      record.html_title = "Default web page";
+      record.page_keywords = "default frontend";
+    } else if (svc.requires_sni && !EqualsIgnoreCase(sni_name, svc.sni_name)) {
+      // Wrong name: same generic page.
+      record.html_title = "Default web page";
+      record.page_keywords = "default frontend";
+    } else {
+      record.html_title = proto::GenerateHtmlTitle(svc.seed);
+      record.page_keywords = proto::GeneratePageKeywords(svc.seed);
+      if (!sni_name.empty()) record.sni_name = std::string(sni_name);
+    }
+  }
+
+  // --- follow-up handshakes: TLS parameters and certificate ------------------
+  const auto tls = proto::DeriveTls(record.protocol, svc.seed);
+  if (tls.has_value()) {
+    record.tls = true;
+    record.tls_version = std::string(proto::ToString(tls->version));
+    record.jarm = tls->Jarm();
+    record.ja4s = tls->Ja4s();
+    const cert::Certificate presented = cert::SynthesizeCertificate(
+        tls->cert_seed, svc.requires_sni ? svc.sni_name : std::string_view{},
+        Timestamp{0});
+    record.cert_sha256 = presented.Sha256Hex();
+    if (cert_observer_) cert_observer_(presented, svc.key, t);
+  }
+
+  return record;
+}
+
+}  // namespace censys::interrogate

@@ -1,0 +1,62 @@
+// Phase-2 Service Interrogation (§4.2).
+//
+// Fetches candidates found during Phase-1 discovery, detects the L7
+// protocol, completes the protocol handshake, performs follow-up handshakes
+// (TLS parameters, JARM/JA4S, certificate collection), and emits a
+// structured ServiceRecord for the processing pipeline.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string_view>
+
+#include "cert/x509.h"
+#include "interrogate/detection.h"
+#include "interrogate/record.h"
+#include "simnet/internet.h"
+
+namespace censys::interrogate {
+
+class Interrogator {
+ public:
+  Interrogator(simnet::Internet& net, const simnet::ScannerProfile& profile,
+               DetectorConfig config = DetectorConfig::CensysDefault())
+      : net_(net), profile_(profile), config_(std::move(config)) {}
+
+  // Interrogates one target. Returns nullopt when nothing answered (the
+  // target is gone or invisible) — which the pipeline records as a failed
+  // refresh. `sni_name` addresses a web property by name; `udp_hint` is the
+  // UDP probe protocol from discovery.
+  std::optional<ServiceRecord> Interrogate(
+      ServiceKey key, Timestamp t, int pop_id,
+      std::optional<proto::Protocol> udp_hint = std::nullopt,
+      std::string_view sni_name = {});
+
+  // Builds a record from an already-established session. Used by
+  // Interrogate() and by the engine's equilibrium warm start, which
+  // replays accumulated past observations without a live probe.
+  ServiceRecord BuildRecord(const simnet::L7Session& session, Timestamp t,
+                            std::optional<proto::Protocol> udp_hint,
+                            std::string_view sni_name);
+
+  std::uint64_t handshakes_completed() const { return handshakes_; }
+
+  // Invoked with every certificate collected during a TLS follow-up
+  // handshake; the engine feeds these to its certificate store (§4.4).
+  using CertObserver =
+      std::function<void(const cert::Certificate&, ServiceKey, Timestamp)>;
+  void SetCertificateObserver(CertObserver observer) {
+    cert_observer_ = std::move(observer);
+  }
+
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  simnet::Internet& net_;
+  const simnet::ScannerProfile& profile_;
+  DetectorConfig config_;
+  CertObserver cert_observer_;
+  std::uint64_t handshakes_ = 0;
+};
+
+}  // namespace censys::interrogate

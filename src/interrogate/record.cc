@@ -1,0 +1,95 @@
+#include "interrogate/record.h"
+
+#include <charconv>
+
+namespace censys::interrogate {
+
+std::string_view ToString(DetectionMethod m) {
+  switch (m) {
+    case DetectionMethod::kNone: return "none";
+    case DetectionMethod::kServerBanner: return "server-banner";
+    case DetectionMethod::kIanaHandshake: return "iana-handshake";
+    case DetectionMethod::kBatteryHandshake: return "battery-handshake";
+    case DetectionMethod::kTlsWrapped: return "tls-wrapped";
+    case DetectionMethod::kKeywordGuess: return "keyword-guess";
+    case DetectionMethod::kPortAssumption: return "port-assumption";
+  }
+  return "?";
+}
+
+std::map<std::string, std::string> ServiceRecord::ToFields() const {
+  std::map<std::string, std::string> f;
+  auto put = [&](const char* key, const std::string& value) {
+    if (!value.empty()) f[key] = value;
+  };
+  f["service.port"] = std::to_string(key.port);
+  f["service.transport"] = std::string(censys::ToString(key.transport));
+  f["service.name"] = std::string(proto::Name(protocol));
+  f["service.detection"] = std::string(ToString(detection));
+  f["service.validated"] = handshake_validated ? "true" : "false";
+  put("service.banner", banner);
+  put("service.raw", raw_response);
+  put("software.vendor", software.vendor);
+  put("software.product", software.product);
+  put("software.version", software.version);
+  put("device.manufacturer", device.manufacturer);
+  put("device.model", device.model);
+  put("http.html_title", html_title);
+  put("http.page_keywords", page_keywords);
+  if (tls) {
+    f["tls.present"] = "true";
+    put("tls.version", tls_version);
+    put("tls.jarm", jarm);
+    put("tls.ja4s", ja4s);
+    put("tls.cert_sha256", cert_sha256);
+  }
+  put("service.sni_name", sni_name);
+  if (pseudo_suspect) f["service.pseudo_suspect"] = "true";
+  for (const auto& [key, value] : extra) {
+    f["x." + key] = value;
+  }
+  return f;
+}
+
+ServiceRecord ServiceRecord::FromFields(
+    ServiceKey key, const std::map<std::string, std::string>& fields) {
+  ServiceRecord r;
+  r.key = key;
+  auto get = [&](const char* name) -> std::string {
+    const auto it = fields.find(name);
+    return it == fields.end() ? std::string() : it->second;
+  };
+  if (const auto p = proto::FromName(get("service.name"))) r.protocol = *p;
+  r.handshake_validated = get("service.validated") == "true";
+  const std::string detection = get("service.detection");
+  for (int m = 0; m <= static_cast<int>(DetectionMethod::kPortAssumption); ++m) {
+    if (detection == ToString(static_cast<DetectionMethod>(m))) {
+      r.detection = static_cast<DetectionMethod>(m);
+      break;
+    }
+  }
+  r.banner = get("service.banner");
+  r.raw_response = get("service.raw");
+  r.software.vendor = get("software.vendor");
+  r.software.product = get("software.product");
+  r.software.version = get("software.version");
+  r.device.manufacturer = get("device.manufacturer");
+  r.device.model = get("device.model");
+  r.html_title = get("http.html_title");
+  r.page_keywords = get("http.page_keywords");
+  r.tls = get("tls.present") == "true";
+  r.tls_version = get("tls.version");
+  r.jarm = get("tls.jarm");
+  r.ja4s = get("tls.ja4s");
+  r.cert_sha256 = get("tls.cert_sha256");
+  r.sni_name = get("service.sni_name");
+  r.pseudo_suspect = get("service.pseudo_suspect") == "true";
+  for (const auto& [key, value] : fields) {
+    if (key.size() > 2 && key[0] == 'x' && key[1] == '.') {
+      r.extra.emplace(key.substr(2), value);
+    }
+  }
+  return r;
+}
+
+}  // namespace censys::interrogate

@@ -1,0 +1,375 @@
+#include "interrogate/scanners.h"
+
+#include <array>
+#include <cstdio>
+
+#include "core/rng.h"
+#include "core/sha256.h"
+#include "proto/banner.h"
+#include "proto/tls.h"
+
+namespace censys::interrogate {
+namespace {
+
+using proto::Protocol;
+
+std::uint64_t Sub(std::uint64_t seed, std::uint64_t salt) {
+  return SplitMix64(seed ^ SplitMix64(salt));
+}
+
+std::string Hex(std::uint64_t seed, std::uint64_t salt, int bytes) {
+  Sha256 h;
+  const std::uint64_t material[2] = {seed, salt};
+  h.Update(material, sizeof(material));
+  return ToHex(h.Finish()).substr(0, static_cast<std::size_t>(bytes) * 2);
+}
+
+std::string Num(std::uint64_t seed, std::uint64_t salt, std::uint64_t lo,
+                std::uint64_t hi) {
+  return std::to_string(lo + Sub(seed, salt) % (hi - lo + 1));
+}
+
+template <std::size_t N>
+std::string_view Pick(std::uint64_t seed, std::uint64_t salt,
+                      const std::array<std::string_view, N>& pool) {
+  return pool[Sub(seed, salt) % N];
+}
+
+using Fields = std::map<std::string, std::string>;
+
+// --- web -----------------------------------------------------------------------
+
+void ScanHttp(const simnet::SimService& svc, Fields& f) {
+  const std::uint64_t seed = svc.seed;
+  const proto::SoftwareInfo sw = proto::GenerateSoftware(svc.protocol, seed);
+  f["http.status_code"] = std::string(Pick<5>(
+      seed, 101, {"200", "200", "301", "401", "403"}));
+  f["http.headers.server"] = sw.product + "/" + sw.version;
+  f["http.headers.content_type"] = std::string(Pick<3>(
+      seed, 102, {"text/html", "text/html; charset=utf-8", "application/json"}));
+  if (Sub(seed, 103) % 3 == 0) {
+    f["http.headers.x_powered_by"] =
+        std::string(Pick<3>(seed, 104, {"PHP/7.4.33", "PHP/8.1.12", "Express"}));
+  }
+  f["http.body_size"] = Num(seed, 105, 180, 48000);
+  f["http.favicon_mmh3"] = Num(seed, 106, 0, 0xffffffff);
+  if (Sub(seed, 107) % 4 == 0) f["http.headers.hsts"] = "max-age=31536000";
+}
+
+// --- remote access ---------------------------------------------------------------
+
+void ScanSsh(const simnet::SimService& svc, Fields& f) {
+  const std::uint64_t seed = svc.seed;
+  // The SSH host key is the §7.2 pivot ("relationships ... via SSH
+  // hostkey"): stable per host, shared across a host's SSH ports.
+  f["ssh.hostkey_sha256"] = Hex(svc.key.ip.value(), 0x55AA, 32);
+  f["ssh.hostkey_type"] = std::string(Pick<3>(
+      seed, 111, {"ssh-ed25519", "rsa-sha2-512", "ecdsa-sha2-nistp256"}));
+  f["ssh.kex"] = std::string(Pick<3>(
+      seed, 112,
+      {"curve25519-sha256", "diffie-hellman-group14-sha256",
+       "ecdh-sha2-nistp256"}));
+  f["ssh.auth_methods"] = Sub(seed, 113) % 5 == 0
+                              ? "publickey"
+                              : "publickey,password";
+}
+
+void ScanTelnet(const simnet::SimService& svc, Fields& f) {
+  f["telnet.will_echo"] = Sub(svc.seed, 115) % 2 ? "true" : "false";
+  f["telnet.login_prompt"] = proto::GenerateBanner(Protocol::kTelnet, svc.seed);
+}
+
+void ScanRdp(const simnet::SimService& svc, Fields& f) {
+  const std::uint64_t seed = svc.seed;
+  f["rdp.nla_required"] = Sub(seed, 117) % 4 != 0 ? "true" : "false";
+  f["rdp.product_version"] = Num(seed, 118, 6, 10) + "." + Num(seed, 119, 0, 3);
+  f["rdp.hostname"] = "WIN-" + Hex(seed, 120, 4);
+}
+
+void ScanVnc(const simnet::SimService& svc, Fields& f) {
+  f["vnc.protocol_version"] = "RFB 003.008";
+  f["vnc.auth_required"] = Sub(svc.seed, 122) % 8 != 0 ? "true" : "false";
+}
+
+// --- file transfer / shares --------------------------------------------------------
+
+void ScanFtp(const simnet::SimService& svc, Fields& f) {
+  const std::uint64_t seed = svc.seed;
+  f["ftp.anonymous_allowed"] = Sub(seed, 125) % 12 == 0 ? "true" : "false";
+  f["ftp.features"] = std::string(Pick<3>(
+      seed, 126, {"EPSV,MDTM,SIZE", "EPSV,MDTM,SIZE,UTF8", "MDTM,SIZE"}));
+  f["ftp.tls_supported"] = Sub(seed, 127) % 3 == 0 ? "true" : "false";
+}
+
+void ScanSmb(const simnet::SimService& svc, Fields& f) {
+  const std::uint64_t seed = svc.seed;
+  f["smb.dialect"] = std::string(Pick<4>(
+      seed, 129, {"2.1", "3.0", "3.1.1", "1.0"}));
+  f["smb.signing_required"] = Sub(seed, 130) % 3 != 0 ? "true" : "false";
+  f["smb.netbios_name"] = "HOST-" + Hex(seed, 131, 3);
+}
+
+// --- mail -----------------------------------------------------------------------
+
+void ScanSmtp(const simnet::SimService& svc, Fields& f) {
+  const std::uint64_t seed = svc.seed;
+  f["smtp.ehlo"] = "250-mail-" + Hex(seed, 134, 3);
+  std::string caps = "PIPELINING,SIZE 35882577,8BITMIME";
+  if (Sub(seed, 135) % 4 != 0) caps += ",STARTTLS";
+  f["smtp.capabilities"] = caps;
+  f["smtp.open_relay"] = Sub(seed, 136) % 64 == 0 ? "true" : "false";
+}
+
+void ScanPop3(const simnet::SimService& svc, Fields& f) {
+  f["pop3.capabilities"] =
+      Sub(svc.seed, 138) % 2 ? "TOP,UIDL,SASL,STLS" : "TOP,UIDL";
+}
+
+void ScanImap(const simnet::SimService& svc, Fields& f) {
+  f["imap.capabilities"] = Sub(svc.seed, 140) % 2
+                               ? "IMAP4rev1 IDLE NAMESPACE STARTTLS"
+                               : "IMAP4rev1 IDLE";
+}
+
+// --- naming, time, management ------------------------------------------------------
+
+void ScanDns(const simnet::SimService& svc, Fields& f) {
+  const std::uint64_t seed = svc.seed;
+  // Open resolvers are a tracked exposure class.
+  f["dns.recursion_available"] = Sub(seed, 143) % 3 == 0 ? "true" : "false";
+  f["dns.server_version"] =
+      proto::GenerateSoftware(Protocol::kDns, seed).version;
+  f["dns.dnssec"] = Sub(seed, 144) % 4 == 0 ? "true" : "false";
+}
+
+void ScanNtp(const simnet::SimService& svc, Fields& f) {
+  f["ntp.stratum"] = Num(svc.seed, 146, 1, 5);
+  f["ntp.monlist_enabled"] = Sub(svc.seed, 147) % 32 == 0 ? "true" : "false";
+}
+
+void ScanSnmp(const simnet::SimService& svc, Fields& f) {
+  const std::uint64_t seed = svc.seed;
+  const proto::DeviceIdentity dev =
+      proto::GenerateDevice(Protocol::kModbus, seed);  // embedded-ish pool
+  f["snmp.version"] = std::string(Pick<3>(seed, 149, {"2c", "2c", "3"}));
+  f["snmp.community"] = Sub(seed, 150) % 5 == 0 ? "public" : "(authenticated)";
+  f["snmp.sysdescr"] = dev.manufacturer + " " + dev.model + " SNMP Agent";
+  f["snmp.uptime_days"] = Num(seed, 151, 0, 900);
+}
+
+void ScanLdap(const simnet::SimService& svc, Fields& f) {
+  f["ldap.naming_context"] = "dc=corp" + Num(svc.seed, 153, 1, 999) +
+                             ",dc=example,dc=com";
+  f["ldap.anonymous_bind"] = Sub(svc.seed, 154) % 6 == 0 ? "true" : "false";
+}
+
+void ScanSip(const simnet::SimService& svc, Fields& f) {
+  f["sip.user_agent"] = std::string(Pick<3>(
+      svc.seed, 156, {"Asterisk PBX 16.8", "FreeSWITCH 1.10", "Kamailio 5.5"}));
+  f["sip.methods"] = "INVITE,ACK,BYE,CANCEL,OPTIONS,REGISTER";
+}
+
+void ScanUpnp(const simnet::SimService& svc, Fields& f) {
+  f["upnp.server"] = std::string(Pick<2>(
+      svc.seed, 158, {"Linux/3.x UPnP/1.0 MiniUPnPd/2.1", "libupnp/1.6.19"}));
+  f["upnp.device_type"] = "InternetGatewayDevice:1";
+}
+
+// --- databases and caches ------------------------------------------------------------
+
+void ScanMysql(const simnet::SimService& svc, Fields& f) {
+  const std::uint64_t seed = svc.seed;
+  f["mysql.server_version"] =
+      proto::GenerateSoftware(Protocol::kMysql, seed).version;
+  f["mysql.auth_plugin"] = std::string(Pick<2>(
+      seed, 161, {"mysql_native_password", "caching_sha2_password"}));
+  f["mysql.tls_supported"] = Sub(seed, 162) % 2 ? "true" : "false";
+}
+
+void ScanPostgres(const simnet::SimService& svc, Fields& f) {
+  f["postgres.ssl_supported"] = Sub(svc.seed, 164) % 3 != 0 ? "true" : "false";
+  f["postgres.auth"] = std::string(Pick<3>(
+      svc.seed, 165, {"md5", "scram-sha-256", "trust"}));
+}
+
+void ScanRedis(const simnet::SimService& svc, Fields& f) {
+  const std::uint64_t seed = svc.seed;
+  const bool open = Sub(seed, 167) % 10 == 0;  // unauthenticated exposure
+  f["redis.auth_required"] = open ? "false" : "true";
+  if (open) {
+    f["redis.version"] = std::string(Pick<3>(
+        seed, 168, {"5.0.7", "6.2.6", "7.0.11"}));
+    f["redis.keyspace_keys"] = Num(seed, 169, 0, 1000000);
+  }
+}
+
+void ScanMongo(const simnet::SimService& svc, Fields& f) {
+  f["mongodb.auth_required"] = Sub(svc.seed, 171) % 8 != 0 ? "true" : "false";
+  f["mongodb.version"] = std::string(Pick<3>(
+      svc.seed, 172, {"4.4.18", "5.0.14", "6.0.3"}));
+}
+
+void ScanMemcached(const simnet::SimService& svc, Fields& f) {
+  f["memcached.version"] = std::string(Pick<2>(
+      svc.seed, 174, {"1.6.9", "1.6.17"}));
+  f["memcached.curr_items"] = Num(svc.seed, 175, 0, 500000);
+}
+
+void ScanElasticsearch(const simnet::SimService& svc, Fields& f) {
+  f["elasticsearch.cluster_name"] = "es-" + Hex(svc.seed, 177, 3);
+  f["elasticsearch.version"] = std::string(Pick<3>(
+      svc.seed, 178, {"6.8.23", "7.17.9", "8.6.2"}));
+  f["elasticsearch.open_indices"] = Num(svc.seed, 179, 1, 400);
+}
+
+void ScanMqtt(const simnet::SimService& svc, Fields& f) {
+  f["mqtt.anonymous_allowed"] = Sub(svc.seed, 181) % 5 == 0 ? "true" : "false";
+  f["mqtt.protocol_level"] = Sub(svc.seed, 182) % 3 ? "4" : "5";
+}
+
+// --- industrial control systems ------------------------------------------------------
+// Each ICS extractor surfaces the identification data its real handshake
+// exposes — the detail Table 4's "validated" column depends on.
+
+void IcsCommon(const simnet::SimService& svc, Fields& f,
+               std::string_view prefix) {
+  const proto::DeviceIdentity dev =
+      proto::GenerateDevice(svc.protocol, svc.seed);
+  f[std::string(prefix) + ".vendor"] = dev.manufacturer;
+  f[std::string(prefix) + ".product"] = dev.model;
+  f[std::string(prefix) + ".firmware"] =
+      proto::GenerateSoftware(svc.protocol, svc.seed).version;
+}
+
+void ScanModbus(const simnet::SimService& svc, Fields& f) {
+  IcsCommon(svc, f, "modbus");
+  f["modbus.unit_id"] = Num(svc.seed, 185, 1, 247);
+  f["modbus.function_exceptions"] =
+      Sub(svc.seed, 186) % 2 ? "illegal-data-address" : "none";
+}
+
+void ScanS7(const simnet::SimService& svc, Fields& f) {
+  IcsCommon(svc, f, "s7");
+  f["s7.module"] = "6ES7 " + Num(svc.seed, 188, 100, 999) + "-" +
+                   Hex(svc.seed, 189, 2);
+  f["s7.rack"] = Num(svc.seed, 190, 0, 2);
+  f["s7.slot"] = Num(svc.seed, 191, 0, 4);
+  f["s7.plant_id"] = Sub(svc.seed, 192) % 3 == 0
+                         ? "PLANT-" + Hex(svc.seed, 193, 2)
+                         : "";
+}
+
+void ScanBacnet(const simnet::SimService& svc, Fields& f) {
+  IcsCommon(svc, f, "bacnet");
+  f["bacnet.instance_number"] = Num(svc.seed, 195, 1, 4194302);
+  f["bacnet.object_count"] = Num(svc.seed, 196, 4, 600);
+  f["bacnet.location"] = std::string(Pick<3>(
+      svc.seed, 197, {"Mechanical Room", "Roof", "Floor 2"}));
+}
+
+void ScanAtg(const simnet::SimService& svc, Fields& f) {
+  IcsCommon(svc, f, "atg");
+  f["atg.station_name"] = "FUEL STOP " + Num(svc.seed, 199, 1, 9999);
+  f["atg.tank_count"] = Num(svc.seed, 200, 1, 8);
+  f["atg.product_1"] = std::string(Pick<3>(
+      svc.seed, 201, {"REGULAR", "PREMIUM", "DIESEL"}));
+}
+
+void ScanFox(const simnet::SimService& svc, Fields& f) {
+  IcsCommon(svc, f, "fox");
+  f["fox.station_name"] = "JACE-" + Hex(svc.seed, 203, 2);
+  f["fox.vm_version"] = std::string(Pick<2>(
+      svc.seed, 204, {"Java HotSpot 1.8", "OpenJDK 11"}));
+}
+
+void ScanDnp3(const simnet::SimService& svc, Fields& f) {
+  IcsCommon(svc, f, "dnp3");
+  f["dnp3.source_address"] = Num(svc.seed, 206, 1, 65519);
+}
+
+void ScanEip(const simnet::SimService& svc, Fields& f) {
+  IcsCommon(svc, f, "eip");
+  f["eip.product_code"] = Num(svc.seed, 208, 1, 400);
+  f["eip.serial"] = Hex(svc.seed, 209, 4);
+}
+
+void ScanGenericIcs(const simnet::SimService& svc, Fields& f) {
+  IcsCommon(svc, f, "ics");
+}
+
+// --- registry ------------------------------------------------------------------------
+
+using Extractor = void (*)(const simnet::SimService&, Fields&);
+
+struct Entry {
+  Protocol protocol;
+  Extractor extract;
+};
+
+constexpr std::array<Entry, 42> kRegistry = {{
+    {Protocol::kHttp, ScanHttp},
+    {Protocol::kHttps, ScanHttp},
+    {Protocol::kSsh, ScanSsh},
+    {Protocol::kTelnet, ScanTelnet},
+    {Protocol::kRdp, ScanRdp},
+    {Protocol::kVnc, ScanVnc},
+    {Protocol::kFtp, ScanFtp},
+    {Protocol::kSmb, ScanSmb},
+    {Protocol::kSmtp, ScanSmtp},
+    {Protocol::kPop3, ScanPop3},
+    {Protocol::kImap, ScanImap},
+    {Protocol::kDns, ScanDns},
+    {Protocol::kNtp, ScanNtp},
+    {Protocol::kSnmp, ScanSnmp},
+    {Protocol::kLdap, ScanLdap},
+    {Protocol::kSip, ScanSip},
+    {Protocol::kUpnp, ScanUpnp},
+    {Protocol::kMysql, ScanMysql},
+    {Protocol::kPostgres, ScanPostgres},
+    {Protocol::kRedis, ScanRedis},
+    {Protocol::kMongodb, ScanMongo},
+    {Protocol::kMemcached, ScanMemcached},
+    {Protocol::kElasticsearch, ScanElasticsearch},
+    {Protocol::kMqtt, ScanMqtt},
+    {Protocol::kModbus, ScanModbus},
+    {Protocol::kS7, ScanS7},
+    {Protocol::kBacnet, ScanBacnet},
+    {Protocol::kAtg, ScanAtg},
+    {Protocol::kFox, ScanFox},
+    {Protocol::kDnp3, ScanDnp3},
+    {Protocol::kEip, ScanEip},
+    {Protocol::kCodesys, ScanGenericIcs},
+    {Protocol::kCimonPlc, ScanGenericIcs},
+    {Protocol::kCmore, ScanGenericIcs},
+    {Protocol::kDigi, ScanGenericIcs},
+    {Protocol::kFins, ScanGenericIcs},
+    {Protocol::kGeSrtp, ScanGenericIcs},
+    {Protocol::kHart, ScanGenericIcs},
+    {Protocol::kIec60870, ScanGenericIcs},
+    {Protocol::kOpcUa, ScanGenericIcs},
+    {Protocol::kPcworx, ScanGenericIcs},
+    {Protocol::kWdbrpc, ScanGenericIcs},
+}};
+
+}  // namespace
+
+void ExtractProtocolFields(const simnet::SimService& service,
+                           ServiceRecord& record) {
+  for (const Entry& entry : kRegistry) {
+    if (entry.protocol == record.protocol) {
+      entry.extract(service, record.extra);
+      return;
+    }
+  }
+}
+
+std::span<const proto::Protocol> ScannerCoverage() {
+  static const auto* coverage = [] {
+    auto* list = new std::vector<proto::Protocol>();
+    for (const Entry& entry : kRegistry) list->push_back(entry.protocol);
+    return list;
+  }();
+  return std::span<const proto::Protocol>(*coverage);
+}
+
+}  // namespace censys::interrogate

@@ -1,0 +1,31 @@
+// Per-protocol scanners (§4.2 "Data Collection").
+//
+// After detection identifies a service's L7 protocol, Censys completes the
+// protocol handshake "using custom high-performance protocol
+// implementations, similar to ZGrab" and extracts protocol-specific
+// structured data. This registry is that layer: one extractor per
+// protocol, each deriving the fields a real scanner would parse out of the
+// handshake — SSH host keys and kex lists, HTTP headers, SMTP capability
+// lists, SNMP sysDescr, Modbus device identification, S7 module IDs, and
+// so on. All fields are deterministic functions of the service seed, so a
+// service presents the same configuration on every visit until it changes.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "interrogate/record.h"
+#include "simnet/service.h"
+
+namespace censys::interrogate {
+
+// Populates `record.extra` (and nothing else) with protocol-specific
+// fields for the detected protocol. No-op for kUnknown.
+void ExtractProtocolFields(const simnet::SimService& service,
+                           ServiceRecord& record);
+
+// Protocols with a registered extractor (diagnostics/tests).
+std::span<const proto::Protocol> ScannerCoverage();
+
+}  // namespace censys::interrogate

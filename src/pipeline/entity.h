@@ -1,0 +1,46 @@
+// Entity modeling helpers (§5.1).
+//
+// A Host entity's journaled state is one flat field map holding every
+// service under a stable per-service prefix ("svc.443/tcp.<field>"). This
+// makes service add/change/remove natural delta operations and keeps the
+// journal generic over entity types (Hosts, Web Properties, Certificates).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "interrogate/record.h"
+#include "storage/delta.h"
+
+namespace censys::pipeline {
+
+// Entity IDs. Hosts are keyed by IP, web properties by name, certificates
+// by SHA-256 fingerprint.
+std::string HostEntityId(IPv4Address ip);
+std::string WebEntityId(std::string_view name);
+std::string CertEntityId(std::string_view sha256_hex);
+
+// "svc.<port>/<transport>." prefix for a service's fields.
+std::string ServicePrefix(ServiceKey key);
+
+// Projects one service's record into entity-level fields (prefix applied).
+storage::FieldMap ServiceFields(const interrogate::ServiceRecord& record);
+
+// Extracts the service keys present in an entity state.
+std::vector<ServiceKey> ServicesIn(const storage::FieldMap& entity_state,
+                                   IPv4Address ip);
+
+// Rebuilds one service's record from entity state; nullopt if absent.
+std::optional<interrogate::ServiceRecord> RecordFrom(
+    const storage::FieldMap& entity_state, ServiceKey key);
+
+// Delta that inserts/updates the service (empty if nothing changed).
+storage::Delta UpsertServiceDelta(const storage::FieldMap& entity_state,
+                                  const interrogate::ServiceRecord& record);
+
+// Delta that removes every field of the service.
+storage::Delta RemoveServiceDelta(const storage::FieldMap& entity_state,
+                                  ServiceKey key);
+
+}  // namespace censys::pipeline

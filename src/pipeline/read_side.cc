@@ -1,0 +1,68 @@
+#include "pipeline/read_side.h"
+
+#include "pipeline/entity.h"
+
+namespace censys::pipeline {
+
+std::optional<HostView> ReadSide::GetHost(IPv4Address ip) const {
+  ++lookups_;
+  const storage::FieldMap* state = journal_.CurrentState(HostEntityId(ip));
+  if (state == nullptr || state->empty()) return std::nullopt;
+  return BuildView(ip, *state, /*attach_scan_state=*/true);
+}
+
+std::optional<HostView> ReadSide::GetHostAt(IPv4Address ip,
+                                            Timestamp at) const {
+  ++lookups_;
+  const auto state = journal_.ReconstructAt(HostEntityId(ip), at);
+  if (!state.has_value() || state->empty()) return std::nullopt;
+  return BuildView(ip, *state, /*attach_scan_state=*/false);
+}
+
+HostView ReadSide::BuildView(IPv4Address ip, const storage::FieldMap& state,
+                             bool attach_scan_state) const {
+  HostView view;
+  view.ip = ip;
+  // External-context enrichment (GeoIP, WHOIS, origin ASN). In the
+  // simulation the block plan is that external data source.
+  if (ip.value() < geo_.universe_size()) {
+    const simnet::NetworkBlock& block = geo_.BlockOf(ip);
+    view.country = std::string(simnet::ToString(block.country));
+    view.asn = block.asn;
+    view.as_org = block.org;
+    view.network_type = std::string(simnet::ToString(block.type));
+  }
+
+  for (ServiceKey key : ServicesIn(state, ip)) {
+    auto record = RecordFrom(state, key);
+    if (!record.has_value()) continue;
+    ServiceView service;
+    service.record = std::move(*record);
+    if (attach_scan_state) {
+      if (const ServiceState* scan_state = write_side_.GetState(key)) {
+        service.last_seen = scan_state->last_seen;
+        service.pending_eviction =
+            scan_state->pending_eviction_since.has_value();
+      }
+    }
+    Enrich(service);
+    view.services.push_back(std::move(service));
+  }
+  return view;
+}
+
+void ReadSide::Enrich(ServiceView& view) const {
+  if (fingerprints_ != nullptr) {
+    view.labels = fingerprints_->Evaluate(view.record.ToFields());
+  }
+  if (cves_ != nullptr && !view.record.software.product.empty()) {
+    for (const fingerprint::VulnEntry* vuln :
+         cves_->Lookup(view.record.software)) {
+      view.cves.push_back(vuln->cve);
+      if (vuln->cvss > view.max_cvss) view.max_cvss = vuln->cvss;
+      view.kev = view.kev || vuln->kev;
+    }
+  }
+}
+
+}  // namespace censys::pipeline

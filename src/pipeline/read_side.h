@@ -1,0 +1,76 @@
+// CQRS read side (§5.2).
+//
+// Constructs the user representation of an entity at read time: finds the
+// latest snapshot prior to the requested timestamp, replays journal events,
+// then enriches the reconstructed record with WHOIS/geolocation/ASN
+// context, fingerprint-derived labels, and known vulnerabilities.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fingerprint/fingerprints.h"
+#include "fingerprint/vulns.h"
+#include "interrogate/record.h"
+#include "pipeline/write_side.h"
+#include "simnet/blocks.h"
+#include "storage/journal.h"
+
+namespace censys::pipeline {
+
+// One service as presented to users: journaled record + derived context +
+// scan-state surfaced per §4.6 ("include the last time Censys saw the
+// service" and the pending-eviction mark).
+struct ServiceView {
+  interrogate::ServiceRecord record;
+  std::optional<Timestamp> last_seen;
+  bool pending_eviction = false;
+
+  std::optional<fingerprint::DerivedLabels> labels;
+  std::vector<std::string> cves;
+  double max_cvss = 0.0;
+  bool kev = false;
+};
+
+struct HostView {
+  IPv4Address ip;
+  // Enrichment from external data (GeoIP / WHOIS / routing).
+  std::string country;
+  std::uint32_t asn = 0;
+  std::string as_org;
+  std::string network_type;
+
+  std::vector<ServiceView> services;
+};
+
+class ReadSide {
+ public:
+  ReadSide(const storage::EventJournal& journal, const WriteSide& write_side,
+           const simnet::BlockPlan& geo,
+           const fingerprint::FingerprintEngine* fingerprints = nullptr,
+           const fingerprint::CveDatabase* cves = nullptr)
+      : journal_(journal), write_side_(write_side), geo_(geo),
+        fingerprints_(fingerprints), cves_(cves) {}
+
+  // Current state (fast path: cached state, no replay).
+  std::optional<HostView> GetHost(IPv4Address ip) const;
+  // Historical state ("What did IP A look like at time B?").
+  std::optional<HostView> GetHostAt(IPv4Address ip, Timestamp at) const;
+
+  std::uint64_t lookups_served() const { return lookups_; }
+
+ private:
+  HostView BuildView(IPv4Address ip, const storage::FieldMap& state,
+                     bool attach_scan_state) const;
+  void Enrich(ServiceView& view) const;
+
+  const storage::EventJournal& journal_;
+  const WriteSide& write_side_;
+  const simnet::BlockPlan& geo_;
+  const fingerprint::FingerprintEngine* fingerprints_;
+  const fingerprint::CveDatabase* cves_;
+  mutable std::uint64_t lookups_ = 0;
+};
+
+}  // namespace censys::pipeline

@@ -1,0 +1,156 @@
+#include "pipeline/write_side.h"
+
+#include "core/strings.h"
+#include "pipeline/entity.h"
+
+namespace censys::pipeline {
+
+std::size_t EventBus::Drain() {
+  std::size_t delivered = 0;
+  while (!queue_.empty()) {
+    const PipelineEvent event = std::move(queue_.front());
+    queue_.pop_front();
+    for (const Handler& handler : handlers_) handler(event);
+    ++delivered;
+  }
+  return delivered;
+}
+
+WriteSide::WriteSide(storage::EventJournal& journal, EventBus& bus,
+                     Options options)
+    : journal_(journal), bus_(bus), options_(options) {}
+
+void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
+  ++scans_ingested_;
+  const std::uint64_t packed = record.key.Pack();
+  const std::uint32_t host = record.key.ip.value();
+
+  // --- pseudo-service filtering ----------------------------------------------
+  if (options_.filter_pseudo_services) {
+    if (pseudo_hosts_.contains(host)) {
+      ++pseudo_suppressed_;
+      return;
+    }
+    HostCounts& counts = host_counts_[host];
+    const std::uint64_t content_hash =
+        Fnv1a64(record.banner) ^ Fnv1a64(record.html_title) ^
+        Fnv1a64(std::string(proto::Name(record.protocol)));
+    if (!states_.contains(packed)) {
+      ++counts.total;
+      ++counts.by_content[content_hash];
+    }
+    if (counts.by_content[content_hash] > options_.pseudo_service_threshold) {
+      // Host flagged: remove everything we had for it and suppress future
+      // services.
+      pseudo_hosts_.emplace(host, true);
+      const std::string entity = HostEntityId(record.key.ip);
+      if (const storage::FieldMap* state = journal_.CurrentState(entity)) {
+        for (ServiceKey key : ServicesIn(*state, record.key.ip)) {
+          const storage::Delta delta = RemoveServiceDelta(*state, key);
+          journal_.Append(entity, storage::EventKind::kServiceRemoved,
+                          record.observed_at, delta);
+          states_.erase(key.Pack());
+          ++pseudo_suppressed_;
+        }
+      }
+      return;
+    }
+  }
+
+  // --- command processing -------------------------------------------------------
+  const std::string entity = HostEntityId(record.key.ip);
+  const storage::FieldMap* current = journal_.CurrentState(entity);
+  static const storage::FieldMap kEmpty;
+  const storage::FieldMap& state = current != nullptr ? *current : kEmpty;
+
+  const bool existed = states_.contains(packed);
+  const storage::Delta delta = UpsertServiceDelta(state, record);
+
+  auto& service_state = states_[packed];
+  if (!existed) {
+    service_state.key = record.key;
+    service_state.first_seen = record.observed_at;
+  }
+  service_state.last_seen = record.observed_at;
+  service_state.last_refreshed = record.observed_at;
+  service_state.pending_eviction_since.reset();
+
+  if (!delta.empty()) {
+    const storage::EventKind kind = existed
+                                        ? storage::EventKind::kServiceChanged
+                                        : storage::EventKind::kServiceFound;
+    journal_.Append(entity, kind, record.observed_at, delta);
+    bus_.Publish(PipelineEvent{entity, record.key, kind, record.observed_at});
+  }
+}
+
+void WriteSide::IngestFailure(ServiceKey key, Timestamp at) {
+  const auto it = states_.find(key.Pack());
+  if (it == states_.end()) return;
+  it->second.last_refreshed = at;
+  if (!it->second.pending_eviction_since.has_value()) {
+    // "Mark services as pending eviction after the first scan fails."
+    it->second.pending_eviction_since = at;
+  }
+}
+
+void WriteSide::AdvanceTo(Timestamp now) {
+  std::vector<ServiceState> to_evict;
+  for (const auto& [packed, state] : states_) {
+    if (state.pending_eviction_since.has_value() &&
+        *state.pending_eviction_since + options_.eviction_deadline <= now) {
+      to_evict.push_back(state);
+    }
+  }
+  for (const ServiceState& state : to_evict) Evict(state, now);
+
+  // Age out the pruned list beyond the re-injection window.
+  while (!pruned_.empty() &&
+         pruned_.front().pruned_at + options_.reinjection_window < now) {
+    pruned_.pop_front();
+  }
+}
+
+void WriteSide::Evict(const ServiceState& state, Timestamp now) {
+  const std::string entity = HostEntityId(state.key.ip);
+  if (const storage::FieldMap* current = journal_.CurrentState(entity)) {
+    const storage::Delta delta = RemoveServiceDelta(*current, state.key);
+    if (!delta.empty()) {
+      journal_.Append(entity, storage::EventKind::kServiceRemoved, now, delta);
+      bus_.Publish(PipelineEvent{entity, state.key,
+                                 storage::EventKind::kServiceRemoved, now});
+    }
+  }
+  states_.erase(state.key.Pack());
+  pruned_.push_back(PrunedEntry{state.key, now});
+  ++evictions_;
+}
+
+const ServiceState* WriteSide::GetState(ServiceKey key) const {
+  const auto it = states_.find(key.Pack());
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+void WriteSide::ForEachTracked(
+    const std::function<void(const ServiceState&)>& fn) const {
+  for (const auto& [packed, state] : states_) fn(state);
+}
+
+void WriteSide::ForEachPruned(
+    const std::function<void(const PrunedService&)>& fn) const {
+  for (const PrunedEntry& entry : pruned_) {
+    fn(PrunedService{entry.key, entry.pruned_at});
+  }
+}
+
+std::vector<ServiceKey> WriteSide::RecentlyPruned(Timestamp now) const {
+  std::vector<ServiceKey> keys;
+  for (const PrunedEntry& entry : pruned_) {
+    if (entry.pruned_at + options_.reinjection_window >= now) {
+      keys.push_back(entry.key);
+    }
+  }
+  return keys;
+}
+
+}  // namespace censys::pipeline

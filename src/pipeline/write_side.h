@@ -1,0 +1,142 @@
+// CQRS write side (§5.2).
+//
+// Inbound scans are commands: the processor retrieves the entity's current
+// state, computes an update delta, journals the resulting event (found /
+// changed / removed), and enqueues it for asynchronous downstream
+// processing. The write side also owns scan-state that is deliberately NOT
+// journaled (last-seen times, pending-eviction marks) and implements the
+// eviction policy of §4.6: pending eviction after the first failed refresh,
+// removal after 72 hours, with removed services remembered for 60 days so
+// the predictive engine can re-inject them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interrogate/record.h"
+#include "storage/journal.h"
+
+namespace censys::pipeline {
+
+struct ServiceState {
+  ServiceKey key;
+  Timestamp first_seen;
+  Timestamp last_seen;        // last successful interrogation
+  Timestamp last_refreshed;   // last attempt, successful or not
+  std::optional<Timestamp> pending_eviction_since;
+};
+
+// An event published on the async bus after journaling.
+struct PipelineEvent {
+  std::string entity_id;
+  ServiceKey key;
+  storage::EventKind kind = storage::EventKind::kEntityUpdated;
+  Timestamp at;
+};
+
+// Asynchronous event processing: events are queued during ingestion and
+// drained by the engine loop ("the write side processor enqueues any
+// resulting update events for additional processing", §5.2).
+class EventBus {
+ public:
+  using Handler = std::function<void(const PipelineEvent&)>;
+
+  void Subscribe(Handler handler) { handlers_.push_back(std::move(handler)); }
+  void Publish(PipelineEvent event) { queue_.push_back(std::move(event)); }
+
+  // Delivers all queued events (events published during drain are also
+  // delivered). Returns the number delivered.
+  std::size_t Drain();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  std::vector<Handler> handlers_;
+  std::deque<PipelineEvent> queue_;
+};
+
+class WriteSide {
+ public:
+  struct Options {
+    Duration eviction_deadline = Duration::Hours(72);
+    Duration reinjection_window = Duration::Days(60);
+    // Hosts whose near-identical service count exceeds this are flagged as
+    // pseudo-service middleboxes and their services suppressed (the
+    // "Beyond Noise" filter the evaluation references, §6.1).
+    std::uint32_t pseudo_service_threshold = 20;
+    bool filter_pseudo_services = true;
+  };
+
+  WriteSide(storage::EventJournal& journal, EventBus& bus)
+      : WriteSide(journal, bus, Options()) {}
+  WriteSide(storage::EventJournal& journal, EventBus& bus, Options options);
+
+  // A successful interrogation of `record.key`.
+  void IngestScan(const interrogate::ServiceRecord& record);
+
+  // A failed interrogation (target unreachable / gone).
+  void IngestFailure(ServiceKey key, Timestamp at);
+
+  // Evicts services whose pending-eviction deadline has passed.
+  void AdvanceTo(Timestamp now);
+
+  // --- scan-state queries -----------------------------------------------------
+  const ServiceState* GetState(ServiceKey key) const;
+  void ForEachTracked(
+      const std::function<void(const ServiceState&)>& fn) const;
+  std::size_t tracked_count() const { return states_.size(); }
+
+  // Services pruned within the re-injection window, oldest first.
+  std::vector<ServiceKey> RecentlyPruned(Timestamp now) const;
+
+  struct PrunedService {
+    ServiceKey key;
+    Timestamp pruned_at;
+  };
+  // Full pruned list with timestamps (drives the re-injection schedule).
+  void ForEachPruned(
+      const std::function<void(const PrunedService&)>& fn) const;
+
+  bool IsPseudoFlagged(IPv4Address ip) const {
+    return pseudo_hosts_.contains(ip.value());
+  }
+
+  // --- stats -------------------------------------------------------------------
+  std::uint64_t scans_ingested() const { return scans_ingested_; }
+  std::uint64_t services_evicted() const { return evictions_; }
+  std::uint64_t pseudo_suppressed() const { return pseudo_suppressed_; }
+
+ private:
+  void Evict(const ServiceState& state, Timestamp now);
+
+  storage::EventJournal& journal_;
+  EventBus& bus_;
+  Options options_;
+
+  std::unordered_map<std::uint64_t, ServiceState> states_;  // by packed key
+  struct PrunedEntry {
+    ServiceKey key;
+    Timestamp pruned_at;
+  };
+  std::deque<PrunedEntry> pruned_;
+
+  // Pseudo-service detection: per-host count of services sharing one
+  // content hash.
+  struct HostCounts {
+    std::unordered_map<std::uint64_t, std::uint32_t> by_content;
+    std::uint32_t total = 0;
+  };
+  std::unordered_map<std::uint32_t, HostCounts> host_counts_;
+  std::unordered_map<std::uint32_t, bool> pseudo_hosts_;
+
+  std::uint64_t scans_ingested_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t pseudo_suppressed_ = 0;
+};
+
+}  // namespace censys::pipeline

@@ -1,0 +1,329 @@
+#include "proto/banner.h"
+
+#include <array>
+#include <cstdio>
+#include <span>
+#include <string_view>
+
+#include "core/rng.h"
+#include "core/strings.h"
+
+namespace censys::proto {
+namespace {
+
+struct SoftwareChoice {
+  std::string_view vendor;
+  std::string_view product;
+  // Version pool; one is picked by seed.
+  std::array<std::string_view, 4> versions;
+  double weight;
+};
+
+std::span<const SoftwareChoice> PoolFor(Protocol p) {
+  static const std::array<SoftwareChoice, 6> kHttp = {{
+      {"nginx", "nginx", {"1.18.0", "1.22.1", "1.24.0", "1.25.3"}, 34},
+      {"apache", "httpd", {"2.4.41", "2.4.52", "2.4.57", "2.4.58"}, 28},
+      {"microsoft", "iis", {"8.5", "10.0", "10.0", "10.0"}, 12},
+      {"lighttpd", "lighttpd", {"1.4.55", "1.4.59", "1.4.63", "1.4.69"}, 4},
+      {"mini_httpd", "mini_httpd", {"1.30", "1.30", "1.30", "1.30"}, 8},
+      {"embedded", "goahead", {"3.6.5", "4.1.1", "5.1.2", "5.2.0"}, 14},
+  }};
+  static const std::array<SoftwareChoice, 4> kSsh = {{
+      {"openbsd", "openssh", {"7.4", "8.2p1", "8.9p1", "9.3p1"}, 72},
+      {"dropbear", "dropbear", {"2019.78", "2020.81", "2022.82", "2022.83"}, 20},
+      {"gnu", "lsh", {"2.1", "2.1", "2.1", "2.1"}, 1},
+      {"bitvise", "winsshd", {"8.48", "9.12", "9.31", "9.34"}, 7},
+  }};
+  static const std::array<SoftwareChoice, 4> kFtp = {{
+      {"proftpd", "proftpd", {"1.3.5", "1.3.6", "1.3.7a", "1.3.8"}, 30},
+      {"vsftpd", "vsftpd", {"2.2.2", "3.0.2", "3.0.3", "3.0.5"}, 38},
+      {"pureftpd", "pure-ftpd", {"1.0.47", "1.0.49", "1.0.50", "1.0.51"}, 18},
+      {"microsoft", "ftp_service", {"7.5", "8.0", "10.0", "10.0"}, 14},
+  }};
+  static const std::array<SoftwareChoice, 3> kSmtp = {{
+      {"postfix", "postfix", {"3.3.0", "3.4.13", "3.6.4", "3.8.1"}, 52},
+      {"exim", "exim", {"4.92", "4.94.2", "4.96", "4.97"}, 30},
+      {"microsoft", "exchange_server", {"2013", "2016", "2019", "2019"}, 18},
+  }};
+  static const std::array<SoftwareChoice, 3> kMysql = {{
+      {"oracle", "mysql", {"5.7.33", "8.0.28", "8.0.33", "8.0.35"}, 62},
+      {"mariadb", "mariadb", {"10.3.34", "10.5.15", "10.6.12", "10.11.2"}, 36},
+      {"percona", "percona_server", {"8.0.29", "8.0.32", "8.0.34", "8.0.35"}, 2},
+  }};
+  static const std::array<SoftwareChoice, 2> kTelnet = {{
+      {"busybox", "telnetd", {"1.19.4", "1.24.1", "1.31.1", "1.35.0"}, 80},
+      {"cisco", "ios_telnet", {"12.4", "15.1", "15.2", "15.7"}, 20},
+  }};
+  static const std::array<SoftwareChoice, 2> kRdp = {{
+      {"microsoft", "remote_desktop", {"6.1", "10.0.17763", "10.0.19041", "10.0.20348"}, 92},
+      {"xrdp", "xrdp", {"0.9.12", "0.9.17", "0.9.21", "0.9.23"}, 8},
+  }};
+  static const std::array<SoftwareChoice, 2> kDns = {{
+      {"isc", "bind", {"9.11.4", "9.16.1", "9.18.12", "9.18.19"}, 60},
+      {"nlnetlabs", "unbound", {"1.9.4", "1.13.1", "1.17.0", "1.18.0"}, 40},
+  }};
+  static const std::array<SoftwareChoice, 1> kGeneric = {{
+      {"generic", "service", {"1.0", "1.1", "2.0", "2.1"}, 1},
+  }};
+
+  // ICS pools: realistic vendor/model families per protocol.
+  static const std::array<SoftwareChoice, 2> kModbus = {{
+      {"schneider", "modicon_m340", {"2.7", "3.01", "3.20", "3.30"}, 55},
+      {"wago", "750-881", {"01.07.13", "01.08.06", "01.09.18", "01.10.01"}, 45},
+  }};
+  static const std::array<SoftwareChoice, 1> kS7 = {{
+      {"siemens", "simatic_s7-300", {"2.6.9", "3.2.6", "3.3.12", "3.X"}, 1},
+  }};
+  static const std::array<SoftwareChoice, 1> kFox = {{
+      {"tridium", "niagara_ax", {"3.7.106", "3.8.38", "4.4.73", "4.9.0"}, 1},
+  }};
+  static const std::array<SoftwareChoice, 1> kBacnet = {{
+      {"honeywell", "webs-av", {"1.2", "2.0", "3.1", "3.5"}, 1},
+  }};
+  static const std::array<SoftwareChoice, 1> kCodesys = {{
+      {"codesys", "control_runtime", {"2.3.9.9", "3.5.12", "3.5.16", "3.5.19"}, 1},
+  }};
+
+  switch (p) {
+    case Protocol::kHttp:
+    case Protocol::kHttps:
+      return kHttp;
+    case Protocol::kSsh:
+      return kSsh;
+    case Protocol::kFtp:
+      return kFtp;
+    case Protocol::kSmtp:
+    case Protocol::kPop3:
+    case Protocol::kImap:
+      return kSmtp;
+    case Protocol::kMysql:
+    case Protocol::kPostgres:
+      return kMysql;
+    case Protocol::kTelnet:
+      return kTelnet;
+    case Protocol::kRdp:
+      return kRdp;
+    case Protocol::kDns:
+      return kDns;
+    case Protocol::kModbus:
+      return kModbus;
+    case Protocol::kS7:
+      return kS7;
+    case Protocol::kFox:
+      return kFox;
+    case Protocol::kBacnet:
+      return kBacnet;
+    case Protocol::kCodesys:
+      return kCodesys;
+    default:
+      return kGeneric;
+  }
+}
+
+// Stable per-field sub-seeds so adding a generator never perturbs others.
+std::uint64_t Sub(std::uint64_t seed, std::uint64_t salt) {
+  return SplitMix64(seed ^ SplitMix64(salt));
+}
+
+}  // namespace
+
+std::string SoftwareInfo::ToCpe() const {
+  return "cpe:2.3:a:" + vendor + ":" + product + ":" + version +
+         ":*:*:*:*:*:*:*";
+}
+
+SoftwareInfo GenerateSoftware(Protocol p, std::uint64_t seed) {
+  const auto pool = PoolFor(p);
+  double total = 0;
+  for (const auto& c : pool) total += c.weight;
+  double x = static_cast<double>(Sub(seed, 1) % 100000) / 100000.0 * total;
+  const SoftwareChoice* chosen = &pool.back();
+  for (const auto& c : pool) {
+    x -= c.weight;
+    if (x < 0) {
+      chosen = &c;
+      break;
+    }
+  }
+  const std::size_t vi = Sub(seed, 2) % chosen->versions.size();
+  return SoftwareInfo{std::string(chosen->vendor), std::string(chosen->product),
+                      std::string(chosen->versions[vi])};
+}
+
+std::string GenerateBanner(Protocol p, std::uint64_t seed) {
+  const SoftwareInfo sw = GenerateSoftware(p, seed);
+  char buf[256];
+  switch (p) {
+    case Protocol::kSsh:
+      std::snprintf(buf, sizeof(buf), "SSH-2.0-%s_%s", sw.product.c_str(),
+                    sw.version.c_str());
+      return buf;
+    case Protocol::kFtp:
+      std::snprintf(buf, sizeof(buf), "220 %s %s Server ready.",
+                    sw.product.c_str(), sw.version.c_str());
+      return buf;
+    case Protocol::kSmtp:
+      std::snprintf(buf, sizeof(buf), "220 mail-%llx ESMTP %s %s",
+                    static_cast<unsigned long long>(Sub(seed, 3) & 0xffffff),
+                    sw.product.c_str(), sw.version.c_str());
+      return buf;
+    case Protocol::kPop3:
+      std::snprintf(buf, sizeof(buf), "+OK %s POP3 server ready",
+                    sw.product.c_str());
+      return buf;
+    case Protocol::kImap:
+      std::snprintf(buf, sizeof(buf), "* OK [CAPABILITY IMAP4rev1] %s %s ready",
+                    sw.product.c_str(), sw.version.c_str());
+      return buf;
+    case Protocol::kTelnet:
+      std::snprintf(buf, sizeof(buf), "%s login: ",
+                    sw.vendor == "cisco" ? "Router" : "device");
+      return buf;
+    case Protocol::kMysql:
+      std::snprintf(buf, sizeof(buf), "%s-%s", sw.version.c_str(),
+                    sw.vendor == "mariadb" ? "MariaDB" : "log");
+      return buf;
+    case Protocol::kHttp:
+    case Protocol::kHttps:
+      std::snprintf(buf, sizeof(buf), "Server: %s/%s", sw.product.c_str(),
+                    sw.version.c_str());
+      return buf;
+    case Protocol::kVnc:
+      return "RFB 003.008";
+    case Protocol::kRedis:
+      return "-NOAUTH Authentication required.";
+    default: {
+      if (GetInfo(p).is_ics) {
+        const DeviceIdentity dev = GenerateDevice(p, seed);
+        std::snprintf(buf, sizeof(buf), "%s %s fw=%s",
+                      dev.manufacturer.c_str(), dev.model.c_str(),
+                      sw.version.c_str());
+        return buf;
+      }
+      return "";
+    }
+  }
+}
+
+std::string GenerateHtmlTitle(std::uint64_t seed) {
+  static constexpr std::array<std::string_view, 16> kTitles = {
+      "Welcome to nginx!",
+      "Apache2 Ubuntu Default Page",
+      "IIS Windows Server",
+      "Login",
+      "Index of /",
+      "WAC6552D-S",            // device title used as a fingerprint example in the paper
+      "RouterOS router configuration page",
+      "401 Authorization Required",
+      "Grafana",
+      "phpMyAdmin",
+      "Synology DiskStation",
+      "Dashboard - Prometheus", // back-office app, per Web Property discussion
+      "Hikvision Digital Technology",
+      "TP-LINK Wireless Router",
+      "Plesk Obsidian",
+      "It works!",
+  };
+  return std::string(kTitles[Sub(seed, 10) % kTitles.size()]);
+}
+
+std::string GeneratePageKeywords(std::uint64_t seed) {
+  // A minority of generic HTTP pages mention "operating system" (status
+  // pages, device dashboards) — the raw material for Shodan's CODESYS
+  // keyword mislabeling in Table 4.
+  static constexpr std::array<std::string_view, 8> kKeywordSets = {
+      "welcome index home",
+      "login password user",
+      "operating system status uptime",
+      "router admin configuration",
+      "dashboard metrics monitoring",
+      "camera stream live",
+      "storage share files",
+      "error notfound 404",
+  };
+  return std::string(kKeywordSets[Sub(seed, 11) % kKeywordSets.size()]);
+}
+
+std::string WrongProtocolResponse(Protocol actual, Protocol probe,
+                                  std::uint64_t seed) {
+  (void)seed;
+  const ProtocolInfo& info = GetInfo(actual);
+  // Server-first protocols always reveal themselves via their greeting.
+  if (info.server_talks_first) return GenerateBanner(actual, seed);
+  if (!info.identifiable_from_http_probe) return "";
+  if (probe != Protocol::kHttp && probe != Protocol::kHttps) return "";
+  switch (actual) {
+    case Protocol::kHttp:
+      return "HTTP/1.1 200 OK";
+    case Protocol::kHttps:
+      // A plaintext probe to a TLS-only service elicits a TLS alert, not
+      // fingerprintable text; identification happens inside the TLS session.
+      return "";
+    case Protocol::kRedis:
+      return "-ERR unknown command 'GET'";
+    case Protocol::kElasticsearch:
+      return "HTTP/1.1 400 Bad Request {\"error\":\"es\"}";
+    default:
+      // SMTP-style numeric error to a non-protocol request.
+      return "500 5.5.1 Command unrecognized";
+  }
+}
+
+DeviceIdentity GenerateDevice(Protocol p, std::uint64_t seed) {
+  struct Pool {
+    std::string_view manufacturer;
+    std::array<std::string_view, 3> models;
+  };
+  auto pick = [&](const Pool& pool) {
+    return DeviceIdentity{std::string(pool.manufacturer),
+                          std::string(pool.models[Sub(seed, 20) % 3])};
+  };
+  switch (p) {
+    case Protocol::kModbus:
+      return pick({"Schneider Electric", {"Modicon M340", "Modicon M580", "PowerLogic PM8000"}});
+    case Protocol::kS7:
+      return pick({"Siemens", {"SIMATIC S7-300", "SIMATIC S7-1200", "SIMATIC S7-1500"}});
+    case Protocol::kFox:
+      return pick({"Tridium", {"Niagara AX 3.8", "Niagara 4 JACE-8000", "Niagara 4 Edge-10"}});
+    case Protocol::kBacnet:
+      return pick({"Honeywell", {"WEB-8000", "Spyder BACnet", "ComfortPoint Open"}});
+    case Protocol::kCodesys:
+      return pick({"CODESYS GmbH", {"Control RTE", "Control for Raspberry Pi", "HMI Runtime"}});
+    case Protocol::kAtg:
+      return pick({"Veeder-Root", {"TLS-350", "TLS-450PLUS", "TLS-4B"}});
+    case Protocol::kDnp3:
+      return pick({"SEL", {"SEL-3530 RTAC", "SEL-651R", "SEL-751"}});
+    case Protocol::kEip:
+      return pick({"Rockwell Automation", {"1756-EN2T", "CompactLogix 5370", "MicroLogix 1400"}});
+    case Protocol::kFins:
+      return pick({"Omron", {"CJ2M-CPU33", "CP1L-EM", "NJ501-1300"}});
+    case Protocol::kGeSrtp:
+      return pick({"General Electric", {"RX3i CPE305", "VersaMax Micro", "PACSystems RX7i"}});
+    case Protocol::kHart:
+      return pick({"Emerson", {"HART-IP Gateway 1410", "Rosemount 3051", "AMS Wireless Gateway"}});
+    case Protocol::kIec60870:
+      return pick({"ABB", {"RTU560", "RTU540", "SSC600"}});
+    case Protocol::kOpcUa:
+      return pick({"Unified Automation", {"UaGateway", "ANSI C Demo Server", "HighPerf Server"}});
+    case Protocol::kPcworx:
+      return pick({"Phoenix Contact", {"ILC 150 ETH", "ILC 171 ETH 2TX", "AXC 1050"}});
+    case Protocol::kProconos:
+      return pick({"Phoenix Contact", {"ProConOS eCLR", "MULTIPROG RT", "ProConOS 4.x"}});
+    case Protocol::kRedlionCrimson:
+      return pick({"Red Lion Controls", {"G306A", "G310 HMI", "DA50A"}});
+    case Protocol::kWdbrpc:
+      return pick({"Wind River", {"VxWorks 6.9", "VxWorks 6.6", "VxWorks 5.5"}});
+    case Protocol::kPcom:
+      return pick({"Unitronics", {"Vision V350", "Vision V130", "Samba SM43"}});
+    case Protocol::kCimonPlc:
+      return pick({"CIMON", {"CM1-XP", "PLC-S CPU", "Xpanel HMI"}});
+    case Protocol::kCmore:
+      return pick({"AutomationDirect", {"C-more EA9", "C-more EA7", "C-more Micro"}});
+    case Protocol::kDigi:
+      return pick({"Digi International", {"PortServer TS", "ConnectPort X4", "Digi One IA"}});
+    default:
+      return DeviceIdentity{"", ""};
+  }
+}
+
+}  // namespace censys::proto

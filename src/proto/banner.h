@@ -1,0 +1,63 @@
+// Deterministic banner and software synthesis.
+//
+// Every simulated service derives its configuration from a 64-bit seed: the
+// software vendor/product/version it "runs", the banner it presents, and the
+// HTML title / page keywords for HTTP. All generators are pure functions of
+// (protocol, seed), so a service presents the same identity to every scanner
+// that interrogates it — which is what makes cross-engine coverage and
+// labeling-accuracy comparisons meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "proto/protocol.h"
+
+namespace censys::proto {
+
+struct SoftwareInfo {
+  std::string vendor;
+  std::string product;
+  std::string version;
+
+  // MITRE CPE 2.3-style URI ("cpe:2.3:a:openbsd:openssh:8.9:..."). The paper
+  // notes Censys derives CPE-format context but does not restrict itself to
+  // the official dictionary.
+  std::string ToCpe() const;
+
+  bool operator==(const SoftwareInfo&) const = default;
+};
+
+// The software a service with this seed runs. Protocols map to realistic
+// vendor pools (HTTP -> nginx/Apache/IIS/embedded; S7 -> Siemens; ...).
+SoftwareInfo GenerateSoftware(Protocol p, std::uint64_t seed);
+
+// The line-oriented banner the service presents (FTP 220 greeting, SSH
+// version string, SMTP 220, Telnet login prompt, ICS device id block...).
+// Empty for protocols that expose only binary structure.
+std::string GenerateBanner(Protocol p, std::uint64_t seed);
+
+// HTTP-specific page content.
+std::string GenerateHtmlTitle(std::uint64_t seed);
+// A short keyword digest of the page body; the Shodan behavioural model
+// does keyword labeling against this (e.g. pages containing "operating" and
+// "system" get mislabeled as CODESYS when on port 2455 — paper §6.3).
+std::string GeneratePageKeywords(std::uint64_t seed);
+
+// The identifiable error a service speaking `actual` returns when probed
+// with protocol `probe` (LZR: "if Censys receives an SMTP error in response
+// to an HTTP request, it identifies the service as running SMTP"). Empty if
+// the service silently drops the wrong-protocol probe.
+std::string WrongProtocolResponse(Protocol actual, Protocol probe,
+                                  std::uint64_t seed);
+
+// Device identity for ICS and embedded devices: a stable (vendor, model)
+// pair used by fingerprinting and the Table 4 experiment.
+struct DeviceIdentity {
+  std::string manufacturer;
+  std::string model;
+  bool operator==(const DeviceIdentity&) const = default;
+};
+DeviceIdentity GenerateDevice(Protocol p, std::uint64_t seed);
+
+}  // namespace censys::proto

@@ -1,0 +1,125 @@
+// Protocol registry.
+//
+// Censys implements ~200 L7 protocol scanners; we model the ~50 that the
+// paper's evaluation actually touches: the general-purpose protocols of
+// Tables 5 and 9 plus every industrial-control protocol of Table 4. Each
+// protocol carries the metadata the scan and interrogation engines need:
+// IANA-assigned ports, transport, whether the server talks first, whether a
+// TLS-wrapped variant exists, and whether it is an ICS protocol (which
+// gates access tiers and the Table 4 experiment).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+
+namespace censys::proto {
+
+enum class Protocol : std::uint8_t {
+  kUnknown = 0,
+  // Web.
+  kHttp,
+  kHttps,
+  // Remote access / shells.
+  kSsh,
+  kTelnet,
+  kRdp,
+  kVnc,
+  kRlogin,
+  kX11,
+  // File transfer.
+  kFtp,
+  kTftp,
+  kSmb,
+  // Mail.
+  kSmtp,
+  kPop3,
+  kImap,
+  // Naming and time.
+  kDns,
+  kNtp,
+  // Management.
+  kSnmp,
+  kLdap,
+  kSip,
+  kUpnp,
+  kMdns,
+  // Databases and caches.
+  kMysql,
+  kPostgres,
+  kRedis,
+  kMongodb,
+  kMemcached,
+  kElasticsearch,
+  kMqtt,
+  // Industrial control systems (paper Table 4).
+  kAtg,
+  kBacnet,
+  kCimonPlc,
+  kCmore,
+  kCodesys,
+  kDigi,
+  kDnp3,
+  kEip,
+  kFins,
+  kFox,
+  kGeSrtp,
+  kHart,
+  kIec60870,
+  kModbus,
+  kOpcUa,
+  kPcom,
+  kPcworx,
+  kProconos,
+  kRedlionCrimson,
+  kS7,
+  kWdbrpc,
+  kCount,  // sentinel
+};
+
+inline constexpr int kProtocolCount = static_cast<int>(Protocol::kCount);
+
+struct ProtocolInfo {
+  Protocol protocol = Protocol::kUnknown;
+  // Canonical service_name as it appears in Censys queries ("MODBUS").
+  std::string_view name;
+  Transport transport = Transport::kTcp;
+  // IANA-assigned / conventional ports, most common first. Empty for none.
+  std::vector<Port> assigned_ports;
+  // True if the server sends a banner immediately on connect (FTP, SSH,
+  // SMTP, Telnet...). LZR-style detection leans on this.
+  bool server_talks_first = false;
+  // True if the protocol responds to a generic HTTP GET with an
+  // identifiable protocol-specific error (e.g. SMTP "500 5.5.1").
+  bool identifiable_from_http_probe = false;
+  // True if a TLS-wrapped deployment is common (HTTPS, IMAPS...).
+  bool tls_common = false;
+  // Industrial-control protocol (Table 4 experiment; tiered access).
+  bool is_ics = false;
+  // Relative deployment frequency weight in the simulated Internet.
+  // Calibrated so HTTP(S) dominates, matching "the Internet service
+  // landscape is dominated by HTTP(S) services" (paper §6.3).
+  double population_weight = 0.0;
+};
+
+// Registry lookups. The registry is immutable and built once.
+const ProtocolInfo& GetInfo(Protocol p);
+std::string_view Name(Protocol p);
+std::optional<Protocol> FromName(std::string_view name);
+std::span<const ProtocolInfo> AllProtocols();
+
+// Protocols with an IANA assignment on `port` (most protocols have a couple
+// of conventional ports; several share none).
+std::vector<Protocol> AssignedToPort(Port port, Transport t);
+
+// The primary conventional port of a protocol (first assigned), or nullopt.
+std::optional<Port> PrimaryPort(Protocol p);
+
+// All ICS protocols, in Table 4 order.
+std::span<const Protocol> IcsProtocols();
+
+}  // namespace censys::proto

@@ -1,0 +1,102 @@
+#include "proto/tls.h"
+
+#include <array>
+#include <cstdio>
+
+#include "core/rng.h"
+#include "core/sha256.h"
+
+namespace censys::proto {
+namespace {
+
+constexpr std::array<std::string_view, 6> kCiphers12 = {
+    "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+    "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384",
+    "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256",
+    "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256",
+    "TLS_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_RSA_WITH_AES_256_CBC_SHA256",
+};
+constexpr std::array<std::string_view, 3> kCiphers13 = {
+    "TLS_AES_128_GCM_SHA256",
+    "TLS_AES_256_GCM_SHA384",
+    "TLS_CHACHA20_POLY1305_SHA256",
+};
+
+std::uint64_t Sub(std::uint64_t seed, std::uint64_t salt) {
+  return SplitMix64(seed ^ SplitMix64(salt));
+}
+
+}  // namespace
+
+std::string_view ToString(TlsVersion v) {
+  switch (v) {
+    case TlsVersion::kTls10: return "TLSv1.0";
+    case TlsVersion::kTls11: return "TLSv1.1";
+    case TlsVersion::kTls12: return "TLSv1.2";
+    case TlsVersion::kTls13: return "TLSv1.3";
+  }
+  return "TLS";
+}
+
+std::string TlsConfig::Jarm() const {
+  // The real JARM is 62 hex chars derived from ten probe responses; ours is
+  // a keyed hash of the stack configuration with the same shape. Identical
+  // stacks yield identical JARMs across hosts.
+  Sha256 h;
+  h.Update("jarm");
+  const std::uint64_t material[2] = {stack_id,
+                                     static_cast<std::uint64_t>(version)};
+  h.Update(material, sizeof(material));
+  h.Update(cipher);
+  const Sha256Digest d = h.Finish();
+  return ToHex(d).substr(0, 62);
+}
+
+std::string TlsConfig::Ja4s() const {
+  Sha256 h;
+  h.Update("ja4s");
+  h.Update(&stack_id, sizeof(stack_id));
+  h.Update(cipher);
+  const std::string hex = ToHex(h.Finish());
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t%s%02d_%s_%s",
+                version == TlsVersion::kTls13 ? "13" : "12",
+                static_cast<int>(stack_id % 20 + 1), hex.substr(0, 12).c_str(),
+                hex.substr(12, 12).c_str());
+  return buf;
+}
+
+std::optional<TlsConfig> DeriveTls(Protocol p, std::uint64_t seed, bool force) {
+  const ProtocolInfo& info = GetInfo(p);
+  const bool has_tls =
+      force || p == Protocol::kHttps ||
+      (info.tls_common && (Sub(seed, 30) % 100) < 60);
+  if (!has_tls) return std::nullopt;
+
+  TlsConfig cfg;
+  // ~55% of stacks negotiate TLS 1.3, the rest 1.2, a legacy sliver 1.0/1.1.
+  const std::uint64_t roll = Sub(seed, 31) % 100;
+  if (roll < 55) {
+    cfg.version = TlsVersion::kTls13;
+    cfg.cipher = std::string(kCiphers13[Sub(seed, 32) % kCiphers13.size()]);
+  } else if (roll < 96) {
+    cfg.version = TlsVersion::kTls12;
+    cfg.cipher = std::string(kCiphers12[Sub(seed, 32) % kCiphers12.size()]);
+  } else {
+    cfg.version = roll < 98 ? TlsVersion::kTls11 : TlsVersion::kTls10;
+    cfg.cipher = std::string(kCiphers12[4 + Sub(seed, 32) % 2]);
+  }
+  // A modest number of distinct TLS stacks exist in the wild; hosts cluster
+  // onto them. 1/64 of services get a "rare" stack id (C2 kits, bespoke
+  // builds) — these are the threat-hunting pivots.
+  if (Sub(seed, 33) % 64 == 0) {
+    cfg.stack_id = 1000 + Sub(seed, 34) % 50;  // rare stacks
+  } else {
+    cfg.stack_id = Sub(seed, 34) % 24;  // common stacks
+  }
+  cfg.cert_seed = Sub(seed, 35);
+  return cfg;
+}
+
+}  // namespace censys::proto

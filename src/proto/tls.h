@@ -1,0 +1,41 @@
+// Simulated TLS layer.
+//
+// We do not model TLS byte-level records; we model the attributes the paper
+// cares about: whether a service speaks TLS, which certificate it presents,
+// and the stack fingerprints (JARM / JA4S) that threat hunters pivot on
+// (§7.2 "mapping out relationships between servers (e.g., via SSH hostkey
+// or JARM fingerprint)"). The fingerprint is a stable function of the TLS
+// stack configuration, so distinct hosts running the same C2 kit share a
+// fingerprint — exactly the property the real fingerprints have.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "proto/protocol.h"
+
+namespace censys::proto {
+
+enum class TlsVersion : std::uint8_t { kTls10, kTls11, kTls12, kTls13 };
+
+std::string_view ToString(TlsVersion v);
+
+struct TlsConfig {
+  TlsVersion version = TlsVersion::kTls12;
+  std::string cipher;            // negotiated cipher suite name
+  std::uint64_t stack_id = 0;    // identity of the TLS implementation/config
+  std::uint64_t cert_seed = 0;   // deterministic input to cert synthesis
+
+  // JARM-style 62-hex-char active TLS fingerprint of the stack.
+  std::string Jarm() const;
+  // JA4S-style server fingerprint ("t13d1516h2_8daaf6152771_b0da82dd1658").
+  std::string Ja4s() const;
+};
+
+// Derives the TLS configuration for a service seed, or nullopt when the
+// service does not speak TLS. `force` makes TLS mandatory (used for HTTPS).
+std::optional<TlsConfig> DeriveTls(Protocol p, std::uint64_t seed,
+                                   bool force = false);
+
+}  // namespace censys::proto

@@ -1,0 +1,120 @@
+#include "scan/cyclic.h"
+
+#include <cassert>
+
+#include "core/rng.h"
+
+namespace censys::scan {
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % m);
+}
+
+std::uint64_t PowMod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool IsPrime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  // Deterministic Miller-Rabin base set for 64-bit integers.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = PowMod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = MulMod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t NextPrimeAbove(std::uint64_t n) {
+  std::uint64_t candidate = n + 1;
+  if (candidate <= 2) return 2;
+  if ((candidate & 1) == 0) ++candidate;
+  while (!IsPrime(candidate)) candidate += 2;
+  return candidate;
+}
+
+std::vector<std::uint64_t> DistinctPrimeFactors(std::uint64_t n) {
+  std::vector<std::uint64_t> factors;
+  for (std::uint64_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+    if (n % p == 0) {
+      factors.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+CyclicPermutation::CyclicPermutation(std::uint64_t n, std::uint64_t seed)
+    : n_(n) {
+  assert(n >= 1);
+  // Need p >= 3 so the multiplicative group is nontrivial.
+  p_ = NextPrimeAbove(n < 2 ? 2 : n);
+  const std::vector<std::uint64_t> factors = DistinctPrimeFactors(p_ - 1);
+
+  // Find a primitive root: g is a generator iff g^((p-1)/q) != 1 for every
+  // prime q | p-1. Candidates are drawn from the seed's stream.
+  Rng rng(SplitMix64(seed ^ 0xC7C11C));
+  while (true) {
+    const std::uint64_t g = 2 + rng.NextBelow(p_ - 3);
+    bool is_generator = true;
+    for (std::uint64_t q : factors) {
+      if (PowMod(g, (p_ - 1) / q, p_) == 1) {
+        is_generator = false;
+        break;
+      }
+    }
+    if (is_generator) {
+      g_ = g;
+      break;
+    }
+  }
+  first_ = 1 + rng.NextBelow(p_ - 1);
+  current_ = first_;
+}
+
+std::uint64_t CyclicPermutation::Next() {
+  cycle_complete_ = false;
+  while (true) {
+    if (started_ && current_ == first_) {
+      // Wrapped: the multiplicative walk returned to its start.
+      cycle_complete_ = true;
+    }
+    const std::uint64_t value = current_ - 1;  // map [1, p) -> [0, p-1)
+    current_ = MulMod(current_, g_, p_);
+    started_ = true;
+    if (value < n_) {
+      ++emitted_;
+      return value;
+    }
+  }
+}
+
+}  // namespace censys::scan

@@ -1,0 +1,62 @@
+// ZMap-style cyclic-group target permutation.
+//
+// ZMap iterates scan targets by walking the multiplicative group of integers
+// modulo a prime p > n: x_{i+1} = x_i * g (mod p), where g is a primitive
+// root. The walk visits every element of [1, p) exactly once in an order
+// that looks random but needs O(1) state — which is what makes stateless
+// scanning at line rate possible. Values >= n are skipped. We implement the
+// construction in full (prime search via deterministic Miller-Rabin,
+// generator search via factoring p-1) because the scan engine's coverage
+// guarantees derive from it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace censys::scan {
+
+// Deterministic Miller-Rabin for 64-bit integers.
+bool IsPrime(std::uint64_t n);
+
+// Smallest prime strictly greater than n.
+std::uint64_t NextPrimeAbove(std::uint64_t n);
+
+// Distinct prime factors of n (trial division; n fits our p-1 sizes).
+std::vector<std::uint64_t> DistinctPrimeFactors(std::uint64_t n);
+
+// (a * b) mod m without overflow.
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+// (base ^ exp) mod m.
+std::uint64_t PowMod(std::uint64_t base, std::uint64_t exp, std::uint64_t m);
+
+// A full-cycle permutation of [0, n).
+class CyclicPermutation {
+ public:
+  // `seed` selects the generator and the starting point, i.e. the scan
+  // order; two scans with different seeds visit targets in unrelated orders.
+  CyclicPermutation(std::uint64_t n, std::uint64_t seed);
+
+  // Returns the next element of [0, n). After n calls the permutation has
+  // produced every element exactly once and wraps around.
+  std::uint64_t Next();
+
+  // True once the walk has completed a full cycle since construction (or
+  // since the last wrap).
+  bool cycle_complete() const { return cycle_complete_; }
+
+  std::uint64_t n() const { return n_; }
+  std::uint64_t prime() const { return p_; }
+  std::uint64_t generator() const { return g_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t p_;  // prime > n
+  std::uint64_t g_;  // primitive root mod p
+  std::uint64_t current_;
+  std::uint64_t first_;
+  std::uint64_t emitted_ = 0;
+  bool started_ = false;
+  bool cycle_complete_ = false;
+};
+
+}  // namespace censys::scan

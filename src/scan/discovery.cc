@@ -1,0 +1,154 @@
+#include "scan/discovery.h"
+
+#include <unordered_set>
+
+#include "core/strings.h"
+#include "scan/cyclic.h"
+#include "scan/exclusion.h"
+
+namespace censys::scan {
+
+DiscoveryEngine::DiscoveryEngine(simnet::Internet& net,
+                                 simnet::ScannerProfile profile, int pop_count,
+                                 std::uint64_t seed)
+    : net_(net), profile_(std::move(profile)), pop_count_(pop_count),
+      seed_(seed) {}
+
+double DiscoveryEngine::SlotOf(ServiceKey key, std::uint64_t pass_index,
+                               std::string_view klass_name) const {
+  const std::uint64_t h = SplitMix64(
+      key.Pack() ^ SplitMix64(pass_index ^ SplitMix64(Fnv1a64(klass_name))) ^
+      seed_);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool DiscoveryEngine::InScope(const ScanClass& klass, IPv4Address ip) const {
+  if (klass.blocks.empty()) return true;
+  const simnet::NetworkBlock& b = net_.blocks().BlockOf(ip);
+  for (const simnet::NetworkBlock* scoped : klass.blocks) {
+    if (scoped->id == b.id) return true;
+  }
+  return false;
+}
+
+bool DiscoveryEngine::ProbeOne(ServiceKey key, Timestamp t, int pop_id,
+                               std::optional<proto::Protocol> udp_protocol) {
+  if (exclusions_ != nullptr && exclusions_->IsExcluded(key.ip, t)) {
+    return false;
+  }
+  ++probes_sent_;
+  (void)udp_protocol;  // the probe payload; matching is checked by caller
+  const simnet::ProbeContext ctx{&profile_, pop_id};
+  return net_.L4Probe(ctx, key, t);
+}
+
+void DiscoveryEngine::RunPassChunk(const ScanClass& klass,
+                                   std::uint64_t pass_index, Timestamp from,
+                                   Timestamp to, const EmitFn& emit) {
+  if (!klass.enabled || klass.ports.empty()) return;
+
+  const Timestamp pass_start{klass.period.minutes *
+                             static_cast<std::int64_t>(pass_index)};
+  std::unordered_set<Port> port_set(klass.ports.begin(), klass.ports.end());
+  std::unordered_set<std::uint32_t> scoped_blocks;
+  for (const simnet::NetworkBlock* b : klass.blocks) scoped_blocks.insert(b->id);
+
+  auto slot_time = [&](ServiceKey key) {
+    return pass_start + Duration{static_cast<std::int64_t>(
+                            SlotOf(key, pass_index, klass.name) *
+                            static_cast<double>(klass.period.minutes))};
+  };
+  auto in_scope = [&](IPv4Address ip) {
+    if (exclusions_ != nullptr && exclusions_->IsExcluded(ip, to)) {
+      return false;
+    }
+    if (scoped_blocks.empty()) return true;
+    return scoped_blocks.contains(net_.blocks().BlockOf(ip).id);
+  };
+
+  // Probe accounting: this chunk's share of the full pass volume.
+  const double chunk_fraction =
+      static_cast<double>((to - from).minutes) /
+      static_cast<double>(klass.period.minutes);
+  probes_sent_ += static_cast<std::uint64_t>(
+      static_cast<double>(PassProbeCount(klass)) * chunk_fraction);
+
+  // --- live services whose slot falls in this chunk -------------------------
+  net_.ForEachActiveService(to, [&](const simnet::SimService& s) {
+    if (!port_set.contains(s.key.port)) return;
+    if (!in_scope(s.key.ip)) return;
+    const Timestamp when = slot_time(s.key);
+    if (when < from || when >= to) return;
+
+    std::optional<proto::Protocol> udp_protocol;
+    if (s.key.transport == Transport::kUdp) {
+      // A UDP service only answers the matching protocol-specific probe,
+      // and the engine only sends probes for protocols IANA-assigned to
+      // the port. UDP services on unassigned ports are invisible to L4
+      // discovery — one of the reasons UDP behaviour "has seen little
+      // work" (§9).
+      const auto assigned = proto::AssignedToPort(s.key.port, Transport::kUdp);
+      bool probed = false;
+      for (proto::Protocol p : assigned) {
+        if (p == s.protocol) probed = true;
+      }
+      if (!probed) return;
+      udp_protocol = s.protocol;
+    }
+
+    const int pop = next_pop_;
+    next_pop_ = (next_pop_ + 1) % pop_count_;
+    const simnet::ProbeContext ctx{&profile_, pop};
+    if (!net_.L4Probe(ctx, s.key, when)) return;
+    emit(Candidate{s.key, when, klass.name, udp_protocol});
+  });
+
+  // --- pseudo hosts answer on every TCP port --------------------------------
+  net_.ForEachPseudoHost([&](IPv4Address ip) {
+    if (!in_scope(ip)) return;
+    for (Port port : klass.ports) {
+      const ServiceKey key{ip, port, Transport::kTcp};
+      const Timestamp when = slot_time(key);
+      if (when < from || when >= to) continue;
+      const int pop = next_pop_;
+      next_pop_ = (next_pop_ + 1) % pop_count_;
+      const simnet::ProbeContext ctx{&profile_, pop};
+      if (!net_.L4Probe(ctx, key, when)) continue;
+      emit(Candidate{key, when, klass.name, std::nullopt});
+    }
+  });
+}
+
+std::uint64_t DiscoveryEngine::PassProbeCount(const ScanClass& klass) const {
+  std::uint64_t addresses = 0;
+  if (klass.blocks.empty()) {
+    addresses = net_.blocks().universe_size();
+  } else {
+    for (const simnet::NetworkBlock* b : klass.blocks) addresses += b->cidr.size();
+  }
+  return addresses * klass.ports.size();
+}
+
+std::vector<Port> BackgroundPortSlice(std::uint64_t pass_index,
+                                      std::size_t ports_per_pass,
+                                      std::uint64_t seed) {
+  const std::uint64_t start = pass_index * ports_per_pass;
+  const std::uint64_t cycle = start / kPortSpaceSize;
+  std::uint64_t offset = start % kPortSpaceSize;
+
+  // Each cycle through the 65K port space uses a fresh permutation, so
+  // consecutive sweeps visit ports in unrelated orders (and every port is
+  // covered exactly once per cycle).
+  CyclicPermutation perm(kPortSpaceSize, SplitMix64(seed ^ cycle));
+  for (std::uint64_t i = 0; i < offset; ++i) perm.Next();
+
+  std::vector<Port> slice;
+  slice.reserve(ports_per_pass);
+  for (std::size_t i = 0; i < ports_per_pass && offset + i < kPortSpaceSize;
+       ++i) {
+    slice.push_back(static_cast<Port>(perm.Next()));
+  }
+  return slice;
+}
+
+}  // namespace censys::scan

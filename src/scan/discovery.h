@@ -1,0 +1,109 @@
+// L4 service discovery.
+//
+// Censys runs three classes of continuous stateless discovery scans (§4.1):
+// priority ports over the full address space, cloud-infrastructure ports
+// over dense high-churn networks, and a slow background sweep of all 65K
+// ports. Each is described by a ScanClass; the DiscoveryEngine executes
+// them against the simulated Internet and emits L4-responsive candidates
+// for Phase-2 interrogation.
+//
+// Execution model: a scan class defines recurring *passes* (one window over
+// its target set). Within a pass every (ip, port) target has a
+// deterministic probe slot — a stable hash of the target and pass — which
+// stands in for its position in the ZMap-style cyclic permutation of the
+// target space (see scan/cyclic.h for the real construction; enumerating
+// the full cartesian space per pass would dominate simulation cost while
+// producing statistically identical slots). The engine therefore iterates
+// *live services* and pseudo hosts, probing each at its slot time, and
+// accounts the full probe volume analytically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/types.h"
+#include "simnet/internet.h"
+
+namespace censys::scan {
+
+// One candidate produced by L4 discovery, queued for L7 interrogation.
+struct Candidate {
+  ServiceKey key;
+  Timestamp discovered_at;
+  // Which scan class produced it (for diagnostics and ablations).
+  std::string_view source;
+  // For UDP targets, the protocol whose probe elicited the response.
+  std::optional<proto::Protocol> udp_protocol;
+};
+
+// A recurring discovery scan over (ports x address space).
+struct ScanClass {
+  std::string name;
+  // Ports covered by each pass. For the background 65K scan this is
+  // regenerated per pass (a slice of the port permutation).
+  std::vector<Port> ports;
+  // Restrict to these blocks; empty = whole universe.
+  std::vector<const simnet::NetworkBlock*> blocks;
+  // Pass length. Daily scans use 1 day; the background sweep uses 1 day
+  // windows over a rotating port slice.
+  Duration period = Duration::Days(1);
+  bool enabled = true;
+};
+
+class DiscoveryEngine {
+ public:
+  using EmitFn = std::function<void(const Candidate&)>;
+
+  DiscoveryEngine(simnet::Internet& net, simnet::ScannerProfile profile,
+                  int pop_count, std::uint64_t seed);
+
+  // Attaches the opt-out list; excluded addresses are never probed (§8).
+  void SetExclusionList(const class ExclusionList* exclusions) {
+    exclusions_ = exclusions;
+  }
+
+  // Executes the slice of `klass`'s current pass whose probe slots fall in
+  // [from, to), emitting responsive candidates. `pass_index` identifies the
+  // pass (e.g. day number) so slots differ between passes.
+  void RunPassChunk(const ScanClass& klass, std::uint64_t pass_index,
+                    Timestamp from, Timestamp to, const EmitFn& emit);
+
+  // Probes one specific target now (used for refresh scans and for
+  // predictive-engine candidates). Returns true if L4-responsive.
+  bool ProbeOne(ServiceKey key, Timestamp t, int pop_id,
+                std::optional<proto::Protocol> udp_protocol = std::nullopt);
+
+  // Analytic probe accounting: total probes a full pass of `klass` costs.
+  std::uint64_t PassProbeCount(const ScanClass& klass) const;
+
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  const simnet::ScannerProfile& profile() const { return profile_; }
+  int pop_count() const { return pop_count_; }
+
+ private:
+  // Deterministic slot of `key` within a pass window, as a fraction [0,1).
+  double SlotOf(ServiceKey key, std::uint64_t pass_index,
+                std::string_view klass_name) const;
+  bool InScope(const ScanClass& klass, IPv4Address ip) const;
+
+  simnet::Internet& net_;
+  simnet::ScannerProfile profile_;
+  int pop_count_;
+  std::uint64_t seed_;
+  const class ExclusionList* exclusions_ = nullptr;
+  std::uint64_t probes_sent_ = 0;
+  int next_pop_ = 0;
+};
+
+// Builds the port slice the background 65K scan covers on pass `pass_index`
+// (ports_per_pass ports out of the full 65536-port permutation, rotating so
+// a full cycle covers every port).
+std::vector<Port> BackgroundPortSlice(std::uint64_t pass_index,
+                                      std::size_t ports_per_pass,
+                                      std::uint64_t seed);
+
+}  // namespace censys::scan

@@ -1,0 +1,51 @@
+#include "scan/exclusion.h"
+
+#include <algorithm>
+#include <set>
+
+namespace censys::scan {
+
+bool ExclusionList::Exclude(const Cidr& prefix, std::string requester,
+                            Timestamp now, Duration validity) {
+  if (requester.empty()) return false;  // no verified contact, no exclusion
+  requests_.push_back(
+      Request{prefix, std::move(requester), now, now + validity});
+  active_.Insert(prefix);
+  return true;
+}
+
+bool ExclusionList::IsExcluded(IPv4Address ip, Timestamp now) const {
+  // The active set is rebuilt on explicit ExpireOld() calls; between them a
+  // stale-but-conservative view is acceptable (we only ever over-exclude).
+  (void)now;
+  return active_.Contains(ip);
+}
+
+std::size_t ExclusionList::ExpireOld(Timestamp now) {
+  const std::size_t before = requests_.size();
+  std::erase_if(requests_,
+                [&](const Request& r) { return r.expires_at <= now; });
+  const std::size_t expired = before - requests_.size();
+  if (expired > 0) Rebuild();
+  last_expiry_check_ = now;
+  return expired;
+}
+
+void ExclusionList::Rebuild() {
+  active_ = CidrSet();
+  for (const Request& r : requests_) active_.Insert(r.prefix);
+}
+
+double ExclusionList::ExcludedFraction(std::uint64_t universe_size) const {
+  if (universe_size == 0) return 0.0;
+  return static_cast<double>(active_.AddressCount()) /
+         static_cast<double>(universe_size);
+}
+
+std::size_t ExclusionList::organization_count() const {
+  std::set<std::string> orgs;
+  for (const Request& r : requests_) orgs.insert(r.requester);
+  return orgs.size();
+}
+
+}  // namespace censys::scan

@@ -1,0 +1,55 @@
+// Scan exclusion ("opt-out") list — §8 and Appendix D.
+//
+// Censys honours opt-out requests from operators who can verify network
+// ownership via WHOIS; exclusions expire after one year. The list is a set
+// of CIDR prefixes consulted on the hot path of every probe, so membership
+// tests must stay O(log n) (core/cidr.h's merged-range CidrSet).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/cidr.h"
+#include "core/types.h"
+
+namespace censys::scan {
+
+class ExclusionList {
+ public:
+  struct Request {
+    Cidr prefix;
+    std::string requester;     // verified WHOIS contact
+    Timestamp granted_at;
+    Timestamp expires_at;      // granted_at + 1 year by default
+  };
+
+  // Registers a verified opt-out. Returns false (and excludes nothing) if
+  // ownership verification failed upstream.
+  bool Exclude(const Cidr& prefix, std::string requester, Timestamp now,
+               Duration validity = Duration::Days(365));
+
+  // True if probes to `ip` are currently suppressed.
+  bool IsExcluded(IPv4Address ip, Timestamp now) const;
+
+  // Drops expired requests and rebuilds the fast set ("we expire exclusion
+  // requests after one year"). Returns the number expired.
+  std::size_t ExpireOld(Timestamp now);
+
+  // Fraction of an address space of `universe_size` currently excluded —
+  // the paper reports 0.03% of IPv4 across 39 organizations.
+  double ExcludedFraction(std::uint64_t universe_size) const;
+
+  const std::vector<Request>& requests() const { return requests_; }
+  std::size_t organization_count() const;
+
+ private:
+  void Rebuild();
+
+  std::vector<Request> requests_;
+  CidrSet active_;
+  Timestamp last_expiry_check_{std::numeric_limits<std::int64_t>::min() / 4};
+};
+
+}  // namespace censys::scan

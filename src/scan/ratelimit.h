@@ -1,0 +1,58 @@
+// Token-bucket rate limiter.
+//
+// The scan engine budgets probes per simulated tick the way the real engine
+// budgets packets per second; interrogation workers use the same primitive
+// to pace L7 handshakes ("finer-grained bandwidth allocation", §4.1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace censys::scan {
+
+class TokenBucket {
+ public:
+  // `rate_per_minute` tokens accrue per simulated minute, up to `burst`.
+  TokenBucket(double rate_per_minute, double burst)
+      : rate_per_minute_(rate_per_minute), burst_(burst), tokens_(burst) {}
+
+  // Accrues tokens for the elapsed time since the last call.
+  void AdvanceTo(Timestamp now) {
+    if (!initialized_) {
+      last_ = now;
+      initialized_ = true;
+      return;
+    }
+    if (now <= last_) return;
+    const double elapsed = static_cast<double>((now - last_).minutes);
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_per_minute_);
+    last_ = now;
+  }
+
+  // Tries to take `count` tokens; returns the number actually granted
+  // (possibly fewer). Fractional accrual is kept internally.
+  std::uint64_t TryAcquire(std::uint64_t count) {
+    const std::uint64_t grant =
+        std::min(count, static_cast<std::uint64_t>(tokens_));
+    tokens_ -= static_cast<double>(grant);
+    return grant;
+  }
+
+  bool TryAcquireOne() { return TryAcquire(1) == 1; }
+
+  double available() const { return tokens_; }
+  double rate_per_minute() const { return rate_per_minute_; }
+
+  void set_rate_per_minute(double rate) { rate_per_minute_ = rate; }
+
+ private:
+  double rate_per_minute_;
+  double burst_;
+  double tokens_;
+  Timestamp last_;
+  bool initialized_ = false;
+};
+
+}  // namespace censys::scan

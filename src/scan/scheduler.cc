@@ -1,0 +1,43 @@
+#include "scan/scheduler.h"
+
+#include <algorithm>
+
+namespace censys::scan {
+
+void ScanScheduler::Tick(Timestamp from, Timestamp to,
+                         const DiscoveryEngine::EmitFn& emit) {
+  for (ScheduledClass& scheduled : classes_) {
+    ScanClass& klass = scheduled.klass;
+    if (!klass.enabled) continue;
+    const std::int64_t period = klass.period.minutes;
+
+    // Walk the pass windows overlapping [from, to).
+    std::int64_t cursor = from.minutes;
+    while (cursor < to.minutes) {
+      const std::uint64_t pass_index =
+          static_cast<std::uint64_t>(cursor / period);
+      const std::int64_t pass_end =
+          static_cast<std::int64_t>(pass_index + 1) * period;
+      const std::int64_t chunk_end = std::min(pass_end, to.minutes);
+
+      if (scheduled.port_provider) {
+        klass.ports = scheduled.port_provider(pass_index);
+      }
+      engine_.RunPassChunk(klass, pass_index, Timestamp{cursor},
+                           Timestamp{chunk_end}, emit);
+      cursor = chunk_end;
+    }
+  }
+}
+
+bool ScanScheduler::SetEnabled(std::string_view name, bool enabled) {
+  for (ScheduledClass& scheduled : classes_) {
+    if (scheduled.klass.name == name) {
+      scheduled.klass.enabled = enabled;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace censys::scan

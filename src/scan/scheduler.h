@@ -1,0 +1,49 @@
+// Continuous scan scheduling.
+//
+// Censys "scans continuously rather than on a fixed schedule, distributing
+// traffic evenly across source IP addresses and time" (§4.1). The scheduler
+// owns a set of recurring scan classes and, on every simulation tick, runs
+// the slice of each class's current pass that falls inside the tick. Passes
+// whose port sets rotate (the background 65K sweep) regenerate their ports
+// via a per-pass provider.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scan/discovery.h"
+
+namespace censys::scan {
+
+struct ScheduledClass {
+  ScanClass klass;
+  // If set, called once per pass to produce that pass's port set (the
+  // background sweep's rotating slice). Otherwise klass.ports is fixed.
+  std::function<std::vector<Port>(std::uint64_t pass_index)> port_provider;
+};
+
+class ScanScheduler {
+ public:
+  explicit ScanScheduler(DiscoveryEngine& engine) : engine_(engine) {}
+
+  void AddClass(ScheduledClass scheduled) {
+    classes_.push_back(std::move(scheduled));
+  }
+
+  // Runs every class's probe slots falling in [from, to), splitting at pass
+  // boundaries so rotating port sets switch at the right instant.
+  void Tick(Timestamp from, Timestamp to, const DiscoveryEngine::EmitFn& emit);
+
+  std::size_t class_count() const { return classes_.size(); }
+  // Enables/disables a class by name; returns false if not found. Used by
+  // ablation benches.
+  bool SetEnabled(std::string_view name, bool enabled);
+
+ private:
+  DiscoveryEngine& engine_;
+  std::vector<ScheduledClass> classes_;
+};
+
+}  // namespace censys::scan

@@ -1,0 +1,46 @@
+#include "search/analytics.h"
+
+namespace censys::search {
+
+void AnalyticsStore::AddSnapshot(DailySnapshot snapshot) {
+  snapshots_[snapshot.day] = std::move(snapshot);
+}
+
+std::size_t AnalyticsStore::ThinOut(Timestamp now) {
+  const std::int64_t cutoff_day =
+      (now - options_.full_retention).minutes / (24 * 60);
+  std::size_t dropped = 0;
+  for (auto it = snapshots_.begin(); it != snapshots_.end();) {
+    if (it->first < cutoff_day && (it->first % 7) != options_.keep_weekday) {
+      it = snapshots_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+const DailySnapshot* AnalyticsStore::GetDay(std::int64_t day) const {
+  const auto it = snapshots_.find(day);
+  return it == snapshots_.end() ? nullptr : &it->second;
+}
+
+const DailySnapshot* AnalyticsStore::GetLatestUpTo(std::int64_t day) const {
+  auto it = snapshots_.upper_bound(day);
+  if (it == snapshots_.begin()) return nullptr;
+  --it;
+  return &it->second;
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>>
+AnalyticsStore::ProtocolSeries(const std::string& protocol) const {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> series;
+  for (const auto& [day, snapshot] : snapshots_) {
+    const auto it = snapshot.by_protocol.find(protocol);
+    series.emplace_back(day, it == snapshot.by_protocol.end() ? 0 : it->second);
+  }
+  return series;
+}
+
+}  // namespace censys::search

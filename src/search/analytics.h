@@ -1,0 +1,60 @@
+// Analytics engine (§5.3 "Analytics Engine" / "Raw Data Downloads").
+//
+// Censys snapshots its Internet Map to BigQuery daily; after three months
+// only one weekday snapshot per week is retained. We model the snapshot
+// store and its retention policy, plus the aggregate series longitudinal
+// analyses consume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace censys::search {
+
+struct DailySnapshot {
+  std::int64_t day = 0;  // simulated day number
+  std::uint64_t total_services = 0;
+  std::uint64_t total_hosts = 0;
+  std::map<std::string, std::uint64_t> by_protocol;
+  std::map<Port, std::uint64_t> by_port;
+  std::map<std::string, std::uint64_t> by_country;
+};
+
+class AnalyticsStore {
+ public:
+  struct Options {
+    // Snapshots older than this are thinned to one per week.
+    Duration full_retention = Duration::Days(90);
+    int keep_weekday = 2;  // day-of-week kept after thinning
+  };
+
+  AnalyticsStore() : AnalyticsStore(Options()) {}
+  explicit AnalyticsStore(Options options) : options_(options) {}
+
+  void AddSnapshot(DailySnapshot snapshot);
+
+  // Applies the retention policy relative to `now`; returns snapshots
+  // dropped.
+  std::size_t ThinOut(Timestamp now);
+
+  const DailySnapshot* GetDay(std::int64_t day) const;
+  // Latest snapshot at or before `day`, if any.
+  const DailySnapshot* GetLatestUpTo(std::int64_t day) const;
+
+  // Longitudinal series: (day, count) for a protocol across all snapshots.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> ProtocolSeries(
+      const std::string& protocol) const;
+
+  std::size_t size() const { return snapshots_.size(); }
+
+ private:
+  Options options_;
+  std::map<std::int64_t, DailySnapshot> snapshots_;
+};
+
+}  // namespace censys::search

@@ -1,0 +1,119 @@
+#include "search/export.h"
+
+#include <cassert>
+
+#include "storage/serialize.h"
+
+namespace censys::search {
+namespace {
+
+constexpr std::string_view kMagic = "CSNAP\x01";
+constexpr std::size_t kBlockTarget = 64 * 1024;
+
+}  // namespace
+
+std::uint64_t ExportChecksum(std::string_view data) {
+  std::uint64_t a = 1, b = 0;
+  for (unsigned char c : data) {
+    a = (a + c) % 0xFFFFFFFBull;
+    b = (b + a) % 0xFFFFFFFBull;
+  }
+  return (b << 32) | a;
+}
+
+SnapshotWriter::SnapshotWriter(std::int64_t snapshot_day, std::string dataset) {
+  buffer_.append(kMagic);
+  storage::PutVarint(buffer_, static_cast<std::uint64_t>(snapshot_day));
+  storage::PutLengthPrefixed(buffer_, dataset);
+}
+
+void SnapshotWriter::Append(const ExportRecord& record) {
+  assert(!finished_);
+  storage::PutLengthPrefixed(block_, record.entity_id);
+  storage::PutLengthPrefixed(block_, storage::EncodeFields(record.fields));
+  ++block_records_;
+  ++record_count_;
+  if (block_.size() >= kBlockTarget) FlushBlock();
+}
+
+void SnapshotWriter::FlushBlock() {
+  if (block_records_ == 0) return;
+  storage::PutVarint(buffer_, block_records_);
+  storage::PutLengthPrefixed(buffer_, block_);
+  storage::PutVarint(buffer_, ExportChecksum(block_));
+  block_.clear();
+  block_records_ = 0;
+}
+
+std::string SnapshotWriter::Finish() {
+  assert(!finished_);
+  FlushBlock();
+  storage::PutVarint(buffer_, 0);  // zero-record terminator block
+  storage::PutVarint(buffer_, record_count_);
+  finished_ = true;
+  return std::move(buffer_);
+}
+
+bool SnapshotReader::Open(std::string_view bytes, std::string* error) {
+  error->clear();
+  records_.clear();
+  if (bytes.substr(0, kMagic.size()) != kMagic) {
+    *error = "bad magic";
+    return false;
+  }
+  std::size_t pos = kMagic.size();
+  const auto day = storage::GetVarint(bytes, &pos);
+  const auto dataset = storage::GetLengthPrefixed(bytes, &pos);
+  if (!day.has_value() || !dataset.has_value()) {
+    *error = "truncated header";
+    return false;
+  }
+  snapshot_day_ = static_cast<std::int64_t>(*day);
+  dataset_ = std::string(*dataset);
+
+  while (true) {
+    const auto block_records = storage::GetVarint(bytes, &pos);
+    if (!block_records.has_value()) {
+      *error = "truncated block header";
+      return false;
+    }
+    if (*block_records == 0) break;  // terminator
+    const auto block = storage::GetLengthPrefixed(bytes, &pos);
+    const auto checksum = storage::GetVarint(bytes, &pos);
+    if (!block.has_value() || !checksum.has_value()) {
+      *error = "truncated block";
+      return false;
+    }
+    if (ExportChecksum(*block) != *checksum) {
+      *error = "block checksum mismatch";
+      return false;
+    }
+    std::size_t block_pos = 0;
+    for (std::uint64_t i = 0; i < *block_records; ++i) {
+      const auto entity = storage::GetLengthPrefixed(*block, &block_pos);
+      const auto fields_bytes = storage::GetLengthPrefixed(*block, &block_pos);
+      if (!entity.has_value() || !fields_bytes.has_value()) {
+        *error = "corrupt record";
+        return false;
+      }
+      const auto fields = storage::DecodeFields(*fields_bytes);
+      if (!fields.has_value()) {
+        *error = "corrupt field map";
+        return false;
+      }
+      records_.push_back(ExportRecord{std::string(*entity), *fields});
+    }
+  }
+  const auto total = storage::GetVarint(bytes, &pos);
+  if (!total.has_value() || *total != records_.size()) {
+    *error = "record count mismatch";
+    return false;
+  }
+  if (pos != bytes.size()) {
+    *error = "trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace censys::search

@@ -1,0 +1,68 @@
+// Raw data downloads (§5.3).
+//
+// "To support on-premise analysis and model training, we publish daily
+// snapshots in Apache Avro format." Our container is Avro-shaped: a magic
+// header, a schema-ish metadata section, then length-prefixed record
+// blocks with per-block record counts and a CRC-style checksum, so
+// truncation and corruption are detectable on import.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/delta.h"
+
+namespace censys::search {
+
+struct ExportRecord {
+  std::string entity_id;
+  storage::FieldMap fields;
+  bool operator==(const ExportRecord&) const = default;
+};
+
+class SnapshotWriter {
+ public:
+  // `snapshot_day` and `dataset` land in the header metadata.
+  SnapshotWriter(std::int64_t snapshot_day, std::string dataset);
+
+  void Append(const ExportRecord& record);
+  // Finalizes the container (flushes the open block, writes the trailer)
+  // and returns the bytes. The writer is spent afterwards.
+  std::string Finish();
+
+  std::uint64_t record_count() const { return record_count_; }
+
+ private:
+  void FlushBlock();
+
+  std::string buffer_;
+  std::string block_;
+  std::uint32_t block_records_ = 0;
+  std::uint64_t record_count_ = 0;
+  bool finished_ = false;
+};
+
+class SnapshotReader {
+ public:
+  // Parses and verifies the container. Returns false (with *error) on a
+  // bad header, checksum mismatch, or truncation.
+  bool Open(std::string_view bytes, std::string* error);
+
+  std::int64_t snapshot_day() const { return snapshot_day_; }
+  const std::string& dataset() const { return dataset_; }
+  const std::vector<ExportRecord>& records() const { return records_; }
+
+ private:
+  std::int64_t snapshot_day_ = 0;
+  std::string dataset_;
+  std::vector<ExportRecord> records_;
+};
+
+// Fletcher-style 64-bit checksum used by the container.
+std::uint64_t ExportChecksum(std::string_view data);
+
+}  // namespace censys::search

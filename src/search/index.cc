@@ -1,0 +1,212 @@
+#include "search/index.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/strings.h"
+
+namespace censys::search {
+namespace {
+
+constexpr char kSep = '\x1f';
+
+bool HasWildcard(std::string_view pattern) {
+  return pattern.find('*') != std::string_view::npos ||
+         pattern.find('?') != std::string_view::npos;
+}
+
+}  // namespace
+
+std::vector<std::string> SearchIndex::Tokenize(std::string_view value) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char c : value) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc) || c == '.' || c == '_' || c == '-') {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+void SearchIndex::Index(std::string_view doc_id,
+                        const storage::FieldMap& fields) {
+  Remove(doc_id);
+  const std::string id(doc_id);
+  for (const auto& [field, value] : fields) {
+    field_docs_[field].insert(id);
+    for (const std::string& token : Tokenize(value)) {
+      postings_[field + kSep + token].insert(id);
+      postings_[kSep + token].insert(id);
+    }
+  }
+  docs_[id] = fields;
+}
+
+void SearchIndex::Remove(std::string_view doc_id) {
+  const auto it = docs_.find(doc_id);
+  if (it == docs_.end()) return;
+  const std::string id(doc_id);
+  for (const auto& [field, value] : it->second) {
+    if (const auto fd = field_docs_.find(field); fd != field_docs_.end()) {
+      fd->second.erase(id);
+      if (fd->second.empty()) field_docs_.erase(fd);
+    }
+    for (const std::string& token : Tokenize(value)) {
+      for (const std::string& key : {field + kSep + token, kSep + token}) {
+        if (const auto p = postings_.find(key); p != postings_.end()) {
+          p->second.erase(id);
+          if (p->second.empty()) postings_.erase(p);
+        }
+      }
+    }
+  }
+  docs_.erase(it);
+}
+
+std::vector<std::string> SearchIndex::Search(std::string_view query,
+                                             std::string* error) const {
+  const auto parsed = ParseQuery(query, error);
+  if (!parsed.has_value()) return {};
+  return Execute(*parsed);
+}
+
+std::vector<std::string> SearchIndex::Execute(const QueryPtr& query) const {
+  const DocSet result = EvalNode(query);
+  return std::vector<std::string>(result.begin(), result.end());
+}
+
+SearchIndex::DocSet SearchIndex::EvalNode(const QueryPtr& node) const {
+  switch (node->kind) {
+    case QueryNode::Kind::kTerm:
+      return EvalTerm(*node);
+    case QueryNode::Kind::kAnd: {
+      DocSet acc = EvalNode(node->children[0]);
+      for (std::size_t i = 1; i < node->children.size() && !acc.empty(); ++i) {
+        const DocSet next = EvalNode(node->children[i]);
+        DocSet intersection;
+        std::set_intersection(
+            acc.begin(), acc.end(), next.begin(), next.end(),
+            std::inserter(intersection, intersection.begin()));
+        acc = std::move(intersection);
+      }
+      return acc;
+    }
+    case QueryNode::Kind::kOr: {
+      DocSet acc;
+      for (const QueryPtr& child : node->children) {
+        const DocSet next = EvalNode(child);
+        acc.insert(next.begin(), next.end());
+      }
+      return acc;
+    }
+    case QueryNode::Kind::kNot: {
+      const DocSet excluded = EvalNode(node->children[0]);
+      DocSet result;
+      for (const auto& [id, fields] : docs_) {
+        if (!excluded.contains(id)) result.insert(id);
+      }
+      return result;
+    }
+  }
+  return {};
+}
+
+SearchIndex::DocSet SearchIndex::EvalTerm(const QueryNode& term) const {
+  const std::string pattern_lower = ToLower(term.pattern);
+
+  if (HasWildcard(term.pattern)) {
+    // Wildcard: narrow to documents having the field, then glob-match the
+    // stored value.
+    DocSet result;
+    auto match_doc = [&](const std::string& id,
+                         const storage::FieldMap& fields) {
+      if (!term.field.empty()) {
+        const auto it = fields.find(term.field);
+        if (it != fields.end() && GlobMatch(pattern_lower, ToLower(it->second)))
+          result.insert(id);
+        return;
+      }
+      for (const auto& [field, value] : fields) {
+        if (GlobMatch(pattern_lower, ToLower(value))) {
+          result.insert(id);
+          return;
+        }
+      }
+    };
+    if (!term.field.empty()) {
+      const auto fd = field_docs_.find(term.field);
+      if (fd == field_docs_.end()) return {};
+      for (const std::string& id : fd->second) {
+        match_doc(id, docs_.find(id)->second);
+      }
+    } else {
+      for (const auto& [id, fields] : docs_) match_doc(id, fields);
+    }
+    return result;
+  }
+
+  const std::vector<std::string> words = Tokenize(term.pattern);
+  if (words.empty()) return {};
+
+  // AND of word postings.
+  DocSet acc;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::string key =
+        (term.field.empty() ? std::string() : term.field) + kSep + words[i];
+    const auto p = postings_.find(key);
+    if (p == postings_.end()) return {};
+    if (i == 0) {
+      acc = p->second;
+    } else {
+      DocSet intersection;
+      std::set_intersection(
+          acc.begin(), acc.end(), p->second.begin(), p->second.end(),
+          std::inserter(intersection, intersection.begin()));
+      acc = std::move(intersection);
+    }
+    if (acc.empty()) return acc;
+  }
+
+  // Multi-word phrases post-filter for contiguity.
+  if (term.is_phrase && words.size() > 1) {
+    DocSet filtered;
+    for (const std::string& id : acc) {
+      const storage::FieldMap& fields = docs_.find(id)->second;
+      auto contains_phrase = [&](const std::string& value) {
+        return ContainsIgnoreCase(value, term.pattern);
+      };
+      if (!term.field.empty()) {
+        const auto it = fields.find(term.field);
+        if (it != fields.end() && contains_phrase(it->second))
+          filtered.insert(id);
+      } else {
+        for (const auto& [field, value] : fields) {
+          if (contains_phrase(value)) {
+            filtered.insert(id);
+            break;
+          }
+        }
+      }
+    }
+    return filtered;
+  }
+  return acc;
+}
+
+const storage::FieldMap* SearchIndex::GetDocument(
+    std::string_view doc_id) const {
+  const auto it = docs_.find(doc_id);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace censys::search

@@ -1,0 +1,52 @@
+// Full-text search over entity state (the Elasticsearch role in §5.3).
+//
+// Documents are entity field maps. Values are word-tokenized into an
+// inverted index; term queries resolve through posting lists, wildcard and
+// phrase queries narrow via the index where possible and post-filter
+// against the stored document. NOT is evaluated against the full document
+// universe, exactly like a boolean filter context.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "search/query.h"
+#include "storage/delta.h"
+
+namespace censys::search {
+
+class SearchIndex {
+ public:
+  // Indexes (or re-indexes) a document.
+  void Index(std::string_view doc_id, const storage::FieldMap& fields);
+  void Remove(std::string_view doc_id);
+
+  // Executes a parsed query; result ids are sorted. Malformed queries (from
+  // Search()) return an empty result with *error set.
+  std::vector<std::string> Search(std::string_view query,
+                                  std::string* error) const;
+  std::vector<std::string> Execute(const QueryPtr& query) const;
+
+  std::size_t doc_count() const { return docs_.size(); }
+  std::size_t term_count() const { return postings_.size(); }
+  const storage::FieldMap* GetDocument(std::string_view doc_id) const;
+
+ private:
+  using DocSet = std::set<std::string>;
+
+  DocSet EvalNode(const QueryPtr& node) const;
+  DocSet EvalTerm(const QueryNode& term) const;
+  static std::vector<std::string> Tokenize(std::string_view value);
+
+  std::map<std::string, storage::FieldMap, std::less<>> docs_;
+  // token -> doc ids. Tokens are "field\x1fword" plus "\x1fword" (any-field).
+  std::map<std::string, DocSet, std::less<>> postings_;
+  // field -> doc ids that have the field (accelerates wildcard terms).
+  std::map<std::string, DocSet, std::less<>> field_docs_;
+};
+
+}  // namespace censys::search

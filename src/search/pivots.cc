@@ -1,0 +1,81 @@
+#include "search/pivots.h"
+
+#include <unordered_set>
+
+namespace censys::search {
+
+void PivotIndex::Observe(ServiceKey key, std::string_view cert_sha256,
+                         std::string_view jarm) {
+  const std::uint64_t packed = key.Pack();
+  // Drop any previous attribution first (the service may have rotated its
+  // certificate or changed TLS stack).
+  Forget(key);
+  if (cert_sha256.empty() && jarm.empty()) return;
+  if (!cert_sha256.empty()) {
+    by_cert_[std::string(cert_sha256)].insert(packed);
+  }
+  if (!jarm.empty()) {
+    by_jarm_[std::string(jarm)].insert(packed);
+  }
+  attribution_[packed] =
+      std::make_pair(std::string(cert_sha256), std::string(jarm));
+}
+
+void PivotIndex::Forget(ServiceKey key) {
+  const std::uint64_t packed = key.Pack();
+  const auto it = attribution_.find(packed);
+  if (it == attribution_.end()) return;
+  const auto& [cert, jarm] = it->second;
+  if (!cert.empty()) {
+    if (const auto entry = by_cert_.find(cert); entry != by_cert_.end()) {
+      entry->second.erase(packed);
+      if (entry->second.empty()) by_cert_.erase(entry);
+    }
+  }
+  if (!jarm.empty()) {
+    if (const auto entry = by_jarm_.find(jarm); entry != by_jarm_.end()) {
+      entry->second.erase(packed);
+      if (entry->second.empty()) by_jarm_.erase(entry);
+    }
+  }
+  attribution_.erase(it);
+}
+
+std::vector<ServiceKey> PivotIndex::EndpointsWithCert(
+    std::string_view sha256) const {
+  std::vector<ServiceKey> out;
+  if (const auto it = by_cert_.find(sha256); it != by_cert_.end()) {
+    for (std::uint64_t packed : it->second) {
+      out.push_back(ServiceKey::Unpack(packed));
+    }
+  }
+  return out;
+}
+
+std::vector<ServiceKey> PivotIndex::EndpointsWithJarm(
+    std::string_view jarm) const {
+  std::vector<ServiceKey> out;
+  if (const auto it = by_jarm_.find(jarm); it != by_jarm_.end()) {
+    for (std::uint64_t packed : it->second) {
+      out.push_back(ServiceKey::Unpack(packed));
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::size_t>> PivotIndex::RareJarmClusters(
+    std::size_t min_hosts, std::size_t max_hosts) const {
+  std::vector<std::pair<std::string, std::size_t>> clusters;
+  for (const auto& [jarm, endpoints] : by_jarm_) {
+    std::unordered_set<std::uint32_t> hosts;
+    for (std::uint64_t packed : endpoints) {
+      hosts.insert(ServiceKey::Unpack(packed).ip.value());
+    }
+    if (hosts.size() >= min_hosts && hosts.size() <= max_hosts) {
+      clusters.emplace_back(jarm, hosts.size());
+    }
+  }
+  return clusters;
+}
+
+}  // namespace censys::search

@@ -1,0 +1,52 @@
+// Secondary pivot tables (§5.2 "Asynchronous Event Processing").
+//
+// "Censys asynchronously updates secondary tables that map from certificate
+// fingerprint to IP address and triggers follow up JARM scans when a new
+// TLS service is found." The PivotIndex holds those reverse mappings —
+// certificate fingerprint -> endpoints and JARM -> endpoints — maintained
+// from pipeline events, never on the query path. Threat hunters pivot on
+// them (§7.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+
+namespace censys::search {
+
+class PivotIndex {
+ public:
+  // Records that `key` currently presents this certificate / TLS stack.
+  // Empty strings are ignored (non-TLS services).
+  void Observe(ServiceKey key, std::string_view cert_sha256,
+               std::string_view jarm);
+
+  // Removes a service from all pivots (service evicted).
+  void Forget(ServiceKey key);
+
+  std::vector<ServiceKey> EndpointsWithCert(std::string_view sha256) const;
+  std::vector<ServiceKey> EndpointsWithJarm(std::string_view jarm) const;
+
+  // JARMs shared by at least `min_endpoints` distinct hosts but no more
+  // than `max_endpoints` — the rare-stack clusters threat hunters start
+  // from.
+  std::vector<std::pair<std::string, std::size_t>> RareJarmClusters(
+      std::size_t min_hosts, std::size_t max_hosts) const;
+
+  std::size_t cert_count() const { return by_cert_.size(); }
+  std::size_t jarm_count() const { return by_jarm_.size(); }
+
+ private:
+  std::map<std::string, std::set<std::uint64_t>, std::less<>> by_cert_;
+  std::map<std::string, std::set<std::uint64_t>, std::less<>> by_jarm_;
+  // Reverse: packed key -> (cert, jarm) currently attributed, so Forget and
+  // re-observation stay consistent when a service's TLS identity changes.
+  std::map<std::uint64_t, std::pair<std::string, std::string>> attribution_;
+};
+
+}  // namespace censys::search

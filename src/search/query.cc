@@ -1,0 +1,229 @@
+#include "search/query.h"
+
+#include <cctype>
+
+#include "core/strings.h"
+
+namespace censys::search {
+namespace {
+
+struct Token {
+  enum class Kind { kWord, kQuoted, kColon, kLParen, kRParen, kEnd } kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Token Next(std::string* error) {
+    SkipSpace();
+    if (pos_ >= source_.size()) return {Token::Kind::kEnd, ""};
+    const char c = source_[pos_];
+    if (c == '(') {
+      ++pos_;
+      return {Token::Kind::kLParen, "("};
+    }
+    if (c == ')') {
+      ++pos_;
+      return {Token::Kind::kRParen, ")"};
+    }
+    if (c == ':') {
+      ++pos_;
+      return {Token::Kind::kColon, ":"};
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string text;
+      while (pos_ < source_.size() && source_[pos_] != '"') {
+        text.push_back(source_[pos_++]);
+      }
+      if (pos_ >= source_.size()) {
+        *error = "unterminated quoted string";
+        return {Token::Kind::kEnd, ""};
+      }
+      ++pos_;
+      return {Token::Kind::kQuoted, text};
+    }
+    std::string text;
+    while (pos_ < source_.size()) {
+      const char ch = source_[pos_];
+      if (std::isspace(static_cast<unsigned char>(ch)) || ch == '(' ||
+          ch == ')' || ch == ':' || ch == '"')
+        break;
+      text.push_back(ch);
+      ++pos_;
+    }
+    return {Token::Kind::kWord, text};
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < source_.size() &&
+           std::isspace(static_cast<unsigned char>(source_[pos_])))
+      ++pos_;
+  }
+  std::string_view source_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::string* error)
+      : lexer_(source), error_(error) {
+    Advance();
+  }
+
+  std::optional<QueryPtr> Parse() {
+    auto node = ParseOr();
+    if (!node.has_value()) return std::nullopt;
+    if (current_.kind != Token::Kind::kEnd) {
+      *error_ = "unexpected token: " + current_.text;
+      return std::nullopt;
+    }
+    return node;
+  }
+
+ private:
+  void Advance() { current_ = lexer_.Next(error_); }
+
+  std::optional<QueryPtr> ParseOr() {
+    auto left = ParseAnd();
+    if (!left.has_value()) return std::nullopt;
+    std::vector<QueryPtr> children{*left};
+    while (current_.kind == Token::Kind::kWord &&
+           EqualsIgnoreCase(current_.text, "OR")) {
+      Advance();
+      auto right = ParseAnd();
+      if (!right.has_value()) return std::nullopt;
+      children.push_back(*right);
+    }
+    if (children.size() == 1) return children[0];
+    auto node = std::make_shared<QueryNode>();
+    node->kind = QueryNode::Kind::kOr;
+    node->children = std::move(children);
+    return node;
+  }
+
+  std::optional<QueryPtr> ParseAnd() {
+    auto left = ParseUnary();
+    if (!left.has_value()) return std::nullopt;
+    std::vector<QueryPtr> children{*left};
+    while (true) {
+      if (current_.kind == Token::Kind::kWord &&
+          EqualsIgnoreCase(current_.text, "AND")) {
+        Advance();
+      } else if (current_.kind == Token::Kind::kEnd ||
+                 current_.kind == Token::Kind::kRParen ||
+                 (current_.kind == Token::Kind::kWord &&
+                  EqualsIgnoreCase(current_.text, "OR"))) {
+        break;
+      }
+      auto right = ParseUnary();
+      if (!right.has_value()) return std::nullopt;
+      children.push_back(*right);
+    }
+    if (children.size() == 1) return children[0];
+    auto node = std::make_shared<QueryNode>();
+    node->kind = QueryNode::Kind::kAnd;
+    node->children = std::move(children);
+    return node;
+  }
+
+  std::optional<QueryPtr> ParseUnary() {
+    if (current_.kind == Token::Kind::kWord &&
+        EqualsIgnoreCase(current_.text, "NOT")) {
+      Advance();
+      auto child = ParseUnary();
+      if (!child.has_value()) return std::nullopt;
+      auto node = std::make_shared<QueryNode>();
+      node->kind = QueryNode::Kind::kNot;
+      node->children.push_back(*child);
+      return node;
+    }
+    if (current_.kind == Token::Kind::kLParen) {
+      Advance();
+      auto inner = ParseOr();
+      if (!inner.has_value()) return std::nullopt;
+      if (current_.kind != Token::Kind::kRParen) {
+        *error_ = "expected ')'";
+        return std::nullopt;
+      }
+      Advance();
+      return inner;
+    }
+    return ParseTerm();
+  }
+
+  std::optional<QueryPtr> ParseTerm() {
+    if (current_.kind != Token::Kind::kWord &&
+        current_.kind != Token::Kind::kQuoted) {
+      *error_ = "expected term";
+      return std::nullopt;
+    }
+    const Token first = current_;
+    if (first.kind == Token::Kind::kWord &&
+        (EqualsIgnoreCase(first.text, "AND") ||
+         EqualsIgnoreCase(first.text, "OR") ||
+         EqualsIgnoreCase(first.text, "NOT"))) {
+      *error_ = "operator '" + first.text + "' used where a term is expected";
+      return std::nullopt;
+    }
+    Advance();
+    auto node = std::make_shared<QueryNode>();
+    node->kind = QueryNode::Kind::kTerm;
+
+    if (first.kind == Token::Kind::kWord &&
+        current_.kind == Token::Kind::kColon) {
+      Advance();  // consume ':'
+      if (current_.kind != Token::Kind::kWord &&
+          current_.kind != Token::Kind::kQuoted) {
+        *error_ = "expected value after ':'";
+        return std::nullopt;
+      }
+      node->field = first.text;
+      node->pattern = current_.text;
+      node->is_phrase = current_.kind == Token::Kind::kQuoted;
+      Advance();
+      return node;
+    }
+    node->pattern = first.text;
+    node->is_phrase = first.kind == Token::Kind::kQuoted;
+    return node;
+  }
+
+  Lexer lexer_;
+  Token current_;
+  std::string* error_;
+};
+
+}  // namespace
+
+std::optional<QueryPtr> ParseQuery(std::string_view source,
+                                   std::string* error) {
+  error->clear();
+  Parser parser(source, error);
+  return parser.Parse();
+}
+
+std::string ToString(const QueryPtr& node) {
+  switch (node->kind) {
+    case QueryNode::Kind::kTerm:
+      return (node->field.empty() ? "" : node->field + ":") + "\"" +
+             node->pattern + "\"";
+    case QueryNode::Kind::kNot:
+      return "NOT " + ToString(node->children[0]);
+    case QueryNode::Kind::kAnd:
+    case QueryNode::Kind::kOr: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < node->children.size(); ++i) {
+        if (i > 0) out += node->kind == QueryNode::Kind::kAnd ? " AND " : " OR ";
+        out += ToString(node->children[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace censys::search

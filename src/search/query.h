@@ -1,0 +1,44 @@
+// Lucene-like query language (§5.3 "Interactive Search and Exploration").
+//
+// Grammar (whitespace-separated):
+//   query   := or
+//   or      := and ("OR" and)*
+//   and     := unary (("AND")? unary)*        -- adjacency is implicit AND
+//   unary   := "NOT" unary | "(" query ")" | term
+//   term    := FIELD ":" value | value        -- bare values search all fields
+//   value   := WORD | QUOTED | pattern-with-*-or-?
+//
+// Examples the paper's Appendix E uses, expressed in this language:
+//   services.service_name: "MODBUS"
+//   service.name: HTTP AND http.html_title: "RouterOS*"
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace censys::search {
+
+struct QueryNode;
+using QueryPtr = std::shared_ptr<const QueryNode>;
+
+struct QueryNode {
+  enum class Kind { kTerm, kAnd, kOr, kNot } kind = Kind::kTerm;
+  // kTerm:
+  std::string field;    // empty = any field
+  std::string pattern;  // may contain '*' / '?'
+  bool is_phrase = false;
+  // kAnd/kOr/kNot:
+  std::vector<QueryPtr> children;
+};
+
+// Parses a query. Returns nullopt with *error set on malformed input.
+std::optional<QueryPtr> ParseQuery(std::string_view source,
+                                   std::string* error);
+
+// Pretty-printer (diagnostics / tests).
+std::string ToString(const QueryPtr& node);
+
+}  // namespace censys::search

@@ -1,0 +1,191 @@
+#include "simnet/blocks.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+
+namespace censys::simnet {
+
+std::string_view ToString(NetworkType t) {
+  switch (t) {
+    case NetworkType::kResidential: return "residential";
+    case NetworkType::kCloud: return "cloud";
+    case NetworkType::kEnterprise: return "enterprise";
+    case NetworkType::kHosting: return "hosting";
+    case NetworkType::kIndustrial: return "industrial";
+    case NetworkType::kAcademic: return "academic";
+    case NetworkType::kUnused: return "unused";
+  }
+  return "?";
+}
+
+std::string_view ToString(Country c) {
+  switch (c) {
+    case Country::kUS: return "US";
+    case Country::kCN: return "CN";
+    case Country::kDE: return "DE";
+    case Country::kOther: return "other";
+    default: return "?";
+  }
+}
+
+namespace {
+
+struct OrgNames {
+  std::string_view prefix;
+};
+
+std::string MakeOrg(NetworkType t, Country c, std::uint32_t asn, Rng& rng) {
+  static constexpr std::array<std::string_view, 7> kByType = {
+      "Telecom", "Cloud", "Corp", "Hosting", "Utilities", "University",
+      "Reserved"};
+  std::string name = "AS" + std::to_string(asn) + " ";
+  name += kByType[static_cast<std::size_t>(t)];
+  name += "-";
+  name += ToString(c);
+  name += "-";
+  name += std::to_string(rng.NextBelow(900) + 100);
+  return name;
+}
+
+}  // namespace
+
+BlockPlan::BlockPlan(const UniverseConfig& config)
+    : universe_size_(config.universe_size) {
+  Rng rng(SplitMix64(config.seed ^ 0xB10C));
+
+  // Type weights (remainder unused/dark).
+  const std::array<std::pair<NetworkType, double>, 7> type_mix = {{
+      {NetworkType::kResidential, config.frac_residential},
+      {NetworkType::kCloud, config.frac_cloud},
+      {NetworkType::kEnterprise, config.frac_enterprise},
+      {NetworkType::kHosting, config.frac_hosting},
+      {NetworkType::kIndustrial, config.frac_industrial},
+      {NetworkType::kAcademic, config.frac_academic},
+      {NetworkType::kUnused,
+       1.0 - config.frac_residential - config.frac_cloud -
+           config.frac_enterprise - config.frac_hosting -
+           config.frac_industrial - config.frac_academic},
+  }};
+  std::array<double, 7> type_weights;
+  for (std::size_t i = 0; i < 7; ++i) type_weights[i] = type_mix[i].second;
+
+  const std::array<double, 4> country_weights = {
+      config.frac_us, config.frac_cn, config.frac_de,
+      1.0 - config.frac_us - config.frac_cn - config.frac_de};
+
+  // Carve the universe into blocks of varying size. Sizes scale with the
+  // universe: between universe/4096 and universe/128 addresses per block,
+  // rounded to powers of two (CIDR-aligned), which for the default 2^20
+  // universe yields /24-like to /17-like blocks.
+  std::uint32_t next_base = 0;
+  std::uint32_t next_asn = 64500;
+  std::uint32_t id = 0;
+  while (next_base < universe_size_) {
+    const int min_bits = 8;
+    int max_bits = 13;
+    const std::uint32_t remaining = universe_size_ - next_base;
+    int bits = static_cast<int>(rng.NextInRange(min_bits, max_bits));
+    // Respect alignment of the base address and remaining space.
+    while ((std::uint32_t{1} << bits) > remaining) --bits;
+    while (bits > 0 && (next_base & ((std::uint32_t{1} << bits) - 1)) != 0)
+      --bits;
+    const std::uint32_t size = std::uint32_t{1} << bits;
+
+    NetworkBlock block;
+    block.id = id++;
+    block.cidr = Cidr(IPv4Address(next_base), 32 - bits);
+    block.type = type_mix[rng.PickWeighted(type_weights)].first;
+    block.country =
+        static_cast<Country>(rng.PickWeighted(country_weights));
+    block.asn = next_asn++;
+    block.org = MakeOrg(block.type, block.country, block.asn, rng);
+    block_start_.push_back(next_base);
+    blocks_.push_back(std::move(block));
+    next_base += size;
+  }
+}
+
+const NetworkBlock& BlockPlan::BlockOf(IPv4Address ip) const {
+  assert(ip.value() < universe_size_);
+  auto it = std::upper_bound(block_start_.begin(), block_start_.end(),
+                             ip.value());
+  const std::size_t index =
+      static_cast<std::size_t>(it - block_start_.begin()) - 1;
+  return blocks_[index];
+}
+
+std::vector<const NetworkBlock*> BlockPlan::BlocksOfType(NetworkType t) const {
+  std::vector<const NetworkBlock*> out;
+  for (const NetworkBlock& b : blocks_) {
+    if (b.type == t) out.push_back(&b);
+  }
+  return out;
+}
+
+std::uint64_t BlockPlan::AddressesOfType(NetworkType t) const {
+  std::uint64_t total = 0;
+  for (const NetworkBlock& b : blocks_) {
+    if (b.type == t) total += b.cidr.size();
+  }
+  return total;
+}
+
+PortModel::PortModel(std::uint64_t seed, double zipf_s)
+    : zipf_(kPortSpaceSize, zipf_s) {
+  // Empirically popular ports get the top ranks, roughly in the order real
+  // scan datasets report; the rest of the 65K space is a deterministic
+  // shuffle so popularity decays smoothly with no special structure
+  // (Appendix B figure 4).
+  static constexpr std::array<Port, 40> kTopPorts = {
+      80,   443,  7547, 22,   21,   25,   8080, 23,   3389, 53,
+      445,  110,  8443, 143,  993,  995,  587,  8000, 5060, 161,
+      3306, 8888, 2222, 5900, 139,  465,  1723, 81,   8081, 5901,
+      2000, 5432, 6379, 389,  2082, 8088, 9200, 60000, 1900, 123,
+  };
+  rank_to_port_.resize(kPortSpaceSize);
+  port_to_rank_.assign(kPortSpaceSize, 0);
+  std::vector<bool> used(kPortSpaceSize, false);
+  std::size_t rank = 0;
+  for (Port p : kTopPorts) {
+    rank_to_port_[rank++] = p;
+    used[p] = true;
+  }
+  std::vector<Port> rest;
+  rest.reserve(kPortSpaceSize - kTopPorts.size());
+  for (std::uint32_t p = 0; p < kPortSpaceSize; ++p) {
+    if (!used[p]) rest.push_back(static_cast<Port>(p));
+  }
+  // Fisher-Yates with the model's own stream.
+  Rng rng(SplitMix64(seed ^ 0x9027));
+  for (std::size_t i = rest.size(); i > 1; --i) {
+    std::swap(rest[i - 1], rest[rng.NextBelow(i)]);
+  }
+  for (Port p : rest) rank_to_port_[rank++] = p;
+  for (std::uint32_t r = 0; r < kPortSpaceSize; ++r) {
+    port_to_rank_[rank_to_port_[r]] = r + 1;
+  }
+}
+
+Port PortModel::SamplePort(Rng& rng) const {
+  const std::uint64_t rank = zipf_.Sample(rng);
+  return rank_to_port_[rank - 1];
+}
+
+std::uint32_t PortModel::RankOf(Port port) const {
+  return port_to_rank_[port];
+}
+
+Port PortModel::PortAtRank(std::uint32_t rank) const {
+  assert(rank >= 1 && rank <= kPortSpaceSize);
+  return rank_to_port_[rank - 1];
+}
+
+std::vector<Port> PortModel::TopPorts(std::size_t n) const {
+  std::vector<Port> out(rank_to_port_.begin(),
+                        rank_to_port_.begin() + static_cast<long>(n));
+  return out;
+}
+
+}  // namespace censys::simnet

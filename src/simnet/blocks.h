@@ -1,0 +1,78 @@
+// Network blocks: the address plan of the simulated universe.
+//
+// The universe is carved into contiguous blocks, each with a network type
+// (residential / cloud / enterprise / ...), a country, and an ASN. Blocks
+// are the unit of routing behaviour: outages, per-PoP reachability, and
+// scanner blocking all happen at block granularity, mirroring how real
+// visibility loss happens per-network rather than per-host.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cidr.h"
+#include "core/rng.h"
+#include "core/types.h"
+#include "simnet/config.h"
+
+namespace censys::simnet {
+
+struct NetworkBlock {
+  std::uint32_t id = 0;
+  Cidr cidr;
+  NetworkType type = NetworkType::kUnused;
+  Country country = Country::kOther;
+  std::uint32_t asn = 0;
+  // Organization name, e.g. "AS64512 ExampleCloud" — surfaced by the
+  // read-side enrichment as WHOIS/ASN context.
+  std::string org;
+};
+
+// The address plan. Built deterministically from the universe config.
+class BlockPlan {
+ public:
+  explicit BlockPlan(const UniverseConfig& config);
+
+  const NetworkBlock& BlockOf(IPv4Address ip) const;
+  std::span<const NetworkBlock> blocks() const { return blocks_; }
+
+  // All blocks of a given type (e.g. cloud networks for the cloud scan).
+  std::vector<const NetworkBlock*> BlocksOfType(NetworkType t) const;
+
+  // Total addresses allocated to a given type.
+  std::uint64_t AddressesOfType(NetworkType t) const;
+
+  std::uint32_t universe_size() const { return universe_size_; }
+
+ private:
+  std::vector<NetworkBlock> blocks_;       // sorted by base address, covering
+  std::vector<std::uint32_t> block_start_; // parallel: base addr of blocks_[i]
+  std::uint32_t universe_size_;
+};
+
+// Port popularity model shared by the universe generator (to place
+// services) and published to scanners (real top-port lists are public
+// knowledge from scan data).
+class PortModel {
+ public:
+  PortModel(std::uint64_t seed, double zipf_s);
+
+  // Samples a port with Zipf-distributed popularity.
+  Port SamplePort(Rng& rng) const;
+
+  // Popularity rank of a port, 1 = most popular.
+  std::uint32_t RankOf(Port port) const;
+  Port PortAtRank(std::uint32_t rank) const;
+
+  // The `n` most popular ports, in rank order.
+  std::vector<Port> TopPorts(std::size_t n) const;
+
+ private:
+  ZipfSampler zipf_;
+  std::vector<Port> rank_to_port_;          // index = rank - 1
+  std::vector<std::uint32_t> port_to_rank_; // index = port
+};
+
+}  // namespace censys::simnet

@@ -1,0 +1,112 @@
+// Configuration of the simulated Internet universe.
+//
+// The defaults model a ~1/4096 sample of the IPv4 Internet (a /12-sized
+// universe) with the service phenomena the paper describes: Zipf-like port
+// diffusion (Appendix B), short cloud service lifespans (§2.2), pseudo-
+// services that answer on every port (§6.1), transient outages and
+// scanner blocking (§2.2 "Fractured Visibility"), and a tiny but security-
+// critical ICS population (§6.3).
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace censys::simnet {
+
+enum class NetworkType : std::uint8_t {
+  kResidential,  // ISP pools; DHCP churn moves hosts between addresses
+  kCloud,        // elastic; very short service lifespans; dense
+  kEnterprise,   // stable, moderately dense
+  kHosting,      // VPS providers; stable-ish, dense
+  kIndustrial,   // ICS deployments; stable but often behind LTE with churn
+  kAcademic,     // stable, sparse
+  kUnused,       // dark space
+};
+
+std::string_view ToString(NetworkType t);
+
+enum class Country : std::uint8_t { kUS, kCN, kDE, kOther, kCount };
+
+std::string_view ToString(Country c);
+
+struct UniverseConfig {
+  std::uint64_t seed = 42;
+
+  // Total address universe. Blocks are carved out of [0, universe_size).
+  // The default is 2^20 addresses =~ a /12, i.e. a 1/4096 sample of IPv4.
+  std::uint32_t universe_size = 1u << 20;
+
+  // Target number of concurrently live services at steady state.
+  std::uint32_t target_services = 150000;
+
+  // Zipf exponent for port popularity (Appendix B: smooth decay, no knee).
+  double port_zipf_s = 1.08;
+
+  // Probability that a service on a well-known port actually speaks the
+  // protocol IANA assigned to that port. The complement is "service
+  // diffusion" (§2.2): arbitrary protocols on arbitrary ports.
+  double iana_conformance = 0.62;
+
+  // Fraction of hosts that are "pseudo-service" middleboxes answering on
+  // every port with nearly identical services (paper filters hosts
+  // responding on >20 ports; they are ~0.2% of hosts but dominate 65K
+  // scans).
+  double pseudo_host_fraction = 0.002;
+
+  // Mean service lifetime by network type, in days. Short cloud lifetimes
+  // drive the staleness/accuracy results of Table 2. The aggregate daily
+  // death rate (~3-4%/day) is calibrated so a daily-refresh + 72 h-eviction
+  // pipeline lands near the paper's 92% accuracy; the lognormal sigma
+  // below still yields a heavy population of services living only hours
+  // to days (§2.2 "Short Service Lifespans").
+  double mean_lifetime_cloud_days = 15.0;
+  double mean_lifetime_residential_days = 20.0;
+  double mean_lifetime_enterprise_days = 250.0;
+  double mean_lifetime_hosting_days = 90.0;
+  double mean_lifetime_industrial_days = 120.0;
+  double mean_lifetime_academic_days = 300.0;
+
+  // Lifetimes are drawn log-normally around the mean with this sigma (in
+  // log space); heavy tail matches observed service longevity mixes.
+  double lifetime_sigma = 1.1;
+
+  // Visibility model.
+  double base_loss_rate = 0.02;          // per-probe stateless loss
+  double pop_unreachable_rate = 0.015;   // P(block unreachable from a PoP per epoch)
+  double outage_rate_per_day = 0.03;     // P(block has an outage on a day)
+  double outage_mean_hours = 3.0;
+
+  // Blocking: probability per epoch that a network blocks a scanner is
+  // sensitivity * sqrt(probes_per_ip_day) * sqrt(256 / source_pool_size),
+  // capped at 0.5. Calibrated so a Censys-like scanner (≈576 probes/IP/day
+  // spread over ~1280 sources) is blocked by ~1.6% of networks while an
+  // equally loud single-source scanner is blocked by a large fraction
+  // (§2.2: "increased scanning leads to increased blocking").
+  double blocking_sensitivity = 0.0015;
+
+  // Country mix (fractions of blocks). Remainder is kOther.
+  double frac_us = 0.30;
+  double frac_cn = 0.12;
+  double frac_de = 0.06;
+
+  // Network type mix (fractions of allocated space).
+  double frac_residential = 0.42;
+  double frac_cloud = 0.18;
+  double frac_enterprise = 0.16;
+  double frac_hosting = 0.10;
+  double frac_industrial = 0.015;
+  double frac_academic = 0.045;
+  // Remainder of the universe is unused dark space.
+
+  // Share of services that are name-addressed web properties reachable
+  // only with the right SNI/Host (the L4 port answers but the default page
+  // is a CDN shell). These are the Web Property population (§4.3).
+  double sni_only_fraction = 0.06;
+
+  // Scale factor applied to ICS per-protocol absolute populations. 1.0
+  // reproduces Table 4-shaped counts scaled by universe_size/2^32.
+  double ics_scale = 1.0;
+};
+
+}  // namespace censys::simnet

@@ -1,0 +1,477 @@
+#include "simnet/internet.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/sha256.h"
+#include "proto/banner.h"
+
+namespace censys::simnet {
+namespace {
+
+constexpr Timestamp kNever{std::numeric_limits<std::int64_t>::max() / 4};
+
+// Deterministic hash -> [0, 1) for the stateless visibility model.
+double HashUnit(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  const std::uint64_t h = SplitMix64(a ^ SplitMix64(b ^ SplitMix64(c)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Relative share of (non-ICS) services placed in each network type. Clouds
+// and hosting providers are dense; dark space holds nothing.
+double PlacementWeight(NetworkType t) {
+  switch (t) {
+    case NetworkType::kResidential: return 0.26;
+    case NetworkType::kCloud: return 0.30;
+    case NetworkType::kEnterprise: return 0.17;
+    case NetworkType::kHosting: return 0.17;
+    case NetworkType::kIndustrial: return 0.012;
+    case NetworkType::kAcademic: return 0.048;
+    case NetworkType::kUnused: return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Internet::Internet(const UniverseConfig& config)
+    : config_(config),
+      plan_(config),
+      port_model_(config.seed, config.port_zipf_s),
+      rng_(SplitMix64(config.seed ^ 0x1A7E12AD)),
+      now_(Timestamp{0}) {
+  blocks_by_type_.resize(7);
+  for (const NetworkBlock& b : plan_.blocks()) {
+    blocks_by_type_[static_cast<std::size_t>(b.type)].push_back(&b);
+  }
+  Populate();
+}
+
+double Internet::MeanLifetimeDays(NetworkType type) const {
+  switch (type) {
+    case NetworkType::kCloud: return config_.mean_lifetime_cloud_days;
+    case NetworkType::kResidential:
+      return config_.mean_lifetime_residential_days;
+    case NetworkType::kEnterprise:
+      return config_.mean_lifetime_enterprise_days;
+    case NetworkType::kHosting: return config_.mean_lifetime_hosting_days;
+    case NetworkType::kIndustrial:
+      return config_.mean_lifetime_industrial_days;
+    case NetworkType::kAcademic: return config_.mean_lifetime_academic_days;
+    case NetworkType::kUnused: return 1.0;
+  }
+  return 1.0;
+}
+
+Duration Internet::SampleLifetime(NetworkType type, Rng& rng,
+                                  bool length_biased) {
+  const double mean = MeanLifetimeDays(type);
+  const double sigma = config_.lifetime_sigma;
+  // Lognormal with E[L] = mean: mu = ln(mean) - sigma^2/2. The population
+  // alive at a point in time is length-biased; for a lognormal that shifts
+  // mu by +sigma^2 (standard renewal-theory result), which Populate() uses
+  // so the initial snapshot matches the long-run steady state.
+  double mu = std::log(mean) - sigma * sigma / 2.0;
+  if (length_biased) mu += sigma * sigma;
+  const double days = std::exp(rng.NextNormal(mu, sigma));
+  const std::int64_t minutes =
+      std::max<std::int64_t>(30, static_cast<std::int64_t>(days * 24 * 60));
+  return Duration{minutes};
+}
+
+IPv4Address Internet::SampleAddress(NetworkType type, Rng& rng) const {
+  // Small universes may lack blocks of a given type; fall back to the
+  // nearest populated category so placement never fails.
+  static constexpr NetworkType kFallbacks[] = {
+      NetworkType::kEnterprise, NetworkType::kHosting, NetworkType::kCloud,
+      NetworkType::kResidential};
+  const auto* blocks_ptr = &blocks_by_type_[static_cast<std::size_t>(type)];
+  for (const NetworkType fb : kFallbacks) {
+    if (!blocks_ptr->empty()) break;
+    blocks_ptr = &blocks_by_type_[static_cast<std::size_t>(fb)];
+  }
+  const auto& blocks = *blocks_ptr;
+  assert(!blocks.empty());
+  // Weight blocks by size so addresses are uniform within the type.
+  std::uint64_t total = 0;
+  for (const NetworkBlock* b : blocks) total += b->cidr.size();
+  std::uint64_t x = rng.NextBelow(total);
+  for (const NetworkBlock* b : blocks) {
+    if (x < b->cidr.size()) return b->cidr.AddressAt(x);
+    x -= b->cidr.size();
+  }
+  return blocks.back()->cidr.base();
+}
+
+proto::Protocol Internet::SampleProtocolForPort(Port port, Rng& rng) const {
+  // IANA conformance: a service on a well-known port usually speaks the
+  // assigned protocol; the rest of the time (and on unassigned ports) the
+  // protocol is drawn from the global deployment mix — "service diffusion".
+  const auto tcp_assigned = proto::AssignedToPort(port, Transport::kTcp);
+  const auto udp_assigned = proto::AssignedToPort(port, Transport::kUdp);
+  std::vector<proto::Protocol> assigned = tcp_assigned;
+  assigned.insert(assigned.end(), udp_assigned.begin(), udp_assigned.end());
+  // ICS protocols are populated separately with absolute counts.
+  std::erase_if(assigned, [](proto::Protocol p) {
+    return proto::GetInfo(p).is_ics;
+  });
+  if (!assigned.empty() && rng.NextDouble() < config_.iana_conformance) {
+    return assigned[rng.NextBelow(assigned.size())];
+  }
+  // Global mix.
+  static const std::vector<std::pair<proto::Protocol, double>> mix = [] {
+    std::vector<std::pair<proto::Protocol, double>> m;
+    for (const proto::ProtocolInfo& info : proto::AllProtocols()) {
+      if (info.protocol == proto::Protocol::kUnknown || info.is_ics) continue;
+      m.emplace_back(info.protocol, info.population_weight);
+    }
+    return m;
+  }();
+  double total = 0;
+  for (const auto& [p, w] : mix) total += w;
+  double x = rng.NextDouble() * total;
+  for (const auto& [p, w] : mix) {
+    x -= w;
+    if (x < 0) return p;
+  }
+  return proto::Protocol::kHttp;
+}
+
+SimService Internet::MakeService(ServiceKey key, proto::Protocol protocol,
+                                 Timestamp born, Duration lifetime) {
+  SimService s;
+  s.key = key;
+  s.protocol = protocol;
+  s.seed = rng_.NextU64();
+  s.born = born;
+  s.dies = born + lifetime;
+  // sni_only_fraction is a share of *all* services; HTTP(S) carries all of
+  // it, and HTTP(S) is ~66% of the general mix, hence the rescale.
+  if ((protocol == proto::Protocol::kHttp ||
+       protocol == proto::Protocol::kHttps) &&
+      rng_.NextDouble() < config_.sni_only_fraction / 0.66) {
+    s.requires_sni = true;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "wp-%010llx",
+                  static_cast<unsigned long long>(s.seed & 0xffffffffffull));
+    s.sni_name = std::string(buf) + ".example.com";
+  }
+  return s;
+}
+
+void Internet::InsertService(SimService service) {
+  const std::uint64_t packed = service.key.Pack();
+  deaths_.push(DeathEvent{service.dies, packed, service.born});
+  ++total_births_;
+  auto [it, inserted] = services_.insert_or_assign(packed, std::move(service));
+  if (it->second.requires_sni) name_index_[it->second.sni_name] = packed;
+  if (birth_observer_) birth_observer_(it->second);
+}
+
+void Internet::RemoveService(const SimService& service) {
+  services_.erase(service.key.Pack());
+}
+
+void Internet::Populate() {
+  // --- ICS population: absolute counts per protocol -------------------------
+  // population_weight for ICS protocols encodes the paper's validated global
+  // count in millions (MODBUS 0.042 => 42K globally). Scale by the universe
+  // fraction of IPv4 and the configured ics_scale.
+  const double universe_fraction =
+      static_cast<double>(config_.universe_size) / 4294967296.0;
+  std::size_t ics_total = 0;
+  for (proto::Protocol p : proto::IcsProtocols()) {
+    const proto::ProtocolInfo& info = proto::GetInfo(p);
+    const double expected = info.population_weight * 1e6 * universe_fraction *
+                            config_.ics_scale;
+    const std::uint64_t count = rng_.NextPoisson(expected);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      // 70% of control systems sit in industrial blocks, the rest in
+      // enterprise space; many are reachable via LTE-like churny links,
+      // captured by the industrial lifetime setting.
+      const NetworkType type = rng_.NextDouble() < 0.70
+                                   ? NetworkType::kIndustrial
+                                   : NetworkType::kEnterprise;
+      // "Many control systems use non-standard ports" (§6.3): only some
+      // sit on the IANA port.
+      Port port;
+      if (rng_.NextDouble() < config_.iana_conformance) {
+        port = *proto::PrimaryPort(p);
+      } else {
+        port = port_model_.SamplePort(rng_);
+      }
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        ServiceKey key{SampleAddress(type, rng_), port, info.transport};
+        if (services_.contains(key.Pack())) continue;
+        const Duration life = SampleLifetime(type, rng_, /*length_biased=*/true);
+        const Duration age{static_cast<std::int64_t>(
+            rng_.NextDouble() * static_cast<double>(life.minutes))};
+        SimService s = MakeService(key, p, now_ - age, life);
+        s.requires_sni = false;
+        InsertService(std::move(s));
+        ++ics_total;
+        break;
+      }
+    }
+  }
+
+  // --- general population ----------------------------------------------------
+  const std::size_t general_target =
+      config_.target_services > ics_total
+          ? config_.target_services - ics_total
+          : 0;
+  std::array<double, 7> weights{};
+  for (int i = 0; i < 7; ++i) {
+    weights[static_cast<std::size_t>(i)] =
+        PlacementWeight(static_cast<NetworkType>(i)) *
+        (blocks_by_type_[static_cast<std::size_t>(i)].empty() ? 0.0 : 1.0);
+  }
+  for (std::size_t i = 0; i < general_target; ++i) {
+    const NetworkType type =
+        static_cast<NetworkType>(rng_.PickWeighted(weights));
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const Port port = port_model_.SamplePort(rng_);
+      const proto::Protocol protocol = SampleProtocolForPort(port, rng_);
+      ServiceKey key{SampleAddress(type, rng_), port,
+                     proto::GetInfo(protocol).transport};
+      if (services_.contains(key.Pack())) continue;
+      const Duration life = SampleLifetime(type, rng_, /*length_biased=*/true);
+      const Duration age{static_cast<std::int64_t>(
+          rng_.NextDouble() * static_cast<double>(life.minutes))};
+      InsertService(MakeService(key, protocol, now_ - age, life));
+      break;
+    }
+  }
+
+  // --- pseudo-service middleboxes -------------------------------------------
+  // ~pseudo_host_fraction of populated hosts answer on every port.
+  std::size_t host_estimate = services_.size() * 3 / 4;
+  const std::size_t pseudo_count = static_cast<std::size_t>(
+      static_cast<double>(host_estimate) * config_.pseudo_host_fraction);
+  for (std::size_t i = 0; i < pseudo_count; ++i) {
+    const NetworkType type = rng_.NextDouble() < 0.6 ? NetworkType::kHosting
+                                                     : NetworkType::kCloud;
+    const IPv4Address ip = SampleAddress(type, rng_);
+    pseudo_hosts_.emplace(ip.value(), rng_.NextU64());
+  }
+}
+
+void Internet::SpawnReplacement(const SimService& dead) {
+  if (dead.honeypot) return;  // honeypot lifecycle is owned by the harness
+  const NetworkBlock& old_block = plan_.BlockOf(dead.key.ip);
+  const NetworkType type = old_block.type;
+  const proto::ProtocolInfo& info = proto::GetInfo(dead.protocol);
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    ServiceKey key;
+    proto::Protocol protocol;
+    if (info.is_ics) {
+      // The device population is stable; churn moves it (DHCP/LTE) rather
+      // than shrinking it, so the replacement keeps the protocol.
+      protocol = dead.protocol;
+      key.port = rng_.NextDouble() < config_.iana_conformance
+                     ? *proto::PrimaryPort(protocol)
+                     : port_model_.SamplePort(rng_);
+    } else {
+      key.port = port_model_.SamplePort(rng_);
+      protocol = SampleProtocolForPort(key.port, rng_);
+    }
+    key.ip = SampleAddress(type, rng_);
+    key.transport = proto::GetInfo(protocol).transport;
+    if (services_.contains(key.Pack())) continue;
+    InsertService(MakeService(key, protocol, now_,
+                              SampleLifetime(type, rng_, false)));
+    return;
+  }
+}
+
+void Internet::AdvanceTo(Timestamp t) {
+  assert(t >= now_);
+  while (!deaths_.empty() && deaths_.top().when <= t) {
+    const DeathEvent ev = deaths_.top();
+    deaths_.pop();
+    now_ = ev.when;
+    auto it = services_.find(ev.packed_key);
+    if (it == services_.end() || it->second.born != ev.born) continue;
+    const SimService dead = it->second;
+    services_.erase(it);
+    SpawnReplacement(dead);
+  }
+  now_ = t;
+}
+
+bool Internet::BlockReachableFromPop(const NetworkBlock& block, int pop_id,
+                                     Timestamp t) const {
+  // Vantage-point gaps persist on the scale of routing events (about a
+  // day), not per-probe — which is why Censys retries unresponsive services
+  // "from the other PoPs over the following 24 hours" (§4.6) instead of
+  // immediately retrying from the same one.
+  const std::uint64_t epoch = static_cast<std::uint64_t>(t.minutes / 1440);
+  return HashUnit(0x909A, block.id,
+                  epoch * 131 + static_cast<std::uint64_t>(pop_id)) >=
+         config_.pop_unreachable_rate;
+}
+
+bool Internet::BlockInOutage(const NetworkBlock& block, Timestamp t) const {
+  const std::uint64_t day = static_cast<std::uint64_t>(t.minutes / 1440);
+  if (HashUnit(0xD0, block.id, day) >= config_.outage_rate_per_day)
+    return false;
+  // The block has an outage today; compute its window.
+  const double start_frac = HashUnit(0xD1, block.id, day);
+  const double dur_frac = 0.25 + 1.5 * HashUnit(0xD2, block.id, day);
+  const std::int64_t start =
+      static_cast<std::int64_t>(day) * 1440 +
+      static_cast<std::int64_t>(start_frac * 1440.0);
+  const std::int64_t duration = static_cast<std::int64_t>(
+      config_.outage_mean_hours * 60.0 * dur_frac);
+  return t.minutes >= start && t.minutes < start + duration;
+}
+
+bool Internet::ScannerBlocked(const NetworkBlock& block,
+                              const ScannerProfile& s, Timestamp t) const {
+  const std::uint64_t week = static_cast<std::uint64_t>(t.minutes / 10080);
+  const double aggressiveness = std::sqrt(std::max(0.01, s.probes_per_ip_day));
+  const double concentration =
+      std::sqrt(256.0 / std::max(1.0, s.source_pool_size));
+  const double p =
+      std::min(0.5, config_.blocking_sensitivity * aggressiveness * concentration);
+  return HashUnit(0xB10C ^ s.scanner_id, block.id, week) < p;
+}
+
+bool Internet::Visible(const ProbeContext& ctx, IPv4Address ip, Timestamp t,
+                       std::uint64_t probe_salt) {
+  if (ip.value() >= plan_.universe_size()) return false;
+  const NetworkBlock& block = plan_.BlockOf(ip);
+  if (block.type == NetworkType::kUnused) return true;  // dark, but routable
+  if (BlockInOutage(block, t)) return false;
+  if (!BlockReachableFromPop(block, ctx.pop_id, t)) return false;
+  if (ctx.scanner != nullptr && ScannerBlocked(block, *ctx.scanner, t))
+    return false;
+  // Stateless per-probe loss: deterministic in (probe_salt, t) so repeated
+  // probes at different times behave independently.
+  const std::uint64_t salt = probe_salt ^ static_cast<std::uint64_t>(t.minutes);
+  if (HashUnit(0x105E, ip.value(), salt) < config_.base_loss_rate) return false;
+  return true;
+}
+
+bool Internet::L4Probe(const ProbeContext& ctx, ServiceKey key, Timestamp t) {
+  ++probes_received_;
+  if (!Visible(ctx, key.ip, t, key.Pack())) return false;
+  if (key.transport == Transport::kTcp && pseudo_hosts_.contains(key.ip.value()))
+    return true;
+  const auto it = services_.find(key.Pack());
+  return it != services_.end() && it->second.LiveAt(t);
+}
+
+std::optional<L7Session> Internet::ConnectL7(const ProbeContext& ctx,
+                                             ServiceKey key, Timestamp t) {
+  if (!Visible(ctx, key.ip, t, key.Pack() ^ 0x17)) return std::nullopt;
+
+  if (key.transport == Transport::kTcp) {
+    if (const auto pseudo = pseudo_hosts_.find(key.ip.value());
+        pseudo != pseudo_hosts_.end()) {
+      L7Session session;
+      session.service.key = key;
+      // Middleboxes serve one canned page identically on every port.
+      session.service.protocol = proto::Protocol::kHttp;
+      session.service.seed = pseudo->second;
+      session.service.born = Timestamp{0};
+      session.service.dies = kNever;
+      session.service.pseudo = true;
+      return session;
+    }
+  }
+
+  const auto it = services_.find(key.Pack());
+  if (it == services_.end() || !it->second.LiveAt(t)) return std::nullopt;
+
+  const SimService& svc = it->second;
+  if (svc.honeypot && ctx.scanner != nullptr) {
+    auto& per_scanner = honeypot_contacts_[key.Pack()];
+    per_scanner.try_emplace(ctx.scanner->scanner_id, t);
+  }
+
+  L7Session session;
+  session.service = svc;
+  if (proto::GetInfo(svc.protocol).server_talks_first) {
+    session.server_first_banner = proto::GenerateBanner(svc.protocol, svc.seed);
+  }
+  return session;
+}
+
+void Internet::ForEachActiveService(
+    Timestamp t, const std::function<void(const SimService&)>& fn) const {
+  for (const auto& [packed, svc] : services_) {
+    if (svc.LiveAt(t)) fn(svc);
+  }
+}
+
+std::size_t Internet::ActiveServiceCount(Timestamp t) const {
+  std::size_t n = 0;
+  for (const auto& [packed, svc] : services_) {
+    if (svc.LiveAt(t)) ++n;
+  }
+  return n;
+}
+
+const SimService* Internet::FindService(ServiceKey key, Timestamp t) const {
+  const auto it = services_.find(key.Pack());
+  if (it == services_.end() || !it->second.LiveAt(t)) return nullptr;
+  return &it->second;
+}
+
+const SimService* Internet::FindByName(std::string_view name,
+                                       Timestamp t) const {
+  const auto it = name_index_.find(std::string(name));
+  if (it == name_index_.end()) return nullptr;
+  const auto svc = services_.find(it->second);
+  if (svc == services_.end() || !svc->second.LiveAt(t) ||
+      svc->second.sni_name != name) {
+    return nullptr;
+  }
+  return &svc->second;
+}
+
+bool Internet::IsPseudoHost(IPv4Address ip) const {
+  return pseudo_hosts_.contains(ip.value());
+}
+
+void Internet::ForEachPseudoHost(
+    const std::function<void(IPv4Address)>& fn) const {
+  for (const auto& [ip, seed] : pseudo_hosts_) fn(IPv4Address(ip));
+}
+
+void Internet::AddHoneypot(
+    IPv4Address ip, std::span<const std::pair<Port, proto::Protocol>> listeners,
+    Timestamp birth) {
+  for (const auto& [port, protocol] : listeners) {
+    ServiceKey key{ip, port, proto::GetInfo(protocol).transport};
+    SimService s = MakeService(key, protocol, birth, Duration::Days(3650));
+    s.honeypot = true;
+    s.requires_sni = false;
+    InsertService(std::move(s));
+  }
+}
+
+std::optional<Timestamp> Internet::FirstContact(ServiceKey key,
+                                                std::uint32_t scanner_id) const {
+  const auto it = honeypot_contacts_.find(key.Pack());
+  if (it == honeypot_contacts_.end()) return std::nullopt;
+  const auto jt = it->second.find(scanner_id);
+  if (jt == it->second.end()) return std::nullopt;
+  return jt->second;
+}
+
+IPv4Address Internet::PickHoneypotAddress(Rng& rng) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const IPv4Address ip = SampleAddress(NetworkType::kCloud, rng);
+    if (!pseudo_hosts_.contains(ip.value())) return ip;
+  }
+  return SampleAddress(NetworkType::kCloud, rng);
+}
+
+}  // namespace censys::simnet

@@ -1,0 +1,178 @@
+// The simulated Internet.
+//
+// Owns the live service population, advances churn, and answers probes.
+// Scanners interact exclusively through ProbeContext-carrying calls so the
+// visibility model (loss, outages, per-PoP reachability, rate-driven
+// blocking) applies uniformly to every engine; evaluation harnesses use the
+// ground-truth iteration API that real measurement studies lack — that is
+// the point of reproducing the paper in simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/types.h"
+#include "proto/protocol.h"
+#include "simnet/blocks.h"
+#include "simnet/config.h"
+#include "simnet/service.h"
+
+namespace censys::simnet {
+
+// Identity and behaviour of a scanning actor, used by the blocking model.
+// Aggressive scanners from small source pools get blocked more (§2.2).
+struct ScannerProfile {
+  std::uint32_t scanner_id = 0;
+  std::string name;
+  // Average probes per public IP per day this scanner sends.
+  double probes_per_ip_day = 1.0;
+  // Number of source addresses the scanner spreads traffic over.
+  double source_pool_size = 256.0;
+};
+
+struct ProbeContext {
+  const ScannerProfile* scanner = nullptr;
+  int pop_id = 0;  // vantage point index
+};
+
+// What an L7 session against a live service yields. This is the wire-level
+// truth; the interrogation module turns it into a structured record. The
+// session owns a snapshot of the service, so it stays valid across
+// subsequent churn.
+struct L7Session {
+  SimService service;
+  // Banner sent by the server immediately on connect ("" if it waits).
+  std::string server_first_banner;
+};
+
+class Internet {
+ public:
+  explicit Internet(const UniverseConfig& config);
+
+  // --- time ---------------------------------------------------------------
+  // Processes service deaths/births up to `t`. Monotonic.
+  void AdvanceTo(Timestamp t);
+  Timestamp now() const { return now_; }
+
+  // --- scanner-facing API ---------------------------------------------------
+  // Stateless L4 probe: does anything answer on (ip, port, transport)?
+  // Subject to loss, outages, reachability, and blocking. Pseudo hosts
+  // answer on every port.
+  bool L4Probe(const ProbeContext& ctx, ServiceKey key, Timestamp t);
+
+  // Establishes an L7 session. Returns nullopt if the target is gone or
+  // currently invisible to this scanner/PoP. Logs honeypot contact.
+  std::optional<L7Session> ConnectL7(const ProbeContext& ctx, ServiceKey key,
+                                     Timestamp t);
+
+  // --- ground truth (evaluation only) --------------------------------------
+  void ForEachActiveService(
+      Timestamp t, const std::function<void(const SimService&)>& fn) const;
+  std::size_t ActiveServiceCount(Timestamp t) const;
+  // Truth lookup without any visibility filtering.
+  const SimService* FindService(ServiceKey key, Timestamp t) const;
+  // Resolves a web-property name to its service (DNS + SNI routing), or
+  // nullptr if the name does not currently map to a live service.
+  const SimService* FindByName(std::string_view name, Timestamp t) const;
+  bool IsPseudoHost(IPv4Address ip) const;
+  void ForEachPseudoHost(const std::function<void(IPv4Address)>& fn) const;
+  std::size_t pseudo_host_count() const { return pseudo_hosts_.size(); }
+
+  const BlockPlan& blocks() const { return plan_; }
+  const PortModel& ports() const { return port_model_; }
+  const UniverseConfig& config() const { return config_; }
+
+  // --- honeypots (Table 5) --------------------------------------------------
+  // Creates honeypot services at `ip` on the given (port, protocol) pairs,
+  // live from `birth` onward.
+  void AddHoneypot(IPv4Address ip,
+                   std::span<const std::pair<Port, proto::Protocol>> listeners,
+                   Timestamp birth);
+  // First time `scanner_id` completed an L7 connection to the honeypot
+  // service, or nullopt if never contacted.
+  std::optional<Timestamp> FirstContact(ServiceKey key,
+                                        std::uint32_t scanner_id) const;
+
+  // Picks an address inside unused/dark space suitable for honeypot
+  // placement ("deployed on Google Cloud Compute" => we use cloud blocks).
+  IPv4Address PickHoneypotAddress(Rng& rng) const;
+
+  // Observer invoked on every service birth (initial population included).
+  // Used by the world harness to feed certificate-transparency logs with
+  // newly issued certificates for name-addressed services.
+  void SetBirthObserver(std::function<void(const SimService&)> observer) {
+    birth_observer_ = std::move(observer);
+  }
+
+  // --- stats ---------------------------------------------------------------
+  std::uint64_t total_births() const { return total_births_; }
+  std::uint64_t probes_received() const { return probes_received_; }
+
+ private:
+  struct HostState {
+    // Packed ports of live services on this host (non-pseudo hosts).
+    std::vector<std::uint16_t> service_slots;
+  };
+
+  struct DeathEvent {
+    Timestamp when;
+    std::uint64_t packed_key;
+    Timestamp born;  // validity check: entry is stale if service reborn
+    bool operator>(const DeathEvent& o) const {
+      return when.minutes > o.when.minutes;
+    }
+  };
+
+  // Population synthesis.
+  void Populate();
+  SimService MakeService(ServiceKey key, proto::Protocol protocol,
+                         Timestamp born, Duration lifetime);
+  void InsertService(SimService service);
+  void RemoveService(const SimService& service);
+  void SpawnReplacement(const SimService& dead);
+
+  // Generative sampling helpers.
+  IPv4Address SampleAddress(NetworkType type, Rng& rng) const;
+  proto::Protocol SampleProtocolForPort(Port port, Rng& rng) const;
+  Duration SampleLifetime(NetworkType type, Rng& rng, bool length_biased);
+  double MeanLifetimeDays(NetworkType type) const;
+
+  // Visibility model, all deterministic hashes of (block, epoch, ...).
+  bool BlockReachableFromPop(const NetworkBlock& block, int pop_id,
+                             Timestamp t) const;
+  bool BlockInOutage(const NetworkBlock& block, Timestamp t) const;
+  bool ScannerBlocked(const NetworkBlock& block, const ScannerProfile& s,
+                      Timestamp t) const;
+  bool Visible(const ProbeContext& ctx, IPv4Address ip, Timestamp t,
+               std::uint64_t probe_salt);
+
+  UniverseConfig config_;
+  BlockPlan plan_;
+  PortModel port_model_;
+  mutable Rng rng_;
+  Timestamp now_;
+
+  std::unordered_map<std::uint64_t, SimService> services_;  // by packed key
+  std::unordered_map<std::string, std::uint64_t> name_index_;  // sni -> packed
+  std::unordered_map<std::uint32_t, std::uint64_t> pseudo_hosts_;  // ip -> seed
+  std::priority_queue<DeathEvent, std::vector<DeathEvent>, std::greater<>>
+      deaths_;
+  std::unordered_map<std::uint64_t, std::unordered_map<std::uint32_t, Timestamp>>
+      honeypot_contacts_;  // packed key -> scanner_id -> first contact
+
+  // Caches of per-type block lists for replacement sampling.
+  std::vector<std::vector<const NetworkBlock*>> blocks_by_type_;
+
+  std::function<void(const SimService&)> birth_observer_;
+  std::uint64_t total_births_ = 0;
+  mutable std::uint64_t probes_received_ = 0;
+};
+
+}  // namespace censys::simnet

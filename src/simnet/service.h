@@ -1,0 +1,38 @@
+// The ground-truth representation of one live Internet service.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+#include "proto/protocol.h"
+
+namespace censys::simnet {
+
+struct SimService {
+  ServiceKey key;
+  proto::Protocol protocol = proto::Protocol::kUnknown;
+
+  // Seed from which all observable configuration (banner, software, TLS,
+  // device identity, page content) derives. Stable for the service's life.
+  std::uint64_t seed = 0;
+
+  Timestamp born;
+  Timestamp dies;  // exclusive: service is live for born <= t < dies
+
+  // True for middlebox hosts that answer identically on every port; these
+  // are synthesized lazily and share the host's seed.
+  bool pseudo = false;
+
+  // Name-addressed web property: L7 content requires the right SNI/Host;
+  // a nameless scan sees only a generic frontend page (§4.3).
+  bool requires_sni = false;
+  std::string sni_name;  // set when requires_sni
+
+  // Honeypot services log scanner contact times (Table 5 experiment).
+  bool honeypot = false;
+
+  bool LiveAt(Timestamp t) const { return born <= t && t < dies; }
+};
+
+}  // namespace censys::simnet

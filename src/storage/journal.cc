@@ -1,0 +1,201 @@
+#include "storage/journal.h"
+
+#include "storage/serialize.h"
+
+namespace censys::storage {
+namespace {
+
+std::string EncodeEvent(EventKind kind, Timestamp at, const Delta& delta) {
+  std::string out;
+  out.push_back(static_cast<char>(kind));
+  PutVarint(out, static_cast<std::uint64_t>(at.minutes));
+  out += delta.Encode();
+  return out;
+}
+
+std::optional<JournalEvent> DecodeEvent(std::uint64_t seqno,
+                                        std::string_view data) {
+  if (data.empty()) return std::nullopt;
+  JournalEvent ev;
+  ev.seqno = seqno;
+  ev.kind = static_cast<EventKind>(data[0]);
+  std::size_t pos = 1;
+  const auto minutes = GetVarint(data, &pos);
+  if (!minutes.has_value()) return std::nullopt;
+  ev.at = Timestamp{static_cast<std::int64_t>(*minutes)};
+  const auto delta = Delta::Decode(data.substr(pos));
+  if (!delta.has_value()) return std::nullopt;
+  ev.delta = *delta;
+  return ev;
+}
+
+std::string EncodeSnapshot(Timestamp at, const FieldMap& fields) {
+  std::string out;
+  PutVarint(out, static_cast<std::uint64_t>(at.minutes));
+  out += EncodeFields(fields);
+  return out;
+}
+
+std::optional<std::pair<Timestamp, FieldMap>> DecodeSnapshot(
+    std::string_view data) {
+  std::size_t pos = 0;
+  const auto minutes = GetVarint(data, &pos);
+  if (!minutes.has_value()) return std::nullopt;
+  const auto fields = DecodeFields(data.substr(pos));
+  if (!fields.has_value()) return std::nullopt;
+  return std::make_pair(Timestamp{static_cast<std::int64_t>(*minutes)},
+                        *fields);
+}
+
+}  // namespace
+
+std::string_view ToString(EventKind k) {
+  switch (k) {
+    case EventKind::kServiceFound: return "service-found";
+    case EventKind::kServiceChanged: return "service-changed";
+    case EventKind::kServiceRemoved: return "service-removed";
+    case EventKind::kEntityUpdated: return "entity-updated";
+  }
+  return "?";
+}
+
+std::string EventJournal::EventKey(std::string_view entity,
+                                   std::uint64_t seqno) {
+  std::string key = "e/";
+  key += entity;
+  key += '/';
+  key += EncodeSeqno(seqno);
+  return key;
+}
+
+std::string EventJournal::SnapshotKey(std::string_view entity,
+                                      std::uint64_t seqno) {
+  std::string key = "s/";
+  key += entity;
+  key += '/';
+  key += EncodeSeqno(seqno);
+  return key;
+}
+
+std::uint64_t EventJournal::Append(std::string_view entity_id, EventKind kind,
+                                   Timestamp at, const Delta& delta) {
+  EntityMeta& meta = meta_[std::string(entity_id)];
+  if (delta.empty() && kind == EventKind::kEntityUpdated) {
+    return meta.next_seqno;  // no-op refresh: nothing journaled
+  }
+  const std::uint64_t seqno = meta.next_seqno++;
+  ApplyDelta(meta.current, delta);
+
+  const std::string encoded = EncodeEvent(kind, at, delta);
+  delta_bytes_ += encoded.size();
+  full_bytes_equivalent_ += EncodeFields(meta.current).size() + 10;
+  table_.Put(EventKey(entity_id, seqno), encoded, Tier::kSsd);
+  ++event_count_;
+  ++meta.events_since_snapshot;
+
+  if (meta.events_since_snapshot >= options_.snapshot_every) {
+    WriteSnapshot(entity_id, meta, at);
+  }
+  return seqno;
+}
+
+void EventJournal::WriteSnapshot(std::string_view entity_id, EntityMeta& meta,
+                                 Timestamp at) {
+  const std::uint64_t snapshot_seqno = meta.next_seqno;  // covers < seqno
+  table_.Put(SnapshotKey(entity_id, snapshot_seqno),
+             EncodeSnapshot(at, meta.current), Tier::kSsd);
+  ++snapshot_count_;
+
+  if (options_.auto_tier && meta.has_snapshot) {
+    // "Censys migrates journal events and historical snapshots prior to the
+    // latest snapshot from SSD-backed tables to HDD-backed tables."
+    table_.Scan(EventKey(entity_id, 0), EventKey(entity_id, snapshot_seqno),
+                [&](std::string_view key, std::string_view) {
+                  table_.SetTier(key, Tier::kHdd);
+                  return true;
+                });
+    table_.Scan(SnapshotKey(entity_id, 0),
+                SnapshotKey(entity_id, snapshot_seqno),
+                [&](std::string_view key, std::string_view) {
+                  table_.SetTier(key, Tier::kHdd);
+                  return true;
+                });
+  }
+  meta.has_snapshot = true;
+  meta.last_snapshot_seqno = snapshot_seqno;
+  meta.events_since_snapshot = 0;
+}
+
+const FieldMap* EventJournal::CurrentState(std::string_view entity_id) const {
+  const auto it = meta_.find(std::string(entity_id));
+  if (it == meta_.end()) return nullptr;
+  return &it->second.current;
+}
+
+std::optional<FieldMap> EventJournal::ReconstructAt(std::string_view entity_id,
+                                                    Timestamp at) const {
+  // Find the latest snapshot taken at or before `at`.
+  FieldMap state;
+  std::uint64_t replay_from = 0;
+  bool any = false;
+
+  table_.Scan(SnapshotKey(entity_id, 0),
+              SnapshotKey(entity_id, ~std::uint64_t{0}),
+              [&](std::string_view key, std::string_view value) {
+                const auto snap = DecodeSnapshot(value);
+                if (!snap.has_value()) return true;
+                if (snap->first > at) return false;  // later snapshots too
+                state = snap->second;
+                replay_from = DecodeSeqno(key.substr(key.size() - 8));
+                any = true;
+                return true;
+              });
+
+  // Replay events in (replay_from, ...] with time <= at.
+  std::uint64_t replayed = 0;
+  table_.Scan(EventKey(entity_id, replay_from),
+              EventKey(entity_id, ~std::uint64_t{0}),
+              [&](std::string_view key, std::string_view value) {
+                const std::uint64_t seqno =
+                    DecodeSeqno(key.substr(key.size() - 8));
+                const auto ev = DecodeEvent(seqno, value);
+                if (!ev.has_value()) return true;
+                if (ev->at > at) return false;
+                ApplyDelta(state, ev->delta);
+                any = true;
+                ++replayed;
+                return true;
+              });
+  if (replayed > max_replay_) max_replay_ = replayed;
+  if (!any) return std::nullopt;
+  return state;
+}
+
+std::vector<JournalEvent> EventJournal::History(
+    std::string_view entity_id) const {
+  std::vector<JournalEvent> events;
+  table_.Scan(EventKey(entity_id, 0), EventKey(entity_id, ~std::uint64_t{0}),
+              [&](std::string_view key, std::string_view value) {
+                const std::uint64_t seqno =
+                    DecodeSeqno(key.substr(key.size() - 8));
+                if (const auto ev = DecodeEvent(seqno, value)) {
+                  events.push_back(*ev);
+                }
+                return true;
+              });
+  return events;
+}
+
+std::vector<std::string> EventJournal::EntityIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(meta_.size());
+  for (const auto& [id, meta] : meta_) ids.push_back(id);
+  return ids;
+}
+
+void EventJournal::ForEachEntity(
+    const std::function<void(std::string_view, const FieldMap&)>& fn) const {
+  for (const auto& [id, meta] : meta_) fn(id, meta.current);
+}
+
+}  // namespace censys::storage

@@ -1,0 +1,93 @@
+#include "storage/kv.h"
+
+#include <cassert>
+
+namespace censys::storage {
+
+void OrderedKv::Put(std::string key, std::string value, Tier tier) {
+  auto it = rows_.find(key);
+  if (it != rows_.end()) {
+    const std::uint64_t old_bytes = RowBytes(it->first, it->second);
+    (it->second.tier == Tier::kSsd ? ssd_bytes_ : hdd_bytes_) -= old_bytes;
+    it->second.value = std::move(value);
+    it->second.tier = tier;
+    (tier == Tier::kSsd ? ssd_bytes_ : hdd_bytes_) +=
+        RowBytes(it->first, it->second);
+    return;
+  }
+  Row row{std::move(value), tier};
+  const std::uint64_t bytes = key.size() + row.value.size();
+  (tier == Tier::kSsd ? ssd_bytes_ : hdd_bytes_) += bytes;
+  rows_.emplace(std::move(key), std::move(row));
+}
+
+std::optional<std::string_view> OrderedKv::Get(std::string_view key) const {
+  const auto it = rows_.find(key);
+  if (it == rows_.end()) return std::nullopt;
+  return std::string_view(it->second.value);
+}
+
+bool OrderedKv::Delete(std::string_view key) {
+  const auto it = rows_.find(key);
+  if (it == rows_.end()) return false;
+  (it->second.tier == Tier::kSsd ? ssd_bytes_ : hdd_bytes_) -=
+      RowBytes(it->first, it->second);
+  rows_.erase(it);
+  return true;
+}
+
+bool OrderedKv::SetTier(std::string_view key, Tier tier) {
+  const auto it = rows_.find(key);
+  if (it == rows_.end()) return false;
+  if (it->second.tier == tier) return true;
+  const std::uint64_t bytes = RowBytes(it->first, it->second);
+  (it->second.tier == Tier::kSsd ? ssd_bytes_ : hdd_bytes_) -= bytes;
+  it->second.tier = tier;
+  (tier == Tier::kSsd ? ssd_bytes_ : hdd_bytes_) += bytes;
+  return true;
+}
+
+std::optional<Tier> OrderedKv::GetTier(std::string_view key) const {
+  const auto it = rows_.find(key);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second.tier;
+}
+
+void OrderedKv::Scan(
+    std::string_view begin, std::string_view end,
+    const std::function<bool(std::string_view, std::string_view)>& visit)
+    const {
+  for (auto it = rows_.lower_bound(begin);
+       it != rows_.end() && (end.empty() || std::string_view(it->first) < end);
+       ++it) {
+    if (!visit(it->first, it->second.value)) return;
+  }
+}
+
+std::optional<std::pair<std::string_view, std::string_view>>
+OrderedKv::SeekBefore(std::string_view bound) const {
+  auto it = rows_.lower_bound(bound);
+  if (it == rows_.begin()) return std::nullopt;
+  --it;
+  return std::make_pair(std::string_view(it->first),
+                        std::string_view(it->second.value));
+}
+
+std::string EncodeSeqno(std::uint64_t seqno) {
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>(seqno >> (8 * (7 - i)));
+  }
+  return out;
+}
+
+std::uint64_t DecodeSeqno(std::string_view encoded) {
+  assert(encoded.size() >= 8);
+  std::uint64_t seqno = 0;
+  for (int i = 0; i < 8; ++i) {
+    seqno = (seqno << 8) | static_cast<std::uint8_t>(encoded[i]);
+  }
+  return seqno;
+}
+
+}  // namespace censys::storage

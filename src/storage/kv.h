@@ -1,0 +1,65 @@
+// An ordered key-value store with storage tiers.
+//
+// Stands in for Google Bigtable: lexicographically ordered keys, range
+// scans, and per-row storage-tier placement. Censys keeps the journal tail
+// and latest snapshots on SSD and migrates history to HDD (§5.2); the tier
+// accounting here is what the storage benches report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace censys::storage {
+
+enum class Tier : std::uint8_t { kSsd = 0, kHdd = 1 };
+
+class OrderedKv {
+ public:
+  void Put(std::string key, std::string value, Tier tier = Tier::kSsd);
+  std::optional<std::string_view> Get(std::string_view key) const;
+  bool Delete(std::string_view key);
+
+  // Moves a row between tiers; returns false if the key does not exist.
+  bool SetTier(std::string_view key, Tier tier);
+  std::optional<Tier> GetTier(std::string_view key) const;
+
+  // Visits rows with begin <= key < end in order; return false from the
+  // visitor to stop early.
+  void Scan(std::string_view begin, std::string_view end,
+            const std::function<bool(std::string_view key,
+                                     std::string_view value)>& visit) const;
+
+  // Last row with key < bound (reverse seek), or nullopt.
+  std::optional<std::pair<std::string_view, std::string_view>> SeekBefore(
+      std::string_view bound) const;
+
+  std::size_t size() const { return rows_.size(); }
+  std::uint64_t bytes_on(Tier tier) const {
+    return tier == Tier::kSsd ? ssd_bytes_ : hdd_bytes_;
+  }
+  std::uint64_t total_bytes() const { return ssd_bytes_ + hdd_bytes_; }
+
+ private:
+  struct Row {
+    std::string value;
+    Tier tier;
+  };
+  std::uint64_t RowBytes(std::string_view key, const Row& row) const {
+    return key.size() + row.value.size();
+  }
+
+  std::map<std::string, Row, std::less<>> rows_;
+  std::uint64_t ssd_bytes_ = 0;
+  std::uint64_t hdd_bytes_ = 0;
+};
+
+// Big-endian fixed-width encoding of a sequence number so that
+// lexicographic key order equals numeric order.
+std::string EncodeSeqno(std::uint64_t seqno);
+std::uint64_t DecodeSeqno(std::string_view encoded);
+
+}  // namespace censys::storage

@@ -1,0 +1,68 @@
+#include "storage/serialize.h"
+
+namespace censys::storage {
+
+void PutVarint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::optional<std::uint64_t> GetVarint(std::string_view data,
+                                       std::size_t* pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (*pos < data.size()) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(data[(*pos)++]);
+    if (shift >= 64) return std::nullopt;  // overlong
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return std::nullopt;  // truncated
+}
+
+void PutLengthPrefixed(std::string& out, std::string_view value) {
+  PutVarint(out, value.size());
+  out.append(value);
+}
+
+std::optional<std::string_view> GetLengthPrefixed(std::string_view data,
+                                                  std::size_t* pos) {
+  const auto len = GetVarint(data, pos);
+  if (!len.has_value()) return std::nullopt;
+  if (*pos + *len > data.size()) return std::nullopt;
+  const std::string_view value = data.substr(*pos, *len);
+  *pos += *len;
+  return value;
+}
+
+std::string EncodeFields(const std::map<std::string, std::string>& fields) {
+  std::string out;
+  PutVarint(out, fields.size());
+  for (const auto& [key, value] : fields) {
+    PutLengthPrefixed(out, key);
+    PutLengthPrefixed(out, value);
+  }
+  return out;
+}
+
+std::optional<std::map<std::string, std::string>> DecodeFields(
+    std::string_view data) {
+  std::size_t pos = 0;
+  const auto count = GetVarint(data, &pos);
+  if (!count.has_value()) return std::nullopt;
+  std::map<std::string, std::string> fields;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto key = GetLengthPrefixed(data, &pos);
+    const auto value = GetLengthPrefixed(data, &pos);
+    if (!key.has_value() || !value.has_value()) return std::nullopt;
+    fields.emplace(std::string(*key), std::string(*value));
+  }
+  if (pos != data.size()) return std::nullopt;  // trailing garbage
+  return fields;
+}
+
+}  // namespace censys::storage

@@ -1,0 +1,33 @@
+// Binary serialization of field maps.
+//
+// Scan results move through the pipeline as serialized records ("enqueued
+// ... as serialized Protobuf objects", §4.2). We use a compact
+// length-prefixed encoding with varints — the same wire-level idea —
+// because journal storage cost (the 500 TB/yr figure of §5.2) is one of the
+// quantities the storage benches measure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace censys::storage {
+
+// LEB128-style unsigned varint.
+void PutVarint(std::string& out, std::uint64_t value);
+// Returns the decoded value and advances *pos; nullopt on truncation.
+std::optional<std::uint64_t> GetVarint(std::string_view data, std::size_t* pos);
+
+void PutLengthPrefixed(std::string& out, std::string_view value);
+std::optional<std::string_view> GetLengthPrefixed(std::string_view data,
+                                                  std::size_t* pos);
+
+// Encodes a field map as count + (key, value) pairs, keys sorted (std::map
+// order), so equal maps have byte-identical encodings.
+std::string EncodeFields(const std::map<std::string, std::string>& fields);
+std::optional<std::map<std::string, std::string>> DecodeFields(
+    std::string_view data);
+
+}  // namespace censys::storage

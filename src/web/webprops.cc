@@ -1,0 +1,77 @@
+#include "web/webprops.h"
+
+#include "core/strings.h"
+
+namespace censys::web {
+
+std::size_t WebPropertyCatalog::PollCtLog(const cert::CtLog& log,
+                                          Timestamp now) {
+  std::size_t added = 0;
+  for (const cert::CtEntry& entry : log.EntriesSince(ct_cursor_)) {
+    if (entry.logged_at > now) break;  // future entries wait for next poll
+    ct_cursor_ = entry.index + 1;
+    for (const std::string& name : entry.certificate.san_dns) {
+      if (StartsWith(name, "*.")) continue;  // wildcards are not scan targets
+      if (!properties_.contains(name)) {
+        AddName(name, WebProperty::Source::kCtLog, now);
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+void WebPropertyCatalog::AddName(std::string name, WebProperty::Source source,
+                                 Timestamp now) {
+  auto [it, inserted] = properties_.try_emplace(name);
+  if (!inserted) return;
+  WebProperty& prop = it->second;
+  prop.name = std::move(name);
+  prop.first_seen = now;
+  prop.source = source;
+  Scan(prop, now);
+}
+
+std::size_t WebPropertyCatalog::RefreshDue(Timestamp now) {
+  std::size_t scanned = 0;
+  for (auto& [name, prop] : properties_) {
+    if (prop.last_scanned + options_.refresh_interval <= now) {
+      Scan(prop, now);
+      ++scanned;
+    }
+  }
+  return scanned;
+}
+
+void WebPropertyCatalog::Scan(WebProperty& prop, Timestamp now) {
+  prop.last_scanned = now;
+  prop.reachable = false;
+
+  // Resolve the name (DNS) to its current endpoint, then fetch / with the
+  // right SNI/Host.
+  const simnet::SimService* svc = net_.FindByName(prop.name, now);
+  if (svc == nullptr) return;
+  auto record = scanner_.Interrogate(svc->key, now, /*pop_id=*/0,
+                                     /*udp_hint=*/std::nullopt, prop.name);
+  if (!record.has_value()) return;
+  prop.reachable = true;
+  prop.record = std::move(*record);
+}
+
+const WebProperty* WebPropertyCatalog::Get(std::string_view name) const {
+  const auto it = properties_.find(std::string(name));
+  return it == properties_.end() ? nullptr : &it->second;
+}
+
+std::size_t WebPropertyCatalog::reachable_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, prop] : properties_) n += prop.reachable;
+  return n;
+}
+
+void WebPropertyCatalog::ForEach(
+    const std::function<void(const WebProperty&)>& fn) const {
+  for (const auto& [name, prop] : properties_) fn(prop);
+}
+
+}  // namespace censys::web

@@ -1,0 +1,73 @@
+// Web Properties (§4.3).
+//
+// The majority of HTTP(S) services are only reachable when addressed by
+// name (SNI / Host header). Censys discovers names from public CT logs,
+// HTTP redirects, and passive-DNS feeds, scans each name's root page at
+// least monthly, and models the result as a Web Property entity (the paper
+// migrated away from the (IP, Port, Name) Virtual Host abstraction in 2024
+// precisely because names, not IP tuples, are the stable identity).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cert/ct.h"
+#include "interrogate/interrogator.h"
+#include "simnet/internet.h"
+
+namespace censys::web {
+
+struct WebProperty {
+  std::string name;
+  Timestamp first_seen;
+  Timestamp last_scanned;
+  bool reachable = false;
+  // The scan result for the root page (empty record when unreachable).
+  interrogate::ServiceRecord record;
+  // Where the name came from.
+  enum class Source : std::uint8_t { kCtLog, kPassiveDns, kRedirect } source =
+      Source::kCtLog;
+};
+
+class WebPropertyCatalog {
+ public:
+  struct Options {
+    Duration refresh_interval = Duration::Days(30);  // "at least monthly"
+  };
+
+  WebPropertyCatalog(simnet::Internet& net, interrogate::Interrogator& scanner)
+      : WebPropertyCatalog(net, scanner, Options()) {}
+  WebPropertyCatalog(simnet::Internet& net, interrogate::Interrogator& scanner,
+                     Options options)
+      : net_(net), scanner_(scanner), options_(options) {}
+
+  // Consumes new CT entries since the internal cursor, registering any DNS
+  // names found in certificates.
+  std::size_t PollCtLog(const cert::CtLog& log, Timestamp now);
+
+  // Registers a name learned from a passive-DNS subscription or redirect.
+  void AddName(std::string name, WebProperty::Source source, Timestamp now);
+
+  // Scans every property due for refresh; returns how many were scanned.
+  std::size_t RefreshDue(Timestamp now);
+
+  const WebProperty* Get(std::string_view name) const;
+  std::size_t size() const { return properties_.size(); }
+  std::size_t reachable_count() const;
+  void ForEach(const std::function<void(const WebProperty&)>& fn) const;
+
+ private:
+  void Scan(WebProperty& prop, Timestamp now);
+
+  simnet::Internet& net_;
+  interrogate::Interrogator& scanner_;
+  Options options_;
+  std::unordered_map<std::string, WebProperty> properties_;
+  std::uint64_t ct_cursor_ = 0;
+};
+
+}  // namespace censys::web

@@ -1,0 +1,183 @@
+// Tests for X.509 synthesis, validation, CRL revocation, linting, and the
+// CT log.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cert/ct.h"
+#include "cert/x509.h"
+
+namespace censys::cert {
+namespace {
+
+TEST(CertificateTest, SynthesisIsDeterministic) {
+  const Certificate a = SynthesizeCertificate(42, "example.com", Timestamp{0});
+  const Certificate b = SynthesizeCertificate(42, "example.com", Timestamp{0});
+  EXPECT_EQ(a.Sha256Hex(), b.Sha256Hex());
+  EXPECT_EQ(a.subject_cn, b.subject_cn);
+  EXPECT_EQ(a.serial, b.serial);
+}
+
+TEST(CertificateTest, DifferentSeedsDifferentFingerprints) {
+  std::set<std::string> fps;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    fps.insert(
+        SynthesizeCertificate(seed, "example.com", Timestamp{0}).Sha256Hex());
+  }
+  EXPECT_EQ(fps.size(), 100u);
+}
+
+TEST(CertificateTest, FingerprintHelperMatchesFullSynthesis) {
+  EXPECT_EQ(CertFingerprintHex(7, "a.example.com", Timestamp{0}),
+            SynthesizeCertificate(7, "a.example.com", Timestamp{0}).Sha256Hex());
+}
+
+TEST(CertificateTest, NamedCertsCoverTheirName) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const Certificate cert =
+        SynthesizeCertificate(seed, "shop.example.com", Timestamp{0});
+    EXPECT_TRUE(cert.CoversName("shop.example.com")) << seed;
+  }
+}
+
+TEST(CertificateTest, WildcardSanMatching) {
+  Certificate cert;
+  cert.subject_cn = "example.com";
+  cert.san_dns = {"example.com", "*.example.com"};
+  EXPECT_TRUE(cert.CoversName("example.com"));
+  EXPECT_TRUE(cert.CoversName("www.example.com"));
+  EXPECT_TRUE(cert.CoversName("WWW.EXAMPLE.COM"));  // names are case-blind
+  EXPECT_FALSE(cert.CoversName("a.b.example.com"));  // one label only
+  EXPECT_FALSE(cert.CoversName("example.org"));
+  EXPECT_FALSE(cert.CoversName(".example.com"));  // empty label
+}
+
+TEST(CertificateTest, ValidityWindow) {
+  Certificate cert;
+  cert.not_before = Timestamp::FromDays(-10);
+  cert.not_after = Timestamp::FromDays(80);
+  EXPECT_TRUE(cert.ValidAt(Timestamp{0}));
+  EXPECT_FALSE(cert.ValidAt(Timestamp::FromDays(-11)));
+  EXPECT_FALSE(cert.ValidAt(Timestamp::FromDays(80)));
+  EXPECT_EQ(cert.ValidityWindow().ToDays(), 90);
+}
+
+TEST(ValidationTest, StatusesCoverTheSpace) {
+  const RootStore roots = RootStore::Default();
+  const CrlStore crls;
+
+  int trusted = 0, self_signed = 0, expired = 0, untrusted = 0, revoked = 0;
+  for (std::uint64_t seed = 0; seed < 3000; ++seed) {
+    const Certificate cert =
+        SynthesizeCertificate(seed, "h.example.com", Timestamp{0});
+    switch (Validate(cert, roots, crls, Timestamp{0})) {
+      case ValidationStatus::kTrusted: ++trusted; break;
+      case ValidationStatus::kSelfSigned: ++self_signed; break;
+      case ValidationStatus::kExpired: ++expired; break;
+      case ValidationStatus::kUntrustedIssuer: ++untrusted; break;
+      case ValidationStatus::kRevoked: ++revoked; break;
+      case ValidationStatus::kNotYetValid: break;
+    }
+  }
+  EXPECT_GT(trusted, 1000);      // most of the web PKI validates
+  EXPECT_GT(self_signed, 100);   // device certs exist
+  EXPECT_GT(expired, 100);       // a real expired tail exists
+  EXPECT_GT(untrusted, 50);      // the untrusted CA issues some
+  EXPECT_GT(revoked, 5);         // baseline CRL hits
+}
+
+TEST(ValidationTest, ManualRevocationTakesEffectAtItsDate) {
+  const RootStore roots = RootStore::Default();
+  CrlStore crls;
+  Certificate cert;
+  cert.subject_cn = "c2.example.com";
+  cert.issuer = "SimCert Global CA";
+  cert.san_dns = {"c2.example.com"};
+  cert.not_before = Timestamp{0};
+  cert.not_after = Timestamp::FromDays(365);
+  cert.serial = 777000777;
+
+  ASSERT_EQ(Validate(cert, roots, crls, Timestamp::FromDays(10)),
+            ValidationStatus::kTrusted);
+  crls.Revoke(cert.issuer, cert.serial, Timestamp::FromDays(30));
+  EXPECT_EQ(Validate(cert, roots, crls, Timestamp::FromDays(10)),
+            ValidationStatus::kTrusted);  // before revocation date
+  EXPECT_EQ(Validate(cert, roots, crls, Timestamp::FromDays(31)),
+            ValidationStatus::kRevoked);
+}
+
+TEST(ValidationTest, ExpiredBeatsRevoked) {
+  const RootStore roots = RootStore::Default();
+  CrlStore crls;
+  Certificate cert;
+  cert.issuer = "SimCert Global CA";
+  cert.not_before = Timestamp{0};
+  cert.not_after = Timestamp::FromDays(10);
+  cert.serial = 1;
+  crls.Revoke(cert.issuer, cert.serial, Timestamp::FromDays(5));
+  EXPECT_EQ(Validate(cert, roots, crls, Timestamp::FromDays(20)),
+            ValidationStatus::kExpired);
+}
+
+TEST(LintTest, FlagsBaselineRequirementViolations) {
+  Certificate cert;
+  cert.subject_cn = "device.local";
+  cert.issuer = "LegacySign CA 2009";
+  cert.self_signed = false;
+  cert.not_before = Timestamp{0};
+  cert.not_after = Timestamp::FromDays(730);  // > 398 days
+  cert.key_algorithm = KeyAlgorithm::kRsa1024;
+  cert.signature_algorithm = SignatureAlgorithm::kSha1Rsa;
+  // no SAN
+  const LintResult result = Lint(cert);
+  EXPECT_GE(result.errors.size(), 4u);
+}
+
+TEST(LintTest, CleanModernCertPasses) {
+  Certificate cert;
+  cert.subject_cn = "www.example.com";
+  cert.san_dns = {"www.example.com"};
+  cert.issuer = "SimCA Encrypt R3";
+  cert.not_before = Timestamp{0};
+  cert.not_after = Timestamp::FromDays(90);
+  cert.key_algorithm = KeyAlgorithm::kEcdsaP256;
+  cert.signature_algorithm = SignatureAlgorithm::kEcdsaSha256;
+  EXPECT_TRUE(Lint(cert).clean());
+}
+
+TEST(LintTest, SelfSignedLongValidityIsNotABrViolation) {
+  Certificate cert;
+  cert.subject_cn = "device.local";
+  cert.issuer = cert.subject_cn;
+  cert.self_signed = true;
+  cert.not_before = Timestamp{0};
+  cert.not_after = Timestamp::FromDays(3650);
+  const LintResult result = Lint(cert);
+  for (const std::string& e : result.errors) {
+    EXPECT_NE(e, "validity_longer_than_398_days");
+    EXPECT_NE(e, "missing_subject_alt_name");
+  }
+}
+
+TEST(CtLogTest, AppendAndCursorPolling) {
+  CtLog log;
+  for (int i = 0; i < 5; ++i) {
+    Certificate cert = SynthesizeCertificate(
+        static_cast<std::uint64_t>(i), "w" + std::to_string(i) + ".example.com",
+        Timestamp{0});
+    EXPECT_EQ(log.Append(std::move(cert), Timestamp{i * 10}),
+              static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(log.tree_size(), 5u);
+
+  auto batch = log.EntriesSince(0);
+  EXPECT_EQ(batch.size(), 5u);
+  batch = log.EntriesSince(3);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].index, 3u);
+  EXPECT_TRUE(log.EntriesSince(5).empty());
+  EXPECT_TRUE(log.EntriesSince(99).empty());
+}
+
+}  // namespace
+}  // namespace censys::cert

@@ -1,0 +1,454 @@
+// Unit tests for the core module: addresses, CIDR math, RNG statistics,
+// SHA-256 vectors, string utilities, and the simulated clock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/cidr.h"
+#include "core/clock.h"
+#include "core/rng.h"
+#include "core/sha256.h"
+#include "core/strings.h"
+#include "core/types.h"
+
+namespace censys {
+namespace {
+
+// ---------------------------------------------------------------- IPv4Address
+
+TEST(IPv4AddressTest, ParsesValidDottedQuad) {
+  const auto a = IPv4Address::Parse("192.0.2.17");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xC0000211u);
+  EXPECT_EQ(a->ToString(), "192.0.2.17");
+}
+
+TEST(IPv4AddressTest, ParsesBoundaryValues) {
+  EXPECT_EQ(IPv4Address::Parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(IPv4Address::Parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(IPv4AddressTest, RejectsMalformedInput) {
+  EXPECT_FALSE(IPv4Address::Parse("").has_value());
+  EXPECT_FALSE(IPv4Address::Parse("1.2.3").has_value());
+  EXPECT_FALSE(IPv4Address::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IPv4Address::Parse("1.2.3.256").has_value());
+  EXPECT_FALSE(IPv4Address::Parse("1.2.3.-4").has_value());
+  EXPECT_FALSE(IPv4Address::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IPv4Address::Parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(IPv4Address::Parse("01.2.3.4").has_value());
+}
+
+TEST(IPv4AddressTest, OctetsAreNetworkOrder) {
+  const IPv4Address a(0x01020304u);
+  EXPECT_EQ(a.octet(0), 1);
+  EXPECT_EQ(a.octet(1), 2);
+  EXPECT_EQ(a.octet(2), 3);
+  EXPECT_EQ(a.octet(3), 4);
+}
+
+TEST(IPv4AddressTest, RoundTripsThroughString) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const IPv4Address a(static_cast<std::uint32_t>(rng.NextU64()));
+    EXPECT_EQ(IPv4Address::Parse(a.ToString()), a);
+  }
+}
+
+// ------------------------------------------------------------------ ServiceKey
+
+TEST(ServiceKeyTest, PackUnpackRoundTrips) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    ServiceKey key{IPv4Address(static_cast<std::uint32_t>(rng.NextU64())),
+                   static_cast<Port>(rng.NextBelow(65536)),
+                   rng.Bernoulli(0.5) ? Transport::kTcp : Transport::kUdp};
+    EXPECT_EQ(ServiceKey::Unpack(key.Pack()), key);
+  }
+}
+
+TEST(ServiceKeyTest, ToStringIsReadable) {
+  const ServiceKey key{IPv4Address(0x7F000001u), 443, Transport::kTcp};
+  EXPECT_EQ(key.ToString(), "127.0.0.1:443/tcp");
+}
+
+// ------------------------------------------------------------------ Timestamp
+
+TEST(TimestampTest, ArithmeticIsConsistent) {
+  const Timestamp t0 = Timestamp::FromDays(2);
+  const Timestamp t1 = t0 + Duration::Hours(36);
+  EXPECT_DOUBLE_EQ((t1 - t0).ToHours(), 36.0);
+  EXPECT_DOUBLE_EQ(t1.ToDays(), 3.5);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(TimestampTest, ToStringFormatsDayAndTime) {
+  EXPECT_EQ((Timestamp::FromDays(12) + Duration::Hours(7.5)).ToString(),
+            "d12 07:30");
+}
+
+// ----------------------------------------------------------------------- Cidr
+
+TEST(CidrTest, ParseAndProperties) {
+  const auto c = Cidr::Parse("10.1.0.0/16");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 65536u);
+  EXPECT_TRUE(c->Contains(*IPv4Address::Parse("10.1.200.7")));
+  EXPECT_FALSE(c->Contains(*IPv4Address::Parse("10.2.0.0")));
+  EXPECT_EQ(c->ToString(), "10.1.0.0/16");
+}
+
+TEST(CidrTest, BaseIsMaskedToBoundary) {
+  const Cidr c(*IPv4Address::Parse("10.1.2.3"), 24);
+  EXPECT_EQ(c.base().ToString(), "10.1.2.0");
+}
+
+TEST(CidrTest, RejectsMalformed) {
+  EXPECT_FALSE(Cidr::Parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Cidr::Parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Cidr::Parse("10.0.0.0/x").has_value());
+  EXPECT_FALSE(Cidr::Parse("300.0.0.0/8").has_value());
+}
+
+TEST(CidrTest, ContainsNestedPrefix) {
+  const Cidr outer(*IPv4Address::Parse("10.0.0.0"), 8);
+  const Cidr inner(*IPv4Address::Parse("10.9.0.0"), 16);
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+}
+
+TEST(CidrTest, SlashZeroCoversEverything) {
+  const Cidr all(IPv4Address(0), 0);
+  EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+  EXPECT_TRUE(all.Contains(IPv4Address(0xFFFFFFFFu)));
+}
+
+// -------------------------------------------------------------------- CidrSet
+
+TEST(CidrSetTest, MembershipAndMerging) {
+  CidrSet set;
+  set.Insert(*Cidr::Parse("10.0.0.0/24"));
+  set.Insert(*Cidr::Parse("10.0.1.0/24"));  // adjacent: should merge
+  set.Insert(*Cidr::Parse("192.168.0.0/16"));
+  EXPECT_TRUE(set.Contains(*IPv4Address::Parse("10.0.0.200")));
+  EXPECT_TRUE(set.Contains(*IPv4Address::Parse("10.0.1.5")));
+  EXPECT_FALSE(set.Contains(*IPv4Address::Parse("10.0.2.0")));
+  EXPECT_TRUE(set.Contains(*IPv4Address::Parse("192.168.55.1")));
+  EXPECT_EQ(set.AddressCount(), 512u + 65536u);
+  EXPECT_EQ(set.range_count(), 2u);
+}
+
+TEST(CidrSetTest, OverlappingInsertsMerge) {
+  CidrSet set;
+  set.Insert(*Cidr::Parse("10.0.0.0/16"));
+  set.Insert(*Cidr::Parse("10.0.128.0/17"));  // inside the /16
+  EXPECT_EQ(set.AddressCount(), 65536u);
+  EXPECT_EQ(set.range_count(), 1u);
+}
+
+TEST(CidrSetTest, InsertBridgingTwoRanges) {
+  CidrSet set;
+  set.Insert(*Cidr::Parse("10.0.0.0/24"));
+  set.Insert(*Cidr::Parse("10.0.2.0/24"));
+  EXPECT_EQ(set.range_count(), 2u);
+  set.Insert(*Cidr::Parse("10.0.1.0/24"));  // bridges the gap
+  EXPECT_EQ(set.range_count(), 1u);
+  EXPECT_EQ(set.AddressCount(), 768u);
+}
+
+TEST(CidrSetTest, EmptySetContainsNothing) {
+  CidrSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.Contains(IPv4Address(0)));
+  EXPECT_EQ(set.AddressCount(), 0u);
+}
+
+// ------------------------------------------------------------------------ Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(9);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(10);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(7.0);
+  EXPECT_NEAR(sum / kN, 7.0, 0.15);
+}
+
+TEST(RngTest, NormalHasRequestedMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.NextNormal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, PoissonMatchesMeanSmallAndLarge) {
+  Rng rng(12);
+  for (const double mean : {0.5, 4.0, 80.0}) {
+    double sum = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i)
+      sum += static_cast<double>(rng.NextPoisson(mean));
+    EXPECT_NEAR(sum / kN, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, GeometricMatchesMean) {
+  Rng rng(13);
+  const double p = 0.2;
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.NextGeometric(p));
+  // mean failures before success = (1-p)/p = 4.
+  EXPECT_NEAR(sum / kN, 4.0, 0.15);
+}
+
+TEST(RngTest, PickWeightedFollowsWeights) {
+  Rng rng(14);
+  const double weights[] = {1.0, 3.0, 6.0};
+  int counts[3] = {0, 0, 0};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.PickWeighted(weights)];
+  EXPECT_NEAR(counts[0] / double(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(kN), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / double(kN), 0.6, 0.015);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(99);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  Rng a2 = parent.Fork(1);  // same stream id -> same stream
+  EXPECT_EQ(a.NextU64(), a2.NextU64());
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(ZipfSamplerTest, RanksAreInRangeAndMonotonicallyPopular) {
+  Rng rng(21);
+  ZipfSampler zipf(1000, 1.1);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t r = zipf.Sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 1000u);
+    ++counts[r];
+  }
+  // Rank 1 should dominate rank 10 which dominates rank 100 (smooth decay).
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+  // Ratio count(1)/count(2) should approximate 2^s within tolerance.
+  const double ratio = static_cast<double>(counts[1]) / counts[2];
+  EXPECT_NEAR(ratio, std::pow(2.0, 1.1), 0.35);
+}
+
+// --------------------------------------------------------------------- Sha256
+
+TEST(Sha256Test, Fips180EmptyString) {
+  EXPECT_EQ(
+      ToHex(Sha256::Hash("")),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Fips180Abc) {
+  EXPECT_EQ(
+      ToHex(Sha256::Hash("abc")),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, Fips180TwoBlockMessage) {
+  EXPECT_EQ(
+      ToHex(Sha256::Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(
+      ToHex(h.Finish()),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.Update(data.substr(0, split));
+    h.Update(data.substr(split));
+    EXPECT_EQ(h.Finish(), Sha256::Hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, DigestPrefixIsBigEndian) {
+  const auto d = Sha256::Hash("abc");
+  EXPECT_EQ(DigestPrefix64(d), 0xba7816bf8f01cfeaull);
+}
+
+// -------------------------------------------------------------------- Strings
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitWhitespaceSkipsRuns) {
+  const auto parts = SplitWhitespace("  alpha \t beta\ngamma  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "alpha");
+  EXPECT_EQ(parts[2], "gamma");
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x y  "), "x y");
+  EXPECT_EQ(TrimWhitespace("\t\n"), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("MixedCASE123"), "mixedcase123");
+  EXPECT_TRUE(EqualsIgnoreCase("Modbus", "MODBUS"));
+  EXPECT_FALSE(EqualsIgnoreCase("Modbus", "Modbus7"));
+  EXPECT_TRUE(ContainsIgnoreCase("Apache httpd Server", "HTTPD"));
+  EXPECT_FALSE(ContainsIgnoreCase("Apache", "nginx"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("SSH-2.0-OpenSSH", "SSH-"));
+  EXPECT_FALSE(StartsWith("SSH", "SSH-"));
+  EXPECT_TRUE(EndsWith("report.json", ".json"));
+  EXPECT_FALSE(EndsWith("x", ".json"));
+}
+
+TEST(StringsTest, GlobMatch) {
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("SSH-*", "SSH-2.0-OpenSSH_8.9p1"));
+  EXPECT_TRUE(GlobMatch("*nginx*", "Server: nginx/1.18.0"));
+  EXPECT_TRUE(GlobMatch("a?c", "abc"));
+  EXPECT_FALSE(GlobMatch("a?c", "ac"));
+  EXPECT_FALSE(GlobMatch("nginx", "Server: nginx"));
+  EXPECT_TRUE(GlobMatch("**", ""));
+  EXPECT_TRUE(GlobMatch("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(GlobMatch("a*b*c", "aXXcYYb"));
+}
+
+TEST(StringsTest, HumanCount) {
+  EXPECT_EQ(HumanCount(49), "49");
+  EXPECT_EQ(HumanCount(1200), "1.2K");
+  EXPECT_EQ(HumanCount(13100), "13.1K");
+  EXPECT_EQ(HumanCount(42000), "42K");
+  EXPECT_EQ(HumanCount(794000000), "794M");
+  EXPECT_EQ(HumanCount(3100000000ull), "3.1B");
+}
+
+TEST(StringsTest, Fnv1aIsStable) {
+  // FNV-1a published test vector.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+}
+
+// ---------------------------------------------------------------------- Clock
+
+TEST(ClockTest, AdvanceIsMonotonic) {
+  SimClock clock;
+  clock.Advance(Duration::Hours(2));
+  EXPECT_EQ(clock.now().minutes, 120);
+  clock.AdvanceTo(Timestamp{100});  // earlier: no-op
+  EXPECT_EQ(clock.now().minutes, 120);
+  clock.AdvanceTo(Timestamp{150});
+  EXPECT_EQ(clock.now().minutes, 150);
+}
+
+TEST(EventQueueTest, RunsInTimeThenInsertionOrder) {
+  SimClock clock;
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(Timestamp{10}, [&](Timestamp) { order.push_back(2); });
+  queue.ScheduleAt(Timestamp{5}, [&](Timestamp) { order.push_back(1); });
+  queue.ScheduleAt(Timestamp{10}, [&](Timestamp) { order.push_back(3); });
+  queue.RunUntil(clock, Timestamp{20});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now().minutes, 20);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  SimClock clock;
+  EventQueue queue;
+  int fired = 0;
+  queue.ScheduleAt(Timestamp{5}, [&](Timestamp t) {
+    ++fired;
+    queue.ScheduleAfter(t, Duration::Minutes(5), [&](Timestamp) { ++fired; });
+  });
+  queue.RunUntil(clock, Timestamp{30});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, FutureEventsStayQueued) {
+  SimClock clock;
+  EventQueue queue;
+  int fired = 0;
+  queue.ScheduleAt(Timestamp{100}, [&](Timestamp) { ++fired; });
+  queue.RunUntil(clock, Timestamp{50});
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(queue.size(), 1u);
+  queue.RunUntil(clock, Timestamp{100});
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace censys

@@ -1,0 +1,106 @@
+// Tests for the evaluation methodology helpers (§6.1 as code).
+#include <gtest/gtest.h>
+
+#include "engines/evaluation.h"
+#include "engines/world.h"
+
+namespace censys::engines {
+namespace {
+
+simnet::UniverseConfig SmallConfig() {
+  simnet::UniverseConfig cfg;
+  cfg.seed = 13;
+  cfg.universe_size = 1u << 16;
+  cfg.target_services = 8000;
+  cfg.pseudo_host_fraction = 0.01;
+  cfg.ics_scale = 0;
+  return cfg;
+}
+
+TEST(SubsampledScanTest, SampleFractionScalesResult) {
+  simnet::Internet net(SmallConfig());
+  const auto half = SubsampledScan(net, Timestamp{0}, 0.5, 1);
+  const auto tenth = SubsampledScan(net, Timestamp{0}, 0.1, 1);
+  EXPECT_GT(half.services.size(), tenth.services.size() * 3);
+  EXPECT_LT(half.services.size(), tenth.services.size() * 8);
+}
+
+TEST(SubsampledScanTest, FiltersPseudoHosts) {
+  simnet::Internet net(SmallConfig());
+  const auto sample = SubsampledScan(net, Timestamp{0}, 1.0, 2);
+  for (const simnet::SimService& svc : sample.services) {
+    EXPECT_FALSE(net.IsPseudoHost(svc.key.ip)) << svc.key.ToString();
+  }
+}
+
+TEST(SubsampledScanTest, SingleProbeLosesAFewPercent) {
+  // ZMap-style single-probe scans lose ~3% to transient conditions; the
+  // sample must be a large but strict subset of truth.
+  simnet::Internet net(SmallConfig());
+  const std::size_t truth = net.ActiveServiceCount(Timestamp{0});
+  const auto sample = SubsampledScan(net, Timestamp{0}, 1.0, 3);
+  EXPECT_LT(sample.services.size(), truth);
+  // UDP services on unassigned ports never respond to a generic probe, so
+  // the loss is a bit more than pure packet loss.
+  EXPECT_GT(sample.services.size(), truth * 7 / 10);
+}
+
+TEST(ValidateTest, LiveAndDeadTargets) {
+  simnet::Internet net(SmallConfig());
+  std::optional<simnet::SimService> live;
+  net.ForEachActiveService(Timestamp{0}, [&](const simnet::SimService& s) {
+    if (!live.has_value() && !s.pseudo && s.key.transport == Transport::kTcp &&
+        (s.dies - Timestamp{0}).ToDays() > 2.0) {
+      live = s;
+    }
+  });
+  ASSERT_TRUE(live.has_value());
+  // Retries smooth over transient loss, so a solidly-live service passes.
+  EXPECT_TRUE(ValidateLive(net, live->key, Timestamp{0}, /*attempts=*/4));
+  EXPECT_TRUE(ValidateProtocol(net, live->key, live->protocol, Timestamp{0},
+                               /*attempts=*/4));
+  EXPECT_FALSE(ValidateProtocol(net, live->key, proto::Protocol::kGeSrtp,
+                                Timestamp{0}, 4));
+
+  const ServiceKey dead{IPv4Address(7), 64999, Transport::kTcp};
+  ASSERT_EQ(net.FindService(dead, Timestamp{0}), nullptr);
+  EXPECT_FALSE(ValidateLive(net, dead, Timestamp{0}));
+}
+
+TEST(BucketTest, NonOverlappingRanges) {
+  simnet::Internet net(SmallConfig());
+  const auto& ports = net.ports();
+  EXPECT_EQ(BucketOf(ports, 80), PortBucket::kTop10);
+  EXPECT_EQ(BucketOf(ports, ports.PortAtRank(11)), PortBucket::kTop100);
+  EXPECT_EQ(BucketOf(ports, ports.PortAtRank(100)), PortBucket::kTop100);
+  EXPECT_EQ(BucketOf(ports, ports.PortAtRank(101)), PortBucket::kRest);
+  EXPECT_EQ(BucketOf(ports, ports.PortAtRank(60000)), PortBucket::kRest);
+}
+
+TEST(PercentTest, Formatting) {
+  EXPECT_EQ(Percent(0.9234), "92%");
+  EXPECT_EQ(Percent(0.9234, 1), "92.3%");
+  EXPECT_EQ(Percent(0.0), "0%");
+  EXPECT_EQ(Percent(1.0), "100%");
+}
+
+TEST(CoverageOverTest, CountsHits) {
+  WorldConfig cfg;
+  cfg.universe = SmallConfig();
+  cfg.universe.target_services = 3000;
+  cfg.with_alternatives = false;
+  World world(cfg);
+  world.Bootstrap();
+  std::vector<simnet::SimService> reference;
+  world.internet().ForEachActiveService(
+      world.now(), [&](const simnet::SimService& s) {
+        if (reference.size() < 400) reference.push_back(s);
+      });
+  const double coverage = CoverageOver(world.censys(), reference);
+  EXPECT_GT(coverage, 0.3);
+  EXPECT_LE(coverage, 1.0);
+  EXPECT_EQ(CoverageOver(world.censys(), {}), 0.0);
+}
+
+}  // namespace
+}  // namespace censys::engines

@@ -1,0 +1,263 @@
+// Tests for LZR-style protocol detection, record building, and the
+// interrogator against the simulated Internet.
+#include <gtest/gtest.h>
+
+#include "interrogate/detection.h"
+#include "interrogate/interrogator.h"
+#include "interrogate/record.h"
+#include "proto/banner.h"
+#include "simnet/internet.h"
+
+namespace censys::interrogate {
+namespace {
+
+simnet::L7Session MakeSession(proto::Protocol p, ServiceKey key,
+                              std::uint64_t seed) {
+  simnet::L7Session session;
+  session.service.key = key;
+  session.service.protocol = p;
+  session.service.seed = seed;
+  session.service.born = Timestamp{0};
+  session.service.dies = Timestamp::FromDays(1000);
+  if (proto::GetInfo(p).server_talks_first) {
+    session.server_first_banner = proto::GenerateBanner(p, seed);
+  }
+  return session;
+}
+
+// ------------------------------------------------------------ banner matching
+
+TEST(FingerprintBannerTest, IdentifiesCommonBanners) {
+  EXPECT_EQ(FingerprintBanner("SSH-2.0-openssh_8.9p1"), proto::Protocol::kSsh);
+  EXPECT_EQ(FingerprintBanner("RFB 003.008"), proto::Protocol::kVnc);
+  EXPECT_EQ(FingerprintBanner("HTTP/1.1 200 OK"), proto::Protocol::kHttp);
+  EXPECT_EQ(FingerprintBanner("220 mail-ab12 ESMTP postfix 3.6.4"),
+            proto::Protocol::kSmtp);
+  EXPECT_EQ(FingerprintBanner("220 vsftpd 3.0.3 Server ready."),
+            proto::Protocol::kFtp);
+  EXPECT_EQ(FingerprintBanner("500 5.5.1 Command unrecognized"),
+            proto::Protocol::kSmtp);
+  EXPECT_FALSE(FingerprintBanner("").has_value());
+  EXPECT_FALSE(FingerprintBanner("\x01\x02\x03 binary junk").has_value());
+}
+
+// ---------------------------------------------------------------- detection
+
+TEST(DetectionTest, ServerBannerWinsFirst) {
+  const auto session =
+      MakeSession(proto::Protocol::kSsh, {IPv4Address(1), 8022}, 5);
+  const auto outcome =
+      DetectProtocol(session, DetectorConfig::CensysDefault(), std::nullopt);
+  EXPECT_EQ(outcome.protocol, proto::Protocol::kSsh);
+  EXPECT_EQ(outcome.step, DetectionOutcome::Step::kServerBanner);
+}
+
+TEST(DetectionTest, IanaPortHandshake) {
+  // HTTP on port 80: no server banner, but the IANA guess succeeds.
+  const auto session =
+      MakeSession(proto::Protocol::kHttp, {IPv4Address(1), 80}, 5);
+  const auto outcome =
+      DetectProtocol(session, DetectorConfig::CensysDefault(), std::nullopt);
+  EXPECT_EQ(outcome.protocol, proto::Protocol::kHttp);
+  EXPECT_EQ(outcome.step, DetectionOutcome::Step::kIanaHandshake);
+}
+
+TEST(DetectionTest, BatteryFindsServicesOnOddPorts) {
+  // HTTP on port 12345: nothing assigned there; the battery's HTTP GET
+  // succeeds (the service-diffusion case LZR was built for).
+  const auto session =
+      MakeSession(proto::Protocol::kHttp, {IPv4Address(1), 12345}, 5);
+  const auto outcome =
+      DetectProtocol(session, DetectorConfig::CensysDefault(), std::nullopt);
+  EXPECT_EQ(outcome.protocol, proto::Protocol::kHttp);
+  EXPECT_EQ(outcome.step, DetectionOutcome::Step::kBatteryHandshake);
+}
+
+TEST(DetectionTest, IcsOnNonStandardPortFoundByBattery) {
+  const auto session =
+      MakeSession(proto::Protocol::kModbus, {IPv4Address(1), 33000}, 5);
+  const auto outcome =
+      DetectProtocol(session, DetectorConfig::CensysDefault(), std::nullopt);
+  EXPECT_EQ(outcome.protocol, proto::Protocol::kModbus);
+}
+
+TEST(DetectionTest, WithoutBatteryIcsOnOddPortIsMissed) {
+  // Competitor-style detection (banner + IANA only).
+  DetectorConfig cfg;
+  cfg.try_battery = false;
+  const auto session =
+      MakeSession(proto::Protocol::kModbus, {IPv4Address(1), 33000}, 5);
+  const auto outcome = DetectProtocol(session, cfg, std::nullopt);
+  EXPECT_EQ(outcome.protocol, proto::Protocol::kUnknown);
+}
+
+TEST(DetectionTest, UdpHintIdentifiesProtocol) {
+  const auto session =
+      MakeSession(proto::Protocol::kSnmp, {IPv4Address(1), 161, Transport::kUdp}, 5);
+  const auto outcome = DetectProtocol(
+      session, DetectorConfig::CensysDefault(), proto::Protocol::kSnmp);
+  EXPECT_EQ(outcome.protocol, proto::Protocol::kSnmp);
+}
+
+TEST(DetectionTest, HttpsDetectedViaTls) {
+  const auto session =
+      MakeSession(proto::Protocol::kHttps, {IPv4Address(1), 9443}, 5);
+  const auto outcome =
+      DetectProtocol(session, DetectorConfig::CensysDefault(), std::nullopt);
+  EXPECT_EQ(outcome.protocol, proto::Protocol::kHttps);
+}
+
+TEST(DetectionTest, PseudoHostsLookLikeHttp) {
+  simnet::L7Session session;
+  session.service.key = {IPv4Address(9), 4444};
+  session.service.protocol = proto::Protocol::kHttp;
+  session.service.pseudo = true;
+  session.service.seed = 1;
+  const auto outcome =
+      DetectProtocol(session, DetectorConfig::CensysDefault(), std::nullopt);
+  EXPECT_EQ(outcome.protocol, proto::Protocol::kHttp);
+}
+
+// -------------------------------------------------------------------- record
+
+TEST(RecordTest, FieldsRoundTrip) {
+  ServiceRecord record;
+  record.key = {IPv4Address(0x01020304), 443};
+  record.protocol = proto::Protocol::kHttps;
+  record.detection = DetectionMethod::kTlsWrapped;
+  record.handshake_validated = true;
+  record.banner = "Server: nginx/1.25.3";
+  record.software = {"nginx", "nginx", "1.25.3"};
+  record.html_title = "Welcome to nginx!";
+  record.tls = true;
+  record.tls_version = "TLSv1.3";
+  record.jarm = std::string(62, 'a');
+  record.cert_sha256 = std::string(64, 'b');
+
+  const ServiceRecord decoded =
+      ServiceRecord::FromFields(record.key, record.ToFields());
+  EXPECT_EQ(decoded, record);
+  EXPECT_EQ(decoded.protocol, proto::Protocol::kHttps);
+  EXPECT_TRUE(decoded.tls);
+  EXPECT_EQ(decoded.software.version, "1.25.3");
+}
+
+TEST(RecordTest, FieldsAreStableAcrossIdenticalRecords) {
+  // The journal's no-op detection depends on identical records producing
+  // identical field maps.
+  ServiceRecord a, b;
+  a.key = b.key = {IPv4Address(1), 80};
+  a.protocol = b.protocol = proto::Protocol::kHttp;
+  a.banner = b.banner = "Server: apache/2.4.58";
+  EXPECT_EQ(a.ToFields(), b.ToFields());
+}
+
+// --------------------------------------------------------------- interrogator
+
+class InterrogatorTest : public ::testing::Test {
+ protected:
+  InterrogatorTest() : net_(Config()), profile_{1, "t", 300.0, 1280.0},
+                       interrogator_(net_, profile_) {}
+
+  static simnet::UniverseConfig Config() {
+    simnet::UniverseConfig cfg;
+    cfg.seed = 11;
+    cfg.universe_size = 1u << 16;
+    cfg.target_services = 6000;
+    cfg.ics_scale = 256;
+    return cfg;
+  }
+
+  // Finds a live service satisfying `pred`.
+  std::optional<simnet::SimService> FindLive(
+      const std::function<bool(const simnet::SimService&)>& pred) {
+    std::optional<simnet::SimService> found;
+    net_.ForEachActiveService(Timestamp{0}, [&](const simnet::SimService& s) {
+      if (!found.has_value() && pred(s)) found = s;
+    });
+    return found;
+  }
+
+  simnet::Internet net_;
+  simnet::ScannerProfile profile_;
+  Interrogator interrogator_;
+};
+
+TEST_F(InterrogatorTest, ProducesValidatedRecordsForLiveServices) {
+  const auto svc = FindLive([](const simnet::SimService& s) {
+    return s.protocol == proto::Protocol::kHttp && !s.pseudo && !s.requires_sni;
+  });
+  ASSERT_TRUE(svc.has_value());
+  std::optional<ServiceRecord> record;
+  for (int h = 0; h < 48 && !record; h += 2) {
+    record = interrogator_.Interrogate(svc->key, Timestamp::FromHours(h), 0);
+  }
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->protocol, proto::Protocol::kHttp);
+  EXPECT_TRUE(record->handshake_validated);
+  EXPECT_FALSE(record->software.product.empty());
+  EXPECT_FALSE(record->html_title.empty());
+}
+
+TEST_F(InterrogatorTest, HttpsRecordsCarryTlsContext) {
+  const auto svc = FindLive([](const simnet::SimService& s) {
+    return s.protocol == proto::Protocol::kHttps && !s.requires_sni;
+  });
+  ASSERT_TRUE(svc.has_value());
+  std::optional<ServiceRecord> record;
+  for (int h = 0; h < 48 && !record; h += 2) {
+    record = interrogator_.Interrogate(svc->key, Timestamp::FromHours(h), 0);
+  }
+  ASSERT_TRUE(record.has_value());
+  EXPECT_TRUE(record->tls);
+  EXPECT_EQ(record->jarm.size(), 62u);
+  EXPECT_EQ(record->cert_sha256.size(), 64u);
+  EXPECT_FALSE(record->ja4s.empty());
+}
+
+TEST_F(InterrogatorTest, SniPropertyServesGenericPageWithoutName) {
+  const auto svc = FindLive([](const simnet::SimService& s) {
+    return s.requires_sni;
+  });
+  ASSERT_TRUE(svc.has_value());
+
+  simnet::L7Session session;
+  session.service = *svc;
+  const ServiceRecord nameless =
+      interrogator_.BuildRecord(session, Timestamp{0}, std::nullopt, {});
+  EXPECT_EQ(nameless.html_title, "Default web page");
+
+  const ServiceRecord named = interrogator_.BuildRecord(
+      session, Timestamp{0}, std::nullopt, svc->sni_name);
+  EXPECT_NE(named.html_title, "Default web page");
+  EXPECT_EQ(named.sni_name, svc->sni_name);
+
+  const ServiceRecord wrong_name = interrogator_.BuildRecord(
+      session, Timestamp{0}, std::nullopt, "wrong.example.com");
+  EXPECT_EQ(wrong_name.html_title, "Default web page");
+}
+
+TEST_F(InterrogatorTest, DeadTargetYieldsNothing) {
+  // An unused port on an unpopulated address.
+  ServiceKey key{IPv4Address(123), 54321, Transport::kTcp};
+  ASSERT_EQ(net_.FindService(key, Timestamp{0}), nullptr);
+  EXPECT_FALSE(interrogator_.Interrogate(key, Timestamp{0}, 0).has_value());
+}
+
+TEST_F(InterrogatorTest, IcsRecordsExposeDeviceIdentity) {
+  const auto svc = FindLive([](const simnet::SimService& s) {
+    return proto::GetInfo(s.protocol).is_ics;
+  });
+  ASSERT_TRUE(svc.has_value());
+  simnet::L7Session session;
+  session.service = *svc;
+  const ServiceRecord record =
+      interrogator_.BuildRecord(session, Timestamp{0}, std::nullopt, {});
+  EXPECT_EQ(record.protocol, svc->protocol);
+  EXPECT_TRUE(record.handshake_validated);
+  EXPECT_FALSE(record.device.manufacturer.empty());
+  EXPECT_FALSE(record.device.model.empty());
+}
+
+}  // namespace
+}  // namespace censys::interrogate

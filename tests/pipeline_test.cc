@@ -1,0 +1,307 @@
+// Tests for the CQRS pipeline: entity field projection, write side command
+// processing, eviction policy, pseudo filtering, event bus, and read-side
+// reconstruction + enrichment.
+#include <gtest/gtest.h>
+
+#include "pipeline/entity.h"
+#include "pipeline/read_side.h"
+#include "pipeline/write_side.h"
+#include "simnet/blocks.h"
+
+namespace censys::pipeline {
+namespace {
+
+interrogate::ServiceRecord HttpRecord(IPv4Address ip, Port port, Timestamp at,
+                                      const std::string& title = "Login") {
+  interrogate::ServiceRecord r;
+  r.key = {ip, port, Transport::kTcp};
+  r.observed_at = at;
+  r.protocol = proto::Protocol::kHttp;
+  r.detection = interrogate::DetectionMethod::kBatteryHandshake;
+  r.handshake_validated = true;
+  r.banner = "Server: nginx/1.25.3";
+  r.software = {"nginx", "nginx", "1.25.3"};
+  r.html_title = title;
+  return r;
+}
+
+// --------------------------------------------------------------------- entity
+
+TEST(EntityTest, ServiceFieldsUsePrefix) {
+  const auto record = HttpRecord(IPv4Address(5), 8080, Timestamp{0});
+  const storage::FieldMap fields = ServiceFields(record);
+  EXPECT_TRUE(fields.contains("svc.8080/tcp.service.name"));
+  EXPECT_EQ(fields.at("svc.8080/tcp.service.name"), "HTTP");
+}
+
+TEST(EntityTest, ServicesInEnumeratesPrefixes) {
+  storage::FieldMap state;
+  for (const auto& [k, v] :
+       ServiceFields(HttpRecord(IPv4Address(5), 80, Timestamp{0}))) {
+    state[k] = v;
+  }
+  for (const auto& [k, v] :
+       ServiceFields(HttpRecord(IPv4Address(5), 8443, Timestamp{0}))) {
+    state[k] = v;
+  }
+  const auto keys = ServicesIn(state, IPv4Address(5));
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0].port, 80);
+  EXPECT_EQ(keys[1].port, 8443);
+}
+
+TEST(EntityTest, RecordRoundTripsThroughEntityState) {
+  const auto record = HttpRecord(IPv4Address(5), 8080, Timestamp{0});
+  storage::FieldMap state;
+  storage::ApplyDelta(state, UpsertServiceDelta({}, record));
+  const auto back = RecordFrom(state, record.key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, record);
+}
+
+TEST(EntityTest, UpsertDeltaIsEmptyWhenNothingChanged) {
+  const auto record = HttpRecord(IPv4Address(5), 8080, Timestamp{0});
+  storage::FieldMap state;
+  storage::ApplyDelta(state, UpsertServiceDelta({}, record));
+  EXPECT_TRUE(UpsertServiceDelta(state, record).empty());
+}
+
+TEST(EntityTest, RemoveDeltaErasesOnlyThatService) {
+  storage::FieldMap state;
+  const auto a = HttpRecord(IPv4Address(5), 80, Timestamp{0});
+  const auto b = HttpRecord(IPv4Address(5), 443, Timestamp{0});
+  storage::ApplyDelta(state, UpsertServiceDelta(state, a));
+  storage::ApplyDelta(state, UpsertServiceDelta(state, b));
+  storage::ApplyDelta(state, RemoveServiceDelta(state, a.key));
+  EXPECT_FALSE(RecordFrom(state, a.key).has_value());
+  EXPECT_TRUE(RecordFrom(state, b.key).has_value());
+}
+
+// ----------------------------------------------------------------- write side
+
+class WriteSideTest : public ::testing::Test {
+ protected:
+  WriteSideTest() : write_(journal_, bus_) {}
+
+  storage::EventJournal journal_;
+  EventBus bus_;
+  WriteSide write_;
+};
+
+TEST_F(WriteSideTest, FirstScanJournalsServiceFound) {
+  write_.IngestScan(HttpRecord(IPv4Address(7), 80, Timestamp{100}));
+  const auto history = journal_.History("0.0.0.7");
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].kind, storage::EventKind::kServiceFound);
+  EXPECT_EQ(write_.tracked_count(), 1u);
+}
+
+TEST_F(WriteSideTest, UnchangedRefreshJournalsNothing) {
+  write_.IngestScan(HttpRecord(IPv4Address(7), 80, Timestamp{100}));
+  write_.IngestScan(HttpRecord(IPv4Address(7), 80, Timestamp{1540}));
+  EXPECT_EQ(journal_.History("0.0.0.7").size(), 1u);
+  // But scan state advanced.
+  const ServiceState* state =
+      write_.GetState({IPv4Address(7), 80, Transport::kTcp});
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->last_seen, Timestamp{1540});
+}
+
+TEST_F(WriteSideTest, ChangedServiceJournalsServiceChanged) {
+  write_.IngestScan(HttpRecord(IPv4Address(7), 80, Timestamp{100}, "Old"));
+  write_.IngestScan(HttpRecord(IPv4Address(7), 80, Timestamp{200}, "New"));
+  const auto history = journal_.History("0.0.0.7");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[1].kind, storage::EventKind::kServiceChanged);
+}
+
+TEST_F(WriteSideTest, EvictionLifecycle) {
+  const ServiceKey key{IPv4Address(7), 80, Transport::kTcp};
+  write_.IngestScan(HttpRecord(key.ip, key.port, Timestamp{0}));
+
+  // First failure marks pending.
+  write_.IngestFailure(key, Timestamp::FromHours(24));
+  const ServiceState* state = write_.GetState(key);
+  ASSERT_NE(state, nullptr);
+  ASSERT_TRUE(state->pending_eviction_since.has_value());
+  EXPECT_EQ(*state->pending_eviction_since, Timestamp::FromHours(24));
+
+  // Second failure does not reset the pending clock.
+  write_.IngestFailure(key, Timestamp::FromHours(48));
+  EXPECT_EQ(*write_.GetState(key)->pending_eviction_since,
+            Timestamp::FromHours(24));
+
+  // Before the 72 h deadline: still tracked.
+  write_.AdvanceTo(Timestamp::FromHours(24 + 71));
+  EXPECT_NE(write_.GetState(key), nullptr);
+
+  // After: removed, journaled, remembered for re-injection.
+  write_.AdvanceTo(Timestamp::FromHours(24 + 73));
+  EXPECT_EQ(write_.GetState(key), nullptr);
+  EXPECT_EQ(write_.services_evicted(), 1u);
+  const auto history = journal_.History("0.0.0.7");
+  EXPECT_EQ(history.back().kind, storage::EventKind::kServiceRemoved);
+  EXPECT_EQ(write_.RecentlyPruned(Timestamp::FromHours(100)).size(), 1u);
+}
+
+TEST_F(WriteSideTest, SuccessfulScanClearsPendingEviction) {
+  const ServiceKey key{IPv4Address(7), 80, Transport::kTcp};
+  write_.IngestScan(HttpRecord(key.ip, key.port, Timestamp{0}));
+  write_.IngestFailure(key, Timestamp::FromHours(10));
+  ASSERT_TRUE(write_.GetState(key)->pending_eviction_since.has_value());
+  // "Removing data too quickly leads to churn where services are removed
+  // and then immediately re-added": a transient outage ends, the next
+  // refresh succeeds, and nothing was evicted.
+  write_.IngestScan(HttpRecord(key.ip, key.port, Timestamp::FromHours(20)));
+  EXPECT_FALSE(write_.GetState(key)->pending_eviction_since.has_value());
+  write_.AdvanceTo(Timestamp::FromHours(200));
+  EXPECT_NE(write_.GetState(key), nullptr);
+  EXPECT_EQ(write_.services_evicted(), 0u);
+}
+
+TEST_F(WriteSideTest, ReinjectionWindowExpires) {
+  const ServiceKey key{IPv4Address(7), 80, Transport::kTcp};
+  write_.IngestScan(HttpRecord(key.ip, key.port, Timestamp{0}));
+  write_.IngestFailure(key, Timestamp{10});
+  write_.AdvanceTo(Timestamp::FromDays(4));
+  EXPECT_EQ(write_.RecentlyPruned(Timestamp::FromDays(30)).size(), 1u);
+  // 60-day window (§4.6): after it, the pruned entry ages out.
+  write_.AdvanceTo(Timestamp::FromDays(70));
+  EXPECT_TRUE(write_.RecentlyPruned(Timestamp::FromDays(70)).empty());
+}
+
+TEST_F(WriteSideTest, PseudoHostGetsFilteredAfterThreshold) {
+  const IPv4Address middlebox(99);
+  // The same canned record on many ports: a pseudo-service middlebox.
+  for (Port port = 1000; port < 1030; ++port) {
+    auto record = HttpRecord(middlebox, port, Timestamp{0}, "Canned");
+    record.banner = "Server: middlebox";
+    write_.IngestScan(record);
+  }
+  EXPECT_TRUE(write_.IsPseudoFlagged(middlebox));
+  // Everything for the host was removed and further scans are suppressed.
+  EXPECT_EQ(write_.tracked_count(), 0u);
+  EXPECT_GT(write_.pseudo_suppressed(), 0u);
+  auto more = HttpRecord(middlebox, 4000, Timestamp{10}, "Canned");
+  write_.IngestScan(more);
+  EXPECT_EQ(write_.tracked_count(), 0u);
+}
+
+TEST_F(WriteSideTest, DiverseServicesOnOneHostAreNotPseudo) {
+  const IPv4Address host(50);
+  for (Port port = 8000; port < 8030; ++port) {
+    // Distinct titles -> distinct content hashes.
+    write_.IngestScan(HttpRecord(host, port, Timestamp{0},
+                                 "Site " + std::to_string(port)));
+  }
+  EXPECT_FALSE(write_.IsPseudoFlagged(host));
+  EXPECT_EQ(write_.tracked_count(), 30u);
+}
+
+TEST_F(WriteSideTest, EventBusDeliversAsync) {
+  std::vector<storage::EventKind> seen;
+  bus_.Subscribe([&](const PipelineEvent& ev) { seen.push_back(ev.kind); });
+  write_.IngestScan(HttpRecord(IPv4Address(7), 80, Timestamp{0}));
+  EXPECT_TRUE(seen.empty());  // nothing delivered until drained
+  EXPECT_EQ(bus_.Drain(), 1u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], storage::EventKind::kServiceFound);
+}
+
+// ------------------------------------------------------------------ read side
+
+class ReadSideTest : public ::testing::Test {
+ protected:
+  ReadSideTest()
+      : plan_(PlanConfig()), write_(journal_, bus_),
+        fingerprints_(fingerprint::FingerprintEngine::BuiltIn(0)),
+        cves_(fingerprint::CveDatabase::BuiltIn()),
+        read_(journal_, write_, plan_, &fingerprints_, &cves_) {}
+
+  static simnet::UniverseConfig PlanConfig() {
+    simnet::UniverseConfig cfg;
+    cfg.seed = 2;
+    cfg.universe_size = 1u << 16;
+    return cfg;
+  }
+
+  storage::EventJournal journal_;
+  EventBus bus_;
+  simnet::BlockPlan plan_;
+  WriteSide write_;
+  fingerprint::FingerprintEngine fingerprints_;
+  fingerprint::CveDatabase cves_;
+  ReadSide read_;
+};
+
+TEST_F(ReadSideTest, CurrentHostViewWithEnrichment) {
+  auto record = HttpRecord(IPv4Address(100), 8080, Timestamp{50},
+                           "RouterOS configuration page");
+  write_.IngestScan(record);
+
+  const auto view = read_.GetHost(IPv4Address(100));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(view->country.empty());
+  EXPECT_GT(view->asn, 0u);
+  ASSERT_EQ(view->services.size(), 1u);
+  const ServiceView& svc = view->services[0];
+  EXPECT_EQ(svc.record.protocol, proto::Protocol::kHttp);
+  EXPECT_EQ(svc.last_seen, Timestamp{50});
+  ASSERT_TRUE(svc.labels.has_value());
+  EXPECT_EQ(svc.labels->manufacturer, "MikroTik");
+}
+
+TEST_F(ReadSideTest, VulnerableSoftwareGetsCves) {
+  auto record = HttpRecord(IPv4Address(100), 80, Timestamp{0});
+  record.software = {"apache", "httpd", "2.4.49"};
+  write_.IngestScan(record);
+  const auto view = read_.GetHost(IPv4Address(100));
+  ASSERT_TRUE(view.has_value());
+  ASSERT_EQ(view->services.size(), 1u);
+  EXPECT_FALSE(view->services[0].cves.empty());
+  EXPECT_TRUE(view->services[0].kev);
+  EXPECT_GT(view->services[0].max_cvss, 7.0);
+}
+
+TEST_F(ReadSideTest, HistoricalLookupSeesOldState) {
+  write_.IngestScan(HttpRecord(IPv4Address(100), 80, Timestamp{100}, "Old"));
+  write_.IngestScan(HttpRecord(IPv4Address(100), 80, Timestamp{200}, "New"));
+
+  const auto old_view = read_.GetHostAt(IPv4Address(100), Timestamp{150});
+  ASSERT_TRUE(old_view.has_value());
+  EXPECT_EQ(old_view->services[0].record.html_title, "Old");
+
+  const auto new_view = read_.GetHostAt(IPv4Address(100), Timestamp{250});
+  ASSERT_TRUE(new_view.has_value());
+  EXPECT_EQ(new_view->services[0].record.html_title, "New");
+
+  EXPECT_FALSE(read_.GetHostAt(IPv4Address(100), Timestamp{50}).has_value());
+}
+
+TEST_F(ReadSideTest, PendingEvictionSurfacesInView) {
+  const ServiceKey key{IPv4Address(100), 80, Transport::kTcp};
+  write_.IngestScan(HttpRecord(key.ip, key.port, Timestamp{0}));
+  write_.IngestFailure(key, Timestamp{100});
+  const auto view = read_.GetHost(key.ip);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->services[0].pending_eviction);
+}
+
+TEST_F(ReadSideTest, UnknownHostIsEmpty) {
+  EXPECT_FALSE(read_.GetHost(IPv4Address(12345)).has_value());
+}
+
+TEST_F(ReadSideTest, EvictedServiceDisappearsFromCurrentButNotHistory) {
+  const ServiceKey key{IPv4Address(100), 80, Transport::kTcp};
+  write_.IngestScan(HttpRecord(key.ip, key.port, Timestamp{0}));
+  write_.IngestFailure(key, Timestamp::FromHours(2));
+  write_.AdvanceTo(Timestamp::FromHours(80));
+
+  EXPECT_FALSE(read_.GetHost(key.ip).has_value());  // empty current state
+  const auto historical = read_.GetHostAt(key.ip, Timestamp::FromHours(1));
+  ASSERT_TRUE(historical.has_value());
+  EXPECT_EQ(historical->services.size(), 1u);
+}
+
+}  // namespace
+}  // namespace censys::pipeline

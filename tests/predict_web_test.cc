@@ -1,0 +1,210 @@
+// Tests for the predictive scan engine and the web-property catalog.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cert/ct.h"
+#include "predict/predictive.h"
+#include "proto/tls.h"
+#include "simnet/internet.h"
+#include "web/webprops.h"
+
+namespace censys {
+namespace {
+
+simnet::UniverseConfig SmallConfig() {
+  simnet::UniverseConfig cfg;
+  cfg.seed = 17;
+  cfg.universe_size = 1u << 16;
+  cfg.target_services = 8000;
+  cfg.ics_scale = 0.0;
+  return cfg;
+}
+
+// ------------------------------------------------------------------ predictive
+
+TEST(PredictiveTest, AffinityProposalsTargetHotBlockPorts) {
+  simnet::Internet net(SmallConfig());
+  predict::PredictiveEngine engine(net.blocks(), 5);
+
+  // Train: port 8443 is hot in one specific block.
+  const simnet::NetworkBlock* block =
+      net.blocks().BlocksOfType(simnet::NetworkType::kHosting).front();
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    engine.ObserveService(
+        {block->cidr.AddressAt(i * 3), 8443, Transport::kTcp});
+  }
+
+  const auto candidates = engine.GenerateCandidates(Timestamp{0}, 200);
+  ASSERT_FALSE(candidates.empty());
+  std::size_t in_block_on_port = 0;
+  for (const ServiceKey& key : candidates) {
+    if (block->cidr.Contains(key.ip) && key.port == 8443) ++in_block_on_port;
+  }
+  // The affinity model should focus most proposals on the hot (block, port).
+  EXPECT_GT(in_block_on_port, candidates.size() / 2);
+}
+
+TEST(PredictiveTest, CooccurrenceProposesCorrelatedPortsOnNewHosts) {
+  simnet::Internet net(SmallConfig());
+  predict::PredictiveEngine::Options options;
+  options.min_cooccurrence_support = 4;
+  predict::PredictiveEngine engine(net.blocks(), 5, options);
+
+  // Train the pair (80, 4567) on several multi-service hosts.
+  for (std::uint32_t host = 100; host < 110; ++host) {
+    engine.ObserveService({IPv4Address(host), 80, Transport::kTcp});
+    engine.ObserveService({IPv4Address(host), 4567, Transport::kTcp});
+  }
+  engine.GenerateCandidates(Timestamp{0}, 1000);  // drain training hosts
+
+  // A brand-new host shows up with port 80 open.
+  engine.ObserveService({IPv4Address(7777), 80, Transport::kTcp});
+  const auto candidates =
+      engine.GenerateCandidates(Timestamp::FromHours(1), 400);
+  bool proposed = false;
+  for (const ServiceKey& key : candidates) {
+    if (key.ip == IPv4Address(7777) && key.port == 4567) proposed = true;
+  }
+  EXPECT_TRUE(proposed);
+}
+
+TEST(PredictiveTest, CooldownPreventsImmediateReproposal) {
+  simnet::Internet net(SmallConfig());
+  predict::PredictiveEngine engine(net.blocks(), 5);
+  const simnet::NetworkBlock* block =
+      net.blocks().BlocksOfType(simnet::NetworkType::kHosting).front();
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    engine.ObserveService({block->cidr.AddressAt(i), 9999, Transport::kTcp});
+  }
+  const auto first = engine.GenerateCandidates(Timestamp{0}, 100);
+  const auto second = engine.GenerateCandidates(Timestamp{60}, 100);
+  std::set<std::uint64_t> first_keys;
+  for (const ServiceKey& k : first) first_keys.insert(k.Pack());
+  for (const ServiceKey& k : second) {
+    EXPECT_FALSE(first_keys.contains(k.Pack()))
+        << k.ToString() << " re-proposed within cooldown";
+  }
+}
+
+TEST(PredictiveTest, UntrainedEngineProposesNothing) {
+  simnet::Internet net(SmallConfig());
+  predict::PredictiveEngine engine(net.blocks(), 5);
+  EXPECT_TRUE(engine.GenerateCandidates(Timestamp{0}, 100).empty());
+}
+
+TEST(PredictiveTest, StatsAreTracked) {
+  simnet::Internet net(SmallConfig());
+  predict::PredictiveEngine engine(net.blocks(), 5);
+  const simnet::NetworkBlock* block =
+      net.blocks().BlocksOfType(simnet::NetworkType::kCloud).front();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    engine.ObserveService({block->cidr.AddressAt(i), 8080, Transport::kTcp});
+  }
+  engine.GenerateCandidates(Timestamp{0}, 50);
+  EXPECT_EQ(engine.stats().observations, 10u);
+  EXPECT_GT(engine.stats().candidates_emitted, 0u);
+}
+
+// ------------------------------------------------------------------------- web
+
+class WebTest : public ::testing::Test {
+ protected:
+  WebTest()
+      : net_(WebConfig()), profile_{1, "t", 300.0, 1280.0},
+        interrogator_(net_, profile_), catalog_(net_, interrogator_) {}
+
+  static simnet::UniverseConfig WebConfig() {
+    simnet::UniverseConfig cfg;
+    cfg.seed = 23;
+    cfg.universe_size = 1u << 16;
+    cfg.target_services = 8000;
+    cfg.sni_only_fraction = 0.10;
+    cfg.ics_scale = 0.0;
+    return cfg;
+  }
+
+  // Fills the CT log with certificates of current name-addressed services.
+  std::size_t FillCtLog(Timestamp t) {
+    std::size_t added = 0;
+    net_.ForEachActiveService(t, [&](const simnet::SimService& svc) {
+      if (!svc.requires_sni) return;
+      const auto tls = proto::DeriveTls(svc.protocol, svc.seed, true);
+      if (!tls) return;
+      ct_log_.Append(cert::SynthesizeCertificate(tls->cert_seed, svc.sni_name,
+                                                 Timestamp{0}),
+                     t);
+      ++added;
+    });
+    return added;
+  }
+
+  simnet::Internet net_;
+  simnet::ScannerProfile profile_;
+  interrogate::Interrogator interrogator_;
+  cert::CtLog ct_log_;
+  web::WebPropertyCatalog catalog_;
+};
+
+TEST_F(WebTest, CtPollingDiscoversWebProperties) {
+  const std::size_t logged = FillCtLog(Timestamp{0});
+  ASSERT_GT(logged, 50u);
+  const std::size_t added = catalog_.PollCtLog(ct_log_, Timestamp{0});
+  EXPECT_GT(added, logged / 2);  // wildcards skipped, rest registered
+  EXPECT_EQ(catalog_.size(), added);
+  // Most registered properties resolve and serve content.
+  EXPECT_GT(catalog_.reachable_count(), added * 7 / 10);
+}
+
+TEST_F(WebTest, PollingIsIncremental) {
+  FillCtLog(Timestamp{0});
+  catalog_.PollCtLog(ct_log_, Timestamp{0});
+  // Nothing new: second poll adds nothing.
+  EXPECT_EQ(catalog_.PollCtLog(ct_log_, Timestamp{10}), 0u);
+}
+
+TEST_F(WebTest, ScannedPropertyCarriesNamedContent) {
+  FillCtLog(Timestamp{0});
+  catalog_.PollCtLog(ct_log_, Timestamp{0});
+  const web::WebProperty* reachable = nullptr;
+  catalog_.ForEach([&](const web::WebProperty& prop) {
+    if (reachable == nullptr && prop.reachable) reachable = &prop;
+  });
+  ASSERT_NE(reachable, nullptr);
+  // The record was fetched with the right SNI, so it is not the generic
+  // frontend page.
+  EXPECT_NE(reachable->record.html_title, "Default web page");
+  EXPECT_EQ(reachable->record.sni_name, reachable->name);
+}
+
+TEST_F(WebTest, RefreshDueHonorsInterval) {
+  FillCtLog(Timestamp{0});
+  catalog_.PollCtLog(ct_log_, Timestamp{0});
+  EXPECT_EQ(catalog_.RefreshDue(Timestamp::FromDays(10)), 0u);  // too soon
+  const std::size_t refreshed = catalog_.RefreshDue(Timestamp::FromDays(31));
+  EXPECT_EQ(refreshed, catalog_.size());  // "at least monthly"
+}
+
+TEST_F(WebTest, DeadNamesBecomeUnreachableOnRefresh) {
+  FillCtLog(Timestamp{0});
+  catalog_.PollCtLog(ct_log_, Timestamp{0});
+  const std::size_t before = catalog_.reachable_count();
+  net_.AdvanceTo(Timestamp::FromDays(31));
+  catalog_.RefreshDue(net_.now());
+  // Churn killed some name-addressed services; their properties flip to
+  // unreachable but remain catalogued.
+  EXPECT_LT(catalog_.reachable_count(), before);
+  EXPECT_GT(catalog_.reachable_count(), 0u);
+}
+
+TEST_F(WebTest, ManualNamesFromPassiveDns) {
+  catalog_.AddName("nonexistent.example.com",
+                   web::WebProperty::Source::kPassiveDns, Timestamp{0});
+  const web::WebProperty* prop = catalog_.Get("nonexistent.example.com");
+  ASSERT_NE(prop, nullptr);
+  EXPECT_FALSE(prop->reachable);
+  EXPECT_EQ(prop->source, web::WebProperty::Source::kPassiveDns);
+}
+
+}  // namespace
+}  // namespace censys

@@ -1,0 +1,327 @@
+// Property-based tests: randomized inputs checked against invariants or
+// brute-force reference implementations. Each suite sweeps seeds through
+// TEST_P so failures print the offending seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/cidr.h"
+#include "core/rng.h"
+#include "core/strings.h"
+#include "fingerprint/dsl.h"
+#include "scan/cyclic.h"
+#include "search/export.h"
+#include "search/index.h"
+#include "storage/delta.h"
+#include "storage/journal.h"
+#include "storage/serialize.h"
+
+namespace censys {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string RandomToken(Rng& rng, std::size_t max_len = 12) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789._-";
+  std::string out;
+  const std::size_t len = 1 + rng.NextBelow(max_len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+storage::FieldMap RandomFields(Rng& rng, std::size_t max_fields = 12) {
+  storage::FieldMap fields;
+  const std::size_t n = rng.NextBelow(max_fields + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    fields[RandomToken(rng)] = RandomToken(rng, 20);
+  }
+  return fields;
+}
+
+// ------------------------------------------------- delta: round-trip property
+
+using DeltaProperty = SeededTest;
+
+TEST_P(DeltaProperty, ApplyComputeIsIdentity) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const storage::FieldMap before = RandomFields(rng);
+    const storage::FieldMap after = RandomFields(rng);
+    const storage::Delta delta = storage::ComputeDelta(before, after);
+    storage::FieldMap state = before;
+    storage::ApplyDelta(state, delta);
+    ASSERT_EQ(state, after);
+
+    // Encoded deltas survive the wire.
+    const auto decoded = storage::Delta::Decode(delta.Encode());
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, delta);
+
+    // A delta between identical states is empty.
+    ASSERT_TRUE(storage::ComputeDelta(after, after).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaProperty, ::testing::Range(std::uint64_t{0}, std::uint64_t{8}));
+
+// --------------------------------------------- field codec: corruption safety
+
+using CodecProperty = SeededTest;
+
+TEST_P(CodecProperty, DecoderNeverCrashesOnMutatedInput) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string encoded = storage::EncodeFields(RandomFields(rng));
+    // Random mutations: decoder must either succeed or return nullopt —
+    // never crash, never read out of bounds (ASAN-checked in CI builds).
+    for (int mutation = 0; mutation < 8; ++mutation) {
+      std::string mutated = encoded;
+      if (mutated.empty()) break;
+      const std::size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.NextBelow(256));
+          break;
+        case 1:
+          mutated.resize(pos);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.NextBelow(256)));
+          break;
+      }
+      (void)storage::DecodeFields(mutated);  // must not crash
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty, ::testing::Range(std::uint64_t{0}, std::uint64_t{6}));
+
+// -------------------------------------------------- CidrSet vs brute force
+
+using CidrProperty = SeededTest;
+
+TEST_P(CidrProperty, MatchesBruteForceReference) {
+  Rng rng(GetParam());
+  CidrSet set;
+  std::set<std::uint32_t> reference;
+  // Work in a small 16-bit space so brute force stays cheap.
+  for (int i = 0; i < 12; ++i) {
+    const int prefix_len = 24 + static_cast<int>(rng.NextBelow(9));  // 24..32
+    const IPv4Address base(
+        static_cast<std::uint32_t>(rng.NextBelow(1u << 16)));
+    const Cidr cidr(base, prefix_len);
+    set.Insert(cidr);
+    for (std::uint64_t a = 0; a < cidr.size(); ++a) {
+      const std::uint32_t addr = cidr.AddressAt(a).value();
+      if (addr < (1u << 16) + 512) reference.insert(addr);
+    }
+  }
+  for (std::uint32_t addr = 0; addr < (1u << 16) + 512; ++addr) {
+    ASSERT_EQ(set.Contains(IPv4Address(addr)), reference.contains(addr))
+        << "addr " << addr;
+  }
+  // Address count >= reference size within the sampled window.
+  ASSERT_GE(set.AddressCount(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CidrProperty, ::testing::Range(std::uint64_t{0}, std::uint64_t{8}));
+
+// ------------------------------------------- cyclic permutation: bijectivity
+
+class PermutationProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(PermutationProperty, IsABijectionOverItsDomain) {
+  const auto [n, seed] = GetParam();
+  scan::CyclicPermutation perm(n, seed);
+  std::vector<bool> seen(n, false);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t v = perm.Next();
+    ASSERT_LT(v, n);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PermutationProperty,
+    ::testing::Combine(::testing::Values(std::uint64_t{2}, std::uint64_t{3}, std::uint64_t{64}, std::uint64_t{1000}, std::uint64_t{65536},
+                                         std::uint64_t{100003}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{99})));
+
+// ----------------------------------------------- search index vs brute force
+
+using IndexProperty = SeededTest;
+
+TEST_P(IndexProperty, TermQueriesMatchLinearScan) {
+  Rng rng(GetParam());
+  search::SearchIndex index;
+  std::map<std::string, storage::FieldMap> docs;
+  static constexpr const char* kFields[] = {"name", "banner", "title"};
+  static constexpr const char* kWords[] = {"http", "ssh", "nginx", "apache",
+                                           "router", "camera"};
+  for (int d = 0; d < 60; ++d) {
+    storage::FieldMap fields;
+    for (const char* field : kFields) {
+      if (rng.Bernoulli(0.7)) {
+        std::string value;
+        const std::size_t words = 1 + rng.NextBelow(3);
+        for (std::size_t w = 0; w < words; ++w) {
+          if (w > 0) value += ' ';
+          value += kWords[rng.NextBelow(6)];
+        }
+        fields[field] = value;
+      }
+    }
+    const std::string id = "doc" + std::to_string(d);
+    index.Index(id, fields);
+    docs[id] = std::move(fields);
+  }
+
+  auto brute = [&](const std::string& field, const std::string& word) {
+    std::vector<std::string> hits;
+    for (const auto& [id, fields] : docs) {
+      const auto it = fields.find(field);
+      if (it == fields.end()) continue;
+      for (std::string_view token : Split(it->second, ' ')) {
+        if (token == word) {
+          hits.push_back(id);
+          break;
+        }
+      }
+    }
+    return hits;
+  };
+
+  std::string error;
+  for (const char* field : kFields) {
+    for (const char* word : kWords) {
+      const auto expected = brute(field, word);
+      const auto actual =
+          index.Search(std::string(field) + ": " + word, &error);
+      ASSERT_TRUE(error.empty()) << error;
+      ASSERT_EQ(actual, expected) << field << ":" << word;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexProperty, ::testing::Range(std::uint64_t{0}, std::uint64_t{6}));
+
+// -------------------------------------------------------- DSL: parser safety
+
+using DslProperty = SeededTest;
+
+TEST_P(DslProperty, RandomInputNeverCrashesParserOrEvaluator) {
+  Rng rng(GetParam());
+  static constexpr const char* kPieces[] = {
+      "(", ")", "and", "or", "not", "=", "contains", "glob", "\"x\"",
+      "field", "service.name", "\"HTTP\"", " ", "if", "lower", "\""};
+  const storage::FieldMap env = {{"service.name", "HTTP"}};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string source;
+    const std::size_t pieces = 1 + rng.NextBelow(12);
+    for (std::size_t i = 0; i < pieces; ++i) {
+      source += kPieces[rng.NextBelow(std::size(kPieces))];
+    }
+    // Must not crash; any result (valid or invalid) is acceptable.
+    fingerprint::CompiledRule rule = fingerprint::CompiledRule::Compile(source);
+    (void)rule.Matches(env);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DslProperty, ::testing::Range(std::uint64_t{0}, std::uint64_t{4}));
+
+// ----------------------------------------------------- journal model checking
+
+using JournalProperty = SeededTest;
+
+TEST_P(JournalProperty, ReconstructionMatchesShadowModel) {
+  // Random command sequence applied both to the journal and to a plain
+  // in-memory shadow; reconstruction at every recorded time must agree.
+  Rng rng(GetParam());
+  storage::EventJournal::Options options;
+  options.snapshot_every = 1 + static_cast<std::uint32_t>(rng.NextBelow(6));
+  storage::EventJournal journal(options);
+
+  storage::FieldMap shadow;
+  std::vector<std::pair<Timestamp, storage::FieldMap>> checkpoints;
+  std::int64_t minute = 0;
+  for (int step = 0; step < 120; ++step) {
+    minute += 1 + static_cast<std::int64_t>(rng.NextBelow(100));
+    storage::FieldMap next = shadow;
+    // Random mutation: set or remove a few keys.
+    const std::size_t ops = 1 + rng.NextBelow(3);
+    for (std::size_t i = 0; i < ops; ++i) {
+      const std::string key = "k" + std::to_string(rng.NextBelow(10));
+      if (rng.Bernoulli(0.3)) {
+        next.erase(key);
+      } else {
+        next[key] = RandomToken(rng);
+      }
+    }
+    journal.Append("entity", storage::EventKind::kServiceChanged,
+                   Timestamp{minute}, storage::ComputeDelta(shadow, next));
+    shadow = std::move(next);
+    checkpoints.emplace_back(Timestamp{minute}, shadow);
+  }
+
+  for (const auto& [at, expected] : checkpoints) {
+    const auto state = journal.ReconstructAt("entity", at);
+    ASSERT_TRUE(state.has_value()) << at.minutes;
+    ASSERT_EQ(*state, expected) << "at minute " << at.minutes;
+    // Between events, state equals the previous checkpoint.
+    const auto just_after =
+        journal.ReconstructAt("entity", at + Duration::Minutes(1));
+    ASSERT_TRUE(just_after.has_value());
+  }
+  ASSERT_EQ(*journal.CurrentState("entity"), shadow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JournalProperty, ::testing::Range(std::uint64_t{0}, std::uint64_t{8}));
+
+// -------------------------------------------------- export: round-trip fuzz
+
+using ExportProperty = SeededTest;
+
+TEST_P(ExportProperty, RoundTripsArbitrarySnapshots) {
+  Rng rng(GetParam());
+  search::SnapshotWriter writer(static_cast<std::int64_t>(GetParam()),
+                                "fuzz");
+  std::vector<search::ExportRecord> expected;
+  const std::size_t count = rng.NextBelow(800);
+  for (std::size_t i = 0; i < count; ++i) {
+    search::ExportRecord record{RandomToken(rng, 24), RandomFields(rng, 6)};
+    writer.Append(record);
+    expected.push_back(std::move(record));
+  }
+  const std::string bytes = writer.Finish();
+
+  search::SnapshotReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(bytes, &error)) << error;
+  ASSERT_EQ(reader.records().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(reader.records()[i], expected[i]) << i;
+  }
+
+  // Any single-byte mutation in the body must be detected or yield a
+  // clean parse failure — never a crash.
+  for (int mutation = 0; mutation < 16 && !bytes.empty(); ++mutation) {
+    std::string mutated = bytes;
+    mutated[rng.NextBelow(mutated.size())] ^=
+        static_cast<char>(1 + rng.NextBelow(255));
+    search::SnapshotReader mutated_reader;
+    (void)mutated_reader.Open(mutated, &error);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExportProperty, ::testing::Range(std::uint64_t{0}, std::uint64_t{6}));
+
+}  // namespace
+}  // namespace censys

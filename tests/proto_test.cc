@@ -1,0 +1,209 @@
+// Unit tests for the protocol registry, banner synthesis, and TLS layer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "proto/banner.h"
+#include "proto/protocol.h"
+#include "proto/tls.h"
+
+namespace censys::proto {
+namespace {
+
+TEST(ProtocolRegistryTest, EveryProtocolHasAName) {
+  std::set<std::string_view> names;
+  for (const ProtocolInfo& info : AllProtocols()) {
+    if (info.protocol == Protocol::kUnknown) continue;
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate name " << info.name;
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kProtocolCount) - 1);
+}
+
+TEST(ProtocolRegistryTest, NameRoundTrips) {
+  for (const ProtocolInfo& info : AllProtocols()) {
+    if (info.protocol == Protocol::kUnknown) continue;
+    EXPECT_EQ(FromName(info.name), info.protocol);
+  }
+  EXPECT_EQ(FromName("modbus"), Protocol::kModbus);  // case-insensitive
+  EXPECT_FALSE(FromName("NOPE_PROTOCOL").has_value());
+}
+
+TEST(ProtocolRegistryTest, IanaAssignments) {
+  auto on80 = AssignedToPort(80, Transport::kTcp);
+  ASSERT_EQ(on80.size(), 1u);
+  EXPECT_EQ(on80[0], Protocol::kHttp);
+
+  auto on53udp = AssignedToPort(53, Transport::kUdp);
+  ASSERT_EQ(on53udp.size(), 1u);
+  EXPECT_EQ(on53udp[0], Protocol::kDns);
+
+  EXPECT_TRUE(AssignedToPort(53, Transport::kTcp).empty());
+  EXPECT_EQ(PrimaryPort(Protocol::kModbus), Port{502});
+  EXPECT_EQ(PrimaryPort(Protocol::kS7), Port{102});
+}
+
+TEST(ProtocolRegistryTest, IcsListMatchesTable4) {
+  const auto ics = IcsProtocols();
+  EXPECT_EQ(ics.size(), 21u);
+  for (Protocol p : ics) {
+    EXPECT_TRUE(GetInfo(p).is_ics) << Name(p);
+    EXPECT_GT(GetInfo(p).population_weight, 0.0) << Name(p);
+  }
+  // Non-ICS protocols must not be flagged.
+  EXPECT_FALSE(GetInfo(Protocol::kHttp).is_ics);
+  EXPECT_FALSE(GetInfo(Protocol::kSsh).is_ics);
+}
+
+TEST(ProtocolRegistryTest, ServerTalksFirstProtocols) {
+  for (Protocol p : {Protocol::kSsh, Protocol::kFtp, Protocol::kSmtp,
+                     Protocol::kTelnet, Protocol::kMysql}) {
+    EXPECT_TRUE(GetInfo(p).server_talks_first) << Name(p);
+  }
+  EXPECT_FALSE(GetInfo(Protocol::kHttp).server_talks_first);
+  EXPECT_FALSE(GetInfo(Protocol::kModbus).server_talks_first);
+}
+
+TEST(ProtocolRegistryTest, HttpDominatesPopulationWeights) {
+  double http = GetInfo(Protocol::kHttp).population_weight +
+                GetInfo(Protocol::kHttps).population_weight;
+  double total = 0;
+  for (const ProtocolInfo& info : AllProtocols()) {
+    if (!info.is_ics) total += info.population_weight;
+  }
+  EXPECT_GT(http / total, 0.5);  // "dominated by HTTP(S)" (§6.3)
+}
+
+// --------------------------------------------------------------------- Banner
+
+TEST(BannerTest, DeterministicInSeed) {
+  for (Protocol p : {Protocol::kSsh, Protocol::kFtp, Protocol::kModbus}) {
+    EXPECT_EQ(GenerateBanner(p, 12345), GenerateBanner(p, 12345));
+    EXPECT_EQ(GenerateSoftware(p, 777), GenerateSoftware(p, 777));
+  }
+}
+
+TEST(BannerTest, SeedsVaryOutput) {
+  std::set<std::string> banners;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    banners.insert(GenerateBanner(Protocol::kSsh, seed));
+  }
+  EXPECT_GT(banners.size(), 3u);  // multiple software/version combinations
+}
+
+TEST(BannerTest, SshBannerShape) {
+  const std::string b = GenerateBanner(Protocol::kSsh, 42);
+  EXPECT_EQ(b.rfind("SSH-2.0-", 0), 0u) << b;
+}
+
+TEST(BannerTest, FtpBannerShape) {
+  const std::string b = GenerateBanner(Protocol::kFtp, 42);
+  EXPECT_EQ(b.rfind("220 ", 0), 0u) << b;
+}
+
+TEST(BannerTest, IcsBannersIncludeDeviceIdentity) {
+  for (Protocol p : IcsProtocols()) {
+    const DeviceIdentity dev = GenerateDevice(p, 99);
+    EXPECT_FALSE(dev.manufacturer.empty()) << Name(p);
+    EXPECT_FALSE(dev.model.empty()) << Name(p);
+    const std::string banner = GenerateBanner(p, 99);
+    EXPECT_NE(banner.find(dev.manufacturer), std::string::npos)
+        << Name(p) << ": " << banner;
+  }
+}
+
+TEST(BannerTest, CpeFormat) {
+  const SoftwareInfo sw = GenerateSoftware(Protocol::kSsh, 3);
+  const std::string cpe = sw.ToCpe();
+  EXPECT_EQ(cpe.rfind("cpe:2.3:a:", 0), 0u) << cpe;
+  EXPECT_NE(cpe.find(sw.product), std::string::npos);
+}
+
+TEST(BannerTest, WrongProtocolResponsesIdentifyServerFirstProtocols) {
+  // An SSH service answers any probe with its greeting.
+  const std::string r =
+      WrongProtocolResponse(Protocol::kSsh, Protocol::kHttp, 5);
+  EXPECT_EQ(r.rfind("SSH-", 0), 0u);
+  // SMTP responds to HTTP with a numeric error (LZR's canonical example).
+  const std::string smtp =
+      WrongProtocolResponse(Protocol::kSmtp, Protocol::kHttp, 5);
+  EXPECT_FALSE(smtp.empty());
+  // Modbus silently ignores an HTTP probe.
+  EXPECT_TRUE(WrongProtocolResponse(Protocol::kModbus, Protocol::kHttp, 5)
+                  .empty());
+}
+
+TEST(BannerTest, SomeHttpPagesMentionOperatingSystem) {
+  // Raw material for the Shodan CODESYS keyword mislabeling (Table 4).
+  int hits = 0;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    if (GeneratePageKeywords(seed).find("operating system") !=
+        std::string::npos)
+      ++hits;
+  }
+  EXPECT_GT(hits, 10);
+  EXPECT_LT(hits, 200);
+}
+
+// ------------------------------------------------------------------------ TLS
+
+TEST(TlsTest, HttpsAlwaysHasTls) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    EXPECT_TRUE(DeriveTls(Protocol::kHttps, seed).has_value());
+  }
+}
+
+TEST(TlsTest, PlainHttpHasNoTls) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    EXPECT_FALSE(DeriveTls(Protocol::kHttp, seed).has_value());
+  }
+}
+
+TEST(TlsTest, ForceOverridesProtocolDefault) {
+  EXPECT_TRUE(DeriveTls(Protocol::kHttp, 7, /*force=*/true).has_value());
+}
+
+TEST(TlsTest, JarmIsStableAndStackKeyed) {
+  const auto a = DeriveTls(Protocol::kHttps, 1001);
+  const auto b = DeriveTls(Protocol::kHttps, 1001);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->Jarm(), b->Jarm());
+  EXPECT_EQ(a->Jarm().size(), 62u);
+
+  // Same stack config on a different host -> same JARM (the pivot property).
+  TlsConfig x = *a;
+  TlsConfig y = *a;
+  y.cert_seed ^= 0xdead;  // different cert, same stack
+  EXPECT_EQ(x.Jarm(), y.Jarm());
+
+  TlsConfig z = *a;
+  z.stack_id += 1;
+  EXPECT_NE(x.Jarm(), z.Jarm());
+}
+
+TEST(TlsTest, Ja4sShape) {
+  const auto cfg = DeriveTls(Protocol::kHttps, 2002);
+  ASSERT_TRUE(cfg.has_value());
+  const std::string ja4s = cfg->Ja4s();
+  EXPECT_EQ(ja4s[0], 't');
+  EXPECT_EQ(std::count(ja4s.begin(), ja4s.end(), '_'), 2);
+}
+
+TEST(TlsTest, VersionMixFavorsModernTls) {
+  int tls13 = 0, legacy = 0, total = 0;
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    const auto cfg = DeriveTls(Protocol::kHttps, seed);
+    ASSERT_TRUE(cfg.has_value());
+    ++total;
+    if (cfg->version == TlsVersion::kTls13) ++tls13;
+    if (cfg->version == TlsVersion::kTls10 ||
+        cfg->version == TlsVersion::kTls11)
+      ++legacy;
+  }
+  EXPECT_GT(tls13, total * 2 / 5);
+  EXPECT_LT(legacy, total / 10);
+}
+
+}  // namespace
+}  // namespace censys::proto

@@ -1,0 +1,140 @@
+// Tests for the per-protocol scanner corpus: every covered protocol yields
+// structured fields, fields are deterministic, and they survive the
+// journal's field-map round trip.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "interrogate/scanners.h"
+#include "proto/banner.h"
+
+namespace censys::interrogate {
+namespace {
+
+simnet::SimService Service(proto::Protocol p, std::uint64_t seed,
+                           std::uint32_t ip = 10) {
+  simnet::SimService svc;
+  svc.key = {IPv4Address(ip), proto::PrimaryPort(p).value_or(40000),
+             proto::GetInfo(p).transport};
+  svc.protocol = p;
+  svc.seed = seed;
+  svc.born = Timestamp{0};
+  svc.dies = Timestamp::FromDays(100);
+  return svc;
+}
+
+ServiceRecord Extract(proto::Protocol p, std::uint64_t seed,
+                      std::uint32_t ip = 10) {
+  const simnet::SimService svc = Service(p, seed, ip);
+  ServiceRecord record;
+  record.key = svc.key;
+  record.protocol = p;
+  ExtractProtocolFields(svc, record);
+  return record;
+}
+
+class ScannerCoverageTest
+    : public ::testing::TestWithParam<proto::Protocol> {};
+
+TEST_P(ScannerCoverageTest, YieldsDeterministicStructuredFields) {
+  const proto::Protocol p = GetParam();
+  const ServiceRecord a = Extract(p, 1234);
+  const ServiceRecord b = Extract(p, 1234);
+  ASSERT_FALSE(a.extra.empty()) << proto::Name(p);
+  EXPECT_EQ(a.extra, b.extra) << proto::Name(p);
+
+  // Different seeds produce at least occasionally different configs.
+  std::set<std::string> variants;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    std::string all;
+    for (const auto& [key, value] : Extract(p, seed).extra) {
+      all += key + "=" + value + ";";
+    }
+    variants.insert(all);
+  }
+  EXPECT_GT(variants.size(), 1u) << proto::Name(p);
+}
+
+TEST_P(ScannerCoverageTest, FieldsSurviveEntityRoundTrip) {
+  const proto::Protocol p = GetParam();
+  ServiceRecord record = Extract(p, 77);
+  record.handshake_validated = true;
+  record.detection = DetectionMethod::kIanaHandshake;
+  const ServiceRecord decoded =
+      ServiceRecord::FromFields(record.key, record.ToFields());
+  EXPECT_EQ(decoded.extra, record.extra) << proto::Name(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCovered, ScannerCoverageTest,
+    ::testing::ValuesIn(ScannerCoverage().begin(), ScannerCoverage().end()),
+    [](const ::testing::TestParamInfo<proto::Protocol>& info) {
+      std::string name(proto::Name(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_" + std::to_string(info.index);
+    });
+
+TEST(ScannerRegistryTest, CoversAllIcsProtocolsExceptNiche) {
+  std::set<proto::Protocol> covered(ScannerCoverage().begin(),
+                                    ScannerCoverage().end());
+  // Every Table 4 protocol except the two rarest niche ones has a scanner.
+  int ics_covered = 0;
+  for (proto::Protocol p : proto::IcsProtocols()) {
+    ics_covered += covered.contains(p);
+  }
+  EXPECT_GE(ics_covered, 18);
+  EXPECT_TRUE(covered.contains(proto::Protocol::kModbus));
+  EXPECT_TRUE(covered.contains(proto::Protocol::kS7));
+}
+
+TEST(ScannerRegistryTest, UnknownProtocolExtractsNothing) {
+  ServiceRecord record = Extract(proto::Protocol::kUnknown, 5);
+  EXPECT_TRUE(record.extra.empty());
+}
+
+TEST(SshScannerTest, HostkeyIsPerHostNotPerService) {
+  // Two SSH services on the same host share a host key; different hosts
+  // do not — the threat-hunting pivot property.
+  const ServiceRecord a = Extract(proto::Protocol::kSsh, 1, /*ip=*/42);
+  const ServiceRecord b = Extract(proto::Protocol::kSsh, 999, /*ip=*/42);
+  const ServiceRecord c = Extract(proto::Protocol::kSsh, 1, /*ip=*/43);
+  EXPECT_EQ(a.extra.at("ssh.hostkey_sha256"), b.extra.at("ssh.hostkey_sha256"));
+  EXPECT_NE(a.extra.at("ssh.hostkey_sha256"), c.extra.at("ssh.hostkey_sha256"));
+}
+
+TEST(IcsScannerTest, DeviceIdentityMatchesBannerLayer) {
+  const ServiceRecord record = Extract(proto::Protocol::kModbus, 7);
+  const proto::DeviceIdentity dev =
+      proto::GenerateDevice(proto::Protocol::kModbus, 7);
+  EXPECT_EQ(record.extra.at("modbus.vendor"), dev.manufacturer);
+  EXPECT_EQ(record.extra.at("modbus.product"), dev.model);
+  const int unit = std::stoi(record.extra.at("modbus.unit_id"));
+  EXPECT_GE(unit, 1);
+  EXPECT_LE(unit, 247);
+}
+
+TEST(ExposureFlagsTest, RiskyDefaultsAreRareButPresent) {
+  // Unauthenticated Redis / anonymous FTP / public SNMP communities exist
+  // at low rates — the exposures ASM products alert on.
+  int open_redis = 0, anon_ftp = 0, public_snmp = 0;
+  for (std::uint64_t seed = 0; seed < 600; ++seed) {
+    if (Extract(proto::Protocol::kRedis, seed).extra.at(
+            "redis.auth_required") == "false")
+      ++open_redis;
+    if (Extract(proto::Protocol::kFtp, seed).extra.at(
+            "ftp.anonymous_allowed") == "true")
+      ++anon_ftp;
+    if (Extract(proto::Protocol::kSnmp, seed).extra.at("snmp.community") ==
+        "public")
+      ++public_snmp;
+  }
+  EXPECT_GT(open_redis, 20);
+  EXPECT_LT(open_redis, 180);
+  EXPECT_GT(anon_ftp, 10);
+  EXPECT_GT(public_snmp, 50);
+}
+
+}  // namespace
+}  // namespace censys::interrogate

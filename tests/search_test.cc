@@ -1,0 +1,197 @@
+// Tests for the query language, inverted index, and analytics store.
+#include <gtest/gtest.h>
+
+#include "search/analytics.h"
+#include "search/index.h"
+#include "search/query.h"
+
+namespace censys::search {
+namespace {
+
+// ---------------------------------------------------------------------- query
+
+TEST(QueryParseTest, FieldTerm) {
+  std::string error;
+  const auto q = ParseQuery(R"(service.name: "MODBUS")", &error);
+  ASSERT_TRUE(q.has_value()) << error;
+  EXPECT_EQ((*q)->kind, QueryNode::Kind::kTerm);
+  EXPECT_EQ((*q)->field, "service.name");
+  EXPECT_EQ((*q)->pattern, "MODBUS");
+  EXPECT_TRUE((*q)->is_phrase);
+}
+
+TEST(QueryParseTest, ImplicitAndExplicitAnd) {
+  std::string error;
+  const auto implicit = ParseQuery("a: 1 b: 2", &error);
+  ASSERT_TRUE(implicit.has_value()) << error;
+  const auto explicit_and = ParseQuery("a: 1 AND b: 2", &error);
+  ASSERT_TRUE(explicit_and.has_value()) << error;
+  EXPECT_EQ(ToString(*implicit), ToString(*explicit_and));
+}
+
+TEST(QueryParseTest, PrecedenceOrBindsLooserThanAnd) {
+  std::string error;
+  const auto q = ParseQuery("a: 1 AND b: 2 OR c: 3", &error);
+  ASSERT_TRUE(q.has_value()) << error;
+  EXPECT_EQ((*q)->kind, QueryNode::Kind::kOr);
+  EXPECT_EQ((*q)->children[0]->kind, QueryNode::Kind::kAnd);
+}
+
+TEST(QueryParseTest, ParensAndNot) {
+  std::string error;
+  const auto q = ParseQuery("NOT (a: 1 OR b: 2)", &error);
+  ASSERT_TRUE(q.has_value()) << error;
+  EXPECT_EQ((*q)->kind, QueryNode::Kind::kNot);
+  EXPECT_EQ((*q)->children[0]->kind, QueryNode::Kind::kOr);
+}
+
+TEST(QueryParseTest, RejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(ParseQuery("a: ", &error).has_value());
+  EXPECT_FALSE(ParseQuery("(a: 1", &error).has_value());
+  EXPECT_FALSE(ParseQuery("a: \"unterminated", &error).has_value());
+  EXPECT_FALSE(ParseQuery("", &error).has_value());
+  EXPECT_FALSE(ParseQuery("AND", &error).has_value());
+}
+
+// ---------------------------------------------------------------------- index
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() {
+    index_.Index("10.0.0.1", {{"service.name", "HTTP"},
+                              {"http.html_title", "Welcome to nginx!"},
+                              {"service.banner", "Server: nginx/1.25.3"}});
+    index_.Index("10.0.0.2", {{"service.name", "SSH"},
+                              {"service.banner", "SSH-2.0-openssh_8.9p1"}});
+    index_.Index("10.0.0.3", {{"service.name", "MODBUS"},
+                              {"device.manufacturer", "Schneider Electric"}});
+    index_.Index("10.0.0.4", {{"service.name", "HTTP"},
+                              {"http.html_title", "RouterOS configuration"}});
+  }
+
+  std::vector<std::string> Run(const std::string& query) {
+    std::string error;
+    auto result = index_.Search(query, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    return result;
+  }
+
+  SearchIndex index_;
+};
+
+TEST_F(IndexTest, FieldTermQuery) {
+  EXPECT_EQ(Run(R"(service.name: "MODBUS")"),
+            (std::vector<std::string>{"10.0.0.3"}));
+  EXPECT_EQ(Run("service.name: http").size(), 2u);  // case-insensitive token
+}
+
+TEST_F(IndexTest, AnyFieldQuery) {
+  EXPECT_EQ(Run("nginx"), (std::vector<std::string>{"10.0.0.1"}));
+  EXPECT_EQ(Run("schneider"), (std::vector<std::string>{"10.0.0.3"}));
+}
+
+TEST_F(IndexTest, BooleanOperators) {
+  EXPECT_EQ(Run("service.name: HTTP AND http.html_title: RouterOS"),
+            (std::vector<std::string>{"10.0.0.4"}));
+  EXPECT_EQ(Run(R"(service.name: "SSH" OR service.name: "MODBUS")").size(),
+            2u);
+  const auto not_http = Run("NOT service.name: HTTP");
+  EXPECT_EQ(not_http.size(), 2u);
+}
+
+TEST_F(IndexTest, PhraseQueryRequiresContiguity) {
+  EXPECT_EQ(Run(R"(http.html_title: "Welcome to nginx!")"),
+            (std::vector<std::string>{"10.0.0.1"}));
+  // Words present but not contiguous in this order -> no match.
+  EXPECT_TRUE(Run(R"(http.html_title: "nginx Welcome")").empty());
+}
+
+TEST_F(IndexTest, WildcardQuery) {
+  EXPECT_EQ(Run(R"(service.banner: "SSH-2.0-*")"),
+            (std::vector<std::string>{"10.0.0.2"}));
+  EXPECT_EQ(Run(R"(http.html_title: "*router*")"),
+            (std::vector<std::string>{"10.0.0.4"}));
+}
+
+TEST_F(IndexTest, ReindexReplacesOldPostings) {
+  index_.Index("10.0.0.2", {{"service.name", "TELNET"}});
+  EXPECT_TRUE(Run(R"(service.name: "SSH")").empty());
+  EXPECT_EQ(Run(R"(service.name: "TELNET")"),
+            (std::vector<std::string>{"10.0.0.2"}));
+}
+
+TEST_F(IndexTest, RemoveDropsDocument) {
+  index_.Remove("10.0.0.3");
+  EXPECT_TRUE(Run(R"(service.name: "MODBUS")").empty());
+  EXPECT_EQ(index_.doc_count(), 3u);
+  index_.Remove("10.0.0.3");  // idempotent
+  EXPECT_EQ(index_.doc_count(), 3u);
+}
+
+TEST_F(IndexTest, MalformedQueryReturnsError) {
+  std::string error;
+  const auto result = index_.Search("(((", &error);
+  EXPECT_TRUE(result.empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(IndexTest, MissingTermMatchesNothing) {
+  EXPECT_TRUE(Run(R"(service.name: "GOPHER")").empty());
+  EXPECT_TRUE(Run(R"(no.such.field: "x")").empty());
+}
+
+// ------------------------------------------------------------------ analytics
+
+DailySnapshot Snap(std::int64_t day, std::uint64_t http_count) {
+  DailySnapshot s;
+  s.day = day;
+  s.total_services = http_count + 10;
+  s.by_protocol["HTTP"] = http_count;
+  return s;
+}
+
+TEST(AnalyticsTest, SeriesAcrossDays) {
+  AnalyticsStore store;
+  store.AddSnapshot(Snap(1, 100));
+  store.AddSnapshot(Snap(2, 110));
+  store.AddSnapshot(Snap(3, 120));
+  const auto series = store.ProtocolSeries("HTTP");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[2].second, 120u);
+  EXPECT_EQ(store.ProtocolSeries("SSH")[0].second, 0u);
+}
+
+TEST(AnalyticsTest, GetLatestUpTo) {
+  AnalyticsStore store;
+  store.AddSnapshot(Snap(5, 1));
+  store.AddSnapshot(Snap(9, 2));
+  EXPECT_EQ(store.GetLatestUpTo(4), nullptr);
+  EXPECT_EQ(store.GetLatestUpTo(5)->day, 5);
+  EXPECT_EQ(store.GetLatestUpTo(7)->day, 5);
+  EXPECT_EQ(store.GetLatestUpTo(100)->day, 9);
+}
+
+TEST(AnalyticsTest, RetentionThinsOldSnapshotsToWeekly) {
+  AnalyticsStore::Options options;
+  options.full_retention = Duration::Days(90);
+  options.keep_weekday = 2;
+  AnalyticsStore store(options);
+  for (std::int64_t day = 0; day < 200; ++day) store.AddSnapshot(Snap(day, 1));
+
+  store.ThinOut(Timestamp::FromDays(200));
+  // Recent 90 days fully retained; older days only weekday 2.
+  EXPECT_EQ(store.GetDay(150)->day, 150);  // within window
+  int old_kept = 0;
+  for (std::int64_t day = 0; day < 110; ++day) {
+    if (store.GetDay(day) != nullptr) {
+      EXPECT_EQ(day % 7, 2) << day;
+      ++old_kept;
+    }
+  }
+  EXPECT_GT(old_kept, 10);
+  EXPECT_LT(old_kept, 20);
+}
+
+}  // namespace
+}  // namespace censys::search

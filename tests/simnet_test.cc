@@ -1,0 +1,376 @@
+// Tests for the simulated Internet: population shape, churn dynamics,
+// visibility model, pseudo hosts, and honeypots.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/rng.h"
+#include "simnet/internet.h"
+
+namespace censys::simnet {
+namespace {
+
+UniverseConfig SmallConfig(std::uint64_t seed = 7) {
+  UniverseConfig cfg;
+  cfg.seed = seed;
+  cfg.universe_size = 1u << 16;
+  cfg.target_services = 8000;
+  cfg.ics_scale = 512.0;  // keep a visible ICS population at this tiny scale
+  return cfg;
+}
+
+ScannerProfile TestScanner() {
+  return ScannerProfile{1, "test", 24.0, 1024.0};
+}
+
+// ------------------------------------------------------------------ BlockPlan
+
+TEST(BlockPlanTest, CoversUniverseWithoutGaps) {
+  const UniverseConfig cfg = SmallConfig();
+  BlockPlan plan(cfg);
+  std::uint64_t covered = 0;
+  std::uint32_t expected_base = 0;
+  for (const NetworkBlock& b : plan.blocks()) {
+    EXPECT_EQ(b.cidr.base().value(), expected_base);
+    expected_base += static_cast<std::uint32_t>(b.cidr.size());
+    covered += b.cidr.size();
+  }
+  EXPECT_EQ(covered, cfg.universe_size);
+}
+
+TEST(BlockPlanTest, BlockOfFindsCorrectBlock) {
+  BlockPlan plan(SmallConfig());
+  for (std::uint32_t ip = 0; ip < (1u << 16); ip += 977) {
+    const NetworkBlock& b = plan.BlockOf(IPv4Address(ip));
+    EXPECT_TRUE(b.cidr.Contains(IPv4Address(ip)));
+  }
+}
+
+TEST(BlockPlanTest, HasAllMajorNetworkTypes) {
+  BlockPlan plan(SmallConfig());
+  for (NetworkType t :
+       {NetworkType::kResidential, NetworkType::kCloud,
+        NetworkType::kEnterprise, NetworkType::kHosting}) {
+    EXPECT_FALSE(plan.BlocksOfType(t).empty()) << ToString(t);
+  }
+}
+
+TEST(BlockPlanTest, DeterministicForSeed) {
+  BlockPlan a(SmallConfig(3)), b(SmallConfig(3));
+  ASSERT_EQ(a.blocks().size(), b.blocks().size());
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    EXPECT_EQ(a.blocks()[i].cidr, b.blocks()[i].cidr);
+    EXPECT_EQ(a.blocks()[i].type, b.blocks()[i].type);
+    EXPECT_EQ(a.blocks()[i].country, b.blocks()[i].country);
+  }
+}
+
+// ------------------------------------------------------------------ PortModel
+
+TEST(PortModelTest, RankRoundTrips) {
+  PortModel model(5, 1.08);
+  for (std::uint32_t rank = 1; rank <= 65536; rank += 1013) {
+    EXPECT_EQ(model.RankOf(model.PortAtRank(rank)), rank);
+  }
+}
+
+TEST(PortModelTest, WellKnownPortsRankHighest) {
+  PortModel model(5, 1.08);
+  EXPECT_EQ(model.RankOf(80), 1u);
+  EXPECT_LE(model.RankOf(443), 3u);
+  EXPECT_LE(model.RankOf(22), 10u);
+  EXPECT_GT(model.RankOf(51234), 100u);
+}
+
+TEST(PortModelTest, SamplingFollowsPopularity) {
+  PortModel model(5, 1.08);
+  Rng rng(9);
+  std::map<Port, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[model.SamplePort(rng)];
+  // Port 80 (rank 1) should be the single most sampled port.
+  int max_count = 0;
+  Port max_port = 0;
+  for (auto& [port, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_port = port;
+    }
+  }
+  EXPECT_EQ(max_port, 80);
+  // But the top 10 ports must hold well under half of all services
+  // ("service diffusion": most services on non-standard ports).
+  int top10 = 0;
+  for (Port p : model.TopPorts(10)) top10 += counts[p];
+  EXPECT_LT(top10, 200000 / 2);
+  EXPECT_GT(top10, 200000 / 20);
+}
+
+// ------------------------------------------------------------------- Internet
+
+TEST(InternetTest, PopulationApproximatesTarget) {
+  Internet net(SmallConfig());
+  const std::size_t n = net.ActiveServiceCount(Timestamp{0});
+  EXPECT_GT(n, 7000u);
+  EXPECT_LT(n, 9500u);
+}
+
+TEST(InternetTest, DeterministicForSeed) {
+  Internet a(SmallConfig(11)), b(SmallConfig(11));
+  EXPECT_EQ(a.ActiveServiceCount(Timestamp{0}),
+            b.ActiveServiceCount(Timestamp{0}));
+  std::set<std::uint64_t> keys_a, keys_b;
+  a.ForEachActiveService(Timestamp{0}, [&](const SimService& s) {
+    keys_a.insert(s.key.Pack());
+  });
+  b.ForEachActiveService(Timestamp{0}, [&](const SimService& s) {
+    keys_b.insert(s.key.Pack());
+  });
+  EXPECT_EQ(keys_a, keys_b);
+}
+
+TEST(InternetTest, ChurnKeepsSteadyState) {
+  Internet net(SmallConfig());
+  const std::size_t before = net.ActiveServiceCount(Timestamp{0});
+  net.AdvanceTo(Timestamp::FromDays(10));
+  const std::size_t after = net.ActiveServiceCount(net.now());
+  // Births replace deaths, so the population stays within ~10%.
+  EXPECT_GT(after, before * 9 / 10);
+  EXPECT_LT(after, before * 11 / 10);
+  EXPECT_GT(net.total_births(), before);  // churn actually happened
+}
+
+TEST(InternetTest, ServicesDieAndAreReplaced) {
+  Internet net(SmallConfig());
+  std::vector<ServiceKey> initial;
+  net.ForEachActiveService(Timestamp{0}, [&](const SimService& s) {
+    initial.push_back(s.key);
+  });
+  net.AdvanceTo(Timestamp::FromDays(30));
+  std::size_t survivors = 0;
+  for (const ServiceKey& key : initial) {
+    if (net.FindService(key, net.now()) != nullptr) ++survivors;
+  }
+  // After 30 days, a large share of the (mostly short-lived) population
+  // has turned over, but long-lived enterprise services survive.
+  EXPECT_LT(survivors, initial.size());
+  EXPECT_GT(survivors, 0u);
+}
+
+TEST(InternetTest, L4ProbeFindsLiveServices) {
+  Internet net(SmallConfig());
+  const ScannerProfile scanner = TestScanner();
+  const ProbeContext ctx{&scanner, 0};
+
+  int found = 0, checked = 0;
+  net.ForEachActiveService(Timestamp{0}, [&](const SimService& s) {
+    if (checked >= 2000) return;
+    ++checked;
+    // Retry across several hours: visibility effects are transient.
+    for (int h = 0; h < 30 && found <= checked; h += 6) {
+      Internet& mutable_net = const_cast<Internet&>(net);
+      if (mutable_net.L4Probe(ctx, s.key, Timestamp::FromHours(h))) {
+        ++found;
+        break;
+      }
+    }
+  });
+  // Nearly all live services should be L4-discoverable with retries.
+  EXPECT_GT(found, checked * 9 / 10);
+}
+
+TEST(InternetTest, L4ProbeRejectsDeadTargets) {
+  Internet net(SmallConfig());
+  const ScannerProfile scanner = TestScanner();
+  const ProbeContext ctx{&scanner, 0};
+  // Probe ports unlikely to have a service on specific dead IPs.
+  int false_positives = 0;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    ServiceKey key{IPv4Address(static_cast<std::uint32_t>(rng.NextBelow(1u << 16))),
+                   static_cast<Port>(20000 + rng.NextBelow(40000)),
+                   Transport::kTcp};
+    if (net.FindService(key, Timestamp{0}) != nullptr) continue;
+    if (net.IsPseudoHost(key.ip)) continue;
+    if (net.L4Probe(ctx, key, Timestamp{0})) ++false_positives;
+  }
+  EXPECT_EQ(false_positives, 0);
+}
+
+TEST(InternetTest, PseudoHostsAnswerOnEveryPort) {
+  UniverseConfig cfg = SmallConfig();
+  cfg.pseudo_host_fraction = 0.01;
+  Internet net(cfg);
+  const ScannerProfile scanner = TestScanner();
+  const ProbeContext ctx{&scanner, 0};
+
+  IPv4Address pseudo_ip;
+  bool found_pseudo = false;
+  for (std::uint32_t ip = 0; ip < (1u << 16); ++ip) {
+    if (net.IsPseudoHost(IPv4Address(ip))) {
+      pseudo_ip = IPv4Address(ip);
+      found_pseudo = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found_pseudo);
+
+  int answered = 0;
+  for (Port port : {Port{1234}, Port{4567}, Port{50000}, Port{65000}}) {
+    ServiceKey key{pseudo_ip, port, Transport::kTcp};
+    for (int attempt = 0; attempt < 8 && answered < 4; ++attempt) {
+      if (net.L4Probe(ctx, key, Timestamp::FromHours(attempt * 7))) {
+        ++answered;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(answered, 4);
+
+  // And the L7 content is identical across ports.
+  auto s1 = net.ConnectL7(ctx, {pseudo_ip, 1234, Transport::kTcp},
+                          Timestamp::FromHours(48));
+  auto s2 = net.ConnectL7(ctx, {pseudo_ip, 4567, Transport::kTcp},
+                          Timestamp::FromHours(48));
+  if (s1 && s2) {
+    EXPECT_EQ(s1->service.seed, s2->service.seed);
+    EXPECT_TRUE(s1->service.pseudo);
+  }
+}
+
+TEST(InternetTest, ConnectL7YieldsServiceSnapshot) {
+  Internet net(SmallConfig());
+  const ScannerProfile scanner = TestScanner();
+  const ProbeContext ctx{&scanner, 0};
+
+  bool checked = false;
+  net.ForEachActiveService(Timestamp{0}, [&](const SimService& s) {
+    if (checked || s.pseudo) return;
+    Internet& mutable_net = const_cast<Internet&>(net);
+    for (int h = 0; h < 48; h += 6) {
+      auto session = mutable_net.ConnectL7(ctx, s.key, Timestamp::FromHours(h));
+      if (session) {
+        EXPECT_EQ(session->service.key, s.key);
+        EXPECT_EQ(session->service.protocol, s.protocol);
+        EXPECT_EQ(session->service.seed, s.seed);
+        checked = true;
+        return;
+      }
+    }
+  });
+  EXPECT_TRUE(checked);
+}
+
+TEST(InternetTest, IcsPopulationExistsAndFollowsTable4Ordering) {
+  UniverseConfig cfg = SmallConfig();
+  cfg.ics_scale = 2048.0;
+  cfg.target_services = 20000;
+  Internet net(cfg);
+  std::map<proto::Protocol, int> counts;
+  net.ForEachActiveService(Timestamp{0}, [&](const SimService& s) {
+    if (proto::GetInfo(s.protocol).is_ics) ++counts[s.protocol];
+  });
+  EXPECT_GT(counts[proto::Protocol::kModbus], 0);
+  // MODBUS is the most common ICS protocol; HART the rarest.
+  for (auto& [p, c] : counts) {
+    EXPECT_LE(c, counts[proto::Protocol::kModbus] + 5) << proto::Name(p);
+  }
+}
+
+TEST(InternetTest, BlockedScannerSeesLess) {
+  Internet net(SmallConfig());
+  // A wildly aggressive single-source scanner vs a polite distributed one.
+  const ScannerProfile polite{1, "polite", 5.0, 2048.0};
+  const ScannerProfile aggressive{2, "aggressive", 5000.0, 1.0};
+
+  int polite_hits = 0, aggressive_hits = 0, sampled = 0;
+  net.ForEachActiveService(Timestamp{0}, [&](const SimService& s) {
+    if (sampled >= 3000) return;
+    ++sampled;
+    Internet& m = const_cast<Internet&>(net);
+    if (m.L4Probe({&polite, 0}, s.key, Timestamp::FromHours(1)))
+      ++polite_hits;
+    if (m.L4Probe({&aggressive, 0}, s.key, Timestamp::FromHours(1)))
+      ++aggressive_hits;
+  });
+  EXPECT_GT(polite_hits, aggressive_hits);
+}
+
+TEST(InternetTest, MultiPopRetriesRecoverCoverage) {
+  Internet net(SmallConfig());
+  const ScannerProfile scanner = TestScanner();
+
+  int single_pop = 0, multi_pop = 0, sampled = 0;
+  net.ForEachActiveService(Timestamp{0}, [&](const SimService& s) {
+    if (sampled >= 3000) return;
+    ++sampled;
+    Internet& m = const_cast<Internet&>(net);
+    if (m.L4Probe({&scanner, 0}, s.key, Timestamp::FromHours(2)))
+      ++single_pop;
+    for (int pop = 0; pop < 3; ++pop) {
+      if (m.L4Probe({&scanner, pop}, s.key, Timestamp::FromHours(2))) {
+        ++multi_pop;
+        break;
+      }
+    }
+  });
+  EXPECT_GE(multi_pop, single_pop);
+}
+
+// ------------------------------------------------------------------ Honeypots
+
+TEST(InternetTest, HoneypotLogsFirstContactPerScanner) {
+  Internet net(SmallConfig());
+  Rng rng(5);
+  const IPv4Address hp = net.PickHoneypotAddress(rng);
+  const std::pair<Port, proto::Protocol> listeners[] = {
+      {80, proto::Protocol::kHttp}, {22, proto::Protocol::kSsh}};
+  net.AddHoneypot(hp, listeners, Timestamp::FromHours(1));
+
+  const ScannerProfile scanner = TestScanner();
+  const ProbeContext ctx{&scanner, 0};
+  const ServiceKey key{hp, 80, Transport::kTcp};
+
+  // Before birth: not reachable.
+  EXPECT_FALSE(net.ConnectL7(ctx, key, Timestamp{0}).has_value());
+  EXPECT_FALSE(net.FirstContact(key, scanner.scanner_id).has_value());
+
+  // After birth: connect (with visibility retries) and check the log.
+  bool connected = false;
+  Timestamp when;
+  for (int h = 2; h < 96 && !connected; h += 3) {
+    when = Timestamp::FromHours(h);
+    connected = net.ConnectL7(ctx, key, when).has_value();
+  }
+  ASSERT_TRUE(connected);
+  const auto first = net.FirstContact(key, scanner.scanner_id);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, when);
+
+  // A later connection does not overwrite the first-contact time.
+  net.ConnectL7(ctx, key, when + Duration::Hours(24));
+  EXPECT_EQ(*net.FirstContact(key, scanner.scanner_id), when);
+
+  // A different scanner gets its own entry.
+  EXPECT_FALSE(net.FirstContact(key, 999).has_value());
+}
+
+TEST(InternetTest, SniOnlyServicesArePresent) {
+  UniverseConfig cfg = SmallConfig();
+  cfg.target_services = 12000;
+  Internet net(cfg);
+  int sni = 0, total = 0;
+  net.ForEachActiveService(Timestamp{0}, [&](const SimService& s) {
+    ++total;
+    if (s.requires_sni) {
+      ++sni;
+      EXPECT_FALSE(s.sni_name.empty());
+      EXPECT_NE(s.sni_name.find(".example.com"), std::string::npos);
+    }
+  });
+  EXPECT_GT(sni, total / 50);
+  EXPECT_LT(sni, total / 5);
+}
+
+}  // namespace
+}  // namespace censys::simnet

@@ -1,0 +1,326 @@
+// Tests for serialization, delta encoding, the ordered KV store, and the
+// event journal (snapshot + replay reconstruction, tier migration).
+#include <gtest/gtest.h>
+
+#include "storage/delta.h"
+#include "storage/journal.h"
+#include "storage/kv.h"
+#include "storage/serialize.h"
+
+namespace censys::storage {
+namespace {
+
+// ------------------------------------------------------------------ serialize
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, 0xFFFFFFFFull,
+        ~0ull}) {
+    std::string buf;
+    PutVarint(buf, v);
+    std::size_t pos = 0;
+    const auto decoded = GetVarint(buf, &pos);
+    ASSERT_TRUE(decoded.has_value()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, DetectsTruncation) {
+  std::string buf;
+  PutVarint(buf, 300);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_FALSE(GetVarint(buf, &pos).has_value());
+}
+
+TEST(FieldsCodecTest, RoundTrips) {
+  FieldMap fields{{"a", "1"}, {"banner", "SSH-2.0-OpenSSH"}, {"empty", ""}};
+  const std::string encoded = EncodeFields(fields);
+  const auto decoded = DecodeFields(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, fields);
+}
+
+TEST(FieldsCodecTest, EqualMapsEncodeIdentically) {
+  FieldMap a{{"x", "1"}, {"y", "2"}};
+  FieldMap b{{"y", "2"}, {"x", "1"}};
+  EXPECT_EQ(EncodeFields(a), EncodeFields(b));
+}
+
+TEST(FieldsCodecTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeFields("\xff\xff\xff").has_value());
+  const std::string valid = EncodeFields({{"k", "v"}});
+  EXPECT_FALSE(DecodeFields(valid + "x").has_value());  // trailing bytes
+}
+
+// ---------------------------------------------------------------------- delta
+
+TEST(DeltaTest, ComputeAndApplyRoundTrip) {
+  FieldMap before{{"a", "1"}, {"b", "2"}, {"c", "3"}};
+  FieldMap after{{"a", "1"}, {"b", "changed"}, {"d", "new"}};
+  const Delta delta = ComputeDelta(before, after);
+  FieldMap state = before;
+  ApplyDelta(state, delta);
+  EXPECT_EQ(state, after);
+}
+
+TEST(DeltaTest, NoChangeYieldsEmptyDelta) {
+  FieldMap state{{"a", "1"}, {"b", "2"}};
+  EXPECT_TRUE(ComputeDelta(state, state).empty());
+}
+
+TEST(DeltaTest, DeltaIsMinimal) {
+  FieldMap before{{"a", "1"}, {"b", "2"}, {"c", "3"}};
+  FieldMap after = before;
+  after["b"] = "2!";
+  const Delta delta = ComputeDelta(before, after);
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta.ops[0].key, "b");
+  EXPECT_EQ(delta.ops[0].kind, FieldOp::Kind::kSet);
+}
+
+TEST(DeltaTest, EncodesAndDecodes) {
+  FieldMap before{{"a", "1"}, {"z", "26"}};
+  FieldMap after{{"a", "2"}, {"m", "13"}};
+  const Delta delta = ComputeDelta(before, after);
+  const auto decoded = Delta::Decode(delta.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, delta);
+}
+
+TEST(DeltaTest, DecodeRejectsCorruptInput) {
+  EXPECT_FALSE(Delta::Decode("\x01X").has_value());  // bad op kind
+  const Delta delta = ComputeDelta({}, {{"k", "v"}});
+  std::string encoded = delta.Encode();
+  encoded.pop_back();
+  EXPECT_FALSE(Delta::Decode(encoded).has_value());
+}
+
+TEST(DeltaTest, ApplyFromEmptyBuildsState) {
+  FieldMap after{{"x", "1"}, {"y", "2"}};
+  const Delta delta = ComputeDelta({}, after);
+  FieldMap state;
+  ApplyDelta(state, delta);
+  EXPECT_EQ(state, after);
+}
+
+TEST(DeltaTest, RemovalDeltaEmptiesState) {
+  FieldMap before{{"x", "1"}, {"y", "2"}};
+  const Delta delta = ComputeDelta(before, {});
+  EXPECT_EQ(delta.size(), 2u);
+  FieldMap state = before;
+  ApplyDelta(state, delta);
+  EXPECT_TRUE(state.empty());
+}
+
+// ------------------------------------------------------------------------- kv
+
+TEST(OrderedKvTest, PutGetDelete) {
+  OrderedKv kv;
+  kv.Put("k1", "v1");
+  kv.Put("k2", "v2");
+  EXPECT_EQ(kv.Get("k1"), "v1");
+  EXPECT_FALSE(kv.Get("missing").has_value());
+  EXPECT_TRUE(kv.Delete("k1"));
+  EXPECT_FALSE(kv.Delete("k1"));
+  EXPECT_FALSE(kv.Get("k1").has_value());
+}
+
+TEST(OrderedKvTest, OverwriteUpdatesBytes) {
+  OrderedKv kv;
+  kv.Put("key", "short");
+  const auto initial = kv.total_bytes();
+  kv.Put("key", "a much longer value than before");
+  EXPECT_GT(kv.total_bytes(), initial);
+  kv.Put("key", "s");
+  EXPECT_LT(kv.total_bytes(), initial);
+}
+
+TEST(OrderedKvTest, ScanIsOrderedAndBounded) {
+  OrderedKv kv;
+  for (const char* k : {"b", "a", "d", "c", "e"}) kv.Put(k, k);
+  std::string visited;
+  kv.Scan("b", "e", [&](std::string_view key, std::string_view) {
+    visited += key;
+    return true;
+  });
+  EXPECT_EQ(visited, "bcd");
+}
+
+TEST(OrderedKvTest, ScanEarlyStop) {
+  OrderedKv kv;
+  for (const char* k : {"a", "b", "c"}) kv.Put(k, k);
+  int count = 0;
+  kv.Scan("a", "", [&](std::string_view, std::string_view) {
+    return ++count < 2;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(OrderedKvTest, SeekBefore) {
+  OrderedKv kv;
+  kv.Put("b", "1");
+  kv.Put("d", "2");
+  const auto hit = kv.SeekBefore("c");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, "b");
+  EXPECT_FALSE(kv.SeekBefore("a").has_value());
+  EXPECT_EQ(kv.SeekBefore("z")->first, "d");
+}
+
+TEST(OrderedKvTest, TierAccounting) {
+  OrderedKv kv;
+  kv.Put("hot", "data", Tier::kSsd);
+  kv.Put("cold", "data", Tier::kHdd);
+  EXPECT_EQ(kv.bytes_on(Tier::kSsd), 7u);
+  EXPECT_EQ(kv.bytes_on(Tier::kHdd), 8u);
+  EXPECT_TRUE(kv.SetTier("hot", Tier::kHdd));
+  EXPECT_EQ(kv.bytes_on(Tier::kSsd), 0u);
+  EXPECT_EQ(kv.bytes_on(Tier::kHdd), 15u);
+  EXPECT_FALSE(kv.SetTier("missing", Tier::kSsd));
+}
+
+TEST(SeqnoCodecTest, PreservesOrder) {
+  std::string prev = EncodeSeqno(0);
+  for (std::uint64_t v : {1ull, 2ull, 255ull, 256ull, 1ull << 40, ~0ull}) {
+    const std::string cur = EncodeSeqno(v);
+    EXPECT_LT(prev, cur);
+    EXPECT_EQ(DecodeSeqno(cur), v);
+    prev = cur;
+  }
+}
+
+// -------------------------------------------------------------------- journal
+
+Delta SetDelta(const std::string& key, const std::string& value) {
+  Delta d;
+  d.ops.push_back({FieldOp::Kind::kSet, key, value});
+  return d;
+}
+
+TEST(JournalTest, CurrentStateTracksAppends) {
+  EventJournal journal;
+  journal.Append("1.2.3.4", EventKind::kServiceFound, Timestamp{10},
+                 SetDelta("svc.80/tcp.name", "HTTP"));
+  journal.Append("1.2.3.4", EventKind::kServiceChanged, Timestamp{20},
+                 SetDelta("svc.80/tcp.name", "HTTPS"));
+  const FieldMap* state = journal.CurrentState("1.2.3.4");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->at("svc.80/tcp.name"), "HTTPS");
+  EXPECT_EQ(journal.event_count(), 2u);
+}
+
+TEST(JournalTest, EmptyDeltaRefreshJournalsNothing) {
+  EventJournal journal;
+  journal.Append("h", EventKind::kServiceFound, Timestamp{10},
+                 SetDelta("f", "v"));
+  const auto before = journal.event_count();
+  journal.Append("h", EventKind::kEntityUpdated, Timestamp{20}, Delta{});
+  EXPECT_EQ(journal.event_count(), before);
+}
+
+TEST(JournalTest, ReconstructAtTimestamps) {
+  EventJournal journal;
+  journal.Append("h", EventKind::kServiceFound, Timestamp{10},
+                 SetDelta("a", "1"));
+  journal.Append("h", EventKind::kServiceChanged, Timestamp{20},
+                 SetDelta("a", "2"));
+  journal.Append("h", EventKind::kServiceChanged, Timestamp{30},
+                 SetDelta("a", "3"));
+
+  EXPECT_FALSE(journal.ReconstructAt("h", Timestamp{5}).has_value());
+  EXPECT_EQ(journal.ReconstructAt("h", Timestamp{10})->at("a"), "1");
+  EXPECT_EQ(journal.ReconstructAt("h", Timestamp{25})->at("a"), "2");
+  EXPECT_EQ(journal.ReconstructAt("h", Timestamp{99})->at("a"), "3");
+  EXPECT_FALSE(journal.ReconstructAt("other", Timestamp{99}).has_value());
+}
+
+TEST(JournalTest, ReconstructionMatchesCurrentAfterManyEvents) {
+  EventJournal::Options options;
+  options.snapshot_every = 4;  // force several snapshots
+  EventJournal journal(options);
+  for (int i = 0; i < 50; ++i) {
+    journal.Append("h", EventKind::kServiceChanged, Timestamp{i * 10},
+                   SetDelta("field" + std::to_string(i % 7),
+                            std::to_string(i)));
+  }
+  const auto reconstructed = journal.ReconstructAt("h", Timestamp{1000});
+  ASSERT_TRUE(reconstructed.has_value());
+  EXPECT_EQ(*reconstructed, *journal.CurrentState("h"));
+  EXPECT_GT(journal.snapshot_count(), 5u);
+}
+
+TEST(JournalTest, SnapshotsBoundReplayLength) {
+  EventJournal::Options options;
+  options.snapshot_every = 8;
+  EventJournal journal(options);
+  for (int i = 0; i < 100; ++i) {
+    journal.Append("h", EventKind::kServiceChanged, Timestamp{i},
+                   SetDelta("f", std::to_string(i)));
+  }
+  journal.ReconstructAt("h", Timestamp{99});
+  EXPECT_LE(journal.max_replay_length(), 8u);
+}
+
+TEST(JournalTest, HistoryPreservesAllEvents) {
+  EventJournal journal;
+  journal.Append("h", EventKind::kServiceFound, Timestamp{1},
+                 SetDelta("a", "1"));
+  journal.Append("h", EventKind::kServiceRemoved, Timestamp{2},
+                 ComputeDelta({{"a", "1"}}, {}));
+  const auto history = journal.History("h");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].kind, EventKind::kServiceFound);
+  EXPECT_EQ(history[1].kind, EventKind::kServiceRemoved);
+  EXPECT_EQ(history[0].at, Timestamp{1});
+}
+
+TEST(JournalTest, ColdDataMigratesToHdd) {
+  EventJournal::Options options;
+  options.snapshot_every = 4;
+  EventJournal journal(options);
+  for (int i = 0; i < 40; ++i) {
+    journal.Append("h", EventKind::kServiceChanged, Timestamp{i},
+                   SetDelta("f" + std::to_string(i), "v"));
+  }
+  // After multiple snapshots, historical rows must live on HDD while the
+  // journal tail stays on SSD.
+  EXPECT_GT(journal.table().bytes_on(Tier::kHdd), 0u);
+  EXPECT_GT(journal.table().bytes_on(Tier::kSsd), 0u);
+}
+
+TEST(JournalTest, DeltaEncodingBeatsFullRecords) {
+  EventJournal journal;
+  // One big record refreshed repeatedly with a single changing field.
+  FieldMap state;
+  for (int f = 0; f < 25; ++f) {
+    state["field" + std::to_string(f)] = std::string(30, 'x');
+  }
+  FieldMap prev;
+  for (int refresh = 0; refresh < 20; ++refresh) {
+    state["counter"] = std::to_string(refresh);
+    journal.Append("h", EventKind::kServiceChanged, Timestamp{refresh},
+                   ComputeDelta(prev, state));
+    prev = state;
+  }
+  // "Only differences are stored to disk": after the first full write, the
+  // deltas are tiny compared to re-journaling the whole record.
+  EXPECT_LT(journal.delta_bytes(),
+            journal.full_record_bytes_equivalent() / 5);
+}
+
+TEST(JournalTest, EntitiesAreIsolated) {
+  EventJournal journal;
+  journal.Append("a", EventKind::kServiceFound, Timestamp{1},
+                 SetDelta("x", "1"));
+  journal.Append("ab", EventKind::kServiceFound, Timestamp{1},
+                 SetDelta("y", "2"));
+  EXPECT_EQ(journal.CurrentState("a")->size(), 1u);
+  EXPECT_EQ(journal.CurrentState("ab")->size(), 1u);
+  EXPECT_EQ(journal.History("a").size(), 1u);
+  EXPECT_FALSE(journal.CurrentState("a")->contains("y"));
+}
+
+}  // namespace
+}  // namespace censys::storage
