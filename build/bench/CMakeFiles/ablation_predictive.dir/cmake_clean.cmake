@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predictive.dir/ablation_predictive.cc.o"
+  "CMakeFiles/ablation_predictive.dir/ablation_predictive.cc.o.d"
+  "ablation_predictive"
+  "ablation_predictive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

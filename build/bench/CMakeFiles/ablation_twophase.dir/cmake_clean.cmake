@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_twophase.dir/ablation_twophase.cc.o"
+  "CMakeFiles/ablation_twophase.dir/ablation_twophase.cc.o.d"
+  "ablation_twophase"
+  "ablation_twophase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twophase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_freshness.dir/fig2_freshness.cc.o"
+  "CMakeFiles/fig2_freshness.dir/fig2_freshness.cc.o.d"
+  "fig2_freshness"
+  "fig2_freshness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_freshness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

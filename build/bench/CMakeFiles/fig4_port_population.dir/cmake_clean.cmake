@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_port_population.dir/fig4_port_population.cc.o"
+  "CMakeFiles/fig4_port_population.dir/fig4_port_population.cc.o.d"
+  "fig4_port_population"
+  "fig4_port_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_port_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

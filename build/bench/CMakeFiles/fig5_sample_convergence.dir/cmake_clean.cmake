@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sample_convergence.dir/fig5_sample_convergence.cc.o"
+  "CMakeFiles/fig5_sample_convergence.dir/fig5_sample_convergence.cc.o.d"
+  "fig5_sample_convergence"
+  "fig5_sample_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sample_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

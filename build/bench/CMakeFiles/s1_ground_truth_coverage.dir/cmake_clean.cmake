@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_ground_truth_coverage.dir/s1_ground_truth_coverage.cc.o"
+  "CMakeFiles/s1_ground_truth_coverage.dir/s1_ground_truth_coverage.cc.o.d"
+  "s1_ground_truth_coverage"
+  "s1_ground_truth_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_ground_truth_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for s1_ground_truth_coverage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_growth.dir/storage_growth.cc.o"
+  "CMakeFiles/storage_growth.dir/storage_growth.cc.o.d"
+  "storage_growth"
+  "storage_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_port_coverage.dir/table1_port_coverage.cc.o"
+  "CMakeFiles/table1_port_coverage.dir/table1_port_coverage.cc.o.d"
+  "table1_port_coverage"
+  "table1_port_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_port_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

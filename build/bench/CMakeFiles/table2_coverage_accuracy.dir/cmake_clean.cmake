@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_coverage_accuracy.dir/table2_coverage_accuracy.cc.o"
+  "CMakeFiles/table2_coverage_accuracy.dir/table2_coverage_accuracy.cc.o.d"
+  "table2_coverage_accuracy"
+  "table2_coverage_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_coverage_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_country_protocol.dir/table3_country_protocol.cc.o"
+  "CMakeFiles/table3_country_protocol.dir/table3_country_protocol.cc.o.d"
+  "table3_country_protocol"
+  "table3_country_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_country_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ics.dir/table4_ics.cc.o"
+  "CMakeFiles/table4_ics.dir/table4_ics.cc.o.d"
+  "table4_ics"
+  "table4_ics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_time_to_discovery.cc" "bench/CMakeFiles/table5_time_to_discovery.dir/table5_time_to_discovery.cc.o" "gcc" "bench/CMakeFiles/table5_time_to_discovery.dir/table5_time_to_discovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engines/CMakeFiles/censys_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/censys_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/censys_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/censys_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/censys_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/interrogate/CMakeFiles/censys_interrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/censys_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cert/CMakeFiles/censys_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/censys_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/censys_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/censys_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/censys_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/censys_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

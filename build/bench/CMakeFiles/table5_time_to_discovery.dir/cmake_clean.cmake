@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_time_to_discovery.dir/table5_time_to_discovery.cc.o"
+  "CMakeFiles/table5_time_to_discovery.dir/table5_time_to_discovery.cc.o.d"
+  "table5_time_to_discovery"
+  "table5_time_to_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_time_to_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_time_to_discovery.
+# This may be replaced when dependencies are built.

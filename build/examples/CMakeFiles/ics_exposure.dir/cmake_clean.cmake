@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ics_exposure.dir/ics_exposure.cpp.o"
+  "CMakeFiles/ics_exposure.dir/ics_exposure.cpp.o.d"
+  "ics_exposure"
+  "ics_exposure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ics_exposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

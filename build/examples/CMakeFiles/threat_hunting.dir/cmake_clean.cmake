@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_hunting.dir/threat_hunting.cpp.o"
+  "CMakeFiles/threat_hunting.dir/threat_hunting.cpp.o.d"
+  "threat_hunting"
+  "threat_hunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_hunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_properties.dir/web_properties.cpp.o"
+  "CMakeFiles/web_properties.dir/web_properties.cpp.o.d"
+  "web_properties"
+  "web_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("simnet")
+subdirs("proto")
+subdirs("scan")
+subdirs("interrogate")
+subdirs("predict")
+subdirs("cert")
+subdirs("web")
+subdirs("storage")
+subdirs("pipeline")
+subdirs("fingerprint")
+subdirs("search")
+subdirs("engines")

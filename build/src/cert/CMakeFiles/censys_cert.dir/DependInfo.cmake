@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cert/ct.cc" "src/cert/CMakeFiles/censys_cert.dir/ct.cc.o" "gcc" "src/cert/CMakeFiles/censys_cert.dir/ct.cc.o.d"
+  "/root/repo/src/cert/store.cc" "src/cert/CMakeFiles/censys_cert.dir/store.cc.o" "gcc" "src/cert/CMakeFiles/censys_cert.dir/store.cc.o.d"
+  "/root/repo/src/cert/x509.cc" "src/cert/CMakeFiles/censys_cert.dir/x509.cc.o" "gcc" "src/cert/CMakeFiles/censys_cert.dir/x509.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/censys_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

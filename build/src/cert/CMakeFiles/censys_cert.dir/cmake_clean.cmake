@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_cert.dir/ct.cc.o"
+  "CMakeFiles/censys_cert.dir/ct.cc.o.d"
+  "CMakeFiles/censys_cert.dir/store.cc.o"
+  "CMakeFiles/censys_cert.dir/store.cc.o.d"
+  "CMakeFiles/censys_cert.dir/x509.cc.o"
+  "CMakeFiles/censys_cert.dir/x509.cc.o.d"
+  "libcensys_cert.a"
+  "libcensys_cert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_cert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

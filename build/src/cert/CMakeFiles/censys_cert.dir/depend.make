@@ -1,0 +1,2 @@
+# Empty dependencies file for censys_cert.
+# This may be replaced when dependencies are built.

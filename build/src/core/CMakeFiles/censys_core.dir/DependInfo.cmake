@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cidr.cc" "src/core/CMakeFiles/censys_core.dir/cidr.cc.o" "gcc" "src/core/CMakeFiles/censys_core.dir/cidr.cc.o.d"
+  "/root/repo/src/core/clock.cc" "src/core/CMakeFiles/censys_core.dir/clock.cc.o" "gcc" "src/core/CMakeFiles/censys_core.dir/clock.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/censys_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/censys_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/sha256.cc" "src/core/CMakeFiles/censys_core.dir/sha256.cc.o" "gcc" "src/core/CMakeFiles/censys_core.dir/sha256.cc.o.d"
+  "/root/repo/src/core/strings.cc" "src/core/CMakeFiles/censys_core.dir/strings.cc.o" "gcc" "src/core/CMakeFiles/censys_core.dir/strings.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/censys_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/censys_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

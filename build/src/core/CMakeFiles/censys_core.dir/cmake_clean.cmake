@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_core.dir/cidr.cc.o"
+  "CMakeFiles/censys_core.dir/cidr.cc.o.d"
+  "CMakeFiles/censys_core.dir/clock.cc.o"
+  "CMakeFiles/censys_core.dir/clock.cc.o.d"
+  "CMakeFiles/censys_core.dir/rng.cc.o"
+  "CMakeFiles/censys_core.dir/rng.cc.o.d"
+  "CMakeFiles/censys_core.dir/sha256.cc.o"
+  "CMakeFiles/censys_core.dir/sha256.cc.o.d"
+  "CMakeFiles/censys_core.dir/strings.cc.o"
+  "CMakeFiles/censys_core.dir/strings.cc.o.d"
+  "CMakeFiles/censys_core.dir/types.cc.o"
+  "CMakeFiles/censys_core.dir/types.cc.o.d"
+  "libcensys_core.a"
+  "libcensys_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

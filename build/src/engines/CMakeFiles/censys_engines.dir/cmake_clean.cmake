@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_engines.dir/access.cc.o"
+  "CMakeFiles/censys_engines.dir/access.cc.o.d"
+  "CMakeFiles/censys_engines.dir/alternatives.cc.o"
+  "CMakeFiles/censys_engines.dir/alternatives.cc.o.d"
+  "CMakeFiles/censys_engines.dir/censys_engine.cc.o"
+  "CMakeFiles/censys_engines.dir/censys_engine.cc.o.d"
+  "CMakeFiles/censys_engines.dir/engine.cc.o"
+  "CMakeFiles/censys_engines.dir/engine.cc.o.d"
+  "CMakeFiles/censys_engines.dir/evaluation.cc.o"
+  "CMakeFiles/censys_engines.dir/evaluation.cc.o.d"
+  "CMakeFiles/censys_engines.dir/world.cc.o"
+  "CMakeFiles/censys_engines.dir/world.cc.o.d"
+  "libcensys_engines.a"
+  "libcensys_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

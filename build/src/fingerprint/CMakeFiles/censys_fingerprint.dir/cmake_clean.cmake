@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_fingerprint.dir/dsl.cc.o"
+  "CMakeFiles/censys_fingerprint.dir/dsl.cc.o.d"
+  "CMakeFiles/censys_fingerprint.dir/fingerprints.cc.o"
+  "CMakeFiles/censys_fingerprint.dir/fingerprints.cc.o.d"
+  "CMakeFiles/censys_fingerprint.dir/vulns.cc.o"
+  "CMakeFiles/censys_fingerprint.dir/vulns.cc.o.d"
+  "libcensys_fingerprint.a"
+  "libcensys_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

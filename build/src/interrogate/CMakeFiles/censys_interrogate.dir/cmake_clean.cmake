@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_interrogate.dir/detection.cc.o"
+  "CMakeFiles/censys_interrogate.dir/detection.cc.o.d"
+  "CMakeFiles/censys_interrogate.dir/interrogator.cc.o"
+  "CMakeFiles/censys_interrogate.dir/interrogator.cc.o.d"
+  "CMakeFiles/censys_interrogate.dir/record.cc.o"
+  "CMakeFiles/censys_interrogate.dir/record.cc.o.d"
+  "CMakeFiles/censys_interrogate.dir/scanners.cc.o"
+  "CMakeFiles/censys_interrogate.dir/scanners.cc.o.d"
+  "libcensys_interrogate.a"
+  "libcensys_interrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_interrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for censys_interrogate.
+# This may be replaced when dependencies are built.

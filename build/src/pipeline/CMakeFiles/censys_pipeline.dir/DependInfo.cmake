@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/entity.cc" "src/pipeline/CMakeFiles/censys_pipeline.dir/entity.cc.o" "gcc" "src/pipeline/CMakeFiles/censys_pipeline.dir/entity.cc.o.d"
+  "/root/repo/src/pipeline/read_side.cc" "src/pipeline/CMakeFiles/censys_pipeline.dir/read_side.cc.o" "gcc" "src/pipeline/CMakeFiles/censys_pipeline.dir/read_side.cc.o.d"
+  "/root/repo/src/pipeline/write_side.cc" "src/pipeline/CMakeFiles/censys_pipeline.dir/write_side.cc.o" "gcc" "src/pipeline/CMakeFiles/censys_pipeline.dir/write_side.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/censys_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/censys_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/interrogate/CMakeFiles/censys_interrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/censys_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/censys_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cert/CMakeFiles/censys_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/censys_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_pipeline.dir/entity.cc.o"
+  "CMakeFiles/censys_pipeline.dir/entity.cc.o.d"
+  "CMakeFiles/censys_pipeline.dir/read_side.cc.o"
+  "CMakeFiles/censys_pipeline.dir/read_side.cc.o.d"
+  "CMakeFiles/censys_pipeline.dir/write_side.cc.o"
+  "CMakeFiles/censys_pipeline.dir/write_side.cc.o.d"
+  "libcensys_pipeline.a"
+  "libcensys_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/predictive.cc" "src/predict/CMakeFiles/censys_predict.dir/predictive.cc.o" "gcc" "src/predict/CMakeFiles/censys_predict.dir/predictive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/censys_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/censys_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/censys_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

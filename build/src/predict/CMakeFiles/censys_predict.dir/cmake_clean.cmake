@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_predict.dir/predictive.cc.o"
+  "CMakeFiles/censys_predict.dir/predictive.cc.o.d"
+  "libcensys_predict.a"
+  "libcensys_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/banner.cc" "src/proto/CMakeFiles/censys_proto.dir/banner.cc.o" "gcc" "src/proto/CMakeFiles/censys_proto.dir/banner.cc.o.d"
+  "/root/repo/src/proto/protocol.cc" "src/proto/CMakeFiles/censys_proto.dir/protocol.cc.o" "gcc" "src/proto/CMakeFiles/censys_proto.dir/protocol.cc.o.d"
+  "/root/repo/src/proto/tls.cc" "src/proto/CMakeFiles/censys_proto.dir/tls.cc.o" "gcc" "src/proto/CMakeFiles/censys_proto.dir/tls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/censys_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_proto.dir/banner.cc.o"
+  "CMakeFiles/censys_proto.dir/banner.cc.o.d"
+  "CMakeFiles/censys_proto.dir/protocol.cc.o"
+  "CMakeFiles/censys_proto.dir/protocol.cc.o.d"
+  "CMakeFiles/censys_proto.dir/tls.cc.o"
+  "CMakeFiles/censys_proto.dir/tls.cc.o.d"
+  "libcensys_proto.a"
+  "libcensys_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/cyclic.cc" "src/scan/CMakeFiles/censys_scan.dir/cyclic.cc.o" "gcc" "src/scan/CMakeFiles/censys_scan.dir/cyclic.cc.o.d"
+  "/root/repo/src/scan/discovery.cc" "src/scan/CMakeFiles/censys_scan.dir/discovery.cc.o" "gcc" "src/scan/CMakeFiles/censys_scan.dir/discovery.cc.o.d"
+  "/root/repo/src/scan/exclusion.cc" "src/scan/CMakeFiles/censys_scan.dir/exclusion.cc.o" "gcc" "src/scan/CMakeFiles/censys_scan.dir/exclusion.cc.o.d"
+  "/root/repo/src/scan/scheduler.cc" "src/scan/CMakeFiles/censys_scan.dir/scheduler.cc.o" "gcc" "src/scan/CMakeFiles/censys_scan.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/censys_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/censys_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/censys_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

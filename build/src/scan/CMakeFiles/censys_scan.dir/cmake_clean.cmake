@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_scan.dir/cyclic.cc.o"
+  "CMakeFiles/censys_scan.dir/cyclic.cc.o.d"
+  "CMakeFiles/censys_scan.dir/discovery.cc.o"
+  "CMakeFiles/censys_scan.dir/discovery.cc.o.d"
+  "CMakeFiles/censys_scan.dir/exclusion.cc.o"
+  "CMakeFiles/censys_scan.dir/exclusion.cc.o.d"
+  "CMakeFiles/censys_scan.dir/scheduler.cc.o"
+  "CMakeFiles/censys_scan.dir/scheduler.cc.o.d"
+  "libcensys_scan.a"
+  "libcensys_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/analytics.cc" "src/search/CMakeFiles/censys_search.dir/analytics.cc.o" "gcc" "src/search/CMakeFiles/censys_search.dir/analytics.cc.o.d"
+  "/root/repo/src/search/export.cc" "src/search/CMakeFiles/censys_search.dir/export.cc.o" "gcc" "src/search/CMakeFiles/censys_search.dir/export.cc.o.d"
+  "/root/repo/src/search/index.cc" "src/search/CMakeFiles/censys_search.dir/index.cc.o" "gcc" "src/search/CMakeFiles/censys_search.dir/index.cc.o.d"
+  "/root/repo/src/search/pivots.cc" "src/search/CMakeFiles/censys_search.dir/pivots.cc.o" "gcc" "src/search/CMakeFiles/censys_search.dir/pivots.cc.o.d"
+  "/root/repo/src/search/query.cc" "src/search/CMakeFiles/censys_search.dir/query.cc.o" "gcc" "src/search/CMakeFiles/censys_search.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/censys_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/censys_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_search.dir/analytics.cc.o"
+  "CMakeFiles/censys_search.dir/analytics.cc.o.d"
+  "CMakeFiles/censys_search.dir/export.cc.o"
+  "CMakeFiles/censys_search.dir/export.cc.o.d"
+  "CMakeFiles/censys_search.dir/index.cc.o"
+  "CMakeFiles/censys_search.dir/index.cc.o.d"
+  "CMakeFiles/censys_search.dir/pivots.cc.o"
+  "CMakeFiles/censys_search.dir/pivots.cc.o.d"
+  "CMakeFiles/censys_search.dir/query.cc.o"
+  "CMakeFiles/censys_search.dir/query.cc.o.d"
+  "libcensys_search.a"
+  "libcensys_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

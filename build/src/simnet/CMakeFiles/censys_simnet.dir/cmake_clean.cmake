@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_simnet.dir/blocks.cc.o"
+  "CMakeFiles/censys_simnet.dir/blocks.cc.o.d"
+  "CMakeFiles/censys_simnet.dir/internet.cc.o"
+  "CMakeFiles/censys_simnet.dir/internet.cc.o.d"
+  "libcensys_simnet.a"
+  "libcensys_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

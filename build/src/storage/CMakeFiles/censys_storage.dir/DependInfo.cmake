@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/delta.cc" "src/storage/CMakeFiles/censys_storage.dir/delta.cc.o" "gcc" "src/storage/CMakeFiles/censys_storage.dir/delta.cc.o.d"
+  "/root/repo/src/storage/journal.cc" "src/storage/CMakeFiles/censys_storage.dir/journal.cc.o" "gcc" "src/storage/CMakeFiles/censys_storage.dir/journal.cc.o.d"
+  "/root/repo/src/storage/kv.cc" "src/storage/CMakeFiles/censys_storage.dir/kv.cc.o" "gcc" "src/storage/CMakeFiles/censys_storage.dir/kv.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/storage/CMakeFiles/censys_storage.dir/serialize.cc.o" "gcc" "src/storage/CMakeFiles/censys_storage.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/censys_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

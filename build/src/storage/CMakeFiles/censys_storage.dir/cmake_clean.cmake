@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_storage.dir/delta.cc.o"
+  "CMakeFiles/censys_storage.dir/delta.cc.o.d"
+  "CMakeFiles/censys_storage.dir/journal.cc.o"
+  "CMakeFiles/censys_storage.dir/journal.cc.o.d"
+  "CMakeFiles/censys_storage.dir/kv.cc.o"
+  "CMakeFiles/censys_storage.dir/kv.cc.o.d"
+  "CMakeFiles/censys_storage.dir/serialize.cc.o"
+  "CMakeFiles/censys_storage.dir/serialize.cc.o.d"
+  "libcensys_storage.a"
+  "libcensys_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

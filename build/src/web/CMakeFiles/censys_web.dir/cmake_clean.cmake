@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censys_web.dir/webprops.cc.o"
+  "CMakeFiles/censys_web.dir/webprops.cc.o.d"
+  "libcensys_web.a"
+  "libcensys_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censys_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

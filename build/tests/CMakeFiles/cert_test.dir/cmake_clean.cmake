@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cert_test.dir/cert_test.cc.o"
+  "CMakeFiles/cert_test.dir/cert_test.cc.o.d"
+  "cert_test"
+  "cert_test.pdb"
+  "cert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

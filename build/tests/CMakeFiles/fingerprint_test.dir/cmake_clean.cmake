@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprint_test.dir/fingerprint_test.cc.o"
+  "CMakeFiles/fingerprint_test.dir/fingerprint_test.cc.o.d"
+  "fingerprint_test"
+  "fingerprint_test.pdb"
+  "fingerprint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrogate_test.dir/interrogate_test.cc.o"
+  "CMakeFiles/interrogate_test.dir/interrogate_test.cc.o.d"
+  "interrogate_test"
+  "interrogate_test.pdb"
+  "interrogate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrogate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

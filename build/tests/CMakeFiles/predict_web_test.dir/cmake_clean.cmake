@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_web_test.dir/predict_web_test.cc.o"
+  "CMakeFiles/predict_web_test.dir/predict_web_test.cc.o.d"
+  "predict_web_test"
+  "predict_web_test.pdb"
+  "predict_web_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_web_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

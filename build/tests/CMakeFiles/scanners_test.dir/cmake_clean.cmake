@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanners_test.dir/scanners_test.cc.o"
+  "CMakeFiles/scanners_test.dir/scanners_test.cc.o.d"
+  "scanners_test"
+  "scanners_test.pdb"
+  "scanners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
