@@ -1,10 +1,17 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the library:
 // the ZMap-style permutation, SHA-256, delta encoding, journal writes,
-// journal reconstruction, search queries, and the simulated L4 probe path.
+// journal reconstruction, search queries, the simulated L4 probe path,
+// the executor thread pool, the metrics instruments, and the full staged
+// engine tick at several thread counts.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "core/executor.h"
+#include "core/metrics.h"
 #include "core/rng.h"
 #include "core/sha256.h"
+#include "engines/world.h"
 #include "fingerprint/fingerprints.h"
 #include "scan/cyclic.h"
 #include "search/index.h"
@@ -154,6 +161,96 @@ void BM_FingerprintCorpusEvaluate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FingerprintCorpusEvaluate);
+
+// --- executor ----------------------------------------------------------------
+
+void BM_ExecutorParallelFor(benchmark::State& state) {
+  Executor executor(static_cast<int>(state.range(0)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    executor.ParallelFor(n, [&](std::size_t i) {
+      // ~64 dependent hash rounds per index: the cost shape of an
+      // in-memory L7 interrogation (hashing, no I/O).
+      std::uint64_t h = i;
+      for (int r = 0; r < 64; ++r) h = SplitMix64(h);
+      out[i] = h;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ExecutorParallelFor)
+    ->Args({0, 4096})
+    ->Args({1, 4096})
+    ->Args({2, 4096})
+    ->Args({4, 4096})
+    ->Args({4, 64});
+
+// --- metrics overhead --------------------------------------------------------
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  metrics::Registry registry;
+  metrics::Counter& counter = registry.GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter.Add();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsUnboundHandleAdd(benchmark::State& state) {
+  const metrics::CounterHandle handle;  // unbound: the no-metrics fast path
+  for (auto _ : state) {
+    handle.Add();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_MetricsUnboundHandleAdd);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  metrics::Registry registry;
+  metrics::Histogram& hist = registry.GetHistogram("bench.hist");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    hist.Observe(static_cast<double>(i++ % 1024));
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+// --- staged engine tick ------------------------------------------------------
+
+// Whole-pipeline throughput at different executor sizes. Each iteration is
+// one 2-hour tick of a settled small world; items/sec is interrogations/sec
+// (stage 3 is the parallel stage and the dominant cost).
+void BM_EngineTick(benchmark::State& state) {
+  engines::WorldConfig cfg;
+  cfg.universe.seed = 5;
+  cfg.universe.universe_size = 1u << 16;
+  cfg.universe.target_services = 9000;
+  cfg.universe.ics_scale = 128;
+  cfg.with_alternatives = false;
+  cfg.censys.threads = static_cast<int>(state.range(0));
+  engines::World world(cfg);
+  world.Bootstrap();
+  world.RunForDays(1.0);  // settle into steady state before measuring
+
+  std::uint64_t interrogations = 0;
+  for (auto _ : state) {
+    world.RunForDays(1.0 / 12.0);  // exactly one tick
+    interrogations += world.censys().TickReport().interrogations;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(interrogations));
+}
+BENCHMARK(BM_EngineTick)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(12)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace censys

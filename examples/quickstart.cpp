@@ -19,6 +19,9 @@ int main() {
   config.universe.target_services = 8000;
   config.universe.ics_scale = 128;
   config.with_alternatives = false;  // just Censys for the quickstart
+  // Interrogation worker threads. The journal is byte-identical at any
+  // value, 0 (serial) included — try it.
+  config.censys.threads = 2;
 
   World world(config);
   std::printf("simulated Internet: %zu live services across %zu network blocks\n",
@@ -85,5 +88,17 @@ int main() {
     std::printf("  day %lld: %llu\n", static_cast<long long>(day),
                 static_cast<unsigned long long>(count));
   }
+
+  // --- 6. pipeline observability ---------------------------------------------
+  const TickStats& tick = censys.TickReport();
+  std::printf("\nlast tick: %llu candidates, %llu interrogations, "
+              "%llu ingests, %llu journal events (%.1f ms total, "
+              "%.1f ms interrogation)\n",
+              static_cast<unsigned long long>(tick.candidates),
+              static_cast<unsigned long long>(tick.interrogations),
+              static_cast<unsigned long long>(tick.ingests),
+              static_cast<unsigned long long>(tick.journal_events),
+              tick.total_us / 1000.0, tick.interrogate_us / 1000.0);
+  std::printf("\nmetrics registry:\n%s", censys.metrics().Render().c_str());
   return 0;
 }

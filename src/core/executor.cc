@@ -1,0 +1,112 @@
+#include "core/executor.h"
+
+#include <algorithm>
+
+namespace censys {
+
+Executor::Executor(int threads) {
+  threads = std::max(0, threads);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Executor::ParallelFor(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Single-threaded fallback: inline, in index order, exceptions
+    // propagate directly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::uint64_t epoch;
+  {
+    std::lock_guard lock(mu_);
+    fn_ = &fn;
+    batch_size_ = n;
+    next_index_ = 0;
+    completed_ = 0;
+    error_ = nullptr;
+    epoch = ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  RunBatch(&fn, epoch);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] { return completed_ == batch_size_; });
+    fn_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void Executor::RunBatch(const std::function<void(std::size_t)>* fn,
+                        std::uint64_t epoch) {
+  for (;;) {
+    std::size_t begin, end;
+    {
+      std::lock_guard lock(mu_);
+      if (epoch_ != epoch || next_index_ >= batch_size_) return;
+      // Claim a chunk: large enough to amortize the lock, small enough to
+      // keep every thread busy until the batch tail.
+      const std::size_t chunk = std::max<std::size_t>(
+          1, batch_size_ / (8 * (workers_.size() + 1)));
+      begin = next_index_;
+      end = std::min(begin + chunk, batch_size_);
+      next_index_ = end;
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard lock(mu_);
+      // The epoch cannot have advanced while we held claimed-but-uncounted
+      // indices (the owner is still waiting on them), so this is ours.
+      completed_ += end - begin;
+      if (completed_ == batch_size_) done_cv_.notify_all();
+    }
+  }
+}
+
+void Executor::WorkerLoop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::uint64_t epoch = 0;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || (epoch_ != seen_epoch && fn_ != nullptr &&
+                             next_index_ < batch_size_);
+      });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+      epoch = epoch_;
+    }
+    RunBatch(fn, epoch);
+  }
+}
+
+}  // namespace censys

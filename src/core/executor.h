@@ -1,0 +1,67 @@
+// A fixed-size thread pool with a batch ParallelFor API.
+//
+// This is the concurrency substrate of the staged tick pipeline: the engine
+// fans the L7 interrogation stage out across workers while discovery and
+// commit stay serial, the way the production system pipelines ZMap-style
+// discovery into parallel protocol scanners (§4.1–4.2).
+//
+// `threads = 0` is the single-threaded fallback: ParallelFor runs every
+// index inline, in order, on the calling thread. Because pipeline stages
+// only ever hand the executor *pure* tasks (results land in per-index
+// slots; all side effects are committed serially afterwards, in sequence
+// order), a run with threads = N is bit-identical to threads = 0 — tests
+// assert this on the event journal.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace censys {
+
+class Executor {
+ public:
+  // Spawns `threads` workers; 0 means inline execution (no threads at all).
+  explicit Executor(int threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(0) .. fn(n-1), blocking until all complete. The calling thread
+  // participates, so n tasks never wait behind an idle caller. Tasks must
+  // not submit nested ParallelFor calls on the same executor. If any task
+  // throws, the first exception (by completion order) is rethrown after
+  // the batch drains; the remaining tasks still run.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Claims indices from batch `epoch` until it is exhausted or superseded.
+  // `fn` is dereferenced only for indices claimed while the epoch is still
+  // current, which is what keeps a late-waking worker off a stale batch.
+  void RunBatch(const std::function<void(std::size_t)>* fn,
+                std::uint64_t epoch);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable done_cv_;   // caller waits for batch completion
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // current batch
+  std::size_t batch_size_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t epoch_ = 0;  // bumped per batch so workers notice new work
+  std::exception_ptr error_;
+  bool stopping_ = false;
+};
+
+}  // namespace censys

@@ -1,0 +1,152 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace censys::metrics {
+namespace {
+
+int BucketOf(double value) {
+  if (value < 1.0) return 0;
+  const int b = std::ilogb(value) + 1;
+  return std::min(b, Histogram::kBuckets - 1);
+}
+
+// Upper bound of bucket i (inclusive range end used for quantile reads).
+double BucketUpper(int i) { return i == 0 ? 1.0 : std::ldexp(1.0, i); }
+
+std::uint64_t ToMicroUnits(double v) {
+  return static_cast<std::uint64_t>(std::max(0.0, v) * 1e6);
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  if (!(value >= 0.0)) value = 0.0;  // clamp negatives and NaN
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micro_.fetch_add(ToMicroUnits(value), std::memory_order_relaxed);
+  std::uint64_t prev = max_micro_.load(std::memory_order_relaxed);
+  const std::uint64_t v = ToMicroUnits(value);
+  while (prev < v &&
+         !max_micro_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_micro_.load(std::memory_order_relaxed)) * 1e-6;
+}
+
+double Histogram::Mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Max() const {
+  return static_cast<double>(max_micro_.load(std::memory_order_relaxed)) * 1e-6;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpper(i);
+  }
+  return BucketUpper(kBuckets - 1);
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t Registry::CounterValue(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t Registry::GaugeValue(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+const Histogram* Registry::FindHistogram(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string Registry::Render() const {
+  // Merge the three instrument families into one name-sorted listing.
+  struct Line {
+    std::string name;
+    std::string text;
+  };
+  std::vector<Line> lines;
+  char buf[160];
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      std::snprintf(buf, sizeof(buf), "%-44s counter    %llu", name.c_str(),
+                    static_cast<unsigned long long>(c->value()));
+      lines.push_back({name, buf});
+    }
+    for (const auto& [name, g] : gauges_) {
+      std::snprintf(buf, sizeof(buf), "%-44s gauge      %lld", name.c_str(),
+                    static_cast<long long>(g->value()));
+      lines.push_back({name, buf});
+    }
+    for (const auto& [name, h] : histograms_) {
+      std::snprintf(buf, sizeof(buf),
+                    "%-44s histogram  count=%llu mean=%.1f p50=%.0f p99=%.0f "
+                    "max=%.1f",
+                    name.c_str(),
+                    static_cast<unsigned long long>(h->count()), h->Mean(),
+                    h->Quantile(0.5), h->Quantile(0.99), h->Max());
+      lines.push_back({name, buf});
+    }
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const Line& a, const Line& b) { return a.name < b.name; });
+  std::string out;
+  for (const Line& line : lines) {
+    out += line.text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace censys::metrics

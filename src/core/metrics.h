@@ -1,0 +1,154 @@
+// Lightweight metrics substrate threaded through every subsystem.
+//
+// A Registry owns named instruments — monotonic Counters, settable Gauges,
+// and exponential-bucket Histograms — that the pipeline stages update on
+// their hot paths. Instruments are lock-free after registration (atomics
+// only), so the parallel interrogation stage can record into them from
+// worker threads. Naming convention: `censys.<layer>.<name>`, e.g.
+// `censys.scan.probes_sent`, `censys.interrogate.latency_us`.
+//
+// Components hold null-safe *handles* bound via their BindMetrics() hook;
+// an unbound component (tests, standalone benches) pays a single branch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace censys::metrics {
+
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Power-of-two bucketed histogram over non-negative values. Bucket i counts
+// observations in [2^(i-1), 2^i) (bucket 0 covers [0, 1)), which spans
+// [0, ~5e11) with 40 buckets — plenty for microsecond timings and byte
+// sizes alike.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void Observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double Mean() const;
+  double Max() const;
+  // Approximate quantile (upper bound of the bucket holding rank q*count).
+  double Quantile(double q) const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  // Fixed-point micro-unit sum so the hot path stays a single fetch_add.
+  std::atomic<std::uint64_t> sum_micro_{0};
+  std::atomic<std::uint64_t> max_micro_{0};
+};
+
+class Registry {
+ public:
+  // Instruments are created on first use and live as long as the registry;
+  // returned references are stable.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  // Point-in-time reads by name; zero/absent-safe (used by TickReport).
+  std::uint64_t CounterValue(std::string_view name) const;
+  std::int64_t GaugeValue(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  // Human-readable dump, sorted by instrument name:
+  //   censys.scan.probes_sent            counter      123456
+  //   censys.interrogate.latency_us      histogram    count=99 mean=12.3 ...
+  std::string Render() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// --- null-safe handles --------------------------------------------------------
+// What components store after BindMetrics(); unbound handles no-op.
+
+struct CounterHandle {
+  Counter* counter = nullptr;
+  void Add(std::uint64_t delta = 1) const {
+    if (counter != nullptr) counter->Add(delta);
+  }
+};
+
+struct GaugeHandle {
+  Gauge* gauge = nullptr;
+  void Set(std::int64_t v) const {
+    if (gauge != nullptr) gauge->Set(v);
+  }
+};
+
+struct HistogramHandle {
+  Histogram* histogram = nullptr;
+  void Observe(double v) const {
+    if (histogram != nullptr) histogram->Observe(v);
+  }
+};
+
+inline CounterHandle BindCounter(Registry* registry, std::string_view name) {
+  return CounterHandle{registry ? &registry->GetCounter(name) : nullptr};
+}
+inline GaugeHandle BindGauge(Registry* registry, std::string_view name) {
+  return GaugeHandle{registry ? &registry->GetGauge(name) : nullptr};
+}
+inline HistogramHandle BindHistogram(Registry* registry,
+                                     std::string_view name) {
+  return HistogramHandle{registry ? &registry->GetHistogram(name) : nullptr};
+}
+
+// RAII wall-clock timer recording elapsed microseconds into a histogram on
+// destruction. Used for the per-stage timing scopes of the tick pipeline.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HistogramHandle handle) : handle_(handle) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { handle_.Observe(ElapsedMicros()); }
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  HistogramHandle handle_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace censys::metrics

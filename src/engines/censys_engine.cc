@@ -1,6 +1,7 @@
 #include "engines/censys_engine.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "pipeline/entity.h"
 #include "proto/banner.h"
@@ -31,6 +32,8 @@ CensysEngine::CensysEngine(simnet::Internet& net, cert::CtLog& ct_log,
   // §8: ~576 probes per public IP per day, spread over five /24s of
   // identifying source addresses.
   profile_ = simnet::ScannerProfile{1, "censys", 576.0, 1280.0};
+
+  executor_ = std::make_unique<Executor>(config_.threads);
 
   roots_ = cert::RootStore::Default();
   discovery_ = std::make_unique<scan::DiscoveryEngine>(
@@ -102,6 +105,31 @@ CensysEngine::CensysEngine(simnet::Internet& net, cert::CtLog& ct_log,
     };
     scheduler_->AddClass(std::move(background));
   }
+
+  // --- observability -----------------------------------------------------------
+  // Bind after every component and scan class exists so gauges cover them.
+  discovery_->BindMetrics(&metrics_);
+  scheduler_->BindMetrics(&metrics_);
+  interrogator_->BindMetrics(&metrics_);
+  journal_.BindMetrics(&metrics_);
+  write_side_->BindMetrics(&metrics_);
+  index_.BindMetrics(&metrics_);
+  ticks_metric_ = metrics::BindCounter(&metrics_, "censys.engine.ticks");
+  stage_discovery_metric_ =
+      metrics::BindHistogram(&metrics_, "censys.engine.stage.discovery_us");
+  stage_interrogate_metric_ =
+      metrics::BindHistogram(&metrics_, "censys.engine.stage.interrogate_us");
+  stage_parallel_metric_ = metrics::BindHistogram(
+      &metrics_, "censys.engine.stage.interrogate_parallel_us");
+  stage_refresh_metric_ =
+      metrics::BindHistogram(&metrics_, "censys.engine.stage.refresh_us");
+  stage_daily_metric_ =
+      metrics::BindHistogram(&metrics_, "censys.engine.stage.daily_us");
+  stage_commit_metric_ =
+      metrics::BindHistogram(&metrics_, "censys.engine.stage.commit_us");
+  tick_metric_ = metrics::BindHistogram(&metrics_, "censys.engine.tick_us");
+  rebuild_metric_ =
+      metrics::BindHistogram(&metrics_, "censys.search.rebuild_us");
 }
 
 double CensysEngine::BootstrapKnownProbability(const simnet::SimService& svc,
@@ -180,35 +208,83 @@ void CensysEngine::Bootstrap(Timestamp t0) {
   bus_.Drain();
 }
 
-void CensysEngine::ProcessCandidate(const scan::Candidate& candidate) {
-  if (exclusions_.IsExcluded(candidate.key.ip, candidate.discovered_at)) {
-    return;
+void CensysEngine::RunInterrogationBatch(
+    const std::vector<InterrogationJob>& jobs) {
+  if (jobs.empty()) return;
+
+  // Stage 3: fan detached interrogation out across the executor. Each job
+  // writes only its own result slot; everything it touches is const.
+  std::vector<interrogate::InterrogationResult> results(jobs.size());
+  {
+    metrics::ScopedTimer timer(stage_parallel_metric_);
+    executor_->ParallelFor(jobs.size(), [&](std::size_t i) {
+      const InterrogationJob& job = jobs[i];
+      if (!job.interrogate) return;
+      results[i] = interrogator_->InterrogateDetached(job.key, job.at, job.pop,
+                                                      job.udp_hint);
+    });
   }
-  // Already fresh? Skip (continuous scans rediscover known services all
-  // the time; the refresh path owns re-interrogation cadence).
-  if (const pipeline::ServiceState* state =
-          write_side_->GetState(candidate.key)) {
-    if (state->last_refreshed + config_.refresh_interval >
-        candidate.discovered_at) {
-      return;
+
+  // Stage 4+5: commit in candidate-sequence order (`jobs` is built in that
+  // order), so the journal is identical no matter how stage 3 interleaved.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const InterrogationJob& job = jobs[i];
+    const interrogate::InterrogationResult& result = results[i];
+    interrogator_->CommitResult(result);
+    if (result.record.has_value()) {
+      write_side_->IngestScan(*result.record);
+      if (job.observe_predictive) predictive_->ObserveService(job.key);
+    } else if (job.ingest_failure_on_miss) {
+      write_side_->IngestFailure(job.key, job.at);
     }
   }
+}
 
-  if (!config_.two_phase_validation) {
-    // Ablation: publish the L4 hit labeled by port assumption, the way
-    // naive pipelines do — no handshake, no validation (§4.1 explains why
-    // Censys does not do this).
-    ProcessThinRecord(candidate.key, candidate.discovered_at);
-    return;
+void CensysEngine::DrainScanQueue() {
+  // Wave loop: each wave takes at most one candidate per service key so the
+  // freshness check against write-side state observes the previous wave's
+  // commits — the same thing the old one-at-a-time loop got for free.
+  while (!scan_queue_.empty()) {
+    std::vector<InterrogationJob> jobs;
+    std::deque<scan::Candidate> deferred;
+    std::unordered_set<std::uint64_t> claimed;
+    while (!scan_queue_.empty()) {
+      const scan::Candidate candidate = scan_queue_.front();
+      scan_queue_.pop_front();
+      if (exclusions_.IsExcluded(candidate.key.ip, candidate.discovered_at)) {
+        continue;
+      }
+      // Already fresh? Skip (continuous scans rediscover known services all
+      // the time; the refresh path owns re-interrogation cadence).
+      if (const pipeline::ServiceState* state =
+              write_side_->GetState(candidate.key)) {
+        if (state->last_refreshed + config_.refresh_interval >
+            candidate.discovered_at) {
+          continue;
+        }
+      }
+      if (!config_.two_phase_validation) {
+        // Ablation: publish the L4 hit labeled by port assumption, the way
+        // naive pipelines do — no handshake, no validation (§4.1 explains
+        // why Censys does not do this).
+        ProcessThinRecord(candidate.key, candidate.discovered_at);
+        continue;
+      }
+      if (!claimed.insert(candidate.key.Pack()).second) {
+        deferred.push_back(candidate);
+        continue;
+      }
+      InterrogationJob job;
+      job.key = candidate.key;
+      job.at = candidate.discovered_at;
+      job.pop = next_pop_;
+      next_pop_ = (next_pop_ + 1) % config_.pop_count;
+      job.udp_hint = candidate.udp_protocol;
+      jobs.push_back(job);
+    }
+    scan_queue_ = std::move(deferred);
+    RunInterrogationBatch(jobs);
   }
-
-  const int pop = next_pop_;
-  next_pop_ = (next_pop_ + 1) % config_.pop_count;
-  auto record = interrogator_->Interrogate(
-      candidate.key, candidate.discovered_at, pop, candidate.udp_protocol);
-  if (!record.has_value()) return;
-  write_side_->IngestScan(*record);
-  predictive_->ObserveService(candidate.key);
 }
 
 void CensysEngine::ProcessThinRecord(ServiceKey key, Timestamp at) {
@@ -235,9 +311,9 @@ void CensysEngine::RunRefresh(Timestamp to) {
                         state.pending_eviction_since.has_value()});
     }
   });
-  for (const Due& item : due) {
-    if (!config_.two_phase_validation) {
-      // Naive-pipeline ablation: refresh is an L4 probe, no L7 validation.
+  if (!config_.two_phase_validation) {
+    // Naive-pipeline ablation: refresh is an L4 probe, no L7 validation.
+    for (const Due& item : due) {
       const int pop = next_pop_;
       next_pop_ = (next_pop_ + 1) % config_.pop_count;
       if (discovery_->ProbeOne(item.key, to, pop)) {
@@ -245,36 +321,44 @@ void CensysEngine::RunRefresh(Timestamp to) {
       } else {
         write_side_->IngestFailure(item.key, to);
       }
-      continue;
     }
+    return;
+  }
+
+  // Serial pre-pass: PoP rotation and opt-out decisions in due-list order,
+  // exactly as the serial loop made them.
+  std::vector<InterrogationJob> jobs;
+  jobs.reserve(due.size());
+  for (const Due& item : due) {
+    InterrogationJob job;
+    job.key = item.key;
+    job.at = to;
+    job.ingest_failure_on_miss = true;
+    job.observe_predictive = false;
     if (exclusions_.IsExcluded(item.key.ip, to)) {
       // Opted-out networks stop being refreshed; their services age into
       // pending eviction and drop out of the dataset.
-      write_side_->IngestFailure(item.key, to);
+      job.interrogate = false;
+      jobs.push_back(job);
       continue;
     }
     // "If a service appears unresponsive from one PoP, we attempt to scan
     // it from the other PoPs over the following 24 hours" — pending
     // services rotate PoPs on each retry.
-    const int pop = item.pending
-                        ? next_pop_
-                        : static_cast<int>(item.key.Pack() %
-                                           static_cast<std::uint64_t>(
-                                               config_.pop_count));
+    job.pop = item.pending
+                  ? next_pop_
+                  : static_cast<int>(item.key.Pack() %
+                                     static_cast<std::uint64_t>(
+                                         config_.pop_count));
     next_pop_ = (next_pop_ + 1) % config_.pop_count;
-    std::optional<proto::Protocol> udp_hint;
     if (item.key.transport == Transport::kUdp) {
       const auto assigned =
           proto::AssignedToPort(item.key.port, Transport::kUdp);
-      if (!assigned.empty()) udp_hint = assigned.front();
+      if (!assigned.empty()) job.udp_hint = assigned.front();
     }
-    auto record = interrogator_->Interrogate(item.key, to, pop, udp_hint);
-    if (record.has_value()) {
-      write_side_->IngestScan(*record);
-    } else {
-      write_side_->IngestFailure(item.key, to);
-    }
+    jobs.push_back(job);
   }
+  RunInterrogationBatch(jobs);
 }
 
 void CensysEngine::RunPredictive(Timestamp from, Timestamp to) {
@@ -287,13 +371,10 @@ void CensysEngine::RunPredictive(Timestamp from, Timestamp to) {
     const int pop = next_pop_;
     next_pop_ = (next_pop_ + 1) % config_.pop_count;
     if (!discovery_->ProbeOne(key, to, pop)) continue;
-    scan_queue_.push_back(scan::Candidate{key, to, "predictive", std::nullopt});
+    scan_queue_.push_back(
+        scan::Candidate{key, to, "predictive", std::nullopt, next_seq_++});
   }
-  while (!scan_queue_.empty()) {
-    const scan::Candidate candidate = scan_queue_.front();
-    scan_queue_.pop_front();
-    ProcessCandidate(candidate);
-  }
+  DrainScanQueue();
 }
 
 void CensysEngine::RunReinjection(Timestamp day_start) {
@@ -307,6 +388,9 @@ void CensysEngine::RunReinjection(Timestamp day_start) {
                      (static_cast<std::int64_t>(p.key.Pack() % 7) == day % 7);
     if (due) to_probe.push_back(p.key);
   });
+  // Serial L4 pre-pass; L4 responders go through the parallel stage with
+  // the same PoP their probe used.
+  std::vector<InterrogationJob> jobs;
   for (ServiceKey key : to_probe) {
     const int pop = next_pop_;
     next_pop_ = (next_pop_ + 1) % config_.pop_count;
@@ -316,12 +400,14 @@ void CensysEngine::RunReinjection(Timestamp day_start) {
       if (!assigned.empty()) udp_hint = assigned.front();
     }
     if (!discovery_->ProbeOne(key, day_start, pop, udp_hint)) continue;
-    auto record = interrogator_->Interrogate(key, day_start, pop, udp_hint);
-    if (record.has_value()) {
-      write_side_->IngestScan(*record);
-      predictive_->ObserveService(key);
-    }
+    InterrogationJob job;
+    job.key = key;
+    job.at = day_start;
+    job.pop = pop;
+    job.udp_hint = udp_hint;
+    jobs.push_back(job);
   }
+  RunInterrogationBatch(jobs);
 }
 
 void CensysEngine::TakeAnalyticsSnapshot(Timestamp day_start) {
@@ -345,20 +431,52 @@ void CensysEngine::TakeAnalyticsSnapshot(Timestamp day_start) {
 }
 
 void CensysEngine::Tick(Timestamp from, Timestamp to) {
-  scheduler_->Tick(from, to, [this](const scan::Candidate& candidate) {
-    scan_queue_.push_back(candidate);
-  });
-  while (!scan_queue_.empty()) {
-    const scan::Candidate candidate = scan_queue_.front();
-    scan_queue_.pop_front();
-    ProcessCandidate(candidate);
+  const metrics::ScopedTimer tick_timer(tick_metric_);
+  ticks_metric_.Add();
+  TickStats stats;
+  const std::uint64_t candidates0 =
+      metrics_.CounterValue("censys.scan.candidates");
+  const std::uint64_t attempts0 =
+      metrics_.CounterValue("censys.interrogate.attempts");
+  const std::uint64_t handshakes0 =
+      metrics_.CounterValue("censys.interrogate.handshakes");
+  const std::uint64_t ingests0 =
+      metrics_.CounterValue("censys.pipeline.ingest_scans");
+  const std::uint64_t failures0 =
+      metrics_.CounterValue("censys.pipeline.ingest_failures");
+  const std::uint64_t events0 = metrics_.CounterValue("censys.storage.events");
+
+  // Stage 1: L4 discovery. Candidates are stamped with a sequence number in
+  // discovery order; everything downstream commits in that order.
+  {
+    metrics::ScopedTimer timer(stage_discovery_metric_);
+    scheduler_->Tick(from, to, [this](const scan::Candidate& candidate) {
+      scan::Candidate stamped = candidate;
+      stamped.seq = next_seq_++;
+      scan_queue_.push_back(stamped);
+    });
+    stats.discovery_us = timer.ElapsedMicros();
   }
 
-  RunRefresh(to);
-  if (config_.enable_predictive) RunPredictive(from, to);
+  // Stages 2-5 for this tick's discoveries: queue -> parallel L7
+  // interrogation -> validation -> in-sequence CQRS ingest.
+  {
+    metrics::ScopedTimer timer(stage_interrogate_metric_);
+    DrainScanQueue();
+    stats.interrogate_us = timer.ElapsedMicros();
+  }
+
+  // Refresh cadence + predictive discoveries ride the same staged path.
+  {
+    metrics::ScopedTimer timer(stage_refresh_metric_);
+    RunRefresh(to);
+    if (config_.enable_predictive) RunPredictive(from, to);
+    stats.refresh_us = timer.ElapsedMicros();
+  }
 
   const std::int64_t day = to.minutes / 1440;
   if (day != last_daily_run_) {
+    metrics::ScopedTimer timer(stage_daily_metric_);
     last_daily_run_ = day;
     const Timestamp day_start{day * 1440};
     RunReinjection(day_start);
@@ -373,10 +491,31 @@ void CensysEngine::Tick(Timestamp from, Timestamp to) {
     }
     cert_store_.RevalidateAll(day_start);
     TakeAnalyticsSnapshot(day_start);
+    stats.daily_us = timer.ElapsedMicros();
   }
 
-  write_side_->AdvanceTo(to);
-  bus_.Drain();
+  // Final stage: eviction sweep and async event delivery.
+  {
+    metrics::ScopedTimer timer(stage_commit_metric_);
+    write_side_->AdvanceTo(to);
+    stats.bus_events = bus_.Drain();
+    stats.commit_us = timer.ElapsedMicros();
+  }
+
+  stats.candidates =
+      metrics_.CounterValue("censys.scan.candidates") - candidates0;
+  stats.interrogations =
+      metrics_.CounterValue("censys.interrogate.attempts") - attempts0;
+  stats.handshakes =
+      metrics_.CounterValue("censys.interrogate.handshakes") - handshakes0;
+  stats.ingests =
+      metrics_.CounterValue("censys.pipeline.ingest_scans") - ingests0;
+  stats.failures =
+      metrics_.CounterValue("censys.pipeline.ingest_failures") - failures0;
+  stats.journal_events =
+      metrics_.CounterValue("censys.storage.events") - events0;
+  stats.total_us = tick_timer.ElapsedMicros();
+  last_tick_ = stats;
 }
 
 EngineEntry CensysEngine::EntryFor(const pipeline::ServiceState& state) const {
@@ -442,6 +581,7 @@ std::optional<interrogate::ServiceRecord> CensysEngine::RequestScan(
 }
 
 std::size_t CensysEngine::RebuildSearchIndex() {
+  const metrics::ScopedTimer timer(rebuild_metric_);
   std::size_t indexed = 0;
   journal_.ForEachEntity(
       [&](std::string_view entity_id, const storage::FieldMap& fields) {

@@ -1,12 +1,25 @@
-// The Censys engine: the paper's full architecture wired together.
+// The Censys engine: the paper's full architecture wired together as an
+// explicit staged tick pipeline.
 //
-//   L4 discovery (3 continuous scan classes, multi-PoP)      §4.1
-//     -> scan queue -> L7 interrogation (LZR detection)      §4.2
-//     -> CQRS write side -> Bigtable-style event journal     §5.2
-//     -> async event bus -> read side + enrichment           §5.2
+//   stage 1  L4 discovery (3 continuous scan classes, multi-PoP)   §4.1
+//   stage 2  sequence-stamped candidate queue
+//   stage 3  L7 interrogation (LZR detection) — fanned out across
+//            a core::Executor thread pool                          §4.2
+//   stage 4  validation + deterministic in-sequence commit
+//   stage 5  CQRS write side -> Bigtable-style event journal       §5.2
+//            -> async event bus -> read side + enrichment
 //   plus: predictive scanning, daily refresh, 72-hour
 //   eviction with 60-day re-injection, CT polling, web
-//   properties, daily analytics snapshots.                   §4.1–5.3
+//   properties, daily analytics snapshots.                         §4.1–5.3
+//
+// Stage 3 is the dominant cost and the only parallel stage: interrogation
+// is pure (InterrogateDetached), PoPs are assigned serially before fan-out,
+// and results are committed in candidate-sequence order — so a run with
+// Config::threads = N produces a byte-identical event journal to the
+// threads = 0 single-threaded fallback.
+//
+// Every layer reports into a metrics::Registry (names follow
+// `censys.<layer>.<name>`); TickReport() summarizes the last tick.
 #pragma once
 
 #include <deque>
@@ -15,6 +28,8 @@
 
 #include "cert/ct.h"
 #include "cert/store.h"
+#include "core/executor.h"
+#include "core/metrics.h"
 #include "engines/engine.h"
 #include "fingerprint/fingerprints.h"
 #include "fingerprint/vulns.h"
@@ -34,11 +49,35 @@
 
 namespace censys::engines {
 
+// Per-tick pipeline summary: counter deltas across the tick plus wall-clock
+// stage timings. Aggregates live in the metrics registry.
+struct TickStats {
+  std::uint64_t candidates = 0;      // stage-1 L4 responders queued
+  std::uint64_t interrogations = 0;  // stage-3 detached interrogations
+  std::uint64_t handshakes = 0;      // completed L7 sessions
+  std::uint64_t ingests = 0;         // stage-5 records ingested
+  std::uint64_t failures = 0;        // failed refreshes ingested
+  std::uint64_t journal_events = 0;  // journal rows written
+  std::uint64_t bus_events = 0;      // async events drained
+
+  double discovery_us = 0;    // stage 1
+  double interrogate_us = 0;  // stages 2-5 for discovered candidates
+  double refresh_us = 0;      // refresh + predictive re-interrogation
+  double daily_us = 0;        // daily jobs (reinjection, CT, analytics)
+  double commit_us = 0;       // eviction sweep + event-bus drain
+  double total_us = 0;
+};
+
 class CensysEngine : public ScanEngine {
  public:
   struct Config {
     std::uint64_t seed = 1;
     int pop_count = 3;  // Chicago, Frankfurt, Hong Kong (§4.5)
+
+    // Interrogation worker threads. 0 = single-threaded fallback: the
+    // pipeline runs the exact same staged code path inline, and the event
+    // journal is byte-identical to any threads > 0 run.
+    int threads = 0;
 
     // Scan classes (§4.1).
     std::size_t priority_top_ports = 100;   // most responsive ports, daily
@@ -80,6 +119,14 @@ class CensysEngine : public ScanEngine {
   std::uint64_t SelfReportedCount() const override;
   bool SupportsProtocolQuery(proto::Protocol) const override { return true; }
 
+  // --- observability ----------------------------------------------------------
+  // Summary of the most recent Tick (counter deltas + stage timings).
+  const TickStats& TickReport() const { return last_tick_; }
+  // Cumulative instruments for every layer; Render() gives the text dump
+  // used by benches and examples.
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
   // --- component access (examples, benches) -----------------------------------
   const pipeline::ReadSide& read_side() const { return *read_side_; }
   pipeline::WriteSide& write_side() { return *write_side_; }
@@ -98,6 +145,7 @@ class CensysEngine : public ScanEngine {
   const simnet::ScannerProfile& profile() const { return profile_; }
   std::uint64_t probes_sent() const { return discovery_->probes_sent(); }
   const Config& config() const { return config_; }
+  Executor& executor() { return *executor_; }
 
   // Certificate entities (§4.4) and secondary pivot tables (§5.2).
   const cert::CertificateStore& cert_store() const { return cert_store_; }
@@ -116,8 +164,30 @@ class CensysEngine : public ScanEngine {
   const search::SearchIndex& search_index() const { return index_; }
 
  private:
+  // One unit of stage-3 work. PoP and UDP hint are assigned serially in
+  // candidate-sequence order before fan-out; the commit flags say how the
+  // outcome feeds stage 5.
+  struct InterrogationJob {
+    ServiceKey key;
+    Timestamp at;
+    int pop = 0;
+    std::optional<proto::Protocol> udp_hint;
+    // false: skip interrogation and commit a failure (opted-out refresh).
+    bool interrogate = true;
+    // Refresh semantics: a miss is journaled as a failed refresh.
+    bool ingest_failure_on_miss = false;
+    // Discovery semantics: a hit trains the predictive engine.
+    bool observe_predictive = true;
+  };
+
   EngineEntry EntryFor(const pipeline::ServiceState& state) const;
-  void ProcessCandidate(const scan::Candidate& candidate);
+  // Stages 2-5 for everything queued: builds per-wave job lists (one job
+  // per key per wave so freshness checks see earlier commits), fans
+  // interrogation out, commits in sequence order.
+  void DrainScanQueue();
+  // Stage 3+4 core: parallel detached interrogation of `jobs`, then
+  // serial in-order commit into the write side.
+  void RunInterrogationBatch(const std::vector<InterrogationJob>& jobs);
   // Naive-pipeline ablation path: journal an unvalidated port-labeled
   // record for an L4 responder.
   void ProcessThinRecord(ServiceKey key, Timestamp at);
@@ -132,6 +202,11 @@ class CensysEngine : public ScanEngine {
   cert::CtLog& ct_log_;
   Config config_;
   simnet::ScannerProfile profile_;
+
+  // Declared before every component that binds instruments so handles
+  // stay valid for the components' full lifetime.
+  metrics::Registry metrics_;
+  std::unique_ptr<Executor> executor_;
 
   scan::ExclusionList exclusions_;
   std::unique_ptr<scan::DiscoveryEngine> discovery_;
@@ -155,10 +230,22 @@ class CensysEngine : public ScanEngine {
   search::AnalyticsStore analytics_;
 
   std::deque<scan::Candidate> scan_queue_;
+  std::uint64_t next_seq_ = 0;  // discovery-order candidate stamp
   std::unordered_set<std::uint64_t> priority_port_set_;
   Rng rng_;
   std::int64_t last_daily_run_ = -1;
   int next_pop_ = 0;
+
+  TickStats last_tick_;
+  metrics::CounterHandle ticks_metric_;
+  metrics::HistogramHandle stage_discovery_metric_;
+  metrics::HistogramHandle stage_interrogate_metric_;
+  metrics::HistogramHandle stage_parallel_metric_;
+  metrics::HistogramHandle stage_refresh_metric_;
+  metrics::HistogramHandle stage_daily_metric_;
+  metrics::HistogramHandle stage_commit_metric_;
+  metrics::HistogramHandle tick_metric_;
+  metrics::HistogramHandle rebuild_metric_;
 };
 
 }  // namespace censys::engines

@@ -8,20 +8,96 @@
 
 namespace censys::interrogate {
 
+void Interrogator::BindMetrics(metrics::Registry* registry) {
+  attempts_metric_ = metrics::BindCounter(registry,
+                                          "censys.interrogate.attempts");
+  no_answer_metric_ = metrics::BindCounter(registry,
+                                           "censys.interrogate.no_answer");
+  handshakes_metric_ = metrics::BindCounter(registry,
+                                            "censys.interrogate.handshakes");
+  validated_metric_ = metrics::BindCounter(registry,
+                                           "censys.interrogate.validated");
+  unvalidated_metric_ = metrics::BindCounter(
+      registry, "censys.interrogate.unvalidated");
+  latency_metric_ = metrics::BindHistogram(registry,
+                                           "censys.interrogate.latency_us");
+}
+
 std::optional<ServiceRecord> Interrogator::Interrogate(
     ServiceKey key, Timestamp t, int pop_id,
     std::optional<proto::Protocol> udp_hint, std::string_view sni_name) {
+  InterrogationResult result =
+      InterrogateDetached(key, t, pop_id, udp_hint, sni_name);
+  CommitResult(result);
+  return result.record;
+}
+
+InterrogationResult Interrogator::InterrogateDetached(
+    ServiceKey key, Timestamp t, int pop_id,
+    std::optional<proto::Protocol> udp_hint, std::string_view sni_name) const {
+  metrics::ScopedTimer timer(latency_metric_);
+  attempts_metric_.Add();
+
+  InterrogationResult result;
+  result.key = key;
+  result.at = t;
+  result.pop_id = pop_id;
+
   const simnet::ProbeContext ctx{&profile_, pop_id};
-  const auto session = net_.ConnectL7(ctx, key, t);
-  if (!session.has_value()) return std::nullopt;
-  return BuildRecord(*session, t, udp_hint, sni_name);
+  const auto session = net_.PeekL7(ctx, key, t);
+  if (!session.has_value()) {
+    no_answer_metric_.Add();
+    return result;
+  }
+  result.connected = true;
+  result.honeypot = session->service.honeypot;
+  result.record = BuildRecordDetached(*session, t, udp_hint, sni_name, result);
+  return result;
+}
+
+void Interrogator::CommitResult(const InterrogationResult& result) {
+  if (!result.connected) return;
+  ++handshakes_;
+  handshakes_metric_.Add();
+  if (result.record.has_value() && result.record->handshake_validated) {
+    validated_metric_.Add();
+  } else {
+    unvalidated_metric_.Add();
+  }
+  if (result.honeypot) {
+    const simnet::ProbeContext ctx{&profile_, result.pop_id};
+    net_.NoteHoneypotContact(ctx, result.key, result.at);
+  }
+  if (cert_observer_) {
+    for (const cert::Certificate& certificate : result.certs) {
+      cert_observer_(certificate, result.key, result.at);
+    }
+  }
 }
 
 ServiceRecord Interrogator::BuildRecord(const simnet::L7Session& session,
                                         Timestamp t,
                                         std::optional<proto::Protocol> udp_hint,
                                         std::string_view sni_name) {
-  ++handshakes_;
+  InterrogationResult result;
+  result.key = session.service.key;
+  result.at = t;
+  result.connected = true;
+  // Warm-start replays never contact honeypots (those are injected later),
+  // and the serial Interrogate path reports contact via ConnectL7 parity:
+  // the honeypot flag rides on the session either way.
+  result.honeypot = session.service.honeypot;
+  ServiceRecord record =
+      BuildRecordDetached(session, t, udp_hint, sni_name, result);
+  result.record = record;
+  CommitResult(result);
+  return record;
+}
+
+ServiceRecord Interrogator::BuildRecordDetached(
+    const simnet::L7Session& session, Timestamp t,
+    std::optional<proto::Protocol> udp_hint, std::string_view sni_name,
+    InterrogationResult& out) const {
   const simnet::SimService& svc = session.service;
   ServiceRecord record;
   record.key = svc.key;
@@ -92,7 +168,7 @@ ServiceRecord Interrogator::BuildRecord(const simnet::L7Session& session,
         tls->cert_seed, svc.requires_sni ? svc.sni_name : std::string_view{},
         Timestamp{0});
     record.cert_sha256 = presented.Sha256Hex();
-    if (cert_observer_) cert_observer_(presented, svc.key, t);
+    out.certs.push_back(presented);
   }
 
   return record;

@@ -20,8 +20,22 @@ WriteSide::WriteSide(storage::EventJournal& journal, EventBus& bus,
                      Options options)
     : journal_(journal), bus_(bus), options_(options) {}
 
+void WriteSide::BindMetrics(metrics::Registry* registry) {
+  ingest_metric_ =
+      metrics::BindCounter(registry, "censys.pipeline.ingest_scans");
+  failure_metric_ =
+      metrics::BindCounter(registry, "censys.pipeline.ingest_failures");
+  eviction_metric_ =
+      metrics::BindCounter(registry, "censys.pipeline.evictions");
+  pseudo_metric_ =
+      metrics::BindCounter(registry, "censys.pipeline.pseudo_suppressed");
+  tracked_metric_ =
+      metrics::BindGauge(registry, "censys.pipeline.tracked_services");
+}
+
 void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
   ++scans_ingested_;
+  ingest_metric_.Add();
   const std::uint64_t packed = record.key.Pack();
   const std::uint32_t host = record.key.ip.value();
 
@@ -29,6 +43,7 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
   if (options_.filter_pseudo_services) {
     if (pseudo_hosts_.contains(host)) {
       ++pseudo_suppressed_;
+      pseudo_metric_.Add();
       return;
     }
     HostCounts& counts = host_counts_[host];
@@ -51,8 +66,10 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
                           record.observed_at, delta);
           states_.erase(key.Pack());
           ++pseudo_suppressed_;
+          pseudo_metric_.Add();
         }
       }
+      tracked_metric_.Set(static_cast<std::int64_t>(states_.size()));
       return;
     }
   }
@@ -82,9 +99,11 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
     journal_.Append(entity, kind, record.observed_at, delta);
     bus_.Publish(PipelineEvent{entity, record.key, kind, record.observed_at});
   }
+  tracked_metric_.Set(static_cast<std::int64_t>(states_.size()));
 }
 
 void WriteSide::IngestFailure(ServiceKey key, Timestamp at) {
+  failure_metric_.Add();
   const auto it = states_.find(key.Pack());
   if (it == states_.end()) return;
   it->second.last_refreshed = at;
@@ -124,6 +143,8 @@ void WriteSide::Evict(const ServiceState& state, Timestamp now) {
   states_.erase(state.key.Pack());
   pruned_.push_back(PrunedEntry{state.key, now});
   ++evictions_;
+  eviction_metric_.Add();
+  tracked_metric_.Set(static_cast<std::int64_t>(states_.size()));
 }
 
 const ServiceState* WriteSide::GetState(ServiceKey key) const {

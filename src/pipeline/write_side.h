@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/metrics.h"
 #include "interrogate/record.h"
 #include "storage/journal.h"
 
@@ -111,6 +112,10 @@ class WriteSide {
   std::uint64_t services_evicted() const { return evictions_; }
   std::uint64_t pseudo_suppressed() const { return pseudo_suppressed_; }
 
+  // Registers censys.pipeline.* instruments (ingests, failures, evictions,
+  // pseudo suppressions, tracked-service gauge).
+  void BindMetrics(metrics::Registry* registry);
+
  private:
   void Evict(const ServiceState& state, Timestamp now);
 
@@ -137,6 +142,12 @@ class WriteSide {
   std::uint64_t scans_ingested_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t pseudo_suppressed_ = 0;
+
+  metrics::CounterHandle ingest_metric_;
+  metrics::CounterHandle failure_metric_;
+  metrics::CounterHandle eviction_metric_;
+  metrics::CounterHandle pseudo_metric_;
+  metrics::GaugeHandle tracked_metric_;
 };
 
 }  // namespace censys::pipeline

@@ -14,6 +14,14 @@ DiscoveryEngine::DiscoveryEngine(simnet::Internet& net,
     : net_(net), profile_(std::move(profile)), pop_count_(pop_count),
       seed_(seed) {}
 
+void DiscoveryEngine::BindMetrics(metrics::Registry* registry) {
+  probes_metric_ = metrics::BindCounter(registry, "censys.scan.probes_sent");
+  filtered_metric_ =
+      metrics::BindCounter(registry, "censys.scan.probes_filtered");
+  candidates_metric_ =
+      metrics::BindCounter(registry, "censys.scan.candidates");
+}
+
 double DiscoveryEngine::SlotOf(ServiceKey key, std::uint64_t pass_index,
                                std::string_view klass_name) const {
   const std::uint64_t h = SplitMix64(
@@ -34,9 +42,11 @@ bool DiscoveryEngine::InScope(const ScanClass& klass, IPv4Address ip) const {
 bool DiscoveryEngine::ProbeOne(ServiceKey key, Timestamp t, int pop_id,
                                std::optional<proto::Protocol> udp_protocol) {
   if (exclusions_ != nullptr && exclusions_->IsExcluded(key.ip, t)) {
+    filtered_metric_.Add();
     return false;
   }
   ++probes_sent_;
+  probes_metric_.Add();
   (void)udp_protocol;  // the probe payload; matching is checked by caller
   const simnet::ProbeContext ctx{&profile_, pop_id};
   return net_.L4Probe(ctx, key, t);
@@ -60,6 +70,7 @@ void DiscoveryEngine::RunPassChunk(const ScanClass& klass,
   };
   auto in_scope = [&](IPv4Address ip) {
     if (exclusions_ != nullptr && exclusions_->IsExcluded(ip, to)) {
+      filtered_metric_.Add();
       return false;
     }
     if (scoped_blocks.empty()) return true;
@@ -70,8 +81,10 @@ void DiscoveryEngine::RunPassChunk(const ScanClass& klass,
   const double chunk_fraction =
       static_cast<double>((to - from).minutes) /
       static_cast<double>(klass.period.minutes);
-  probes_sent_ += static_cast<std::uint64_t>(
+  const auto chunk_probes = static_cast<std::uint64_t>(
       static_cast<double>(PassProbeCount(klass)) * chunk_fraction);
+  probes_sent_ += chunk_probes;
+  probes_metric_.Add(chunk_probes);
 
   // --- live services whose slot falls in this chunk -------------------------
   net_.ForEachActiveService(to, [&](const simnet::SimService& s) {
@@ -100,7 +113,8 @@ void DiscoveryEngine::RunPassChunk(const ScanClass& klass,
     next_pop_ = (next_pop_ + 1) % pop_count_;
     const simnet::ProbeContext ctx{&profile_, pop};
     if (!net_.L4Probe(ctx, s.key, when)) return;
-    emit(Candidate{s.key, when, klass.name, udp_protocol});
+    candidates_metric_.Add();
+    emit(Candidate{s.key, when, klass.name, udp_protocol, 0});
   });
 
   // --- pseudo hosts answer on every TCP port --------------------------------
@@ -114,7 +128,8 @@ void DiscoveryEngine::RunPassChunk(const ScanClass& klass,
       next_pop_ = (next_pop_ + 1) % pop_count_;
       const simnet::ProbeContext ctx{&profile_, pop};
       if (!net_.L4Probe(ctx, key, when)) continue;
-      emit(Candidate{key, when, klass.name, std::nullopt});
+      candidates_metric_.Add();
+      emit(Candidate{key, when, klass.name, std::nullopt, 0});
     }
   });
 }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/metrics.h"
 #include "core/rng.h"
 #include "core/types.h"
 #include "simnet/internet.h"
@@ -38,6 +39,11 @@ struct Candidate {
   std::string_view source;
   // For UDP targets, the protocol whose probe elicited the response.
   std::optional<proto::Protocol> udp_protocol;
+  // Discovery-order stamp assigned when the candidate enters the engine's
+  // queue. The interrogation stage may fan out across threads, but results
+  // are committed to the write side in ascending `seq`, which is what makes
+  // parallel runs journal-identical to serial ones.
+  std::uint64_t seq = 0;
 };
 
 // A recurring discovery scan over (ports x address space).
@@ -84,6 +90,10 @@ class DiscoveryEngine {
   const simnet::ScannerProfile& profile() const { return profile_; }
   int pop_count() const { return pop_count_; }
 
+  // Registers censys.scan.* instruments: probes sent, exclusion-filtered
+  // probes, and emitted candidates.
+  void BindMetrics(metrics::Registry* registry);
+
  private:
   // Deterministic slot of `key` within a pass window, as a fraction [0,1).
   double SlotOf(ServiceKey key, std::uint64_t pass_index,
@@ -97,6 +107,10 @@ class DiscoveryEngine {
   const class ExclusionList* exclusions_ = nullptr;
   std::uint64_t probes_sent_ = 0;
   int next_pop_ = 0;
+
+  metrics::CounterHandle probes_metric_;
+  metrics::CounterHandle filtered_metric_;
+  metrics::CounterHandle candidates_metric_;
 };
 
 // Builds the port slice the background 65K scan covers on pass `pass_index`

@@ -4,12 +4,25 @@
 
 namespace censys::scan {
 
+void ScanScheduler::BindMetrics(metrics::Registry* registry) {
+  metrics_ = registry;
+  for (ScheduledClass& scheduled : classes_) {
+    scheduled.progress_metric = metrics::BindGauge(
+        registry, "censys.scan.pass_permille." + scheduled.klass.name);
+  }
+}
+
 void ScanScheduler::Tick(Timestamp from, Timestamp to,
                          const DiscoveryEngine::EmitFn& emit) {
   for (ScheduledClass& scheduled : classes_) {
     ScanClass& klass = scheduled.klass;
     if (!klass.enabled) continue;
     const std::int64_t period = klass.period.minutes;
+    if (metrics_ != nullptr && scheduled.progress_metric.gauge == nullptr) {
+      // Classes added after BindMetrics (ablation benches) bind here.
+      scheduled.progress_metric = metrics::BindGauge(
+          metrics_, "censys.scan.pass_permille." + klass.name);
+    }
 
     // Walk the pass windows overlapping [from, to).
     std::int64_t cursor = from.minutes;
@@ -25,6 +38,8 @@ void ScanScheduler::Tick(Timestamp from, Timestamp to,
       }
       engine_.RunPassChunk(klass, pass_index, Timestamp{cursor},
                            Timestamp{chunk_end}, emit);
+      scheduled.progress_metric.Set(
+          (chunk_end - (pass_end - period)) * 1000 / period);
       cursor = chunk_end;
     }
   }

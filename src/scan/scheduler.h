@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/metrics.h"
 #include "scan/discovery.h"
 
 namespace censys::scan {
@@ -22,6 +23,9 @@ struct ScheduledClass {
   // If set, called once per pass to produce that pass's port set (the
   // background sweep's rotating slice). Otherwise klass.ports is fixed.
   std::function<std::vector<Port>(std::uint64_t pass_index)> port_provider;
+  // Per-class pass progress, permille of the current pass window covered
+  // (`censys.scan.pass_permille.<class>`). Bound lazily on first tick.
+  metrics::GaugeHandle progress_metric;
 };
 
 class ScanScheduler {
@@ -41,9 +45,13 @@ class ScanScheduler {
   // ablation benches.
   bool SetEnabled(std::string_view name, bool enabled);
 
+  // Registers per-class pass-progress gauges on `registry`.
+  void BindMetrics(metrics::Registry* registry);
+
  private:
   DiscoveryEngine& engine_;
   std::vector<ScheduledClass> classes_;
+  metrics::Registry* metrics_ = nullptr;
 };
 
 }  // namespace censys::scan

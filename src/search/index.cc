@@ -38,6 +38,12 @@ std::vector<std::string> SearchIndex::Tokenize(std::string_view value) {
   return tokens;
 }
 
+void SearchIndex::BindMetrics(metrics::Registry* registry) {
+  docs_metric_ = metrics::BindGauge(registry, "censys.search.docs");
+  indexed_metric_ = metrics::BindCounter(registry, "censys.search.indexed");
+  queries_metric_ = metrics::BindCounter(registry, "censys.search.queries");
+}
+
 void SearchIndex::Index(std::string_view doc_id,
                         const storage::FieldMap& fields) {
   Remove(doc_id);
@@ -50,6 +56,8 @@ void SearchIndex::Index(std::string_view doc_id,
     }
   }
   docs_[id] = fields;
+  indexed_metric_.Add();
+  docs_metric_.Set(static_cast<std::int64_t>(docs_.size()));
 }
 
 void SearchIndex::Remove(std::string_view doc_id) {
@@ -71,10 +79,12 @@ void SearchIndex::Remove(std::string_view doc_id) {
     }
   }
   docs_.erase(it);
+  docs_metric_.Set(static_cast<std::int64_t>(docs_.size()));
 }
 
 std::vector<std::string> SearchIndex::Search(std::string_view query,
                                              std::string* error) const {
+  queries_metric_.Add();
   const auto parsed = ParseQuery(query, error);
   if (!parsed.has_value()) return {};
   return Execute(*parsed);

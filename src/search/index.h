@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/metrics.h"
 #include "search/query.h"
 #include "storage/delta.h"
 
@@ -35,6 +36,10 @@ class SearchIndex {
   std::size_t term_count() const { return postings_.size(); }
   const storage::FieldMap* GetDocument(std::string_view doc_id) const;
 
+  // Registers censys.search.* instruments (docs gauge, index operations;
+  // rebuild timing is recorded by the engine's RebuildSearchIndex).
+  void BindMetrics(metrics::Registry* registry);
+
  private:
   using DocSet = std::set<std::string>;
 
@@ -47,6 +52,10 @@ class SearchIndex {
   std::map<std::string, DocSet, std::less<>> postings_;
   // field -> doc ids that have the field (accelerates wildcard terms).
   std::map<std::string, DocSet, std::less<>> field_docs_;
+
+  metrics::GaugeHandle docs_metric_;
+  metrics::CounterHandle indexed_metric_;
+  metrics::CounterHandle queries_metric_;
 };
 
 }  // namespace censys::search

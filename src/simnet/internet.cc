@@ -343,7 +343,7 @@ bool Internet::ScannerBlocked(const NetworkBlock& block,
 }
 
 bool Internet::Visible(const ProbeContext& ctx, IPv4Address ip, Timestamp t,
-                       std::uint64_t probe_salt) {
+                       std::uint64_t probe_salt) const {
   if (ip.value() >= plan_.universe_size()) return false;
   const NetworkBlock& block = plan_.BlockOf(ip);
   if (block.type == NetworkType::kUnused) return true;  // dark, but routable
@@ -369,6 +369,15 @@ bool Internet::L4Probe(const ProbeContext& ctx, ServiceKey key, Timestamp t) {
 
 std::optional<L7Session> Internet::ConnectL7(const ProbeContext& ctx,
                                              ServiceKey key, Timestamp t) {
+  auto session = PeekL7(ctx, key, t);
+  if (session.has_value() && session->service.honeypot) {
+    NoteHoneypotContact(ctx, key, t);
+  }
+  return session;
+}
+
+std::optional<L7Session> Internet::PeekL7(const ProbeContext& ctx,
+                                          ServiceKey key, Timestamp t) const {
   if (!Visible(ctx, key.ip, t, key.Pack() ^ 0x17)) return std::nullopt;
 
   if (key.transport == Transport::kTcp) {
@@ -390,17 +399,18 @@ std::optional<L7Session> Internet::ConnectL7(const ProbeContext& ctx,
   if (it == services_.end() || !it->second.LiveAt(t)) return std::nullopt;
 
   const SimService& svc = it->second;
-  if (svc.honeypot && ctx.scanner != nullptr) {
-    auto& per_scanner = honeypot_contacts_[key.Pack()];
-    per_scanner.try_emplace(ctx.scanner->scanner_id, t);
-  }
-
   L7Session session;
   session.service = svc;
   if (proto::GetInfo(svc.protocol).server_talks_first) {
     session.server_first_banner = proto::GenerateBanner(svc.protocol, svc.seed);
   }
   return session;
+}
+
+void Internet::NoteHoneypotContact(const ProbeContext& ctx, ServiceKey key,
+                                   Timestamp t) {
+  if (ctx.scanner == nullptr) return;
+  honeypot_contacts_[key.Pack()].try_emplace(ctx.scanner->scanner_id, t);
 }
 
 void Internet::ForEachActiveService(

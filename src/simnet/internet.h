@@ -72,6 +72,18 @@ class Internet {
   std::optional<L7Session> ConnectL7(const ProbeContext& ctx, ServiceKey key,
                                      Timestamp t);
 
+  // Side-effect-free ConnectL7: same visibility model and session, but no
+  // honeypot-contact logging. Safe to call concurrently (between AdvanceTo
+  // calls the population is immutable); the parallel interrogation stage
+  // uses this and defers the contact log to its ordered commit via
+  // NoteHoneypotContact.
+  std::optional<L7Session> PeekL7(const ProbeContext& ctx, ServiceKey key,
+                                  Timestamp t) const;
+
+  // Records first-contact time for a honeypot service reached via PeekL7.
+  void NoteHoneypotContact(const ProbeContext& ctx, ServiceKey key,
+                           Timestamp t);
+
   // --- ground truth (evaluation only) --------------------------------------
   void ForEachActiveService(
       Timestamp t, const std::function<void(const SimService&)>& fn) const;
@@ -151,7 +163,7 @@ class Internet {
   bool ScannerBlocked(const NetworkBlock& block, const ScannerProfile& s,
                       Timestamp t) const;
   bool Visible(const ProbeContext& ctx, IPv4Address ip, Timestamp t,
-               std::uint64_t probe_salt);
+               std::uint64_t probe_salt) const;
 
   UniverseConfig config_;
   BlockPlan plan_;

@@ -77,6 +77,16 @@ std::string EventJournal::SnapshotKey(std::string_view entity,
   return key;
 }
 
+void EventJournal::BindMetrics(metrics::Registry* registry) {
+  events_metric_ = metrics::BindCounter(registry, "censys.storage.events");
+  snapshots_metric_ =
+      metrics::BindCounter(registry, "censys.storage.snapshots");
+  delta_bytes_metric_ =
+      metrics::BindCounter(registry, "censys.storage.delta_bytes");
+  snapshot_bytes_metric_ =
+      metrics::BindCounter(registry, "censys.storage.snapshot_bytes");
+}
+
 std::uint64_t EventJournal::Append(std::string_view entity_id, EventKind kind,
                                    Timestamp at, const Delta& delta) {
   EntityMeta& meta = meta_[std::string(entity_id)];
@@ -88,9 +98,11 @@ std::uint64_t EventJournal::Append(std::string_view entity_id, EventKind kind,
 
   const std::string encoded = EncodeEvent(kind, at, delta);
   delta_bytes_ += encoded.size();
+  delta_bytes_metric_.Add(encoded.size());
   full_bytes_equivalent_ += EncodeFields(meta.current).size() + 10;
   table_.Put(EventKey(entity_id, seqno), encoded, Tier::kSsd);
   ++event_count_;
+  events_metric_.Add();
   ++meta.events_since_snapshot;
 
   if (meta.events_since_snapshot >= options_.snapshot_every) {
@@ -102,9 +114,12 @@ std::uint64_t EventJournal::Append(std::string_view entity_id, EventKind kind,
 void EventJournal::WriteSnapshot(std::string_view entity_id, EntityMeta& meta,
                                  Timestamp at) {
   const std::uint64_t snapshot_seqno = meta.next_seqno;  // covers < seqno
-  table_.Put(SnapshotKey(entity_id, snapshot_seqno),
-             EncodeSnapshot(at, meta.current), Tier::kSsd);
+  const std::string encoded = EncodeSnapshot(at, meta.current);
+  snapshot_bytes_ += encoded.size();
+  snapshot_bytes_metric_.Add(encoded.size());
+  table_.Put(SnapshotKey(entity_id, snapshot_seqno), encoded, Tier::kSsd);
   ++snapshot_count_;
+  snapshots_metric_.Add();
 
   if (options_.auto_tier && meta.has_snapshot) {
     // "Censys migrates journal events and historical snapshots prior to the

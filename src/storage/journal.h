@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/metrics.h"
 #include "core/types.h"
 #include "storage/delta.h"
 #include "storage/kv.h"
@@ -78,6 +79,11 @@ class EventJournal {
   std::uint64_t snapshot_count() const { return snapshot_count_; }
   // Bytes of encoded deltas actually journaled.
   std::uint64_t delta_bytes() const { return delta_bytes_; }
+  // Bytes of encoded snapshots written.
+  std::uint64_t snapshot_bytes() const { return snapshot_bytes_; }
+
+  // Registers censys.storage.* instruments (events, snapshots, bytes).
+  void BindMetrics(metrics::Registry* registry);
   // Bytes that journaling full records instead would have cost (the
   // delta-encoding ablation of DESIGN.md §4.6).
   std::uint64_t full_record_bytes_equivalent() const {
@@ -110,8 +116,14 @@ class EventJournal {
   std::uint64_t event_count_ = 0;
   std::uint64_t snapshot_count_ = 0;
   std::uint64_t delta_bytes_ = 0;
+  std::uint64_t snapshot_bytes_ = 0;
   std::uint64_t full_bytes_equivalent_ = 0;
   mutable std::uint64_t max_replay_ = 0;
+
+  metrics::CounterHandle events_metric_;
+  metrics::CounterHandle snapshots_metric_;
+  metrics::CounterHandle delta_bytes_metric_;
+  metrics::CounterHandle snapshot_bytes_metric_;
 };
 
 }  // namespace censys::storage

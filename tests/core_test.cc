@@ -1,14 +1,20 @@
 // Unit tests for the core module: addresses, CIDR math, RNG statistics,
-// SHA-256 vectors, string utilities, and the simulated clock.
+// SHA-256 vectors, string utilities, the simulated clock, the executor
+// thread pool, and the metrics registry.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "core/cidr.h"
 #include "core/clock.h"
+#include "core/executor.h"
+#include "core/metrics.h"
 #include "core/rng.h"
 #include "core/sha256.h"
 #include "core/strings.h"
@@ -448,6 +454,167 @@ TEST(EventQueueTest, FutureEventsStayQueued) {
   EXPECT_EQ(queue.size(), 1u);
   queue.RunUntil(clock, Timestamp{100});
   EXPECT_EQ(fired, 1);
+}
+
+// ------------------------------------------------------------------- Executor
+
+TEST(ExecutorTest, ZeroThreadsRunsInlineInOrder) {
+  Executor executor(0);
+  EXPECT_EQ(executor.thread_count(), 0);
+  std::vector<std::size_t> order;
+  executor.ParallelFor(100, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ExecutorTest, EveryIndexRunsExactlyOnce) {
+  Executor executor(4);
+  EXPECT_EQ(executor.thread_count(), 4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  executor.ParallelFor(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ExecutorTest, PerIndexResultSlotsMatchSerialRun) {
+  // The pipeline's contract: a pure function fanned out over result slots
+  // gives the same vector regardless of thread count.
+  auto run = [](int threads) {
+    Executor executor(threads);
+    std::vector<std::uint64_t> out(5000);
+    executor.ParallelFor(out.size(), [&](std::size_t i) {
+      out[i] = SplitMix64(static_cast<std::uint64_t>(i) * 0x9E3779B9u);
+    });
+    return out;
+  };
+  const auto serial = run(0);
+  EXPECT_EQ(run(1), serial);
+  EXPECT_EQ(run(3), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ExecutorTest, PropagatesFirstException) {
+  Executor executor(3);
+  EXPECT_THROW(executor.ParallelFor(64,
+                                    [](std::size_t i) {
+                                      if (i == 17) {
+                                        throw std::runtime_error("boom");
+                                      }
+                                    }),
+               std::runtime_error);
+  // The pool survives a throwing batch and runs subsequent batches fully.
+  std::atomic<int> count{0};
+  executor.ParallelFor(64, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ExecutorTest, HandlesManySmallBatchesBackToBack) {
+  Executor executor(2);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    executor.ParallelFor(round % 5, [&](std::size_t i) { total += i + 1; });
+  }
+  // 200 rounds of n in {0,1,2,3,4}: 40 * (0 + 1 + 3 + 6 + 10).
+  EXPECT_EQ(total.load(), 40u * 20u);
+}
+
+// -------------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CounterAccumulatesAndRegistryReads) {
+  metrics::Registry registry;
+  registry.GetCounter("censys.test.a").Add();
+  registry.GetCounter("censys.test.a").Add(41);
+  EXPECT_EQ(registry.CounterValue("censys.test.a"), 42u);
+  EXPECT_EQ(registry.CounterValue("censys.test.absent"), 0u);
+}
+
+TEST(MetricsTest, GaugeSetsAndAdds) {
+  metrics::Registry registry;
+  metrics::Gauge& gauge = registry.GetGauge("censys.test.g");
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(registry.GaugeValue("censys.test.g"), 7);
+}
+
+TEST(MetricsTest, RegistryReturnsStableInstruments) {
+  metrics::Registry registry;
+  metrics::Counter& a = registry.GetCounter("censys.test.same");
+  metrics::Counter& b = registry.GetCounter("censys.test.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsTest, HistogramTracksCountSumMeanMax) {
+  metrics::Registry registry;
+  metrics::Histogram& h = registry.GetHistogram("censys.test.h");
+  for (double v : {1.0, 2.0, 3.0, 10.0}) h.Observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sum(), 16.0, 1e-3);
+  EXPECT_NEAR(h.Mean(), 4.0, 1e-3);
+  EXPECT_NEAR(h.Max(), 10.0, 1e-3);
+}
+
+TEST(MetricsTest, HistogramQuantileIsBucketUpperBound) {
+  metrics::Histogram h;
+  for (int i = 0; i < 100; ++i) h.Observe(3.0);  // bucket [2, 4)
+  EXPECT_EQ(h.Quantile(0.5), 4.0);
+  EXPECT_EQ(h.Quantile(0.99), 4.0);
+  h.Observe(1000.0);  // bucket [512, 1024)
+  EXPECT_EQ(h.Quantile(0.999), 1024.0);
+}
+
+TEST(MetricsTest, UnboundHandlesAreNoOps) {
+  metrics::CounterHandle counter;
+  metrics::GaugeHandle gauge;
+  metrics::HistogramHandle histogram;
+  counter.Add();
+  gauge.Set(5);
+  histogram.Observe(1.0);
+  { metrics::ScopedTimer timer(histogram); }
+  // Nothing to assert beyond "does not crash": the handles hold no state.
+  SUCCEED();
+}
+
+TEST(MetricsTest, RenderListsEveryInstrumentSorted) {
+  metrics::Registry registry;
+  registry.GetCounter("censys.b.counter").Add(7);
+  registry.GetGauge("censys.a.gauge").Set(-2);
+  registry.GetHistogram("censys.c.hist").Observe(5.0);
+  const std::string text = registry.Render();
+  const auto pos_a = text.find("censys.a.gauge");
+  const auto pos_b = text.find("censys.b.counter");
+  const auto pos_c = text.find("censys.c.hist");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_c, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_c);
+  EXPECT_NE(text.find("7"), std::string::npos);
+}
+
+TEST(MetricsTest, ScopedTimerRecordsIntoHistogram) {
+  metrics::Registry registry;
+  const metrics::HistogramHandle handle =
+      metrics::BindHistogram(&registry, "censys.test.timer_us");
+  { metrics::ScopedTimer timer(handle); }
+  const metrics::Histogram* h =
+      registry.FindHistogram("censys.test.timer_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(MetricsTest, CountersAreThreadSafe) {
+  metrics::Registry registry;
+  metrics::Counter& counter = registry.GetCounter("censys.test.mt");
+  metrics::Histogram& hist = registry.GetHistogram("censys.test.mt_us");
+  Executor executor(4);
+  executor.ParallelFor(20000, [&](std::size_t i) {
+    counter.Add();
+    hist.Observe(static_cast<double>(i % 64));
+  });
+  EXPECT_EQ(counter.value(), 20000u);
+  EXPECT_EQ(hist.count(), 20000u);
 }
 
 }  // namespace

@@ -2,8 +2,12 @@
 // evaluation world running end to end on a small universe.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <tuple>
 #include <unordered_set>
 
+#include "core/strings.h"
 #include "engines/evaluation.h"
 #include "engines/world.h"
 
@@ -345,6 +349,82 @@ TEST(WorldDeterminismTest, SameSeedSameOutcome) {
     return keys;
   };
   EXPECT_EQ(run(), run());
+}
+
+// Order-sensitive digest of every journal row: any difference in event
+// order, content, or count between two runs changes it.
+std::uint64_t JournalDigest(const CensysEngine& engine) {
+  std::uint64_t digest = 1469598103934665603ull;
+  const std::string end(16, '\xff');
+  engine.journal().table().Scan(
+      "", end, [&](std::string_view key, std::string_view value) {
+        digest = (digest ^ Fnv1a64(key)) * 1099511628211ull;
+        digest = (digest ^ Fnv1a64(value)) * 1099511628211ull;
+        return true;
+      });
+  return digest;
+}
+
+// The tentpole guarantee of the staged pipeline: interrogation fans out
+// across threads, but commits land in candidate-sequence order, so the
+// event journal is identical to the single-threaded run.
+TEST(WorldDeterminismTest, ParallelRunMatchesSerialJournalExactly) {
+  WorldConfig cfg = SmallWorld(11);
+  cfg.universe.target_services = 3000;
+  cfg.with_alternatives = false;
+
+  auto run = [&](int threads) {
+    WorldConfig parallel_cfg = cfg;
+    parallel_cfg.censys.threads = threads;
+    World world(parallel_cfg);
+    world.Bootstrap();
+    world.RunForDays(2);
+    return std::tuple(JournalDigest(world.censys()),
+                      world.censys().journal().table().size(),
+                      world.censys().journal().event_count(),
+                      world.censys().write_side().tracked_count());
+  };
+
+  int threads = 3;  // ctest also registers a CENSYSIM_THREADS=4 variant
+  if (const char* env = std::getenv("CENSYSIM_THREADS")) {
+    threads = std::atoi(env);
+  }
+  const auto serial = run(0);
+  const auto parallel = run(threads);
+  EXPECT_EQ(std::get<0>(parallel), std::get<0>(serial));
+  EXPECT_EQ(std::get<1>(parallel), std::get<1>(serial));
+  EXPECT_EQ(std::get<2>(parallel), std::get<2>(serial));
+  EXPECT_EQ(std::get<3>(parallel), std::get<3>(serial));
+}
+
+TEST(TickReportTest, ReportsStageActivityAndMetrics) {
+  WorldConfig cfg = SmallWorld(13);
+  cfg.universe.target_services = 2000;
+  cfg.with_alternatives = false;
+  cfg.censys.threads = 2;
+
+  World world(cfg);
+  world.Bootstrap();
+  world.RunForDays(1);
+
+  const TickStats& report = world.censys().TickReport();
+  EXPECT_GT(report.interrogations, 0u);
+  EXPECT_GT(report.total_us, 0.0);
+  EXPECT_GE(report.total_us, report.interrogate_us);
+
+  const metrics::Registry& registry = world.censys().metrics();
+  EXPECT_GT(registry.CounterValue("censys.engine.ticks"), 0u);
+  EXPECT_GT(registry.CounterValue("censys.scan.probes_sent"), 0u);
+  EXPECT_GT(registry.CounterValue("censys.interrogate.attempts"), 0u);
+  EXPECT_GT(registry.CounterValue("censys.pipeline.ingest_scans"), 0u);
+  EXPECT_GT(registry.CounterValue("censys.storage.events"), 0u);
+  EXPECT_EQ(
+      registry.GaugeValue("censys.pipeline.tracked_services"),
+      static_cast<std::int64_t>(world.censys().write_side().tracked_count()));
+
+  const std::string rendered = registry.Render();
+  EXPECT_NE(rendered.find("censys.engine.tick_us"), std::string::npos);
+  EXPECT_NE(rendered.find("censys.interrogate.latency_us"), std::string::npos);
 }
 
 TEST(AblationTest, TwoPhaseValidationControlsLabelQuality) {
