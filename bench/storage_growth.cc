@@ -33,14 +33,14 @@ int main() {
   std::snprintf(buf, sizeof(buf), "%.2fx", saving);
   table.AddRow({"delta-encoding saving", buf});
   table.AddRow({"SSD-resident bytes",
-                HumanCount(journal.table().bytes_on(storage::Tier::kSsd))});
+                HumanCount(journal.bytes_on(storage::Tier::kSsd))});
   table.AddRow({"HDD-resident bytes",
-                HumanCount(journal.table().bytes_on(storage::Tier::kHdd))});
+                HumanCount(journal.bytes_on(storage::Tier::kHdd))});
 
   // Growth rate per tracked service per day, and its projection to the
   // paper's scale (794M services).
   const double bytes_per_service_day =
-      static_cast<double>(journal.table().total_bytes()) / tracked / sim_days;
+      static_cast<double>(journal.total_bytes()) / tracked / sim_days;
   std::snprintf(buf, sizeof(buf), "%.1f", bytes_per_service_day);
   table.AddRow({"journal bytes/service/day", buf});
   const double projected_tb_year =

@@ -28,6 +28,7 @@ std::vector<Port> BuildPriorityPorts(const simnet::PortModel& ports,
 CensysEngine::CensysEngine(simnet::Internet& net, cert::CtLog& ct_log,
                            Config config)
     : net_(net), ct_log_(ct_log), config_(config),
+      journal_(config.journal_options),
       rng_(SplitMix64(config.seed ^ 0xCE5515)) {
   // §8: ~576 probes per public IP per day, spread over five /24s of
   // identifying source addresses.
@@ -54,6 +55,10 @@ CensysEngine::CensysEngine(simnet::Internet& net, cert::CtLog& ct_log,
   cves_ = fingerprint::CveDatabase::BuiltIn();
   read_side_ = std::make_unique<pipeline::ReadSide>(
       journal_, *write_side_, net_.blocks(), &fingerprints_, &cves_);
+  read_side_->EnableCache(config_.view_cache);
+  serving_ = std::make_unique<serving::ServingFrontend>(
+      *read_side_, index_, analytics_,
+      serving::ServingFrontend::Options{config_.serving_threads});
   web_catalog_ = std::make_unique<web::WebPropertyCatalog>(net_,
                                                            *interrogator_);
 
@@ -113,6 +118,8 @@ CensysEngine::CensysEngine(simnet::Internet& net, cert::CtLog& ct_log,
   interrogator_->BindMetrics(&metrics_);
   journal_.BindMetrics(&metrics_);
   write_side_->BindMetrics(&metrics_);
+  read_side_->BindMetrics(&metrics_);
+  serving_->BindMetrics(&metrics_);
   index_.BindMetrics(&metrics_);
   ticks_metric_ = metrics::BindCounter(&metrics_, "censys.engine.ticks");
   stage_discovery_metric_ =

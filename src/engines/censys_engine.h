@@ -43,6 +43,7 @@
 #include "search/analytics.h"
 #include "search/index.h"
 #include "search/pivots.h"
+#include "serving/frontend.h"
 #include "simnet/internet.h"
 #include "storage/journal.h"
 #include "web/webprops.h"
@@ -101,6 +102,17 @@ class CensysEngine : public ScanEngine {
     bool warm_start = true;
 
     pipeline::WriteSide::Options write_options{};
+
+    // Journal lock striping (shard count changes contention, never
+    // content — journals stay byte-identical across shard counts).
+    storage::EventJournal::Options journal_options{};
+
+    // Serving frontend reader threads; 0 runs queries inline. The
+    // frontend's pool is separate from the tick pipeline's `threads`.
+    int serving_threads = 0;
+
+    // Per-host view cache for read-side lookups (watermark-invalidated).
+    pipeline::ViewCache::Options view_cache{};
   };
 
   CensysEngine(simnet::Internet& net, cert::CtLog& ct_log, Config config);
@@ -128,6 +140,9 @@ class CensysEngine : public ScanEngine {
   const metrics::Registry& metrics() const { return metrics_; }
 
   // --- component access (examples, benches) -----------------------------------
+  // Concurrent query frontend: safe to Run() from a non-tick thread while
+  // the engine ticks (reads never touch the journal's append path).
+  serving::ServingFrontend& serving() { return *serving_; }
   const pipeline::ReadSide& read_side() const { return *read_side_; }
   pipeline::WriteSide& write_side() { return *write_side_; }
   const pipeline::WriteSide& write_side() const { return *write_side_; }
@@ -228,6 +243,7 @@ class CensysEngine : public ScanEngine {
   std::unique_ptr<web::WebPropertyCatalog> web_catalog_;
   search::SearchIndex index_;
   search::AnalyticsStore analytics_;
+  std::unique_ptr<serving::ServingFrontend> serving_;
 
   std::deque<scan::Candidate> scan_queue_;
   std::uint64_t next_seq_ = 0;  // discovery-order candidate stamp

@@ -4,16 +4,52 @@
 
 namespace censys::pipeline {
 
+ViewCache& ReadSide::EnableCache(ViewCache::Options options) {
+  cache_ = std::make_unique<ViewCache>(options);
+  if (registry_ != nullptr) cache_->BindMetrics(registry_);
+  return *cache_;
+}
+
+void ReadSide::BindMetrics(metrics::Registry* registry) {
+  registry_ = registry;
+  lookups_metric_ = metrics::BindCounter(registry, "censys.serving.lookups");
+  if (cache_ != nullptr) cache_->BindMetrics(registry);
+}
+
 std::optional<HostView> ReadSide::GetHost(IPv4Address ip) const {
-  ++lookups_;
-  const storage::FieldMap* state = journal_.CurrentState(HostEntityId(ip));
-  if (state == nullptr || state->empty()) return std::nullopt;
-  return BuildView(ip, *state, /*attach_scan_state=*/true);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  lookups_metric_.Add();
+  const std::string entity = HostEntityId(ip);
+
+  if (cache_ != nullptr) {
+    // Stamp components are read before the state they certify: if the
+    // writer advances either between here and the Put, the stored stamp is
+    // already stale and the next Get self-invalidates.
+    const ViewCache::Watermark stamp{journal_.Watermark(entity),
+                                     write_side_.ScanRevision(ip)};
+    if (stamp.journal_seqno == 0) return std::nullopt;  // no journaled state
+    if (const auto cached = cache_->Get(ip, stamp)) return *cached;
+
+    const auto snap = journal_.SnapshotState(entity);
+    if (!snap.has_value() || snap->fields.empty()) return std::nullopt;
+    HostView view = BuildView(ip, snap->fields, /*attach_scan_state=*/true);
+    view.watermark = snap->watermark;
+    cache_->Put(ip, ViewCache::Watermark{snap->watermark, stamp.scan_revision},
+                std::make_shared<const HostView>(view));
+    return view;
+  }
+
+  const auto snap = journal_.SnapshotState(entity);
+  if (!snap.has_value() || snap->fields.empty()) return std::nullopt;
+  HostView view = BuildView(ip, snap->fields, /*attach_scan_state=*/true);
+  view.watermark = snap->watermark;
+  return view;
 }
 
 std::optional<HostView> ReadSide::GetHostAt(IPv4Address ip,
                                             Timestamp at) const {
-  ++lookups_;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  lookups_metric_.Add();
   const auto state = journal_.ReconstructAt(HostEntityId(ip), at);
   if (!state.has_value() || state->empty()) return std::nullopt;
   return BuildView(ip, *state, /*attach_scan_state=*/false);
@@ -39,7 +75,7 @@ HostView ReadSide::BuildView(IPv4Address ip, const storage::FieldMap& state,
     ServiceView service;
     service.record = std::move(*record);
     if (attach_scan_state) {
-      if (const ServiceState* scan_state = write_side_.GetState(key)) {
+      if (const auto scan_state = write_side_.GetStateCopy(key)) {
         service.last_seen = scan_state->last_seen;
         service.pending_eviction =
             scan_state->pending_eviction_since.has_value();

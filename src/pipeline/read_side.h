@@ -4,15 +4,25 @@
 // latest snapshot prior to the requested timestamp, replays journal events,
 // then enriches the reconstructed record with WHOIS/geolocation/ASN
 // context, fingerprint-derived labels, and known vulnerabilities.
+//
+// GetHost / GetHostAt are safe to call from many threads concurrently with
+// the command thread: state comes from the journal's locked snapshot path
+// and the write side's locked scan-state copies, never from raw pointers.
+// With EnableCache(), current-state lookups are served from a watermark-
+// keyed ViewCache and skip replay + enrichment when the host is unchanged.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/metrics.h"
 #include "fingerprint/fingerprints.h"
 #include "fingerprint/vulns.h"
 #include "interrogate/record.h"
+#include "pipeline/view_cache.h"
 #include "pipeline/write_side.h"
 #include "simnet/blocks.h"
 #include "storage/journal.h"
@@ -41,6 +51,10 @@ struct HostView {
   std::string as_org;
   std::string network_type;
 
+  // Journal seqno watermark of the state this view was built from
+  // (0 when reconstructed historically via GetHostAt).
+  std::uint64_t watermark = 0;
+
   std::vector<ServiceView> services;
 };
 
@@ -53,12 +67,24 @@ class ReadSide {
       : journal_(journal), write_side_(write_side), geo_(geo),
         fingerprints_(fingerprints), cves_(cves) {}
 
-  // Current state (fast path: cached state, no replay).
+  // Current state (fast path: cached state, no replay; with EnableCache a
+  // repeat lookup of an unchanged host is a cache hit and skips the build).
   std::optional<HostView> GetHost(IPv4Address ip) const;
-  // Historical state ("What did IP A look like at time B?").
+  // Historical state ("What did IP A look like at time B?"). Never cached.
   std::optional<HostView> GetHostAt(IPv4Address ip, Timestamp at) const;
 
-  std::uint64_t lookups_served() const { return lookups_; }
+  // Installs a ViewCache for GetHost. Call before serving traffic; not
+  // thread-safe against in-flight lookups.
+  ViewCache& EnableCache(ViewCache::Options options = {});
+  ViewCache* cache() const { return cache_.get(); }
+
+  std::uint64_t lookups_served() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+
+  // Registers censys.serving.lookups plus the cache's instruments (in
+  // either order relative to EnableCache).
+  void BindMetrics(metrics::Registry* registry);
 
  private:
   HostView BuildView(IPv4Address ip, const storage::FieldMap& state,
@@ -70,7 +96,11 @@ class ReadSide {
   const simnet::BlockPlan& geo_;
   const fingerprint::FingerprintEngine* fingerprints_;
   const fingerprint::CveDatabase* cves_;
-  mutable std::uint64_t lookups_ = 0;
+  mutable std::atomic<std::uint64_t> lookups_{0};
+
+  std::unique_ptr<ViewCache> cache_;
+  metrics::Registry* registry_ = nullptr;
+  metrics::CounterHandle lookups_metric_;
 };
 
 }  // namespace censys::pipeline

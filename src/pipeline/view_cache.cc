@@ -1,0 +1,104 @@
+#include "pipeline/view_cache.h"
+
+#include <algorithm>
+
+#include "pipeline/read_side.h"
+
+namespace censys::pipeline {
+
+ViewCache::ViewCache(Options options)
+    : options_(options),
+      shard_count_(std::max<std::uint32_t>(1, options.shards)),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {
+  options_.capacity_per_shard = std::max<std::size_t>(
+      1, options_.capacity_per_shard);
+}
+
+void ViewCache::BindMetrics(metrics::Registry* registry) {
+  hits_metric_ = metrics::BindCounter(registry, "censys.serving.cache_hits");
+  misses_metric_ =
+      metrics::BindCounter(registry, "censys.serving.cache_misses");
+  evictions_metric_ =
+      metrics::BindCounter(registry, "censys.serving.cache_evictions");
+  invalidations_metric_ =
+      metrics::BindCounter(registry, "censys.serving.cache_invalidations");
+  size_metric_ = metrics::BindGauge(registry, "censys.serving.cache_size");
+}
+
+std::shared_ptr<const HostView> ViewCache::Get(IPv4Address ip,
+                                               const Watermark& current) {
+  Shard& shard = ShardFor(ip);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.entries.find(ip.value());
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_metric_.Add();
+    return nullptr;
+  }
+  if (!(it->second.watermark == current)) {
+    // The entity moved on since this view was built: precise invalidation.
+    shard.lru.erase(it->second.lru_pos);
+    shard.entries.erase(it);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    invalidations_metric_.Add();
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_metric_.Add();
+    size_metric_.Set(static_cast<std::int64_t>(size()));
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_metric_.Add();
+  return it->second.view;
+}
+
+void ViewCache::Put(IPv4Address ip, const Watermark& watermark,
+                    std::shared_ptr<const HostView> view) {
+  Shard& shard = ShardFor(ip);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.entries.find(ip.value());
+  if (it != shard.entries.end()) {
+    it->second.watermark = watermark;
+    it->second.view = std::move(view);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return;
+  }
+  shard.lru.push_front(ip.value());
+  shard.entries.emplace(
+      ip.value(), Entry{watermark, std::move(view), shard.lru.begin()});
+  size_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.entries.size() > options_.capacity_per_shard) {
+    const std::uint32_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.entries.erase(victim);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_metric_.Add();
+  }
+  size_metric_.Set(static_cast<std::int64_t>(size()));
+}
+
+void ViewCache::Invalidate(IPv4Address ip) {
+  Shard& shard = ShardFor(ip);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.entries.find(ip.value());
+  if (it == shard.entries.end()) return;
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  invalidations_metric_.Add();
+}
+
+void ViewCache::Clear() {
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard lock(shards_[s].mu);
+    size_.fetch_sub(shards_[s].entries.size(), std::memory_order_relaxed);
+    shards_[s].entries.clear();
+    shards_[s].lru.clear();
+  }
+  size_metric_.Set(0);
+}
+
+}  // namespace censys::pipeline

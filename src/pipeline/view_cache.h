@@ -1,0 +1,124 @@
+// Sharded LRU cache of materialized HostViews (§5.2 read path).
+//
+// Repeated GetHost calls for an unchanged host skip journal replay and
+// enrichment entirely: the read side keys cached views by
+// (ip, watermark), where the watermark is the entity's journal seqno
+// watermark plus the write side's scan-state revision for that host. Both
+// components advance exactly when something visible in the view changes
+// (a journaled delta, or non-journaled scan state such as last_seen /
+// pending_eviction), so a watermark match is a proof of freshness and a
+// mismatch is a precise invalidation — no TTLs, no epochs, no sweep.
+//
+// Entries hash onto lock-striped shards; each shard runs an independent
+// LRU under a plain mutex. Views are immutable shared_ptrs, so a hit is a
+// pointer copy and readers never block each other on the view itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/metrics.h"
+#include "core/rng.h"
+#include "core/types.h"
+
+namespace censys::pipeline {
+
+struct HostView;
+
+class ViewCache {
+ public:
+  struct Options {
+    std::uint32_t shards = 8;
+    // Per-shard LRU capacity; total capacity = shards * capacity_per_shard.
+    std::size_t capacity_per_shard = 2048;
+  };
+
+  // Freshness stamp of a cached view. journal_seqno is the entity's
+  // next-unassigned seqno at build time; scan_revision covers write-side
+  // state that is deliberately not journaled (§4.6 scan state).
+  struct Watermark {
+    std::uint64_t journal_seqno = 0;
+    std::uint64_t scan_revision = 0;
+    bool operator==(const Watermark&) const = default;
+  };
+
+  ViewCache() : ViewCache(Options{}) {}
+  explicit ViewCache(Options options);
+
+  ViewCache(const ViewCache&) = delete;
+  ViewCache& operator=(const ViewCache&) = delete;
+
+  // Returns the cached view iff one exists for `ip` at exactly `current`.
+  // A stale entry (any other watermark) is erased on the spot and counted
+  // as an invalidation + miss.
+  std::shared_ptr<const HostView> Get(IPv4Address ip, const Watermark& current);
+
+  // Inserts or replaces the view for `ip`; evicts the shard's LRU tail
+  // when over capacity.
+  void Put(IPv4Address ip, const Watermark& watermark,
+           std::shared_ptr<const HostView> view);
+
+  // Drops the entry for `ip` if present (watermark mismatches already
+  // self-invalidate; this is for explicit teardown such as exclusions).
+  void Invalidate(IPv4Address ip);
+
+  void Clear();
+
+  // --- stats -----------------------------------------------------------------
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  double HitRatio() const {
+    const double total = static_cast<double>(hits() + misses());
+    return total == 0 ? 0.0 : static_cast<double>(hits()) / total;
+  }
+
+  // Registers censys.serving.cache_* instruments.
+  void BindMetrics(metrics::Registry* registry);
+
+ private:
+  struct Entry {
+    Watermark watermark;
+    std::shared_ptr<const HostView> view;
+    std::list<std::uint32_t>::iterator lru_pos;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint32_t, Entry> entries;
+    std::list<std::uint32_t> lru;  // front = most recently used
+  };
+
+  Shard& ShardFor(IPv4Address ip) {
+    return shards_[SplitMix64(ip.value()) % shard_count_];
+  }
+
+  Options options_{};
+  std::size_t shard_count_ = 1;
+  std::unique_ptr<Shard[]> shards_;
+
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+
+  metrics::CounterHandle hits_metric_;
+  metrics::CounterHandle misses_metric_;
+  metrics::CounterHandle evictions_metric_;
+  metrics::CounterHandle invalidations_metric_;
+  metrics::GaugeHandle size_metric_;
+};
+
+}  // namespace censys::pipeline

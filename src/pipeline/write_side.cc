@@ -1,5 +1,7 @@
 #include "pipeline/write_side.h"
 
+#include <mutex>
+
 #include "core/strings.h"
 #include "pipeline/entity.h"
 
@@ -34,7 +36,8 @@ void WriteSide::BindMetrics(metrics::Registry* registry) {
 }
 
 void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
-  ++scans_ingested_;
+  std::unique_lock lock(mu_);
+  scans_ingested_.fetch_add(1, std::memory_order_relaxed);
   ingest_metric_.Add();
   const std::uint64_t packed = record.key.Pack();
   const std::uint32_t host = record.key.ip.value();
@@ -42,7 +45,7 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
   // --- pseudo-service filtering ----------------------------------------------
   if (options_.filter_pseudo_services) {
     if (pseudo_hosts_.contains(host)) {
-      ++pseudo_suppressed_;
+      pseudo_suppressed_.fetch_add(1, std::memory_order_relaxed);
       pseudo_metric_.Add();
       return;
     }
@@ -65,10 +68,11 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
           journal_.Append(entity, storage::EventKind::kServiceRemoved,
                           record.observed_at, delta);
           states_.erase(key.Pack());
-          ++pseudo_suppressed_;
+          pseudo_suppressed_.fetch_add(1, std::memory_order_relaxed);
           pseudo_metric_.Add();
         }
       }
+      BumpRevision(record.key.ip);
       tracked_metric_.Set(static_cast<std::int64_t>(states_.size()));
       return;
     }
@@ -91,6 +95,9 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
   service_state.last_seen = record.observed_at;
   service_state.last_refreshed = record.observed_at;
   service_state.pending_eviction_since.reset();
+  // Even a no-op refresh (empty delta, nothing journaled) moved last_seen,
+  // which is visible in HostViews — cached views must not survive it.
+  BumpRevision(record.key.ip);
 
   if (!delta.empty()) {
     const storage::EventKind kind = existed
@@ -103,6 +110,7 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
 }
 
 void WriteSide::IngestFailure(ServiceKey key, Timestamp at) {
+  std::unique_lock lock(mu_);
   failure_metric_.Add();
   const auto it = states_.find(key.Pack());
   if (it == states_.end()) return;
@@ -111,9 +119,11 @@ void WriteSide::IngestFailure(ServiceKey key, Timestamp at) {
     // "Mark services as pending eviction after the first scan fails."
     it->second.pending_eviction_since = at;
   }
+  BumpRevision(key.ip);
 }
 
 void WriteSide::AdvanceTo(Timestamp now) {
+  std::unique_lock lock(mu_);
   std::vector<ServiceState> to_evict;
   for (const auto& [packed, state] : states_) {
     if (state.pending_eviction_since.has_value() &&
@@ -142,29 +152,60 @@ void WriteSide::Evict(const ServiceState& state, Timestamp now) {
   }
   states_.erase(state.key.Pack());
   pruned_.push_back(PrunedEntry{state.key, now});
-  ++evictions_;
+  BumpRevision(state.key.ip);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   eviction_metric_.Add();
   tracked_metric_.Set(static_cast<std::int64_t>(states_.size()));
 }
 
 const ServiceState* WriteSide::GetState(ServiceKey key) const {
+  // Deliberately lockless: only the command thread mutates states_, and
+  // only the command thread may call this (callers sit inside ForEachTracked
+  // callbacks, so taking mu_ shared here would self-deadlock under a waiting
+  // writer). Cross-thread readers go through GetStateCopy.
   const auto it = states_.find(key.Pack());
   return it == states_.end() ? nullptr : &it->second;
 }
 
+std::optional<ServiceState> WriteSide::GetStateCopy(ServiceKey key) const {
+  std::shared_lock lock(mu_);
+  const auto it = states_.find(key.Pack());
+  if (it == states_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t WriteSide::ScanRevision(IPv4Address ip) const {
+  std::shared_lock lock(mu_);
+  const auto it = host_revisions_.find(ip.value());
+  return it == host_revisions_.end() ? 0 : it->second;
+}
+
+std::size_t WriteSide::tracked_count() const {
+  std::shared_lock lock(mu_);
+  return states_.size();
+}
+
+bool WriteSide::IsPseudoFlagged(IPv4Address ip) const {
+  std::shared_lock lock(mu_);
+  return pseudo_hosts_.contains(ip.value());
+}
+
 void WriteSide::ForEachTracked(
     const std::function<void(const ServiceState&)>& fn) const {
+  std::shared_lock lock(mu_);
   for (const auto& [packed, state] : states_) fn(state);
 }
 
 void WriteSide::ForEachPruned(
     const std::function<void(const PrunedService&)>& fn) const {
+  std::shared_lock lock(mu_);
   for (const PrunedEntry& entry : pruned_) {
     fn(PrunedService{entry.key, entry.pruned_at});
   }
 }
 
 std::vector<ServiceKey> WriteSide::RecentlyPruned(Timestamp now) const {
+  std::shared_lock lock(mu_);
   std::vector<ServiceKey> keys;
   for (const PrunedEntry& entry : pruned_) {
     if (entry.pruned_at + options_.reinjection_window >= now) {

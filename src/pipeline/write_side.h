@@ -8,12 +8,22 @@
 // eviction policy of §4.6: pending eviction after the first failed refresh,
 // removal after 72 hours, with removed services remembered for 60 days so
 // the predictive engine can re-inject them.
+//
+// Concurrency: there is exactly one command thread (the engine tick loop),
+// but the serving layer reads scan-state from many threads concurrently.
+// A shared_mutex guards the maps: command processing takes it exclusively,
+// queries take it shared. GetState() returns a raw pointer and is therefore
+// only safe from the command thread; concurrent readers use GetStateCopy().
+// Per-host scan-state revisions feed the read-side view cache: they bump
+// whenever non-journaled state visible in a HostView changes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,7 +52,8 @@ struct PipelineEvent {
 
 // Asynchronous event processing: events are queued during ingestion and
 // drained by the engine loop ("the write side processor enqueues any
-// resulting update events for additional processing", §5.2).
+// resulting update events for additional processing", §5.2). Single-threaded
+// by design: publish and drain both happen on the command thread.
 class EventBus {
  public:
   using Handler = std::function<void(const PipelineEvent&)>;
@@ -87,10 +98,19 @@ class WriteSide {
   void AdvanceTo(Timestamp now);
 
   // --- scan-state queries -----------------------------------------------------
+  // Command-thread fast path: pointer into the map, invalidated by a
+  // concurrent eviction. Concurrent readers use GetStateCopy.
   const ServiceState* GetState(ServiceKey key) const;
+  // Thread-safe snapshot of one service's scan state.
+  std::optional<ServiceState> GetStateCopy(ServiceKey key) const;
   void ForEachTracked(
       const std::function<void(const ServiceState&)>& fn) const;
-  std::size_t tracked_count() const { return states_.size(); }
+  std::size_t tracked_count() const;
+
+  // Monotonic per-host revision of non-journaled scan state (last_seen,
+  // last_refreshed, pending-eviction marks, evictions). Together with the
+  // journal seqno watermark it forms the view-cache freshness stamp.
+  std::uint64_t ScanRevision(IPv4Address ip) const;
 
   // Services pruned within the re-injection window, oldest first.
   std::vector<ServiceKey> RecentlyPruned(Timestamp now) const;
@@ -103,25 +123,35 @@ class WriteSide {
   void ForEachPruned(
       const std::function<void(const PrunedService&)>& fn) const;
 
-  bool IsPseudoFlagged(IPv4Address ip) const {
-    return pseudo_hosts_.contains(ip.value());
-  }
+  bool IsPseudoFlagged(IPv4Address ip) const;
 
   // --- stats -------------------------------------------------------------------
-  std::uint64_t scans_ingested() const { return scans_ingested_; }
-  std::uint64_t services_evicted() const { return evictions_; }
-  std::uint64_t pseudo_suppressed() const { return pseudo_suppressed_; }
+  std::uint64_t scans_ingested() const {
+    return scans_ingested_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t services_evicted() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pseudo_suppressed() const {
+    return pseudo_suppressed_.load(std::memory_order_relaxed);
+  }
 
   // Registers censys.pipeline.* instruments (ingests, failures, evictions,
   // pseudo suppressions, tracked-service gauge).
   void BindMetrics(metrics::Registry* registry);
 
  private:
+  // Requires mu_ held exclusively.
   void Evict(const ServiceState& state, Timestamp now);
+  void BumpRevision(IPv4Address ip) { ++host_revisions_[ip.value()]; }
 
   storage::EventJournal& journal_;
   EventBus& bus_;
   Options options_;
+
+  // Guards every map below. Writers (IngestScan / IngestFailure /
+  // AdvanceTo) are exclusive; queries are shared.
+  mutable std::shared_mutex mu_;
 
   std::unordered_map<std::uint64_t, ServiceState> states_;  // by packed key
   struct PrunedEntry {
@@ -129,6 +159,7 @@ class WriteSide {
     Timestamp pruned_at;
   };
   std::deque<PrunedEntry> pruned_;
+  std::unordered_map<std::uint32_t, std::uint64_t> host_revisions_;
 
   // Pseudo-service detection: per-host count of services sharing one
   // content hash.
@@ -139,9 +170,9 @@ class WriteSide {
   std::unordered_map<std::uint32_t, HostCounts> host_counts_;
   std::unordered_map<std::uint32_t, bool> pseudo_hosts_;
 
-  std::uint64_t scans_ingested_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t pseudo_suppressed_ = 0;
+  std::atomic<std::uint64_t> scans_ingested_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> pseudo_suppressed_{0};
 
   metrics::CounterHandle ingest_metric_;
   metrics::CounterHandle failure_metric_;

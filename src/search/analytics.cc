@@ -1,12 +1,16 @@
 #include "search/analytics.h"
 
+#include <mutex>
+
 namespace censys::search {
 
 void AnalyticsStore::AddSnapshot(DailySnapshot snapshot) {
+  std::unique_lock lock(mu_);
   snapshots_[snapshot.day] = std::move(snapshot);
 }
 
 std::size_t AnalyticsStore::ThinOut(Timestamp now) {
+  std::unique_lock lock(mu_);
   const std::int64_t cutoff_day =
       (now - options_.full_retention).minutes / (24 * 60);
   std::size_t dropped = 0;
@@ -33,14 +37,37 @@ const DailySnapshot* AnalyticsStore::GetLatestUpTo(std::int64_t day) const {
   return &it->second;
 }
 
+std::optional<DailySnapshot> AnalyticsStore::GetDayCopy(
+    std::int64_t day) const {
+  std::shared_lock lock(mu_);
+  const auto it = snapshots_.find(day);
+  if (it == snapshots_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<DailySnapshot> AnalyticsStore::GetLatestUpToCopy(
+    std::int64_t day) const {
+  std::shared_lock lock(mu_);
+  auto it = snapshots_.upper_bound(day);
+  if (it == snapshots_.begin()) return std::nullopt;
+  --it;
+  return it->second;
+}
+
 std::vector<std::pair<std::int64_t, std::uint64_t>>
 AnalyticsStore::ProtocolSeries(const std::string& protocol) const {
+  std::shared_lock lock(mu_);
   std::vector<std::pair<std::int64_t, std::uint64_t>> series;
   for (const auto& [day, snapshot] : snapshots_) {
     const auto it = snapshot.by_protocol.find(protocol);
     series.emplace_back(day, it == snapshot.by_protocol.end() ? 0 : it->second);
   }
   return series;
+}
+
+std::size_t AnalyticsStore::size() const {
+  std::shared_lock lock(mu_);
+  return snapshots_.size();
 }
 
 }  // namespace censys::search

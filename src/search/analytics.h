@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -42,18 +43,29 @@ class AnalyticsStore {
   // dropped.
   std::size_t ThinOut(Timestamp now);
 
+  // Pointer-returning lookups are lockless and therefore only safe from
+  // the thread that also writes (the engine tick loop): AddSnapshot /
+  // ThinOut can invalidate the pointer. Concurrent readers (the serving
+  // frontend) use the copying variants below.
   const DailySnapshot* GetDay(std::int64_t day) const;
   // Latest snapshot at or before `day`, if any.
   const DailySnapshot* GetLatestUpTo(std::int64_t day) const;
+
+  // Thread-safe copies for cross-thread queries.
+  std::optional<DailySnapshot> GetDayCopy(std::int64_t day) const;
+  std::optional<DailySnapshot> GetLatestUpToCopy(std::int64_t day) const;
 
   // Longitudinal series: (day, count) for a protocol across all snapshots.
   std::vector<std::pair<std::int64_t, std::uint64_t>> ProtocolSeries(
       const std::string& protocol) const;
 
-  std::size_t size() const { return snapshots_.size(); }
+  std::size_t size() const;
 
  private:
   Options options_;
+  // Daily snapshots land during ticks while the serving frontend reads
+  // series concurrently: writers exclusive, readers shared.
+  mutable std::shared_mutex mu_;
   std::map<std::int64_t, DailySnapshot> snapshots_;
 };
 

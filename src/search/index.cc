@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <mutex>
 
 #include "core/strings.h"
 
@@ -46,7 +47,8 @@ void SearchIndex::BindMetrics(metrics::Registry* registry) {
 
 void SearchIndex::Index(std::string_view doc_id,
                         const storage::FieldMap& fields) {
-  Remove(doc_id);
+  std::unique_lock lock(mu_);
+  RemoveLocked(doc_id);
   const std::string id(doc_id);
   for (const auto& [field, value] : fields) {
     field_docs_[field].insert(id);
@@ -61,6 +63,11 @@ void SearchIndex::Index(std::string_view doc_id,
 }
 
 void SearchIndex::Remove(std::string_view doc_id) {
+  std::unique_lock lock(mu_);
+  RemoveLocked(doc_id);
+}
+
+void SearchIndex::RemoveLocked(std::string_view doc_id) {
   const auto it = docs_.find(doc_id);
   if (it == docs_.end()) return;
   const std::string id(doc_id);
@@ -87,10 +94,13 @@ std::vector<std::string> SearchIndex::Search(std::string_view query,
   queries_metric_.Add();
   const auto parsed = ParseQuery(query, error);
   if (!parsed.has_value()) return {};
-  return Execute(*parsed);
+  std::shared_lock lock(mu_);
+  const DocSet result = EvalNode(*parsed);
+  return std::vector<std::string>(result.begin(), result.end());
 }
 
 std::vector<std::string> SearchIndex::Execute(const QueryPtr& query) const {
+  std::shared_lock lock(mu_);
   const DocSet result = EvalNode(query);
   return std::vector<std::string>(result.begin(), result.end());
 }
@@ -213,8 +223,19 @@ SearchIndex::DocSet SearchIndex::EvalTerm(const QueryNode& term) const {
   return acc;
 }
 
+std::size_t SearchIndex::doc_count() const {
+  std::shared_lock lock(mu_);
+  return docs_.size();
+}
+
+std::size_t SearchIndex::term_count() const {
+  std::shared_lock lock(mu_);
+  return postings_.size();
+}
+
 const storage::FieldMap* SearchIndex::GetDocument(
     std::string_view doc_id) const {
+  std::shared_lock lock(mu_);
   const auto it = docs_.find(doc_id);
   return it == docs_.end() ? nullptr : &it->second;
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,13 +28,17 @@ class SearchIndex {
   void Remove(std::string_view doc_id);
 
   // Executes a parsed query; result ids are sorted. Malformed queries (from
-  // Search()) return an empty result with *error set.
+  // Search()) return an empty result with *error set. Queries take the
+  // index's reader lock, so the serving frontend can search from many
+  // threads concurrently with an Index/Remove rebuild.
   std::vector<std::string> Search(std::string_view query,
                                   std::string* error) const;
   std::vector<std::string> Execute(const QueryPtr& query) const;
 
-  std::size_t doc_count() const { return docs_.size(); }
-  std::size_t term_count() const { return postings_.size(); }
+  std::size_t doc_count() const;
+  std::size_t term_count() const;
+  // Pointer remains valid only until the next Index/Remove of that doc;
+  // cross-thread callers must not hold it across a rebuild.
   const storage::FieldMap* GetDocument(std::string_view doc_id) const;
 
   // Registers censys.search.* instruments (docs gauge, index operations;
@@ -43,10 +48,14 @@ class SearchIndex {
  private:
   using DocSet = std::set<std::string>;
 
+  // Requires mu_ held exclusively.
+  void RemoveLocked(std::string_view doc_id);
   DocSet EvalNode(const QueryPtr& node) const;
   DocSet EvalTerm(const QueryNode& term) const;
   static std::vector<std::string> Tokenize(std::string_view value);
 
+  // Writers (Index / Remove) exclusive, queries shared.
+  mutable std::shared_mutex mu_;
   std::map<std::string, storage::FieldMap, std::less<>> docs_;
   // token -> doc ids. Tokens are "field\x1fword" plus "\x1fword" (any-field).
   std::map<std::string, DocSet, std::less<>> postings_;

@@ -1,0 +1,167 @@
+#include "serving/frontend.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace censys::serving {
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ServingFrontend::ServingFrontend(const pipeline::ReadSide& read_side,
+                                 const search::SearchIndex& index,
+                                 const search::AnalyticsStore& analytics,
+                                 Options options)
+    : read_side_(read_side), index_(index), analytics_(analytics),
+      executor_(options.threads) {}
+
+void ServingFrontend::BindMetrics(metrics::Registry* registry) {
+  queries_metric_ = metrics::BindCounter(registry, "censys.serving.queries");
+  qps_metric_ = metrics::BindGauge(registry, "censys.serving.qps");
+  lookup_us_metric_ =
+      metrics::BindHistogram(registry, "censys.serving.lookup_us");
+}
+
+BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
+  BatchReport report;
+  report.queries = queries.size();
+  if (queries.empty()) return report;
+
+  const pipeline::ViewCache* cache = read_side_.cache();
+  const std::uint64_t hits0 = cache != nullptr ? cache->hits() : 0;
+  const std::uint64_t misses0 = cache != nullptr ? cache->misses() : 0;
+
+  struct Outcome {
+    bool hit = false;
+    std::size_t results = 0;
+    double latency_us = 0;
+  };
+  std::vector<Outcome> outcomes(queries.size());
+  metrics::Histogram batch_lookup_latency;
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  executor_.ParallelFor(queries.size(), [&](std::size_t i) {
+    const Query& q = queries[i];
+    Outcome& out = outcomes[i];
+    const auto start = std::chrono::steady_clock::now();
+    switch (q.kind) {
+      case Query::Kind::kLookup: {
+        const auto view = read_side_.GetHost(q.ip);
+        out.hit = view.has_value();
+        out.results = out.hit ? view->services.size() : 0;
+        out.latency_us = MicrosSince(start);
+        batch_lookup_latency.Observe(out.latency_us);
+        lookup_latency_.Observe(out.latency_us);
+        lookup_us_metric_.Observe(out.latency_us);
+        break;
+      }
+      case Query::Kind::kHistory: {
+        const auto view = read_side_.GetHostAt(q.ip, q.at);
+        out.hit = view.has_value();
+        out.results = out.hit ? view->services.size() : 0;
+        out.latency_us = MicrosSince(start);
+        break;
+      }
+      case Query::Kind::kSearch: {
+        std::string error;
+        const auto ids = index_.Search(q.text, &error);
+        out.hit = !ids.empty();
+        out.results = ids.size();
+        out.latency_us = MicrosSince(start);
+        break;
+      }
+      case Query::Kind::kAnalytics: {
+        const auto series = analytics_.ProtocolSeries(q.text);
+        const auto latest =
+            analytics_.GetLatestUpToCopy(q.at.minutes / (24 * 60));
+        out.hit = !series.empty() || latest.has_value();
+        out.results = series.size();
+        out.latency_us = MicrosSince(start);
+        break;
+      }
+    }
+  });
+  report.elapsed_us = MicrosSince(batch_start);
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Outcome& out = outcomes[i];
+    switch (queries[i].kind) {
+      case Query::Kind::kLookup:
+        ++report.lookups;
+        if (out.hit) ++report.lookup_hits;
+        break;
+      case Query::Kind::kHistory:
+        ++report.histories;
+        break;
+      case Query::Kind::kSearch:
+        ++report.searches;
+        report.search_results += out.results;
+        break;
+      case Query::Kind::kAnalytics:
+        ++report.analytics;
+        break;
+    }
+  }
+  report.qps = report.elapsed_us > 0
+                   ? static_cast<double>(report.queries) /
+                         (report.elapsed_us / 1e6)
+                   : 0;
+  report.lookup_p50_us = batch_lookup_latency.Quantile(0.50);
+  report.lookup_p99_us = batch_lookup_latency.Quantile(0.99);
+
+  if (cache != nullptr) {
+    report.cache_hits = cache->hits() - hits0;
+    report.cache_misses = cache->misses() - misses0;
+    const double total =
+        static_cast<double>(report.cache_hits + report.cache_misses);
+    report.cache_hit_ratio =
+        total == 0 ? 0.0 : static_cast<double>(report.cache_hits) / total;
+  }
+
+  queries_served_.fetch_add(report.queries, std::memory_order_relaxed);
+  queries_metric_.Add(report.queries);
+  qps_metric_.Set(static_cast<std::int64_t>(report.qps));
+  return report;
+}
+
+std::vector<Query> ServingFrontend::MixedWorkload(
+    std::size_t count, const std::vector<IPv4Address>& hosts,
+    const std::vector<std::string>& search_texts,
+    const std::vector<std::string>& protocols, Timestamp now, Rng& rng) {
+  std::vector<Query> queries;
+  queries.reserve(count);
+  if (hosts.empty()) return queries;
+  for (std::size_t i = 0; i < count; ++i) {
+    Query q;
+    q.ip = hosts[rng.NextBelow(hosts.size())];
+    q.at = now;
+    const double roll = rng.NextDouble();
+    if (roll < 0.70 || (search_texts.empty() && protocols.empty())) {
+      q.kind = Query::Kind::kLookup;
+    } else if (roll < 0.80) {
+      q.kind = Query::Kind::kHistory;
+      // Uniformly back in time up to a week, clamped at t=0.
+      const std::int64_t back =
+          static_cast<std::int64_t>(rng.NextBelow(7 * 24 * 60));
+      q.at = Timestamp{std::max<std::int64_t>(0, now.minutes - back)};
+    } else if (roll < 0.90 && !search_texts.empty()) {
+      q.kind = Query::Kind::kSearch;
+      q.text = search_texts[i % search_texts.size()];
+    } else if (!protocols.empty()) {
+      q.kind = Query::Kind::kAnalytics;
+      q.text = protocols[i % protocols.size()];
+    } else {
+      q.kind = Query::Kind::kLookup;
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace censys::serving

@@ -1,0 +1,123 @@
+// Concurrent serving frontend (§5.3 "Search and Analysis Products").
+//
+// Drives mixed user traffic — host lookups, historical lookups, search
+// queries, analytics series — against the read side, search index, and
+// analytics store from a pool of reader threads, concurrently with engine
+// ticks. Queries are pure reads: the frontend never touches the write side
+// or the journal's append path, so serving traffic cannot perturb journal
+// content (the digest tests assert exactly that).
+//
+// The frontend owns its own Executor: core::Executor::ParallelFor is a
+// single-caller primitive, and the engine's pool is busy inside ticks.
+// Reports censys.serving.* instruments (queries, qps, lookup latency);
+// cache hit/miss instruments come from the ReadSide's ViewCache.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/metrics.h"
+#include "core/rng.h"
+#include "core/types.h"
+#include "pipeline/read_side.h"
+#include "search/analytics.h"
+#include "search/index.h"
+
+namespace censys::serving {
+
+struct Query {
+  enum class Kind : std::uint8_t {
+    kLookup = 0,     // current host view (cacheable fast path)
+    kHistory = 1,    // host view at a past timestamp (replay)
+    kSearch = 2,     // full-text search expression
+    kAnalytics = 3,  // protocol series + latest daily snapshot
+  };
+
+  Kind kind = Kind::kLookup;
+  IPv4Address ip;    // lookup / history target
+  Timestamp at;      // history timestamp; analytics as-of day
+  std::string text;  // search expression / analytics protocol name
+};
+
+// Aggregate outcome of one Run() batch.
+struct BatchReport {
+  std::size_t queries = 0;
+  std::size_t lookups = 0;
+  std::size_t histories = 0;
+  std::size_t searches = 0;
+  std::size_t analytics = 0;
+
+  std::size_t lookup_hits = 0;     // lookups that returned a view
+  std::size_t search_results = 0;  // total doc ids matched across searches
+
+  double elapsed_us = 0;
+  double qps = 0;
+  double lookup_p50_us = 0;
+  double lookup_p99_us = 0;
+
+  // View-cache counter deltas across this batch (zero without a cache).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_ratio = 0;
+};
+
+class ServingFrontend {
+ public:
+  struct Options {
+    // Reader threads; 0 runs queries inline on the caller.
+    int threads = 4;
+  };
+
+  ServingFrontend(const pipeline::ReadSide& read_side,
+                  const search::SearchIndex& index,
+                  const search::AnalyticsStore& analytics)
+      : ServingFrontend(read_side, index, analytics, Options()) {}
+  ServingFrontend(const pipeline::ReadSide& read_side,
+                  const search::SearchIndex& index,
+                  const search::AnalyticsStore& analytics, Options options);
+
+  ServingFrontend(const ServingFrontend&) = delete;
+  ServingFrontend& operator=(const ServingFrontend&) = delete;
+
+  // Executes the batch across the reader pool and blocks until done. Safe
+  // to call while the engine ticks on another thread; not safe to call
+  // from two threads at once (one frontend = one query pump).
+  BatchReport Run(const std::vector<Query>& queries);
+
+  std::uint64_t queries_served() const {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
+  // Lifetime p99 of current-host lookups, microseconds.
+  double LookupP99Us() const { return lookup_latency_.Quantile(0.99); }
+  int thread_count() const { return executor_.thread_count(); }
+
+  // Registers censys.serving.queries / qps / lookup_us.
+  void BindMetrics(metrics::Registry* registry);
+
+  // Deterministic mixed workload: ~70% lookups, 10% history, 10% search,
+  // 10% analytics, targets drawn from `hosts` via `rng`. Search queries
+  // cycle through `search_texts`; analytics queries through `protocols`.
+  static std::vector<Query> MixedWorkload(
+      std::size_t count, const std::vector<IPv4Address>& hosts,
+      const std::vector<std::string>& search_texts,
+      const std::vector<std::string>& protocols, Timestamp now, Rng& rng);
+
+ private:
+  const pipeline::ReadSide& read_side_;
+  const search::SearchIndex& index_;
+  const search::AnalyticsStore& analytics_;
+  Executor executor_;
+
+  std::atomic<std::uint64_t> queries_served_{0};
+  metrics::Histogram lookup_latency_;  // lifetime, powers LookupP99Us
+
+  metrics::CounterHandle queries_metric_;
+  metrics::GaugeHandle qps_metric_;
+  metrics::HistogramHandle lookup_us_metric_;
+};
+
+}  // namespace censys::serving

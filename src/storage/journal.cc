@@ -1,5 +1,9 @@
 #include "storage/journal.h"
 
+#include <algorithm>
+#include <mutex>
+
+#include "core/strings.h"
 #include "storage/serialize.h"
 
 namespace censys::storage {
@@ -59,6 +63,18 @@ std::string_view ToString(EventKind k) {
   return "?";
 }
 
+EventJournal::EventJournal(Options options)
+    : options_(options),
+      shard_count_(std::max<std::uint32_t>(1, options.shards)),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+
+EventJournal::Shard& EventJournal::ShardFor(std::string_view entity_id) const {
+  // Fnv1a is stable across platforms and standard libraries, so the
+  // entity -> shard assignment (and thus per-shard content) is a pure
+  // function of the configuration, never of std::hash.
+  return shards_[Fnv1a64(entity_id) % shard_count_];
+}
+
 std::string EventJournal::EventKey(std::string_view entity,
                                    std::uint64_t seqno) {
   std::string key = "e/";
@@ -89,7 +105,9 @@ void EventJournal::BindMetrics(metrics::Registry* registry) {
 
 std::uint64_t EventJournal::Append(std::string_view entity_id, EventKind kind,
                                    Timestamp at, const Delta& delta) {
-  EntityMeta& meta = meta_[std::string(entity_id)];
+  Shard& shard = ShardFor(entity_id);
+  std::unique_lock lock(shard.mu);
+  EntityMeta& meta = shard.meta[std::string(entity_id)];
   if (delta.empty() && kind == EventKind::kEntityUpdated) {
     return meta.next_seqno;  // no-op refresh: nothing journaled
   }
@@ -97,44 +115,46 @@ std::uint64_t EventJournal::Append(std::string_view entity_id, EventKind kind,
   ApplyDelta(meta.current, delta);
 
   const std::string encoded = EncodeEvent(kind, at, delta);
-  delta_bytes_ += encoded.size();
+  delta_bytes_.fetch_add(encoded.size(), std::memory_order_relaxed);
   delta_bytes_metric_.Add(encoded.size());
-  full_bytes_equivalent_ += EncodeFields(meta.current).size() + 10;
-  table_.Put(EventKey(entity_id, seqno), encoded, Tier::kSsd);
-  ++event_count_;
+  full_bytes_equivalent_.fetch_add(EncodeFields(meta.current).size() + 10,
+                                   std::memory_order_relaxed);
+  shard.table.Put(EventKey(entity_id, seqno), encoded, Tier::kSsd);
+  event_count_.fetch_add(1, std::memory_order_relaxed);
   events_metric_.Add();
   ++meta.events_since_snapshot;
 
   if (meta.events_since_snapshot >= options_.snapshot_every) {
-    WriteSnapshot(entity_id, meta, at);
+    WriteSnapshot(shard, entity_id, meta, at);
   }
   return seqno;
 }
 
-void EventJournal::WriteSnapshot(std::string_view entity_id, EntityMeta& meta,
-                                 Timestamp at) {
+void EventJournal::WriteSnapshot(Shard& shard, std::string_view entity_id,
+                                 EntityMeta& meta, Timestamp at) {
   const std::uint64_t snapshot_seqno = meta.next_seqno;  // covers < seqno
   const std::string encoded = EncodeSnapshot(at, meta.current);
-  snapshot_bytes_ += encoded.size();
+  snapshot_bytes_.fetch_add(encoded.size(), std::memory_order_relaxed);
   snapshot_bytes_metric_.Add(encoded.size());
-  table_.Put(SnapshotKey(entity_id, snapshot_seqno), encoded, Tier::kSsd);
-  ++snapshot_count_;
+  shard.table.Put(SnapshotKey(entity_id, snapshot_seqno), encoded, Tier::kSsd);
+  snapshot_count_.fetch_add(1, std::memory_order_relaxed);
   snapshots_metric_.Add();
 
   if (options_.auto_tier && meta.has_snapshot) {
     // "Censys migrates journal events and historical snapshots prior to the
     // latest snapshot from SSD-backed tables to HDD-backed tables."
-    table_.Scan(EventKey(entity_id, 0), EventKey(entity_id, snapshot_seqno),
-                [&](std::string_view key, std::string_view) {
-                  table_.SetTier(key, Tier::kHdd);
-                  return true;
-                });
-    table_.Scan(SnapshotKey(entity_id, 0),
-                SnapshotKey(entity_id, snapshot_seqno),
-                [&](std::string_view key, std::string_view) {
-                  table_.SetTier(key, Tier::kHdd);
-                  return true;
-                });
+    shard.table.Scan(EventKey(entity_id, 0),
+                     EventKey(entity_id, snapshot_seqno),
+                     [&](std::string_view key, std::string_view) {
+                       shard.table.SetTier(key, Tier::kHdd);
+                       return true;
+                     });
+    shard.table.Scan(SnapshotKey(entity_id, 0),
+                     SnapshotKey(entity_id, snapshot_seqno),
+                     [&](std::string_view key, std::string_view) {
+                       shard.table.SetTier(key, Tier::kHdd);
+                       return true;
+                     });
   }
   meta.has_snapshot = true;
   meta.last_snapshot_seqno = snapshot_seqno;
@@ -142,75 +162,149 @@ void EventJournal::WriteSnapshot(std::string_view entity_id, EntityMeta& meta,
 }
 
 const FieldMap* EventJournal::CurrentState(std::string_view entity_id) const {
-  const auto it = meta_.find(std::string(entity_id));
-  if (it == meta_.end()) return nullptr;
+  Shard& shard = ShardFor(entity_id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.meta.find(std::string(entity_id));
+  if (it == shard.meta.end()) return nullptr;
   return &it->second.current;
+}
+
+std::optional<VersionedState> EventJournal::SnapshotState(
+    std::string_view entity_id) const {
+  Shard& shard = ShardFor(entity_id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.meta.find(std::string(entity_id));
+  if (it == shard.meta.end()) return std::nullopt;
+  return VersionedState{it->second.current, it->second.next_seqno};
+}
+
+std::uint64_t EventJournal::Watermark(std::string_view entity_id) const {
+  Shard& shard = ShardFor(entity_id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.meta.find(std::string(entity_id));
+  return it == shard.meta.end() ? 0 : it->second.next_seqno;
 }
 
 std::optional<FieldMap> EventJournal::ReconstructAt(std::string_view entity_id,
                                                     Timestamp at) const {
+  Shard& shard = ShardFor(entity_id);
+  std::shared_lock lock(shard.mu);
+
   // Find the latest snapshot taken at or before `at`.
   FieldMap state;
   std::uint64_t replay_from = 0;
   bool any = false;
 
-  table_.Scan(SnapshotKey(entity_id, 0),
-              SnapshotKey(entity_id, ~std::uint64_t{0}),
-              [&](std::string_view key, std::string_view value) {
-                const auto snap = DecodeSnapshot(value);
-                if (!snap.has_value()) return true;
-                if (snap->first > at) return false;  // later snapshots too
-                state = snap->second;
-                replay_from = DecodeSeqno(key.substr(key.size() - 8));
-                any = true;
-                return true;
-              });
+  shard.table.Scan(SnapshotKey(entity_id, 0),
+                   SnapshotKey(entity_id, ~std::uint64_t{0}),
+                   [&](std::string_view key, std::string_view value) {
+                     const auto snap = DecodeSnapshot(value);
+                     if (!snap.has_value()) return true;
+                     if (snap->first > at) return false;  // later snapshots too
+                     state = snap->second;
+                     replay_from = DecodeSeqno(key.substr(key.size() - 8));
+                     any = true;
+                     return true;
+                   });
 
   // Replay events in (replay_from, ...] with time <= at.
   std::uint64_t replayed = 0;
-  table_.Scan(EventKey(entity_id, replay_from),
-              EventKey(entity_id, ~std::uint64_t{0}),
-              [&](std::string_view key, std::string_view value) {
-                const std::uint64_t seqno =
-                    DecodeSeqno(key.substr(key.size() - 8));
-                const auto ev = DecodeEvent(seqno, value);
-                if (!ev.has_value()) return true;
-                if (ev->at > at) return false;
-                ApplyDelta(state, ev->delta);
-                any = true;
-                ++replayed;
-                return true;
-              });
-  if (replayed > max_replay_) max_replay_ = replayed;
+  shard.table.Scan(EventKey(entity_id, replay_from),
+                   EventKey(entity_id, ~std::uint64_t{0}),
+                   [&](std::string_view key, std::string_view value) {
+                     const std::uint64_t seqno =
+                         DecodeSeqno(key.substr(key.size() - 8));
+                     const auto ev = DecodeEvent(seqno, value);
+                     if (!ev.has_value()) return true;
+                     if (ev->at > at) return false;
+                     ApplyDelta(state, ev->delta);
+                     any = true;
+                     ++replayed;
+                     return true;
+                   });
+  // Lock-free max: replays race with each other, never with the data above.
+  std::uint64_t seen = max_replay_.load(std::memory_order_relaxed);
+  while (replayed > seen &&
+         !max_replay_.compare_exchange_weak(seen, replayed,
+                                            std::memory_order_relaxed)) {
+  }
   if (!any) return std::nullopt;
   return state;
 }
 
 std::vector<JournalEvent> EventJournal::History(
     std::string_view entity_id) const {
+  Shard& shard = ShardFor(entity_id);
+  std::shared_lock lock(shard.mu);
   std::vector<JournalEvent> events;
-  table_.Scan(EventKey(entity_id, 0), EventKey(entity_id, ~std::uint64_t{0}),
-              [&](std::string_view key, std::string_view value) {
-                const std::uint64_t seqno =
-                    DecodeSeqno(key.substr(key.size() - 8));
-                if (const auto ev = DecodeEvent(seqno, value)) {
-                  events.push_back(*ev);
-                }
-                return true;
-              });
+  shard.table.Scan(EventKey(entity_id, 0),
+                   EventKey(entity_id, ~std::uint64_t{0}),
+                   [&](std::string_view key, std::string_view value) {
+                     const std::uint64_t seqno =
+                         DecodeSeqno(key.substr(key.size() - 8));
+                     if (const auto ev = DecodeEvent(seqno, value)) {
+                       events.push_back(*ev);
+                     }
+                     return true;
+                   });
   return events;
 }
 
 std::vector<std::string> EventJournal::EntityIds() const {
   std::vector<std::string> ids;
-  ids.reserve(meta_.size());
-  for (const auto& [id, meta] : meta_) ids.push_back(id);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::shared_lock lock(shards_[s].mu);
+    for (const auto& [id, meta] : shards_[s].meta) ids.push_back(id);
+  }
   return ids;
 }
 
 void EventJournal::ForEachEntity(
     const std::function<void(std::string_view, const FieldMap&)>& fn) const {
-  for (const auto& [id, meta] : meta_) fn(id, meta.current);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::shared_lock lock(shards_[s].mu);
+    for (const auto& [id, meta] : shards_[s].meta) fn(id, meta.current);
+  }
+}
+
+void EventJournal::ScanAll(
+    const std::function<bool(std::string_view, std::string_view)>& visit)
+    const {
+  // Copy out per shard, then merge-sort into the canonical single-table
+  // order. Not a hot path: digests, dumps, and growth accounting only.
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.reserve(RowCount());
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::shared_lock lock(shards_[s].mu);
+    shards_[s].table.Scan("", "",
+                          [&](std::string_view key, std::string_view value) {
+                            rows.emplace_back(key, value);
+                            return true;
+                          });
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, value] : rows) {
+    if (!visit(key, value)) return;
+  }
+}
+
+std::size_t EventJournal::RowCount() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::shared_lock lock(shards_[s].mu);
+    total += shards_[s].table.size();
+  }
+  return total;
+}
+
+std::uint64_t EventJournal::bytes_on(Tier tier) const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::shared_lock lock(shards_[s].mu);
+    total += shards_[s].table.bytes_on(tier);
+  }
+  return total;
 }
 
 }  // namespace censys::storage

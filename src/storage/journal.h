@@ -5,11 +5,25 @@
 // rows older than the latest snapshot migrate from SSD to HDD. Lookups at
 // arbitrary timestamps reconstruct state by applying journal events on top
 // of the nearest prior snapshot — exactly the read path of §5.2.
+//
+// Concurrency: entity metadata and the backing OrderedKv are partitioned
+// across N lock-striped shards keyed by a stable hash of the entity id.
+// Each shard is guarded by a shared_mutex, so CurrentState / SnapshotState /
+// ReconstructAt / History on one entity run concurrently with Append on
+// another (and concurrently with each other on the same entity). Writers
+// take the shard lock exclusively. Aggregate counters are relaxed atomics.
+// Shard count does not change journal *content*: the same entity always
+// lands in the same shard for a given configuration, and ScanAll() visits
+// rows in canonical key order regardless of sharding — the digest tests
+// rely on this.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -38,6 +52,15 @@ struct JournalEvent {
   Delta delta;
 };
 
+// A point-in-time copy of an entity's current state plus the seqno
+// watermark (next unassigned seqno) it was taken at. The watermark is the
+// read-side cache key: it advances exactly when the entity journals a new
+// event, so equal watermarks mean byte-identical journaled state.
+struct VersionedState {
+  FieldMap fields;
+  std::uint64_t watermark = 0;
+};
+
 class EventJournal {
  public:
   struct Options {
@@ -47,10 +70,16 @@ class EventJournal {
     std::uint32_t snapshot_every = 16;
     // Automatically migrate pre-snapshot rows to HDD on snapshot.
     bool auto_tier = true;
+    // Lock stripes. Entities hash onto shards; more shards means less
+    // reader/writer contention. Content is shard-count independent.
+    std::uint32_t shards = 16;
   };
 
-  EventJournal() = default;
-  explicit EventJournal(Options options) : options_(options) {}
+  EventJournal() : EventJournal(Options{}) {}
+  explicit EventJournal(Options options);
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
 
   // Applies `delta` to the entity's current state, journals the event, and
   // returns its sequence number. Empty deltas with kind kEntityUpdated are
@@ -58,8 +87,18 @@ class EventJournal {
   std::uint64_t Append(std::string_view entity_id, EventKind kind,
                        Timestamp at, const Delta& delta);
 
-  // Cached current state (the fast path behind the Lookup API).
+  // Cached current state (the fast path behind the Lookup API). The
+  // returned pointer is stable but its contents are only safe to read from
+  // the (single) writer thread; concurrent readers must use SnapshotState.
   const FieldMap* CurrentState(std::string_view entity_id) const;
+
+  // Copy of the current state plus its seqno watermark, taken atomically
+  // under the shard's reader lock. This is the concurrent read path.
+  std::optional<VersionedState> SnapshotState(std::string_view entity_id) const;
+
+  // The entity's seqno watermark (next unassigned seqno); 0 for entities
+  // with no journal rows. Cheap: one shared lock, no state copy.
+  std::uint64_t Watermark(std::string_view entity_id) const;
 
   // Reconstructs entity state as of `at` from snapshot + replay. Returns
   // nullopt for entities with no events at or before `at`.
@@ -74,26 +113,49 @@ class EventJournal {
   void ForEachEntity(
       const std::function<void(std::string_view, const FieldMap&)>& fn) const;
 
+  // Visits every row of every shard in canonical (lexicographic key) order
+  // — the same order the pre-sharding single table scanned in, independent
+  // of shard count. Used by digests, dumps, and growth accounting.
+  void ScanAll(const std::function<bool(std::string_view key,
+                                        std::string_view value)>& visit) const;
+
   // --- storage accounting ---------------------------------------------------
-  std::uint64_t event_count() const { return event_count_; }
-  std::uint64_t snapshot_count() const { return snapshot_count_; }
+  std::uint64_t event_count() const {
+    return event_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t snapshot_count() const {
+    return snapshot_count_.load(std::memory_order_relaxed);
+  }
   // Bytes of encoded deltas actually journaled.
-  std::uint64_t delta_bytes() const { return delta_bytes_; }
+  std::uint64_t delta_bytes() const {
+    return delta_bytes_.load(std::memory_order_relaxed);
+  }
   // Bytes of encoded snapshots written.
-  std::uint64_t snapshot_bytes() const { return snapshot_bytes_; }
+  std::uint64_t snapshot_bytes() const {
+    return snapshot_bytes_.load(std::memory_order_relaxed);
+  }
+  // Aggregates across shards (the old single-table accessors).
+  std::size_t RowCount() const;
+  std::uint64_t bytes_on(Tier tier) const;
+  std::uint64_t total_bytes() const { return bytes_on(Tier::kSsd) + bytes_on(Tier::kHdd); }
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shard_count_);
+  }
 
   // Registers censys.storage.* instruments (events, snapshots, bytes).
   void BindMetrics(metrics::Registry* registry);
   // Bytes that journaling full records instead would have cost (the
   // delta-encoding ablation of DESIGN.md §4.6).
   std::uint64_t full_record_bytes_equivalent() const {
-    return full_bytes_equivalent_;
+    return full_bytes_equivalent_.load(std::memory_order_relaxed);
   }
-  const OrderedKv& table() const { return table_; }
 
   // Longest replay (events applied after the snapshot) seen by a
   // ReconstructAt call; snapshots exist to bound this.
-  std::uint64_t max_replay_length() const { return max_replay_; }
+  std::uint64_t max_replay_length() const {
+    return max_replay_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct EntityMeta {
@@ -104,21 +166,31 @@ class EventJournal {
     FieldMap current;
   };
 
+  struct Shard {
+    mutable std::shared_mutex mu;
+    OrderedKv table;
+    std::unordered_map<std::string, EntityMeta> meta;
+  };
+
   static std::string EventKey(std::string_view entity, std::uint64_t seqno);
   static std::string SnapshotKey(std::string_view entity, std::uint64_t seqno);
 
-  void WriteSnapshot(std::string_view entity_id, EntityMeta& meta,
-                     Timestamp at);
+  Shard& ShardFor(std::string_view entity_id) const;
+
+  // Requires the shard's exclusive lock.
+  void WriteSnapshot(Shard& shard, std::string_view entity_id,
+                     EntityMeta& meta, Timestamp at);
 
   Options options_{};
-  OrderedKv table_;
-  std::unordered_map<std::string, EntityMeta> meta_;
-  std::uint64_t event_count_ = 0;
-  std::uint64_t snapshot_count_ = 0;
-  std::uint64_t delta_bytes_ = 0;
-  std::uint64_t snapshot_bytes_ = 0;
-  std::uint64_t full_bytes_equivalent_ = 0;
-  mutable std::uint64_t max_replay_ = 0;
+  std::size_t shard_count_ = 1;
+  std::unique_ptr<Shard[]> shards_;
+
+  std::atomic<std::uint64_t> event_count_{0};
+  std::atomic<std::uint64_t> snapshot_count_{0};
+  std::atomic<std::uint64_t> delta_bytes_{0};
+  std::atomic<std::uint64_t> snapshot_bytes_{0};
+  std::atomic<std::uint64_t> full_bytes_equivalent_{0};
+  mutable std::atomic<std::uint64_t> max_replay_{0};
 
   metrics::CounterHandle events_metric_;
   metrics::CounterHandle snapshots_metric_;

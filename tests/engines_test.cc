@@ -355,9 +355,8 @@ TEST(WorldDeterminismTest, SameSeedSameOutcome) {
 // order, content, or count between two runs changes it.
 std::uint64_t JournalDigest(const CensysEngine& engine) {
   std::uint64_t digest = 1469598103934665603ull;
-  const std::string end(16, '\xff');
-  engine.journal().table().Scan(
-      "", end, [&](std::string_view key, std::string_view value) {
+  engine.journal().ScanAll(
+      [&](std::string_view key, std::string_view value) {
         digest = (digest ^ Fnv1a64(key)) * 1099511628211ull;
         digest = (digest ^ Fnv1a64(value)) * 1099511628211ull;
         return true;
@@ -380,7 +379,7 @@ TEST(WorldDeterminismTest, ParallelRunMatchesSerialJournalExactly) {
     world.Bootstrap();
     world.RunForDays(2);
     return std::tuple(JournalDigest(world.censys()),
-                      world.censys().journal().table().size(),
+                      world.censys().journal().RowCount(),
                       world.censys().journal().event_count(),
                       world.censys().write_side().tracked_count());
   };

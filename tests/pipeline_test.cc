@@ -3,6 +3,12 @@
 // reconstruction + enrichment.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "pipeline/entity.h"
 #include "pipeline/read_side.h"
 #include "pipeline/write_side.h"
@@ -301,6 +307,60 @@ TEST_F(ReadSideTest, EvictedServiceDisappearsFromCurrentButNotHistory) {
   const auto historical = read_.GetHostAt(key.ip, Timestamp::FromHours(1));
   ASSERT_TRUE(historical.has_value());
   EXPECT_EQ(historical->services.size(), 1u);
+}
+
+// ---------------------------------------------------------------- concurrency
+
+// Readers call GetHost / GetStateCopy while the command thread ingests:
+// the shared_mutex split means views are always built from locked copies.
+// (The full stress contract, with the view cache, lives in serving_test.)
+TEST_F(ReadSideTest, LookupsRunConcurrentlyWithIngest) {
+  constexpr int kHosts = 6;
+  for (int h = 0; h < kHosts; ++h) {
+    write_.IngestScan(HttpRecord(IPv4Address(100 + h), 80, Timestamp{1}));
+  }
+
+  int reader_count = 4;
+  if (const char* env = std::getenv("CENSYSIM_THREADS")) {
+    if (std::atoi(env) > 0) reader_count = std::atoi(env);
+  }
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < reader_count; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t local = static_cast<std::uint64_t>(r);
+      while (!done.load(std::memory_order_relaxed)) {
+        const IPv4Address ip(100 + static_cast<std::uint32_t>(local % kHosts));
+        const auto view = read_.GetHost(ip);
+        if (view.has_value()) {
+          ASSERT_FALSE(view->services.empty());
+          ASSERT_TRUE(view->services[0].last_seen.has_value());
+        }
+        const auto state =
+            write_.GetStateCopy({ip, 80, Transport::kTcp});
+        if (state.has_value()) {
+          ASSERT_GE(state->last_refreshed.minutes, state->first_seen.minutes);
+        }
+        ++local;
+      }
+    });
+  }
+
+  for (int i = 2; i < 120; ++i) {
+    for (int h = 0; h < kHosts; ++h) {
+      const std::string title = "Rev " + std::to_string(i);
+      write_.IngestScan(
+          HttpRecord(IPv4Address(100 + h), 80, Timestamp{i * 10}, title));
+    }
+    write_.AdvanceTo(Timestamp{i * 10});
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(write_.tracked_count(), static_cast<std::size_t>(kHosts));
+  const auto view = read_.GetHost(IPv4Address(100));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->services[0].record.html_title, "Rev 119");
 }
 
 }  // namespace

@@ -1,6 +1,12 @@
 // Tests for the query language, inverted index, and analytics store.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "search/analytics.h"
 #include "search/index.h"
 #include "search/query.h"
@@ -191,6 +197,63 @@ TEST(AnalyticsTest, RetentionThinsOldSnapshotsToWeekly) {
   }
   EXPECT_GT(old_kept, 10);
   EXPECT_LT(old_kept, 20);
+}
+
+// ---------------------------------------------------------------- concurrency
+
+// The serving frontend searches from many threads while the engine rebuilds
+// the index between ticks: queries take the reader lock, Index/Remove the
+// writer lock. Concurrent identical queries must agree with a serial run.
+TEST(IndexConcurrencyTest, ParallelQueriesMatchSerialResults) {
+  SearchIndex index;
+  for (int d = 0; d < 64; ++d) {
+    const std::string id = "10.0.1." + std::to_string(d);
+    index.Index(id, {{"service.name", d % 2 == 0 ? "HTTP" : "SSH"},
+                     {"service.banner", "build " + std::to_string(d % 8)}});
+  }
+
+  const std::vector<std::string> queries = {
+      "service.name: http", "service.name: ssh",
+      R"(service.banner: "build 3")",
+      "service.name: http AND NOT service.banner: 0"};
+  std::vector<std::vector<std::string>> serial;
+  for (const std::string& q : queries) {
+    std::string error;
+    serial.push_back(index.Search(q, &error));
+    EXPECT_TRUE(error.empty()) << error;
+  }
+
+  int thread_count = 4;
+  if (const char* env = std::getenv("CENSYSIM_THREADS")) {
+    if (std::atoi(env) > 0) thread_count = std::atoi(env);
+  }
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < thread_count; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 50; ++round) {
+        const std::size_t qi =
+            static_cast<std::size_t>(t + round) % queries.size();
+        std::string error;
+        if (index.Search(queries[qi], &error) != serial[qi] ||
+            !error.empty()) {
+          mismatch.store(true, std::memory_order_relaxed);
+        }
+        index.GetDocument("10.0.1.3");
+        index.doc_count();
+      }
+    });
+  }
+  // Re-index churn concurrent with the queries: rewriting a document with
+  // identical fields must not change any result set.
+  for (int round = 0; round < 50; ++round) {
+    const int d = round % 64;
+    const std::string id = "10.0.1." + std::to_string(d);
+    index.Index(id, {{"service.name", d % 2 == 0 ? "HTTP" : "SSH"},
+                     {"service.banner", "build " + std::to_string(d % 8)}});
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(mismatch.load());
 }
 
 }  // namespace
