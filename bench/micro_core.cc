@@ -78,6 +78,7 @@ BENCHMARK(BM_DeltaCompute)->Arg(8)->Arg(32);
 
 void BM_JournalAppend(benchmark::State& state) {
   storage::EventJournal journal;
+  const core::ThreadRoleGuard role(journal.command_role());
   std::uint64_t i = 0;
   const auto base = MakeRecord(16, 0);
   for (auto _ : state) {

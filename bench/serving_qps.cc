@@ -3,13 +3,13 @@
 // counts. The acceptance bar for the view cache is >=5x on the hot lookup
 // path; the frontend must scale past a single reader.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/clock.h"
 #include "fingerprint/fingerprints.h"
 #include "fingerprint/vulns.h"
 #include "pipeline/read_side.h"
@@ -20,21 +20,15 @@ using namespace censys::engines;
 
 namespace {
 
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
 // Round-robin GetHost over `hosts`, `total` times; returns lookups/sec.
 double LookupQps(const pipeline::ReadSide& read,
                  const std::vector<IPv4Address>& hosts, std::size_t total) {
-  const auto start = std::chrono::steady_clock::now();
+  const censys::WallTimer timer;
   std::size_t found = 0;
   for (std::size_t i = 0; i < total; ++i) {
     found += read.GetHost(hosts[i % hosts.size()]).has_value() ? 1 : 0;
   }
-  const double elapsed = SecondsSince(start);
+  const double elapsed = timer.ElapsedSeconds();
   if (found == 0) std::printf("(warning: no lookups resolved)\n");
   return static_cast<double>(total) / elapsed;
 }

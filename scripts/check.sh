@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Full verification matrix: plain build + ctest, one leg per sanitizer, and
+# censyslint over src/. Each leg prints a one-line PASS/FAIL summary; the
+# script exits non-zero if any leg fails.
+#
+# Usage:
+#   scripts/check.sh            # all legs
+#   scripts/check.sh plain      # just the plain build + ctest
+#   scripts/check.sh address    # one sanitizer leg (address|thread|undefined)
+#   scripts/check.sh lint       # just censyslint (builds it if needed)
+#
+# Sanitizer legs build into scratch dirs (build-asan, build-tsan, build-ubsan)
+# and run the concurrency-heavy test subset, which is where sanitizer signal
+# lives; the plain leg runs the full suite.
+set -u
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 2)
+RESULTS=()
+FAILED=0
+
+note() { printf '\n=== %s ===\n' "$*"; }
+
+record() { # record <name> <rc>
+  if [ "$2" -eq 0 ]; then
+    RESULTS+=("PASS  $1")
+  else
+    RESULTS+=("FAIL  $1")
+    FAILED=1
+  fi
+}
+
+run_plain() {
+  note "plain build + full ctest"
+  cmake -B build -S . >/dev/null &&
+    cmake --build build -j "$JOBS" &&
+    (cd build && ctest --output-on-failure)
+  record "plain (full ctest)" $?
+}
+
+# The sanitizer-relevant subset: every test that spawns threads, plus the
+# engine determinism checks that exercise the parallel executor.
+SAN_TESTS=(
+  "serving_test:"
+  "storage_test:JournalConcurrencyTest.*"
+  "pipeline_test:ReadSideTest.LookupsRunConcurrentlyWithIngest"
+  "search_test:IndexConcurrencyTest.*"
+  "engines_test:WorldDeterminismTest.Parallel*"
+  "core_test:ExecutorTest.*"
+)
+
+run_sanitizer() { # run_sanitizer <address|thread|undefined> <dir>
+  local kind="$1" dir="$2" rc=0
+  note "sanitizer leg: $kind (build dir $dir)"
+  cmake -B "$dir" -S . -DCENSYSIM_SANITIZE="$kind" >/dev/null &&
+    cmake --build "$dir" -j "$JOBS" || { record "$kind leg" 1; return; }
+  for spec in "${SAN_TESTS[@]}"; do
+    local bin="${spec%%:*}" filter="${spec#*:}"
+    if [ -n "$filter" ]; then
+      "./$dir/tests/$bin" --gtest_filter="$filter" || rc=1
+    else
+      "./$dir/tests/$bin" || rc=1
+    fi
+  done
+  record "$kind leg" $rc
+}
+
+run_lint() {
+  note "censyslint"
+  cmake -B build -S . >/dev/null &&
+    cmake --build build -j "$JOBS" --target censyslint &&
+    ./build/tools/censyslint/censyslint src &&
+    ./build/tools/censyslint/censyslint --self-test tests/lint_fixtures
+  record "censyslint (src + self-test)" $?
+}
+
+LEG="${1:-all}"
+case "$LEG" in
+  plain) run_plain ;;
+  address) run_sanitizer address build-asan ;;
+  thread) run_sanitizer thread build-tsan ;;
+  undefined) run_sanitizer undefined build-ubsan ;;
+  lint) run_lint ;;
+  all)
+    run_plain
+    run_lint
+    run_sanitizer address build-asan
+    run_sanitizer thread build-tsan
+    run_sanitizer undefined build-ubsan
+    ;;
+  *)
+    echo "usage: scripts/check.sh [plain|address|thread|undefined|lint|all]" >&2
+    exit 2
+    ;;
+esac
+
+printf '\n--- summary ---\n'
+for line in "${RESULTS[@]}"; do printf '%s\n' "$line"; done
+exit "$FAILED"

@@ -7,6 +7,7 @@
 // about this clock.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -15,6 +16,26 @@
 #include "core/types.h"
 
 namespace censys {
+
+// --- wall-clock access --------------------------------------------------------
+// The ONLY sanctioned real-time source in the tree: censyslint bans
+// std::chrono clock reads everywhere else under src/, so that wall time can
+// never leak into simulation logic or journaled state (those run off
+// SimClock below). WallTimer exists for metrics and benchmark timing only.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedSeconds() const { return ElapsedMicros() * 1e-6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 class SimClock {
  public:

@@ -14,7 +14,7 @@ Executor::Executor(int threads) {
 
 Executor::~Executor() {
   {
-    std::lock_guard lock(mu_);
+    const core::MutexLock lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -33,7 +33,7 @@ void Executor::ParallelFor(std::size_t n,
 
   std::uint64_t epoch;
   {
-    std::lock_guard lock(mu_);
+    const core::MutexLock lock(mu_);
     fn_ = &fn;
     batch_size_ = n;
     next_index_ = 0;
@@ -47,8 +47,10 @@ void Executor::ParallelFor(std::size_t n,
 
   std::exception_ptr error;
   {
-    std::unique_lock lock(mu_);
-    done_cv_.wait(lock, [&] { return completed_ == batch_size_; });
+    core::MutexLock lock(mu_);
+    lock.Await(done_cv_, [&]() CENSYS_REQUIRES(mu_) {
+      return completed_ == batch_size_;
+    });
     fn_ = nullptr;
     error = error_;
     error_ = nullptr;
@@ -61,7 +63,7 @@ void Executor::RunBatch(const std::function<void(std::size_t)>* fn,
   for (;;) {
     std::size_t begin, end;
     {
-      std::lock_guard lock(mu_);
+      const core::MutexLock lock(mu_);
       if (epoch_ != epoch || next_index_ >= batch_size_) return;
       // Claim a chunk: large enough to amortize the lock, small enough to
       // keep every thread busy until the batch tail.
@@ -75,12 +77,12 @@ void Executor::RunBatch(const std::function<void(std::size_t)>* fn,
       try {
         (*fn)(i);
       } catch (...) {
-        std::lock_guard lock(mu_);
+        const core::MutexLock lock(mu_);
         if (!error_) error_ = std::current_exception();
       }
     }
     {
-      std::lock_guard lock(mu_);
+      const core::MutexLock lock(mu_);
       // The epoch cannot have advanced while we held claimed-but-uncounted
       // indices (the owner is still waiting on them), so this is ours.
       completed_ += end - begin;
@@ -95,8 +97,8 @@ void Executor::WorkerLoop() {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::uint64_t epoch = 0;
     {
-      std::unique_lock lock(mu_);
-      work_cv_.wait(lock, [&] {
+      core::MutexLock lock(mu_);
+      lock.Await(work_cv_, [&]() CENSYS_REQUIRES(mu_) {
         return stopping_ || (epoch_ != seen_epoch && fn_ != nullptr &&
                              next_index_ < batch_size_);
       });

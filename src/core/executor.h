@@ -18,12 +18,17 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/thread_safety.h"
+
 namespace censys {
 
+// Concurrency: all batch state (current fn, index cursor, completion count,
+// epoch, stop flag) is guarded by mu_; workers and the calling thread rendez-
+// vous on the two condition variables under that same mutex. ParallelFor is
+// a single-caller primitive — two concurrent callers would share one batch.
 class Executor {
  public:
   // Spawns `threads` workers; 0 means inline execution (no threads at all).
@@ -52,16 +57,18 @@ class Executor {
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  core::Mutex mu_;
   std::condition_variable work_cv_;   // workers wait for a new batch
   std::condition_variable done_cv_;   // caller waits for batch completion
-  const std::function<void(std::size_t)>* fn_ = nullptr;  // current batch
-  std::size_t batch_size_ = 0;
-  std::size_t next_index_ = 0;
-  std::size_t completed_ = 0;
-  std::uint64_t epoch_ = 0;  // bumped per batch so workers notice new work
-  std::exception_ptr error_;
-  bool stopping_ = false;
+  // Current batch.
+  const std::function<void(std::size_t)>* fn_ CENSYS_GUARDED_BY(mu_) = nullptr;
+  std::size_t batch_size_ CENSYS_GUARDED_BY(mu_) = 0;
+  std::size_t next_index_ CENSYS_GUARDED_BY(mu_) = 0;
+  std::size_t completed_ CENSYS_GUARDED_BY(mu_) = 0;
+  // Bumped per batch so workers notice new work.
+  std::uint64_t epoch_ CENSYS_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ CENSYS_GUARDED_BY(mu_);
+  bool stopping_ CENSYS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace censys

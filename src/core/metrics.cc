@@ -1,5 +1,7 @@
 #include "core/metrics.h"
 
+#include "core/thread_safety.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -63,7 +65,7 @@ double Histogram::Quantile(double q) const {
 }
 
 Counter& Registry::GetCounter(std::string_view name) {
-  std::lock_guard lock(mu_);
+  const core::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -73,7 +75,7 @@ Counter& Registry::GetCounter(std::string_view name) {
 }
 
 Gauge& Registry::GetGauge(std::string_view name) {
-  std::lock_guard lock(mu_);
+  const core::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -82,7 +84,7 @@ Gauge& Registry::GetGauge(std::string_view name) {
 }
 
 Histogram& Registry::GetHistogram(std::string_view name) {
-  std::lock_guard lock(mu_);
+  const core::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -92,19 +94,19 @@ Histogram& Registry::GetHistogram(std::string_view name) {
 }
 
 std::uint64_t Registry::CounterValue(std::string_view name) const {
-  std::lock_guard lock(mu_);
+  const core::MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 std::int64_t Registry::GaugeValue(std::string_view name) const {
-  std::lock_guard lock(mu_);
+  const core::MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second->value();
 }
 
 const Histogram* Registry::FindHistogram(std::string_view name) const {
-  std::lock_guard lock(mu_);
+  const core::MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -118,7 +120,7 @@ std::string Registry::Render() const {
   std::vector<Line> lines;
   char buf[160];
   {
-    std::lock_guard lock(mu_);
+    const core::MutexLock lock(mu_);
     for (const auto& [name, c] : counters_) {
       std::snprintf(buf, sizeof(buf), "%-44s counter    %llu", name.c_str(),
                     static_cast<unsigned long long>(c->value()));

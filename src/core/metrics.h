@@ -12,13 +12,14 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "core/clock.h"
+#include "core/thread_safety.h"
 
 namespace censys::metrics {
 
@@ -70,6 +71,9 @@ class Histogram {
   std::atomic<std::uint64_t> max_micro_{0};
 };
 
+// Concurrency: the registry's instrument maps are guarded by mu_ (creation
+// and by-name reads); the instruments themselves are lock-free atomics, so
+// bound handles never touch mu_ on the hot path.
 class Registry {
  public:
   // Instruments are created on first use and live as long as the registry;
@@ -89,10 +93,13 @@ class Registry {
   std::string Render() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable core::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CENSYS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CENSYS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CENSYS_GUARDED_BY(mu_);
 };
 
 // --- null-safe handles --------------------------------------------------------
@@ -132,6 +139,7 @@ inline HistogramHandle BindHistogram(Registry* registry,
 
 // RAII wall-clock timer recording elapsed microseconds into a histogram on
 // destruction. Used for the per-stage timing scopes of the tick pipeline.
+// Time comes from WallTimer, the tree's one sanctioned real-time source.
 class ScopedTimer {
  public:
   explicit ScopedTimer(HistogramHandle handle) : handle_(handle) {}
@@ -139,16 +147,11 @@ class ScopedTimer {
   ScopedTimer& operator=(const ScopedTimer&) = delete;
   ~ScopedTimer() { handle_.Observe(ElapsedMicros()); }
 
-  double ElapsedMicros() const {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - start_)
-        .count();
-  }
+  double ElapsedMicros() const { return timer_.ElapsedMicros(); }
 
  private:
   HistogramHandle handle_;
-  std::chrono::steady_clock::time_point start_ =
-      std::chrono::steady_clock::now();
+  WallTimer timer_;
 };
 
 }  // namespace censys::metrics

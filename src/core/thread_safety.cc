@@ -1,0 +1,19 @@
+#include "core/thread_safety.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace censys::core {
+
+void ThreadRole::Die() const {
+  std::fputs(
+      "censysim: command-thread contract violated: a pointer-returning fast "
+      "path (or other REQUIRES(command_role) API) was called from a thread "
+      "that is not the registered command thread. Use the *Copy accessors "
+      "from concurrent readers, or ThreadRole::Detach() for a legitimate "
+      "sequential handoff.\n",
+      stderr);
+  std::abort();
+}
+
+}  // namespace censys::core

@@ -1,0 +1,210 @@
+// Compile-time concurrency contracts.
+//
+// Every lock in the tree is one of the capability-annotated wrappers below,
+// so the safety story ("writers exclusive, readers shared", "only the
+// command thread may follow this pointer") lives in the type system instead
+// of comments. Under Clang the annotations compile to thread-safety-analysis
+// attributes and the build runs with -Werror=thread-safety; under other
+// compilers they expand to nothing and the same invariants are enforced by
+// the debug-build runtime checks (ThreadRole) and by tools/censyslint,
+// which bans raw standard-library mutexes outside this header.
+//
+// Concurrency: this header *defines* the locking vocabulary — Mutex /
+// SharedMutex capabilities, MutexLock / ReaderLock scoped acquisition, and
+// ThreadRole, the capability modelling "runs on the command thread".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+// --- Clang thread-safety-analysis attribute macros ----------------------------
+
+#if defined(__clang__) && !defined(SWIG)
+#define CENSYS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CENSYS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define CENSYS_CAPABILITY(x) CENSYS_THREAD_ANNOTATION(capability(x))
+#define CENSYS_SCOPED_CAPABILITY CENSYS_THREAD_ANNOTATION(scoped_lockable)
+#define CENSYS_GUARDED_BY(x) CENSYS_THREAD_ANNOTATION(guarded_by(x))
+#define CENSYS_PT_GUARDED_BY(x) CENSYS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define CENSYS_REQUIRES(...) \
+  CENSYS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CENSYS_REQUIRES_SHARED(...) \
+  CENSYS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define CENSYS_ACQUIRE(...) \
+  CENSYS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CENSYS_ACQUIRE_SHARED(...) \
+  CENSYS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define CENSYS_RELEASE(...) \
+  CENSYS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CENSYS_RELEASE_SHARED(...) \
+  CENSYS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define CENSYS_RELEASE_GENERIC(...) \
+  CENSYS_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define CENSYS_EXCLUDES(...) CENSYS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CENSYS_ASSERT_CAPABILITY(x) \
+  CENSYS_THREAD_ANNOTATION(assert_capability(x))
+#define CENSYS_RETURN_CAPABILITY(x) CENSYS_THREAD_ANNOTATION(lock_returned(x))
+#define CENSYS_NO_THREAD_SAFETY_ANALYSIS \
+  CENSYS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace censys::core {
+
+class MutexLock;
+class ReaderLock;
+
+// Exclusive mutex capability. Prefer the scoped MutexLock to manual
+// Lock/Unlock pairs.
+class CENSYS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CENSYS_ACQUIRE() { mu_.lock(); }
+  void Unlock() CENSYS_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// Reader/writer mutex capability: writers take it exclusively (MutexLock),
+// readers share it (ReaderLock).
+class CENSYS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() CENSYS_ACQUIRE() { mu_.lock(); }
+  void Unlock() CENSYS_RELEASE() { mu_.unlock(); }
+  void LockShared() CENSYS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() CENSYS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class MutexLock;
+  friend class ReaderLock;
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock over either mutex kind. For Mutex it also carries the
+// std::unique_lock a condition variable needs (Await).
+class CENSYS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CENSYS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  explicit MutexLock(SharedMutex& mu) CENSYS_ACQUIRE(mu) : shared_(&mu.mu_) {
+    shared_->lock();
+  }
+  ~MutexLock() CENSYS_RELEASE() {
+    if (shared_ != nullptr) shared_->unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // Blocks on `cv` until `pred()` holds; the lock is released while waiting
+  // and held whenever `pred` runs. Only valid for locks over a plain Mutex.
+  template <typename Pred>
+  void Await(std::condition_variable& cv, Pred&& pred) {
+    cv.wait(lock_, static_cast<Pred&&>(pred));
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;     // engaged for Mutex
+  std::shared_mutex* shared_ = nullptr;   // engaged for SharedMutex
+};
+
+// RAII shared (reader) lock over a SharedMutex.
+class CENSYS_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) CENSYS_ACQUIRE_SHARED(mu) : mu_(&mu.mu_) {
+    mu_->lock_shared();
+  }
+  ~ReaderLock() CENSYS_RELEASE_GENERIC() { mu_->unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  std::shared_mutex* mu_;
+};
+
+// A capability that is never a runtime lock: it models "this code runs on
+// the component's command thread". Pointer-returning fast paths whose
+// results are only stable against the single command thread are annotated
+// CENSYS_REQUIRES(command_role()); callers satisfy the annotation with a
+// ThreadRoleGuard (or transitively via their own REQUIRES).
+//
+// Runtime backing (debug builds, CENSYSIM_DEBUG_THREAD_CHECKS): command
+// processing entry points call AdoptCurrentThread(), stamping the current
+// thread as the command thread; AssertHeld() aborts if called from any
+// other thread while a command thread is stamped. The first asserting
+// thread self-adopts, so single-threaded use needs no setup.
+class CENSYS_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  // Re-stamps the command thread. Command processing entry points call this
+  // first: whichever thread performs command processing *is* the command
+  // thread, which keeps sequential handoffs (a tick loop moving between
+  // threads across joins) legal while still catching concurrent misuse.
+  // Statically declares the capability held for the rest of the scope.
+  // Const because the stamp is mutable debug state, reachable through the
+  // const command_role() accessors.
+  void AdoptCurrentThread() const noexcept CENSYS_ASSERT_CAPABILITY(this) {
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+
+  // Clears the stamp; the next adopter or asserter binds afresh. For tests
+  // that legitimately hand single-threaded use across threads.
+  void Detach() const noexcept {
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+  }
+
+  // Debug check that the caller is the command thread (self-adopting when
+  // no thread is stamped yet). Statically tells the analysis the capability
+  // is held from here on.
+  void AssertHeld() const CENSYS_ASSERT_CAPABILITY(this) {
+#ifdef CENSYSIM_DEBUG_THREAD_CHECKS
+    if (!CheckHeld()) Die();
+#endif
+  }
+
+  // The raw predicate behind AssertHeld, testable in any build: true iff
+  // the current thread is (or just became) the command thread.
+  bool CheckHeld() const noexcept {
+    std::thread::id expected{};
+    const std::thread::id self = std::this_thread::get_id();
+    return owner_.compare_exchange_strong(expected, self,
+                                          std::memory_order_relaxed) ||
+           expected == self;
+  }
+
+ private:
+  [[noreturn]] void Die() const;  // report + abort (thread_safety.cc)
+
+  mutable std::atomic<std::thread::id> owner_{};
+};
+
+// Scoped acquisition of a ThreadRole: declares (and in debug builds checks)
+// that the enclosing scope runs on the role's command thread.
+class CENSYS_SCOPED_CAPABILITY ThreadRoleGuard {
+ public:
+  explicit ThreadRoleGuard(const ThreadRole& role) CENSYS_ACQUIRE(role) {
+    role.AssertHeld();
+  }
+  ~ThreadRoleGuard() CENSYS_RELEASE() {}
+
+  ThreadRoleGuard(const ThreadRoleGuard&) = delete;
+  ThreadRoleGuard& operator=(const ThreadRoleGuard&) = delete;
+};
+
+}  // namespace censys::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/thread_safety.h"
 #include "pipeline/entity.h"
 #include "proto/banner.h"
 
@@ -92,6 +93,7 @@ CensysEngine::CensysEngine(simnet::Internet& net, cert::CtLog& ct_log,
       pivots_.Forget(event.key);
       return;
     }
+    const core::ThreadRoleGuard role(journal_.command_role());
     const storage::FieldMap* state = journal_.CurrentState(event.entity_id);
     if (state == nullptr) return;
     const auto record = pipeline::RecordFrom(*state, event.key);
@@ -248,6 +250,9 @@ void CensysEngine::RunInterrogationBatch(
 }
 
 void CensysEngine::DrainScanQueue() {
+  // Drains run on the command thread: the freshness check below follows
+  // GetState's pointer without copying.
+  const core::ThreadRoleGuard role(write_side_->command_role());
   // Wave loop: each wave takes at most one candidate per service key so the
   // freshness check against write-side state observes the previous wave's
   // commits — the same thing the old one-at-a-time loop got for free.
@@ -533,6 +538,7 @@ EngineEntry CensysEngine::EntryFor(const pipeline::ServiceState& state) const {
   // eviction keep getting probed, so Censys data is never >48 h old (Fig 2).
   entry.last_scanned = state.last_refreshed;
   entry.record_count = 1;
+  const core::ThreadRoleGuard role(journal_.command_role());
   if (const storage::FieldMap* fields =
           journal_.CurrentState(pipeline::HostEntityId(state.key.ip))) {
     if (const auto record = pipeline::RecordFrom(*fields, state.key)) {
@@ -544,6 +550,8 @@ EngineEntry CensysEngine::EntryFor(const pipeline::ServiceState& state) const {
 
 std::vector<EngineEntry> CensysEngine::QueryHost(IPv4Address ip) const {
   std::vector<EngineEntry> entries;
+  const core::ThreadRoleGuard journal_role(journal_.command_role());
+  const core::ThreadRoleGuard write_role(write_side_->command_role());
   const storage::FieldMap* fields =
       journal_.CurrentState(pipeline::HostEntityId(ip));
   if (fields == nullptr) return entries;
@@ -576,6 +584,7 @@ std::optional<interrogate::ServiceRecord> CensysEngine::RequestScan(
     const auto assigned = proto::AssignedToPort(key.port, Transport::kUdp);
     if (!assigned.empty()) udp_hint = assigned.front();
   }
+  const core::ThreadRoleGuard role(write_side_->command_role());
   auto record = interrogator_->Interrogate(key, now, pop, udp_hint);
   if (record.has_value()) {
     write_side_->IngestScan(*record);

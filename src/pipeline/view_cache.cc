@@ -28,7 +28,7 @@ void ViewCache::BindMetrics(metrics::Registry* registry) {
 std::shared_ptr<const HostView> ViewCache::Get(IPv4Address ip,
                                                const Watermark& current) {
   Shard& shard = ShardFor(ip);
-  std::lock_guard lock(shard.mu);
+  const core::MutexLock lock(shard.mu);
   const auto it = shard.entries.find(ip.value());
   if (it == shard.entries.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -56,7 +56,7 @@ std::shared_ptr<const HostView> ViewCache::Get(IPv4Address ip,
 void ViewCache::Put(IPv4Address ip, const Watermark& watermark,
                     std::shared_ptr<const HostView> view) {
   Shard& shard = ShardFor(ip);
-  std::lock_guard lock(shard.mu);
+  const core::MutexLock lock(shard.mu);
   const auto it = shard.entries.find(ip.value());
   if (it != shard.entries.end()) {
     it->second.watermark = watermark;
@@ -81,7 +81,7 @@ void ViewCache::Put(IPv4Address ip, const Watermark& watermark,
 
 void ViewCache::Invalidate(IPv4Address ip) {
   Shard& shard = ShardFor(ip);
-  std::lock_guard lock(shard.mu);
+  const core::MutexLock lock(shard.mu);
   const auto it = shard.entries.find(ip.value());
   if (it == shard.entries.end()) return;
   shard.lru.erase(it->second.lru_pos);
@@ -93,7 +93,7 @@ void ViewCache::Invalidate(IPv4Address ip) {
 
 void ViewCache::Clear() {
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::lock_guard lock(shards_[s].mu);
+    const core::MutexLock lock(shards_[s].mu);
     size_.fetch_sub(shards_[s].entries.size(), std::memory_order_relaxed);
     shards_[s].entries.clear();
     shards_[s].lru.clear();

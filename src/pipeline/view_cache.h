@@ -9,20 +9,22 @@
 // pending_eviction), so a watermark match is a proof of freshness and a
 // mismatch is a precise invalidation — no TTLs, no epochs, no sweep.
 //
-// Entries hash onto lock-striped shards; each shard runs an independent
-// LRU under a plain mutex. Views are immutable shared_ptrs, so a hit is a
-// pointer copy and readers never block each other on the view itself.
+// Concurrency: entries hash onto lock-striped shards; each shard runs an
+// independent LRU whose map and recency list are guarded by the shard's
+// mutex. Views are immutable shared_ptrs, so a hit is a pointer copy and
+// readers never block each other on the view itself. Aggregate counters are
+// relaxed atomics.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "core/metrics.h"
 #include "core/rng.h"
+#include "core/thread_safety.h"
 #include "core/types.h"
 
 namespace censys::pipeline {
@@ -95,9 +97,10 @@ class ViewCache {
     std::list<std::uint32_t>::iterator lru_pos;
   };
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<std::uint32_t, Entry> entries;
-    std::list<std::uint32_t> lru;  // front = most recently used
+    core::Mutex mu;
+    std::unordered_map<std::uint32_t, Entry> entries CENSYS_GUARDED_BY(mu);
+    // Front = most recently used.
+    std::list<std::uint32_t> lru CENSYS_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(IPv4Address ip) {

@@ -1,7 +1,5 @@
 #include "pipeline/write_side.h"
 
-#include <mutex>
-
 #include "core/strings.h"
 #include "pipeline/entity.h"
 
@@ -36,7 +34,9 @@ void WriteSide::BindMetrics(metrics::Registry* registry) {
 }
 
 void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
-  std::unique_lock lock(mu_);
+  command_role_.AdoptCurrentThread();
+  journal_.command_role().AdoptCurrentThread();
+  const core::MutexLock lock(mu_);
   scans_ingested_.fetch_add(1, std::memory_order_relaxed);
   ingest_metric_.Add();
   const std::uint64_t packed = record.key.Pack();
@@ -110,7 +110,8 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
 }
 
 void WriteSide::IngestFailure(ServiceKey key, Timestamp at) {
-  std::unique_lock lock(mu_);
+  command_role_.AdoptCurrentThread();
+  const core::MutexLock lock(mu_);
   failure_metric_.Add();
   const auto it = states_.find(key.Pack());
   if (it == states_.end()) return;
@@ -123,7 +124,9 @@ void WriteSide::IngestFailure(ServiceKey key, Timestamp at) {
 }
 
 void WriteSide::AdvanceTo(Timestamp now) {
-  std::unique_lock lock(mu_);
+  command_role_.AdoptCurrentThread();
+  journal_.command_role().AdoptCurrentThread();
+  const core::MutexLock lock(mu_);
   std::vector<ServiceState> to_evict;
   for (const auto& [packed, state] : states_) {
     if (state.pending_eviction_since.has_value() &&
@@ -158,54 +161,58 @@ void WriteSide::Evict(const ServiceState& state, Timestamp now) {
   tracked_metric_.Set(static_cast<std::int64_t>(states_.size()));
 }
 
-const ServiceState* WriteSide::GetState(ServiceKey key) const {
+const ServiceState* WriteSide::GetState(ServiceKey key) const
+    CENSYS_NO_THREAD_SAFETY_ANALYSIS {
   // Deliberately lockless: only the command thread mutates states_, and
   // only the command thread may call this (callers sit inside ForEachTracked
   // callbacks, so taking mu_ shared here would self-deadlock under a waiting
-  // writer). Cross-thread readers go through GetStateCopy.
+  // writer). Cross-thread readers go through GetStateCopy; debug builds
+  // abort on any other thread. The analysis is off in this body because the
+  // command-thread role, not mu_, is what makes the states_ read safe.
+  command_role_.AssertHeld();
   const auto it = states_.find(key.Pack());
   return it == states_.end() ? nullptr : &it->second;
 }
 
 std::optional<ServiceState> WriteSide::GetStateCopy(ServiceKey key) const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   const auto it = states_.find(key.Pack());
   if (it == states_.end()) return std::nullopt;
   return it->second;
 }
 
 std::uint64_t WriteSide::ScanRevision(IPv4Address ip) const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   const auto it = host_revisions_.find(ip.value());
   return it == host_revisions_.end() ? 0 : it->second;
 }
 
 std::size_t WriteSide::tracked_count() const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   return states_.size();
 }
 
 bool WriteSide::IsPseudoFlagged(IPv4Address ip) const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   return pseudo_hosts_.contains(ip.value());
 }
 
 void WriteSide::ForEachTracked(
     const std::function<void(const ServiceState&)>& fn) const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   for (const auto& [packed, state] : states_) fn(state);
 }
 
 void WriteSide::ForEachPruned(
     const std::function<void(const PrunedService&)>& fn) const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   for (const PrunedEntry& entry : pruned_) {
     fn(PrunedService{entry.key, entry.pruned_at});
   }
 }
 
 std::vector<ServiceKey> WriteSide::RecentlyPruned(Timestamp now) const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   std::vector<ServiceKey> keys;
   for (const PrunedEntry& entry : pruned_) {
     if (entry.pruned_at + options_.reinjection_window >= now) {

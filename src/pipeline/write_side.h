@@ -23,12 +23,12 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/metrics.h"
+#include "core/thread_safety.h"
 #include "interrogate/record.h"
 #include "storage/journal.h"
 
@@ -99,8 +99,11 @@ class WriteSide {
 
   // --- scan-state queries -----------------------------------------------------
   // Command-thread fast path: pointer into the map, invalidated by a
-  // concurrent eviction. Concurrent readers use GetStateCopy.
-  const ServiceState* GetState(ServiceKey key) const;
+  // concurrent eviction. Concurrent readers use GetStateCopy. Callers must
+  // hold the command-thread capability (ThreadRoleGuard); debug builds
+  // assert the calling thread at runtime.
+  const ServiceState* GetState(ServiceKey key) const
+      CENSYS_REQUIRES(command_role());
   // Thread-safe snapshot of one service's scan state.
   std::optional<ServiceState> GetStateCopy(ServiceKey key) const;
   void ForEachTracked(
@@ -140,10 +143,17 @@ class WriteSide {
   // pseudo suppressions, tracked-service gauge).
   void BindMetrics(metrics::Registry* registry);
 
+  // The command-thread capability backing GetState's pointer contract.
+  // Command processing (IngestScan / IngestFailure / AdvanceTo) re-stamps
+  // the command thread in debug builds.
+  const core::ThreadRole& command_role() const { return command_role_; }
+
  private:
-  // Requires mu_ held exclusively.
-  void Evict(const ServiceState& state, Timestamp now);
-  void BumpRevision(IPv4Address ip) { ++host_revisions_[ip.value()]; }
+  void Evict(const ServiceState& state, Timestamp now)
+      CENSYS_REQUIRES(mu_, journal_.command_role());
+  void BumpRevision(IPv4Address ip) CENSYS_REQUIRES(mu_) {
+    ++host_revisions_[ip.value()];
+  }
 
   storage::EventJournal& journal_;
   EventBus& bus_;
@@ -151,15 +161,18 @@ class WriteSide {
 
   // Guards every map below. Writers (IngestScan / IngestFailure /
   // AdvanceTo) are exclusive; queries are shared.
-  mutable std::shared_mutex mu_;
+  mutable core::SharedMutex mu_;
+  core::ThreadRole command_role_;
 
-  std::unordered_map<std::uint64_t, ServiceState> states_;  // by packed key
+  // Service scan state by packed key.
+  std::unordered_map<std::uint64_t, ServiceState> states_ CENSYS_GUARDED_BY(mu_);
   struct PrunedEntry {
     ServiceKey key;
     Timestamp pruned_at;
   };
-  std::deque<PrunedEntry> pruned_;
-  std::unordered_map<std::uint32_t, std::uint64_t> host_revisions_;
+  std::deque<PrunedEntry> pruned_ CENSYS_GUARDED_BY(mu_);
+  std::unordered_map<std::uint32_t, std::uint64_t> host_revisions_
+      CENSYS_GUARDED_BY(mu_);
 
   // Pseudo-service detection: per-host count of services sharing one
   // content hash.
@@ -167,8 +180,9 @@ class WriteSide {
     std::unordered_map<std::uint64_t, std::uint32_t> by_content;
     std::uint32_t total = 0;
   };
-  std::unordered_map<std::uint32_t, HostCounts> host_counts_;
-  std::unordered_map<std::uint32_t, bool> pseudo_hosts_;
+  std::unordered_map<std::uint32_t, HostCounts> host_counts_
+      CENSYS_GUARDED_BY(mu_);
+  std::unordered_map<std::uint32_t, bool> pseudo_hosts_ CENSYS_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> scans_ingested_{0};
   std::atomic<std::uint64_t> evictions_{0};

@@ -1,16 +1,16 @@
 #include "search/analytics.h"
 
-#include <mutex>
-
 namespace censys::search {
 
 void AnalyticsStore::AddSnapshot(DailySnapshot snapshot) {
-  std::unique_lock lock(mu_);
+  command_role_.AdoptCurrentThread();
+  const core::MutexLock lock(mu_);
   snapshots_[snapshot.day] = std::move(snapshot);
 }
 
 std::size_t AnalyticsStore::ThinOut(Timestamp now) {
-  std::unique_lock lock(mu_);
+  command_role_.AdoptCurrentThread();
+  const core::MutexLock lock(mu_);
   const std::int64_t cutoff_day =
       (now - options_.full_retention).minutes / (24 * 60);
   std::size_t dropped = 0;
@@ -25,12 +25,20 @@ std::size_t AnalyticsStore::ThinOut(Timestamp now) {
   return dropped;
 }
 
-const DailySnapshot* AnalyticsStore::GetDay(std::int64_t day) const {
+const DailySnapshot* AnalyticsStore::GetDay(std::int64_t day) const
+    CENSYS_NO_THREAD_SAFETY_ANALYSIS {
+  // Lockless: the command-thread role, not mu_, makes this read safe, so
+  // the lock-based analysis is off in this body. Debug builds abort when
+  // called from any other thread.
+  command_role_.AssertHeld();
   const auto it = snapshots_.find(day);
   return it == snapshots_.end() ? nullptr : &it->second;
 }
 
-const DailySnapshot* AnalyticsStore::GetLatestUpTo(std::int64_t day) const {
+const DailySnapshot* AnalyticsStore::GetLatestUpTo(std::int64_t day) const
+    CENSYS_NO_THREAD_SAFETY_ANALYSIS {
+  // Lockless command-thread fast path; see GetDay.
+  command_role_.AssertHeld();
   auto it = snapshots_.upper_bound(day);
   if (it == snapshots_.begin()) return nullptr;
   --it;
@@ -39,7 +47,7 @@ const DailySnapshot* AnalyticsStore::GetLatestUpTo(std::int64_t day) const {
 
 std::optional<DailySnapshot> AnalyticsStore::GetDayCopy(
     std::int64_t day) const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   const auto it = snapshots_.find(day);
   if (it == snapshots_.end()) return std::nullopt;
   return it->second;
@@ -47,7 +55,7 @@ std::optional<DailySnapshot> AnalyticsStore::GetDayCopy(
 
 std::optional<DailySnapshot> AnalyticsStore::GetLatestUpToCopy(
     std::int64_t day) const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   auto it = snapshots_.upper_bound(day);
   if (it == snapshots_.begin()) return std::nullopt;
   --it;
@@ -56,7 +64,7 @@ std::optional<DailySnapshot> AnalyticsStore::GetLatestUpToCopy(
 
 std::vector<std::pair<std::int64_t, std::uint64_t>>
 AnalyticsStore::ProtocolSeries(const std::string& protocol) const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   std::vector<std::pair<std::int64_t, std::uint64_t>> series;
   for (const auto& [day, snapshot] : snapshots_) {
     const auto it = snapshot.by_protocol.find(protocol);
@@ -66,7 +74,7 @@ AnalyticsStore::ProtocolSeries(const std::string& protocol) const {
 }
 
 std::size_t AnalyticsStore::size() const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   return snapshots_.size();
 }
 

@@ -9,10 +9,10 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_safety.h"
 #include "core/types.h"
 
 namespace censys::search {
@@ -26,6 +26,10 @@ struct DailySnapshot {
   std::map<std::string, std::uint64_t> by_country;
 };
 
+// Concurrency: a reader/writer lock guards the snapshot map — writers
+// (AddSnapshot / ThinOut, the engine tick loop) exclusive, copying queries
+// shared. The pointer-returning lookups are lockless fast paths gated on
+// the command-thread capability instead of the lock.
 class AnalyticsStore {
  public:
   struct Options {
@@ -46,10 +50,14 @@ class AnalyticsStore {
   // Pointer-returning lookups are lockless and therefore only safe from
   // the thread that also writes (the engine tick loop): AddSnapshot /
   // ThinOut can invalidate the pointer. Concurrent readers (the serving
-  // frontend) use the copying variants below.
-  const DailySnapshot* GetDay(std::int64_t day) const;
+  // frontend) use the copying variants below. Callers hold the
+  // command-thread capability (ThreadRoleGuard); debug builds assert the
+  // calling thread at runtime.
+  const DailySnapshot* GetDay(std::int64_t day) const
+      CENSYS_REQUIRES(command_role());
   // Latest snapshot at or before `day`, if any.
-  const DailySnapshot* GetLatestUpTo(std::int64_t day) const;
+  const DailySnapshot* GetLatestUpTo(std::int64_t day) const
+      CENSYS_REQUIRES(command_role());
 
   // Thread-safe copies for cross-thread queries.
   std::optional<DailySnapshot> GetDayCopy(std::int64_t day) const;
@@ -61,12 +69,18 @@ class AnalyticsStore {
 
   std::size_t size() const;
 
+  // The command-thread capability backing the pointer-returning lookups.
+  // Writers (AddSnapshot / ThinOut) re-stamp the command thread in debug
+  // builds.
+  const core::ThreadRole& command_role() const { return command_role_; }
+
  private:
   Options options_;
   // Daily snapshots land during ticks while the serving frontend reads
   // series concurrently: writers exclusive, readers shared.
-  mutable std::shared_mutex mu_;
-  std::map<std::int64_t, DailySnapshot> snapshots_;
+  mutable core::SharedMutex mu_;
+  core::ThreadRole command_role_;
+  std::map<std::int64_t, DailySnapshot> snapshots_ CENSYS_GUARDED_BY(mu_);
 };
 
 }  // namespace censys::search

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cctype>
-#include <mutex>
 
 #include "core/strings.h"
 
@@ -47,7 +46,7 @@ void SearchIndex::BindMetrics(metrics::Registry* registry) {
 
 void SearchIndex::Index(std::string_view doc_id,
                         const storage::FieldMap& fields) {
-  std::unique_lock lock(mu_);
+  const core::MutexLock lock(mu_);
   RemoveLocked(doc_id);
   const std::string id(doc_id);
   for (const auto& [field, value] : fields) {
@@ -63,7 +62,7 @@ void SearchIndex::Index(std::string_view doc_id,
 }
 
 void SearchIndex::Remove(std::string_view doc_id) {
-  std::unique_lock lock(mu_);
+  const core::MutexLock lock(mu_);
   RemoveLocked(doc_id);
 }
 
@@ -94,13 +93,13 @@ std::vector<std::string> SearchIndex::Search(std::string_view query,
   queries_metric_.Add();
   const auto parsed = ParseQuery(query, error);
   if (!parsed.has_value()) return {};
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   const DocSet result = EvalNode(*parsed);
   return std::vector<std::string>(result.begin(), result.end());
 }
 
 std::vector<std::string> SearchIndex::Execute(const QueryPtr& query) const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   const DocSet result = EvalNode(query);
   return std::vector<std::string>(result.begin(), result.end());
 }
@@ -224,18 +223,18 @@ SearchIndex::DocSet SearchIndex::EvalTerm(const QueryNode& term) const {
 }
 
 std::size_t SearchIndex::doc_count() const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   return docs_.size();
 }
 
 std::size_t SearchIndex::term_count() const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   return postings_.size();
 }
 
 const storage::FieldMap* SearchIndex::GetDocument(
     std::string_view doc_id) const {
-  std::shared_lock lock(mu_);
+  const core::ReaderLock lock(mu_);
   const auto it = docs_.find(doc_id);
   return it == docs_.end() ? nullptr : &it->second;
 }

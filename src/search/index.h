@@ -10,17 +10,21 @@
 #include <cstdint>
 #include <map>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/metrics.h"
+#include "core/thread_safety.h"
 #include "search/query.h"
 #include "storage/delta.h"
 
 namespace censys::search {
 
+// Concurrency: one reader/writer lock guards the document store and both
+// posting maps. Writers (Index / Remove) take it exclusively; queries and
+// size probes share it, so the serving frontend can search from many
+// threads concurrently with a rebuild.
 class SearchIndex {
  public:
   // Indexes (or re-indexes) a document.
@@ -48,19 +52,20 @@ class SearchIndex {
  private:
   using DocSet = std::set<std::string>;
 
-  // Requires mu_ held exclusively.
-  void RemoveLocked(std::string_view doc_id);
-  DocSet EvalNode(const QueryPtr& node) const;
-  DocSet EvalTerm(const QueryNode& term) const;
+  void RemoveLocked(std::string_view doc_id) CENSYS_REQUIRES(mu_);
+  DocSet EvalNode(const QueryPtr& node) const CENSYS_REQUIRES_SHARED(mu_);
+  DocSet EvalTerm(const QueryNode& term) const CENSYS_REQUIRES_SHARED(mu_);
   static std::vector<std::string> Tokenize(std::string_view value);
 
   // Writers (Index / Remove) exclusive, queries shared.
-  mutable std::shared_mutex mu_;
-  std::map<std::string, storage::FieldMap, std::less<>> docs_;
+  mutable core::SharedMutex mu_;
+  std::map<std::string, storage::FieldMap, std::less<>> docs_
+      CENSYS_GUARDED_BY(mu_);
   // token -> doc ids. Tokens are "field\x1fword" plus "\x1fword" (any-field).
-  std::map<std::string, DocSet, std::less<>> postings_;
+  std::map<std::string, DocSet, std::less<>> postings_ CENSYS_GUARDED_BY(mu_);
   // field -> doc ids that have the field (accelerates wildcard terms).
-  std::map<std::string, DocSet, std::less<>> field_docs_;
+  std::map<std::string, DocSet, std::less<>> field_docs_
+      CENSYS_GUARDED_BY(mu_);
 
   metrics::GaugeHandle docs_metric_;
   metrics::CounterHandle indexed_metric_;

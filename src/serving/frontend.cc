@@ -1,18 +1,10 @@
 #include "serving/frontend.h"
 
 #include <algorithm>
-#include <chrono>
+
+#include "core/clock.h"
 
 namespace censys::serving {
-namespace {
-
-double MicrosSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-}  // namespace
 
 ServingFrontend::ServingFrontend(const pipeline::ReadSide& read_side,
                                  const search::SearchIndex& index,
@@ -45,17 +37,17 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
   std::vector<Outcome> outcomes(queries.size());
   metrics::Histogram batch_lookup_latency;
 
-  const auto batch_start = std::chrono::steady_clock::now();
+  const WallTimer batch_timer;
   executor_.ParallelFor(queries.size(), [&](std::size_t i) {
     const Query& q = queries[i];
     Outcome& out = outcomes[i];
-    const auto start = std::chrono::steady_clock::now();
+    const WallTimer timer;
     switch (q.kind) {
       case Query::Kind::kLookup: {
         const auto view = read_side_.GetHost(q.ip);
         out.hit = view.has_value();
         out.results = out.hit ? view->services.size() : 0;
-        out.latency_us = MicrosSince(start);
+        out.latency_us = timer.ElapsedMicros();
         batch_lookup_latency.Observe(out.latency_us);
         lookup_latency_.Observe(out.latency_us);
         lookup_us_metric_.Observe(out.latency_us);
@@ -65,7 +57,7 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
         const auto view = read_side_.GetHostAt(q.ip, q.at);
         out.hit = view.has_value();
         out.results = out.hit ? view->services.size() : 0;
-        out.latency_us = MicrosSince(start);
+        out.latency_us = timer.ElapsedMicros();
         break;
       }
       case Query::Kind::kSearch: {
@@ -73,7 +65,7 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
         const auto ids = index_.Search(q.text, &error);
         out.hit = !ids.empty();
         out.results = ids.size();
-        out.latency_us = MicrosSince(start);
+        out.latency_us = timer.ElapsedMicros();
         break;
       }
       case Query::Kind::kAnalytics: {
@@ -82,12 +74,12 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
             analytics_.GetLatestUpToCopy(q.at.minutes / (24 * 60));
         out.hit = !series.empty() || latest.has_value();
         out.results = series.size();
-        out.latency_us = MicrosSince(start);
+        out.latency_us = timer.ElapsedMicros();
         break;
       }
     }
   });
-  report.elapsed_us = MicrosSince(batch_start);
+  report.elapsed_us = batch_timer.ElapsedMicros();
 
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const Outcome& out = outcomes[i];

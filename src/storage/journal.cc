@@ -1,7 +1,6 @@
 #include "storage/journal.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "core/strings.h"
 #include "storage/serialize.h"
@@ -105,8 +104,11 @@ void EventJournal::BindMetrics(metrics::Registry* registry) {
 
 std::uint64_t EventJournal::Append(std::string_view entity_id, EventKind kind,
                                    Timestamp at, const Delta& delta) {
+  // Whichever thread appends is the command thread: CurrentState pointer
+  // holders must be on it (debug builds enforce this).
+  command_role_.AdoptCurrentThread();
   Shard& shard = ShardFor(entity_id);
-  std::unique_lock lock(shard.mu);
+  const core::MutexLock lock(shard.mu);
   EntityMeta& meta = shard.meta[std::string(entity_id)];
   if (delta.empty() && kind == EventKind::kEntityUpdated) {
     return meta.next_seqno;  // no-op refresh: nothing journaled
@@ -162,8 +164,9 @@ void EventJournal::WriteSnapshot(Shard& shard, std::string_view entity_id,
 }
 
 const FieldMap* EventJournal::CurrentState(std::string_view entity_id) const {
+  command_role_.AssertHeld();
   Shard& shard = ShardFor(entity_id);
-  std::shared_lock lock(shard.mu);
+  const core::ReaderLock lock(shard.mu);
   const auto it = shard.meta.find(std::string(entity_id));
   if (it == shard.meta.end()) return nullptr;
   return &it->second.current;
@@ -172,7 +175,7 @@ const FieldMap* EventJournal::CurrentState(std::string_view entity_id) const {
 std::optional<VersionedState> EventJournal::SnapshotState(
     std::string_view entity_id) const {
   Shard& shard = ShardFor(entity_id);
-  std::shared_lock lock(shard.mu);
+  const core::ReaderLock lock(shard.mu);
   const auto it = shard.meta.find(std::string(entity_id));
   if (it == shard.meta.end()) return std::nullopt;
   return VersionedState{it->second.current, it->second.next_seqno};
@@ -180,7 +183,7 @@ std::optional<VersionedState> EventJournal::SnapshotState(
 
 std::uint64_t EventJournal::Watermark(std::string_view entity_id) const {
   Shard& shard = ShardFor(entity_id);
-  std::shared_lock lock(shard.mu);
+  const core::ReaderLock lock(shard.mu);
   const auto it = shard.meta.find(std::string(entity_id));
   return it == shard.meta.end() ? 0 : it->second.next_seqno;
 }
@@ -188,7 +191,7 @@ std::uint64_t EventJournal::Watermark(std::string_view entity_id) const {
 std::optional<FieldMap> EventJournal::ReconstructAt(std::string_view entity_id,
                                                     Timestamp at) const {
   Shard& shard = ShardFor(entity_id);
-  std::shared_lock lock(shard.mu);
+  const core::ReaderLock lock(shard.mu);
 
   // Find the latest snapshot taken at or before `at`.
   FieldMap state;
@@ -235,7 +238,7 @@ std::optional<FieldMap> EventJournal::ReconstructAt(std::string_view entity_id,
 std::vector<JournalEvent> EventJournal::History(
     std::string_view entity_id) const {
   Shard& shard = ShardFor(entity_id);
-  std::shared_lock lock(shard.mu);
+  const core::ReaderLock lock(shard.mu);
   std::vector<JournalEvent> events;
   shard.table.Scan(EventKey(entity_id, 0),
                    EventKey(entity_id, ~std::uint64_t{0}),
@@ -253,7 +256,7 @@ std::vector<JournalEvent> EventJournal::History(
 std::vector<std::string> EventJournal::EntityIds() const {
   std::vector<std::string> ids;
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::shared_lock lock(shards_[s].mu);
+    const core::ReaderLock lock(shards_[s].mu);
     for (const auto& [id, meta] : shards_[s].meta) ids.push_back(id);
   }
   return ids;
@@ -262,7 +265,7 @@ std::vector<std::string> EventJournal::EntityIds() const {
 void EventJournal::ForEachEntity(
     const std::function<void(std::string_view, const FieldMap&)>& fn) const {
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::shared_lock lock(shards_[s].mu);
+    const core::ReaderLock lock(shards_[s].mu);
     for (const auto& [id, meta] : shards_[s].meta) fn(id, meta.current);
   }
 }
@@ -275,7 +278,7 @@ void EventJournal::ScanAll(
   std::vector<std::pair<std::string, std::string>> rows;
   rows.reserve(RowCount());
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::shared_lock lock(shards_[s].mu);
+    const core::ReaderLock lock(shards_[s].mu);
     shards_[s].table.Scan("", "",
                           [&](std::string_view key, std::string_view value) {
                             rows.emplace_back(key, value);
@@ -292,7 +295,7 @@ void EventJournal::ScanAll(
 std::size_t EventJournal::RowCount() const {
   std::size_t total = 0;
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::shared_lock lock(shards_[s].mu);
+    const core::ReaderLock lock(shards_[s].mu);
     total += shards_[s].table.size();
   }
   return total;
@@ -301,7 +304,7 @@ std::size_t EventJournal::RowCount() const {
 std::uint64_t EventJournal::bytes_on(Tier tier) const {
   std::uint64_t total = 0;
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::shared_lock lock(shards_[s].mu);
+    const core::ReaderLock lock(shards_[s].mu);
     total += shards_[s].table.bytes_on(tier);
   }
   return total;

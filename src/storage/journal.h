@@ -23,13 +23,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/metrics.h"
+#include "core/thread_safety.h"
 #include "core/types.h"
 #include "storage/delta.h"
 #include "storage/kv.h"
@@ -90,7 +90,10 @@ class EventJournal {
   // Cached current state (the fast path behind the Lookup API). The
   // returned pointer is stable but its contents are only safe to read from
   // the (single) writer thread; concurrent readers must use SnapshotState.
-  const FieldMap* CurrentState(std::string_view entity_id) const;
+  // Statically: callers must hold the journal's command-thread capability
+  // (ThreadRoleGuard); at runtime, debug builds assert the calling thread.
+  const FieldMap* CurrentState(std::string_view entity_id) const
+      CENSYS_REQUIRES(command_role());
 
   // Copy of the current state plus its seqno watermark, taken atomically
   // under the shard's reader lock. This is the concurrent read path.
@@ -157,6 +160,10 @@ class EventJournal {
     return max_replay_.load(std::memory_order_relaxed);
   }
 
+  // The command-thread capability backing CurrentState's pointer contract.
+  // Append (re-)stamps the command thread in debug builds.
+  const core::ThreadRole& command_role() const { return command_role_; }
+
  private:
   struct EntityMeta {
     std::uint64_t next_seqno = 0;
@@ -167,9 +174,9 @@ class EventJournal {
   };
 
   struct Shard {
-    mutable std::shared_mutex mu;
-    OrderedKv table;
-    std::unordered_map<std::string, EntityMeta> meta;
+    mutable core::SharedMutex mu;
+    OrderedKv table CENSYS_GUARDED_BY(mu);
+    std::unordered_map<std::string, EntityMeta> meta CENSYS_GUARDED_BY(mu);
   };
 
   static std::string EventKey(std::string_view entity, std::uint64_t seqno);
@@ -177,13 +184,14 @@ class EventJournal {
 
   Shard& ShardFor(std::string_view entity_id) const;
 
-  // Requires the shard's exclusive lock.
   void WriteSnapshot(Shard& shard, std::string_view entity_id,
-                     EntityMeta& meta, Timestamp at);
+                     EntityMeta& meta, Timestamp at)
+      CENSYS_REQUIRES(shard.mu);
 
   Options options_{};
   std::size_t shard_count_ = 1;
   std::unique_ptr<Shard[]> shards_;
+  core::ThreadRole command_role_;
 
   std::atomic<std::uint64_t> event_count_{0};
   std::atomic<std::uint64_t> snapshot_count_{0};

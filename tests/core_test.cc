@@ -6,9 +6,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <map>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/cidr.h"
@@ -18,6 +20,7 @@
 #include "core/rng.h"
 #include "core/sha256.h"
 #include "core/strings.h"
+#include "core/thread_safety.h"
 #include "core/types.h"
 
 namespace censys {
@@ -615,6 +618,94 @@ TEST(MetricsTest, CountersAreThreadSafe) {
   });
   EXPECT_EQ(counter.value(), 20000u);
   EXPECT_EQ(hist.count(), 20000u);
+}
+
+// ---------------------------------------------- thread-safety primitives
+
+TEST(ThreadSafetyTest, MutexLockExcludesConcurrentWriters) {
+  core::Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&]() {
+      for (int i = 0; i < 5000; ++i) {
+        const core::MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(counter, 20000);
+}
+
+TEST(ThreadSafetyTest, ReaderLockAdmitsConcurrentReaders) {
+  core::SharedMutex mu;
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&]() {
+      for (int i = 0; i < 200; ++i) {
+        const core::ReaderLock lock(mu);
+        const int now = concurrent.fetch_add(1) + 1;
+        int seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        concurrent.fetch_sub(1);
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(concurrent.load(), 0);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(ThreadSafetyTest, MutexLockAwaitWakesOnPredicate) {
+  core::Mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  std::thread waiter([&]() {
+    core::MutexLock lock(mu);
+    lock.Await(cv, [&]() { return ready; });
+  });
+  {
+    const core::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  SUCCEED();
+}
+
+TEST(ThreadSafetyTest, ThreadRoleSelfBindsAndTracksOwner) {
+  core::ThreadRole role;
+  // First checker binds the role to the current thread...
+  EXPECT_TRUE(role.CheckHeld());
+  // ...and keeps holding it.
+  EXPECT_TRUE(role.CheckHeld());
+  // Any other thread now fails the check.
+  bool other_held = true;
+  std::thread other([&]() { other_held = role.CheckHeld(); });
+  other.join();
+  EXPECT_FALSE(other_held);
+}
+
+TEST(ThreadSafetyTest, ThreadRoleAdoptionMovesOwnership) {
+  core::ThreadRole role;
+  EXPECT_TRUE(role.CheckHeld());  // bound to main
+  // Sequential handoff: a worker adopts, becoming the command thread.
+  bool worker_held = false;
+  std::thread worker([&]() {
+    role.AdoptCurrentThread();
+    worker_held = role.CheckHeld();
+  });
+  worker.join();
+  EXPECT_TRUE(worker_held);
+  // Main is no longer the owner...
+  EXPECT_FALSE(role.CheckHeld());
+  // ...until it detaches and rebinds.
+  role.Detach();
+  EXPECT_TRUE(role.CheckHeld());
 }
 
 }  // namespace

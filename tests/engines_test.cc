@@ -291,6 +291,8 @@ TEST_F(WorldTest, RequestScanServesRealTimeResults) {
   // Pick a live service Censys does not know about yet, request an
   // on-demand scan, and see it appear in the dataset (Figure 1 "Real-Time
   // Scan Requests").
+  const core::ThreadRoleGuard role(
+      world_->censys().write_side().command_role());
   std::optional<simnet::SimService> target;
   world_->internet().ForEachActiveService(
       world_->now(), [&](const simnet::SimService& svc) {
@@ -315,6 +317,8 @@ TEST_F(WorldTest, RequestScanServesRealTimeResults) {
 TEST_F(WorldTest, ExclusionStopsScanningAndDropsData) {
   // Opt out a prefix that currently has tracked services; after the
   // eviction deadline its services must be gone from the dataset.
+  const core::ThreadRoleGuard role(
+      world_->censys().write_side().command_role());
   std::optional<ServiceKey> victim;
   world_->censys().write_side().ForEachTracked(
       [&](const pipeline::ServiceState& state) {

@@ -1,0 +1,18 @@
+// Fixture: a class holding a core lock without a Concurrency contract
+// comment anywhere in the file must be flagged. (This header deliberately
+// omits that comment — do not "fix" it.)
+#pragma once
+
+#include "core/thread_safety.h"
+
+class Undocumented {
+ public:
+  void Bump() {
+    const censys::core::MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  censys::core::Mutex mu_;  // expect: concurrency-contract
+  int count_ = 0;
+};

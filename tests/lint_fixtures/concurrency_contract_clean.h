@@ -1,0 +1,18 @@
+// Fixture: the contract comment satisfies the rule.
+#pragma once
+
+#include "core/thread_safety.h"
+
+// Concurrency: mu_ guards count_; Bump takes it exclusively, readers use
+// the atomic-free accessor under the same lock.
+class Documented {
+ public:
+  void Bump() {
+    const censys::core::MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  censys::core::SharedMutex mu_;
+  int count_ = 0;
+};

@@ -1,0 +1,12 @@
+// Fixture: raw standard-library locks must be flagged outside
+// core/thread_safety.h.
+#include <mutex>
+
+struct BadLocker {
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);  // expect: raw-mutex
+    ++count_;
+  }
+  std::mutex mu_;  // expect: raw-mutex
+  int count_ = 0;
+};

@@ -1,0 +1,13 @@
+// Fixture: the capability-annotated wrappers are the sanctioned way to
+// lock; nothing here should fire.
+#include "core/thread_safety.h"
+
+// Concurrency: mu_ guards count_; Touch takes it exclusively.
+struct GoodLocker {
+  void Touch() {
+    const censys::core::MutexLock lock(mu_);
+    ++count_;
+  }
+  censys::core::Mutex mu_;
+  int count_ = 0;
+};

@@ -1,0 +1,10 @@
+// Fixture: nondeterministic randomness sources must be flagged.
+#include <cstdlib>
+#include <random>
+
+unsigned Entropy() {
+  std::random_device rd;  // expect: raw-random
+  std::mt19937 gen(rd());  // expect: raw-random
+  srand(gen());  // expect: raw-random
+  return rand();  // expect: raw-random
+}

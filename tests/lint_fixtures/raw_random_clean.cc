@@ -1,0 +1,10 @@
+// Fixture: the seeded Rng is fine, and identifiers that merely contain
+// "rand" must not fire.
+#include "core/rng.h"
+
+unsigned Draw(censys::Rng& rng) {
+  const unsigned operand = 7;
+  return rng.Next() % operand;
+}
+
+unsigned NextRand(censys::Rng& rng) { return rng.Next(); }

@@ -1,0 +1,8 @@
+// Fixture: sleeping on wall time under src/ must be flagged.
+#include <chrono>
+#include <thread>
+
+void Backoff() {
+  std::this_thread::sleep_for(  // expect: thread-sleep
+      std::chrono::milliseconds(10));
+}

@@ -1,0 +1,9 @@
+// Fixture: yielding is fine; simulated waiting goes through SimClock.
+#include <thread>
+
+#include "core/clock.h"
+
+void Wait(censys::SimClock& clock, censys::Duration d) {
+  clock.Advance(d);
+  std::this_thread::yield();
+}

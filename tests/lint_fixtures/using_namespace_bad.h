@@ -1,0 +1,8 @@
+// Fixture: `using namespace` at file scope in a header must be flagged.
+#pragma once
+
+#include <string>
+
+using namespace std;  // expect: using-namespace-header
+
+inline string Greet() { return "hello"; }

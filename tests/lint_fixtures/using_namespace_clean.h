@@ -1,0 +1,12 @@
+// Fixture: qualified names and using-declarations in headers are fine.
+#pragma once
+
+#include <string>
+
+namespace fixtures {
+
+using std::string;
+
+inline string Greet() { return "hello"; }
+
+}  // namespace fixtures

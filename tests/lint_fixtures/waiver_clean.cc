@@ -1,0 +1,8 @@
+// Fixture: a censyslint:allow(...) waiver on the offending line suppresses
+// exactly that rule; the file must lint clean.
+#include <mutex>
+
+struct Interop {
+  // Third-party API requires a std::mutex here.
+  std::mutex raw_;  // censyslint:allow(raw-mutex)
+};

@@ -1,0 +1,14 @@
+// Fixture: reading a real clock outside core/clock.h must be flagged.
+#include <chrono>
+
+double NowSeconds() {
+  const auto now = std::chrono::steady_clock::now();  // expect: wall-clock
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long UnixMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now()  // expect: wall-clock
+                 .time_since_epoch())
+      .count();
+}

@@ -1,0 +1,11 @@
+// Fixture: WallTimer is the sanctioned real-time source; mentioning
+// steady_clock in comments or strings must not fire.
+#include "core/clock.h"
+
+// std::chrono::steady_clock appears in this comment only.
+double Measure() {
+  const censys::WallTimer timer;
+  const char* label = "std::chrono::steady_clock";  // in a string literal
+  (void)label;
+  return timer.ElapsedMicros();
+}

@@ -103,6 +103,7 @@ TEST_F(WriteSideTest, FirstScanJournalsServiceFound) {
 }
 
 TEST_F(WriteSideTest, UnchangedRefreshJournalsNothing) {
+  const core::ThreadRoleGuard role(write_.command_role());
   write_.IngestScan(HttpRecord(IPv4Address(7), 80, Timestamp{100}));
   write_.IngestScan(HttpRecord(IPv4Address(7), 80, Timestamp{1540}));
   EXPECT_EQ(journal_.History("0.0.0.7").size(), 1u);
@@ -122,6 +123,7 @@ TEST_F(WriteSideTest, ChangedServiceJournalsServiceChanged) {
 }
 
 TEST_F(WriteSideTest, EvictionLifecycle) {
+  const core::ThreadRoleGuard role(write_.command_role());
   const ServiceKey key{IPv4Address(7), 80, Transport::kTcp};
   write_.IngestScan(HttpRecord(key.ip, key.port, Timestamp{0}));
 
@@ -151,6 +153,7 @@ TEST_F(WriteSideTest, EvictionLifecycle) {
 }
 
 TEST_F(WriteSideTest, SuccessfulScanClearsPendingEviction) {
+  const core::ThreadRoleGuard role(write_.command_role());
   const ServiceKey key{IPv4Address(7), 80, Transport::kTcp};
   write_.IngestScan(HttpRecord(key.ip, key.port, Timestamp{0}));
   write_.IngestFailure(key, Timestamp::FromHours(10));

@@ -280,6 +280,7 @@ TEST_P(JournalProperty, ReconstructionMatchesShadowModel) {
         journal.ReconstructAt("entity", at + Duration::Minutes(1));
     ASSERT_TRUE(just_after.has_value());
   }
+  const core::ThreadRoleGuard role(journal.command_role());
   ASSERT_EQ(*journal.CurrentState("entity"), shadow);
 }
 
@@ -393,6 +394,7 @@ TEST_P(SnapshotCadenceProperty, ReconstructionIsCadenceIndependent) {
     if (cadence == 1) {
       EXPECT_LE(journal.max_replay_length(), 1u);
     }
+    const core::ThreadRoleGuard role(journal.command_role());
     ASSERT_EQ(*journal.CurrentState("host/1"), state);
   }
 }

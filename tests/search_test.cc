@@ -172,6 +172,7 @@ TEST(AnalyticsTest, GetLatestUpTo) {
   AnalyticsStore store;
   store.AddSnapshot(Snap(5, 1));
   store.AddSnapshot(Snap(9, 2));
+  const core::ThreadRoleGuard role(store.command_role());
   EXPECT_EQ(store.GetLatestUpTo(4), nullptr);
   EXPECT_EQ(store.GetLatestUpTo(5)->day, 5);
   EXPECT_EQ(store.GetLatestUpTo(7)->day, 5);
@@ -186,6 +187,7 @@ TEST(AnalyticsTest, RetentionThinsOldSnapshotsToWeekly) {
   for (std::int64_t day = 0; day < 200; ++day) store.AddSnapshot(Snap(day, 1));
 
   store.ThinOut(Timestamp::FromDays(200));
+  const core::ThreadRoleGuard role(store.command_role());
   // Recent 90 days fully retained; older days only weekday 2.
   EXPECT_EQ(store.GetDay(150)->day, 150);  // within window
   int old_kept = 0;

@@ -210,6 +210,7 @@ TEST(JournalTest, CurrentStateTracksAppends) {
                  SetDelta("svc.80/tcp.name", "HTTP"));
   journal.Append("1.2.3.4", EventKind::kServiceChanged, Timestamp{20},
                  SetDelta("svc.80/tcp.name", "HTTPS"));
+  const core::ThreadRoleGuard role(journal.command_role());
   const FieldMap* state = journal.CurrentState("1.2.3.4");
   ASSERT_NE(state, nullptr);
   EXPECT_EQ(state->at("svc.80/tcp.name"), "HTTPS");
@@ -252,6 +253,7 @@ TEST(JournalTest, ReconstructionMatchesCurrentAfterManyEvents) {
   }
   const auto reconstructed = journal.ReconstructAt("h", Timestamp{1000});
   ASSERT_TRUE(reconstructed.has_value());
+  const core::ThreadRoleGuard role(journal.command_role());
   EXPECT_EQ(*reconstructed, *journal.CurrentState("h"));
   EXPECT_GT(journal.snapshot_count(), 5u);
 }
@@ -321,6 +323,7 @@ TEST(JournalTest, EntitiesAreIsolated) {
                  SetDelta("x", "1"));
   journal.Append("ab", EventKind::kServiceFound, Timestamp{1},
                  SetDelta("y", "2"));
+  const core::ThreadRoleGuard role(journal.command_role());
   EXPECT_EQ(journal.CurrentState("a")->size(), 1u);
   EXPECT_EQ(journal.CurrentState("ab")->size(), 1u);
   EXPECT_EQ(journal.History("a").size(), 1u);
@@ -378,6 +381,8 @@ TEST(JournalShardingTest, ContentIsShardCountIndependent) {
   EXPECT_EQ(a.snapshot_bytes(), b.snapshot_bytes());
   EXPECT_EQ(a.bytes_on(Tier::kSsd), b.bytes_on(Tier::kSsd));
   EXPECT_EQ(a.bytes_on(Tier::kHdd), b.bytes_on(Tier::kHdd));
+  const core::ThreadRoleGuard role_a(a.command_role());
+  const core::ThreadRoleGuard role_b(b.command_role());
   for (int e = 0; e < 40; ++e) {
     const std::string id = "host/" + std::to_string(e);
     ASSERT_EQ(*a.CurrentState(id), *b.CurrentState(id)) << id;

@@ -1,0 +1,421 @@
+// censyslint: the repo's determinism and concurrency-contract linter.
+//
+// A token/regex scanner (no libclang) that enforces the invariants the
+// capability annotations in core/thread_safety.h and the simulation's
+// determinism story depend on:
+//
+//   raw-mutex                 no std::mutex / std::shared_mutex /
+//                             std::lock_guard / std::unique_lock /
+//                             std::shared_lock / std::scoped_lock outside
+//                             core/thread_safety.h — every lock must be a
+//                             capability-annotated core wrapper
+//   wall-clock                no std::chrono::{steady,system,
+//                             high_resolution}_clock reads outside
+//                             core/clock.h (WallTimer is the one sanctioned
+//                             real-time source)
+//   raw-random                no std::random_device / rand() / srand() /
+//                             std::mt19937 outside core/rng.* — simulation
+//                             randomness flows through the seeded Rng
+//   thread-sleep              no std::this_thread::sleep_for / sleep_until
+//                             under src/ — simulated time never waits on
+//                             wall time
+//   using-namespace-header    no `using namespace` at file scope in headers
+//   concurrency-contract      every class/struct holding a core::Mutex or
+//                             core::SharedMutex member must carry a
+//                             "// Concurrency:" contract comment
+//
+// Findings can be waived per line with `// censyslint:allow(<rule-id>)`.
+// `--self-test <dir>` checks fixture files against their embedded
+// `// expect: <rule-id>` comments instead of reporting findings.
+//
+// Usage:
+//   censyslint [--self-test] <file-or-dir>...
+//
+// Exit status: 0 when clean (or self-test passes), 1 on findings (or
+// self-test mismatches), 2 on usage/IO errors.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Normalizes to forward slashes so suffix allowlists work on any platform.
+std::string NormalizePath(const fs::path& p) {
+  std::string s = p.generic_string();
+  return s;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool IsHeader(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp";
+}
+
+// Replaces comments and string/char literals with spaces (preserving
+// newlines and line lengths where convenient) so rule regexes never match
+// inside them. Line comments are preserved separately by the caller for
+// waiver and contract-comment checks.
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: the )delim" terminator
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"') {
+          // Raw string literal: find the delimiter up to the '('.
+          std::size_t paren = in.find('(', i + 2);
+          if (paren == std::string::npos) {
+            out += c;
+            break;
+          }
+          raw_delim = ")" + in.substr(i + 2, paren - (i + 2)) + "\"";
+          state = State::kRawString;
+          out += ' ';
+          i = paren;  // swallow through the opening paren
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out += ' ';
+          i += raw_delim.size() - 1;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream stream(text);
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+struct LineRule {
+  std::string id;
+  std::regex pattern;
+  std::string message;
+  // Path suffixes where the rule does not apply.
+  std::vector<std::string> allowed_suffixes;
+  bool headers_only = false;
+  // Restrict to paths containing this substring ("" = everywhere given).
+  std::string only_under;
+};
+
+const std::vector<LineRule>& Rules() {
+  static const std::vector<LineRule> kRules = {
+      {"raw-mutex",
+       std::regex(R"(std\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock)\b)"),
+       "raw standard-library lock; use the capability-annotated wrappers in "
+       "core/thread_safety.h",
+       {"core/thread_safety.h"},
+       false,
+       ""},
+      {"wall-clock",
+       std::regex(R"(std\s*::\s*chrono\s*::\s*(steady_clock|system_clock|high_resolution_clock)\b)"),
+       "wall-clock read; real time flows only through WallTimer in "
+       "core/clock.h",
+       {"core/clock.h"},
+       false,
+       ""},
+      {"raw-random",
+       std::regex(R"(std\s*::\s*(random_device|mt19937|mt19937_64|default_random_engine)\b|(^|[^:\w])s?rand\s*\()"),
+       "nondeterministic randomness; use the seeded core Rng (core/rng.h)",
+       {"core/rng.h", "core/rng.cc"},
+       false,
+       ""},
+      {"thread-sleep",
+       std::regex(R"(std\s*::\s*this_thread\s*::\s*sleep_(for|until)\b|\bthis_thread\s*::\s*sleep_(for|until)\b)"),
+       "sleeping on wall time inside the simulator; simulated time advances "
+       "via SimClock",
+       {},
+       false,
+       "src/"},
+      {"using-namespace-header",
+       std::regex(R"(^\s*using\s+namespace\s+[A-Za-z_])"),
+       "`using namespace` at file scope in a header leaks into every "
+       "includer",
+       {},
+       true,
+       ""},
+  };
+  return kRules;
+}
+
+bool PathAllowed(const std::string& path,
+                 const std::vector<std::string>& suffixes) {
+  return std::any_of(suffixes.begin(), suffixes.end(),
+                     [&](const std::string& s) { return EndsWith(path, s); });
+}
+
+bool HasWaiver(const std::string& raw_line, const std::string& rule) {
+  const std::string tag = "censyslint:allow(" + rule + ")";
+  return raw_line.find(tag) != std::string::npos;
+}
+
+// The concurrency-contract rule: a file whose stripped text declares a
+// core::Mutex / core::SharedMutex member must contain a "Concurrency:"
+// comment somewhere (class-level contract). File granularity keeps the
+// scanner honest without parsing class extents.
+void CheckConcurrencyContract(const std::string& path,
+                              const std::vector<std::string>& raw_lines,
+                              const std::vector<std::string>& code_lines,
+                              std::vector<Finding>* findings) {
+  static const std::regex kLockMember(
+      R"(\bcore\s*::\s*(Mutex|SharedMutex)\s+\w+\s*;)");
+  std::size_t first_lock_line = 0;
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    if (std::regex_search(code_lines[i], kLockMember)) {
+      first_lock_line = i + 1;
+      break;
+    }
+  }
+  if (first_lock_line == 0) return;
+  for (const std::string& line : raw_lines) {
+    if (line.find("Concurrency:") != std::string::npos) return;
+  }
+  if (HasWaiver(raw_lines[first_lock_line - 1], "concurrency-contract")) {
+    return;
+  }
+  findings->push_back(
+      {path, first_lock_line, "concurrency-contract",
+       "class holds a core lock but the file has no \"// Concurrency:\" "
+       "contract comment"});
+}
+
+void LintFile(const fs::path& file, std::vector<Finding>* findings) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    findings->push_back({NormalizePath(file), 0, "io", "cannot read file"});
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+  const std::string code = StripCommentsAndStrings(raw);
+  const std::vector<std::string> raw_lines = SplitLines(raw);
+  const std::vector<std::string> code_lines = SplitLines(code);
+  const std::string path = NormalizePath(file);
+  const bool header = IsHeader(file);
+
+  for (const LineRule& rule : Rules()) {
+    if (rule.headers_only && !header) continue;
+    if (!rule.only_under.empty() &&
+        path.find(rule.only_under) == std::string::npos) {
+      continue;
+    }
+    if (PathAllowed(path, rule.allowed_suffixes)) continue;
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+      if (!std::regex_search(code_lines[i], rule.pattern)) continue;
+      if (i < raw_lines.size() && HasWaiver(raw_lines[i], rule.id)) continue;
+      findings->push_back({path, i + 1, rule.id, rule.message});
+    }
+  }
+  CheckConcurrencyContract(path, raw_lines, code_lines, findings);
+}
+
+void CollectFiles(const fs::path& root, std::vector<fs::path>* files) {
+  if (fs::is_regular_file(root)) {
+    if (IsSourceFile(root)) files->push_back(root);
+    return;
+  }
+  if (!fs::is_directory(root)) return;
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    if (it->is_directory() &&
+        (name.rfind("build", 0) == 0 || name == ".git")) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && IsSourceFile(p)) files->push_back(p);
+  }
+  std::sort(files->begin(), files->end());
+}
+
+// --self-test: every fixture file declares the rules it must fire with
+// `// expect: <rule-id>` comments (one per line, any order); clean twins
+// declare none and must produce zero findings.
+int SelfTest(const std::vector<fs::path>& roots) {
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) CollectFiles(root, &files);
+  if (files.empty()) {
+    std::fprintf(stderr, "censyslint --self-test: no fixture files found\n");
+    return 2;
+  }
+  static const std::regex kExpect(R"(//\s*expect:\s*([a-z-]+))");
+  int failures = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string raw = buffer.str();
+
+    std::vector<std::string> expected;
+    for (std::sregex_iterator it(raw.begin(), raw.end(), kExpect), end;
+         it != end; ++it) {
+      expected.push_back((*it)[1].str());
+    }
+    std::sort(expected.begin(), expected.end());
+
+    std::vector<Finding> findings;
+    LintFile(file, &findings);
+    std::vector<std::string> got;
+    got.reserve(findings.size());
+    for (const Finding& f : findings) got.push_back(f.rule);
+    std::sort(got.begin(), got.end());
+
+    if (got != expected) {
+      ++failures;
+      std::fprintf(stderr, "self-test FAIL %s\n",
+                   NormalizePath(file).c_str());
+      std::fprintf(stderr, "  expected:");
+      for (const auto& r : expected) std::fprintf(stderr, " %s", r.c_str());
+      std::fprintf(stderr, "\n  got:     ");
+      for (const auto& r : got) std::fprintf(stderr, " %s", r.c_str());
+      std::fprintf(stderr, "\n");
+    }
+  }
+  std::printf("censyslint self-test: %zu fixture(s), %d failure(s)\n",
+              files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self_test = false;
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: censyslint [--self-test] <file-or-dir>...\n");
+      return 0;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: censyslint [--self-test] <file-or-dir>...\n");
+    return 2;
+  }
+  if (self_test) return SelfTest(roots);
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "censyslint: no such path: %s\n",
+                   NormalizePath(root).c_str());
+      return 2;
+    }
+    CollectFiles(root, &files);
+  }
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) LintFile(file, &findings);
+  for (const Finding& f : findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  std::printf("censyslint: %zu file(s), %zu finding(s)\n", files.size(),
+              findings.size());
+  return findings.empty() ? 0 : 1;
+}
