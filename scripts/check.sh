@@ -7,6 +7,7 @@
 #   scripts/check.sh            # all legs
 #   scripts/check.sh plain      # just the plain build + ctest
 #   scripts/check.sh address    # one sanitizer leg (address|thread|undefined)
+#   scripts/check.sh faultoff   # CENSYSIM_FAULT_INJECTION=OFF compile + tests
 #   scripts/check.sh lint       # just censyslint (builds it if needed)
 #
 # Sanitizer legs build into scratch dirs (build-asan, build-tsan, build-ubsan)
@@ -39,20 +40,26 @@ run_plain() {
 }
 
 # The sanitizer-relevant subset: every test that spawns threads, plus the
-# engine determinism checks that exercise the parallel executor.
+# engine determinism checks that exercise the parallel executor, plus the
+# WAL crash-recovery torture loop (fault unwinding + POSIX I/O under ASan).
 SAN_TESTS=(
   "serving_test:"
-  "storage_test:JournalConcurrencyTest.*"
+  "storage_test:JournalConcurrencyTest.*:Wal*"
   "pipeline_test:ReadSideTest.LookupsRunConcurrentlyWithIngest"
   "search_test:IndexConcurrencyTest.*"
   "engines_test:WorldDeterminismTest.Parallel*"
-  "core_test:ExecutorTest.*"
+  "core_test:ExecutorTest.*:FaultInjectorTest.*:Crc32cTest.*"
+  "failure_injection_test:WalTortureTest.*:WalFaultTest.*"
 )
 
 run_sanitizer() { # run_sanitizer <address|thread|undefined> <dir>
   local kind="$1" dir="$2" rc=0
   note "sanitizer leg: $kind (build dir $dir)"
-  cmake -B "$dir" -S . -DCENSYSIM_SANITIZE="$kind" >/dev/null &&
+  # Fault injection is pinned ON so the torture/degradation tests run
+  # under every sanitizer (it defaults ON, but the legs must not silently
+  # lose that coverage if the default ever changes).
+  cmake -B "$dir" -S . -DCENSYSIM_SANITIZE="$kind" \
+    -DCENSYSIM_FAULT_INJECTION=ON >/dev/null &&
     cmake --build "$dir" -j "$JOBS" || { record "$kind leg" 1; return; }
   for spec in "${SAN_TESTS[@]}"; do
     local bin="${spec%%:*}" filter="${spec#*:}"
@@ -63,6 +70,22 @@ run_sanitizer() { # run_sanitizer <address|thread|undefined> <dir>
     fi
   done
   record "$kind leg" $rc
+}
+
+# Production shape: CENSYSIM_FAULT_INJECTION=OFF must still compile and
+# the WAL/recovery tests must still pass (fault::Hit folds to a constant
+# nullopt; only the injection-dependent tests drop out).
+run_faultoff() {
+  note "fault-injection-off leg (build dir build-faultoff)"
+  local rc=0
+  cmake -B build-faultoff -S . -DCENSYSIM_FAULT_INJECTION=OFF >/dev/null &&
+    cmake --build build-faultoff -j "$JOBS" || {
+    record "fault-off leg" 1
+    return
+  }
+  ./build-faultoff/tests/storage_test || rc=1
+  ./build-faultoff/tests/core_test --gtest_filter="FaultInjectorTest.*" || rc=1
+  record "fault-off leg" $rc
 }
 
 run_lint() {
@@ -80,16 +103,18 @@ case "$LEG" in
   address) run_sanitizer address build-asan ;;
   thread) run_sanitizer thread build-tsan ;;
   undefined) run_sanitizer undefined build-ubsan ;;
+  faultoff) run_faultoff ;;
   lint) run_lint ;;
   all)
     run_plain
     run_lint
+    run_faultoff
     run_sanitizer address build-asan
     run_sanitizer thread build-tsan
     run_sanitizer undefined build-ubsan
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|address|thread|undefined|lint|all]" >&2
+    echo "usage: scripts/check.sh [plain|address|thread|undefined|faultoff|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,72 @@
+#include "core/crc32c.h"
+
+#include <bit>
+#include <cstring>
+
+namespace censys::core {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+struct Tables {
+  std::uint32_t t[8][256];
+};
+
+const Tables& T() {
+  static const Tables tables = [] {
+    Tables tb{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      tb.t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (int s = 1; s < 8; ++s) {
+        tb.t[s][i] = (tb.t[s - 1][i] >> 8) ^ tb.t[0][tb.t[s - 1][i] & 0xFFu];
+      }
+    }
+    return tb;
+  }();
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t n) {
+  const Tables& tb = T();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+
+  if constexpr (std::endian::native == std::endian::little) {
+    // Align to 8 bytes, then slice-by-8.
+    while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+      crc = tb.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+      --n;
+    }
+    while (n >= 8) {
+      std::uint64_t word;
+      std::memcpy(&word, p, 8);
+      word ^= crc;
+      crc = tb.t[7][word & 0xFFu] ^ tb.t[6][(word >> 8) & 0xFFu] ^
+            tb.t[5][(word >> 16) & 0xFFu] ^ tb.t[4][(word >> 24) & 0xFFu] ^
+            tb.t[3][(word >> 32) & 0xFFu] ^ tb.t[2][(word >> 40) & 0xFFu] ^
+            tb.t[1][(word >> 48) & 0xFFu] ^ tb.t[0][(word >> 56) & 0xFFu];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --n;
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace censys::core

@@ -1,0 +1,27 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the WAL's record checksum.
+//
+// Chosen over plain CRC32 for the same reason iSCSI (RFC 3720) and the
+// Bigtable/LevelDB family chose it: better error-detection properties for
+// the short-to-medium records a journal writes, and a well-known set of
+// published test vectors (tests/core_test.cc checks the RFC 3720 ones).
+// Software implementation: slicing-by-8 on little-endian hosts, a plain
+// byte-at-a-time table everywhere else. No CPU-feature dispatch — determinism
+// and portability beat the last 2x here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace censys::core {
+
+// CRC32C of `data` (the standard whole-buffer form: init 0xFFFFFFFF,
+// final xor — "123456789" hashes to 0xE3069283).
+std::uint32_t Crc32c(std::string_view data);
+
+// Streaming form: extends `crc` (a previous return value, or 0 to start)
+// over `n` more bytes. Crc32c(a + b) == Crc32cExtend(Crc32c(a), b).
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t n);
+
+}  // namespace censys::core

@@ -1,0 +1,106 @@
+#include "core/fault.h"
+
+#include "core/rng.h"
+#include "core/strings.h"
+
+namespace censys::fault {
+namespace {
+
+// Stateless per-hit randomness: a pure function of (seed, point, hit
+// index, salt). No stream state — interleaving across threads and points
+// cannot change any individual decision.
+std::uint64_t HashHit(std::uint64_t seed, std::string_view point,
+                      std::uint64_t hit, std::uint64_t salt) {
+  return SplitMix64(seed ^ Fnv1a64(point) ^ SplitMix64(hit) ^
+                    (salt * 0x9E3779B97F4A7C15ull));
+}
+
+double HitDouble(std::uint64_t seed, std::string_view point,
+                 std::uint64_t hit, std::uint64_t salt) {
+  return static_cast<double>(HashHit(seed, point, hit, salt) >> 11) *
+         0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view ToString(Mode mode) {
+  switch (mode) {
+    case Mode::kErrorReturn: return "error-return";
+    case Mode::kTornWrite: return "torn-write";
+    case Mode::kBitFlip: return "bit-flip";
+    case Mode::kCrash: return "crash";
+  }
+  return "?";
+}
+
+Injector& Injector::Global() {
+  static Injector* injector = new Injector();
+  return *injector;
+}
+
+void Injector::Arm(std::uint64_t seed, std::vector<Rule> rules) {
+  armed_.store(false, std::memory_order_release);
+  seed_ = seed;
+  points_.clear();
+  points_.reserve(rules.size());
+  for (Rule& rule : rules) {
+    auto state = std::make_unique<PointState>();
+    state->rule = std::move(rule);
+    points_.push_back(std::move(state));
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void Injector::Disarm() { armed_.store(false, std::memory_order_release); }
+
+std::optional<Fault> Injector::Check(std::string_view point) {
+  if (!armed()) return std::nullopt;
+  for (const auto& state : points_) {
+    const Rule& rule = state->rule;
+    if (rule.point != point) continue;
+    const std::uint64_t hit =
+        state->hits.fetch_add(1, std::memory_order_relaxed);
+    if (hit < rule.skip_hits) continue;
+    if (state->fires.load(std::memory_order_relaxed) >= rule.max_fires) {
+      continue;
+    }
+    if (rule.probability < 1.0 &&
+        HitDouble(seed_, point, hit, 0) >= rule.probability) {
+      continue;
+    }
+    if (state->fires.fetch_add(1, std::memory_order_relaxed) >=
+        rule.max_fires) {
+      continue;
+    }
+    Fault fault;
+    fault.mode = rule.mode;
+    // Tear somewhere strictly inside the record (never 0 bytes — that is
+    // indistinguishable from a pre-write crash — and never all of them).
+    fault.tear_frac = 0.05 + 0.9 * HitDouble(seed_, point, hit, 1);
+    fault.bit = HashHit(seed_, point, hit, 2);
+    return fault;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Injector::hits(std::string_view point) const {
+  std::uint64_t total = 0;
+  for (const auto& state : points_) {
+    if (state->rule.point == point) {
+      total += state->hits.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::uint64_t Injector::fires(std::string_view point) const {
+  std::uint64_t total = 0;
+  for (const auto& state : points_) {
+    if (state->rule.point == point) {
+      total += state->fires.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+}  // namespace censys::fault

@@ -1,6 +1,7 @@
 #include "interrogate/interrogator.h"
 
 #include "cert/x509.h"
+#include "core/fault.h"
 #include "core/rng.h"
 #include "core/strings.h"
 #include "interrogate/scanners.h"
@@ -42,6 +43,14 @@ InterrogationResult Interrogator::InterrogateDetached(
   result.key = key;
   result.at = t;
   result.pop_id = pop_id;
+
+  // Injected probe loss ("interrogate.probe"): the target looks dead for
+  // this attempt. Every fault mode reduces to a lost probe on this pure
+  // path — there is nothing to tear or corrupt.
+  if (fault::Hit("interrogate.probe").has_value()) {
+    no_answer_metric_.Add();
+    return result;
+  }
 
   const simnet::ProbeContext ctx{&profile_, pop_id};
   const auto session = net_.PeekL7(ctx, key, t);

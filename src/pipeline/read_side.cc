@@ -46,6 +46,12 @@ std::optional<HostView> ReadSide::GetHost(IPv4Address ip) const {
   return view;
 }
 
+std::optional<HostView> ReadSide::GetHostStale(IPv4Address ip) const {
+  if (cache_ == nullptr) return std::nullopt;
+  if (const auto cached = cache_->GetStale(ip)) return *cached;
+  return std::nullopt;
+}
+
 std::optional<HostView> ReadSide::GetHostAt(IPv4Address ip,
                                             Timestamp at) const {
   lookups_.fetch_add(1, std::memory_order_relaxed);

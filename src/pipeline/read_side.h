@@ -73,6 +73,12 @@ class ReadSide {
   // Historical state ("What did IP A look like at time B?"). Never cached.
   std::optional<HostView> GetHostAt(IPv4Address ip, Timestamp at) const;
 
+  // Last-known view from the cache, at any watermark, bypassing the fresh
+  // read path entirely. The serving frontend's degradation ladder falls
+  // back to this when fresh reads keep failing; nullopt without a cache or
+  // when the host was never cached.
+  std::optional<HostView> GetHostStale(IPv4Address ip) const;
+
   // Installs a ViewCache for GetHost. Call before serving traffic; not
   // thread-safe against in-flight lookups.
   ViewCache& EnableCache(ViewCache::Options options = {});

@@ -22,7 +22,19 @@ void ViewCache::BindMetrics(metrics::Registry* registry) {
       metrics::BindCounter(registry, "censys.serving.cache_evictions");
   invalidations_metric_ =
       metrics::BindCounter(registry, "censys.serving.cache_invalidations");
+  stale_hits_metric_ =
+      metrics::BindCounter(registry, "censys.serving.cache_stale_hits");
   size_metric_ = metrics::BindGauge(registry, "censys.serving.cache_size");
+}
+
+std::shared_ptr<const HostView> ViewCache::GetStale(IPv4Address ip) {
+  Shard& shard = ShardFor(ip);
+  const core::MutexLock lock(shard.mu);
+  const auto it = shard.entries.find(ip.value());
+  if (it == shard.entries.end()) return nullptr;
+  stale_hits_.fetch_add(1, std::memory_order_relaxed);
+  stale_hits_metric_.Add();
+  return it->second.view;
 }
 
 std::shared_ptr<const HostView> ViewCache::Get(IPv4Address ip,

@@ -59,6 +59,12 @@ class ViewCache {
   // as an invalidation + miss.
   std::shared_ptr<const HostView> Get(IPv4Address ip, const Watermark& current);
 
+  // Returns whatever view is cached for `ip`, at *any* watermark — the
+  // graceful-degradation read path ("answer stale rather than fail").
+  // Does not touch LRU order, never erases, and counts neither a hit nor
+  // a miss; stale serves are tracked separately via stale_hits().
+  std::shared_ptr<const HostView> GetStale(IPv4Address ip);
+
   // Inserts or replaces the view for `ip`; evicts the shard's LRU tail
   // when over capacity.
   void Put(IPv4Address ip, const Watermark& watermark,
@@ -80,6 +86,9 @@ class ViewCache {
   }
   std::uint64_t invalidations() const {
     return invalidations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stale_hits() const {
+    return stale_hits_.load(std::memory_order_relaxed);
   }
   std::size_t size() const { return size_.load(std::memory_order_relaxed); }
   double HitRatio() const {
@@ -116,11 +125,13 @@ class ViewCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> stale_hits_{0};
 
   metrics::CounterHandle hits_metric_;
   metrics::CounterHandle misses_metric_;
   metrics::CounterHandle evictions_metric_;
   metrics::CounterHandle invalidations_metric_;
+  metrics::CounterHandle stale_hits_metric_;
   metrics::GaugeHandle size_metric_;
 };
 

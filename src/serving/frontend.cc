@@ -3,21 +3,39 @@
 #include <algorithm>
 
 #include "core/clock.h"
+#include "core/fault.h"
 
 namespace censys::serving {
+namespace {
+
+// Bounded busy-wait: reader threads hold no locks here and must not
+// sleep (the executor pool is shared across the batch).
+void BusyWaitMicros(double us) {
+  if (us <= 0) return;
+  const WallTimer timer;
+  while (timer.ElapsedMicros() < us) {
+  }
+}
+
+}  // namespace
 
 ServingFrontend::ServingFrontend(const pipeline::ReadSide& read_side,
                                  const search::SearchIndex& index,
                                  const search::AnalyticsStore& analytics,
                                  Options options)
     : read_side_(read_side), index_(index), analytics_(analytics),
-      executor_(options.threads) {}
+      executor_(options.threads), options_(options) {}
 
 void ServingFrontend::BindMetrics(metrics::Registry* registry) {
   queries_metric_ = metrics::BindCounter(registry, "censys.serving.queries");
   qps_metric_ = metrics::BindGauge(registry, "censys.serving.qps");
   lookup_us_metric_ =
       metrics::BindHistogram(registry, "censys.serving.lookup_us");
+  shed_metric_ = metrics::BindCounter(registry, "censys.serving.shed");
+  degraded_metric_ = metrics::BindCounter(registry, "censys.serving.degraded");
+  retries_metric_ = metrics::BindCounter(registry, "censys.serving.retries");
+  read_faults_metric_ =
+      metrics::BindCounter(registry, "censys.serving.read_faults");
 }
 
 BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
@@ -31,8 +49,13 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
 
   struct Outcome {
     bool hit = false;
+    bool shed = false;
+    bool degraded = false;
+    bool failed = false;
     std::size_t results = 0;
     double latency_us = 0;
+    std::uint32_t retries = 0;
+    std::uint32_t faults = 0;
   };
   std::vector<Outcome> outcomes(queries.size());
   metrics::Histogram batch_lookup_latency;
@@ -41,48 +64,98 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
   executor_.ParallelFor(queries.size(), [&](std::size_t i) {
     const Query& q = queries[i];
     Outcome& out = outcomes[i];
+
+    // Load shedding: once the batch budget is exhausted, answer
+    // "unavailable" without touching the read path at all.
+    if (options_.batch_deadline_us > 0 &&
+        batch_timer.ElapsedMicros() > options_.batch_deadline_us) {
+      out.shed = true;
+      return;
+    }
+
     const WallTimer timer;
-    switch (q.kind) {
-      case Query::Kind::kLookup: {
-        const auto view = read_side_.GetHost(q.ip);
-        out.hit = view.has_value();
-        out.results = out.hit ? view->services.size() : 0;
-        out.latency_us = timer.ElapsedMicros();
-        batch_lookup_latency.Observe(out.latency_us);
-        lookup_latency_.Observe(out.latency_us);
-        lookup_us_metric_.Observe(out.latency_us);
-        break;
+    // Retry ladder: every query passes the "serving.read" injection
+    // point. On a pure read path every fault mode is a transient error —
+    // a reader has nothing to tear or corrupt durably — so each one
+    // costs a retry, bounded by the per-query deadline.
+    bool done = false;
+    for (int attempt = 0; attempt <= options_.max_read_retries; ++attempt) {
+      if (attempt > 0) {
+        ++out.retries;
+        BusyWaitMicros(attempt * options_.retry_backoff_us);
       }
-      case Query::Kind::kHistory: {
-        const auto view = read_side_.GetHostAt(q.ip, q.at);
-        out.hit = view.has_value();
-        out.results = out.hit ? view->services.size() : 0;
-        out.latency_us = timer.ElapsedMicros();
-        break;
+      if (fault::Hit("serving.read").has_value()) {
+        ++out.faults;
+        if (options_.query_deadline_us > 0 &&
+            timer.ElapsedMicros() > options_.query_deadline_us) {
+          break;  // budget gone: degrade now rather than retry further
+        }
+        continue;
       }
-      case Query::Kind::kSearch: {
-        std::string error;
-        const auto ids = index_.Search(q.text, &error);
-        out.hit = !ids.empty();
-        out.results = ids.size();
-        out.latency_us = timer.ElapsedMicros();
-        break;
+      switch (q.kind) {
+        case Query::Kind::kLookup: {
+          const auto view = read_side_.GetHost(q.ip);
+          out.hit = view.has_value();
+          out.results = out.hit ? view->services.size() : 0;
+          out.latency_us = timer.ElapsedMicros();
+          batch_lookup_latency.Observe(out.latency_us);
+          lookup_latency_.Observe(out.latency_us);
+          lookup_us_metric_.Observe(out.latency_us);
+          break;
+        }
+        case Query::Kind::kHistory: {
+          const auto view = read_side_.GetHostAt(q.ip, q.at);
+          out.hit = view.has_value();
+          out.results = out.hit ? view->services.size() : 0;
+          out.latency_us = timer.ElapsedMicros();
+          break;
+        }
+        case Query::Kind::kSearch: {
+          std::string error;
+          const auto ids = index_.Search(q.text, &error);
+          out.hit = !ids.empty();
+          out.results = ids.size();
+          out.latency_us = timer.ElapsedMicros();
+          break;
+        }
+        case Query::Kind::kAnalytics: {
+          const auto series = analytics_.ProtocolSeries(q.text);
+          const auto latest =
+              analytics_.GetLatestUpToCopy(q.at.minutes / (24 * 60));
+          out.hit = !series.empty() || latest.has_value();
+          out.results = series.size();
+          out.latency_us = timer.ElapsedMicros();
+          break;
+        }
       }
-      case Query::Kind::kAnalytics: {
-        const auto series = analytics_.ProtocolSeries(q.text);
-        const auto latest =
-            analytics_.GetLatestUpToCopy(q.at.minutes / (24 * 60));
-        out.hit = !series.empty() || latest.has_value();
-        out.results = series.size();
+      done = true;
+      break;
+    }
+    if (done) return;
+
+    // Retries exhausted. Lookups can still degrade to the last cached
+    // view at any watermark; everything else fails.
+    if (q.kind == Query::Kind::kLookup && options_.allow_stale_reads) {
+      if (const auto stale = read_side_.GetHostStale(q.ip)) {
+        out.degraded = true;
+        out.hit = true;
+        out.results = stale->services.size();
         out.latency_us = timer.ElapsedMicros();
-        break;
+        return;
       }
     }
+    out.failed = true;
+    out.latency_us = timer.ElapsedMicros();
   });
   report.elapsed_us = batch_timer.ElapsedMicros();
 
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const Outcome& out = outcomes[i];
+    report.shed += out.shed ? 1 : 0;
+    report.degraded += out.degraded ? 1 : 0;
+    report.failed += out.failed ? 1 : 0;
+    report.read_faults += out.faults;
+    report.retries += out.retries;
     switch (queries[i].kind) {
       case Query::Kind::kLookup:
         ++report.lookups;
@@ -119,6 +192,10 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
   queries_served_.fetch_add(report.queries, std::memory_order_relaxed);
   queries_metric_.Add(report.queries);
   qps_metric_.Set(static_cast<std::int64_t>(report.qps));
+  shed_metric_.Add(report.shed);
+  degraded_metric_.Add(report.degraded);
+  retries_metric_.Add(report.retries);
+  read_faults_metric_.Add(report.read_faults);
   return report;
 }
 

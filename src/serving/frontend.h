@@ -11,6 +11,15 @@
 // single-caller primitive, and the engine's pool is busy inside ticks.
 // Reports censys.serving.* instruments (queries, qps, lookup latency);
 // cache hit/miss instruments come from the ReadSide's ViewCache.
+//
+// Degradation: every query passes the "serving.read" fault-injection
+// point; a transient read fault walks the ladder retry-with-backoff ->
+// stale-cache answer (lookups, when a ViewCache is installed) -> failed,
+// bounded by per-query and per-batch deadline budgets. A batch over its
+// budget sheds the remaining queries outright. The frontend never
+// crashes on a read fault — BatchReport::shed/degraded/failed and the
+// censys.serving.shed/degraded/retries instruments account for every
+// query.
 #pragma once
 
 #include <atomic>
@@ -54,6 +63,13 @@ struct BatchReport {
   std::size_t lookup_hits = 0;     // lookups that returned a view
   std::size_t search_results = 0;  // total doc ids matched across searches
 
+  // Degradation ladder accounting (all zero on a healthy run).
+  std::size_t shed = 0;      // never attempted: batch deadline exhausted
+  std::size_t degraded = 0;  // answered from a stale cached view
+  std::size_t failed = 0;    // exhausted retries, no stale fallback
+  std::uint64_t read_faults = 0;  // transient read errors observed
+  std::uint64_t retries = 0;      // fresh-read retry attempts
+
   double elapsed_us = 0;
   double qps = 0;
   double lookup_p50_us = 0;
@@ -70,6 +86,25 @@ class ServingFrontend {
   struct Options {
     // Reader threads; 0 runs queries inline on the caller.
     int threads = 4;
+
+    // --- graceful degradation (the ladder: retry -> stale -> fail, with
+    // --- load shedding once the batch budget is gone) ----------------------
+    // Wall-clock budget for one query, including its retries; 0 = none.
+    // Once exceeded the query stops retrying and degrades immediately.
+    double query_deadline_us = 0;
+    // Wall-clock budget for the whole batch; 0 = none. Queries starting
+    // after it is exhausted are shed: answered "unavailable" without
+    // touching the read path at all (overload protection).
+    double batch_deadline_us = 0;
+    // Fresh-read attempts after a transient fault (so max_read_retries+1
+    // attempts total).
+    int max_read_retries = 2;
+    // Backoff before retry k is k * retry_backoff_us, busy-waited on the
+    // wall clock (reader threads never sleep).
+    double retry_backoff_us = 50;
+    // Degrade lookups to the last cached view (any watermark) when fresh
+    // reads keep failing, instead of failing the query.
+    bool allow_stale_reads = true;
   };
 
   ServingFrontend(const pipeline::ReadSide& read_side,
@@ -95,7 +130,8 @@ class ServingFrontend {
   double LookupP99Us() const { return lookup_latency_.Quantile(0.99); }
   int thread_count() const { return executor_.thread_count(); }
 
-  // Registers censys.serving.queries / qps / lookup_us.
+  // Registers censys.serving.queries / qps / lookup_us plus the
+  // degradation instruments shed / degraded / retries / read_faults.
   void BindMetrics(metrics::Registry* registry);
 
   // Deterministic mixed workload: ~70% lookups, 10% history, 10% search,
@@ -115,9 +151,15 @@ class ServingFrontend {
   std::atomic<std::uint64_t> queries_served_{0};
   metrics::Histogram lookup_latency_;  // lifetime, powers LookupP99Us
 
+  Options options_;
+
   metrics::CounterHandle queries_metric_;
   metrics::GaugeHandle qps_metric_;
   metrics::HistogramHandle lookup_us_metric_;
+  metrics::CounterHandle shed_metric_;
+  metrics::CounterHandle degraded_metric_;
+  metrics::CounterHandle retries_metric_;
+  metrics::CounterHandle read_faults_metric_;
 };
 
 }  // namespace censys::serving

@@ -65,7 +65,11 @@ std::string_view ToString(EventKind k) {
 EventJournal::EventJournal(Options options)
     : options_(options),
       shard_count_(std::max<std::uint32_t>(1, options.shards)),
-      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+      shards_(std::make_unique<Shard[]>(shard_count_)) {
+  if (!options_.wal.dir.empty()) {
+    wal_ = std::make_unique<WriteAheadLog>(options_.wal);
+  }
+}
 
 EventJournal::Shard& EventJournal::ShardFor(std::string_view entity_id) const {
   // Fnv1a is stable across platforms and standard libraries, so the
@@ -100,10 +104,17 @@ void EventJournal::BindMetrics(metrics::Registry* registry) {
       metrics::BindCounter(registry, "censys.storage.delta_bytes");
   snapshot_bytes_metric_ =
       metrics::BindCounter(registry, "censys.storage.snapshot_bytes");
+  if (wal_ != nullptr) wal_->BindMetrics(registry);
 }
 
 std::uint64_t EventJournal::Append(std::string_view entity_id, EventKind kind,
                                    Timestamp at, const Delta& delta) {
+  return ApplyEvent(entity_id, kind, at, delta, /*durable=*/true);
+}
+
+std::uint64_t EventJournal::ApplyEvent(std::string_view entity_id,
+                                       EventKind kind, Timestamp at,
+                                       const Delta& delta, bool durable) {
   // Whichever thread appends is the command thread: CurrentState pointer
   // holders must be on it (debug builds enforce this).
   command_role_.AdoptCurrentThread();
@@ -113,6 +124,22 @@ std::uint64_t EventJournal::Append(std::string_view entity_id, EventKind kind,
   if (delta.empty() && kind == EventKind::kEntityUpdated) {
     return meta.next_seqno;  // no-op refresh: nothing journaled
   }
+
+  if (durable && wal_ != nullptr) {
+    // Log before any in-memory mutation (lock order: shard.mu -> wal mu).
+    // A failed log append leaves this journal exactly as it was: the
+    // event is either durable *and* applied, or neither.
+    WalRecord record;
+    record.entity = std::string(entity_id);
+    record.kind = static_cast<std::uint8_t>(kind);
+    record.at = at;
+    record.delta = delta;
+    std::string error;
+    if (!wal_->Append(record, &error)) {
+      throw WalIoError(error.empty() ? "wal append failed" : error);
+    }
+  }
+
   const std::uint64_t seqno = meta.next_seqno++;
   ApplyDelta(meta.current, delta);
 
@@ -308,6 +335,215 @@ std::uint64_t EventJournal::bytes_on(Tier tier) const {
     total += shards_[s].table.bytes_on(tier);
   }
   return total;
+}
+
+namespace {
+constexpr std::uint64_t kCheckpointFormat = 1;
+}  // namespace
+
+std::string EventJournal::EncodeCheckpoint(std::uint64_t lsn) const {
+  std::string out;
+  PutVarint(out, kCheckpointFormat);
+  PutVarint(out, lsn);
+  PutVarint(out, event_count_.load(std::memory_order_relaxed));
+  PutVarint(out, snapshot_count_.load(std::memory_order_relaxed));
+  PutVarint(out, delta_bytes_.load(std::memory_order_relaxed));
+  PutVarint(out, snapshot_bytes_.load(std::memory_order_relaxed));
+  PutVarint(out, full_bytes_equivalent_.load(std::memory_order_relaxed));
+
+  // Entity metadata, sorted by id so equal journals encode identically.
+  std::vector<std::pair<std::string, EntityMeta>> entities;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    const core::ReaderLock lock(shards_[s].mu);
+    for (const auto& [id, meta] : shards_[s].meta) {
+      entities.emplace_back(id, meta);
+    }
+  }
+  std::sort(entities.begin(), entities.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  PutVarint(out, entities.size());
+  for (const auto& [id, meta] : entities) {
+    PutLengthPrefixed(out, id);
+    PutVarint(out, meta.next_seqno);
+    PutVarint(out, meta.last_snapshot_seqno);
+    out.push_back(meta.has_snapshot ? 1 : 0);
+    PutVarint(out, meta.events_since_snapshot);
+    PutLengthPrefixed(out, EncodeFields(meta.current));
+  }
+
+  // Every table row in canonical key order, with its storage tier.
+  std::vector<std::tuple<std::string, std::string, std::uint8_t>> rows;
+  rows.reserve(RowCount());
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    const core::ReaderLock lock(shards_[s].mu);
+    shards_[s].table.Scan(
+        "", "", [&](std::string_view key, std::string_view value) {
+          const auto tier = shards_[s].table.GetTier(key);
+          rows.emplace_back(
+              std::string(key), std::string(value),
+              static_cast<std::uint8_t>(tier.value_or(Tier::kSsd)));
+          return true;
+        });
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return std::get<0>(a) < std::get<0>(b);
+  });
+  PutVarint(out, rows.size());
+  for (const auto& [key, value, tier] : rows) {
+    PutLengthPrefixed(out, key);
+    PutLengthPrefixed(out, value);
+    out.push_back(static_cast<char>(tier));
+  }
+  return out;
+}
+
+bool EventJournal::LoadCheckpoint(std::string_view payload,
+                                  std::uint64_t expect_lsn) {
+  std::size_t pos = 0;
+  const auto format = GetVarint(payload, &pos);
+  if (!format.has_value() || *format != kCheckpointFormat) return false;
+  const auto lsn = GetVarint(payload, &pos);
+  if (!lsn.has_value() || *lsn != expect_lsn) return false;
+  const auto events = GetVarint(payload, &pos);
+  const auto snapshots = GetVarint(payload, &pos);
+  const auto dbytes = GetVarint(payload, &pos);
+  const auto sbytes = GetVarint(payload, &pos);
+  const auto fbytes = GetVarint(payload, &pos);
+  if (!events || !snapshots || !dbytes || !sbytes || !fbytes) return false;
+
+  const auto entity_count = GetVarint(payload, &pos);
+  if (!entity_count.has_value()) return false;
+  for (std::uint64_t i = 0; i < *entity_count; ++i) {
+    const auto id = GetLengthPrefixed(payload, &pos);
+    const auto next_seqno = GetVarint(payload, &pos);
+    const auto last_snapshot = GetVarint(payload, &pos);
+    if (!id || !next_seqno || !last_snapshot || pos >= payload.size()) {
+      return false;
+    }
+    const bool has_snapshot = payload[pos++] != 0;
+    const auto since = GetVarint(payload, &pos);
+    const auto fields_bytes = GetLengthPrefixed(payload, &pos);
+    if (!since || !fields_bytes) return false;
+    const auto fields = DecodeFields(*fields_bytes);
+    if (!fields.has_value()) return false;
+    EntityMeta meta;
+    meta.next_seqno = *next_seqno;
+    meta.last_snapshot_seqno = *last_snapshot;
+    meta.has_snapshot = has_snapshot;
+    meta.events_since_snapshot = static_cast<std::uint32_t>(*since);
+    meta.current = *fields;
+    Shard& shard = ShardFor(*id);
+    const core::MutexLock lock(shard.mu);
+    shard.meta[std::string(*id)] = std::move(meta);
+  }
+
+  const auto row_count = GetVarint(payload, &pos);
+  if (!row_count.has_value()) return false;
+  for (std::uint64_t i = 0; i < *row_count; ++i) {
+    const auto key = GetLengthPrefixed(payload, &pos);
+    const auto value = GetLengthPrefixed(payload, &pos);
+    if (!key || !value || pos >= payload.size()) return false;
+    const std::uint8_t tier = static_cast<std::uint8_t>(payload[pos++]);
+    // Keys are "e/<entity>/<8-byte seqno>" or "s/...": recover the entity
+    // to route the row back to its shard.
+    if (key->size() < 12 || ((*key)[0] != 'e' && (*key)[0] != 's') ||
+        (*key)[1] != '/' || tier > 1) {
+      return false;
+    }
+    const std::string_view entity = key->substr(2, key->size() - 11);
+    Shard& shard = ShardFor(entity);
+    const core::MutexLock lock(shard.mu);
+    shard.table.Put(std::string(*key), std::string(*value),
+                    static_cast<Tier>(tier));
+  }
+  if (pos != payload.size()) return false;
+
+  event_count_.store(*events, std::memory_order_relaxed);
+  snapshot_count_.store(*snapshots, std::memory_order_relaxed);
+  delta_bytes_.store(*dbytes, std::memory_order_relaxed);
+  snapshot_bytes_.store(*sbytes, std::memory_order_relaxed);
+  full_bytes_equivalent_.store(*fbytes, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<std::uint64_t> EventJournal::Checkpoint(std::string* error) {
+  if (wal_ == nullptr) {
+    if (error != nullptr) *error = "journal has no WAL configured";
+    return std::nullopt;
+  }
+  std::string err;
+  if (!wal_->Open(&err)) {
+    if (error != nullptr) *error = err;
+    return std::nullopt;
+  }
+  const std::uint64_t lsn = wal_->last_lsn();
+  const std::string payload = EncodeCheckpoint(lsn);
+  if (!wal_->WriteCheckpoint(lsn, payload, &err)) {
+    if (error != nullptr) *error = err;
+    return std::nullopt;
+  }
+  return lsn;
+}
+
+RecoveryReport EventJournal::Recover() {
+  RecoveryReport report;
+  if (wal_ == nullptr) {
+    report.error = "journal has no WAL configured";
+    return report;
+  }
+
+  const auto reset = [&] {
+    shards_ = std::make_unique<Shard[]>(shard_count_);
+    event_count_.store(0, std::memory_order_relaxed);
+    snapshot_count_.store(0, std::memory_order_relaxed);
+    delta_bytes_.store(0, std::memory_order_relaxed);
+    snapshot_bytes_.store(0, std::memory_order_relaxed);
+    full_bytes_equivalent_.store(0, std::memory_order_relaxed);
+    max_replay_.store(0, std::memory_order_relaxed);
+  };
+  reset();
+
+  std::string error;
+  if (!wal_->Open(&error)) {
+    report.error = error;
+    return report;
+  }
+
+  // Newest checkpoint that validates and parses wins; corrupt or torn
+  // ones fall back to older, then to empty-state full replay.
+  std::uint64_t checkpoint_lsn = 0;
+  for (const std::uint64_t lsn : wal_->ListCheckpoints()) {
+    const auto payload = wal_->ReadCheckpoint(lsn);
+    if (payload.has_value() && LoadCheckpoint(*payload, lsn)) {
+      checkpoint_lsn = lsn;
+      break;
+    }
+    ++report.checkpoints_rejected;
+    reset();  // LoadCheckpoint may have partially applied
+  }
+  report.checkpoint_lsn = checkpoint_lsn;
+  // If tail truncation cut the log below the checkpoint, future appends
+  // must still get fresh LSNs beyond what the checkpoint covers.
+  wal_->ReserveLsnsThrough(checkpoint_lsn);
+
+  WriteAheadLog::ReplayStats stats;
+  const bool ok = wal_->Replay(
+      checkpoint_lsn,
+      [&](const WalRecord& record) {
+        ApplyEvent(record.entity, static_cast<EventKind>(record.kind),
+                   record.at, record.delta, /*durable=*/false);
+      },
+      &stats, &error);
+  if (!ok) {
+    report.error = error;
+    return report;
+  }
+  report.replayed_records = stats.records;
+  report.truncated_bytes = wal_->truncated_bytes();
+  report.corrupt_records = wal_->corrupt_records();
+  report.recovered_events = event_count();
+  report.ok = true;
+  return report;
 }
 
 }  // namespace censys::storage

@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -33,6 +34,7 @@
 #include "core/types.h"
 #include "storage/delta.h"
 #include "storage/kv.h"
+#include "storage/wal.h"
 
 namespace censys::storage {
 
@@ -61,6 +63,33 @@ struct VersionedState {
   std::uint64_t watermark = 0;
 };
 
+// Thrown by Append when the configured WAL rejects the record (real or
+// injected I/O failure). The in-memory journal is untouched: an event is
+// either durable in the log *and* applied, or neither. Derived from
+// std::runtime_error on purpose — unlike fault::CrashException this is an
+// ordinary, catchable error.
+class WalIoError : public std::runtime_error {
+ public:
+  explicit WalIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// What EventJournal::Recover() found on disk.
+struct RecoveryReport {
+  bool ok = false;
+  std::string error;
+  // LSN of the checkpoint recovery started from (0 = none usable).
+  std::uint64_t checkpoint_lsn = 0;
+  // Stale/corrupt checkpoints skipped before one loaded (or all failed).
+  std::uint64_t checkpoints_rejected = 0;
+  // WAL records replayed on top of the checkpoint.
+  std::uint64_t replayed_records = 0;
+  // Bytes dropped at torn/corrupt log tails during the recovery scan.
+  std::uint64_t truncated_bytes = 0;
+  std::uint64_t corrupt_records = 0;
+  // Total events in the journal after recovery.
+  std::uint64_t recovered_events = 0;
+};
+
 class EventJournal {
  public:
   struct Options {
@@ -73,6 +102,10 @@ class EventJournal {
     // Lock stripes. Entities hash onto shards; more shards means less
     // reader/writer contention. Content is shard-count independent.
     std::uint32_t shards = 16;
+    // Write-ahead log configuration. A non-empty wal.dir enables
+    // durability: every Append is logged before it is applied, and
+    // Checkpoint()/Recover() persist and restore full journal state.
+    WriteAheadLog::Options wal{};
   };
 
   EventJournal() : EventJournal(Options{}) {}
@@ -83,9 +116,31 @@ class EventJournal {
 
   // Applies `delta` to the entity's current state, journals the event, and
   // returns its sequence number. Empty deltas with kind kEntityUpdated are
-  // skipped (no-op refreshes produce no journal rows).
+  // skipped (no-op refreshes produce no journal rows or WAL records).
+  // With a WAL configured the record is logged *before* any in-memory
+  // mutation; a log failure throws WalIoError and leaves the journal
+  // untouched. May propagate fault::CrashException from armed crash points.
   std::uint64_t Append(std::string_view entity_id, EventKind kind,
                        Timestamp at, const Delta& delta);
+
+  // --- durability (WAL-backed journals only) ---------------------------------
+  bool wal_enabled() const { return wal_ != nullptr; }
+  WriteAheadLog* wal() { return wal_.get(); }
+
+  // Durably persists the full journal state (metadata, rows, tiers,
+  // counters) as a checkpoint covering the WAL's current last LSN, then
+  // lets the WAL prune covered segments. Returns the covered LSN, or
+  // nullopt on failure. Must not race Append — call at a quiescent point
+  // (e.g. between engine ticks).
+  std::optional<std::uint64_t> Checkpoint(std::string* error);
+
+  // Rebuilds the journal from disk: newest valid checkpoint (corrupt ones
+  // fall back to older, then to empty) plus a replay of every WAL record
+  // after it. Torn/corrupt log tails are truncated, not fatal. The
+  // resulting journal is byte-identical (ScanAll digest) to an uncrashed
+  // journal that appended the same durable prefix. Startup-only: call on a
+  // freshly constructed journal before any Append.
+  RecoveryReport Recover();
 
   // Cached current state (the fast path behind the Lookup API). The
   // returned pointer is stable but its contents are only safe to read from
@@ -188,9 +243,20 @@ class EventJournal {
                      EntityMeta& meta, Timestamp at)
       CENSYS_REQUIRES(shard.mu);
 
+  // The shared body of Append and WAL replay: applies and journals one
+  // event. `durable` selects whether the record is WAL-logged first
+  // (replay must not re-log what it reads from the log).
+  std::uint64_t ApplyEvent(std::string_view entity_id, EventKind kind,
+                           Timestamp at, const Delta& delta, bool durable);
+
+  // Serializes / restores full journal state for checkpoints.
+  std::string EncodeCheckpoint(std::uint64_t lsn) const;
+  bool LoadCheckpoint(std::string_view payload, std::uint64_t expect_lsn);
+
   Options options_{};
   std::size_t shard_count_ = 1;
   std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<WriteAheadLog> wal_;
   core::ThreadRole command_role_;
 
   std::atomic<std::uint64_t> event_count_{0};

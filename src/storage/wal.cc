@@ -1,0 +1,668 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "core/crc32c.h"
+#include "core/fault.h"
+#include "storage/serialize.h"
+
+namespace censys::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kSegmentPrefix[] = "wal-";
+constexpr char kSegmentSuffix[] = ".log";
+constexpr char kCheckpointPrefix[] = "ckpt-";
+constexpr char kCheckpointSuffix[] = ".snap";
+constexpr char kCheckpointMagic[8] = {'C', 'S', 'Y', 'S', 'C', 'K', 'P', 'T'};
+constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
+
+void PutU32Le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t GetU32Le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::string Frame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  PutU32Le(frame, static_cast<std::uint32_t>(payload.size()));
+  PutU32Le(frame, core::Crc32c(payload));
+  frame.append(payload);
+  return frame;
+}
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+// Reads a whole file; returns false on open/read failure.
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SetError(error, path + ": " + std::strerror(errno));
+    return false;
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, path + ": " + std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeWalPayload(const WalRecord& record) {
+  std::string out;
+  PutVarint(out, record.lsn);
+  out.push_back(static_cast<char>(record.kind));
+  PutVarint(out, static_cast<std::uint64_t>(record.at.minutes));
+  PutLengthPrefixed(out, record.entity);
+  PutLengthPrefixed(out, record.delta.Encode());
+  return out;
+}
+
+std::optional<WalRecord> DecodeWalPayload(std::string_view payload) {
+  WalRecord record;
+  std::size_t pos = 0;
+  const auto lsn = GetVarint(payload, &pos);
+  if (!lsn.has_value()) return std::nullopt;
+  record.lsn = *lsn;
+  if (pos >= payload.size()) return std::nullopt;
+  record.kind = static_cast<std::uint8_t>(payload[pos++]);
+  const auto minutes = GetVarint(payload, &pos);
+  if (!minutes.has_value()) return std::nullopt;
+  record.at = Timestamp{static_cast<std::int64_t>(*minutes)};
+  const auto entity = GetLengthPrefixed(payload, &pos);
+  if (!entity.has_value()) return std::nullopt;
+  record.entity = std::string(*entity);
+  const auto delta_bytes = GetLengthPrefixed(payload, &pos);
+  if (!delta_bytes.has_value() || pos != payload.size()) return std::nullopt;
+  const auto delta = Delta::Decode(*delta_bytes);
+  if (!delta.has_value()) return std::nullopt;
+  record.delta = *delta;
+  return record;
+}
+
+WriteAheadLog::WriteAheadLog(Options options) : options_(std::move(options)) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  const core::MutexLock lock(mu_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WriteAheadLog::BindMetrics(metrics::Registry* registry) {
+  appends_metric_ =
+      metrics::BindCounter(registry, "censys.storage.wal.appends");
+  bytes_metric_ = metrics::BindCounter(registry, "censys.storage.wal.bytes");
+  fsyncs_metric_ = metrics::BindCounter(registry, "censys.storage.wal.fsyncs");
+  rotations_metric_ =
+      metrics::BindCounter(registry, "censys.storage.wal.rotations");
+  checkpoints_metric_ =
+      metrics::BindCounter(registry, "censys.storage.wal.checkpoints");
+  truncations_metric_ =
+      metrics::BindCounter(registry, "censys.storage.wal.truncated_bytes");
+  replayed_metric_ =
+      metrics::BindCounter(registry, "censys.storage.wal.replayed");
+}
+
+std::string WriteAheadLog::SegmentPath(std::uint64_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%08llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(index), kSegmentSuffix);
+  return (fs::path(options_.dir) / name).string();
+}
+
+std::string WriteAheadLog::CheckpointPath(std::uint64_t lsn) const {
+  char name[48];
+  std::snprintf(name, sizeof(name), "%s%020llu%s", kCheckpointPrefix,
+                static_cast<unsigned long long>(lsn), kCheckpointSuffix);
+  return (fs::path(options_.dir) / name).string();
+}
+
+std::vector<std::uint64_t> WriteAheadLog::ListSegmentIndexes() const {
+  std::vector<std::uint64_t> indexes;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kSegmentPrefix, 0) != 0 ||
+        name.size() <= std::strlen(kSegmentPrefix) +
+                           std::strlen(kSegmentSuffix) ||
+        name.compare(name.size() - std::strlen(kSegmentSuffix),
+                     std::strlen(kSegmentSuffix), kSegmentSuffix) != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(std::strlen(kSegmentPrefix),
+                    name.size() - std::strlen(kSegmentPrefix) -
+                        std::strlen(kSegmentSuffix));
+    indexes.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(indexes.begin(), indexes.end());
+  return indexes;
+}
+
+bool WriteAheadLog::ScanSegment(
+    const std::string& path,
+    const std::function<void(const WalRecord&)>& visit, ReplayStats* stats,
+    std::uint64_t* valid_bytes, std::string* error) {
+  std::string data;
+  if (!ReadFile(path, &data, error)) return false;
+
+  std::size_t offset = 0;
+  bool corrupt = false;
+  while (offset + kFrameHeader <= data.size()) {
+    const std::uint32_t len = GetU32Le(data.data() + offset);
+    const std::uint32_t stored_crc = GetU32Le(data.data() + offset + 4);
+    if (offset + kFrameHeader + len > data.size()) break;  // torn tail
+
+    // The read-path injection point: a fault here simulates media errors
+    // on this record's bytes.
+    if (const auto fault = fault::Hit("storage.wal.read")) {
+      switch (fault->mode) {
+        case fault::Mode::kCrash:
+          throw fault::CrashException{"storage.wal.read"};
+        case fault::Mode::kErrorReturn:
+          // Unreadable sector: everything from here on is lost.
+          corrupt = true;
+          break;
+        case fault::Mode::kBitFlip:
+        case fault::Mode::kTornWrite: {
+          const std::size_t span = (kFrameHeader + len) * 8;
+          const std::size_t bit = fault->bit % span;
+          data[offset + bit / 8] ^= static_cast<char>(1u << (bit % 8));
+          break;
+        }
+      }
+      if (corrupt) break;
+    }
+
+    // Re-read the header: a bit flip may have landed in it.
+    const std::uint32_t len2 = GetU32Le(data.data() + offset);
+    const std::uint32_t crc2 = GetU32Le(data.data() + offset + 4);
+    if (len2 != len || offset + kFrameHeader + len2 > data.size()) {
+      corrupt = true;
+      break;
+    }
+    const std::string_view payload(data.data() + offset + kFrameHeader, len2);
+    if (core::Crc32c(payload) != crc2 ||
+        (crc2 != stored_crc && core::Crc32c(payload) != stored_crc)) {
+      corrupt = true;
+      break;
+    }
+    const auto record = DecodeWalPayload(payload);
+    if (!record.has_value()) {
+      corrupt = true;
+      break;
+    }
+    if (visit) visit(*record);
+    if (stats != nullptr) ++stats->records;
+    offset += kFrameHeader + len2;
+  }
+
+  const std::uint64_t file_size = data.size();
+  *valid_bytes = offset;
+  if (offset < file_size) {
+    // Torn or corrupt tail: truncate the file to the last whole record so
+    // future appends land on a record boundary.
+    if (stats != nullptr) {
+      stats->truncated_bytes += file_size - offset;
+      if (corrupt) ++stats->corrupt_records;
+    }
+    truncated_bytes_.fetch_add(file_size - offset, std::memory_order_relaxed);
+    if (corrupt) corrupt_records_.fetch_add(1, std::memory_order_relaxed);
+    truncations_metric_.Add(file_size - offset);
+    std::error_code ec;
+    fs::resize_file(path, offset, ec);
+    if (ec) {
+      SetError(error, path + ": truncate failed: " + ec.message());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteAheadLog::Open(std::string* error) {
+  const core::MutexLock lock(mu_);
+  return OpenLocked(error);
+}
+
+bool WriteAheadLog::OpenLocked(std::string* error) {
+  if (opened_) return true;
+  if (options_.dir.empty()) {
+    SetError(error, "wal: no directory configured");
+    return false;
+  }
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    SetError(error, options_.dir + ": " + ec.message());
+    return false;
+  }
+
+  segments_.clear();
+  const std::vector<std::uint64_t> indexes = ListSegmentIndexes();
+  std::uint64_t tail_offset = 0;
+  bool log_cut = false;
+  for (const std::uint64_t index : indexes) {
+    if (log_cut) {
+      // A corrupt record invalidates everything after it: later segments
+      // are dropped wholesale.
+      std::error_code rm_ec;
+      const auto size = fs::file_size(SegmentPath(index), rm_ec);
+      if (!rm_ec) {
+        truncations_metric_.Add(size);
+        truncated_bytes_.fetch_add(size, std::memory_order_relaxed);
+      }
+      fs::remove(SegmentPath(index), rm_ec);
+      segments_removed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Segment segment;
+    segment.index = index;
+    ReplayStats stats;
+    std::uint64_t valid_bytes = 0;
+    const bool ok = ScanSegment(
+        SegmentPath(index),
+        [&](const WalRecord& record) {
+          if (segment.first_lsn == 0) segment.first_lsn = record.lsn;
+          const std::uint64_t next =
+              next_lsn_.load(std::memory_order_relaxed);
+          if (record.lsn >= next) {
+            next_lsn_.store(record.lsn + 1, std::memory_order_relaxed);
+          }
+        },
+        &stats, &valid_bytes, error);
+    if (!ok) return false;
+    if (stats.truncated_bytes > 0) log_cut = true;
+    tail_offset = valid_bytes;
+    segments_.push_back(segment);
+  }
+  if (segments_.empty()) {
+    Segment segment;
+    segment.index = 0;
+    segments_.push_back(segment);
+    tail_offset = 0;
+  }
+
+  const std::string active = SegmentPath(segments_.back().index);
+  fd_ = ::open(active.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    SetError(error, active + ": " + std::strerror(errno));
+    return false;
+  }
+  if (::lseek(fd_, static_cast<off_t>(tail_offset), SEEK_SET) < 0) {
+    SetError(error, active + ": " + std::strerror(errno));
+    return false;
+  }
+  segment_offset_ = tail_offset;
+  opened_ = true;
+  return true;
+}
+
+bool WriteAheadLog::WriteAllLocked(const void* data, std::size_t n,
+                                   std::string* error) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd_, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, std::string("wal write: ") + std::strerror(errno));
+      return false;
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+bool WriteAheadLog::SyncLocked(std::string* error) {
+  if (const auto fault = fault::Hit("storage.wal.fsync")) {
+    switch (fault->mode) {
+      case fault::Mode::kCrash:
+        throw fault::CrashException{"storage.wal.fsync"};
+      default:
+        SetError(error, "wal fsync: injected failure");
+        return false;
+    }
+  }
+  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    SetError(error, std::string("wal fsync: ") + std::strerror(errno));
+    return false;
+  }
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  fsyncs_metric_.Add();
+  return true;
+}
+
+bool WriteAheadLog::RotateLocked(std::string* error) {
+  if (!SyncLocked(error)) return false;
+  ::close(fd_);
+  fd_ = -1;
+  Segment segment;
+  segment.index = segments_.back().index + 1;
+  const std::string path = SegmentPath(segment.index);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    SetError(error, path + ": " + std::strerror(errno));
+    return false;
+  }
+  segments_.push_back(segment);
+  segment_offset_ = 0;
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  rotations_metric_.Add();
+  return true;
+}
+
+bool WriteAheadLog::Append(WalRecord& record, std::string* error) {
+  const core::MutexLock lock(mu_);
+  if (!opened_ && !OpenLocked(error)) return false;
+
+  record.lsn = next_lsn_.load(std::memory_order_relaxed);
+  std::string frame = Frame(EncodeWalPayload(record));
+
+  if (const auto fault = fault::Hit("storage.wal.append")) {
+    switch (fault->mode) {
+      case fault::Mode::kErrorReturn:
+        SetError(error, "wal append: injected failure");
+        return false;
+      case fault::Mode::kCrash:
+        throw fault::CrashException{"storage.wal.append"};
+      case fault::Mode::kTornWrite: {
+        // A prefix of the frame reaches the medium, then the process
+        // dies. Recovery must drop this record.
+        const std::size_t torn = std::clamp<std::size_t>(
+            static_cast<std::size_t>(fault->tear_frac *
+                                     static_cast<double>(frame.size())),
+            1, frame.size() - 1);
+        std::string ignored;
+        WriteAllLocked(frame.data(), torn, &ignored);
+        throw fault::CrashException{"storage.wal.append"};
+      }
+      case fault::Mode::kBitFlip: {
+        // Silent corruption on the way to the medium; CRC validation
+        // catches it at recovery time.
+        const std::size_t bit = fault->bit % (frame.size() * 8);
+        frame[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+        break;
+      }
+    }
+  }
+
+  if (segment_offset_ > 0 &&
+      segment_offset_ + frame.size() > options_.segment_bytes) {
+    if (!RotateLocked(error)) return false;
+  }
+  if (!WriteAllLocked(frame.data(), frame.size(), error)) return false;
+  segment_offset_ += frame.size();
+  if (segments_.back().first_lsn == 0) {
+    segments_.back().first_lsn = record.lsn;
+  }
+  if (options_.fsync_each) {
+    if (!SyncLocked(error)) {
+      // The bytes may or may not be durable; withdraw them so the
+      // in-memory journal (which will not apply this event) and the log
+      // cannot diverge.
+      segment_offset_ -= frame.size();
+      ::ftruncate(fd_, static_cast<off_t>(segment_offset_));
+      ::lseek(fd_, static_cast<off_t>(segment_offset_), SEEK_SET);
+      return false;
+    }
+  }
+
+  next_lsn_.fetch_add(1, std::memory_order_relaxed);
+  appended_records_.fetch_add(1, std::memory_order_relaxed);
+  appended_bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  appends_metric_.Add();
+  bytes_metric_.Add(frame.size());
+  return true;
+}
+
+bool WriteAheadLog::Sync(std::string* error) {
+  const core::MutexLock lock(mu_);
+  if (!opened_) return true;
+  return SyncLocked(error);
+}
+
+bool WriteAheadLog::Replay(
+    std::uint64_t from_lsn,
+    const std::function<void(const WalRecord&)>& visit, ReplayStats* stats,
+    std::string* error) {
+  std::vector<Segment> segments;
+  {
+    const core::MutexLock lock(mu_);
+    if (!opened_ && !OpenLocked(error)) return false;
+    segments = segments_;
+  }
+  // The scan itself runs unlocked. Replay is startup-only (it must not
+  // race Append), and the journal's visitor re-enters the shard locks —
+  // holding mu_ across it would invert the shard-lock -> wal-lock order
+  // the append path establishes.
+  ReplayStats local;
+  ReplayStats* out = stats != nullptr ? stats : &local;
+  for (const Segment& segment : segments) {
+    std::uint64_t valid_bytes = 0;
+    ReplayStats scan;
+    const bool ok = ScanSegment(
+        SegmentPath(segment.index),
+        [&](const WalRecord& record) {
+          if (record.lsn <= from_lsn) {
+            ++out->skipped;
+            return;
+          }
+          replayed_metric_.Add();
+          ++out->records;
+          if (visit) visit(record);
+        },
+        &scan, &valid_bytes, error);
+    if (!ok) return false;
+    out->corrupt_records += scan.corrupt_records;
+    out->truncated_bytes += scan.truncated_bytes;
+    if (scan.truncated_bytes > 0) break;  // log cut: stop here
+  }
+  return true;
+}
+
+bool WriteAheadLog::WriteCheckpoint(std::uint64_t lsn,
+                                    std::string_view payload,
+                                    std::string* error) {
+  const core::MutexLock lock(mu_);
+  if (!opened_ && !OpenLocked(error)) return false;
+
+  // Make the log itself durable up to the state the checkpoint covers
+  // before the checkpoint can supersede it.
+  if (!SyncLocked(error)) return false;
+
+  std::string file;
+  file.reserve(sizeof(kCheckpointMagic) + kFrameHeader + payload.size());
+  file.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutU32Le(file, static_cast<std::uint32_t>(payload.size()));
+  PutU32Le(file, core::Crc32c(payload));
+  file.append(payload);
+
+  if (const auto fault = fault::Hit("storage.wal.append")) {
+    switch (fault->mode) {
+      case fault::Mode::kErrorReturn:
+        SetError(error, "wal checkpoint: injected failure");
+        return false;
+      case fault::Mode::kCrash:
+        throw fault::CrashException{"storage.wal.append"};
+      case fault::Mode::kTornWrite: {
+        // Die with a partial temp file on disk; recovery ignores *.tmp.
+        const std::string tmp = CheckpointPath(lsn) + ".tmp";
+        const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                              0644);
+        if (fd >= 0) {
+          const std::size_t torn = std::clamp<std::size_t>(
+              static_cast<std::size_t>(fault->tear_frac *
+                                       static_cast<double>(file.size())),
+              1, file.size() - 1);
+          [[maybe_unused]] const ssize_t n = ::write(fd, file.data(), torn);
+          ::close(fd);
+        }
+        throw fault::CrashException{"storage.wal.append"};
+      }
+      case fault::Mode::kBitFlip: {
+        const std::size_t bit =
+            fault->bit % ((file.size() - sizeof(kCheckpointMagic)) * 8);
+        file[sizeof(kCheckpointMagic) + bit / 8] ^=
+            static_cast<char>(1u << (bit % 8));
+        break;
+      }
+    }
+  }
+
+  const std::string tmp = CheckpointPath(lsn) + ".tmp";
+  const std::string final_path = CheckpointPath(lsn);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, tmp + ": " + std::strerror(errno));
+    return false;
+  }
+  const char* p = file.data();
+  std::size_t n = file.size();
+  while (n > 0) {
+    const ssize_t written = ::write(fd, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, tmp + ": " + std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  if (const auto fault = fault::Hit("storage.wal.fsync")) {
+    if (fault->mode == fault::Mode::kCrash) {
+      ::close(fd);
+      throw fault::CrashException{"storage.wal.fsync"};
+    }
+    SetError(error, "wal checkpoint fsync: injected failure");
+    ::close(fd);
+    return false;
+  }
+  ::fsync(fd);
+  ::close(fd);
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  fsyncs_metric_.Add();
+
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    SetError(error, final_path + ": " + ec.message());
+    return false;
+  }
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  checkpoints_metric_.Add();
+
+  // Prune old checkpoints beyond the retention count, then drop segments
+  // the new checkpoint fully covers ("snapshots bound replay").
+  std::vector<std::uint64_t> lsns = ListCheckpoints();
+  for (std::size_t i = options_.keep_checkpoints; i < lsns.size(); ++i) {
+    fs::remove(CheckpointPath(lsns[i]), ec);
+  }
+  RemoveSegmentsBelowLocked(lsn);
+  return true;
+}
+
+void WriteAheadLog::RemoveSegmentsBelowLocked(std::uint64_t lsn) {
+  // A closed segment is removable when its successor's first record —
+  // which bounds every lsn it holds — is already covered by `lsn`.
+  while (segments_.size() > 1) {
+    const Segment& next = segments_[1];
+    if (next.first_lsn == 0 || next.first_lsn > lsn + 1) break;
+    std::error_code ec;
+    fs::remove(SegmentPath(segments_.front().index), ec);
+    segments_.erase(segments_.begin());
+    segments_removed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::uint64_t> WriteAheadLog::ListCheckpoints() const {
+  std::vector<std::uint64_t> lsns;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kCheckpointPrefix, 0) != 0 ||
+        name.size() <= std::strlen(kCheckpointPrefix) +
+                           std::strlen(kCheckpointSuffix) ||
+        name.compare(name.size() - std::strlen(kCheckpointSuffix),
+                     std::strlen(kCheckpointSuffix),
+                     kCheckpointSuffix) != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(std::strlen(kCheckpointPrefix),
+                    name.size() - std::strlen(kCheckpointPrefix) -
+                        std::strlen(kCheckpointSuffix));
+    lsns.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(lsns.rbegin(), lsns.rend());
+  return lsns;
+}
+
+std::optional<std::string> WriteAheadLog::ReadCheckpoint(
+    std::uint64_t lsn) const {
+  std::string data;
+  std::string error;
+  if (!ReadFile(CheckpointPath(lsn), &data, &error)) return std::nullopt;
+  if (data.size() < sizeof(kCheckpointMagic) + kFrameHeader) {
+    return std::nullopt;
+  }
+  if (const auto fault = fault::Hit("storage.wal.read")) {
+    switch (fault->mode) {
+      case fault::Mode::kCrash:
+        throw fault::CrashException{"storage.wal.read"};
+      case fault::Mode::kErrorReturn:
+        return std::nullopt;
+      default: {
+        const std::size_t bit = fault->bit % (data.size() * 8);
+        data[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+        break;
+      }
+    }
+  }
+  if (std::memcmp(data.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+      0) {
+    return std::nullopt;
+  }
+  const std::uint32_t len = GetU32Le(data.data() + sizeof(kCheckpointMagic));
+  const std::uint32_t crc =
+      GetU32Le(data.data() + sizeof(kCheckpointMagic) + 4);
+  if (sizeof(kCheckpointMagic) + kFrameHeader + len != data.size()) {
+    return std::nullopt;
+  }
+  std::string payload =
+      data.substr(sizeof(kCheckpointMagic) + kFrameHeader, len);
+  if (core::Crc32c(payload) != crc) return std::nullopt;
+  return payload;
+}
+
+}  // namespace censys::storage

@@ -1,0 +1,233 @@
+// Crash-consistent write-ahead log for the event journal (§5.2 made
+// durable).
+//
+// The in-memory EventJournal is the paper's Bigtable stand-in; this WAL is
+// what makes a crash survivable: every journaled event is first appended
+// here as a length-prefixed, CRC32C-checksummed record in a rotating
+// sequence of segment files, and EventJournal::Recover() rebuilds a
+// byte-identical journal from (latest valid checkpoint) + (WAL tail
+// replay). Recovery is tolerant by construction — a torn or corrupt
+// record truncates the log at that point instead of aborting, so the
+// journal always restarts from the longest durable prefix.
+//
+// On-disk layout under `dir`:
+//
+//   wal-00000000.log            segment 0
+//   wal-00000001.log            segment 1 (rotated at ~segment_bytes)
+//   ...
+//   ckpt-<lsn 20 digits>.snap   full-state checkpoints (tmp+rename)
+//
+// Record framing (all integers little-endian):
+//
+//   [u32 payload_len][u32 crc32c(payload)][payload]
+//   payload := varint lsn | u8 kind | varint at_minutes
+//              | lp(entity_id) | lp(delta_encoding)
+//
+// LSNs are assigned contiguously from 1 by Append; a checkpoint file
+// carries the LSN it covers, so replay starts strictly after it.
+//
+// Fault injection points (core/fault.h): "storage.wal.append" (record and
+// checkpoint writes; error-return / torn-write / bit-flip / crash),
+// "storage.wal.fsync" (error-return / crash), "storage.wal.read" (replay:
+// bit-flip / error-return / crash). Torn writes and crashes throw
+// fault::CrashException, the SIGKILL stand-in the torture tests catch.
+//
+// Concurrency: one mutex serializes Append/Sync/rotation and LSN
+// assignment; journal shards may append concurrently. Replay/Open are
+// startup-only and must not race appends. Counters are relaxed atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/thread_safety.h"
+#include "core/types.h"
+#include "storage/delta.h"
+
+namespace censys::storage {
+
+enum class EventKind : std::uint8_t;
+
+// One logical journal append, as logged.
+struct WalRecord {
+  std::uint64_t lsn = 0;
+  std::string entity;
+  std::uint8_t kind = 0;  // EventKind, kept raw so wal.h need not see it
+  Timestamp at;
+  Delta delta;
+};
+
+// Encodes/decodes the record *payload* (no framing). Decode returns
+// nullopt on any truncation or trailing garbage.
+std::string EncodeWalPayload(const WalRecord& record);
+std::optional<WalRecord> DecodeWalPayload(std::string_view payload);
+
+class WriteAheadLog {
+ public:
+  struct Options {
+    // Directory for segments + checkpoints; empty disables the WAL.
+    std::string dir;
+    // Rotate to a new segment once the current one reaches this size.
+    std::uint64_t segment_bytes = 4u << 20;
+    // fsync after every append (durability over throughput). Off by
+    // default: the simulated crash model is process death, not power
+    // loss, and Sync() is still called on rotation and checkpoint.
+    bool fsync_each = false;
+    // Checkpoints retained on disk (older ones are pruned after a new
+    // checkpoint lands).
+    std::uint32_t keep_checkpoints = 2;
+  };
+
+  struct ReplayStats {
+    std::uint64_t records = 0;         // delivered to the visitor
+    std::uint64_t skipped = 0;         // valid but lsn <= from_lsn
+    std::uint64_t corrupt_records = 0; // CRC/decode failures (tail cut)
+    std::uint64_t truncated_bytes = 0; // bytes dropped at torn tails
+  };
+
+  explicit WriteAheadLog(Options options);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Scans existing segments (validating every record), truncates any
+  // torn/corrupt tail so the log ends on a record boundary, and positions
+  // the append cursor. Creates the directory and segment 0 when empty.
+  // Idempotent; Append auto-opens on first use.
+  bool Open(std::string* error);
+
+  // Appends one record, assigning its LSN. Returns false on (real or
+  // injected) I/O failure — nothing is considered durable. May throw
+  // fault::CrashException at the armed crash points.
+  bool Append(WalRecord& record, std::string* error);
+
+  // fsyncs the active segment.
+  bool Sync(std::string* error);
+
+  // Replays every valid record with lsn > from_lsn, in log order. The log
+  // must be Open()ed. Returns false only on unrecoverable errors (an
+  // unreadable directory); torn tails are truncated, counted, and NOT
+  // errors.
+  bool Replay(std::uint64_t from_lsn,
+              const std::function<void(const WalRecord&)>& visit,
+              ReplayStats* stats, std::string* error);
+
+  // Durably writes a checkpoint payload covering `lsn` (tmp + rename),
+  // prunes checkpoints beyond Options::keep_checkpoints, and deletes
+  // segments whose records are all covered by `lsn`.
+  bool WriteCheckpoint(std::uint64_t lsn, std::string_view payload,
+                       std::string* error);
+
+  // Ensures future LSNs are assigned strictly after `lsn`. Recovery calls
+  // this with the checkpoint's LSN: if tail truncation cut the log below
+  // it, newly appended records must not reuse LSNs the checkpoint already
+  // covers (replay would silently skip them).
+  void ReserveLsnsThrough(std::uint64_t lsn) {
+    std::uint64_t next = next_lsn_.load(std::memory_order_relaxed);
+    while (next < lsn + 1 &&
+           !next_lsn_.compare_exchange_weak(next, lsn + 1,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  // Checkpoint LSNs present on disk, newest first (CRC not yet checked —
+  // ReadCheckpoint validates).
+  std::vector<std::uint64_t> ListCheckpoints() const;
+  // Loads and validates a checkpoint payload; nullopt when missing or
+  // corrupt (the caller falls back to an older one, then to full replay).
+  std::optional<std::string> ReadCheckpoint(std::uint64_t lsn) const;
+
+  // --- accounting -------------------------------------------------------------
+  std::uint64_t last_lsn() const {
+    return next_lsn_.load(std::memory_order_relaxed) - 1;
+  }
+  std::uint64_t appended_records() const {
+    return appended_records_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t appended_bytes() const {
+    return appended_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rotations() const {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fsyncs() const {
+    return fsyncs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t checkpoints_written() const {
+    return checkpoints_written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t segments_removed() const {
+    return segments_removed_.load(std::memory_order_relaxed);
+  }
+  // Bytes dropped at torn/corrupt tails (plus whole segments abandoned
+  // past a corrupt record) across every scan since construction.
+  std::uint64_t truncated_bytes() const {
+    return truncated_bytes_.load(std::memory_order_relaxed);
+  }
+  // Records that failed CRC/decode validation (each one cuts the log).
+  std::uint64_t corrupt_records() const {
+    return corrupt_records_.load(std::memory_order_relaxed);
+  }
+  const Options& options() const { return options_; }
+
+  // Registers censys.storage.wal.* instruments.
+  void BindMetrics(metrics::Registry* registry);
+
+ private:
+  struct Segment {
+    std::uint64_t index = 0;
+    std::uint64_t first_lsn = 0;  // first lsn appended to this segment
+  };
+
+  std::string SegmentPath(std::uint64_t index) const;
+  std::string CheckpointPath(std::uint64_t lsn) const;
+  bool OpenLocked(std::string* error) CENSYS_REQUIRES(mu_);
+  bool RotateLocked(std::string* error) CENSYS_REQUIRES(mu_);
+  bool SyncLocked(std::string* error) CENSYS_REQUIRES(mu_);
+  bool WriteAllLocked(const void* data, std::size_t n, std::string* error)
+      CENSYS_REQUIRES(mu_);
+  // Scans one segment file, delivering valid records; truncates the file
+  // at the first invalid record. Returns the file's valid byte length.
+  bool ScanSegment(const std::string& path,
+                   const std::function<void(const WalRecord&)>& visit,
+                   ReplayStats* stats, std::uint64_t* valid_bytes,
+                   std::string* error);
+  std::vector<std::uint64_t> ListSegmentIndexes() const;
+  void RemoveSegmentsBelowLocked(std::uint64_t lsn) CENSYS_REQUIRES(mu_);
+
+  Options options_;
+
+  mutable core::Mutex mu_;
+  int fd_ CENSYS_GUARDED_BY(mu_) = -1;
+  bool opened_ CENSYS_GUARDED_BY(mu_) = false;
+  std::uint64_t segment_offset_ CENSYS_GUARDED_BY(mu_) = 0;
+  // Open segments in index order; back() is the active one.
+  std::vector<Segment> segments_ CENSYS_GUARDED_BY(mu_);
+
+  std::atomic<std::uint64_t> next_lsn_{1};
+  std::atomic<std::uint64_t> appended_records_{0};
+  std::atomic<std::uint64_t> appended_bytes_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+  std::atomic<std::uint64_t> fsyncs_{0};
+  std::atomic<std::uint64_t> checkpoints_written_{0};
+  std::atomic<std::uint64_t> segments_removed_{0};
+  std::atomic<std::uint64_t> truncated_bytes_{0};
+  std::atomic<std::uint64_t> corrupt_records_{0};
+
+  metrics::CounterHandle appends_metric_;
+  metrics::CounterHandle bytes_metric_;
+  metrics::CounterHandle fsyncs_metric_;
+  metrics::CounterHandle rotations_metric_;
+  metrics::CounterHandle checkpoints_metric_;
+  metrics::CounterHandle truncations_metric_;
+  metrics::CounterHandle replayed_metric_;
+};
+
+}  // namespace censys::storage

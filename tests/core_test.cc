@@ -15,6 +15,8 @@
 
 #include "core/cidr.h"
 #include "core/clock.h"
+#include "core/crc32c.h"
+#include "core/fault.h"
 #include "core/executor.h"
 #include "core/metrics.h"
 #include "core/rng.h"
@@ -707,6 +709,163 @@ TEST(ThreadSafetyTest, ThreadRoleAdoptionMovesOwnership) {
   role.Detach();
   EXPECT_TRUE(role.CheckHeld());
 }
+
+// --------------------------------------------------------------------- crc32c
+
+// RFC 3720 §B.4 reference vectors for CRC32C (Castagnoli).
+TEST(Crc32cTest, Rfc3720Vectors) {
+  EXPECT_EQ(core::Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  EXPECT_EQ(core::Crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+
+  std::string ascending;
+  for (int i = 0; i < 32; ++i) ascending.push_back(static_cast<char>(i));
+  EXPECT_EQ(core::Crc32c(ascending), 0x46DD794Eu);
+
+  std::string descending;
+  for (int i = 31; i >= 0; --i) descending.push_back(static_cast<char>(i));
+  EXPECT_EQ(core::Crc32c(descending), 0x113FDB5Cu);
+
+  // An iSCSI SCSI Read (10) command PDU.
+  const unsigned char pdu[48] = {
+      0x01, 0xc0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x00,
+      0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x18, 0x28, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  EXPECT_EQ(core::Crc32cExtend(0, pdu, sizeof(pdu)), 0xD9963A56u);
+
+  EXPECT_EQ(core::Crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32cTest, ExtendChainsAcrossArbitrarySplits) {
+  const std::string data =
+      "The quick brown fox jumps over the lazy dog, twice around the block";
+  const std::uint32_t whole = core::Crc32c(data);
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{8},
+                                  std::size_t{33}, data.size()}) {
+    std::uint32_t crc = core::Crc32cExtend(0, data.data(), split);
+    crc = core::Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data = "censysim wal record payload";
+  const std::uint32_t clean = core::Crc32c(data);
+  for (std::size_t bit = 0; bit < data.size() * 8; bit += 13) {
+    data[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    EXPECT_NE(core::Crc32c(data), clean) << "bit " << bit;
+    data[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  }
+}
+
+// ---------------------------------------------------------------------- fault
+
+// CrashException must not be swallowable by generic std::exception
+// handlers — it stands in for SIGKILL.
+static_assert(!std::is_base_of_v<std::exception, fault::CrashException>);
+
+TEST(FaultInjectorTest, UnarmedHitsReturnNothing) {
+  fault::Injector::Global().Disarm();
+  EXPECT_FALSE(fault::Hit("storage.wal.append").has_value());
+}
+
+#if defined(CENSYSIM_FAULT_INJECTION)
+
+TEST(FaultInjectorTest, SkipHitsAndMaxFiresBoundTheWindow) {
+  fault::Rule rule;
+  rule.point = "test.point";
+  rule.mode = fault::Mode::kErrorReturn;
+  rule.skip_hits = 3;
+  rule.max_fires = 2;
+  const fault::ScopedPlan plan(42, {rule});
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) {
+    fired.push_back(fault::Hit("test.point").has_value());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, false, true, true, false,
+                                      false, false}));
+  EXPECT_EQ(fault::Injector::Global().hits("test.point"), 8u);
+  EXPECT_EQ(fault::Injector::Global().fires("test.point"), 2u);
+}
+
+TEST(FaultInjectorTest, SameSeedReproducesTheSchedule) {
+  fault::Rule rule;
+  rule.point = "test.prob";
+  rule.mode = fault::Mode::kBitFlip;
+  rule.probability = 0.3;
+
+  const auto schedule = [&](std::uint64_t seed) {
+    const fault::ScopedPlan plan(seed, {rule});
+    std::vector<std::uint64_t> bits;
+    for (int i = 0; i < 200; ++i) {
+      if (const auto fault = fault::Hit("test.prob")) {
+        bits.push_back(fault->bit);
+      }
+    }
+    return bits;
+  };
+
+  const auto a = schedule(7);
+  const auto b = schedule(7);
+  const auto c = schedule(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // ~30% of 200 hits should fire; allow generous slack.
+  EXPECT_GT(a.size(), 30u);
+  EXPECT_LT(a.size(), 120u);
+}
+
+TEST(FaultInjectorTest, FiringIsThreadInterleavingInvariant) {
+  fault::Rule rule;
+  rule.point = "test.mt";
+  rule.mode = fault::Mode::kErrorReturn;
+  rule.probability = 0.5;
+
+  const auto total_fires = [&](int threads, int hits_per_thread) {
+    const fault::ScopedPlan plan(99, {rule});
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (int i = 0; i < hits_per_thread; ++i) {
+          (void)fault::Hit("test.mt");
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    return fault::Injector::Global().fires("test.mt");
+  };
+
+  // The fire decision for hit #i is a pure function of (seed, point, i):
+  // 1000 hits fire the same number of times no matter how threads
+  // interleave.
+  const auto serial = total_fires(1, 1000);
+  const auto parallel = total_fires(4, 250);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(FaultInjectorTest, TearFractionStaysInsideTheRecord) {
+  fault::Rule rule;
+  rule.point = "test.tear";
+  rule.mode = fault::Mode::kTornWrite;
+  const fault::ScopedPlan plan(5, {rule});
+  for (int i = 0; i < 100; ++i) {
+    const auto fault = fault::Hit("test.tear");
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_GT(fault->tear_frac, 0.0);
+    EXPECT_LT(fault->tear_frac, 1.0);
+  }
+}
+
+#else
+
+TEST(FaultInjectorTest, CompiledOutHitIsConstantNullopt) {
+  // With the layer compiled out even an armed injector never fires.
+  const fault::ScopedPlan plan(1, {fault::Rule{"test.off"}});
+  EXPECT_FALSE(fault::Hit("test.off").has_value());
+}
+
+#endif  // CENSYSIM_FAULT_INJECTION
 
 }  // namespace
 }  // namespace censys

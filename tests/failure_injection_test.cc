@@ -4,7 +4,18 @@
 // visibility taken to extremes).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "core/strings.h"
 #include "engines/world.h"
+#include "search/index.h"
+#include "storage/journal.h"
 
 namespace censys::engines {
 namespace {
@@ -110,6 +121,247 @@ TEST(FailureInjectionTest, EverythingAtOnceStaysDeterministic) {
   EXPECT_FALSE(first.empty());
   EXPECT_EQ(first, run_keys());  // chaos, but reproducible chaos
 }
+
+#if defined(CENSYSIM_FAULT_INJECTION)
+
+// ------------------------------------------------------- storage faults
+//
+// The same graceful-degradation bar, one layer down: injected disk
+// faults (core/fault.h) against the WAL-backed journal. The invariant
+// throughout is the one DESIGN.md §9 promises — after any crash, the
+// recovered journal is byte-identical (digest) to a journal that simply
+// replayed the surviving prefix, and re-running the lost suffix of a
+// deterministic workload converges on the fault-free end state.
+
+constexpr int kTortureOps = 300;
+constexpr int kTortureEntities = 5;
+
+std::string ScratchDir(const std::string& name) {
+  // Suffixed with the pid: ctest runs discovered cases and the threads4
+  // variant concurrently, and they must not share scratch directories.
+  const std::filesystem::path dir =
+      std::filesystem::path("wal_scratch") /
+      (name + "-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+storage::EventJournal::Options DurableOptions(const std::string& dir) {
+  storage::EventJournal::Options options;
+  options.shards = 4;
+  options.wal.dir = dir;
+  options.wal.segment_bytes = 8u << 10;  // rotate often under torture
+  return options;
+}
+
+// Op `i` of the workload script — a pure function of i (always an
+// explicit state change, never a journal no-op), so a run can resume
+// from any recovered prefix.
+void ApplyOp(storage::EventJournal& journal, int i) {
+  storage::Delta delta;
+  delta.ops.push_back({storage::FieldOp::Kind::kSet,
+                       "f" + std::to_string(i % 3),
+                       "v" + std::to_string(i)});
+  journal.Append("host/" + std::to_string(i % kTortureEntities),
+                 storage::EventKind::kServiceChanged,
+                 Timestamp{static_cast<std::int64_t>(i + 1)}, delta);
+}
+
+// How many script ops the journal state reflects: op i targets entity
+// i % kTortureEntities and always advances its watermark, so the
+// watermark sum IS the resume index.
+int AppliedOps(const storage::EventJournal& journal) {
+  std::uint64_t total = 0;
+  for (int e = 0; e < kTortureEntities; ++e) {
+    total += journal.Watermark("host/" + std::to_string(e));
+  }
+  return static_cast<int>(total);
+}
+
+std::uint64_t JournalDigest(const storage::EventJournal& journal) {
+  std::uint64_t digest = 1469598103934665603ull;
+  journal.ScanAll([&](std::string_view key, std::string_view value) {
+    digest = (digest ^ Fnv1a64(key)) * 1099511628211ull;
+    digest = (digest ^ Fnv1a64(value)) * 1099511628211ull;
+    return true;
+  });
+  return digest;
+}
+
+TEST(WalFaultTest, DiskFullSurfacesAsErrorNotCorruption) {
+  const std::string dir = ScratchDir("disk_full");
+  storage::EventJournal journal(DurableOptions(dir));
+  for (int i = 0; i < 10; ++i) ApplyOp(journal, i);
+  const std::uint64_t digest = JournalDigest(journal);
+
+  {
+    fault::ScopedPlan plan(
+        1, {{.point = "storage.wal.append", .mode = fault::Mode::kErrorReturn}});
+    EXPECT_THROW(ApplyOp(journal, 10), storage::WalIoError);
+  }
+  // The failed append left no trace, in memory or on disk.
+  EXPECT_EQ(AppliedOps(journal), 10);
+  EXPECT_EQ(JournalDigest(journal), digest);
+
+  // The disk "recovers"; the same op now lands, and a fresh recovery
+  // agrees with the live journal byte for byte.
+  ApplyOp(journal, 10);
+  storage::EventJournal recovered(DurableOptions(dir));
+  const storage::RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(JournalDigest(recovered), JournalDigest(journal));
+}
+
+TEST(WalFaultTest, BitFlipIsCutAtRecoveryAndReplayable) {
+  const std::string dir = ScratchDir("bit_flip");
+  storage::EventJournal journal(DurableOptions(dir));
+  {
+    // Silently corrupt the 21st record's frame on its way to disk.
+    fault::ScopedPlan plan(7, {{.point = "storage.wal.append",
+                                .mode = fault::Mode::kBitFlip,
+                                .skip_hits = 20,
+                                .max_fires = 1}});
+    for (int i = 0; i < 60; ++i) ApplyOp(journal, i);
+  }
+  // The live journal never noticed (bit flips are silent) — it holds the
+  // fault-free state.
+  const std::uint64_t want = JournalDigest(journal);
+
+  // Crash. Recovery CRC-checks every record, cuts the log at the flipped
+  // one, and keeps only the prefix — 20 ops, nothing garbled.
+  storage::EventJournal recovered(DurableOptions(dir));
+  const storage::RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_GT(report.corrupt_records + report.truncated_bytes, 0u);
+  ASSERT_EQ(AppliedOps(recovered), 20);
+
+  // Re-running the lost suffix converges on the fault-free end state.
+  for (int i = 20; i < 60; ++i) ApplyOp(recovered, i);
+  EXPECT_EQ(JournalDigest(recovered), want);
+}
+
+TEST(WalFaultTest, CrashMidCheckpointFallsBackToOlderState) {
+  const std::string dir = ScratchDir("ckpt_crash");
+  storage::EventJournal journal(DurableOptions(dir));
+  std::string error;
+  for (int i = 0; i < 60; ++i) ApplyOp(journal, i);
+  ASSERT_TRUE(journal.Checkpoint(&error).has_value()) << error;
+  for (int i = 60; i < 100; ++i) ApplyOp(journal, i);
+  const std::uint64_t want = JournalDigest(journal);
+
+  {
+    // The next checkpoint write tears partway through and the process
+    // dies (checkpoint writes pass the same storage.wal.append point).
+    fault::ScopedPlan plan(3, {{.point = "storage.wal.append",
+                                .mode = fault::Mode::kTornWrite}});
+    EXPECT_THROW(journal.Checkpoint(&error), fault::CrashException);
+  }
+
+  // The torn checkpoint was never renamed into place: recovery loads the
+  // lsn-60 checkpoint, replays the 40-record tail, loses nothing.
+  storage::EventJournal recovered(DurableOptions(dir));
+  const storage::RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.checkpoint_lsn, 60u);
+  EXPECT_EQ(report.checkpoints_rejected, 0u);
+  EXPECT_EQ(report.replayed_records, 40u);
+  EXPECT_EQ(JournalDigest(recovered), want);
+}
+
+// The headline torture loop: for each seed, run the deterministic
+// 300-op script against a WAL-backed journal while a fault plan kills
+// the "process" (CrashException) at seed-chosen appends — sometimes
+// cleanly, sometimes mid-write (torn), sometimes mid-checkpoint. After
+// every death: fresh journal, Recover(), assert the recovered state is
+// byte-identical to an uncrashed journal at the same prefix, resume the
+// script from the watermark sum. Every seed must converge on the exact
+// fault-free digest.
+TEST(WalTortureTest, CrashRecoveryConvergesAcrossSeeds) {
+  storage::EventJournal reference{storage::EventJournal::Options{.shards = 4}};
+  for (int i = 0; i < kTortureOps; ++i) ApplyOp(reference, i);
+  const std::uint64_t want = JournalDigest(reference);
+
+  int total_crashes = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::string dir = ScratchDir("torture_" + std::to_string(seed));
+    auto journal =
+        std::make_unique<storage::EventJournal>(DurableOptions(dir));
+    int done = 0;
+    int crashes = 0;
+    for (int attempt = 0; done < kTortureOps && attempt < 40; ++attempt) {
+      const fault::Mode mode = attempt % 2 == 0 ? fault::Mode::kCrash
+                                                : fault::Mode::kTornWrite;
+      fault::ScopedPlan plan(seed * 100 + attempt,
+                             {{.point = "storage.wal.append",
+                               .mode = mode,
+                               .probability = 0.04,
+                               .max_fires = 1}});
+      try {
+        // Checkpoint the recovered state first (the checkpoint write is
+        // itself a crash candidate), then push toward the end.
+        std::string error;
+        if (done > 0) {
+          ASSERT_TRUE(journal->Checkpoint(&error).has_value()) << error;
+        }
+        for (int i = done; i < kTortureOps; ++i) ApplyOp(*journal, i);
+        done = kTortureOps;
+      } catch (const fault::CrashException&) {
+        ++crashes;
+        journal.reset();  // the process is dead; only the disk survives
+        journal = std::make_unique<storage::EventJournal>(DurableOptions(dir));
+        const storage::RecoveryReport report = journal->Recover();
+        ASSERT_TRUE(report.ok) << report.error;
+        done = AppliedOps(*journal);
+        ASSERT_LE(done, kTortureOps);
+        // Crash-consistency, the strong form: recovery must equal a
+        // journal that simply ran the surviving prefix uncrashed.
+        storage::EventJournal prefix{
+            storage::EventJournal::Options{.shards = 4}};
+        for (int i = 0; i < done; ++i) ApplyOp(prefix, i);
+        ASSERT_EQ(JournalDigest(*journal), JournalDigest(prefix));
+      }
+    }
+    ASSERT_EQ(done, kTortureOps);
+    EXPECT_EQ(JournalDigest(*journal), want);
+    EXPECT_GE(crashes, 1) << "plan never fired; torture was a no-op";
+    total_crashes += crashes;
+
+    // A search index built from the recovered journal answers queries
+    // identically to one built from the fault-free run.
+    const auto search_hits = [](const storage::EventJournal& j) {
+      search::SearchIndex index;
+      j.ForEachEntity(
+          [&](std::string_view entity, const storage::FieldMap& fields) {
+            index.Index(entity, fields);
+          });
+      std::string error;
+      return index.Search("v" + std::to_string(kTortureOps - 5), &error);
+    };
+    const auto want_hits = search_hits(reference);
+    EXPECT_FALSE(want_hits.empty());
+    EXPECT_EQ(search_hits(*journal), want_hits);
+  }
+  // ~12 deaths per seed in expectation; anything under 30 total means
+  // the injector is not actually firing.
+  EXPECT_GT(total_crashes, 30);
+}
+
+// Probe-level faults degrade coverage, never crash the pipeline: the
+// interrogate.probe point turns seed-chosen interrogations into
+// no-answers, which the refresh scheduler already absorbs.
+TEST(FailureInjectionTest, ProbeFaultsDegradeNotCrash) {
+  WorldConfig cfg = BaseWorld();
+  fault::ScopedPlan plan(
+      11, {{.point = "interrogate.probe", .probability = 0.05}});
+  const RunResult result = RunScenario(cfg, 2.0);
+  EXPECT_GT(fault::Injector::Global().fires("interrogate.probe"), 100u);
+  EXPECT_GT(result.tracked, 2500u);
+  EXPECT_GT(result.accuracy, 0.7);
+}
+
+#endif  // CENSYSIM_FAULT_INJECTION
 
 }  // namespace
 }  // namespace censys::engines

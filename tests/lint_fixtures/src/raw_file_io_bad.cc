@@ -1,0 +1,18 @@
+// Fixture: direct file I/O under src/ (outside src/storage/) must be
+// flagged, stream and POSIX flavors alike.
+#include <cstdio>
+#include <fstream>
+
+void DumpReport(const char* path) {
+  std::ofstream out(path);  // expect: raw-file-io
+  out << "report\n";
+}
+
+void DumpLegacy(const char* path) {
+  FILE* f = fopen(path, "w");  // expect: raw-file-io
+  if (f != nullptr) fclose(f);
+}
+
+int OpenRaw(const char* path) {
+  return ::open(path, 0);  // expect: raw-file-io
+}

@@ -1,0 +1,12 @@
+// Fixture: the waiver comment suppresses raw-file-io on its line, and
+// filesystem-level operations (no byte I/O) are not flagged at all.
+#include <filesystem>
+#include <fstream>
+
+bool Exists(const char* path) { return std::filesystem::exists(path); }
+
+void DumpDebugSnapshot(const char* path) {
+  // Debug-only escape hatch, deliberately waived:
+  std::ofstream out(path);  // censyslint:allow(raw-file-io)
+  out << "snapshot\n";
+}

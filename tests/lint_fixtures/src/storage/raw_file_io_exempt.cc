@@ -1,0 +1,10 @@
+// Fixture: src/storage/ is the one directory allowed to touch bytes on
+// disk — the same patterns that fire elsewhere are exempt here.
+#include <fstream>
+
+void WriteSegment(const char* path) {
+  std::ofstream out(path, std::ios::binary);
+  out << "frame";
+}
+
+int OpenSegment(const char* path) { return ::open(path, 0); }

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/fault.h"
 #include "core/strings.h"
 #include "engines/world.h"
 #include "fingerprint/fingerprints.h"
@@ -463,6 +464,117 @@ TEST_F(FrontendTest, MixedWorkloadIsDeterministicAndLookupHeavy) {
     EXPECT_EQ(batch2[i].ip.value(), batch[i].ip.value());
   }
 }
+
+// --------------------------------------------------------- degradation
+//
+// The graceful-degradation ladder under injected read faults: retry ->
+// stale-cache answer -> failed, plus batch-level load shedding. Every
+// query is accounted for in BatchReport; nothing ever crashes.
+
+std::vector<Query> LookupBatch(const std::vector<IPv4Address>& hosts) {
+  std::vector<Query> batch;
+  for (IPv4Address ip : hosts) {
+    Query q;
+    q.kind = Query::Kind::kLookup;
+    q.ip = ip;
+    batch.push_back(q);
+  }
+  return batch;
+}
+
+TEST_F(FrontendTest, BatchDeadlineShedsExcessQueries) {
+  ServingFrontend::Options options;
+  options.threads = 0;
+  options.batch_deadline_us = 0.05;  // gone after roughly one lookup
+  ServingFrontend frontend(read_, index_, analytics_, options);
+
+  std::vector<Query> batch;
+  for (int i = 0; i < 32; ++i) {
+    const auto one = LookupBatch(hosts_);
+    batch.insert(batch.end(), one.begin(), one.end());
+  }
+  const BatchReport report = frontend.Run(batch);
+  EXPECT_GT(report.shed, 0u);
+  // Shed queries never touch the read path; everything else (known
+  // hosts, no faults) answers — the two partitions cover the batch.
+  EXPECT_EQ(report.shed + report.lookup_hits, report.queries);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(frontend.queries_served(), batch.size());
+}
+
+#if defined(CENSYSIM_FAULT_INJECTION)
+
+TEST_F(FrontendTest, TransientReadFaultsRetryToSuccess) {
+  ServingFrontend::Options options;
+  options.threads = 0;  // inline: deterministic fault-to-query assignment
+  options.max_read_retries = 3;
+  options.retry_backoff_us = 1;
+  ServingFrontend frontend(read_, index_, analytics_, options);
+
+  // The first two read attempts of the batch fail; backoff-retries
+  // absorb both and every query still answers fresh.
+  fault::ScopedPlan plan(5, {{.point = "serving.read",
+                              .mode = fault::Mode::kErrorReturn,
+                              .max_fires = 2}});
+  const BatchReport report = frontend.Run(LookupBatch(hosts_));
+  EXPECT_EQ(report.lookup_hits, kHosts);
+  EXPECT_EQ(report.read_faults, 2u);
+  EXPECT_EQ(report.retries, 2u);
+  EXPECT_EQ(report.degraded, 0u);
+  EXPECT_EQ(report.failed, 0u);
+}
+
+TEST_F(FrontendTest, PersistentFaultsDegradeLookupsToStaleCache) {
+  ServingFrontend::Options options;
+  options.threads = 0;
+  options.max_read_retries = 2;
+  options.retry_backoff_us = 1;
+  ServingFrontend frontend(read_, index_, analytics_, options);
+
+  // Warm the view cache while reads are healthy.
+  const std::vector<Query> batch = LookupBatch(hosts_);
+  ASSERT_EQ(frontend.Run(batch).lookup_hits, kHosts);
+
+  // Then every fresh read fails, every retry included. Lookups fall to
+  // the last cached view instead of failing.
+  const std::uint64_t stale0 = read_.cache()->stale_hits();
+  fault::ScopedPlan plan(
+      6, {{.point = "serving.read", .mode = fault::Mode::kErrorReturn}});
+  const BatchReport report = frontend.Run(batch);
+  EXPECT_EQ(report.degraded, kHosts);
+  EXPECT_EQ(report.lookup_hits, kHosts);  // stale answers still answer
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.read_faults, kHosts * 3u);  // retries+1 attempts each
+  EXPECT_EQ(report.retries, kHosts * 2u);
+  EXPECT_EQ(read_.cache()->stale_hits(), stale0 + kHosts);
+}
+
+TEST_F(FrontendTest, NoStaleFallbackMeansFailedNotCrashed) {
+  ServingFrontend::Options options;
+  options.threads = 0;
+  options.max_read_retries = 1;
+  options.retry_backoff_us = 1;
+  options.allow_stale_reads = false;
+  ServingFrontend frontend(read_, index_, analytics_, options);
+
+  // Even kCrash on the read path is just a transient error: a pure
+  // reader has nothing to tear, so the site never throws.
+  fault::ScopedPlan plan(
+      9, {{.point = "serving.read", .mode = fault::Mode::kCrash}});
+  std::vector<Query> batch = LookupBatch(hosts_);
+  Query search;
+  search.kind = Query::Kind::kSearch;
+  search.text = "nginx";
+  batch.push_back(search);
+  const BatchReport report = frontend.Run(batch);
+  EXPECT_EQ(report.failed, batch.size());
+  EXPECT_EQ(report.degraded, 0u);
+  EXPECT_EQ(report.lookup_hits, 0u);
+  EXPECT_EQ(report.search_results, 0u);
+  EXPECT_EQ(frontend.queries_served(), batch.size());
+}
+
+#endif  // CENSYSIM_FAULT_INJECTION
 
 // --------------------------------------------------- serving during ticks
 

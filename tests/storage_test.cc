@@ -2,15 +2,21 @@
 // event journal (snapshot + replay reconstruction, tier migration).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
+#include "core/strings.h"
 #include "storage/delta.h"
 #include "storage/journal.h"
 #include "storage/kv.h"
 #include "storage/serialize.h"
+#include "storage/wal.h"
 
 namespace censys::storage {
 namespace {
@@ -483,6 +489,315 @@ TEST(JournalConcurrencyTest, ReadersRunConcurrentlyWithAppends) {
     EXPECT_EQ(journal.Watermark(entity_id(e)),
               static_cast<std::uint64_t>(kEventsPerEntity));
   }
+}
+
+// ------------------------------------------------------------------------ wal
+
+std::string ScratchDir(const std::string& name) {
+  // Suffixed with the pid: ctest runs discovered cases and the threads4
+  // variant concurrently, and they must not share scratch directories.
+  const std::filesystem::path dir =
+      std::filesystem::path("wal_scratch") /
+      (name + "-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::uint64_t JournalDigest(const EventJournal& journal) {
+  std::uint64_t digest = 1469598103934665603ull;
+  journal.ScanAll([&](std::string_view key, std::string_view value) {
+    digest = (digest ^ Fnv1a64(key)) * 1099511628211ull;
+    digest = (digest ^ Fnv1a64(value)) * 1099511628211ull;
+    return true;
+  });
+  return digest;
+}
+
+Delta SetField(const std::string& field, const std::string& value) {
+  Delta delta;
+  delta.ops.push_back({FieldOp::Kind::kSet, field, value});
+  return delta;
+}
+
+// Deterministic append script: op i is a pure function of i, always an
+// explicit field set (never a no-op), spread across 5 entities.
+void RunScript(EventJournal& journal, int from, int to) {
+  for (int i = from; i < to; ++i) {
+    journal.Append("host/" + std::to_string(i % 5),
+                   EventKind::kServiceChanged,
+                   Timestamp{static_cast<std::int64_t>(i + 1)},
+                   SetField("f" + std::to_string(i % 3),
+                            "v" + std::to_string(i)));
+  }
+}
+
+WalRecord MakeRecord(const std::string& entity, int i) {
+  WalRecord record;
+  record.entity = entity;
+  record.kind = static_cast<std::uint8_t>(EventKind::kServiceChanged);
+  record.at = Timestamp{static_cast<std::int64_t>(i + 1)};
+  record.delta = SetField("k", "value-" + std::to_string(i));
+  return record;
+}
+
+TEST(WalCodecTest, PayloadRoundTrips) {
+  WalRecord record;
+  record.lsn = 123456789;
+  record.entity = "host/192.0.2.1";
+  record.kind = static_cast<std::uint8_t>(EventKind::kServiceFound);
+  record.at = Timestamp{987654};
+  record.delta.ops.push_back({FieldOp::Kind::kSet, "banner", "SSH-2.0"});
+  record.delta.ops.push_back({FieldOp::Kind::kRemove, "stale", ""});
+
+  const std::string payload = EncodeWalPayload(record);
+  const auto decoded = DecodeWalPayload(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->lsn, record.lsn);
+  EXPECT_EQ(decoded->entity, record.entity);
+  EXPECT_EQ(decoded->kind, record.kind);
+  EXPECT_EQ(decoded->at.minutes, record.at.minutes);
+  EXPECT_EQ(decoded->delta.Encode(), record.delta.Encode());
+}
+
+TEST(WalCodecTest, DecodeRejectsTruncationAndTrailingGarbage) {
+  const std::string payload = EncodeWalPayload(MakeRecord("e", 0));
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeWalPayload(payload.substr(0, cut)).has_value())
+        << "prefix of " << cut;
+  }
+  EXPECT_FALSE(DecodeWalPayload(payload + "x").has_value());
+}
+
+TEST(WalTest, AppendsAssignContiguousLsnsAndReplayInOrder) {
+  const std::string dir = ScratchDir("append_replay");
+  {
+    WriteAheadLog wal({.dir = dir});
+    std::string error;
+    for (int i = 0; i < 20; ++i) {
+      WalRecord record = MakeRecord("host/a", i);
+      ASSERT_TRUE(wal.Append(record, &error)) << error;
+      EXPECT_EQ(record.lsn, static_cast<std::uint64_t>(i + 1));
+    }
+    EXPECT_EQ(wal.last_lsn(), 20u);
+  }
+  // A fresh instance recovers the LSN cursor and replays everything.
+  WriteAheadLog wal({.dir = dir});
+  std::string error;
+  ASSERT_TRUE(wal.Open(&error)) << error;
+  EXPECT_EQ(wal.last_lsn(), 20u);
+  std::vector<std::uint64_t> lsns;
+  WriteAheadLog::ReplayStats stats;
+  ASSERT_TRUE(wal.Replay(
+      0, [&](const WalRecord& r) { lsns.push_back(r.lsn); }, &stats, &error))
+      << error;
+  EXPECT_EQ(stats.records, 20u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  ASSERT_EQ(lsns.size(), 20u);
+  for (std::size_t i = 0; i < lsns.size(); ++i) EXPECT_EQ(lsns[i], i + 1);
+
+  // from_lsn skips the durable prefix.
+  stats = {};
+  std::size_t tail = 0;
+  ASSERT_TRUE(wal.Replay(
+      15, [&](const WalRecord&) { ++tail; }, &stats, &error));
+  EXPECT_EQ(tail, 5u);
+  EXPECT_EQ(stats.skipped, 15u);
+}
+
+TEST(WalTest, RotationSplitsSegmentsAndReplaySpansThem) {
+  const std::string dir = ScratchDir("rotation");
+  WriteAheadLog wal({.dir = dir, .segment_bytes = 256});
+  std::string error;
+  for (int i = 0; i < 64; ++i) {
+    WalRecord record = MakeRecord("host/rot", i);
+    ASSERT_TRUE(wal.Append(record, &error)) << error;
+  }
+  EXPECT_GT(wal.rotations(), 2u);
+  std::size_t segment_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    segment_files +=
+        entry.path().filename().string().rfind("wal-", 0) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(segment_files, wal.rotations() + 1);
+
+  std::size_t replayed = 0;
+  ASSERT_TRUE(wal.Replay(
+      0, [&](const WalRecord&) { ++replayed; }, nullptr, &error))
+      << error;
+  EXPECT_EQ(replayed, 64u);
+}
+
+// Appends `n` records and returns the path of the (single) segment file.
+std::string FillSegment(const std::string& dir, int n) {
+  WriteAheadLog wal({.dir = dir});
+  std::string error;
+  for (int i = 0; i < n; ++i) {
+    WalRecord record = MakeRecord("host/t", i);
+    EXPECT_TRUE(wal.Append(record, &error)) << error;
+  }
+  return (std::filesystem::path(dir) / "wal-00000000.log").string();
+}
+
+TEST(WalTest, TornTailIsTruncatedNotFatal) {
+  const std::string dir = ScratchDir("torn");
+  const std::string segment = FillSegment(dir, 10);
+
+  // Simulate a crash mid-write: a partial frame lands at the tail.
+  const auto full_size = std::filesystem::file_size(segment);
+  {
+    std::ofstream out(segment, std::ios::binary | std::ios::app);
+    out.write("\x40\x00\x00\x00\xde\xad\xbe", 7);  // header + partial bytes
+  }
+
+  WriteAheadLog wal({.dir = dir});
+  std::string error;
+  ASSERT_TRUE(wal.Open(&error)) << error;
+  std::size_t replayed = 0;
+  WriteAheadLog::ReplayStats stats;
+  ASSERT_TRUE(wal.Replay(
+      0, [&](const WalRecord&) { ++replayed; }, &stats, &error));
+  EXPECT_EQ(replayed, 10u);  // the torn tail cost nothing durable
+  EXPECT_EQ(std::filesystem::file_size(segment), full_size);
+  EXPECT_EQ(wal.truncated_bytes(), 7u);
+
+  // Appends continue on the clean boundary.
+  WalRecord record = MakeRecord("host/t", 10);
+  ASSERT_TRUE(wal.Append(record, &error)) << error;
+  EXPECT_EQ(record.lsn, 11u);
+}
+
+TEST(WalTest, CorruptRecordCutsTheLogAtThatPoint) {
+  const std::string dir = ScratchDir("bitflip");
+  const std::string segment = FillSegment(dir, 4);
+
+  // Flip one bit in the middle of the file (inside record ~2's payload).
+  const auto size = std::filesystem::file_size(segment);
+  {
+    std::fstream file(segment,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(static_cast<std::streamoff>(size / 2));
+    file.write(&byte, 1);
+  }
+
+  WriteAheadLog wal({.dir = dir});
+  std::string error;
+  ASSERT_TRUE(wal.Open(&error)) << error;
+  std::vector<std::uint64_t> lsns;
+  ASSERT_TRUE(wal.Replay(
+      0, [&](const WalRecord& r) { lsns.push_back(r.lsn); }, nullptr,
+      &error));
+  // CRC catches the flip; the log is cut there and only the prefix
+  // survives. The file now ends on a record boundary.
+  EXPECT_LT(lsns.size(), 4u);
+  for (std::size_t i = 0; i < lsns.size(); ++i) EXPECT_EQ(lsns[i], i + 1);
+  EXPECT_GE(wal.corrupt_records(), 1u);
+  EXPECT_LT(std::filesystem::file_size(segment), size);
+  EXPECT_EQ(wal.last_lsn(), lsns.size());
+}
+
+// ---------------------------------------------------------- journal + wal
+
+EventJournal::Options WalOptions(const std::string& dir) {
+  EventJournal::Options options;
+  options.shards = 4;
+  options.wal.dir = dir;
+  return options;
+}
+
+TEST(WalJournalTest, WalDoesNotPerturbJournalContent) {
+  EventJournal plain{EventJournal::Options{.shards = 4}};
+  RunScript(plain, 0, 200);
+
+  EventJournal durable(WalOptions(ScratchDir("no_perturb")));
+  RunScript(durable, 0, 200);
+
+  EXPECT_EQ(JournalDigest(durable), JournalDigest(plain));
+  EXPECT_EQ(durable.wal()->appended_records(), durable.event_count());
+}
+
+TEST(WalJournalTest, RecoverRebuildsByteIdenticalJournal) {
+  const std::string dir = ScratchDir("recover_identical");
+  EventJournal original(WalOptions(dir));
+  RunScript(original, 0, 200);  // 40 events/entity: snapshots + tiering
+  const std::uint64_t digest = JournalDigest(original);
+  ASSERT_GT(original.snapshot_count(), 0u);
+
+  EventJournal recovered(WalOptions(dir));
+  const RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.checkpoint_lsn, 0u);  // no checkpoint: full replay
+  EXPECT_EQ(report.replayed_records, 200u);
+  EXPECT_EQ(report.recovered_events, 200u);
+  EXPECT_EQ(JournalDigest(recovered), digest);
+  EXPECT_EQ(recovered.event_count(), original.event_count());
+  EXPECT_EQ(recovered.snapshot_count(), original.snapshot_count());
+  EXPECT_EQ(recovered.delta_bytes(), original.delta_bytes());
+  EXPECT_EQ(recovered.bytes_on(Tier::kHdd), original.bytes_on(Tier::kHdd));
+  EXPECT_EQ(recovered.Watermark("host/0"), original.Watermark("host/0"));
+
+  // The recovered journal continues identically.
+  RunScript(original, 200, 240);
+  RunScript(recovered, 200, 240);
+  EXPECT_EQ(JournalDigest(recovered), JournalDigest(original));
+}
+
+TEST(WalJournalTest, CheckpointBoundsReplayAndPrunesSegments) {
+  const std::string dir = ScratchDir("checkpoint");
+  EventJournal::Options options = WalOptions(dir);
+  options.wal.segment_bytes = 512;  // force plenty of rotations
+  EventJournal original(options);
+  RunScript(original, 0, 150);
+  std::string error;
+  const auto checkpoint_lsn = original.Checkpoint(&error);
+  ASSERT_TRUE(checkpoint_lsn.has_value()) << error;
+  EXPECT_EQ(*checkpoint_lsn, 150u);
+  EXPECT_GT(original.wal()->segments_removed(), 0u);
+  RunScript(original, 150, 190);
+  const std::uint64_t digest = JournalDigest(original);
+
+  EventJournal recovered(options);
+  const RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.checkpoint_lsn, 150u);
+  EXPECT_EQ(report.replayed_records, 40u);  // only the post-checkpoint tail
+  EXPECT_EQ(JournalDigest(recovered), digest);
+  EXPECT_EQ(recovered.event_count(), 190u);
+}
+
+TEST(WalJournalTest, RecoverFallsBackPastCorruptCheckpoint) {
+  const std::string dir = ScratchDir("bad_checkpoint");
+  EventJournal original(WalOptions(dir));
+  RunScript(original, 0, 60);
+  std::string error;
+  ASSERT_TRUE(original.Checkpoint(&error).has_value()) << error;
+  RunScript(original, 60, 120);
+  const auto second = original.Checkpoint(&error);
+  ASSERT_TRUE(second.has_value()) << error;
+  RunScript(original, 120, 140);
+  const std::uint64_t digest = JournalDigest(original);
+
+  // Corrupt the newest checkpoint on disk.
+  char name[48];
+  std::snprintf(name, sizeof(name), "ckpt-%020llu.snap",
+                static_cast<unsigned long long>(*second));
+  const std::string path = (std::filesystem::path(dir) / name).string();
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(40);
+    file.write("\xff", 1);
+  }
+
+  EventJournal recovered(WalOptions(dir));
+  const RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.checkpoints_rejected, 1u);
+  EXPECT_EQ(report.checkpoint_lsn, 60u);  // fell back to the older one
+  EXPECT_EQ(JournalDigest(recovered), digest);
 }
 
 }  // namespace

@@ -20,6 +20,11 @@
 //                             under src/ — simulated time never waits on
 //                             wall time
 //   using-namespace-header    no `using namespace` at file scope in headers
+//   raw-file-io               no direct file I/O (fstream, fopen, POSIX
+//                             open/write/fsync/...) under src/ outside
+//                             src/storage/ — durability and crash semantics
+//                             live behind the WAL, and only the storage
+//                             layer touches bytes on disk
 //   concurrency-contract      every class/struct holding a core::Mutex or
 //                             core::SharedMutex member must carry a
 //                             "// Concurrency:" contract comment
@@ -196,6 +201,9 @@ struct LineRule {
   bool headers_only = false;
   // Restrict to paths containing this substring ("" = everywhere given).
   std::string only_under;
+  // Paths containing any of these substrings are exempt (directory-level
+  // allowlist, e.g. all of src/storage/).
+  std::vector<std::string> allowed_contains;
 };
 
 const std::vector<LineRule>& Rules() {
@@ -233,7 +241,17 @@ const std::vector<LineRule>& Rules() {
        "includer",
        {},
        true,
-       ""},
+       "",
+       {}},
+      {"raw-file-io",
+       std::regex(
+           R"(std\s*::\s*(o|i)?fstream\b|std\s*::\s*filebuf\b|\b(fopen|freopen|fdopen|tmpfile)\s*\(|(^|[^\w:])::\s*(open|creat|write|pwrite|fsync|fdatasync|ftruncate)\s*\()"),
+       "direct file I/O outside src/storage/; bytes on disk flow through "
+       "the WAL-backed storage layer so crash consistency stays provable",
+       {},
+       false,
+       "src/",
+       {"src/storage/"}},
   };
   return kRules;
 }
@@ -301,6 +319,12 @@ void LintFile(const fs::path& file, std::vector<Finding>* findings) {
       continue;
     }
     if (PathAllowed(path, rule.allowed_suffixes)) continue;
+    if (std::any_of(rule.allowed_contains.begin(), rule.allowed_contains.end(),
+                    [&](const std::string& s) {
+                      return path.find(s) != std::string::npos;
+                    })) {
+      continue;
+    }
     for (std::size_t i = 0; i < code_lines.size(); ++i) {
       if (!std::regex_search(code_lines[i], rule.pattern)) continue;
       if (i < raw_lines.size() && HasWaiver(raw_lines[i], rule.id)) continue;
