@@ -4,7 +4,8 @@
 // default batched-fsync mode, and with fsync-per-append, plus checkpoint
 // write and full crash-recovery times — the knobs a deployment trades
 // between durability latency and ingest rate. Scratch segments live
-// under ./wal_scratch/bench/ and are recreated on every run.
+// under the system temp root (tests/test_tmpdir.h) and are recreated on
+// every run.
 //
 // Knobs: CENSYSIM_WAL_OPS (append count, default 200000),
 // CENSYSIM_WAL_FSYNC_OPS (fsync-each append count, default 5000).
@@ -16,6 +17,7 @@
 #include "core/clock.h"
 #include "core/strings.h"
 #include "storage/journal.h"
+#include "test_tmpdir.h"
 
 using namespace censys;
 using namespace censys::engines;
@@ -37,12 +39,7 @@ void ApplyOp(storage::EventJournal& journal, int i) {
                  Timestamp{static_cast<std::int64_t>(i + 1)}, delta);
 }
 
-std::string ScratchDir(const std::string& name) {
-  const std::filesystem::path dir = std::filesystem::path("wal_scratch") / name;
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  return dir.string();
-}
+using censys::test::ScratchDir;
 
 std::string Rate(double ops, double micros) {
   char buf[64];
@@ -67,8 +64,11 @@ int main() {
     storage::EventJournal journal;
     const WallTimer timer;
     for (int i = 0; i < ops; ++i) ApplyOp(journal, i);
-    table.AddRow({"journal, no WAL", Rate(ops, timer.ElapsedMicros()),
+    const double micros = timer.ElapsedMicros();
+    table.AddRow({"journal, no WAL", Rate(ops, micros),
                   "in-memory ceiling"});
+    bench::EmitBenchJson("wal_throughput", "journal_no_wal_ops_per_s",
+                         ops / (micros / 1e6), "ops/s");
   }
 
   // Durable default: WAL on, fsync only at rotation/checkpoint.
@@ -85,6 +85,8 @@ int main() {
                   HumanCount(journal.wal()->appended_bytes()).c_str(),
                   static_cast<unsigned long long>(journal.wal()->rotations()));
     table.AddRow({"WAL, batched fsync", Rate(ops, wal_micros), notes});
+    bench::EmitBenchJson("wal_throughput", "wal_batched_fsync_ops_per_s",
+                         ops / (wal_micros / 1e6), "ops/s");
 
     // Checkpoint cost at this journal size.
     const WallTimer ckpt_timer;
@@ -93,11 +95,12 @@ int main() {
       std::fprintf(stderr, "checkpoint failed: %s\n", error.c_str());
       return 1;
     }
+    const double ckpt_ms = ckpt_timer.ElapsedMicros() / 1e3;
     char ckpt[64];
-    std::snprintf(ckpt, sizeof(ckpt), "%.1f ms",
-                  ckpt_timer.ElapsedMicros() / 1e3);
+    std::snprintf(ckpt, sizeof(ckpt), "%.1f ms", ckpt_ms);
     table.AddRow({"checkpoint write", ckpt,
                   std::to_string(journal.event_count()) + " events covered"});
+    bench::EmitBenchJson("wal_throughput", "checkpoint_ms", ckpt_ms, "ms");
 
     // Append a tail past the checkpoint, then time a full recovery
     // (checkpoint load + tail replay) into a fresh journal.
@@ -109,9 +112,10 @@ int main() {
       std::fprintf(stderr, "recovery failed: %s\n", report.error.c_str());
       return 1;
     }
+    const double rec_ms = recover_timer.ElapsedMicros() / 1e3;
+    bench::EmitBenchJson("wal_throughput", "crash_recovery_ms", rec_ms, "ms");
     char rec[64];
-    std::snprintf(rec, sizeof(rec), "%.1f ms",
-                  recover_timer.ElapsedMicros() / 1e3);
+    std::snprintf(rec, sizeof(rec), "%.1f ms", rec_ms);
     table.AddRow({"crash recovery", rec,
                   "ckpt@" + std::to_string(report.checkpoint_lsn) + " + " +
                       std::to_string(report.replayed_records) + " replayed"});
@@ -125,8 +129,11 @@ int main() {
     storage::EventJournal journal(options);
     const WallTimer timer;
     for (int i = 0; i < fsync_ops; ++i) ApplyOp(journal, i);
-    table.AddRow({"WAL, fsync each", Rate(fsync_ops, timer.ElapsedMicros()),
+    const double micros = timer.ElapsedMicros();
+    table.AddRow({"WAL, fsync each", Rate(fsync_ops, micros),
                   std::to_string(journal.wal()->fsyncs()) + " fsyncs"});
+    bench::EmitBenchJson("wal_throughput", "wal_fsync_each_ops_per_s",
+                         fsync_ops / (micros / 1e6), "ops/s");
   }
 
   table.Print();

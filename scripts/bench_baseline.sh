@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Pinned-seed benchmark baseline (DESIGN.md §10): runs the serving, WAL,
+# micro, and engine-tick benches at a fixed small scale and assembles a
+# committed BENCH_<tag>.json so later PRs can diff their trajectory against
+# this one. Rows follow one schema:
+#
+#   {"bench": ..., "metric": ..., "value": ..., "unit": ..., "seed": ...}
+#
+# `value` is a measured rate/latency and so varies run to run; `bench`,
+# `metric`, `unit`, and `seed` are stable, which is what the trajectory
+# diff keys on. The seed column records the pinned CENSYSIM_SEED the
+# harness ran under.
+#
+# Usage: scripts/bench_baseline.sh [tag]     (default tag: pr5)
+#   BUILD_DIR=<dir> to point at a non-default build tree.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+TAG="${1:-pr5}"
+OUT="$ROOT/BENCH_${TAG}.json"
+
+for bin in bench/serving_qps bench/wal_throughput bench/micro_core; do
+  if [[ ! -x "$BUILD_DIR/$bin" ]]; then
+    echo "bench_baseline: $BUILD_DIR/$bin missing — build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+done
+
+# Pinned scale: small enough to finish in minutes, large enough that the
+# serving/WAL paths are past their warm-up knees.
+export CENSYSIM_SEED=42
+export CENSYSIM_UNIVERSE_BITS=16
+export CENSYSIM_SERVICES=9000
+export CENSYSIM_DAYS=2
+export CENSYSIM_WAL_OPS=100000
+export CENSYSIM_WAL_FSYNC_OPS=2000
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+LINES="$SCRATCH/bench_lines.jsonl"
+
+echo "== bench_baseline: serving_qps =="
+CENSYSIM_BENCH_JSON="$LINES" "$BUILD_DIR/bench/serving_qps"
+
+echo "== bench_baseline: wal_throughput =="
+CENSYSIM_BENCH_JSON="$LINES" "$BUILD_DIR/bench/wal_throughput"
+
+echo "== bench_baseline: micro_core (hot-path micros) =="
+"$BUILD_DIR/bench/micro_core" \
+  --benchmark_filter='BM_CyclicPermutationNext|BM_Sha256/1024|BM_JournalAppend|BM_JournalReconstruct|BM_SearchIndexQuery' \
+  --benchmark_format=json >"$SCRATCH/micro_core.json"
+
+echo "== bench_baseline: micro_core BM_EngineTick (staged tick) =="
+"$BUILD_DIR/bench/micro_core" \
+  --benchmark_filter='BM_EngineTick' \
+  --benchmark_format=json >"$SCRATCH/engine_tick.json"
+
+python3 - "$LINES" "$SCRATCH/micro_core.json" "$SCRATCH/engine_tick.json" \
+  "$OUT" "$CENSYSIM_SEED" <<'PY'
+import json
+import sys
+
+lines_path, micro_path, tick_path, out_path, seed = sys.argv[1:6]
+seed = int(seed)
+rows = []
+
+with open(lines_path) as f:
+    for line in f:
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+
+def google_benchmark_rows(path, bench):
+    with open(path) as f:
+        report = json.load(f)
+    for b in report.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        yield {"bench": bench, "metric": b["name"],
+               "value": round(b["real_time"], 3),
+               "unit": b["time_unit"], "seed": seed}
+        if "items_per_second" in b:
+            yield {"bench": bench, "metric": b["name"] + "/items_per_second",
+                   "value": round(b["items_per_second"], 1),
+                   "unit": "items/s", "seed": seed}
+
+rows.extend(google_benchmark_rows(micro_path, "micro_core"))
+rows.extend(google_benchmark_rows(tick_path, "engine_tick"))
+
+benches = sorted({r["bench"] for r in rows})
+if len(benches) < 4:
+    sys.exit(f"bench_baseline: only {benches} produced rows; expected >=4 "
+             "benches (serving_qps, wal_throughput, micro_core, engine_tick)")
+
+rows.sort(key=lambda r: (r["bench"], r["metric"]))
+with open(out_path, "w") as f:
+    json.dump(rows, f, indent=2)
+    f.write("\n")
+print(f"bench_baseline: wrote {len(rows)} rows across {benches} -> {out_path}")
+PY

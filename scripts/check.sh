@@ -8,6 +8,8 @@
 #   scripts/check.sh plain      # just the plain build + ctest
 #   scripts/check.sh address    # one sanitizer leg (address|thread|undefined)
 #   scripts/check.sh faultoff   # CENSYSIM_FAULT_INJECTION=OFF compile + tests
+#   scripts/check.sh trace      # flight-recorder leg: determinism probe,
+#                               # tracereport smoke, TRACE=OFF compile-out
 #   scripts/check.sh lint       # just censyslint (builds it if needed)
 #
 # Sanitizer legs build into scratch dirs (build-asan, build-tsan, build-ubsan)
@@ -50,6 +52,7 @@ SAN_TESTS=(
   "engines_test:WorldDeterminismTest.Parallel*"
   "core_test:ExecutorTest.*:FaultInjectorTest.*:Crc32cTest.*"
   "failure_injection_test:WalTortureTest.*:WalFaultTest.*"
+  "trace_test:"
 )
 
 run_sanitizer() { # run_sanitizer <address|thread|undefined> <dir>
@@ -88,6 +91,34 @@ run_faultoff() {
   record "fault-off leg" $rc
 }
 
+# Flight-recorder leg (DESIGN.md §10): with TRACE=ON, run the tracer suite
+# (including the determinism probe: traced digest == untraced digest) and a
+# 200-tick smoke whose dump must summarize cleanly through tracereport;
+# then prove -DCENSYSIM_TRACE=OFF still compiles and the macros fold away
+# (the OFF build's trace_test is the static_assert + stub suite).
+run_trace() {
+  note "trace leg (build dirs build, build-traceoff)"
+  local rc=0 out="build/trace_smoke.json"
+  cmake -B build -S . -DCENSYSIM_TRACE=ON >/dev/null &&
+    cmake --build build -j "$JOBS" --target trace_test tracereport || {
+    record "trace leg" 1
+    return
+  }
+  rm -f "$out"
+  CENSYSIM_TRACE_SMOKE_OUT="$out" ./build/tests/trace_test || rc=1
+  if [ -s "$out" ]; then
+    ./build/tools/tracereport/tracereport "$out" || rc=1
+    ./build/tools/tracereport/tracereport "$out" --category engine || rc=1
+  else
+    echo "trace leg: smoke run left no dump at $out" >&2
+    rc=1
+  fi
+  cmake -B build-traceoff -S . -DCENSYSIM_TRACE=OFF >/dev/null &&
+    cmake --build build-traceoff -j "$JOBS" --target trace_test &&
+    ./build-traceoff/tests/trace_test || rc=1
+  record "trace leg" $rc
+}
+
 run_lint() {
   note "censyslint"
   cmake -B build -S . >/dev/null &&
@@ -104,17 +135,19 @@ case "$LEG" in
   thread) run_sanitizer thread build-tsan ;;
   undefined) run_sanitizer undefined build-ubsan ;;
   faultoff) run_faultoff ;;
+  trace) run_trace ;;
   lint) run_lint ;;
   all)
     run_plain
     run_lint
     run_faultoff
+    run_trace
     run_sanitizer address build-asan
     run_sanitizer thread build-tsan
     run_sanitizer undefined build-ubsan
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|address|thread|undefined|faultoff|lint|all]" >&2
+    echo "usage: scripts/check.sh [plain|address|thread|undefined|faultoff|trace|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -151,4 +151,23 @@ std::string Registry::Render() const {
   return out;
 }
 
+void Registry::ForEachInstrument(
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  std::vector<std::pair<std::string, const char*>> instruments;
+  {
+    const core::MutexLock lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      instruments.emplace_back(name, "counter");
+    }
+    for (const auto& [name, g] : gauges_) {
+      instruments.emplace_back(name, "gauge");
+    }
+    for (const auto& [name, h] : histograms_) {
+      instruments.emplace_back(name, "histogram");
+    }
+  }
+  std::sort(instruments.begin(), instruments.end());
+  for (const auto& [name, kind] : instruments) fn(name, kind);
+}
+
 }  // namespace censys::metrics

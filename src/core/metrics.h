@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -91,6 +92,14 @@ class Registry {
   //   censys.scan.probes_sent            counter      123456
   //   censys.interrogate.latency_us      histogram    count=99 mean=12.3 ...
   std::string Render() const;
+
+  // Visits every registered instrument as (name, kind) with kind one of
+  // "counter", "gauge", "histogram", sorted by name. Drives the generated
+  // metrics reference (tools/metricsdoc) so the doc cannot drift from the
+  // registry.
+  void ForEachInstrument(
+      const std::function<void(std::string_view name, std::string_view kind)>&
+          fn) const;
 
  private:
   mutable core::Mutex mu_;

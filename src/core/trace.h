@@ -1,0 +1,191 @@
+// Span-based flight recorder for the tick pipeline.
+//
+// Every instrumented stage opens a scoped span via TRACE_SPAN(category,
+// name); spans land in per-thread ring buffers of fixed capacity (newest
+// spans win on wraparound), and Dump() drains all rings into Chrome
+// trace-event JSON loadable in chrome://tracing or Perfetto. The per-span
+// hot path is lock-free: a thread writes only its own ring and publishes
+// each slot with one release store, so worker threads trace concurrently
+// without contention and TSan stays clean.
+//
+// Time comes exclusively from WallTimer (core/clock.h), the tree's one
+// sanctioned real-time source, and flows only into span timestamps and
+// durations — never into simulation state. A traced run therefore produces
+// a byte-identical journal digest and identical search results to an
+// untraced run (asserted by trace_test's determinism probe).
+//
+// Build gating: with -DCENSYSIM_TRACE=OFF the TRACE_SPAN macros expand to
+// nothing (a static_assert in trace_test proves they are constexpr-empty)
+// and this header provides inert stubs so call sites compile unchanged.
+// With tracing compiled in, recording is still off until armed: set the
+// CENSYSIM_TRACE_FILE environment variable (arms at startup, dumps there
+// at process exit) or call trace::SetEnabled(true) / trace::Dump(path).
+//
+// Category and name must be string literals (or otherwise outlive the
+// recorder): rings store the pointers. Dynamic context goes through
+// SetArg, which copies into a fixed-size slot field.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace censys::trace {
+
+// One drained span, as handed to export. start/duration are microseconds
+// since the recorder's process-start epoch.
+struct SpanView {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  std::uint32_t thread_id = 0;
+  double start_us = 0;
+  double duration_us = 0;
+  std::string_view arg_key;
+  std::string_view arg_value;
+};
+
+struct Stats {
+  std::uint64_t recorded = 0;  // spans ever recorded (including overwritten)
+  std::uint64_t dropped = 0;   // spans lost to ring wraparound
+  std::uint32_t threads = 0;   // rings registered (threads that traced)
+};
+
+}  // namespace censys::trace
+
+#if defined(CENSYSIM_TRACE)
+
+namespace censys::trace {
+
+inline constexpr bool kCompiledIn = true;
+// Spans each thread's ring retains; older spans are overwritten.
+inline constexpr std::size_t kRingCapacity = 8192;
+inline constexpr std::size_t kMaxArgKey = 15;    // + NUL
+inline constexpr std::size_t kMaxArgValue = 47;  // + NUL; longer args truncate
+
+// Microseconds since the process-wide trace epoch (a WallTimer created on
+// first use).
+double NowMicros();
+
+// Arms/disarms recording. Disarmed spans cost one relaxed atomic load.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+// Drains every thread ring into Chrome trace-event JSON at `path`
+// (overwrites). Call at a quiescent point — the exporter reads rings other
+// threads own. Returns false with `error` set on I/O failure.
+bool Dump(const std::string& path, std::string* error);
+
+// The same JSON as a string (tests; avoids file I/O).
+std::string DumpToString();
+
+// Visits every retained span, oldest-first per thread (test hook).
+void ForEachSpan(const std::function<void(const SpanView&)>& fn);
+
+Stats GetStats();
+
+// Zeroes all rings and counters. Callers must be quiescent (no thread mid-
+// span); rings stay registered, so recording threads keep their buffers.
+void ResetForTest();
+
+// Records a completed span. Category/name must have static storage
+// duration; the arg strings are copied (and truncated to the slot size).
+void RecordSpan(const char* category, const char* name, double start_us,
+                double duration_us, std::string_view arg_key,
+                std::string_view arg_value);
+
+// RAII span: stamps start on construction, records on destruction.
+// Constructing while disarmed is free apart from the Enabled() load; a
+// span that starts armed records even if tracing is disarmed mid-scope
+// (rings are bounded, so late records are harmless).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name)
+      : category_(category), name_(name), armed_(Enabled()) {
+    if (armed_) start_us_ = NowMicros();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (armed_) {
+      RecordSpan(category_, name_, start_us_, NowMicros() - start_us_,
+                 std::string_view(key_, key_len_),
+                 std::string_view(value_, value_len_));
+    }
+  }
+
+  // Attaches one key/value arg (last call wins); value is truncated to the
+  // slot size. Safe to call on a disarmed span (no-op).
+  void SetArg(const char* key, std::string_view value) {
+    if (!armed_) return;
+    key_len_ = Copy(key_, sizeof(key_) - 1, key);
+    value_len_ = Copy(value_, sizeof(value_) - 1, value);
+  }
+
+ private:
+  static std::size_t Copy(char* dst, std::size_t cap, std::string_view src) {
+    const std::size_t n = src.size() < cap ? src.size() : cap;
+    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    return n;
+  }
+
+  const char* category_;
+  const char* name_;
+  bool armed_;
+  double start_us_ = 0;
+  char key_[kMaxArgKey + 1] = {};
+  char value_[kMaxArgValue + 1] = {};
+  std::size_t key_len_ = 0;
+  std::size_t value_len_ = 0;
+};
+
+}  // namespace censys::trace
+
+#define CENSYS_TRACE_CONCAT2(a, b) a##b
+#define CENSYS_TRACE_CONCAT(a, b) CENSYS_TRACE_CONCAT2(a, b)
+// Unnamed scoped span covering the rest of the enclosing block.
+#define TRACE_SPAN(category, name)                                    \
+  ::censys::trace::ScopedSpan CENSYS_TRACE_CONCAT(censys_trace_span_, \
+                                                  __LINE__)(category, name)
+// Named scoped span, for sites that attach args (span.SetArg(...)).
+#define TRACE_SPAN_VAR(var, category, name) \
+  ::censys::trace::ScopedSpan var(category, name)
+
+#else  // !CENSYSIM_TRACE — every entry point folds to nothing.
+
+namespace censys::trace {
+
+inline constexpr bool kCompiledIn = false;
+inline constexpr std::size_t kRingCapacity = 0;
+
+constexpr double NowMicros() { return 0; }
+constexpr void SetEnabled(bool) {}
+constexpr bool Enabled() { return false; }
+inline bool Dump(const std::string&, std::string* error) {
+  if (error != nullptr) *error = "tracing compiled out (CENSYSIM_TRACE=OFF)";
+  return false;
+}
+inline std::string DumpToString() { return {}; }
+inline void ForEachSpan(const std::function<void(const SpanView&)>&) {}
+constexpr Stats GetStats() { return {}; }
+constexpr void ResetForTest() {}
+constexpr void RecordSpan(const char*, const char*, double, double,
+                          std::string_view, std::string_view) {}
+
+// Literal-type stub: TRACE_SPAN_VAR declarations and SetArg calls compile
+// away entirely (trace_test static_asserts this in a constexpr context).
+class ScopedSpan {
+ public:
+  constexpr ScopedSpan() = default;
+  constexpr ScopedSpan(const char*, const char*) {}
+  constexpr void SetArg(const char*, std::string_view) const {}
+};
+
+}  // namespace censys::trace
+
+#define TRACE_SPAN(category, name)
+#define TRACE_SPAN_VAR(var, category, name) \
+  [[maybe_unused]] constexpr ::censys::trace::ScopedSpan var
+
+#endif  // CENSYSIM_TRACE

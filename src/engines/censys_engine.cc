@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/thread_safety.h"
+#include "core/trace.h"
 #include "pipeline/entity.h"
 #include "proto/banner.h"
 
@@ -226,6 +227,7 @@ void CensysEngine::RunInterrogationBatch(
   std::vector<interrogate::InterrogationResult> results(jobs.size());
   {
     metrics::ScopedTimer timer(stage_parallel_metric_);
+    TRACE_SPAN("engine", "interrogate.parallel");
     executor_->ParallelFor(jobs.size(), [&](std::size_t i) {
       const InterrogationJob& job = jobs[i];
       if (!job.interrogate) return;
@@ -236,6 +238,7 @@ void CensysEngine::RunInterrogationBatch(
 
   // Stage 4+5: commit in candidate-sequence order (`jobs` is built in that
   // order), so the journal is identical no matter how stage 3 interleaved.
+  TRACE_SPAN("engine", "interrogate.commit");
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const InterrogationJob& job = jobs[i];
     const interrogate::InterrogationResult& result = results[i];
@@ -443,6 +446,7 @@ void CensysEngine::TakeAnalyticsSnapshot(Timestamp day_start) {
 }
 
 void CensysEngine::Tick(Timestamp from, Timestamp to) {
+  TRACE_SPAN("engine", "tick");
   const metrics::ScopedTimer tick_timer(tick_metric_);
   ticks_metric_.Add();
   TickStats stats;
@@ -462,6 +466,7 @@ void CensysEngine::Tick(Timestamp from, Timestamp to) {
   // discovery order; everything downstream commits in that order.
   {
     metrics::ScopedTimer timer(stage_discovery_metric_);
+    TRACE_SPAN("engine", "stage.discovery");
     scheduler_->Tick(from, to, [this](const scan::Candidate& candidate) {
       scan::Candidate stamped = candidate;
       stamped.seq = next_seq_++;
@@ -474,6 +479,7 @@ void CensysEngine::Tick(Timestamp from, Timestamp to) {
   // interrogation -> validation -> in-sequence CQRS ingest.
   {
     metrics::ScopedTimer timer(stage_interrogate_metric_);
+    TRACE_SPAN("engine", "stage.interrogate");
     DrainScanQueue();
     stats.interrogate_us = timer.ElapsedMicros();
   }
@@ -481,6 +487,7 @@ void CensysEngine::Tick(Timestamp from, Timestamp to) {
   // Refresh cadence + predictive discoveries ride the same staged path.
   {
     metrics::ScopedTimer timer(stage_refresh_metric_);
+    TRACE_SPAN("engine", "stage.refresh");
     RunRefresh(to);
     if (config_.enable_predictive) RunPredictive(from, to);
     stats.refresh_us = timer.ElapsedMicros();
@@ -489,6 +496,7 @@ void CensysEngine::Tick(Timestamp from, Timestamp to) {
   const std::int64_t day = to.minutes / 1440;
   if (day != last_daily_run_) {
     metrics::ScopedTimer timer(stage_daily_metric_);
+    TRACE_SPAN("engine", "stage.daily");
     last_daily_run_ = day;
     const Timestamp day_start{day * 1440};
     RunReinjection(day_start);
@@ -509,6 +517,7 @@ void CensysEngine::Tick(Timestamp from, Timestamp to) {
   // Final stage: eviction sweep and async event delivery.
   {
     metrics::ScopedTimer timer(stage_commit_metric_);
+    TRACE_SPAN("engine", "stage.commit");
     write_side_->AdvanceTo(to);
     stats.bus_events = bus_.Drain();
     stats.commit_us = timer.ElapsedMicros();

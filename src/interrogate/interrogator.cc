@@ -4,6 +4,7 @@
 #include "core/fault.h"
 #include "core/rng.h"
 #include "core/strings.h"
+#include "core/trace.h"
 #include "interrogate/scanners.h"
 #include "proto/tls.h"
 
@@ -37,6 +38,7 @@ InterrogationResult Interrogator::InterrogateDetached(
     ServiceKey key, Timestamp t, int pop_id,
     std::optional<proto::Protocol> udp_hint, std::string_view sni_name) const {
   metrics::ScopedTimer timer(latency_metric_);
+  TRACE_SPAN("interrogate", "probe");
   attempts_metric_.Add();
 
   InterrogationResult result;
@@ -66,6 +68,7 @@ InterrogationResult Interrogator::InterrogateDetached(
 
 void Interrogator::CommitResult(const InterrogationResult& result) {
   if (!result.connected) return;
+  TRACE_SPAN("interrogate", "commit");
   ++handshakes_;
   handshakes_metric_.Add();
   if (result.record.has_value() && result.record->handshake_validated) {

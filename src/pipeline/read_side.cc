@@ -1,5 +1,6 @@
 #include "pipeline/read_side.h"
 
+#include "core/trace.h"
 #include "pipeline/entity.h"
 
 namespace censys::pipeline {
@@ -17,6 +18,7 @@ void ReadSide::BindMetrics(metrics::Registry* registry) {
 }
 
 std::optional<HostView> ReadSide::GetHost(IPv4Address ip) const {
+  TRACE_SPAN_VAR(span, "pipeline", "get_host");
   lookups_.fetch_add(1, std::memory_order_relaxed);
   lookups_metric_.Add();
   const std::string entity = HostEntityId(ip);
@@ -28,7 +30,11 @@ std::optional<HostView> ReadSide::GetHost(IPv4Address ip) const {
     const ViewCache::Watermark stamp{journal_.Watermark(entity),
                                      write_side_.ScanRevision(ip)};
     if (stamp.journal_seqno == 0) return std::nullopt;  // no journaled state
-    if (const auto cached = cache_->Get(ip, stamp)) return *cached;
+    if (const auto cached = cache_->Get(ip, stamp)) {
+      span.SetArg("cache", "hit");
+      return *cached;
+    }
+    span.SetArg("cache", "miss");
 
     const auto snap = journal_.SnapshotState(entity);
     if (!snap.has_value() || snap->fields.empty()) return std::nullopt;
@@ -54,6 +60,7 @@ std::optional<HostView> ReadSide::GetHostStale(IPv4Address ip) const {
 
 std::optional<HostView> ReadSide::GetHostAt(IPv4Address ip,
                                             Timestamp at) const {
+  TRACE_SPAN("pipeline", "get_host_at");
   lookups_.fetch_add(1, std::memory_order_relaxed);
   lookups_metric_.Add();
   const auto state = journal_.ReconstructAt(HostEntityId(ip), at);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/trace.h"
+
 namespace censys::scan {
 
 void ScanScheduler::BindMetrics(metrics::Registry* registry) {
@@ -36,6 +38,8 @@ void ScanScheduler::Tick(Timestamp from, Timestamp to,
       if (scheduled.port_provider) {
         klass.ports = scheduled.port_provider(pass_index);
       }
+      TRACE_SPAN_VAR(span, "scan", "pass_chunk");
+      span.SetArg("class", klass.name);
       engine_.RunPassChunk(klass, pass_index, Timestamp{cursor},
                            Timestamp{chunk_end}, emit);
       scheduled.progress_metric.Set(

@@ -4,6 +4,7 @@
 
 #include "core/clock.h"
 #include "core/fault.h"
+#include "core/trace.h"
 
 namespace censys::serving {
 namespace {
@@ -12,7 +13,9 @@ namespace {
 // sleep (the executor pool is shared across the batch).
 void BusyWaitMicros(double us) {
   if (us <= 0) return;
-  const WallTimer timer;
+  // Deadline bookkeeping, not stage timing: the retry ladder's backoff and
+  // budget checks need raw elapsed time. censyslint:allow(wall-timer)
+  const WallTimer timer;  // censyslint:allow(wall-timer)
   while (timer.ElapsedMicros() < us) {
   }
 }
@@ -38,7 +41,22 @@ void ServingFrontend::BindMetrics(metrics::Registry* registry) {
       metrics::BindCounter(registry, "censys.serving.read_faults");
 }
 
+namespace {
+
+[[maybe_unused]] constexpr const char* QuerySpanName(Query::Kind kind) {
+  switch (kind) {
+    case Query::Kind::kLookup: return "query.lookup";
+    case Query::Kind::kHistory: return "query.history";
+    case Query::Kind::kSearch: return "query.search";
+    case Query::Kind::kAnalytics: return "query.analytics";
+  }
+  return "query";
+}
+
+}  // namespace
+
 BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
+  TRACE_SPAN("serving", "batch");
   BatchReport report;
   report.queries = queries.size();
   if (queries.empty()) return report;
@@ -60,7 +78,7 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
   std::vector<Outcome> outcomes(queries.size());
   metrics::Histogram batch_lookup_latency;
 
-  const WallTimer batch_timer;
+  const WallTimer batch_timer;  // censyslint:allow(wall-timer)
   executor_.ParallelFor(queries.size(), [&](std::size_t i) {
     const Query& q = queries[i];
     Outcome& out = outcomes[i];
@@ -73,7 +91,8 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
       return;
     }
 
-    const WallTimer timer;
+    TRACE_SPAN("serving", QuerySpanName(q.kind));
+    const WallTimer timer;  // censyslint:allow(wall-timer)
     // Retry ladder: every query passes the "serving.read" injection
     // point. On a pure read path every fault mode is a transient error —
     // a reader has nothing to tear or corrupt durably — so each one

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/strings.h"
+#include "core/trace.h"
 #include "storage/serialize.h"
 
 namespace censys::storage {
@@ -161,6 +162,7 @@ std::uint64_t EventJournal::ApplyEvent(std::string_view entity_id,
 
 void EventJournal::WriteSnapshot(Shard& shard, std::string_view entity_id,
                                  EntityMeta& meta, Timestamp at) {
+  TRACE_SPAN("storage", "journal.snapshot");
   const std::uint64_t snapshot_seqno = meta.next_seqno;  // covers < seqno
   const std::string encoded = EncodeSnapshot(at, meta.current);
   snapshot_bytes_.fetch_add(encoded.size(), std::memory_order_relaxed);
@@ -217,6 +219,7 @@ std::uint64_t EventJournal::Watermark(std::string_view entity_id) const {
 
 std::optional<FieldMap> EventJournal::ReconstructAt(std::string_view entity_id,
                                                     Timestamp at) const {
+  TRACE_SPAN("storage", "journal.reconstruct");
   Shard& shard = ShardFor(entity_id);
   const core::ReaderLock lock(shard.mu);
 
@@ -486,6 +489,7 @@ std::optional<std::uint64_t> EventJournal::Checkpoint(std::string* error) {
 }
 
 RecoveryReport EventJournal::Recover() {
+  TRACE_SPAN("storage", "journal.recover");
   RecoveryReport report;
   if (wal_ == nullptr) {
     report.error = "journal has no WAL configured";

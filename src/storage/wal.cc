@@ -11,6 +11,7 @@
 
 #include "core/crc32c.h"
 #include "core/fault.h"
+#include "core/trace.h"
 #include "storage/serialize.h"
 
 namespace censys::storage {
@@ -344,6 +345,7 @@ bool WriteAheadLog::WriteAllLocked(const void* data, std::size_t n,
 }
 
 bool WriteAheadLog::SyncLocked(std::string* error) {
+  TRACE_SPAN("storage", "wal.fsync");
   if (const auto fault = fault::Hit("storage.wal.fsync")) {
     switch (fault->mode) {
       case fault::Mode::kCrash:
@@ -382,6 +384,7 @@ bool WriteAheadLog::RotateLocked(std::string* error) {
 }
 
 bool WriteAheadLog::Append(WalRecord& record, std::string* error) {
+  TRACE_SPAN("storage", "wal.append");
   const core::MutexLock lock(mu_);
   if (!opened_ && !OpenLocked(error)) return false;
 
@@ -455,6 +458,7 @@ bool WriteAheadLog::Replay(
     std::uint64_t from_lsn,
     const std::function<void(const WalRecord&)>& visit, ReplayStats* stats,
     std::string* error) {
+  TRACE_SPAN("storage", "wal.replay");
   std::vector<Segment> segments;
   {
     const core::MutexLock lock(mu_);
@@ -493,6 +497,7 @@ bool WriteAheadLog::Replay(
 bool WriteAheadLog::WriteCheckpoint(std::uint64_t lsn,
                                     std::string_view payload,
                                     std::string* error) {
+  TRACE_SPAN("storage", "wal.checkpoint");
   const core::MutexLock lock(mu_);
   if (!opened_ && !OpenLocked(error)) return false;
 

@@ -16,6 +16,7 @@
 #include "engines/world.h"
 #include "search/index.h"
 #include "storage/journal.h"
+#include "test_tmpdir.h"
 
 namespace censys::engines {
 namespace {
@@ -136,16 +137,7 @@ TEST(FailureInjectionTest, EverythingAtOnceStaysDeterministic) {
 constexpr int kTortureOps = 300;
 constexpr int kTortureEntities = 5;
 
-std::string ScratchDir(const std::string& name) {
-  // Suffixed with the pid: ctest runs discovered cases and the threads4
-  // variant concurrently, and they must not share scratch directories.
-  const std::filesystem::path dir =
-      std::filesystem::path("wal_scratch") /
-      (name + "-" + std::to_string(::getpid()));
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  return dir.string();
-}
+using test::ScratchDir;
 
 storage::EventJournal::Options DurableOptions(const std::string& dir) {
   storage::EventJournal::Options options;

@@ -1,0 +1,9 @@
+// Fixture: constructing a WallTimer for ad-hoc stage timing under src/
+// must be flagged — measurements flow through metrics::ScopedTimer or
+// TRACE_SPAN so they are registered and exportable.
+#include "core/clock.h"
+
+double StageMicros() {
+  const censys::WallTimer timer;  // expect: wall-timer
+  return timer.ElapsedMicros();
+}

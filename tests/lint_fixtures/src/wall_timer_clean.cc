@@ -1,0 +1,17 @@
+// Fixture: WallTimer in comments or strings must not fire, and a
+// deliberate raw-timer site (a bench-style busy-wait deadline, as in the
+// serving frontend) is waivable per line.
+#include "core/clock.h"
+#include "core/trace.h"
+
+// WallTimer is the sanctioned source inside core/clock.* only.
+void TimedStage() {
+  TRACE_SPAN("fixture", "timed_stage");
+  const char* label = "WallTimer";  // in a string literal
+  (void)label;
+}
+
+double BusyWaitDeadline() {
+  const censys::WallTimer timer;  // censyslint:allow(wall-timer)
+  return timer.ElapsedMicros();
+}

@@ -17,6 +17,7 @@
 #include "storage/kv.h"
 #include "storage/serialize.h"
 #include "storage/wal.h"
+#include "test_tmpdir.h"
 
 namespace censys::storage {
 namespace {
@@ -493,16 +494,7 @@ TEST(JournalConcurrencyTest, ReadersRunConcurrentlyWithAppends) {
 
 // ------------------------------------------------------------------------ wal
 
-std::string ScratchDir(const std::string& name) {
-  // Suffixed with the pid: ctest runs discovered cases and the threads4
-  // variant concurrently, and they must not share scratch directories.
-  const std::filesystem::path dir =
-      std::filesystem::path("wal_scratch") /
-      (name + "-" + std::to_string(::getpid()));
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  return dir.string();
-}
+using test::ScratchDir;
 
 std::uint64_t JournalDigest(const EventJournal& journal) {
   std::uint64_t digest = 1469598103934665603ull;

@@ -1,0 +1,44 @@
+// Scratch directories for WAL/storage tests and benches.
+//
+// ScratchDir(name) hands back a unique per-process directory under the
+// system temp root (never the repo CWD — a `wal_scratch/` tree in the
+// working directory was how scratch segments used to leak into the repo)
+// and registers a process-exit sweep that removes the whole per-process
+// root. The pid suffix keeps concurrently running ctest binaries (plain +
+// *_threads4 variants) from sharing scratch space.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace censys::test {
+
+inline const std::filesystem::path& ScratchRoot() {
+  static const std::filesystem::path* root = [] {
+    auto* p = new std::filesystem::path(
+        std::filesystem::temp_directory_path() /
+        ("censysim-scratch-" + std::to_string(::getpid())));
+    std::atexit([] {
+      std::error_code ec;  // best effort: never fail the process on cleanup
+      std::filesystem::remove_all(
+          std::filesystem::temp_directory_path() /
+              ("censysim-scratch-" + std::to_string(::getpid())),
+          ec);
+    });
+    return p;
+  }();
+  return *root;
+}
+
+// A fresh, empty scratch directory for `name`; recreated on every call.
+inline std::string ScratchDir(const std::string& name) {
+  const std::filesystem::path dir = ScratchRoot() / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+}  // namespace censys::test

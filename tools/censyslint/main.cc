@@ -20,6 +20,11 @@
 //                             under src/ — simulated time never waits on
 //                             wall time
 //   using-namespace-header    no `using namespace` at file scope in headers
+//   wall-timer                no direct WallTimer construction under src/
+//                             outside core/clock.*, core/metrics.*, and
+//                             core/trace.* — stage timing flows through
+//                             metrics::ScopedTimer or TRACE_SPAN so every
+//                             measurement is registered and exportable
 //   raw-file-io               no direct file I/O (fstream, fopen, POSIX
 //                             open/write/fsync/...) under src/ outside
 //                             src/storage/ — durability and crash semantics
@@ -233,6 +238,15 @@ const std::vector<LineRule>& Rules() {
        "sleeping on wall time inside the simulator; simulated time advances "
        "via SimClock",
        {},
+       false,
+       "src/"},
+      {"wall-timer",
+       std::regex(R"(\bWallTimer\b)"),
+       "direct WallTimer use for stage timing; time spans through "
+       "metrics::ScopedTimer or TRACE_SPAN (core/trace.h) so the "
+       "measurement is registered and exportable",
+       {"core/clock.h", "core/clock.cc", "core/metrics.h", "core/metrics.cc",
+        "core/trace.h", "core/trace.cc"},
        false,
        "src/"},
       {"using-namespace-header",

@@ -1,0 +1,296 @@
+// tracereport: summarizes a Chrome trace-event dump from core/trace.
+//
+// Ingests the JSON written by trace::Dump() (or any Chrome-trace file of
+// complete "X" events) and prints a per-category latency table — count,
+// p50, p99, and total duration per span name — so benches and tests can
+// assert on stage budgets without eyeballing raw JSON in chrome://tracing.
+//
+// Usage:
+//   tracereport [--category <cat>] [--min-count N] <trace.json>
+//
+// Exit status: 0 on success (even for an empty trace), 2 on IO/parse
+// errors.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+// Minimal recursive-descent JSON reader: just enough structure to walk the
+// trace file. Values we do not need (nested args, pids) are skipped.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  bool error() const { return error_; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail();
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail();
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(std::string(text_.substr(pos_, 4)).c_str(),
+                             nullptr, 16));
+            pos_ += 4;
+            // Trace args are escaped control bytes or ASCII; anything
+            // wider is preserved as '?' (the report never prints args).
+            *out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: *out += esc;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Fail();
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWs();
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start) return Fail();
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  // Skips any single JSON value (object, array, string, number, literal).
+  bool SkipValue() {
+    SkipWs();
+    const char c = Peek();
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      Consume(c);
+      if (Consume(close)) return true;
+      while (!error_) {
+        if (!SkipValueInObjectOrArray(c == '{')) return false;
+        if (Consume(close)) return true;
+        if (!Consume(',')) return Fail();
+      }
+      return false;
+    }
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (c == 't' || c == 'f' || c == 'n') {
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      return true;
+    }
+    double ignored;
+    return ParseNumber(&ignored);
+  }
+
+ private:
+  bool SkipValueInObjectOrArray(bool is_object) {
+    if (is_object) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return Fail();
+    }
+    return SkipValue();
+  }
+
+  bool Fail() {
+    error_ = true;
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool error_ = false;
+};
+
+struct SpanKey {
+  std::string category;
+  std::string name;
+  bool operator<(const SpanKey& o) const {
+    return category != o.category ? category < o.category : name < o.name;
+  }
+};
+
+struct SpanAgg {
+  std::vector<double> durations_us;
+  double total_us = 0;
+};
+
+double Quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int Report(const std::string& path, const std::string& category_filter,
+           std::size_t min_count) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "tracereport: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Find the traceEvents array, then walk its event objects.
+  const std::size_t events_at = text.find("\"traceEvents\"");
+  if (events_at == std::string::npos) {
+    std::fprintf(stderr, "tracereport: %s has no traceEvents array\n",
+                 path.c_str());
+    return 2;
+  }
+  JsonReader reader(std::string_view(text).substr(events_at + 13));
+  if (!reader.Consume(':') || !reader.Consume('[')) {
+    std::fprintf(stderr, "tracereport: malformed traceEvents in %s\n",
+                 path.c_str());
+    return 2;
+  }
+
+  std::map<SpanKey, SpanAgg> spans;
+  std::size_t events = 0;
+  if (!reader.Consume(']')) {
+    do {
+      if (!reader.Consume('{')) break;
+      std::string ph, cat, name;
+      double dur = 0;
+      bool have_dur = false;
+      if (!reader.Consume('}')) {
+        do {
+          std::string key;
+          if (!reader.ParseString(&key) || !reader.Consume(':')) break;
+          if (key == "ph") {
+            reader.ParseString(&ph);
+          } else if (key == "cat") {
+            reader.ParseString(&cat);
+          } else if (key == "name") {
+            reader.ParseString(&name);
+          } else if (key == "dur") {
+            have_dur = reader.ParseNumber(&dur);
+          } else {
+            reader.SkipValue();
+          }
+        } while (reader.Consume(','));
+        if (!reader.Consume('}')) break;
+      }
+      if (ph == "X" && have_dur &&
+          (category_filter.empty() || cat == category_filter)) {
+        SpanAgg& agg = spans[SpanKey{cat, name}];
+        agg.durations_us.push_back(dur);
+        agg.total_us += dur;
+        ++events;
+      }
+    } while (reader.Consume(','));
+  }
+  if (reader.error()) {
+    std::fprintf(stderr, "tracereport: parse error in %s\n", path.c_str());
+    return 2;
+  }
+
+  std::printf("%-12s %-28s %10s %12s %12s %14s\n", "category", "name",
+              "count", "p50_us", "p99_us", "total_us");
+  std::string last_category;
+  double category_total = 0;
+  std::size_t category_count = 0;
+  const auto flush_category = [&] {
+    if (last_category.empty()) return;
+    std::printf("%-12s %-28s %10zu %12s %12s %14.1f\n", last_category.c_str(),
+                "(all)", category_count, "", "", category_total);
+    category_total = 0;
+    category_count = 0;
+  };
+  for (auto& [key, agg] : spans) {
+    if (agg.durations_us.size() < min_count) continue;
+    if (key.category != last_category) {
+      flush_category();
+      last_category = key.category;
+    }
+    std::sort(agg.durations_us.begin(), agg.durations_us.end());
+    std::printf("%-12s %-28s %10zu %12.1f %12.1f %14.1f\n",
+                key.category.c_str(), key.name.c_str(),
+                agg.durations_us.size(), Quantile(agg.durations_us, 0.50),
+                Quantile(agg.durations_us, 0.99), agg.total_us);
+    category_total += agg.total_us;
+    category_count += agg.durations_us.size();
+  }
+  flush_category();
+  std::printf("tracereport: %zu span(s) in %zu row(s)\n", events,
+              spans.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string category_filter;
+  std::size_t min_count = 0;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--category" && i + 1 < argc) {
+      category_filter = argv[++i];
+    } else if (arg == "--min-count" && i + 1 < argc) {
+      min_count = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr,
+                                                        10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: tracereport [--category <cat>] [--min-count N] "
+          "<trace.json>\n");
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: tracereport [--category <cat>] [--min-count N] "
+                 "<trace.json>\n");
+    return 2;
+  }
+  return Report(path, category_filter, min_count);
+}
