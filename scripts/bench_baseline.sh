@@ -11,14 +11,43 @@
 # diff keys on. The seed column records the pinned CENSYSIM_SEED the
 # harness ran under.
 #
-# Usage: scripts/bench_baseline.sh [tag]     (default tag: pr5)
+# Usage: scripts/bench_baseline.sh [--compare BASELINE.json] [tag]
+#   (default tag: pr5)
 #   BUILD_DIR=<dir> to point at a non-default build tree.
+#
+# --compare BASELINE.json: after assembling BENCH_<tag>.json, join it
+# against the given baseline on (bench, metric, unit) and print the
+# per-metric delta. Direction-aware: time-unit metrics (ns/us/ms) regress
+# when they get slower, rate metrics (items/s, qps, ops/s) regress when
+# they get smaller. Any regression beyond 10% fails the run (exit 1), so
+# CI can pin a PR's trajectory against the previous PR's committed
+# baseline.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
-TAG="${1:-pr5}"
+
+COMPARE=""
+TAG=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --compare)
+      [[ $# -ge 2 ]] || { echo "bench_baseline: --compare needs a file" >&2; exit 2; }
+      COMPARE="$2"; shift 2 ;;
+    -h|--help)
+      echo "usage: scripts/bench_baseline.sh [--compare BASELINE.json] [tag]"
+      exit 0 ;;
+    *)
+      TAG="$1"; shift ;;
+  esac
+done
+TAG="${TAG:-pr5}"
 OUT="$ROOT/BENCH_${TAG}.json"
+
+if [[ -n "$COMPARE" && ! -f "$COMPARE" ]]; then
+  echo "bench_baseline: baseline $COMPARE not found" >&2
+  exit 2
+fi
 
 for bin in bench/serving_qps bench/wal_throughput bench/micro_core; do
   if [[ ! -x "$BUILD_DIR/$bin" ]]; then
@@ -100,3 +129,58 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"bench_baseline: wrote {len(rows)} rows across {benches} -> {out_path}")
 PY
+
+if [[ -n "$COMPARE" ]]; then
+  echo "== bench_baseline: compare $OUT vs $COMPARE =="
+  python3 - "$COMPARE" "$OUT" <<'PY'
+import json
+import sys
+
+base_path, new_path = sys.argv[1:3]
+with open(base_path) as f:
+    base = {(r["bench"], r["metric"], r["unit"]): r["value"]
+            for r in json.load(f)}
+with open(new_path) as f:
+    new = {(r["bench"], r["metric"], r["unit"]): r["value"]
+           for r in json.load(f)}
+
+TIME_UNITS = {"ns", "us", "ms", "s"}  # lower is better
+THRESHOLD = 0.10
+
+print(f"{'bench':<14} {'metric':<52} {'base':>12} {'new':>12} "
+      f"{'delta':>8}  verdict")
+regressions = []
+for key in sorted(base):
+    bench, metric, unit = key
+    if key not in new:
+        print(f"{bench:<14} {metric:<52} {base[key]:>12} {'(gone)':>12} "
+              f"{'':>8}  MISSING")
+        continue
+    b, n = base[key], new[key]
+    delta = (n - b) / b if b else 0.0
+    lower_is_better = unit in TIME_UNITS
+    # Positive `improved` fraction always means "got better".
+    improved = -delta if lower_is_better else delta
+    if improved < -THRESHOLD:
+        verdict = "REGRESSED"
+        regressions.append((bench, metric, unit, b, n, delta))
+    elif improved > THRESHOLD:
+        verdict = "improved"
+    else:
+        verdict = "ok"
+    print(f"{bench:<14} {metric:<52} {b:>12} {n:>12} {delta:>+7.1%}  {verdict}")
+for key in sorted(set(new) - set(base)):
+    bench, metric, unit = key
+    print(f"{bench:<14} {metric:<52} {'(new)':>12} {new[key]:>12} "
+          f"{'':>8}  new")
+
+if regressions:
+    print(f"bench_baseline: {len(regressions)} metric(s) regressed more "
+          f"than {THRESHOLD:.0%}:", file=sys.stderr)
+    for bench, metric, unit, b, n, delta in regressions:
+        print(f"  {bench}/{metric}: {b} -> {n} {unit} ({delta:+.1%})",
+              file=sys.stderr)
+    sys.exit(1)
+print("bench_baseline: no regressions beyond 10%")
+PY
+fi

@@ -10,6 +10,8 @@
 #   scripts/check.sh faultoff   # CENSYSIM_FAULT_INJECTION=OFF compile + tests
 #   scripts/check.sh trace      # flight-recorder leg: determinism probe,
 #                               # tracereport smoke, TRACE=OFF compile-out
+#   scripts/check.sh scaling    # BM_EngineTick 4-thread >= 2x 1-thread
+#                               # (skips on runners with < 4 cores)
 #   scripts/check.sh lint       # just censyslint (builds it if needed)
 #
 # Sanitizer legs build into scratch dirs (build-asan, build-tsan, build-ubsan)
@@ -49,8 +51,8 @@ SAN_TESTS=(
   "storage_test:JournalConcurrencyTest.*:Wal*"
   "pipeline_test:ReadSideTest.LookupsRunConcurrentlyWithIngest"
   "search_test:IndexConcurrencyTest.*"
-  "engines_test:WorldDeterminismTest.Parallel*"
-  "core_test:ExecutorTest.*:FaultInjectorTest.*:Crc32cTest.*"
+  "engines_test:WorldDeterminismTest.Parallel*:WorldDeterminismTest.GroupCommit*"
+  "core_test:ExecutorTest.*:RingTest.*:SlotBoardTest.*:FaultInjectorTest.*:Crc32cTest.*"
   "failure_injection_test:WalTortureTest.*:WalFaultTest.*"
   "trace_test:"
 )
@@ -119,6 +121,54 @@ run_trace() {
   record "trace leg" $rc
 }
 
+# Thread-scaling leg: the staged pipeline's reason to exist. BM_EngineTick
+# with 4 workers must move >=2x the items/sec of the 1-worker run. The
+# ratio only means anything with real cores under it, so the leg skips
+# (loudly) on small runners instead of reporting noise as failure.
+run_scaling() {
+  note "scaling leg (BM_EngineTick 1 vs 4 threads)"
+  local cores
+  cores=$(nproc 2>/dev/null || echo 1)
+  if [ "$cores" -lt 4 ]; then
+    echo "scaling leg: $cores core(s) < 4 — a 4-worker ratio would measure" \
+      "scheduler contention, not pipeline scaling; skipping"
+    RESULTS+=("SKIP  scaling leg (nproc=$cores)")
+    return
+  fi
+  cmake -B build -S . >/dev/null &&
+    cmake --build build -j "$JOBS" --target micro_core || {
+    record "scaling leg" 1
+    return
+  }
+  local json="build/scaling_check.json"
+  ./build/bench/micro_core --benchmark_filter='BM_EngineTick/(1|4)/' \
+    --benchmark_format=json >"$json" || { record "scaling leg" 1; return; }
+  python3 - "$json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+ips = {}
+for b in report.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    name = b["name"]
+    if "/1/" in name:
+        ips[1] = b["items_per_second"]
+    elif "/4/" in name:
+        ips[4] = b["items_per_second"]
+if 1 not in ips or 4 not in ips:
+    sys.exit("scaling leg: BM_EngineTick rows missing from bench output")
+ratio = ips[4] / ips[1]
+print(f"scaling leg: 1-thread {ips[1]:.0f} items/s, "
+      f"4-thread {ips[4]:.0f} items/s, ratio {ratio:.2f}x")
+if ratio < 2.0:
+    sys.exit(f"scaling leg: 4-thread/1-thread ratio {ratio:.2f}x < 2.0x")
+PY
+  record "scaling leg" $?
+}
+
 run_lint() {
   note "censyslint"
   cmake -B build -S . >/dev/null &&
@@ -136,18 +186,20 @@ case "$LEG" in
   undefined) run_sanitizer undefined build-ubsan ;;
   faultoff) run_faultoff ;;
   trace) run_trace ;;
+  scaling) run_scaling ;;
   lint) run_lint ;;
   all)
     run_plain
     run_lint
     run_faultoff
     run_trace
+    run_scaling
     run_sanitizer address build-asan
     run_sanitizer thread build-tsan
     run_sanitizer undefined build-ubsan
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|address|thread|undefined|faultoff|trace|lint|all]" >&2
+    echo "usage: scripts/check.sh [plain|address|thread|undefined|faultoff|trace|scaling|lint|all]" >&2
     exit 2
     ;;
 esac

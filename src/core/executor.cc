@@ -58,6 +58,43 @@ void Executor::ParallelFor(std::size_t n,
   if (error) std::rethrow_exception(error);
 }
 
+void Executor::Broadcast(const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) return;
+  {
+    const core::MutexLock lock(mu_);
+    // Own the function for the duration of the batch: unlike ParallelFor,
+    // the caller does not block, so its argument may die before the
+    // workers run it. The previous batch has drained (JoinBroadcast or
+    // ParallelFor completed), so no worker still references the old copy.
+    broadcast_fn_ = fn;
+    fn_ = &broadcast_fn_;
+    batch_size_ = workers_.size();
+    next_index_ = 0;
+    completed_ = 0;
+    error_ = nullptr;
+    ++epoch_;
+  }
+  broadcast_pending_ = true;
+  work_cv_.notify_all();
+}
+
+void Executor::JoinBroadcast() {
+  if (!broadcast_pending_) return;
+  broadcast_pending_ = false;
+  std::exception_ptr error;
+  {
+    core::MutexLock lock(mu_);
+    lock.Await(done_cv_, [&]() CENSYS_REQUIRES(mu_) {
+      return completed_ == batch_size_;
+    });
+    fn_ = nullptr;
+    broadcast_fn_ = nullptr;  // release whatever the lambda captured
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
 void Executor::RunBatch(const std::function<void(std::size_t)>* fn,
                         std::uint64_t epoch) {
   for (;;) {

@@ -47,6 +47,20 @@ class Executor {
   // the batch drains; the remaining tasks still run.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Asynchronously schedules fn(0) .. fn(thread_count()-1), one invocation
+  // per worker thread, without the calling thread participating — the
+  // caller keeps running (the tick pipeline's commit stage drains results
+  // while workers stream jobs). `fn` is copied into the executor, so a
+  // temporary is fine; captured references must stay alive until
+  // JoinBroadcast returns. No-op with zero workers (the caller then runs
+  // the work inline itself). At most one broadcast may be outstanding, and
+  // ParallelFor must not be called while one is.
+  void Broadcast(const std::function<void(std::size_t)>& fn);
+
+  // Blocks until the outstanding Broadcast (if any) completes; rethrows the
+  // first worker exception.
+  void JoinBroadcast();
+
  private:
   void WorkerLoop();
   // Claims indices from batch `epoch` until it is exhausted or superseded.
@@ -62,6 +76,9 @@ class Executor {
   std::condition_variable done_cv_;   // caller waits for batch completion
   // Current batch.
   const std::function<void(std::size_t)>* fn_ CENSYS_GUARDED_BY(mu_) = nullptr;
+  // Owned copy of an asynchronous Broadcast's function: the caller's
+  // object may be a temporary that dies before the workers finish.
+  std::function<void(std::size_t)> broadcast_fn_ CENSYS_GUARDED_BY(mu_);
   std::size_t batch_size_ CENSYS_GUARDED_BY(mu_) = 0;
   std::size_t next_index_ CENSYS_GUARDED_BY(mu_) = 0;
   std::size_t completed_ CENSYS_GUARDED_BY(mu_) = 0;
@@ -69,6 +86,8 @@ class Executor {
   std::uint64_t epoch_ CENSYS_GUARDED_BY(mu_) = 0;
   std::exception_ptr error_ CENSYS_GUARDED_BY(mu_);
   bool stopping_ CENSYS_GUARDED_BY(mu_) = false;
+  // Caller-thread-only flag: a Broadcast batch is outstanding.
+  bool broadcast_pending_ = false;
 };
 
 }  // namespace censys

@@ -1,0 +1,194 @@
+// Lock-free stage handoff for the tick pipeline.
+//
+// Two primitives, both bounded, both allocation-free on the hot path:
+//
+//   Ring<T>       a bounded lock-free MPMC ring (Vyukov's bounded queue).
+//                 The engine uses it single-producer / multi-consumer: the
+//                 sequencer streams candidate indices in, interrogation
+//                 workers (and the commit stage, when it helps out) pop
+//                 them. A full ring is backpressure: the producer switches
+//                 to draining completed results instead of blocking on a
+//                 condition variable — there are no condvars anywhere on
+//                 the tick path (censyslint enforces this for the engine
+//                 and interrogate layers).
+//
+//   SlotBoard<T>  sequence-indexed staging buffers for group commit.
+//                 Workers publish result `seq` with a release store into
+//                 the slot owned by stripe (seq % stripes); the commit
+//                 stage walks seqs in order with acquire loads and drains
+//                 whatever is ready. Striping keeps neighbouring sequence
+//                 numbers on different cache lines, so workers finishing
+//                 adjacent candidates never write the same line.
+//
+// Concurrency: Ring is safe for any number of concurrent producers and
+// consumers (per-cell sequence counters order every claim); SlotBoard
+// allows one publisher per slot plus one consumer thread — publication is
+// a release store observed by an acquire load, the only synchronization
+// the determinism story needs, because commit order is the sequence stamp
+// rather than arrival order. Reset() must not race Publish/Ready (the
+// engine resets between batches, while no workers are running).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace censys::core {
+
+template <typename T>
+class Ring {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit Ring(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Non-blocking push; false when the ring is full (backpressure — the
+  // caller should drain downstream work instead of spinning).
+  bool TryPush(T value) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Non-blocking pop; false when the ring is empty.
+  bool TryPop(T& out) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate occupancy (exact only when producers and consumers are
+  // quiescent); diagnostics only.
+  std::size_t ApproxSize() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+  // Producer and consumer cursors on separate cache lines.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+template <typename T>
+class SlotBoard {
+ public:
+  explicit SlotBoard(std::size_t stripes = 8)
+      : stripes_(stripes == 0 ? 1 : stripes), stripe_(stripes_) {}
+
+  SlotBoard(const SlotBoard&) = delete;
+  SlotBoard& operator=(const SlotBoard&) = delete;
+
+  // Prepares the board for a batch of `n` slots. Grows stripe storage as
+  // needed and clears every ready flag. Must be called while no worker is
+  // publishing (the engine resets between batches).
+  void Reset(std::size_t n) {
+    size_ = n;
+    const std::size_t per_stripe = n / stripes_ + 1;
+    for (Stripe& stripe : stripe_) {
+      if (stripe.capacity < per_stripe) {
+        stripe.cells = std::make_unique<Cell[]>(per_stripe);
+        stripe.capacity = per_stripe;
+      } else {
+        for (std::size_t i = 0; i < per_stripe; ++i) {
+          stripe.cells[i].ready.store(0, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+  // The staging slot for sequence number `seq`. Worker-private until
+  // Publish(seq); consumer-owned once Ready(seq) observes the publish.
+  T& Slot(std::size_t seq) { return CellFor(seq).value; }
+
+  // Release-publishes slot `seq` to the commit stage.
+  void Publish(std::size_t seq) {
+    CellFor(seq).ready.store(1, std::memory_order_release);
+  }
+
+  // Acquire-checks whether slot `seq` has been published.
+  bool Ready(std::size_t seq) const {
+    return CellFor(seq).ready.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint32_t> ready{0};
+    T value{};
+  };
+  struct Stripe {
+    std::unique_ptr<Cell[]> cells;
+    std::size_t capacity = 0;
+  };
+
+  Cell& CellFor(std::size_t seq) const {
+    return stripe_[seq % stripes_].cells[seq / stripes_];
+  }
+
+  std::size_t stripes_;
+  std::size_t size_ = 0;
+  mutable std::vector<Stripe> stripe_;
+};
+
+}  // namespace censys::core

@@ -42,6 +42,7 @@ CensysEngine::CensysEngine(simnet::Internet& net, cert::CtLog& ct_log,
   discovery_ = std::make_unique<scan::DiscoveryEngine>(
       net_, profile_, config_.pop_count, config_.seed);
   discovery_->SetExclusionList(&exclusions_);
+  discovery_->SetExecutor(executor_.get());
   scheduler_ = std::make_unique<scan::ScanScheduler>(*discovery_);
   interrogator_ = std::make_unique<interrogate::Interrogator>(net_, profile_);
   interrogator_->SetCertificateObserver(
@@ -53,6 +54,9 @@ CensysEngine::CensysEngine(simnet::Internet& net, cert::CtLog& ct_log,
                                                             config_.seed);
   write_side_ = std::make_unique<pipeline::WriteSide>(journal_, bus_,
                                                       config_.write_options);
+  tick_pipeline_ = std::make_unique<TickPipeline>(
+      *executor_, *interrogator_, *write_side_, *predictive_,
+      config_.commit_batch);
   fingerprints_ = fingerprint::FingerprintEngine::BuiltIn();
   cves_ = fingerprint::CveDatabase::BuiltIn();
   read_side_ = std::make_unique<pipeline::ReadSide>(
@@ -221,35 +225,13 @@ void CensysEngine::Bootstrap(Timestamp t0) {
 void CensysEngine::RunInterrogationBatch(
     const std::vector<InterrogationJob>& jobs) {
   if (jobs.empty()) return;
-
-  // Stage 3: fan detached interrogation out across the executor. Each job
-  // writes only its own result slot; everything it touches is const.
-  std::vector<interrogate::InterrogationResult> results(jobs.size());
-  {
-    metrics::ScopedTimer timer(stage_parallel_metric_);
-    TRACE_SPAN("engine", "interrogate.parallel");
-    executor_->ParallelFor(jobs.size(), [&](std::size_t i) {
-      const InterrogationJob& job = jobs[i];
-      if (!job.interrogate) return;
-      results[i] = interrogator_->InterrogateDetached(job.key, job.at, job.pop,
-                                                      job.udp_hint);
-    });
-  }
-
-  // Stage 4+5: commit in candidate-sequence order (`jobs` is built in that
-  // order), so the journal is identical no matter how stage 3 interleaved.
-  TRACE_SPAN("engine", "interrogate.commit");
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const InterrogationJob& job = jobs[i];
-    const interrogate::InterrogationResult& result = results[i];
-    interrogator_->CommitResult(result);
-    if (result.record.has_value()) {
-      write_side_->IngestScan(*result.record);
-      if (job.observe_predictive) predictive_->ObserveService(job.key);
-    } else if (job.ingest_failure_on_miss) {
-      write_side_->IngestFailure(job.key, job.at);
-    }
-  }
+  // Stages 3-5, overlapped: workers stream jobs off a lock-free ring and
+  // stage pure interrogation results into sequence slots; the command
+  // thread commits them strictly in candidate-sequence order with
+  // group-committed journal appends (see engines/tick_pipeline.h). The
+  // journal is identical no matter how stage 3 interleaved.
+  const metrics::ScopedTimer timer(stage_parallel_metric_);
+  tick_pipeline_->Run(jobs);
 }
 
 void CensysEngine::DrainScanQueue() {
@@ -295,6 +277,11 @@ void CensysEngine::DrainScanQueue() {
       job.pop = next_pop_;
       next_pop_ = (next_pop_ + 1) % config_.pop_count;
       job.udp_hint = candidate.udp_protocol;
+      // Ingests for flagged pseudo hosts are suppressed before the entity
+      // projection is ever read; skip computing it in the worker. Safe even
+      // if the flag races a later wave: the unprojected commit path falls
+      // back to computing the same fields lazily.
+      job.project = !write_side_->IsPseudoFlagged(candidate.key.ip);
       jobs.push_back(job);
     }
     scan_queue_ = std::move(deferred);
@@ -461,6 +448,7 @@ void CensysEngine::Tick(Timestamp from, Timestamp to) {
   const std::uint64_t failures0 =
       metrics_.CounterValue("censys.pipeline.ingest_failures");
   const std::uint64_t events0 = metrics_.CounterValue("censys.storage.events");
+  tick_pipeline_->ResetStats();
 
   // Stage 1: L4 discovery. Candidates are stamped with a sequence number in
   // discovery order; everything downstream commits in that order.
@@ -536,6 +524,22 @@ void CensysEngine::Tick(Timestamp from, Timestamp to) {
   stats.journal_events =
       metrics_.CounterValue("censys.storage.events") - events0;
   stats.total_us = tick_timer.ElapsedMicros();
+
+  const TickPipelineStats& pipe = tick_pipeline_->stats();
+  stats.pipeline_jobs = pipe.jobs;
+  stats.pipeline_waves = pipe.waves;
+  stats.help_runs = pipe.help_runs;
+  stats.commit_stalls = pipe.commit_stalls;
+  stats.batch_flushes = pipe.batch_flushes;
+  stats.pipeline_wall_us = pipe.wall_us;
+  stats.worker_busy_us = pipe.worker_busy_us;
+  stats.commit_busy_us = pipe.commit_busy_us;
+  if (pipe.wall_us > 0) {
+    const int workers = executor_->thread_count();
+    stats.worker_occupancy =
+        workers > 0 ? pipe.worker_busy_us / (pipe.wall_us * workers) : 0.0;
+    stats.commit_occupancy = pipe.commit_busy_us / pipe.wall_us;
+  }
   last_tick_ = stats;
 }
 

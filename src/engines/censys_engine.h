@@ -31,6 +31,7 @@
 #include "core/executor.h"
 #include "core/metrics.h"
 #include "engines/engine.h"
+#include "engines/tick_pipeline.h"
 #include "fingerprint/fingerprints.h"
 #include "fingerprint/vulns.h"
 #include "interrogate/interrogator.h"
@@ -67,6 +68,23 @@ struct TickStats {
   double daily_us = 0;        // daily jobs (reinjection, CT, analytics)
   double commit_us = 0;       // eviction sweep + event-bus drain
   double total_us = 0;
+
+  // Overlapped interrogation pipeline (stages 3-5) detail, summed over
+  // every wave of the tick.
+  std::uint64_t pipeline_jobs = 0;     // jobs through the ring
+  std::uint64_t pipeline_waves = 0;    // job batches run
+  std::uint64_t help_runs = 0;         // jobs the commit thread stole
+  std::uint64_t commit_stalls = 0;     // committer yields on a pending slot
+  std::uint64_t batch_flushes = 0;     // group-commit flushes
+  double pipeline_wall_us = 0;         // wall clock inside the pipeline
+  double worker_busy_us = 0;           // interrogation time, all threads
+  double commit_busy_us = 0;           // serial commit time
+  // Busy / wall fractions under overlap: how much of the pipeline's wall
+  // clock each stage actually worked. worker_occupancy is normalized by
+  // the worker count (1.0 = every worker busy the whole time; 0 when
+  // single-threaded), commit_occupancy by the one command thread.
+  double worker_occupancy = 0;
+  double commit_occupancy = 0;
 };
 
 class CensysEngine : public ScanEngine {
@@ -79,6 +97,12 @@ class CensysEngine : public ScanEngine {
     // pipeline runs the exact same staged code path inline, and the event
     // journal is byte-identical to any threads > 0 run.
     int threads = 0;
+
+    // Commits per group-commit flush (stage 4-5): the write side stages
+    // this many journal appends before draining them as one WAL batch
+    // write. Batch size changes WAL write granularity only, never journal
+    // content — tests assert byte-identical journals across sizes.
+    std::uint32_t commit_batch = 64;
 
     // Scan classes (§4.1).
     std::size_t priority_top_ports = 100;   // most responsive ports, daily
@@ -179,22 +203,6 @@ class CensysEngine : public ScanEngine {
   const search::SearchIndex& search_index() const { return index_; }
 
  private:
-  // One unit of stage-3 work. PoP and UDP hint are assigned serially in
-  // candidate-sequence order before fan-out; the commit flags say how the
-  // outcome feeds stage 5.
-  struct InterrogationJob {
-    ServiceKey key;
-    Timestamp at;
-    int pop = 0;
-    std::optional<proto::Protocol> udp_hint;
-    // false: skip interrogation and commit a failure (opted-out refresh).
-    bool interrogate = true;
-    // Refresh semantics: a miss is journaled as a failed refresh.
-    bool ingest_failure_on_miss = false;
-    // Discovery semantics: a hit trains the predictive engine.
-    bool observe_predictive = true;
-  };
-
   EngineEntry EntryFor(const pipeline::ServiceState& state) const;
   // Stages 2-5 for everything queued: builds per-wave job lists (one job
   // per key per wave so freshness checks see earlier commits), fans
@@ -237,6 +245,7 @@ class CensysEngine : public ScanEngine {
   search::PivotIndex pivots_;
   std::uint64_t ct_cert_cursor_ = 0;
   std::unique_ptr<pipeline::WriteSide> write_side_;
+  std::unique_ptr<TickPipeline> tick_pipeline_;
   fingerprint::FingerprintEngine fingerprints_;
   fingerprint::CveDatabase cves_;
   std::unique_ptr<pipeline::ReadSide> read_side_;

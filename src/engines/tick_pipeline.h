@@ -1,0 +1,142 @@
+// Stages 3-5 of the tick pipeline as an overlapped, lock-free assembly
+// line.
+//
+// The old shape was fork/join: ParallelFor over every job, a barrier, then
+// a serial commit loop — the commit stage was idle while workers ran and
+// the workers were idle while the command thread committed. This pipeline
+// overlaps them:
+//
+//   command thread            workers (Executor::Broadcast)
+//   --------------            -----------------------------
+//   push job indices  ---->   pop from lock-free Ring
+//   commit ready slots <----  interrogate (pure), stage result
+//   in SEQUENCE order         into SlotBoard slot, publish
+//   (group-committed)
+//
+// The command thread streams indices into a bounded core::Ring, drains
+// SlotBoard slots strictly in sequence order (group-committing journal
+// appends through WriteSide::BeginCommitBatch), and — when the next slot
+// is not ready and the ring still has work — pops a job and runs it
+// itself ("help" steal), so a full ring or a slow worker never idles the
+// committer. Workers exit when the ring is closed and empty.
+//
+// Determinism is by construction, same argument as the fork/join version:
+// interrogation is pure (InterrogateDetached), every side effect commits
+// on the command thread in sequence order, and group-commit batch
+// boundaries never change journal content. threads = 0 degenerates to the
+// exact serial order.
+//
+// Concurrency: Ring and SlotBoard carry all cross-thread communication
+// (acquire/release); `closed_` is release-set by the command thread after
+// the last push. Workers read `jobs_` and the interrogator const-only.
+// There are no mutexes or condition variables on this path (censyslint
+// enforces the absence for src/engines/ and src/interrogate/).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/ring.h"
+#include "interrogate/interrogator.h"
+#include "pipeline/write_side.h"
+#include "predict/predictive.h"
+
+namespace censys::engines {
+
+// One unit of stage-3 work. PoP and UDP hint are assigned serially in
+// candidate-sequence order before fan-out; the commit flags say how the
+// outcome feeds stage 5.
+struct InterrogationJob {
+  ServiceKey key;
+  Timestamp at;
+  int pop = 0;
+  std::optional<proto::Protocol> udp_hint;
+  // false: skip interrogation and commit a failure (opted-out refresh).
+  bool interrogate = true;
+  // Refresh semantics: a miss is journaled as a failed refresh.
+  bool ingest_failure_on_miss = false;
+  // Discovery semantics: a hit trains the predictive engine.
+  bool observe_predictive = true;
+  // Precompute the entity projection (ServiceFields + content hash) in the
+  // worker. Job builders clear this for hosts already pseudo-flagged at
+  // build time — their ingests are suppressed before the projection is
+  // ever read, so computing it would be pure waste. Set serially, so the
+  // decision is deterministic.
+  bool project = true;
+};
+
+// Cumulative across Run calls; the engine resets per tick.
+struct TickPipelineStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t waves = 0;         // Run invocations
+  std::uint64_t batch_flushes = 0; // group-commit flushes issued
+  std::uint64_t help_runs = 0;     // jobs the command thread stole
+  std::uint64_t commit_stalls = 0; // yields waiting on an unpublished slot
+  std::uint64_t worker_stalls = 0; // worker yields on an empty open ring
+  double wall_us = 0;              // stage 3-5 wall clock
+  double worker_busy_us = 0;       // summed across workers
+  double commit_busy_us = 0;       // command-thread commit work
+};
+
+class TickPipeline {
+ public:
+  TickPipeline(Executor& executor, interrogate::Interrogator& interrogator,
+               pipeline::WriteSide& write_side,
+               predict::PredictiveEngine& predictive,
+               std::uint32_t commit_batch);
+
+  TickPipeline(const TickPipeline&) = delete;
+  TickPipeline& operator=(const TickPipeline&) = delete;
+
+  // Runs stages 3-5 for `jobs`, committing results in index order. `jobs`
+  // must be in candidate-sequence order. Rethrows the first commit-side
+  // exception (e.g. storage::WalIoError) after quiescing the workers.
+  void Run(const std::vector<InterrogationJob>& jobs);
+
+  const TickPipelineStats& stats() const { return stats_; }
+  void ResetStats() {
+    stats_ = TickPipelineStats{};
+    worker_busy_us_.store(0, std::memory_order_relaxed);
+    worker_stalls_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // What a worker stages for the commit stage: the pure interrogation
+  // result plus the projections the serial stage would otherwise compute.
+  struct StagedResult {
+    interrogate::InterrogationResult result;
+    storage::FieldMap service_fields;  // ServiceFields(*result.record)
+    std::uint64_t content_hash = 0;    // WriteSide::ContentHash
+    bool projected = false;            // fields/hash above are filled in
+  };
+
+  // Stage 3 for one job, into its slot; publishes when done. Pure except
+  // for the slot and relaxed stat counters — safe on any thread.
+  void Execute(std::uint32_t index);
+  // Stage 4+5 for one published slot (command thread only).
+  void Commit(std::uint32_t index);
+  // Serial fallback (threads = 0): execute + commit inline, in order.
+  void RunSerial(const std::vector<InterrogationJob>& jobs);
+
+  Executor& executor_;
+  interrogate::Interrogator& interrogator_;
+  pipeline::WriteSide& write_side_;
+  predict::PredictiveEngine& predictive_;
+  const std::uint32_t commit_batch_;
+
+  core::Ring<std::uint32_t> ring_{1024};
+  core::SlotBoard<StagedResult> board_;
+  // No more pushes coming: set (release) by the command thread after the
+  // last TryPush of a wave succeeds.
+  std::atomic<bool> closed_{false};
+  const std::vector<InterrogationJob>* jobs_ = nullptr;
+
+  TickPipelineStats stats_;
+  std::atomic<std::uint64_t> worker_busy_us_{0};
+  std::atomic<std::uint64_t> worker_stalls_{0};
+};
+
+}  // namespace censys::engines

@@ -76,13 +76,19 @@ std::optional<interrogate::ServiceRecord> RecordFrom(
 
 storage::Delta UpsertServiceDelta(const storage::FieldMap& entity_state,
                                   const interrogate::ServiceRecord& record) {
-  const std::string prefix = ServicePrefix(record.key);
+  return UpsertServiceDelta(entity_state, record.key, ServiceFields(record));
+}
+
+storage::Delta UpsertServiceDelta(const storage::FieldMap& entity_state,
+                                  ServiceKey key,
+                                  const storage::FieldMap& service_fields) {
+  const std::string prefix = ServicePrefix(key);
   storage::FieldMap before;
   for (auto it = entity_state.lower_bound(prefix);
        it != entity_state.end() && StartsWith(it->first, prefix); ++it) {
     before.emplace(it->first, it->second);
   }
-  return storage::ComputeDelta(before, ServiceFields(record));
+  return storage::ComputeDelta(before, service_fields);
 }
 
 storage::Delta RemoveServiceDelta(const storage::FieldMap& entity_state,

@@ -39,6 +39,12 @@ std::optional<interrogate::ServiceRecord> RecordFrom(
 storage::Delta UpsertServiceDelta(const storage::FieldMap& entity_state,
                                   const interrogate::ServiceRecord& record);
 
+// Same, against precomputed ServiceFields(record) — interrogation workers
+// project records off-thread so the serial commit stage only diffs.
+storage::Delta UpsertServiceDelta(const storage::FieldMap& entity_state,
+                                  ServiceKey key,
+                                  const storage::FieldMap& service_fields);
+
 // Delta that removes every field of the service.
 storage::Delta RemoveServiceDelta(const storage::FieldMap& entity_state,
                                   ServiceKey key);

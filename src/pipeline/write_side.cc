@@ -1,6 +1,7 @@
 #include "pipeline/write_side.h"
 
 #include "core/strings.h"
+#include "core/trace.h"
 #include "pipeline/entity.h"
 
 namespace censys::pipeline {
@@ -33,14 +34,42 @@ void WriteSide::BindMetrics(metrics::Registry* registry) {
       metrics::BindGauge(registry, "censys.pipeline.tracked_services");
 }
 
+std::uint64_t WriteSide::ContentHash(const interrogate::ServiceRecord& record) {
+  return Fnv1a64(record.banner) ^ Fnv1a64(record.html_title) ^
+         Fnv1a64(std::string(proto::Name(record.protocol)));
+}
+
 void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
   command_role_.AdoptCurrentThread();
   journal_.command_role().AdoptCurrentThread();
   const core::MutexLock lock(mu_);
+  IngestScanLocked(record, nullptr, nullptr);
+}
+
+void WriteSide::IngestScan(const interrogate::ServiceRecord& record,
+                           const storage::FieldMap& service_fields,
+                           std::uint64_t content_hash) {
+  command_role_.AdoptCurrentThread();
+  journal_.command_role().AdoptCurrentThread();
+  const core::MutexLock lock(mu_);
+  IngestScanLocked(record, &service_fields, &content_hash);
+}
+
+void WriteSide::IngestScanLocked(const interrogate::ServiceRecord& record,
+                                 const storage::FieldMap* service_fields,
+                                 const std::uint64_t* precomputed_hash) {
   scans_ingested_.fetch_add(1, std::memory_order_relaxed);
   ingest_metric_.Add();
   const std::uint64_t packed = record.key.Pack();
   const std::uint32_t host = record.key.ip.value();
+
+  // A staged (unapplied) event for this host would make the delta below
+  // diff against stale state — drain the batch first. The flush decision
+  // depends only on commit sequence order, never on thread timing.
+  if (batching_ && staged_hosts_.contains(host)) {
+    revisit_flushes_.fetch_add(1, std::memory_order_relaxed);
+    FlushCommitBatchLocked();
+  }
 
   // --- pseudo-service filtering ----------------------------------------------
   if (options_.filter_pseudo_services) {
@@ -51,15 +80,16 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
     }
     HostCounts& counts = host_counts_[host];
     const std::uint64_t content_hash =
-        Fnv1a64(record.banner) ^ Fnv1a64(record.html_title) ^
-        Fnv1a64(std::string(proto::Name(record.protocol)));
+        precomputed_hash != nullptr ? *precomputed_hash : ContentHash(record);
     if (!states_.contains(packed)) {
       ++counts.total;
       ++counts.by_content[content_hash];
     }
     if (counts.by_content[content_hash] > options_.pseudo_service_threshold) {
       // Host flagged: remove everything we had for it and suppress future
-      // services.
+      // services. Removals are journaled write-through, so drain any other
+      // staged events first to keep the WAL in sequence order.
+      if (batching_) FlushCommitBatchLocked();
       pseudo_hosts_.emplace(host, true);
       const std::string entity = HostEntityId(record.key.ip);
       if (const storage::FieldMap* state = journal_.CurrentState(entity)) {
@@ -79,13 +109,16 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
   }
 
   // --- command processing -------------------------------------------------------
-  const std::string entity = HostEntityId(record.key.ip);
+  std::string entity = HostEntityId(record.key.ip);
   const storage::FieldMap* current = journal_.CurrentState(entity);
   static const storage::FieldMap kEmpty;
   const storage::FieldMap& state = current != nullptr ? *current : kEmpty;
 
   const bool existed = states_.contains(packed);
-  const storage::Delta delta = UpsertServiceDelta(state, record);
+  storage::Delta delta =
+      service_fields != nullptr
+          ? UpsertServiceDelta(state, record.key, *service_fields)
+          : UpsertServiceDelta(state, record);
 
   auto& service_state = states_[packed];
   if (!existed) {
@@ -103,10 +136,59 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
     const storage::EventKind kind = existed
                                         ? storage::EventKind::kServiceChanged
                                         : storage::EventKind::kServiceFound;
-    journal_.Append(entity, kind, record.observed_at, delta);
-    bus_.Publish(PipelineEvent{entity, record.key, kind, record.observed_at});
+    if (batching_) {
+      staged_bus_.push_back(
+          PipelineEvent{entity, record.key, kind, record.observed_at});
+      staged_events_.push_back(storage::EventJournal::PendingEvent{
+          std::move(entity), kind, record.observed_at, std::move(delta)});
+      staged_hosts_.insert(host);
+    } else {
+      journal_.Append(entity, kind, record.observed_at, delta);
+      bus_.Publish(PipelineEvent{entity, record.key, kind, record.observed_at});
+    }
   }
   tracked_metric_.Set(static_cast<std::int64_t>(states_.size()));
+}
+
+void WriteSide::BeginCommitBatch() {
+  command_role_.AdoptCurrentThread();
+  journal_.command_role().AdoptCurrentThread();
+  const core::MutexLock lock(mu_);
+  batching_ = true;
+}
+
+void WriteSide::FlushCommitBatch() {
+  const core::MutexLock lock(mu_);
+  FlushCommitBatchLocked();
+}
+
+void WriteSide::EndCommitBatch() {
+  const core::MutexLock lock(mu_);
+  FlushCommitBatchLocked();
+  batching_ = false;
+}
+
+void WriteSide::FlushCommitBatchLocked() {
+  if (staged_events_.empty()) return;
+  TRACE_SPAN_VAR(span, "pipeline", "commit_batch.flush");
+  span.SetArg("events", std::to_string(staged_events_.size()));
+  // One journal batch append (one WAL write, at most one fsync), then the
+  // bus events in the same sequence order the scans committed in. The
+  // staged events move into the append; on a WAL failure or injected
+  // crash the batch is rejected (or lost) as a unit, so the staging
+  // buffers are cleared either way.
+  std::vector<storage::EventJournal::PendingEvent> batch;
+  batch.swap(staged_events_);
+  staged_hosts_.clear();
+  try {
+    journal_.AppendBatch(std::move(batch));
+  } catch (...) {
+    staged_bus_.clear();
+    throw;
+  }
+  for (PipelineEvent& event : staged_bus_) bus_.Publish(std::move(event));
+  staged_bus_.clear();
+  batch_flushes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void WriteSide::IngestFailure(ServiceKey key, Timestamp at) {
@@ -127,6 +209,8 @@ void WriteSide::AdvanceTo(Timestamp now) {
   command_role_.AdoptCurrentThread();
   journal_.command_role().AdoptCurrentThread();
   const core::MutexLock lock(mu_);
+  // Evictions journal write-through; staged scan events must land first.
+  if (batching_) FlushCommitBatchLocked();
   std::vector<ServiceState> to_evict;
   for (const auto& [packed, state] : states_) {
     if (state.pending_eviction_since.has_value() &&

@@ -25,6 +25,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/metrics.h"
@@ -88,11 +89,44 @@ class WriteSide {
       : WriteSide(journal, bus, Options()) {}
   WriteSide(storage::EventJournal& journal, EventBus& bus, Options options);
 
+  // The pseudo-service content hash IngestScan buckets records by. Exposed
+  // so interrogation workers can precompute it off the command thread.
+  static std::uint64_t ContentHash(const interrogate::ServiceRecord& record);
+
   // A successful interrogation of `record.key`.
   void IngestScan(const interrogate::ServiceRecord& record);
 
+  // Same, with the entity-field projection and pseudo-service content hash
+  // precomputed (interrogation workers do both off-thread; the serial
+  // commit stage then only diffs and journals). `service_fields` must equal
+  // ServiceFields(record) and `content_hash` the pseudo-filter hash of the
+  // record's banner/title/protocol.
+  void IngestScan(const interrogate::ServiceRecord& record,
+                  const storage::FieldMap& service_fields,
+                  std::uint64_t content_hash);
+
   // A failed interrogation (target unreachable / gone).
   void IngestFailure(ServiceKey key, Timestamp at);
+
+  // --- group commit ------------------------------------------------------------
+  // Between Begin and End, journal appends from IngestScan are staged
+  // rather than written through: FlushCommitBatch (or End, or an ingest
+  // that revisits an entity with a staged event — the delta must diff
+  // against applied state) drains them with ONE journal/WAL batch append.
+  // Bus events stage alongside and publish at flush, still in sequence
+  // order. Command-thread only; batch boundaries never change journal
+  // content, only WAL write granularity.
+  void BeginCommitBatch();
+  void FlushCommitBatch();
+  void EndCommitBatch();  // flush + leave batching mode
+
+  std::uint64_t batch_flushes() const {
+    return batch_flushes_.load(std::memory_order_relaxed);
+  }
+  // Flushes forced by an entity revisited while its event was staged.
+  std::uint64_t revisit_flushes() const {
+    return revisit_flushes_.load(std::memory_order_relaxed);
+  }
 
   // Evicts services whose pending-eviction deadline has passed.
   void AdvanceTo(Timestamp now);
@@ -149,6 +183,11 @@ class WriteSide {
   const core::ThreadRole& command_role() const { return command_role_; }
 
  private:
+  void IngestScanLocked(const interrogate::ServiceRecord& record,
+                        const storage::FieldMap* service_fields,
+                        const std::uint64_t* content_hash)
+      CENSYS_REQUIRES(mu_);
+  void FlushCommitBatchLocked() CENSYS_REQUIRES(mu_);
   void Evict(const ServiceState& state, Timestamp now)
       CENSYS_REQUIRES(mu_, journal_.command_role());
   void BumpRevision(IPv4Address ip) CENSYS_REQUIRES(mu_) {
@@ -184,9 +223,20 @@ class WriteSide {
       CENSYS_GUARDED_BY(mu_);
   std::unordered_map<std::uint32_t, bool> pseudo_hosts_ CENSYS_GUARDED_BY(mu_);
 
+  // Group-commit staging (command thread, under mu_).
+  bool batching_ CENSYS_GUARDED_BY(mu_) = false;
+  std::vector<storage::EventJournal::PendingEvent> staged_events_
+      CENSYS_GUARDED_BY(mu_);
+  std::vector<PipelineEvent> staged_bus_ CENSYS_GUARDED_BY(mu_);
+  // Hosts with a staged (unapplied) journal event; an ingest for one of
+  // these forces a flush so its delta diffs against applied state.
+  std::unordered_set<std::uint32_t> staged_hosts_ CENSYS_GUARDED_BY(mu_);
+
   std::atomic<std::uint64_t> scans_ingested_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> pseudo_suppressed_{0};
+  std::atomic<std::uint64_t> batch_flushes_{0};
+  std::atomic<std::uint64_t> revisit_flushes_{0};
 
   metrics::CounterHandle ingest_metric_;
   metrics::CounterHandle failure_metric_;

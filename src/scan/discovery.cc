@@ -1,5 +1,6 @@
 #include "scan/discovery.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "core/strings.h"
@@ -24,10 +25,48 @@ void DiscoveryEngine::BindMetrics(metrics::Registry* registry) {
 
 double DiscoveryEngine::SlotOf(ServiceKey key, std::uint64_t pass_index,
                                std::string_view klass_name) const {
+  return SlotOfPacked(key.Pack(), pass_index, klass_name);
+}
+
+double DiscoveryEngine::SlotOfPacked(std::uint64_t packed_key,
+                                     std::uint64_t pass_index,
+                                     std::string_view klass_name) const {
   const std::uint64_t h = SplitMix64(
-      key.Pack() ^ SplitMix64(pass_index ^ SplitMix64(Fnv1a64(klass_name))) ^
+      packed_key ^ SplitMix64(pass_index ^ SplitMix64(Fnv1a64(klass_name))) ^
       seed_);
   return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+const DiscoveryEngine::ServiceSnapshot& DiscoveryEngine::SnapshotFor(
+    Timestamp to) {
+  if (snapshot_.at_minutes == to.minutes) return snapshot_;
+  snapshot_ = ServiceSnapshot{};
+  snapshot_.at_minutes = to.minutes;
+  net_.ForEachActiveService(to, [&](const simnet::SimService& s) {
+    snapshot_.packed.push_back(s.key.Pack());
+    snapshot_.ip.push_back(s.key.ip.value());
+    snapshot_.port.push_back(s.key.port);
+    snapshot_.block.push_back(net_.blocks().BlockOf(s.key.ip).id);
+    snapshot_.transport.push_back(s.key.transport);
+    snapshot_.protocol.push_back(s.protocol);
+    std::uint8_t visible = 1;
+    if (s.key.transport == Transport::kUdp) {
+      // A UDP service only answers the matching protocol-specific probe,
+      // and the engine only sends probes for protocols IANA-assigned to
+      // the port. UDP services on unassigned ports are invisible to L4
+      // discovery — one of the reasons UDP behaviour "has seen little
+      // work" (§9).
+      visible = 0;
+      for (proto::Protocol p :
+           proto::AssignedToPort(s.key.port, Transport::kUdp)) {
+        if (p == s.protocol) visible = 1;
+      }
+    }
+    snapshot_.visible.push_back(visible);
+  });
+  net_.ForEachPseudoHost(
+      [&](IPv4Address ip) { snapshot_.pseudo_ips.push_back(ip.value()); });
+  return snapshot_;
 }
 
 bool DiscoveryEngine::InScope(const ScanClass& klass, IPv4Address ip) const {
@@ -59,22 +98,19 @@ void DiscoveryEngine::RunPassChunk(const ScanClass& klass,
 
   const Timestamp pass_start{klass.period.minutes *
                              static_cast<std::int64_t>(pass_index)};
-  std::unordered_set<Port> port_set(klass.ports.begin(), klass.ports.end());
+  // Port membership as a 65536-bit mask: the hot filter is one shift+mask
+  // instead of a hash probe per service.
+  std::vector<std::uint64_t> port_bits(1024, 0);
+  for (Port p : klass.ports) {
+    port_bits[p >> 6] |= std::uint64_t{1} << (p & 63);
+  }
   std::unordered_set<std::uint32_t> scoped_blocks;
   for (const simnet::NetworkBlock* b : klass.blocks) scoped_blocks.insert(b->id);
 
-  auto slot_time = [&](ServiceKey key) {
+  auto slot_time = [&](std::uint64_t packed_key) {
     return pass_start + Duration{static_cast<std::int64_t>(
-                            SlotOf(key, pass_index, klass.name) *
+                            SlotOfPacked(packed_key, pass_index, klass.name) *
                             static_cast<double>(klass.period.minutes))};
-  };
-  auto in_scope = [&](IPv4Address ip) {
-    if (exclusions_ != nullptr && exclusions_->IsExcluded(ip, to)) {
-      filtered_metric_.Add();
-      return false;
-    }
-    if (scoped_blocks.empty()) return true;
-    return scoped_blocks.contains(net_.blocks().BlockOf(ip).id);
   };
 
   // Probe accounting: this chunk's share of the full pass volume.
@@ -86,52 +122,113 @@ void DiscoveryEngine::RunPassChunk(const ScanClass& klass,
   probes_sent_ += chunk_probes;
   probes_metric_.Add(chunk_probes);
 
+  const ServiceSnapshot& snap = SnapshotFor(to);
+
   // --- live services whose slot falls in this chunk -------------------------
-  net_.ForEachActiveService(to, [&](const simnet::SimService& s) {
-    if (!port_set.contains(s.key.port)) return;
-    if (!in_scope(s.key.ip)) return;
-    const Timestamp when = slot_time(s.key);
-    if (when < from || when >= to) return;
-
-    std::optional<proto::Protocol> udp_protocol;
-    if (s.key.transport == Transport::kUdp) {
-      // A UDP service only answers the matching protocol-specific probe,
-      // and the engine only sends probes for protocols IANA-assigned to
-      // the port. UDP services on unassigned ports are invisible to L4
-      // discovery — one of the reasons UDP behaviour "has seen little
-      // work" (§9).
-      const auto assigned = proto::AssignedToPort(s.key.port, Transport::kUdp);
-      bool probed = false;
-      for (proto::Protocol p : assigned) {
-        if (p == s.protocol) probed = true;
+  // The per-target filter (port mask, exclusion, scope, slot window,
+  // visibility) is pure, so it fans out over fixed-size chunks of the SoA
+  // arrays. Chunk boundaries are a constant — never derived from the worker
+  // count — so the per-chunk hit lists, and therefore the serial probe and
+  // emission order below, are identical with any executor.
+  struct Hit {
+    std::uint32_t index;
+    Timestamp when;
+  };
+  constexpr std::size_t kChunk = 2048;
+  const std::size_t n = snap.size();
+  const std::size_t chunk_count = (n + kChunk - 1) / kChunk;
+  std::vector<std::vector<Hit>> hits(chunk_count);
+  const auto eval_chunk = [&](std::size_t c) {
+    std::vector<Hit>& out = hits[c];
+    const std::size_t begin = c * kChunk;
+    const std::size_t end = std::min(n, begin + kChunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      const Port port = snap.port[i];
+      if ((port_bits[port >> 6] >> (port & 63) & 1) == 0) continue;
+      if (exclusions_ != nullptr &&
+          exclusions_->IsExcluded(IPv4Address(snap.ip[i]), to)) {
+        filtered_metric_.Add();  // counter is atomic; order-free
+        continue;
       }
-      if (!probed) return;
-      udp_protocol = s.protocol;
-    }
-
-    const int pop = next_pop_;
-    next_pop_ = (next_pop_ + 1) % pop_count_;
-    const simnet::ProbeContext ctx{&profile_, pop};
-    if (!net_.L4Probe(ctx, s.key, when)) return;
-    candidates_metric_.Add();
-    emit(Candidate{s.key, when, klass.name, udp_protocol, 0});
-  });
-
-  // --- pseudo hosts answer on every TCP port --------------------------------
-  net_.ForEachPseudoHost([&](IPv4Address ip) {
-    if (!in_scope(ip)) return;
-    for (Port port : klass.ports) {
-      const ServiceKey key{ip, port, Transport::kTcp};
-      const Timestamp when = slot_time(key);
+      if (!scoped_blocks.empty() && !scoped_blocks.contains(snap.block[i])) {
+        continue;
+      }
+      const Timestamp when = slot_time(snap.packed[i]);
       if (when < from || when >= to) continue;
+      if (snap.visible[i] == 0) continue;
+      out.push_back(Hit{static_cast<std::uint32_t>(i), when});
+    }
+  };
+  if (executor_ != nullptr) {
+    executor_->ParallelFor(chunk_count, eval_chunk);
+  } else {
+    for (std::size_t c = 0; c < chunk_count; ++c) eval_chunk(c);
+  }
+
+  // Serial stage, in snapshot order: PoP rotation, the L4 probe (which
+  // mutates simulator state), and candidate emission.
+  for (const std::vector<Hit>& chunk : hits) {
+    for (const Hit& hit : chunk) {
+      const std::size_t i = hit.index;
+      const ServiceKey key{IPv4Address(snap.ip[i]), snap.port[i],
+                           snap.transport[i]};
+      std::optional<proto::Protocol> udp_protocol;
+      if (key.transport == Transport::kUdp) udp_protocol = snap.protocol[i];
       const int pop = next_pop_;
       next_pop_ = (next_pop_ + 1) % pop_count_;
       const simnet::ProbeContext ctx{&profile_, pop};
-      if (!net_.L4Probe(ctx, key, when)) continue;
+      if (!net_.L4Probe(ctx, key, hit.when)) continue;
       candidates_metric_.Add();
-      emit(Candidate{key, when, klass.name, std::nullopt, 0});
+      emit(Candidate{key, hit.when, klass.name, udp_protocol, 0});
     }
-  });
+  }
+
+  // --- pseudo hosts answer on every TCP port --------------------------------
+  struct PseudoHit {
+    ServiceKey key;
+    Timestamp when;
+  };
+  constexpr std::size_t kHostChunk = 256;
+  const std::size_t hosts = snap.pseudo_ips.size();
+  const std::size_t host_chunks = (hosts + kHostChunk - 1) / kHostChunk;
+  std::vector<std::vector<PseudoHit>> pseudo_hits(host_chunks);
+  const auto eval_hosts = [&](std::size_t c) {
+    std::vector<PseudoHit>& out = pseudo_hits[c];
+    const std::size_t begin = c * kHostChunk;
+    const std::size_t end = std::min(hosts, begin + kHostChunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      const IPv4Address ip(snap.pseudo_ips[i]);
+      if (exclusions_ != nullptr && exclusions_->IsExcluded(ip, to)) {
+        filtered_metric_.Add();
+        continue;
+      }
+      if (!scoped_blocks.empty() &&
+          !scoped_blocks.contains(net_.blocks().BlockOf(ip).id)) {
+        continue;
+      }
+      for (Port port : klass.ports) {
+        const ServiceKey key{ip, port, Transport::kTcp};
+        const Timestamp when = slot_time(key.Pack());
+        if (when < from || when >= to) continue;
+        out.push_back(PseudoHit{key, when});
+      }
+    }
+  };
+  if (executor_ != nullptr) {
+    executor_->ParallelFor(host_chunks, eval_hosts);
+  } else {
+    for (std::size_t c = 0; c < host_chunks; ++c) eval_hosts(c);
+  }
+  for (const std::vector<PseudoHit>& chunk : pseudo_hits) {
+    for (const PseudoHit& hit : chunk) {
+      const int pop = next_pop_;
+      next_pop_ = (next_pop_ + 1) % pop_count_;
+      const simnet::ProbeContext ctx{&profile_, pop};
+      if (!net_.L4Probe(ctx, hit.key, hit.when)) continue;
+      candidates_metric_.Add();
+      emit(Candidate{hit.key, hit.when, klass.name, std::nullopt, 0});
+    }
+  }
 }
 
 std::uint64_t DiscoveryEngine::PassProbeCount(const ScanClass& klass) const {

@@ -20,10 +20,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/executor.h"
 #include "core/metrics.h"
 #include "core/rng.h"
 #include "core/types.h"
@@ -72,6 +74,13 @@ class DiscoveryEngine {
     exclusions_ = exclusions;
   }
 
+  // Attaches a thread pool for the pass-chunk filter sweep. The sweep
+  // evaluates the pure per-target filters (port mask, scope, slot window)
+  // over fixed-size chunks of the SoA snapshot in parallel; probing and
+  // candidate emission stay serial in snapshot order, so results are
+  // identical with or without an executor. Null reverts to inline.
+  void SetExecutor(Executor* executor) { executor_ = executor; }
+
   // Executes the slice of `klass`'s current pass whose probe slots fall in
   // [from, to), emitting responsive candidates. `pass_index` identifies the
   // pass (e.g. day number) so slots differ between passes.
@@ -95,16 +104,46 @@ class DiscoveryEngine {
   void BindMetrics(metrics::Registry* registry);
 
  private:
+  // Struct-of-arrays snapshot of the live service set (plus pseudo hosts)
+  // at one timestamp, shared by every pass chunk evaluated at that time.
+  // The hot filter loop touches a few flat bytes per service (port, block,
+  // visibility flag) instead of re-walking the simulator's service map
+  // once per scan class, and the parallel arrays chunk cleanly across
+  // executor tasks.
+  struct ServiceSnapshot {
+    std::int64_t at_minutes = std::numeric_limits<std::int64_t>::min();
+    // Parallel arrays over active services, snapshot order.
+    std::vector<std::uint64_t> packed;       // ServiceKey::Pack()
+    std::vector<std::uint32_t> ip;
+    std::vector<std::uint16_t> port;
+    std::vector<std::uint32_t> block;        // owning NetworkBlock id
+    std::vector<Transport> transport;
+    std::vector<proto::Protocol> protocol;   // UDP probe hint
+    // UDP services only answer IANA-assigned protocol probes; 0 means the
+    // service is invisible to L4 discovery. Always 1 for TCP.
+    std::vector<std::uint8_t> visible;
+    // Pseudo hosts (answer on every TCP port), snapshot order.
+    std::vector<std::uint32_t> pseudo_ips;
+
+    std::size_t size() const { return packed.size(); }
+  };
+
   // Deterministic slot of `key` within a pass window, as a fraction [0,1).
   double SlotOf(ServiceKey key, std::uint64_t pass_index,
                 std::string_view klass_name) const;
+  double SlotOfPacked(std::uint64_t packed_key, std::uint64_t pass_index,
+                      std::string_view klass_name) const;
   bool InScope(const ScanClass& klass, IPv4Address ip) const;
+  // Builds (or reuses) the snapshot for time `to`.
+  const ServiceSnapshot& SnapshotFor(Timestamp to);
 
   simnet::Internet& net_;
   simnet::ScannerProfile profile_;
   int pop_count_;
   std::uint64_t seed_;
   const class ExclusionList* exclusions_ = nullptr;
+  Executor* executor_ = nullptr;
+  ServiceSnapshot snapshot_;
   std::uint64_t probes_sent_ = 0;
   int next_pop_ = 0;
 

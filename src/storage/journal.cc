@@ -51,6 +51,20 @@ std::optional<std::pair<Timestamp, FieldMap>> DecodeSnapshot(
                         *fields);
 }
 
+// Bytes one (key, value) pair contributes to EncodeFields' output.
+std::size_t FieldBytes(std::string_view key, std::string_view value) {
+  return VarintLength(key.size()) + key.size() + VarintLength(value.size()) +
+         value.size();
+}
+
+// Recomputes EntityMeta::fields_bytes from scratch (checkpoint load only;
+// the append path maintains it incrementally).
+std::uint64_t SumFieldBytes(const FieldMap& fields) {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : fields) total += FieldBytes(key, value);
+  return total;
+}
+
 }  // namespace
 
 std::string_view ToString(EventKind k) {
@@ -113,6 +127,47 @@ std::uint64_t EventJournal::Append(std::string_view entity_id, EventKind kind,
   return ApplyEvent(entity_id, kind, at, delta, /*durable=*/true);
 }
 
+void EventJournal::AppendBatch(std::vector<PendingEvent> events) {
+  if (events.empty()) return;
+  TRACE_SPAN_VAR(span, "storage", "journal.append_batch");
+  span.SetArg("events", std::to_string(events.size()));
+
+  if (wal_ != nullptr) {
+    // Log the whole batch before any in-memory mutation: one contiguous
+    // write, at most one fsync. The framing is per-record, so replay of a
+    // batch is indistinguishable from replay of N singleton appends. The
+    // entity/delta payloads move into the frames and back out afterwards —
+    // the apply loop below still sees every event intact.
+    std::vector<WalRecord> records;
+    records.reserve(events.size());
+    std::vector<PendingEvent*> framed;
+    framed.reserve(events.size());
+    for (PendingEvent& ev : events) {
+      if (ev.delta.empty() && ev.kind == EventKind::kEntityUpdated) continue;
+      WalRecord record;
+      record.entity = std::move(ev.entity_id);
+      record.kind = static_cast<std::uint8_t>(ev.kind);
+      record.at = ev.at;
+      record.delta = std::move(ev.delta);
+      records.push_back(std::move(record));
+      framed.push_back(&ev);
+    }
+    if (!records.empty()) {
+      std::string error;
+      if (!wal_->AppendBatch(records, &error)) {
+        throw WalIoError(error.empty() ? "wal batch append failed" : error);
+      }
+    }
+    for (std::size_t i = 0; i < framed.size(); ++i) {
+      framed[i]->entity_id = std::move(records[i].entity);
+      framed[i]->delta = std::move(records[i].delta);
+    }
+  }
+  for (const PendingEvent& ev : events) {
+    ApplyEvent(ev.entity_id, ev.kind, ev.at, ev.delta, /*durable=*/false);
+  }
+}
+
 std::uint64_t EventJournal::ApplyEvent(std::string_view entity_id,
                                        EventKind kind, Timestamp at,
                                        const Delta& delta, bool durable) {
@@ -142,13 +197,27 @@ std::uint64_t EventJournal::ApplyEvent(std::string_view entity_id,
   }
 
   const std::uint64_t seqno = meta.next_seqno++;
+  // Maintain the encoded-fields byte count per op (using the pre-apply
+  // values of touched keys) instead of re-encoding the whole entity — the
+  // old EncodeFields(meta.current) here was O(entity) per append and a
+  // measurable serial-commit cost on large hosts.
+  for (const FieldOp& op : delta.ops) {
+    const auto it = meta.current.find(op.key);
+    if (it != meta.current.end()) {
+      meta.fields_bytes -= FieldBytes(it->first, it->second);
+    }
+    if (op.kind == FieldOp::Kind::kSet) {
+      meta.fields_bytes += FieldBytes(op.key, op.value);
+    }
+  }
   ApplyDelta(meta.current, delta);
 
   const std::string encoded = EncodeEvent(kind, at, delta);
   delta_bytes_.fetch_add(encoded.size(), std::memory_order_relaxed);
   delta_bytes_metric_.Add(encoded.size());
-  full_bytes_equivalent_.fetch_add(EncodeFields(meta.current).size() + 10,
-                                   std::memory_order_relaxed);
+  full_bytes_equivalent_.fetch_add(
+      VarintLength(meta.current.size()) + meta.fields_bytes + 10,
+      std::memory_order_relaxed);
   shard.table.Put(EventKey(entity_id, seqno), encoded, Tier::kSsd);
   event_count_.fetch_add(1, std::memory_order_relaxed);
   events_metric_.Add();
@@ -435,6 +504,7 @@ bool EventJournal::LoadCheckpoint(std::string_view payload,
     meta.has_snapshot = has_snapshot;
     meta.events_since_snapshot = static_cast<std::uint32_t>(*since);
     meta.current = *fields;
+    meta.fields_bytes = SumFieldBytes(meta.current);
     Shard& shard = ShardFor(*id);
     const core::MutexLock lock(shard.mu);
     shard.meta[std::string(*id)] = std::move(meta);

@@ -123,6 +123,25 @@ class EventJournal {
   std::uint64_t Append(std::string_view entity_id, EventKind kind,
                        Timestamp at, const Delta& delta);
 
+  // One staged journal append, buffered by the write side's group commit.
+  struct PendingEvent {
+    std::string entity_id;
+    EventKind kind = EventKind::kEntityUpdated;
+    Timestamp at;
+    Delta delta;
+  };
+
+  // Group commit: journals every event in order with ONE WAL batch append
+  // (at most one fsync) instead of one log write per event. Equivalent to
+  // calling Append for each element — same seqnos, same rows, same WAL
+  // framing — so batch boundaries never change journal content or replay.
+  // A WAL error-return rejects the whole batch (WalIoError, journal
+  // untouched); an armed crash/torn-write fault may leave a record-aligned
+  // prefix durable, which recovery replays like any other tail. Takes the
+  // batch by value so staged deltas move into the WAL framing instead of
+  // being copied once per record.
+  void AppendBatch(std::vector<PendingEvent> events);
+
   // --- durability (WAL-backed journals only) ---------------------------------
   bool wal_enabled() const { return wal_ != nullptr; }
   WriteAheadLog* wal() { return wal_.get(); }
@@ -226,6 +245,10 @@ class EventJournal {
     bool has_snapshot = false;
     std::uint32_t events_since_snapshot = 0;
     FieldMap current;
+    // Encoded size of `current`'s (key, value) pairs, maintained
+    // incrementally per delta op so the full-record ablation counter costs
+    // O(ops) per append instead of re-encoding the whole entity.
+    std::uint64_t fields_bytes = 0;
   };
 
   struct Shard {

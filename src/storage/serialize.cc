@@ -10,6 +10,15 @@ void PutVarint(std::string& out, std::uint64_t value) {
   out.push_back(static_cast<char>(value));
 }
 
+std::size_t VarintLength(std::uint64_t value) {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 std::optional<std::uint64_t> GetVarint(std::string_view data,
                                        std::size_t* pos) {
   std::uint64_t value = 0;

@@ -17,6 +17,10 @@ namespace censys::storage {
 
 // LEB128-style unsigned varint.
 void PutVarint(std::string& out, std::uint64_t value);
+// Encoded size of `value` as a varint, without materializing it. Lets the
+// journal maintain its full-encoding byte accounting incrementally (O(delta
+// ops) per append instead of re-encoding the whole entity).
+std::size_t VarintLength(std::uint64_t value);
 // Returns the decoded value and advances *pos; nullopt on truncation.
 std::optional<std::uint64_t> GetVarint(std::string_view data, std::size_t* pos);
 

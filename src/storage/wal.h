@@ -108,6 +108,16 @@ class WriteAheadLog {
   // fault::CrashException at the armed crash points.
   bool Append(WalRecord& record, std::string* error);
 
+  // Group commit: appends every record as one contiguous framed write with
+  // at most one fsync, assigning contiguous LSNs in order. An error-return
+  // failure (real or injected, on any record) rejects the whole batch with
+  // nothing written — recovery then sees the log exactly as before the
+  // batch. Armed crash/torn-write faults throw after at most a prefix of
+  // the batch buffer reached the medium; recovery truncates at the tear,
+  // so the durable prefix is a record-aligned prefix of the batch. Record
+  // framing is identical to Append's, so batching never changes replay.
+  bool AppendBatch(std::vector<WalRecord>& records, std::string* error);
+
   // fsyncs the active segment.
   bool Sync(std::string* error);
 
@@ -150,6 +160,10 @@ class WriteAheadLog {
   }
   std::uint64_t appended_records() const {
     return appended_records_.load(std::memory_order_relaxed);
+  }
+  // Group appends (AppendBatch calls that hit the medium).
+  std::uint64_t batch_appends() const {
+    return batch_appends_.load(std::memory_order_relaxed);
   }
   std::uint64_t appended_bytes() const {
     return appended_bytes_.load(std::memory_order_relaxed);
@@ -213,6 +227,7 @@ class WriteAheadLog {
 
   std::atomic<std::uint64_t> next_lsn_{1};
   std::atomic<std::uint64_t> appended_records_{0};
+  std::atomic<std::uint64_t> batch_appends_{0};
   std::atomic<std::uint64_t> appended_bytes_{0};
   std::atomic<std::uint64_t> rotations_{0};
   std::atomic<std::uint64_t> fsyncs_{0};
@@ -222,6 +237,7 @@ class WriteAheadLog {
   std::atomic<std::uint64_t> corrupt_records_{0};
 
   metrics::CounterHandle appends_metric_;
+  metrics::CounterHandle batch_appends_metric_;
   metrics::CounterHandle bytes_metric_;
   metrics::CounterHandle fsyncs_metric_;
   metrics::CounterHandle rotations_metric_;

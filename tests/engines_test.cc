@@ -400,6 +400,38 @@ TEST(WorldDeterminismTest, ParallelRunMatchesSerialJournalExactly) {
   EXPECT_EQ(std::get<3>(parallel), std::get<3>(serial));
 }
 
+// Group commit's invariant: batch size changes WAL write granularity and
+// nothing else. Every (threads, commit_batch) combination must produce the
+// journal the single-threaded write-through run produces, byte for byte —
+// including batch = 1 (flush every commit) and a batch far larger than any
+// wave (one flush per wave).
+TEST(WorldDeterminismTest, GroupCommitMatrixMatchesSerialJournalExactly) {
+  WorldConfig cfg = SmallWorld(17);
+  cfg.universe.target_services = 1200;
+  cfg.with_alternatives = false;
+
+  auto run = [&](int threads, std::uint32_t commit_batch) {
+    WorldConfig matrix_cfg = cfg;
+    matrix_cfg.censys.threads = threads;
+    matrix_cfg.censys.commit_batch = commit_batch;
+    World world(matrix_cfg);
+    world.Bootstrap();
+    world.RunForDays(1);
+    return std::tuple(JournalDigest(world.censys()),
+                      world.censys().journal().event_count(),
+                      world.censys().write_side().tracked_count());
+  };
+
+  const auto want = run(0, 1);
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const std::uint32_t batch : {1u, 16u, 256u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch));
+      EXPECT_EQ(run(threads, batch), want);
+    }
+  }
+}
+
 TEST(TickReportTest, ReportsStageActivityAndMetrics) {
   WorldConfig cfg = SmallWorld(13);
   cfg.universe.target_services = 2000;
@@ -414,6 +446,20 @@ TEST(TickReportTest, ReportsStageActivityAndMetrics) {
   EXPECT_GT(report.interrogations, 0u);
   EXPECT_GT(report.total_us, 0.0);
   EXPECT_GE(report.total_us, report.interrogate_us);
+
+  // Staged-pipeline detail: the overlapped stages ran, group commit
+  // flushed, and the occupancy fractions are sane (busy time can never
+  // exceed the wall time each stage had available).
+  EXPECT_GT(report.pipeline_jobs, 0u);
+  EXPECT_GT(report.pipeline_waves, 0u);
+  EXPECT_GT(report.batch_flushes, 0u);
+  EXPECT_GT(report.pipeline_wall_us, 0.0);
+  EXPECT_GT(report.worker_busy_us, 0.0);
+  EXPECT_GT(report.commit_busy_us, 0.0);
+  EXPECT_GE(report.worker_occupancy, 0.0);
+  EXPECT_LE(report.worker_occupancy, 1.05);
+  EXPECT_GE(report.commit_occupancy, 0.0);
+  EXPECT_LE(report.commit_occupancy, 1.05);
 
   const metrics::Registry& registry = world.censys().metrics();
   EXPECT_GT(registry.CounterValue("censys.engine.ticks"), 0u);

@@ -233,6 +233,77 @@ TEST(WalFaultTest, BitFlipIsCutAtRecoveryAndReplayable) {
   EXPECT_EQ(JournalDigest(recovered), want);
 }
 
+// PendingEvent twin of ApplyOp(i) for group-commit batches: same entity,
+// same delta, so a recovered prefix is resumable by index either way.
+storage::EventJournal::PendingEvent BatchOp(int i) {
+  storage::EventJournal::PendingEvent ev;
+  ev.entity_id = "host/" + std::to_string(i % kTortureEntities);
+  ev.kind = storage::EventKind::kServiceChanged;
+  ev.at = Timestamp{static_cast<std::int64_t>(i + 1)};
+  ev.delta.ops.push_back({storage::FieldOp::Kind::kSet,
+                          "f" + std::to_string(i % 3),
+                          "v" + std::to_string(i)});
+  return ev;
+}
+
+// Group commit stages many events into one WAL batch write; a crash mid-
+// batch must leave a record-aligned durable prefix (kTornWrite flushes the
+// framed records buffered before the tear) and recovery must equal a
+// journal that simply ran that prefix — no torn record, no reordering.
+TEST(WalFaultTest, CrashMidGroupCommitRecoversRecordAlignedPrefix) {
+  const std::string dir = ScratchDir("group_commit_crash");
+  storage::EventJournal journal(DurableOptions(dir));
+  for (int i = 0; i < 20; ++i) ApplyOp(journal, i);
+
+  // A clean crash while framing the batch: nothing durable, nothing
+  // applied — the whole batch is lost, not a prefix of it torn mid-record.
+  std::vector<storage::EventJournal::PendingEvent> batch;
+  for (int i = 20; i < 60; ++i) batch.push_back(BatchOp(i));
+  {
+    fault::ScopedPlan plan(11, {{.point = "storage.wal.append",
+                                 .mode = fault::Mode::kCrash,
+                                 .skip_hits = 9,
+                                 .max_fires = 1}});
+    EXPECT_THROW(journal.AppendBatch(batch), fault::CrashException);
+  }
+  {
+    storage::EventJournal recovered(DurableOptions(dir));
+    const storage::RecoveryReport report = recovered.Recover();
+    ASSERT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(AppliedOps(recovered), 20);
+  }
+
+  // A torn write on the batch's 10th record: the 9 records framed before
+  // it reach the medium plus a partial frame; recovery truncates the
+  // partial record and keeps exactly the aligned prefix.
+  {
+    fault::ScopedPlan plan(13, {{.point = "storage.wal.append",
+                                 .mode = fault::Mode::kTornWrite,
+                                 .skip_hits = 9,
+                                 .max_fires = 1}});
+    EXPECT_THROW(journal.AppendBatch(batch), fault::CrashException);
+  }
+  storage::EventJournal recovered(DurableOptions(dir));
+  const storage::RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_GT(report.corrupt_records + report.truncated_bytes, 0u);
+  const int done = AppliedOps(recovered);
+  EXPECT_EQ(done, 29);  // 20 singles + 9 whole batch records
+
+  storage::EventJournal prefix{storage::EventJournal::Options{.shards = 4}};
+  for (int i = 0; i < done; ++i) ApplyOp(prefix, i);
+  EXPECT_EQ(JournalDigest(recovered), JournalDigest(prefix));
+
+  // Resuming the lost suffix as a second group commit converges on the
+  // fault-free end state.
+  std::vector<storage::EventJournal::PendingEvent> rest;
+  for (int i = done; i < 60; ++i) rest.push_back(BatchOp(i));
+  recovered.AppendBatch(rest);
+  storage::EventJournal reference{storage::EventJournal::Options{.shards = 4}};
+  for (int i = 0; i < 60; ++i) ApplyOp(reference, i);
+  EXPECT_EQ(JournalDigest(recovered), JournalDigest(reference));
+}
+
 TEST(WalFaultTest, CrashMidCheckpointFallsBackToOlderState) {
   const std::string dir = ScratchDir("ckpt_crash");
   storage::EventJournal journal(DurableOptions(dir));

@@ -1,0 +1,20 @@
+// Fixture: a blocking condvar handoff between tick-pipeline stages must
+// be flagged under src/engines/ (and src/interrogate/) — stage handoff
+// streams through the lock-free core::Ring / core::SlotBoard so the
+// commit thread helps execute jobs instead of sleeping on a signal.
+#include <condition_variable>
+
+struct StageHandoff {
+  std::condition_variable cv;  // expect: raw-condvar
+  bool ready = false;
+};
+
+template <typename Lock>
+void AwaitResult(StageHandoff& handoff, Lock& lock) {
+  handoff.cv.wait(lock, [&] { return handoff.ready; });  // expect: raw-condvar
+}
+
+void PublishResult(StageHandoff& handoff) {
+  handoff.ready = true;
+  handoff.cv.notify_one();  // expect: raw-condvar
+}

@@ -1,0 +1,14 @@
+// Fixture: the sanctioned stage handoff — candidates stream through the
+// bounded lock-free ring and the committer spins productively (help-or-
+// commit) rather than blocking on a condition variable. Must lint clean.
+#include <thread>
+
+#include "core/ring.h"
+
+void DrainJobs(censys::core::Ring<int>& ring) {
+  int job = 0;
+  while (ring.TryPop(job)) {
+    // execute the job; no blocking handoff anywhere in the loop
+  }
+  std::this_thread::yield();
+}

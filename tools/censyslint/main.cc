@@ -30,6 +30,11 @@
 //                             src/storage/ — durability and crash semantics
 //                             live behind the WAL, and only the storage
 //                             layer touches bytes on disk
+//   raw-condvar               no std::condition_variable waits or notifies
+//                             under src/engines/ or src/interrogate/ — the
+//                             tick pipeline's stage handoff is lock-free
+//                             (core::Ring / core::SlotBoard) so the commit
+//                             thread helps execute instead of sleeping
 //   concurrency-contract      every class/struct holding a core::Mutex or
 //                             core::SharedMutex member must carry a
 //                             "// Concurrency:" contract comment
@@ -204,8 +209,9 @@ struct LineRule {
   // Path suffixes where the rule does not apply.
   std::vector<std::string> allowed_suffixes;
   bool headers_only = false;
-  // Restrict to paths containing this substring ("" = everywhere given).
-  std::string only_under;
+  // Restrict to paths containing any of these substrings (empty =
+  // everywhere given).
+  std::vector<std::string> only_under_any;
   // Paths containing any of these substrings are exempt (directory-level
   // allowlist, e.g. all of src/storage/).
   std::vector<std::string> allowed_contains;
@@ -219,27 +225,27 @@ const std::vector<LineRule>& Rules() {
        "core/thread_safety.h",
        {"core/thread_safety.h"},
        false,
-       ""},
+       {}},
       {"wall-clock",
        std::regex(R"(std\s*::\s*chrono\s*::\s*(steady_clock|system_clock|high_resolution_clock)\b)"),
        "wall-clock read; real time flows only through WallTimer in "
        "core/clock.h",
        {"core/clock.h"},
        false,
-       ""},
+       {}},
       {"raw-random",
        std::regex(R"(std\s*::\s*(random_device|mt19937|mt19937_64|default_random_engine)\b|(^|[^:\w])s?rand\s*\()"),
        "nondeterministic randomness; use the seeded core Rng (core/rng.h)",
        {"core/rng.h", "core/rng.cc"},
        false,
-       ""},
+       {}},
       {"thread-sleep",
        std::regex(R"(std\s*::\s*this_thread\s*::\s*sleep_(for|until)\b|\bthis_thread\s*::\s*sleep_(for|until)\b)"),
        "sleeping on wall time inside the simulator; simulated time advances "
        "via SimClock",
        {},
        false,
-       "src/"},
+       {"src/"}},
       {"wall-timer",
        std::regex(R"(\bWallTimer\b)"),
        "direct WallTimer use for stage timing; time spans through "
@@ -248,14 +254,14 @@ const std::vector<LineRule>& Rules() {
        {"core/clock.h", "core/clock.cc", "core/metrics.h", "core/metrics.cc",
         "core/trace.h", "core/trace.cc"},
        false,
-       "src/"},
+       {"src/"}},
       {"using-namespace-header",
        std::regex(R"(^\s*using\s+namespace\s+[A-Za-z_])"),
        "`using namespace` at file scope in a header leaks into every "
        "includer",
        {},
        true,
-       "",
+       {},
        {}},
       {"raw-file-io",
        std::regex(
@@ -264,8 +270,18 @@ const std::vector<LineRule>& Rules() {
        "the WAL-backed storage layer so crash consistency stays provable",
        {},
        false,
-       "src/",
+       {"src/"},
        {"src/storage/"}},
+      {"raw-condvar",
+       std::regex(
+           R"(std\s*::\s*condition_variable(_any)?\b|\bnotify_(one|all)\s*\(|\.\s*wait(_for|_until)?\s*\()"),
+       "blocking condvar handoff in the tick pipeline; stages stream "
+       "through the lock-free core::Ring / core::SlotBoard (core/ring.h) "
+       "so the commit thread can help instead of sleeping",
+       {},
+       false,
+       {"src/engines/", "src/interrogate/"},
+       {}},
   };
   return kRules;
 }
@@ -328,8 +344,11 @@ void LintFile(const fs::path& file, std::vector<Finding>* findings) {
 
   for (const LineRule& rule : Rules()) {
     if (rule.headers_only && !header) continue;
-    if (!rule.only_under.empty() &&
-        path.find(rule.only_under) == std::string::npos) {
+    if (!rule.only_under_any.empty() &&
+        std::none_of(rule.only_under_any.begin(), rule.only_under_any.end(),
+                     [&](const std::string& s) {
+                       return path.find(s) != std::string::npos;
+                     })) {
       continue;
     }
     if (PathAllowed(path, rule.allowed_suffixes)) continue;

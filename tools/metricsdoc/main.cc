@@ -115,6 +115,9 @@ constexpr MetricDoc kDocs[] = {
     {"censys.storage.delta_bytes", "storage",
      "Bytes written into journaled event deltas."},
     {"censys.storage.wal.appends", "storage", "WAL records appended."},
+    {"censys.storage.wal.batch_appends", "storage",
+     "Group-commit batches appended (one buffered write, at most one "
+     "fsync, per batch)."},
     {"censys.storage.wal.bytes", "storage", "WAL bytes appended (framed)."},
     {"censys.storage.wal.fsyncs", "storage", "WAL fsync calls."},
     {"censys.storage.wal.rotations", "storage", "WAL segment rotations."},

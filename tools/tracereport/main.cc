@@ -6,7 +6,13 @@
 // assert on stage budgets without eyeballing raw JSON in chrome://tracing.
 //
 // Usage:
-//   tracereport [--category <cat>] [--min-count N] <trace.json>
+//   tracereport [--category <cat>] [--min-count N] [--by-thread]
+//               <trace.json>
+//
+// --by-thread splits every (category, name) row per emitting thread id,
+// which is how the pipeline benches show worker-vs-commit overlap (a
+// serialized pipeline puts every span on one tid; the staged one spreads
+// interrogation spans across workers while commit spans stay on tid 0).
 //
 // Exit status: 0 on success (even for an empty trace), 2 on IO/parse
 // errors.
@@ -148,8 +154,12 @@ class JsonReader {
 struct SpanKey {
   std::string category;
   std::string name;
+  // Thread id; only populated (and only varies) under --by-thread.
+  long long tid = 0;
   bool operator<(const SpanKey& o) const {
-    return category != o.category ? category < o.category : name < o.name;
+    if (category != o.category) return category < o.category;
+    if (name != o.name) return name < o.name;
+    return tid < o.tid;
   }
 };
 
@@ -168,7 +178,7 @@ double Quantile(std::vector<double>& sorted, double q) {
 }
 
 int Report(const std::string& path, const std::string& category_filter,
-           std::size_t min_count) {
+           std::size_t min_count, bool by_thread) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "tracereport: cannot read %s\n", path.c_str());
@@ -198,7 +208,7 @@ int Report(const std::string& path, const std::string& category_filter,
     do {
       if (!reader.Consume('{')) break;
       std::string ph, cat, name;
-      double dur = 0;
+      double dur = 0, tid = 0;
       bool have_dur = false;
       if (!reader.Consume('}')) {
         do {
@@ -212,6 +222,8 @@ int Report(const std::string& path, const std::string& category_filter,
             reader.ParseString(&name);
           } else if (key == "dur") {
             have_dur = reader.ParseNumber(&dur);
+          } else if (key == "tid") {
+            reader.ParseNumber(&tid);
           } else {
             reader.SkipValue();
           }
@@ -220,7 +232,8 @@ int Report(const std::string& path, const std::string& category_filter,
       }
       if (ph == "X" && have_dur &&
           (category_filter.empty() || cat == category_filter)) {
-        SpanAgg& agg = spans[SpanKey{cat, name}];
+        SpanAgg& agg = spans[SpanKey{
+            cat, name, by_thread ? static_cast<long long>(tid) : 0}];
         agg.durations_us.push_back(dur);
         agg.total_us += dur;
         ++events;
@@ -232,15 +245,27 @@ int Report(const std::string& path, const std::string& category_filter,
     return 2;
   }
 
-  std::printf("%-12s %-28s %10s %12s %12s %14s\n", "category", "name",
-              "count", "p50_us", "p99_us", "total_us");
+  if (by_thread) {
+    std::printf("%-12s %-28s %8s %10s %12s %12s %14s\n", "category", "name",
+                "tid", "count", "p50_us", "p99_us", "total_us");
+  } else {
+    std::printf("%-12s %-28s %10s %12s %12s %14s\n", "category", "name",
+                "count", "p50_us", "p99_us", "total_us");
+  }
   std::string last_category;
   double category_total = 0;
   std::size_t category_count = 0;
   const auto flush_category = [&] {
     if (last_category.empty()) return;
-    std::printf("%-12s %-28s %10zu %12s %12s %14.1f\n", last_category.c_str(),
-                "(all)", category_count, "", "", category_total);
+    if (by_thread) {
+      std::printf("%-12s %-28s %8s %10zu %12s %12s %14.1f\n",
+                  last_category.c_str(), "(all)", "", category_count, "", "",
+                  category_total);
+    } else {
+      std::printf("%-12s %-28s %10zu %12s %12s %14.1f\n",
+                  last_category.c_str(), "(all)", category_count, "", "",
+                  category_total);
+    }
     category_total = 0;
     category_count = 0;
   };
@@ -251,10 +276,17 @@ int Report(const std::string& path, const std::string& category_filter,
       last_category = key.category;
     }
     std::sort(agg.durations_us.begin(), agg.durations_us.end());
-    std::printf("%-12s %-28s %10zu %12.1f %12.1f %14.1f\n",
-                key.category.c_str(), key.name.c_str(),
-                agg.durations_us.size(), Quantile(agg.durations_us, 0.50),
-                Quantile(agg.durations_us, 0.99), agg.total_us);
+    if (by_thread) {
+      std::printf("%-12s %-28s %8lld %10zu %12.1f %12.1f %14.1f\n",
+                  key.category.c_str(), key.name.c_str(), key.tid,
+                  agg.durations_us.size(), Quantile(agg.durations_us, 0.50),
+                  Quantile(agg.durations_us, 0.99), agg.total_us);
+    } else {
+      std::printf("%-12s %-28s %10zu %12.1f %12.1f %14.1f\n",
+                  key.category.c_str(), key.name.c_str(),
+                  agg.durations_us.size(), Quantile(agg.durations_us, 0.50),
+                  Quantile(agg.durations_us, 0.99), agg.total_us);
+    }
     category_total += agg.total_us;
     category_count += agg.durations_us.size();
   }
@@ -269,6 +301,7 @@ int Report(const std::string& path, const std::string& category_filter,
 int main(int argc, char** argv) {
   std::string category_filter;
   std::size_t min_count = 0;
+  bool by_thread = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -277,10 +310,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--min-count" && i + 1 < argc) {
       min_count = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr,
                                                         10));
+    } else if (arg == "--by-thread") {
+      by_thread = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: tracereport [--category <cat>] [--min-count N] "
-          "<trace.json>\n");
+          "[--by-thread] <trace.json>\n");
       return 0;
     } else {
       path = arg;
@@ -289,8 +324,8 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: tracereport [--category <cat>] [--min-count N] "
-                 "<trace.json>\n");
+                 "[--by-thread] <trace.json>\n");
     return 2;
   }
-  return Report(path, category_filter, min_count);
+  return Report(path, category_filter, min_count, by_thread);
 }
