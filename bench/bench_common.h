@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -62,8 +63,12 @@ inline BenchOptions WithEnvOverrides(BenchOptions opts) {
   return opts;
 }
 
-inline std::unique_ptr<engines::World> MakeWorld(const char* bench_name,
-                                                 BenchOptions opts) {
+// `pre_run` (optional) runs after construction but before bootstrap — the
+// hook for wiring components that live above the engine in the layer DAG
+// (e.g. web::AttachCatalog) so they observe the whole simulated run.
+inline std::unique_ptr<engines::World> MakeWorld(
+    const char* bench_name, BenchOptions opts,
+    const std::function<void(engines::World&)>& pre_run = {}) {
   opts = WithEnvOverrides(opts);
   engines::WorldConfig cfg;
   cfg.universe.seed = opts.seed;
@@ -80,6 +85,7 @@ inline std::unique_ptr<engines::World> MakeWorld(const char* bench_name,
       opts.services, opts.ics_scale, opts.run_days);
 
   auto world = std::make_unique<engines::World>(cfg);
+  if (pre_run) pre_run(*world);
   world->Bootstrap();
   world->RunForDays(opts.run_days);
   return world;

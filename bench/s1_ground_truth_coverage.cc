@@ -3,17 +3,21 @@
 // on the top 10 ports, 97% of the top 100, and 62% of services across all
 // 65K ports", and the probe/service throughput shape of the scan engine.
 #include <array>
+#include <memory>
 #include <unordered_set>
 
 #include "bench_common.h"
+#include "web/attach.h"
 
 using namespace censys;
 using namespace censys::engines;
 
 int main() {
+  std::unique_ptr<web::WebPropertyCatalog> catalog;
   auto world = bench::MakeWorld(
       "S1: Censys coverage of sub-sampled 65K ground truth + engine stats",
-      bench::BenchOptions{});
+      bench::BenchOptions{},
+      [&](World& w) { catalog = web::AttachCatalog(w.censys()); });
 
   const GroundTruthSample gt =
       SubsampledScan(world->internet(), world->now(), 0.6, 5);
@@ -84,8 +88,7 @@ int main() {
                   static_cast<double>(std::max<std::uint64_t>(
                       1, world->censys().journal().delta_bytes())));
   std::printf("  web properties: %zu catalogued, %zu reachable\n",
-              world->censys().web_catalog().size(),
-              world->censys().web_catalog().reachable_count());
+              catalog->size(), catalog->reachable_count());
   std::printf(
       "\npaper (§4.1/§6.2): 26.5M probes/s over 4B IPs = ~576 probes/IP/day; "
       "coverage 98/97/62%% by port range; dataset underestimates the "

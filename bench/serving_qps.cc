@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "core/clock.h"
+#include "engines/enrichment.h"
 #include "fingerprint/fingerprints.h"
 #include "fingerprint/vulns.h"
 #include "pipeline/read_side.h"
@@ -62,9 +63,10 @@ int main() {
   // every lookup replays and re-enriches.
   auto fingerprints = fingerprint::FingerprintEngine::BuiltIn(0);
   auto cves = fingerprint::CveDatabase::BuiltIn();
+  const engines::ContextEnricher enricher(world->internet().blocks(),
+                                          &fingerprints, &cves);
   pipeline::ReadSide uncached(engine.journal(), engine.write_side(),
-                              world->internet().blocks(), &fingerprints,
-                              &cves);
+                              &enricher);
   const double uncached_qps = LookupQps(uncached, hosts, 20'000);
 
   // Hot path: the engine's cached read side, warmed with one full pass.

@@ -4,9 +4,11 @@
 //
 //   $ ./examples/quickstart
 #include <cstdio>
+#include <memory>
 
 #include "engines/world.h"
 #include "engines/evaluation.h"
+#include "web/attach.h"
 
 using namespace censys;
 using namespace censys::engines;
@@ -29,6 +31,10 @@ int main() {
               world.internet().blocks().blocks().size());
 
   // --- 2. bootstrap the steady-state map and run three simulated days --------
+  // Web properties are catalogued by the web layer, wired onto the
+  // engine's daily cadence from above (layer DAG: web > engines).
+  std::unique_ptr<web::WebPropertyCatalog> catalog =
+      web::AttachCatalog(world.censys());
   world.Bootstrap();
   world.RunForDays(3);
   CensysEngine& censys = world.censys();
@@ -36,7 +42,7 @@ int main() {
               "properties)\n\n",
               censys.write_side().tracked_count(),
               static_cast<unsigned long long>(censys.journal().event_count()),
-              censys.web_catalog().size());
+              catalog->size());
 
   // --- 3. fast lookup API: "what does IP X look like right now?" -------------
   IPv4Address example_ip;

@@ -5,8 +5,10 @@
 //   $ ./examples/web_properties
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "engines/world.h"
+#include "web/attach.h"
 
 using namespace censys;
 using namespace censys::engines;
@@ -21,12 +23,16 @@ int main() {
   config.with_alternatives = false;
 
   World world(config);
+  // The catalog lives above the engine (layer DAG) and is wired onto its
+  // daily cadence before the run so it sees every day's CT entries.
+  std::unique_ptr<web::WebPropertyCatalog> catalog_ptr =
+      web::AttachCatalog(world.censys());
   world.Bootstrap();
   world.RunForDays(3);
   CensysEngine& censys = world.censys();
 
   // --- 1. web properties discovered from CT ----------------------------------
-  auto& catalog = censys.web_catalog();
+  auto& catalog = *catalog_ptr;
   std::printf("web properties: %zu catalogued from CT polling, %zu currently "
               "reachable\n",
               catalog.size(), catalog.reachable_count());

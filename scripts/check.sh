@@ -13,6 +13,9 @@
 #   scripts/check.sh scaling    # BM_EngineTick 4-thread >= 2x 1-thread
 #                               # (skips on runners with < 4 cores)
 #   scripts/check.sh lint       # just censyslint (builds it if needed)
+#   scripts/check.sh archlint   # architecture passes only (layering,
+#                               # lock-order, unordered-iter) with the SARIF
+#                               # report archived to build/archlint.sarif.json
 #
 # Sanitizer legs build into scratch dirs (build-asan, build-tsan, build-ubsan)
 # and run the concurrency-heavy test subset, which is where sanitizer signal
@@ -173,9 +176,43 @@ run_lint() {
   note "censyslint"
   cmake -B build -S . >/dev/null &&
     cmake --build build -j "$JOBS" --target censyslint &&
-    ./build/tools/censyslint/censyslint src &&
+    ./build/tools/censyslint/censyslint \
+      --layers=tools/censyslint/layers.txt \
+      --baseline=tools/censyslint/baseline.txt src &&
     ./build/tools/censyslint/censyslint --self-test tests/lint_fixtures
   record "censyslint (src + self-test)" $?
+}
+
+# Architecture-only leg: the three whole-program passes, with the SARIF
+# report archived so CI can attach it as an artifact and reviewers can
+# diff findings across runs.
+run_archlint() {
+  note "censyslint architecture passes (SARIF -> build/archlint.sarif.json)"
+  local rc=0 out="build/archlint.sarif.json"
+  cmake -B build -S . >/dev/null &&
+    cmake --build build -j "$JOBS" --target censyslint || {
+    record "archlint leg" 1
+    return
+  }
+  ./build/tools/censyslint/censyslint \
+    --passes=layering,lock-order,unordered-iter \
+    --layers=tools/censyslint/layers.txt \
+    --baseline=tools/censyslint/baseline.txt \
+    --json="$out" src || rc=1
+  # The archived report must be well-formed SARIF: parseable JSON with the
+  # censyslint tool driver in runs[0].
+  python3 - "$out" <<'PY' || rc=1
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    sarif = json.load(f)
+assert sarif["version"] == "2.1.0", sarif.get("version")
+driver = sarif["runs"][0]["tool"]["driver"]
+assert driver["name"] == "censyslint", driver
+print(f"archlint: {len(sarif['runs'][0]['results'])} result(s) in {sys.argv[1]}")
+PY
+  record "archlint leg" $rc
 }
 
 LEG="${1:-all}"
@@ -188,9 +225,11 @@ case "$LEG" in
   trace) run_trace ;;
   scaling) run_scaling ;;
   lint) run_lint ;;
+  archlint) run_archlint ;;
   all)
     run_plain
     run_lint
+    run_archlint
     run_faultoff
     run_trace
     run_scaling
@@ -199,7 +238,7 @@ case "$LEG" in
     run_sanitizer undefined build-ubsan
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|address|thread|undefined|faultoff|trace|scaling|lint|all]" >&2
+    echo "usage: scripts/check.sh [plain|address|thread|undefined|faultoff|trace|scaling|lint|archlint|all]" >&2
     exit 2
     ;;
 esac

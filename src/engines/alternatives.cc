@@ -163,7 +163,9 @@ AltEngine::AltEngine(simnet::Internet& net, AltEnginePolicy policy,
   for (Port excluded : policy_.excluded_ports) {
     std::erase(sweep.klass.ports, excluded);
   }
-  for (Port port : ics_ports_) {
+  std::vector<Port> ics_sorted(ics_ports_.begin(), ics_ports_.end());
+  std::sort(ics_sorted.begin(), ics_sorted.end());
+  for (Port port : ics_sorted) {
     if (net_.ports().RankOf(port) > policy_.port_breadth) {
       sweep.klass.ports.push_back(port);
     }
@@ -301,6 +303,8 @@ void AltEngine::Tick(Timestamp from, Timestamp to) {
   const std::int64_t day = to.minutes / 1440;
   if (day != last_cleanup_day_) {
     last_cleanup_day_ = day;
+    // censyslint:allow(unordered-iter): per-entry erase + count decrement
+    // commute, and nothing order-sensitive observes the removal sequence
     for (auto it = dataset_.begin(); it != dataset_.end();) {
       if (it->second.entry.last_scanned + policy_.retention < to) {
         const std::uint32_t ip = it->second.entry.key.ip.value();
@@ -340,13 +344,29 @@ std::vector<EngineEntry> AltEngine::QueryHost(IPv4Address ip) const {
   return out;
 }
 
+std::vector<const AltEngine::Entry*> AltEngine::SortedEntries() const {
+  std::vector<std::pair<std::uint64_t, const Entry*>> keyed;
+  keyed.reserve(dataset_.size());
+  // censyslint:allow(unordered-iter): collected then sorted by key below
+  for (const auto& [packed, stored] : dataset_) {
+    keyed.emplace_back(packed, &stored);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<const Entry*> out;
+  out.reserve(keyed.size());
+  for (const auto& [packed, stored] : keyed) out.push_back(stored);
+  return out;
+}
+
 void AltEngine::ForEachEntry(
     const std::function<void(const EngineEntry&)>& fn) const {
-  for (const auto& [packed, stored] : dataset_) fn(stored.entry);
+  for (const Entry* stored : SortedEntries()) fn(stored->entry);
 }
 
 std::uint64_t AltEngine::SelfReportedCount() const {
   std::uint64_t total = 0;
+  // censyslint:allow(unordered-iter): commutative sum, order cannot escape
   for (const auto& [packed, stored] : dataset_) {
     total += stored.entry.record_count;
   }
@@ -386,11 +406,11 @@ std::vector<EngineEntry> AltEngine::QueryProtocol(
   for (const auto& r : policy_.ics_rules) {
     if (r.protocol == protocol) rule = &r;
   }
-  for (const auto& [packed, stored] : dataset_) {
-    if (stored.entry.label == protocol) {
-      out.push_back(stored.entry);
-    } else if (rule != nullptr && KeywordMatches(stored.entry, *rule)) {
-      EngineEntry fp = stored.entry;
+  for (const Entry* stored : SortedEntries()) {
+    if (stored->entry.label == protocol) {
+      out.push_back(stored->entry);
+    } else if (rule != nullptr && KeywordMatches(stored->entry, *rule)) {
+      EngineEntry fp = stored->entry;
       fp.label = protocol;  // as the engine would report it
       out.push_back(fp);
     }

@@ -135,6 +135,9 @@ class AltEngine : public ScanEngine {
   bool KeywordMatches(const EngineEntry& entry,
                       const AltEnginePolicy::IcsQueryRule& rule) const;
   std::uint32_t DuplicateCount(std::uint64_t packed) const;
+  // Dataset entries in ascending packed-key order; everything that exposes
+  // enumeration order to callers walks this instead of the hash map.
+  std::vector<const Entry*> SortedEntries() const;
 
   simnet::Internet& net_;
   AltEnginePolicy policy_;

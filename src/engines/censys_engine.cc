@@ -59,14 +59,11 @@ CensysEngine::CensysEngine(simnet::Internet& net, cert::CtLog& ct_log,
       config_.commit_batch);
   fingerprints_ = fingerprint::FingerprintEngine::BuiltIn();
   cves_ = fingerprint::CveDatabase::BuiltIn();
-  read_side_ = std::make_unique<pipeline::ReadSide>(
-      journal_, *write_side_, net_.blocks(), &fingerprints_, &cves_);
+  enricher_ = std::make_unique<ContextEnricher>(net_.blocks(), &fingerprints_,
+                                                &cves_);
+  read_side_ = std::make_unique<pipeline::ReadSide>(journal_, *write_side_,
+                                                    enricher_.get());
   read_side_->EnableCache(config_.view_cache);
-  serving_ = std::make_unique<serving::ServingFrontend>(
-      *read_side_, index_, analytics_,
-      serving::ServingFrontend::Options{config_.serving_threads});
-  web_catalog_ = std::make_unique<web::WebPropertyCatalog>(net_,
-                                                           *interrogator_);
 
   // --- scan classes (§4.1) -----------------------------------------------------
   const std::vector<Port> priority =
@@ -126,7 +123,6 @@ CensysEngine::CensysEngine(simnet::Internet& net, cert::CtLog& ct_log,
   journal_.BindMetrics(&metrics_);
   write_side_->BindMetrics(&metrics_);
   read_side_->BindMetrics(&metrics_);
-  serving_->BindMetrics(&metrics_);
   index_.BindMetrics(&metrics_);
   ticks_metric_ = metrics::BindCounter(&metrics_, "censys.engine.ticks");
   stage_discovery_metric_ =
@@ -488,8 +484,6 @@ void CensysEngine::Tick(Timestamp from, Timestamp to) {
     last_daily_run_ = day;
     const Timestamp day_start{day * 1440};
     RunReinjection(day_start);
-    web_catalog_->PollCtLog(ct_log_, day_start);
-    web_catalog_->RefreshDue(day_start);
     // CT polling into the certificate store and the daily revalidation
     // pass (§4.4, §4.6).
     for (const cert::CtEntry& entry : ct_log_.EntriesSince(ct_cert_cursor_)) {
@@ -499,6 +493,10 @@ void CensysEngine::Tick(Timestamp from, Timestamp to) {
     }
     cert_store_.RevalidateAll(day_start);
     TakeAnalyticsSnapshot(day_start);
+    // Externally attached daily work (e.g. the web-property catalog's CT
+    // poll + refresh, wired by web/attach.h) runs after the engine's own
+    // steps, in registration order.
+    for (const auto& job : daily_jobs_) job(day_start);
     stats.daily_us = timer.ElapsedMicros();
   }
 

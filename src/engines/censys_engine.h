@@ -23,14 +23,17 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_set>
+#include <vector>
 
 #include "cert/ct.h"
 #include "cert/store.h"
 #include "core/executor.h"
 #include "core/metrics.h"
 #include "engines/engine.h"
+#include "engines/enrichment.h"
 #include "engines/tick_pipeline.h"
 #include "fingerprint/fingerprints.h"
 #include "fingerprint/vulns.h"
@@ -44,10 +47,8 @@
 #include "search/analytics.h"
 #include "search/index.h"
 #include "search/pivots.h"
-#include "serving/frontend.h"
 #include "simnet/internet.h"
 #include "storage/journal.h"
-#include "web/webprops.h"
 
 namespace censys::engines {
 
@@ -131,10 +132,6 @@ class CensysEngine : public ScanEngine {
     // content — journals stay byte-identical across shard counts).
     storage::EventJournal::Options journal_options{};
 
-    // Serving frontend reader threads; 0 runs queries inline. The
-    // frontend's pool is separate from the tick pipeline's `threads`.
-    int serving_threads = 0;
-
     // Per-host view cache for read-side lookups (watermark-invalidated).
     pipeline::ViewCache::Options view_cache{};
   };
@@ -164,15 +161,15 @@ class CensysEngine : public ScanEngine {
   const metrics::Registry& metrics() const { return metrics_; }
 
   // --- component access (examples, benches) -----------------------------------
-  // Concurrent query frontend: safe to Run() from a non-tick thread while
-  // the engine ticks (reads never touch the journal's append path).
-  serving::ServingFrontend& serving() { return *serving_; }
+  // The query frontend (serving::ServingFrontend) and the web-property
+  // catalog (web::WebPropertyCatalog) live in layers *above* engines; wire
+  // them from outside against read_side()/search_index()/analytics() and
+  // net()/interrogator()/ct_log() (web/attach.h does the latter).
   const pipeline::ReadSide& read_side() const { return *read_side_; }
   pipeline::WriteSide& write_side() { return *write_side_; }
   const pipeline::WriteSide& write_side() const { return *write_side_; }
   storage::EventJournal& journal() { return journal_; }
   const storage::EventJournal& journal() const { return journal_; }
-  web::WebPropertyCatalog& web_catalog() { return *web_catalog_; }
   const search::AnalyticsStore& analytics() const { return analytics_; }
   const predict::PredictorStats& predictor_stats() const {
     return predictive_->stats();
@@ -185,6 +182,21 @@ class CensysEngine : public ScanEngine {
   std::uint64_t probes_sent() const { return discovery_->probes_sent(); }
   const Config& config() const { return config_; }
   Executor& executor() { return *executor_; }
+
+  // Wiring points for the layers above (serving, web): the simulated
+  // network, the shared L7 scanner, and the CT log the engine polls.
+  simnet::Internet& net() { return net_; }
+  interrogate::Interrogator& interrogator() { return *interrogator_; }
+  const cert::CtLog& ct_log() const { return ct_log_; }
+
+  // Registers a job run once per simulated day, at the same tick boundary
+  // as the engine's own daily work (reinjection, CT polling, analytics).
+  // Jobs run in registration order after the engine's internal daily
+  // steps; the argument is the day-start timestamp. Callers must ensure
+  // anything the job captures outlives the engine's ticking.
+  void AddDailyJob(std::function<void(Timestamp)> job) {
+    daily_jobs_.push_back(std::move(job));
+  }
 
   // Certificate entities (§4.4) and secondary pivot tables (§5.2).
   const cert::CertificateStore& cert_store() const { return cert_store_; }
@@ -248,11 +260,13 @@ class CensysEngine : public ScanEngine {
   std::unique_ptr<TickPipeline> tick_pipeline_;
   fingerprint::FingerprintEngine fingerprints_;
   fingerprint::CveDatabase cves_;
+  // Binds geo/fingerprint/CVE context into the read side (declared after
+  // its sources, before the ReadSide holding the pointer).
+  std::unique_ptr<ContextEnricher> enricher_;
   std::unique_ptr<pipeline::ReadSide> read_side_;
-  std::unique_ptr<web::WebPropertyCatalog> web_catalog_;
   search::SearchIndex index_;
   search::AnalyticsStore analytics_;
-  std::unique_ptr<serving::ServingFrontend> serving_;
+  std::vector<std::function<void(Timestamp)>> daily_jobs_;
 
   std::deque<scan::Candidate> scan_queue_;
   std::uint64_t next_seq_ = 0;  // discovery-order candidate stamp

@@ -1,0 +1,33 @@
+#include "engines/enrichment.h"
+
+namespace censys::engines {
+
+pipeline::HostContext ContextEnricher::HostContextFor(IPv4Address ip) const {
+  pipeline::HostContext context;
+  // External-context enrichment (GeoIP, WHOIS, origin ASN). In the
+  // simulation the block plan is that external data source.
+  if (ip.value() < geo_.universe_size()) {
+    const simnet::NetworkBlock& block = geo_.BlockOf(ip);
+    context.country = std::string(simnet::ToString(block.country));
+    context.asn = block.asn;
+    context.as_org = block.org;
+    context.network_type = std::string(simnet::ToString(block.type));
+  }
+  return context;
+}
+
+void ContextEnricher::AnnotateService(pipeline::ServiceView& view) const {
+  if (fingerprints_ != nullptr) {
+    view.labels = fingerprints_->Evaluate(view.record.ToFields());
+  }
+  if (cves_ != nullptr && !view.record.software.product.empty()) {
+    for (const fingerprint::VulnEntry* vuln :
+         cves_->Lookup(view.record.software)) {
+      view.cves.push_back(vuln->cve);
+      if (vuln->cvss > view.max_cvss) view.max_cvss = vuln->cvss;
+      view.kev = view.kev || vuln->kev;
+    }
+  }
+}
+
+}  // namespace censys::engines

@@ -1,0 +1,36 @@
+// Concrete read-side enrichment (pipeline::ViewEnricher implementation).
+//
+// The pipeline layer owns the enrichment contract (pipeline/enrich.h) but
+// sits below the layers that can compute it; this adapter lives in engines/
+// — above simnet, fingerprint, and pipeline — and binds the contract to the
+// simulated external data sources: the block plan (GeoIP / WHOIS / routing
+// attribution), the static fingerprint corpus, and the CVE database.
+#pragma once
+
+#include "fingerprint/fingerprints.h"
+#include "fingerprint/vulns.h"
+#include "pipeline/enrich.h"
+#include "pipeline/read_side.h"
+#include "simnet/blocks.h"
+
+namespace censys::engines {
+
+class ContextEnricher : public pipeline::ViewEnricher {
+ public:
+  // `fingerprints` / `cves` may be null (enrichment degrades to geo only).
+  // All three references/pointers must outlive the enricher; none are owned.
+  ContextEnricher(const simnet::BlockPlan& geo,
+                  const fingerprint::FingerprintEngine* fingerprints,
+                  const fingerprint::CveDatabase* cves)
+      : geo_(geo), fingerprints_(fingerprints), cves_(cves) {}
+
+  pipeline::HostContext HostContextFor(IPv4Address ip) const override;
+  void AnnotateService(pipeline::ServiceView& view) const override;
+
+ private:
+  const simnet::BlockPlan& geo_;
+  const fingerprint::FingerprintEngine* fingerprints_;
+  const fingerprint::CveDatabase* cves_;
+};
+
+}  // namespace censys::engines

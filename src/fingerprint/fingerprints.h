@@ -12,17 +12,16 @@
 #include <vector>
 
 #include "fingerprint/dsl.h"
+#include "pipeline/enrich.h"
 #include "storage/delta.h"
 
 namespace censys::fingerprint {
 
-// Derived context a fingerprint attaches to a service.
-struct DerivedLabels {
-  std::string manufacturer;
-  std::string product;
-  std::string device_type;  // "router", "camera", "plc", "nas", ...
-  std::string cpe;
-};
+// Derived context a fingerprint attaches to a service. The type itself is
+// owned by the pipeline layer (pipeline/enrich.h) because it is part of
+// the served view shape; this alias keeps corpus definitions reading
+// naturally.
+using DerivedLabels = pipeline::DerivedLabels;
 
 struct Fingerprint {
   std::string name;

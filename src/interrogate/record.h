@@ -1,86 +1,20 @@
-// The structured, non-ephemeral service record.
+// Compatibility shim: the structured service record now lives in
+// pipeline/record.h.
 //
-// "Coalescing data collected during application-layer handshakes, we build a
-// highly-structured record about each service that captures non-ephemeral
-// data" (§4.2). The record is the unit that flows through the CQRS
-// pipeline: it is what gets delta-encoded into the journal, reconstructed
-// on the read side, enriched, indexed, and served.
+// The layer DAG (tools/censyslint/layers.txt) places the CQRS data plane
+// below the scanning layers — interrogation *produces* records, the
+// pipeline *owns* the type they flow through. This header re-exports the
+// names under censys::interrogate so scanner-side code (and the layers
+// above it) keeps reading naturally: the interrogator fills in a
+// ServiceRecord, the pipeline journals it.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <optional>
-#include <string>
-
-#include "core/types.h"
-#include "proto/banner.h"
-#include "proto/protocol.h"
+#include "pipeline/record.h"
 
 namespace censys::interrogate {
 
-// How the L7 protocol was determined — drives the labeling-accuracy
-// comparison of Table 4 (handshake-validated vs keyword guessing).
-enum class DetectionMethod : std::uint8_t {
-  kNone,             // no protocol identified; raw response captured
-  kServerBanner,     // server-initiated data fingerprinted (LZR step 1)
-  kIanaHandshake,    // IANA-assigned protocol handshake completed
-  kBatteryHandshake, // one of the common follow-up handshakes completed
-  kTlsWrapped,       // identified within an established TLS session
-  kKeywordGuess,     // labeled from keywords, NOT validated (competitor mode)
-  kPortAssumption,   // labeled purely from the port number (competitor mode)
-};
-
-std::string_view ToString(DetectionMethod m);
-
-struct ServiceRecord {
-  ServiceKey key;
-  Timestamp observed_at;
-
-  // Detected protocol; kUnknown when only a raw response was captured.
-  proto::Protocol protocol = proto::Protocol::kUnknown;
-  DetectionMethod detection = DetectionMethod::kNone;
-  // True iff a full L7 handshake for `protocol` was completed. Censys "will
-  // only label a service as running a protocol if it is able to complete an
-  // L7 handshake" (§6.3); competitor models set protocol without this.
-  bool handshake_validated = false;
-
-  std::string banner;          // normalized textual banner, if any
-  std::string raw_response;    // unfingerprintable data, if any
-  proto::SoftwareInfo software;
-  proto::DeviceIdentity device;
-
-  // HTTP-specific.
-  std::string html_title;
-  std::string page_keywords;
-
-  // TLS context.
-  bool tls = false;
-  std::string tls_version;
-  std::string jarm;
-  std::string ja4s;
-  std::string cert_sha256;
-
-  // Name used for the handshake (web properties); empty for IP scans.
-  std::string sni_name;
-
-  // Flag set by pseudo-service filtering in the pipeline.
-  bool pseudo_suspect = false;
-
-  // Protocol-specific structured fields extracted by the per-protocol
-  // scanners ("we have implemented approximately 200 protocol scanners",
-  // §4.2) — e.g. ssh.hostkey_sha256, http.headers.server, modbus.unit_id.
-  // Keys are dotted and lowercase; they serialize under "x." in ToFields.
-  std::map<std::string, std::string> extra;
-
-  // Canonical flat field map used for delta encoding, search indexing, and
-  // fingerprint evaluation. Keys are stable, dotted, lowercase.
-  std::map<std::string, std::string> ToFields() const;
-  static ServiceRecord FromFields(
-      ServiceKey key, const std::map<std::string, std::string>& fields);
-
-  bool operator==(const ServiceRecord& other) const {
-    return ToFields() == other.ToFields() && key == other.key;
-  }
-};
+using DetectionMethod = pipeline::DetectionMethod;
+using ServiceRecord = pipeline::ServiceRecord;
+using pipeline::ToString;
 
 }  // namespace censys::interrogate

@@ -1,0 +1,56 @@
+// Read-side enrichment contract.
+//
+// The CQRS read side presents journaled records enriched with context the
+// pipeline layer itself must not know how to compute: WHOIS/geolocation/ASN
+// attribution, fingerprint-derived device labels, and known-vulnerability
+// matches. The layer DAG (tools/censyslint/layers.txt) puts pipeline/ below
+// simnet/ and fingerprint/, so the dependency is inverted: pipeline owns
+// the *shape* of enrichment (this header), and a higher layer — in this
+// tree, engines/enrichment.h — implements it against the concrete geo plan,
+// fingerprint corpus, and CVE database, then hands the implementation to
+// ReadSide at wiring time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace censys::pipeline {
+
+struct ServiceView;  // read_side.h
+
+// Derived context a fingerprint attaches to a service. Owned by pipeline
+// because it is part of the served view; fingerprint/ re-exports the name
+// for its corpus definitions.
+struct DerivedLabels {
+  std::string manufacturer;
+  std::string product;
+  std::string device_type;  // "router", "camera", "plc", "nas", ...
+  std::string cpe;
+};
+
+// Host-level attribution from external data (GeoIP / WHOIS / routing).
+struct HostContext {
+  std::string country;
+  std::uint32_t asn = 0;
+  std::string as_org;
+  std::string network_type;
+};
+
+// Implemented above the scanning layers (engines/enrichment.h). Both hooks
+// must be pure and thread-safe: the read side calls them from many reader
+// threads concurrently, and view content must be a function of the record
+// alone so cached and rebuilt views agree.
+class ViewEnricher {
+ public:
+  virtual ~ViewEnricher() = default;
+
+  // Attribution for one host; called once per view build.
+  virtual HostContext HostContextFor(IPv4Address ip) const = 0;
+
+  // Attaches labels / CVE matches to one reconstructed service view.
+  virtual void AnnotateService(ServiceView& view) const = 0;
+};
+
+}  // namespace censys::pipeline

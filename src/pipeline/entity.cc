@@ -25,7 +25,7 @@ std::string ServicePrefix(ServiceKey key) {
   return prefix;
 }
 
-storage::FieldMap ServiceFields(const interrogate::ServiceRecord& record) {
+storage::FieldMap ServiceFields(const ServiceRecord& record) {
   const std::string prefix = ServicePrefix(record.key);
   storage::FieldMap out;
   for (const auto& [key, value] : record.ToFields()) {
@@ -62,7 +62,7 @@ std::vector<ServiceKey> ServicesIn(const storage::FieldMap& entity_state,
   return keys;
 }
 
-std::optional<interrogate::ServiceRecord> RecordFrom(
+std::optional<ServiceRecord> RecordFrom(
     const storage::FieldMap& entity_state, ServiceKey key) {
   const std::string prefix = ServicePrefix(key);
   storage::FieldMap fields;
@@ -71,11 +71,11 @@ std::optional<interrogate::ServiceRecord> RecordFrom(
     fields.emplace(it->first.substr(prefix.size()), it->second);
   }
   if (fields.empty()) return std::nullopt;
-  return interrogate::ServiceRecord::FromFields(key, fields);
+  return ServiceRecord::FromFields(key, fields);
 }
 
 storage::Delta UpsertServiceDelta(const storage::FieldMap& entity_state,
-                                  const interrogate::ServiceRecord& record) {
+                                  const ServiceRecord& record) {
   return UpsertServiceDelta(entity_state, record.key, ServiceFields(record));
 }
 

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "interrogate/record.h"
+#include "pipeline/record.h"
 #include "storage/delta.h"
 
 namespace censys::pipeline {
@@ -25,19 +25,19 @@ std::string CertEntityId(std::string_view sha256_hex);
 std::string ServicePrefix(ServiceKey key);
 
 // Projects one service's record into entity-level fields (prefix applied).
-storage::FieldMap ServiceFields(const interrogate::ServiceRecord& record);
+storage::FieldMap ServiceFields(const ServiceRecord& record);
 
 // Extracts the service keys present in an entity state.
 std::vector<ServiceKey> ServicesIn(const storage::FieldMap& entity_state,
                                    IPv4Address ip);
 
 // Rebuilds one service's record from entity state; nullopt if absent.
-std::optional<interrogate::ServiceRecord> RecordFrom(
+std::optional<ServiceRecord> RecordFrom(
     const storage::FieldMap& entity_state, ServiceKey key);
 
 // Delta that inserts/updates the service (empty if nothing changed).
 storage::Delta UpsertServiceDelta(const storage::FieldMap& entity_state,
-                                  const interrogate::ServiceRecord& record);
+                                  const ServiceRecord& record);
 
 // Same, against precomputed ServiceFields(record) — interrogation workers
 // project records off-thread so the serial commit stage only diffs.

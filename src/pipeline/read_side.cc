@@ -72,14 +72,14 @@ HostView ReadSide::BuildView(IPv4Address ip, const storage::FieldMap& state,
                              bool attach_scan_state) const {
   HostView view;
   view.ip = ip;
-  // External-context enrichment (GeoIP, WHOIS, origin ASN). In the
-  // simulation the block plan is that external data source.
-  if (ip.value() < geo_.universe_size()) {
-    const simnet::NetworkBlock& block = geo_.BlockOf(ip);
-    view.country = std::string(simnet::ToString(block.country));
-    view.asn = block.asn;
-    view.as_org = block.org;
-    view.network_type = std::string(simnet::ToString(block.type));
+  // External-context enrichment (GeoIP, WHOIS, origin ASN) comes from the
+  // layers above through the injected enricher.
+  if (enricher_ != nullptr) {
+    HostContext context = enricher_->HostContextFor(ip);
+    view.country = std::move(context.country);
+    view.asn = context.asn;
+    view.as_org = std::move(context.as_org);
+    view.network_type = std::move(context.network_type);
   }
 
   for (ServiceKey key : ServicesIn(state, ip)) {
@@ -94,24 +94,10 @@ HostView ReadSide::BuildView(IPv4Address ip, const storage::FieldMap& state,
             scan_state->pending_eviction_since.has_value();
       }
     }
-    Enrich(service);
+    if (enricher_ != nullptr) enricher_->AnnotateService(service);
     view.services.push_back(std::move(service));
   }
   return view;
-}
-
-void ReadSide::Enrich(ServiceView& view) const {
-  if (fingerprints_ != nullptr) {
-    view.labels = fingerprints_->Evaluate(view.record.ToFields());
-  }
-  if (cves_ != nullptr && !view.record.software.product.empty()) {
-    for (const fingerprint::VulnEntry* vuln :
-         cves_->Lookup(view.record.software)) {
-      view.cves.push_back(vuln->cve);
-      if (vuln->cvss > view.max_cvss) view.max_cvss = vuln->cvss;
-      view.kev = view.kev || vuln->kev;
-    }
-  }
 }
 
 }  // namespace censys::pipeline

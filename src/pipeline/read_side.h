@@ -3,7 +3,10 @@
 // Constructs the user representation of an entity at read time: finds the
 // latest snapshot prior to the requested timestamp, replays journal events,
 // then enriches the reconstructed record with WHOIS/geolocation/ASN
-// context, fingerprint-derived labels, and known vulnerabilities.
+// context, fingerprint-derived labels, and known vulnerabilities. The
+// enrichment sources live in layers above this one, so they arrive through
+// the pipeline::ViewEnricher interface (pipeline/enrich.h), implemented by
+// engines/enrichment.h.
 //
 // GetHost / GetHostAt are safe to call from many threads concurrently with
 // the command thread: state comes from the journal's locked snapshot path
@@ -19,12 +22,10 @@
 #include <vector>
 
 #include "core/metrics.h"
-#include "fingerprint/fingerprints.h"
-#include "fingerprint/vulns.h"
-#include "interrogate/record.h"
+#include "pipeline/enrich.h"
+#include "pipeline/record.h"
 #include "pipeline/view_cache.h"
 #include "pipeline/write_side.h"
-#include "simnet/blocks.h"
 #include "storage/journal.h"
 
 namespace censys::pipeline {
@@ -33,11 +34,11 @@ namespace censys::pipeline {
 // scan-state surfaced per §4.6 ("include the last time Censys saw the
 // service" and the pending-eviction mark).
 struct ServiceView {
-  interrogate::ServiceRecord record;
+  ServiceRecord record;
   std::optional<Timestamp> last_seen;
   bool pending_eviction = false;
 
-  std::optional<fingerprint::DerivedLabels> labels;
+  std::optional<DerivedLabels> labels;
   std::vector<std::string> cves;
   double max_cvss = 0.0;
   bool kev = false;
@@ -60,12 +61,11 @@ struct HostView {
 
 class ReadSide {
  public:
+  // `enricher` may be null (views carry journaled state only, no geo
+  // attribution, labels, or CVE matches) and must outlive the ReadSide.
   ReadSide(const storage::EventJournal& journal, const WriteSide& write_side,
-           const simnet::BlockPlan& geo,
-           const fingerprint::FingerprintEngine* fingerprints = nullptr,
-           const fingerprint::CveDatabase* cves = nullptr)
-      : journal_(journal), write_side_(write_side), geo_(geo),
-        fingerprints_(fingerprints), cves_(cves) {}
+           const ViewEnricher* enricher = nullptr)
+      : journal_(journal), write_side_(write_side), enricher_(enricher) {}
 
   // Current state (fast path: cached state, no replay; with EnableCache a
   // repeat lookup of an unchanged host is a cache hit and skips the build).
@@ -95,13 +95,10 @@ class ReadSide {
  private:
   HostView BuildView(IPv4Address ip, const storage::FieldMap& state,
                      bool attach_scan_state) const;
-  void Enrich(ServiceView& view) const;
 
   const storage::EventJournal& journal_;
   const WriteSide& write_side_;
-  const simnet::BlockPlan& geo_;
-  const fingerprint::FingerprintEngine* fingerprints_;
-  const fingerprint::CveDatabase* cves_;
+  const ViewEnricher* enricher_;
   mutable std::atomic<std::uint64_t> lookups_{0};
 
   std::unique_ptr<ViewCache> cache_;

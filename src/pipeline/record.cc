@@ -1,8 +1,8 @@
-#include "interrogate/record.h"
+#include "pipeline/record.h"
 
 #include <charconv>
 
-namespace censys::interrogate {
+namespace censys::pipeline {
 
 std::string_view ToString(DetectionMethod m) {
   switch (m) {
@@ -92,4 +92,4 @@ ServiceRecord ServiceRecord::FromFields(
   return r;
 }
 
-}  // namespace censys::interrogate
+}  // namespace censys::pipeline

@@ -1,5 +1,7 @@
 #include "pipeline/write_side.h"
 
+#include <algorithm>
+
 #include "core/strings.h"
 #include "core/trace.h"
 #include "pipeline/entity.h"
@@ -34,19 +36,19 @@ void WriteSide::BindMetrics(metrics::Registry* registry) {
       metrics::BindGauge(registry, "censys.pipeline.tracked_services");
 }
 
-std::uint64_t WriteSide::ContentHash(const interrogate::ServiceRecord& record) {
+std::uint64_t WriteSide::ContentHash(const ServiceRecord& record) {
   return Fnv1a64(record.banner) ^ Fnv1a64(record.html_title) ^
          Fnv1a64(std::string(proto::Name(record.protocol)));
 }
 
-void WriteSide::IngestScan(const interrogate::ServiceRecord& record) {
+void WriteSide::IngestScan(const ServiceRecord& record) {
   command_role_.AdoptCurrentThread();
   journal_.command_role().AdoptCurrentThread();
   const core::MutexLock lock(mu_);
   IngestScanLocked(record, nullptr, nullptr);
 }
 
-void WriteSide::IngestScan(const interrogate::ServiceRecord& record,
+void WriteSide::IngestScan(const ServiceRecord& record,
                            const storage::FieldMap& service_fields,
                            std::uint64_t content_hash) {
   command_role_.AdoptCurrentThread();
@@ -55,7 +57,7 @@ void WriteSide::IngestScan(const interrogate::ServiceRecord& record,
   IngestScanLocked(record, &service_fields, &content_hash);
 }
 
-void WriteSide::IngestScanLocked(const interrogate::ServiceRecord& record,
+void WriteSide::IngestScanLocked(const ServiceRecord& record,
                                  const storage::FieldMap* service_fields,
                                  const std::uint64_t* precomputed_hash) {
   scans_ingested_.fetch_add(1, std::memory_order_relaxed);
@@ -212,12 +214,18 @@ void WriteSide::AdvanceTo(Timestamp now) {
   // Evictions journal write-through; staged scan events must land first.
   if (batching_) FlushCommitBatchLocked();
   std::vector<ServiceState> to_evict;
+  // censyslint:allow(unordered-iter): candidates sorted by key before any
+  // journal append, so eviction event order never reflects hash layout
   for (const auto& [packed, state] : states_) {
     if (state.pending_eviction_since.has_value() &&
         *state.pending_eviction_since + options_.eviction_deadline <= now) {
       to_evict.push_back(state);
     }
   }
+  std::sort(to_evict.begin(), to_evict.end(),
+            [](const ServiceState& a, const ServiceState& b) {
+              return a.key.Pack() < b.key.Pack();
+            });
   for (const ServiceState& state : to_evict) Evict(state, now);
 
   // Age out the pruned list beyond the re-injection window.
@@ -284,7 +292,15 @@ bool WriteSide::IsPseudoFlagged(IPv4Address ip) const {
 void WriteSide::ForEachTracked(
     const std::function<void(const ServiceState&)>& fn) const {
   const core::ReaderLock lock(mu_);
-  for (const auto& [packed, state] : states_) fn(state);
+  std::vector<const ServiceState*> sorted;
+  sorted.reserve(states_.size());
+  // censyslint:allow(unordered-iter): pointers sorted by key before fn runs
+  for (const auto& [packed, state] : states_) sorted.push_back(&state);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ServiceState* a, const ServiceState* b) {
+              return a->key.Pack() < b->key.Pack();
+            });
+  for (const ServiceState* state : sorted) fn(*state);
 }
 
 void WriteSide::ForEachPruned(

@@ -30,7 +30,7 @@
 
 #include "core/metrics.h"
 #include "core/thread_safety.h"
-#include "interrogate/record.h"
+#include "pipeline/record.h"
 #include "storage/journal.h"
 
 namespace censys::pipeline {
@@ -91,17 +91,17 @@ class WriteSide {
 
   // The pseudo-service content hash IngestScan buckets records by. Exposed
   // so interrogation workers can precompute it off the command thread.
-  static std::uint64_t ContentHash(const interrogate::ServiceRecord& record);
+  static std::uint64_t ContentHash(const ServiceRecord& record);
 
   // A successful interrogation of `record.key`.
-  void IngestScan(const interrogate::ServiceRecord& record);
+  void IngestScan(const ServiceRecord& record);
 
   // Same, with the entity-field projection and pseudo-service content hash
   // precomputed (interrogation workers do both off-thread; the serial
   // commit stage then only diffs and journals). `service_fields` must equal
   // ServiceFields(record) and `content_hash` the pseudo-filter hash of the
   // record's banner/title/protocol.
-  void IngestScan(const interrogate::ServiceRecord& record,
+  void IngestScan(const ServiceRecord& record,
                   const storage::FieldMap& service_fields,
                   std::uint64_t content_hash);
 
@@ -183,7 +183,7 @@ class WriteSide {
   const core::ThreadRole& command_role() const { return command_role_; }
 
  private:
-  void IngestScanLocked(const interrogate::ServiceRecord& record,
+  void IngestScanLocked(const ServiceRecord& record,
                         const storage::FieldMap* service_fields,
                         const std::uint64_t* content_hash)
       CENSYS_REQUIRES(mu_);

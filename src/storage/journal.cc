@@ -356,16 +356,23 @@ std::vector<std::string> EventJournal::EntityIds() const {
   std::vector<std::string> ids;
   for (std::size_t s = 0; s < shard_count_; ++s) {
     const core::ReaderLock lock(shards_[s].mu);
+    // censyslint:allow(unordered-iter): ids are sorted below before return
     for (const auto& [id, meta] : shards_[s].meta) ids.push_back(id);
   }
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 
 void EventJournal::ForEachEntity(
     const std::function<void(std::string_view, const FieldMap&)>& fn) const {
-  for (std::size_t s = 0; s < shard_count_; ++s) {
-    const core::ReaderLock lock(shards_[s].mu);
-    for (const auto& [id, meta] : shards_[s].meta) fn(id, meta.current);
+  // Enumerate in sorted-id order so callers (index rebuilds, digests,
+  // exports) never observe hash-map layout. The per-id re-lookup keeps the
+  // shard lock held only around each callback, same as the old contract.
+  for (const std::string& id : EntityIds()) {
+    Shard& shard = ShardFor(id);
+    const core::ReaderLock lock(shard.mu);
+    const auto it = shard.meta.find(id);
+    if (it != shard.meta.end()) fn(id, it->second.current);
   }
 }
 
@@ -427,6 +434,7 @@ std::string EventJournal::EncodeCheckpoint(std::uint64_t lsn) const {
   std::vector<std::pair<std::string, EntityMeta>> entities;
   for (std::size_t s = 0; s < shard_count_; ++s) {
     const core::ReaderLock lock(shards_[s].mu);
+    // censyslint:allow(unordered-iter): collected then sorted by id below
     for (const auto& [id, meta] : shards_[s].meta) {
       entities.emplace_back(id, meta);
     }

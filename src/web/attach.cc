@@ -1,0 +1,18 @@
+#include "web/attach.h"
+
+namespace censys::web {
+
+std::unique_ptr<WebPropertyCatalog> AttachCatalog(
+    engines::CensysEngine& engine, WebPropertyCatalog::Options options) {
+  auto catalog = std::make_unique<WebPropertyCatalog>(
+      engine.net(), engine.interrogator(), options);
+  WebPropertyCatalog* raw = catalog.get();
+  const cert::CtLog& ct_log = engine.ct_log();
+  engine.AddDailyJob([raw, &ct_log](Timestamp day_start) {
+    raw->PollCtLog(ct_log, day_start);
+    raw->RefreshDue(day_start);
+  });
+  return catalog;
+}
+
+}  // namespace censys::web

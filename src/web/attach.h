@@ -1,0 +1,25 @@
+// Wires a WebPropertyCatalog onto a running CensysEngine.
+//
+// The web layer sits at the top of the layer DAG
+// (tools/censyslint/layers.txt), above engines: the engine knows nothing
+// about web properties, it only exposes the shared scanner, the simulated
+// network, the CT log, and a daily-job hook. This helper binds a catalog
+// to those, so every simulated day the catalog polls the CT log for new
+// names and refreshes properties that are due — the same cadence the
+// engine runs its own daily work on.
+#pragma once
+
+#include <memory>
+
+#include "engines/censys_engine.h"
+#include "web/webprops.h"
+
+namespace censys::web {
+
+// Creates a catalog scanning through `engine`'s interrogator and registers
+// its daily CT poll + refresh with the engine. The returned catalog must
+// outlive the engine's ticking (the daily job holds a raw pointer to it).
+std::unique_ptr<WebPropertyCatalog> AttachCatalog(
+    engines::CensysEngine& engine, WebPropertyCatalog::Options options = {});
+
+}  // namespace censys::web

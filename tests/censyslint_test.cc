@@ -1,0 +1,333 @@
+// Unit tests for the censyslint library: the comment/string stripper, the
+// layer-DAG parser and cycle finder, the lock-order graph builder, the
+// unordered-container name collector, waivers, baselines, and the SARIF
+// encoder. Fixture-level coverage (whole files in, findings out) lives in
+// `censyslint --self-test tests/lint_fixtures`; these tests pin down the
+// building blocks with synthetic inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace censyslint {
+namespace {
+
+SourceFile MakeFile(const std::string& path, const std::string& raw) {
+  SourceFile f;
+  f.path = path;
+  f.header = path.ends_with(".h") || path.ends_with(".hpp");
+  f.raw = raw;
+  f.code = StripCommentsAndStrings(raw);
+  f.raw_lines = SplitLines(f.raw);
+  f.code_lines = SplitLines(f.code);
+  return f;
+}
+
+// ----------------------------------------------------------------- stripper
+
+TEST(StripTest, BlanksCommentsAndStringsPreservingNewlines) {
+  const std::string in =
+      "int a; // trailing comment\n"
+      "const char* s = \"std::mutex in a string\";\n"
+      "/* block\n   comment */ int b;\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(SplitLines(in).size(), SplitLines(out).size());
+  EXPECT_EQ(out.find("comment"), std::string::npos);
+  EXPECT_EQ(out.find("mutex"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, RawStringsAndCharLiterals) {
+  const std::string in =
+      "auto re = R\"re(for (x : map))re\";\n"
+      "char c = ':';\n"
+      "int keep = 1;\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("for (x"), std::string::npos);
+  EXPECT_NE(out.find("int keep = 1;"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- layers
+
+TEST(LayerTest, ParseLayersBuildsAllowedSets) {
+  const LayerGraph g = ParseLayers(
+      "# comment\n"
+      "core:\n"
+      "storage: core\n"
+      "pipeline: core storage\n");
+  EXPECT_TRUE(g.errors.empty());
+  EXPECT_TRUE(g.Declares("core"));
+  EXPECT_TRUE(g.Declares("pipeline"));
+  EXPECT_FALSE(g.Declares("serving"));
+  EXPECT_TRUE(g.allowed.at("pipeline").contains("storage"));
+  EXPECT_FALSE(g.allowed.at("storage").contains("pipeline"));
+}
+
+TEST(LayerTest, FindLayerCycleOnCyclicDeclaration) {
+  const LayerGraph dag = ParseLayers("a:\nb: a\nc: b\n");
+  EXPECT_TRUE(FindLayerCycle(dag).empty());
+
+  const LayerGraph cyc = ParseLayers("a: c\nb: a\nc: b\n");
+  const std::vector<std::string> cycle = FindLayerCycle(cyc);
+  ASSERT_GE(cycle.size(), 3u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+}
+
+TEST(LayerTest, LayerOfUsesSegmentAfterLastSrc) {
+  EXPECT_EQ(LayerOf("src/pipeline/read_side.h"), "pipeline");
+  EXPECT_EQ(LayerOf("/repo/src/storage/journal.cc"), "storage");
+  EXPECT_EQ(LayerOf("tests/lint_fixtures/src/engines/x.cc"), "engines");
+  EXPECT_EQ(LayerOf("tools/censyslint/lint.cc"), "");
+}
+
+TEST(LayerTest, LayeringPassFlagsUpwardInclude) {
+  const LayerGraph g = ParseLayers("core:\nstorage: core\n");
+  const std::vector<SourceFile> files = {
+      MakeFile("src/core/clock.h", "#include \"storage/table.h\"\n"),
+      MakeFile("src/storage/table.h", "#include \"core/clock.h\"\n"),
+  };
+  std::vector<Finding> findings;
+  RunLayeringPass(files, g, "layers.txt", &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].file, "src/core/clock.h");
+}
+
+// --------------------------------------------------------------- lock order
+
+constexpr char kNestedLocks[] = R"cc(
+class Cache {
+ public:
+  void Refresh() {
+    const core::MutexLock a(mu_a_);
+    const core::MutexLock b(mu_b_);
+  }
+ private:
+  core::Mutex mu_a_;
+  core::Mutex mu_b_;
+};
+)cc";
+
+TEST(LockOrderTest, ScanFunctionsFindsNestedAcquisitions) {
+  std::vector<FunctionInfo> fns;
+  ScanFunctions(MakeFile("src/pipeline/cache.cc", kNestedLocks), &fns);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].class_name, "Cache");
+  EXPECT_EQ(fns[0].name, "Refresh");
+  ASSERT_EQ(fns[0].acquisitions.size(), 2u);
+  EXPECT_EQ(fns[0].acquisitions[0].lock, "Cache::mu_a_");
+  EXPECT_EQ(fns[0].acquisitions[1].lock, "Cache::mu_b_");
+  ASSERT_EQ(fns[0].nested.size(), 1u);
+  EXPECT_EQ(fns[0].nested[0].from, "Cache::mu_a_");
+  EXPECT_EQ(fns[0].nested[0].to, "Cache::mu_b_");
+}
+
+TEST(LockOrderTest, GraphBuilderPropagatesHeldLocksThroughCalls) {
+  constexpr char kCaller[] = R"cc(
+class Cache {
+ public:
+  void Outer() {
+    const core::MutexLock a(mu_a_);
+    Inner();
+  }
+  void Inner() {
+    const core::MutexLock b(mu_b_);
+  }
+ private:
+  core::Mutex mu_a_;
+  core::Mutex mu_b_;
+};
+)cc";
+  std::vector<FunctionInfo> fns;
+  ScanFunctions(MakeFile("src/pipeline/cache.cc", kCaller), &fns);
+  const std::vector<LockEdge> edges = BuildLockOrderGraph(fns);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, "Cache::mu_a_");
+  EXPECT_EQ(edges[0].to, "Cache::mu_b_");
+  EXPECT_FALSE(edges[0].via.empty());  // came through the Inner() call
+}
+
+TEST(LockOrderTest, FindLockCycleDetectsInversion) {
+  const std::vector<LockEdge> acyclic = {
+      {"A", "B", "f.cc", 1, ""},
+      {"B", "C", "f.cc", 2, ""},
+  };
+  EXPECT_TRUE(FindLockCycle(acyclic).empty());
+
+  const std::vector<LockEdge> inverted = {
+      {"A", "B", "f.cc", 1, ""},
+      {"B", "A", "g.cc", 2, ""},
+  };
+  const std::vector<std::string> cycle = FindLockCycle(inverted);
+  ASSERT_GE(cycle.size(), 3u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+}
+
+TEST(LockOrderTest, PassReportsCrossFileCycleOnce) {
+  const std::vector<SourceFile> files = {
+      MakeFile("src/pipeline/writer.cc", R"cc(
+class J {
+  void Append() {
+    const core::MutexLock m(mu_);
+    const core::MutexLock i(index_mu_);
+  }
+  core::Mutex mu_;
+  core::Mutex index_mu_;
+};
+)cc"),
+      MakeFile("src/pipeline/reader.cc", R"cc(
+class J {
+  void Scan() {
+    const core::MutexLock i(index_mu_);
+    const core::MutexLock m(mu_);
+  }
+  core::Mutex mu_;
+  core::Mutex index_mu_;
+};
+)cc"),
+  };
+  std::vector<Finding> findings;
+  RunLockOrderPass(files, &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-order");
+}
+
+// ----------------------------------------------------------- unordered-iter
+
+TEST(UnorderedIterTest, CollectsDeclaredNamesNotIncludeArtifacts) {
+  const std::vector<SourceFile> files = {MakeFile("src/pipeline/x.cc", R"cc(
+#include <unordered_map>
+#include <unordered_set>
+std::vector<Port> excluded_ports;
+std::unordered_map<int, int> states_;
+using Index = std::unordered_map<int, int>;
+Index by_host_;
+)cc")};
+  const std::set<std::string> names = CollectUnorderedNames(files);
+  EXPECT_TRUE(names.contains("states_"));
+  EXPECT_TRUE(names.contains("by_host_"));  // through the alias
+  // Regression: `#include <unordered_set>` must not bind the next
+  // declaration's name.
+  EXPECT_FALSE(names.contains("excluded_ports"));
+}
+
+TEST(UnorderedIterTest, FlagsOnlyOrderSensitiveDirs) {
+  EXPECT_TRUE(InOrderSensitiveDir("src/pipeline/write_side.cc"));
+  EXPECT_TRUE(InOrderSensitiveDir("src/storage/journal.cc"));
+  EXPECT_FALSE(InOrderSensitiveDir("src/simnet/internet.cc"));
+
+  const char* body = R"cc(
+std::unordered_map<int, int> states_;
+int Sum() {
+  int t = 0;
+  for (const auto& [k, v] : states_) t += v;
+  return t;
+}
+)cc";
+  std::vector<Finding> findings;
+  RunUnorderedIterPass({MakeFile("src/pipeline/x.cc", body)}, &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].key, "states_");
+
+  findings.clear();
+  RunUnorderedIterPass({MakeFile("src/simnet/x.cc", body)}, &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(UnorderedIterTest, JustifiedWaiverSilencesBareWaiverDoesNot) {
+  const char* justified = R"cc(
+std::unordered_map<int, int> states_;
+int Sum() {
+  int t = 0;
+  // censyslint:allow(unordered-iter): commutative sum
+  for (const auto& [k, v] : states_) t += v;
+  return t;
+}
+)cc";
+  std::vector<Finding> findings;
+  RunUnorderedIterPass({MakeFile("src/pipeline/x.cc", justified)}, &findings);
+  EXPECT_TRUE(findings.empty());
+
+  const char* bare = R"cc(
+std::unordered_map<int, int> states_;
+int Sum() {
+  int t = 0;
+  // censyslint:allow(unordered-iter)
+  for (const auto& [k, v] : states_) t += v;
+  return t;
+}
+)cc";
+  RunUnorderedIterPass({MakeFile("src/pipeline/x.cc", bare)}, &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("justification"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ waivers
+
+TEST(WaiverTest, MultiRuleListAndJustification) {
+  const Waiver a = FindWaiver("x; // censyslint:allow(rule-a,rule-b): why",
+                              "rule-b");
+  EXPECT_TRUE(a.present);
+  EXPECT_EQ(a.justification, "why");
+  EXPECT_TRUE(
+      FindWaiver("x; // censyslint:allow(rule-a, rule-b)", "rule-a").present);
+  EXPECT_FALSE(
+      FindWaiver("x; // censyslint:allow(rule-a)", "rule-b").present);
+}
+
+TEST(WaiverTest, FindWaiverNearChecksPrecedingCommentBlock) {
+  const std::vector<std::string> lines = {
+      "int before;",
+      "// censyslint:allow(unordered-iter): sorted below",
+      "// (continued explanation)",
+      "for (const auto& [k, v] : states_) {}",
+  };
+  EXPECT_TRUE(FindWaiverNear(lines, 3, "unordered-iter").present);
+  EXPECT_EQ(FindWaiverNear(lines, 3, "unordered-iter").justification,
+            "sorted below");
+  // The walk stops at the first non-comment line.
+  EXPECT_FALSE(FindWaiverNear(lines, 0, "unordered-iter").present);
+}
+
+// ----------------------------------------------------------------- baseline
+
+TEST(BaselineTest, ParseAndSuppressByKeyNotLine) {
+  const Baseline b = ParseBaseline(
+      "# comment\n"
+      "unordered-iter|storage/journal.cc|meta\n");
+  ASSERT_EQ(b.entries.size(), 1u);
+
+  std::vector<Finding> findings = {
+      {"src/storage/journal.cc", 430, "unordered-iter", "msg", "meta", false},
+      {"src/storage/journal.cc", 99, "unordered-iter", "msg", "other", false},
+  };
+  ApplyBaseline(b, &findings);
+  EXPECT_TRUE(findings[0].suppressed);   // key + path suffix match, any line
+  EXPECT_FALSE(findings[1].suppressed);  // different key
+}
+
+// -------------------------------------------------------------------- sarif
+
+TEST(SarifTest, ShapeAndSuppressions) {
+  RunResult result;
+  result.file_count = 2;
+  result.findings = {
+      {"src/a.cc", 10, "layering", "bad include", "core->web", false},
+      {"src/b.cc", 20, "unordered-iter", "hash order", "meta", true},
+  };
+  const std::string sarif = ToSarif(result);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"censyslint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"layering\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 10"), std::string::npos);
+  EXPECT_NE(sarif.find("censyslintKey"), std::string::npos);
+  // The suppressed finding carries a suppression object; the live one not.
+  EXPECT_NE(sarif.find("\"suppressions\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace censyslint

@@ -1,0 +1,8 @@
+// An upward include: core reaching into storage inverts the declared DAG
+// (core depends on nothing) and must fire `layering`.
+#pragma once
+#include "storage/table.h"
+
+namespace censys::core {
+inline int TickCount() { return censys::storage::RowCount(); }
+}  // namespace censys::core

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace censys::storage {
+inline int RowCount() { return 0; }
+}  // namespace censys::storage

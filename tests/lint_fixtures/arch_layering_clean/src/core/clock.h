@@ -1,0 +1,5 @@
+#pragma once
+
+namespace censys::core {
+inline int TickCount() { return 0; }
+}  // namespace censys::core

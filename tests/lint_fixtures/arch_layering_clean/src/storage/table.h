@@ -1,0 +1,7 @@
+// Downward include storage -> core matches the declared DAG: clean.
+#pragma once
+#include "core/clock.h"
+
+namespace censys::storage {
+inline int RowCount() { return censys::core::TickCount(); }
+}  // namespace censys::storage

@@ -1,0 +1,22 @@
+// Fixture (2 of 2): this translation unit takes the same pair in the
+// opposite order. Neither file has a cycle alone — only the global graph
+// built across both TUs does, and the case must fire `lock-order`.
+#include "core/thread_safety.h"
+
+namespace censys::pipeline {
+
+class Journal {
+ public:
+  void Scan() {
+    const core::MutexLock index(index_mu_);
+    const core::MutexLock hold(mu_);  // index_mu_ -> mu_: inversion
+    ++reads_;
+  }
+
+ private:
+  core::Mutex mu_;
+  core::Mutex index_mu_;
+  int reads_ = 0;
+};
+
+}  // namespace censys::pipeline

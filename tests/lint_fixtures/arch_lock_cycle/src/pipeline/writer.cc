@@ -1,0 +1,21 @@
+// Fixture (1 of 2): this translation unit always takes Journal::mu_
+// before Journal::index_mu_.
+#include "core/thread_safety.h"
+
+namespace censys::pipeline {
+
+class Journal {
+ public:
+  void Append() {
+    const core::MutexLock hold(mu_);
+    const core::MutexLock index(index_mu_);  // mu_ -> index_mu_
+    ++events_;
+  }
+
+ private:
+  core::Mutex mu_;
+  core::Mutex index_mu_;
+  int events_ = 0;
+};
+
+}  // namespace censys::pipeline

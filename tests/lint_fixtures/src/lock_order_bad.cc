@@ -1,0 +1,34 @@
+// Fixture: two methods of the same class acquire the same pair of locks
+// in opposite orders — the classic ABBA deadlock. The whole-program
+// lock-order graph has the cycle Cache::mu_a_ -> Cache::mu_b_ ->
+// Cache::mu_a_ and must fire `lock-order`.
+#include "core/thread_safety.h"
+
+namespace censys::pipeline {
+
+// Concurrency: mu_a_ guards the map, mu_b_ guards the index; both
+// methods document exclusive acquisition.
+
+class Cache {
+ public:
+  void Refresh() {
+    const core::MutexLock hold_a(mu_a_);
+    const core::MutexLock hold_b(mu_b_);  // a -> b
+    ++generation_;
+  }
+
+  void Invalidate() {
+    const core::MutexLock hold_b(mu_b_);
+    const core::MutexLock hold_a(mu_a_);  // b -> a: inversion
+    ++generation_;
+  }
+
+ private:
+  core::Mutex mu_a_;
+  core::Mutex mu_b_;
+  int generation_ = 0;
+};
+
+}  // namespace censys::pipeline
+
+// expect: lock-order

@@ -1,0 +1,35 @@
+// Fixture: every method acquires the same lock pair in one global order
+// (a before b), including through a callee while a lock is held. The
+// acquisition graph is acyclic — must lint clean.
+#include "core/thread_safety.h"
+
+namespace censys::pipeline {
+
+// Concurrency: mu_a_ guards the map, mu_b_ guards the index; the global
+// acquisition order is mu_a_ before mu_b_.
+
+class Cache {
+ public:
+  void Refresh() {
+    const core::MutexLock hold_a(mu_a_);
+    const core::MutexLock hold_b(mu_b_);
+    ++generation_;
+  }
+
+  void Invalidate() {
+    const core::MutexLock hold_a(mu_a_);
+    TouchB();
+  }
+
+ private:
+  void TouchB() {
+    const core::MutexLock hold_b(mu_b_);
+    ++generation_;
+  }
+
+  core::Mutex mu_a_;
+  core::Mutex mu_b_;
+  int generation_ = 0;
+};
+
+}  // namespace censys::pipeline

@@ -1,0 +1,43 @@
+// Fixture: hash-order iteration in an order-sensitive layer (pipeline/).
+// Every loop below lets std::unordered_* layout escape into observable
+// order — each must fire `unordered-iter`.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace censys::pipeline {
+
+std::unordered_map<std::uint64_t, std::string> states;
+std::unordered_set<std::uint32_t> pending;
+
+std::vector<std::string> DumpStates() {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : states) {  // expect: unordered-iter
+    out.push_back(value);
+  }
+  return out;
+}
+
+std::uint64_t DrainPending(std::vector<std::uint32_t>* sink) {
+  std::uint64_t n = 0;
+  for (auto it = pending.begin(); it != pending.end(); ++it) {  // expect: unordered-iter
+    sink->push_back(*it);
+    ++n;
+  }
+  return n;
+}
+
+// A waiver with no justification does not silence the rule — the finding
+// fires with a hint to add one.
+std::vector<std::uint32_t> DumpPending() {
+  std::vector<std::uint32_t> out;
+  // censyslint:allow(unordered-iter)
+  for (std::uint32_t ip : pending) {  // expect: unordered-iter
+    out.push_back(ip);
+  }
+  return out;
+}
+
+}  // namespace censys::pipeline

@@ -1,0 +1,44 @@
+// Fixture: the sanctioned shapes for unordered containers in an
+// order-sensitive layer. Must lint clean.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace censys::pipeline {
+
+std::unordered_map<std::uint64_t, std::string> states;
+
+// Shape 1: collect-then-sort, with the collect loop waived and justified.
+std::vector<std::string> DumpStates() {
+  std::vector<std::pair<std::uint64_t, std::string>> keyed;
+  // censyslint:allow(unordered-iter): collected then sorted by key below
+  for (const auto& [key, value] : states) {
+    keyed.emplace_back(key, value);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::string> out;
+  for (const auto& [key, value] : keyed) out.push_back(value);
+  return out;
+}
+
+// Shape 2: a justified waiver on the line above a commutative fold.
+std::size_t TotalBytes() {
+  std::size_t total = 0;
+  // censyslint:allow(unordered-iter): commutative sum, order cannot escape
+  for (const auto& [key, value] : states) total += value.size();
+  return total;
+}
+
+// Ordered containers iterate freely.
+std::vector<std::uint64_t> SortedKeys(const std::vector<std::uint64_t>& in) {
+  std::vector<std::uint64_t> keys(in);
+  std::sort(keys.begin(), keys.end());
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t key : keys) out.push_back(key);
+  return out;
+}
+
+}  // namespace censys::pipeline

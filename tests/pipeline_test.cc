@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "engines/enrichment.h"
 #include "pipeline/entity.h"
 #include "pipeline/read_side.h"
 #include "pipeline/write_side.h"
@@ -17,13 +18,13 @@
 namespace censys::pipeline {
 namespace {
 
-interrogate::ServiceRecord HttpRecord(IPv4Address ip, Port port, Timestamp at,
+ServiceRecord HttpRecord(IPv4Address ip, Port port, Timestamp at,
                                       const std::string& title = "Login") {
-  interrogate::ServiceRecord r;
+  ServiceRecord r;
   r.key = {ip, port, Transport::kTcp};
   r.observed_at = at;
   r.protocol = proto::Protocol::kHttp;
-  r.detection = interrogate::DetectionMethod::kBatteryHandshake;
+  r.detection = DetectionMethod::kBatteryHandshake;
   r.handshake_validated = true;
   r.banner = "Server: nginx/1.25.3";
   r.software = {"nginx", "nginx", "1.25.3"};
@@ -225,7 +226,8 @@ class ReadSideTest : public ::testing::Test {
       : plan_(PlanConfig()), write_(journal_, bus_),
         fingerprints_(fingerprint::FingerprintEngine::BuiltIn(0)),
         cves_(fingerprint::CveDatabase::BuiltIn()),
-        read_(journal_, write_, plan_, &fingerprints_, &cves_) {}
+        enricher_(plan_, &fingerprints_, &cves_),
+        read_(journal_, write_, &enricher_) {}
 
   static simnet::UniverseConfig PlanConfig() {
     simnet::UniverseConfig cfg;
@@ -240,6 +242,7 @@ class ReadSideTest : public ::testing::Test {
   WriteSide write_;
   fingerprint::FingerprintEngine fingerprints_;
   fingerprint::CveDatabase cves_;
+  engines::ContextEnricher enricher_;
   ReadSide read_;
 };
 

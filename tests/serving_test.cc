@@ -15,6 +15,7 @@
 
 #include "core/fault.h"
 #include "core/strings.h"
+#include "engines/enrichment.h"
 #include "engines/world.h"
 #include "fingerprint/fingerprints.h"
 #include "fingerprint/vulns.h"
@@ -165,8 +166,9 @@ class CachedReadTest : public ::testing::Test {
       : plan_(PlanConfig()), write_(journal_, bus_),
         fingerprints_(fingerprint::FingerprintEngine::BuiltIn(0)),
         cves_(fingerprint::CveDatabase::BuiltIn()),
-        cached_(journal_, write_, plan_, &fingerprints_, &cves_),
-        uncached_(journal_, write_, plan_, &fingerprints_, &cves_) {
+        enricher_(plan_, &fingerprints_, &cves_),
+        cached_(journal_, write_, &enricher_),
+        uncached_(journal_, write_, &enricher_) {
     cached_.EnableCache();
   }
 
@@ -183,6 +185,7 @@ class CachedReadTest : public ::testing::Test {
   pipeline::WriteSide write_;
   fingerprint::FingerprintEngine fingerprints_;
   fingerprint::CveDatabase cves_;
+  engines::ContextEnricher enricher_;
   pipeline::ReadSide cached_;
   pipeline::ReadSide uncached_;
 };
@@ -255,7 +258,8 @@ TEST(ServingStressTest, ConcurrentReadersNeverObserveTornViews) {
   plan_cfg.universe_size = 1u << 16;
   simnet::BlockPlan plan(plan_cfg);
   pipeline::WriteSide write(journal, bus);
-  pipeline::ReadSide read(journal, write, plan);
+  const engines::ContextEnricher enricher(plan, nullptr, nullptr);
+  pipeline::ReadSide read(journal, write, &enricher);
   read.EnableCache();
 
   constexpr std::uint32_t kHosts = 8;
@@ -339,7 +343,8 @@ class FrontendTest : public ::testing::Test {
  protected:
   FrontendTest()
       : plan_(PlanConfig()), write_(journal_, bus_),
-        read_(journal_, write_, plan_) {
+        enricher_(plan_, nullptr, nullptr),
+        read_(journal_, write_, &enricher_) {
     read_.EnableCache();
     for (std::uint32_t h = 0; h < kHosts; ++h) {
       const IPv4Address ip(h + 1);
@@ -371,6 +376,7 @@ class FrontendTest : public ::testing::Test {
   pipeline::EventBus bus_;
   simnet::BlockPlan plan_;
   pipeline::WriteSide write_;
+  engines::ContextEnricher enricher_;
   pipeline::ReadSide read_;
   search::SearchIndex index_;
   search::AnalyticsStore analytics_;
@@ -599,7 +605,6 @@ TEST(ServingWithTicksTest, ServingTrafficDoesNotPerturbTheJournal) {
   cfg.universe.ics_scale = 128;
   cfg.with_alternatives = false;
   cfg.censys.threads = 2;
-  cfg.censys.serving_threads = 2;
 
   auto quiet_run = [&] {
     engines::World world(cfg);
@@ -613,6 +618,12 @@ TEST(ServingWithTicksTest, ServingTrafficDoesNotPerturbTheJournal) {
 
   engines::World world(cfg);
   world.Bootstrap();
+  // The frontend is wired from above the engine (layer DAG: serving sits
+  // on top of engines), against the engine's read side and indexes.
+  ServingFrontend frontend(world.censys().read_side(),
+                           world.censys().search_index(),
+                           world.censys().analytics(),
+                           ServingFrontend::Options{2});
 
   std::vector<IPv4Address> hosts;
   for (std::uint32_t ip = 0; ip < (1u << 16); ip += 97) {
@@ -626,7 +637,7 @@ TEST(ServingWithTicksTest, ServingTrafficDoesNotPerturbTheJournal) {
     while (!done.load(std::memory_order_relaxed)) {
       const auto batch = ServingFrontend::MixedWorkload(
           128, hosts, {"nginx", "ssh"}, {"HTTP", "SSH"}, asof, rng);
-      world.censys().serving().Run(batch);
+      frontend.Run(batch);
       batches.fetch_add(1, std::memory_order_relaxed);
     }
   });
@@ -635,7 +646,7 @@ TEST(ServingWithTicksTest, ServingTrafficDoesNotPerturbTheJournal) {
   traffic.join();
 
   EXPECT_GT(batches.load(), 0u);
-  EXPECT_GT(world.censys().serving().queries_served(), 0u);
+  EXPECT_GT(frontend.queries_served(), 0u);
   EXPECT_EQ(JournalDigest(world.censys()), std::get<0>(baseline));
   EXPECT_EQ(world.censys().journal().RowCount(), std::get<1>(baseline));
   EXPECT_EQ(world.censys().journal().event_count(), std::get<2>(baseline));

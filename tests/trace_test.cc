@@ -18,6 +18,7 @@
 #include "core/strings.h"
 #include "core/trace.h"
 #include "engines/world.h"
+#include "serving/frontend.h"
 #include "test_tmpdir.h"
 
 namespace censys {
@@ -292,12 +293,15 @@ TEST(TraceSmokeTest, TwoHundredTickRunProducesChromeTrace) {
   cfg.universe.target_services = 500;
   cfg.with_alternatives = false;
   cfg.censys.threads = 2;
-  cfg.censys.serving_threads = 2;
   cfg.tick = Duration::Hours(1);
 
   trace::SetEnabled(true);
   engines::World world(cfg);
   world.Bootstrap();
+  serving::ServingFrontend frontend(world.censys().read_side(),
+                                    world.censys().search_index(),
+                                    world.censys().analytics(),
+                                    serving::ServingFrontend::Options{2});
   // 200 ticks at 1 h per tick, with serving traffic sprinkled in so the
   // serving and pipeline categories appear in the dump.
   Rng rng(42);
@@ -310,7 +314,7 @@ TEST(TraceSmokeTest, TwoHundredTickRunProducesChromeTrace) {
     world.RunForDays(20.0 / 24.0);  // 20 ticks
     const auto queries = serving::ServingFrontend::MixedWorkload(
         64, hosts, {"service.protocol=http"}, {"http"}, world.now(), rng);
-    world.censys().serving().Run(queries);
+    frontend.Run(queries);
   }
   trace::SetEnabled(false);
 

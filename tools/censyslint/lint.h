@@ -1,0 +1,242 @@
+// censyslint core: the repo's determinism, concurrency-contract, and
+// architecture linter, as a library.
+//
+// A token/scan-level analyzer (no libclang — works on the GCC-only
+// container) with two kinds of passes:
+//
+//   per-line rules   regex rules over comment/string-stripped lines
+//                    (raw-mutex, wall-clock, raw-random, ... see kLineRules
+//                    in lint.cc and docs/LINTING.md)
+//   whole-program    cross-file passes over the full scanned set:
+//     layering         #include graph checked against the declared layer
+//                      DAG in tools/censyslint/layers.txt
+//     lock-order       global lock-acquisition-order graph built from
+//                      core::MutexLock / core::ReaderLock sites, failed on
+//                      cycles (potential deadlock inversions)
+//     unordered-iter   range-for / iterator loops over std::unordered_*
+//                      containers in order-sensitive code (pipeline,
+//                      storage, engines, search), where iteration order
+//                      could leak into journals/digests
+//
+// main.cc wraps this library as the CLI; tests/censyslint_test.cc unit
+// tests the graph builders and parsers directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace censyslint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  // Stable identity for baseline matching: path + rule + a symbol-level key
+  // (included dir, lock-cycle signature, container name, ...) instead of a
+  // line number, so baselines survive unrelated edits.
+  std::string key;
+  bool suppressed = false;  // matched a baseline entry
+};
+
+// One scanned file, pre-stripped. `code` replaces comments and string
+// literals with spaces (newlines preserved) so token scans never match
+// inside them; `raw_lines` keeps the original text for waiver checks.
+struct SourceFile {
+  std::string path;  // normalized, forward slashes
+  bool header = false;
+  std::string raw;
+  std::string code;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+};
+
+// --- text utilities -----------------------------------------------------------
+
+std::string StripCommentsAndStrings(const std::string& in);
+std::vector<std::string> SplitLines(const std::string& text);
+
+// Loads and pre-strips one file. Returns nullopt when unreadable.
+std::optional<SourceFile> LoadSource(const std::filesystem::path& file);
+
+// Collects .h/.hpp/.cc/.cpp files under root (skipping build*/.git),
+// sorted so runs are deterministic.
+void CollectFiles(const std::filesystem::path& root,
+                  std::vector<std::filesystem::path>* files);
+
+// --- waivers ------------------------------------------------------------------
+
+// `// censyslint:allow(rule-a,rule-b): justification` waives the listed
+// rules on that line. The justification (after the colon) is optional for
+// per-line rules and required for unordered-iter.
+struct Waiver {
+  bool present = false;
+  std::string justification;
+};
+Waiver FindWaiver(std::string_view raw_line, std::string_view rule);
+
+// Waiver for the statement at 0-based `idx`: on the line itself, or on a
+// comment-only line (block) immediately above it — the `NOLINTNEXTLINE`
+// shape, for waivers whose justification deserves its own line.
+Waiver FindWaiverNear(const std::vector<std::string>& raw_lines,
+                      std::size_t idx, std::string_view rule);
+
+// --- layering pass ------------------------------------------------------------
+
+// Parsed tools/censyslint/layers.txt: `dir: dep dep ...` lines declaring
+// which layers each layer may include (itself is always allowed).
+struct LayerGraph {
+  std::map<std::string, std::set<std::string>> allowed;
+  std::vector<std::string> errors;  // parse diagnostics
+
+  bool Declares(std::string_view dir) const {
+    return allowed.find(std::string(dir)) != allowed.end();
+  }
+};
+
+LayerGraph ParseLayers(const std::string& text);
+
+// First cycle found in the declared graph (empty when it is a DAG). A
+// returned cycle lists the layers in order, first == last.
+std::vector<std::string> FindLayerCycle(const LayerGraph& graph);
+
+// Layer of a source path: the path segment following the last "src"
+// component ("/repo/src/pipeline/read_side.h" -> "pipeline"); empty when
+// the path has no src/<dir>/ shape.
+std::string LayerOf(std::string_view path);
+
+void RunLayeringPass(const std::vector<SourceFile>& files,
+                     const LayerGraph& graph, const std::string& layers_path,
+                     std::vector<Finding>* findings);
+
+// --- lock-order pass ----------------------------------------------------------
+
+// One scanned function body.
+struct FunctionInfo {
+  std::string class_name;  // enclosing class ("" for free functions)
+  std::string name;        // unqualified
+  std::string file;
+  std::size_t line = 0;
+
+  struct Acquisition {
+    std::string lock;  // canonical id, e.g. "WriteSide::mu_"
+    std::size_t line = 0;
+    int depth = 0;  // brace depth at acquisition, relative to body
+    bool reader = false;
+  };
+  std::vector<Acquisition> acquisitions;
+
+  // Nested direct acquisitions observed in this body: `from` was still in
+  // scope when `to` was acquired.
+  struct NestedPair {
+    std::string from;
+    std::string to;
+    std::size_t line = 0;
+  };
+  std::vector<NestedPair> nested;
+
+  struct Call {
+    std::string callee;          // method name only
+    bool member_syntax = false;  // obj.F() / obj->F() vs bare F()
+    std::size_t line = 0;
+    std::vector<std::string> held;  // locks in scope at the call site
+  };
+  std::vector<Call> calls;
+};
+
+// Token-level extraction of function bodies, lock acquisitions, and call
+// sites from one stripped file.
+void ScanFunctions(const SourceFile& file, std::vector<FunctionInfo>* out);
+
+// One directed edge in the global lock-order graph: `from` was held when
+// `to` was acquired (directly or through a call chain).
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;  // provenance of the acquisition/call creating it
+  std::size_t line = 0;
+  std::string via;  // call chain note, empty for direct nesting
+};
+
+// Builds the global edge set: direct nested acquisitions plus edges through
+// calls, using a fixpoint over method names (member-syntax calls match any
+// class's method of that name; bare calls match same-class/file methods).
+std::vector<LockEdge> BuildLockOrderGraph(
+    const std::vector<FunctionInfo>& functions);
+
+// First lock cycle (first == last) in the edge set; empty when acyclic.
+std::vector<std::string> FindLockCycle(const std::vector<LockEdge>& edges);
+
+void RunLockOrderPass(const std::vector<SourceFile>& files,
+                      std::vector<Finding>* findings);
+
+// --- unordered-iter (determinism-ordering) pass -------------------------------
+
+// Names of variables/members declared anywhere in the scanned set with a
+// std::unordered_{map,set,multimap,multiset} type.
+std::set<std::string> CollectUnorderedNames(
+    const std::vector<SourceFile>& files);
+
+// True when `path` is inside one of the order-sensitive trees
+// (src/{pipeline,storage,engines,search}/) whose iteration order can feed
+// journal bytes, digests, or served output.
+bool InOrderSensitiveDir(std::string_view path);
+
+void RunUnorderedIterPass(const std::vector<SourceFile>& files,
+                          std::vector<Finding>* findings);
+
+// --- per-line rules -----------------------------------------------------------
+
+void RunLineRules(const SourceFile& file, std::vector<Finding>* findings);
+
+// --- baseline -----------------------------------------------------------------
+
+// Baseline file: `rule|path-suffix|key` lines (see baseline.txt header).
+// Findings matching an entry are marked suppressed instead of failing.
+struct Baseline {
+  struct Entry {
+    std::string rule;
+    std::string path_suffix;
+    std::string key;
+  };
+  std::vector<Entry> entries;
+};
+Baseline ParseBaseline(const std::string& text);
+void ApplyBaseline(const Baseline& baseline, std::vector<Finding>* findings);
+
+// --- orchestration ------------------------------------------------------------
+
+struct PassTiming {
+  std::string pass;
+  double micros = 0;
+  std::size_t findings = 0;
+};
+
+struct RunOptions {
+  bool line_rules = true;
+  bool layering = true;
+  bool lock_order = true;
+  bool unordered_iter = true;
+  std::string layers_path;  // empty: skip layering
+};
+
+struct RunResult {
+  std::vector<Finding> findings;
+  std::vector<PassTiming> timings;
+  std::size_t file_count = 0;
+};
+
+RunResult RunAllPasses(const std::vector<std::filesystem::path>& roots,
+                       const RunOptions& options);
+
+// SARIF 2.1.0-shaped report for --json.
+std::string ToSarif(const RunResult& result);
+
+}  // namespace censyslint

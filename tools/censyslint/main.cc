@@ -1,53 +1,41 @@
-// censyslint: the repo's determinism and concurrency-contract linter.
+// censyslint CLI: the repo's determinism, concurrency-contract, and
+// architecture linter. All analysis lives in lint.{h,cc} (unit-tested by
+// tests/censyslint_test.cc); this file is argument parsing, reporting, and
+// the fixture self-test.
 //
-// A token/regex scanner (no libclang) that enforces the invariants the
-// capability annotations in core/thread_safety.h and the simulation's
-// determinism story depend on:
+// Passes (see docs/LINTING.md for the full rule catalogue):
 //
-//   raw-mutex                 no std::mutex / std::shared_mutex /
-//                             std::lock_guard / std::unique_lock /
-//                             std::shared_lock / std::scoped_lock outside
-//                             core/thread_safety.h — every lock must be a
-//                             capability-annotated core wrapper
-//   wall-clock                no std::chrono::{steady,system,
-//                             high_resolution}_clock reads outside
-//                             core/clock.h (WallTimer is the one sanctioned
-//                             real-time source)
-//   raw-random                no std::random_device / rand() / srand() /
-//                             std::mt19937 outside core/rng.* — simulation
-//                             randomness flows through the seeded Rng
-//   thread-sleep              no std::this_thread::sleep_for / sleep_until
-//                             under src/ — simulated time never waits on
-//                             wall time
-//   using-namespace-header    no `using namespace` at file scope in headers
-//   wall-timer                no direct WallTimer construction under src/
-//                             outside core/clock.*, core/metrics.*, and
-//                             core/trace.* — stage timing flows through
-//                             metrics::ScopedTimer or TRACE_SPAN so every
-//                             measurement is registered and exportable
-//   raw-file-io               no direct file I/O (fstream, fopen, POSIX
-//                             open/write/fsync/...) under src/ outside
-//                             src/storage/ — durability and crash semantics
-//                             live behind the WAL, and only the storage
-//                             layer touches bytes on disk
-//   raw-condvar               no std::condition_variable waits or notifies
-//                             under src/engines/ or src/interrogate/ — the
-//                             tick pipeline's stage handoff is lock-free
-//                             (core::Ring / core::SlotBoard) so the commit
-//                             thread helps execute instead of sleeping
-//   concurrency-contract      every class/struct holding a core::Mutex or
-//                             core::SharedMutex member must carry a
-//                             "// Concurrency:" contract comment
+//   line-rules       per-line regex rules over comment/string-stripped text
+//                    (raw-mutex, wall-clock, raw-random, thread-sleep,
+//                    wall-timer, using-namespace-header, raw-file-io,
+//                    raw-condvar, concurrency-contract)
+//   layering         the #include graph checked against the declared layer
+//                    DAG (--layers=tools/censyslint/layers.txt); upward or
+//                    undeclared includes fail
+//   lock-order       global lock-acquisition-order graph built from
+//                    core::MutexLock / core::ReaderLock sites across all
+//                    translation units; cycles (deadlock inversions) fail
+//   unordered-iter   range-for / iterator loops over std::unordered_*
+//                    containers in order-sensitive directories (pipeline,
+//                    storage, engines, search) fail unless waived with a
+//                    justification
 //
-// Findings can be waived per line with `// censyslint:allow(<rule-id>)`.
-// `--self-test <dir>` checks fixture files against their embedded
-// `// expect: <rule-id>` comments instead of reporting findings.
+// Waivers: `// censyslint:allow(rule-a,rule-b): justification` on the
+// offending line. unordered-iter requires the justification text; other
+// rules accept a bare allow.
 //
 // Usage:
-//   censyslint [--self-test] <file-or-dir>...
+//   censyslint [options] <file-or-dir>...
+//     --layers=<path>     enable the layering pass against this DAG file
+//     --baseline=<path>   suppress findings listed in this baseline file
+//     --passes=<a,b,...>  run only the named passes (line-rules, layering,
+//                         lock-order, unordered-iter)
+//     --json[=<path>]     write a SARIF 2.1.0 report (stdout, or <path>)
+//     --verbose           per-pass timing and finding counts
+//     --self-test <dir>   fixture mode (see tests/lint_fixtures/README.md)
 //
-// Exit status: 0 when clean (or self-test passes), 1 on findings (or
-// self-test mismatches), 2 on usage/IO errors.
+// Exit status: 0 clean (or self-test passes), 1 unsuppressed findings (or
+// self-test mismatches), 2 usage/IO errors.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -58,421 +46,291 @@
 #include <string_view>
 #include <vector>
 
+#include "lint.h"
+
 namespace {
 
 namespace fs = std::filesystem;
+using censyslint::Finding;
+using censyslint::RunOptions;
+using censyslint::RunResult;
 
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-bool EndsWith(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-// Normalizes to forward slashes so suffix allowlists work on any platform.
-std::string NormalizePath(const fs::path& p) {
-  std::string s = p.generic_string();
-  return s;
-}
-
-bool IsSourceFile(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
-}
-
-bool IsHeader(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp";
-}
-
-// Replaces comments and string/char literals with spaces (preserving
-// newlines and line lengths where convenient) so rule regexes never match
-// inside them. Line comments are preserved separately by the caller for
-// waiver and contract-comment checks.
-std::string StripCommentsAndStrings(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string raw_delim;  // for raw strings: the )delim" terminator
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"') {
-          // Raw string literal: find the delimiter up to the '('.
-          std::size_t paren = in.find('(', i + 2);
-          if (paren == std::string::npos) {
-            out += c;
-            break;
-          }
-          raw_delim = ")" + in.substr(i + 2, paren - (i + 2)) + "\"";
-          state = State::kRawString;
-          out += ' ';
-          i = paren;  // swallow through the opening paren
-        } else if (c == '"') {
-          state = State::kString;
-          out += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          out += ' ';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kRawString:
-        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
-          state = State::kCode;
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) out += ' ';
-          i += raw_delim.size() - 1;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string line;
-  std::istringstream stream(text);
-  while (std::getline(stream, line)) lines.push_back(line);
-  return lines;
-}
-
-struct LineRule {
-  std::string id;
-  std::regex pattern;
-  std::string message;
-  // Path suffixes where the rule does not apply.
-  std::vector<std::string> allowed_suffixes;
-  bool headers_only = false;
-  // Restrict to paths containing any of these substrings (empty =
-  // everywhere given).
-  std::vector<std::string> only_under_any;
-  // Paths containing any of these substrings are exempt (directory-level
-  // allowlist, e.g. all of src/storage/).
-  std::vector<std::string> allowed_contains;
-};
-
-const std::vector<LineRule>& Rules() {
-  static const std::vector<LineRule> kRules = {
-      {"raw-mutex",
-       std::regex(R"(std\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock)\b)"),
-       "raw standard-library lock; use the capability-annotated wrappers in "
-       "core/thread_safety.h",
-       {"core/thread_safety.h"},
-       false,
-       {}},
-      {"wall-clock",
-       std::regex(R"(std\s*::\s*chrono\s*::\s*(steady_clock|system_clock|high_resolution_clock)\b)"),
-       "wall-clock read; real time flows only through WallTimer in "
-       "core/clock.h",
-       {"core/clock.h"},
-       false,
-       {}},
-      {"raw-random",
-       std::regex(R"(std\s*::\s*(random_device|mt19937|mt19937_64|default_random_engine)\b|(^|[^:\w])s?rand\s*\()"),
-       "nondeterministic randomness; use the seeded core Rng (core/rng.h)",
-       {"core/rng.h", "core/rng.cc"},
-       false,
-       {}},
-      {"thread-sleep",
-       std::regex(R"(std\s*::\s*this_thread\s*::\s*sleep_(for|until)\b|\bthis_thread\s*::\s*sleep_(for|until)\b)"),
-       "sleeping on wall time inside the simulator; simulated time advances "
-       "via SimClock",
-       {},
-       false,
-       {"src/"}},
-      {"wall-timer",
-       std::regex(R"(\bWallTimer\b)"),
-       "direct WallTimer use for stage timing; time spans through "
-       "metrics::ScopedTimer or TRACE_SPAN (core/trace.h) so the "
-       "measurement is registered and exportable",
-       {"core/clock.h", "core/clock.cc", "core/metrics.h", "core/metrics.cc",
-        "core/trace.h", "core/trace.cc"},
-       false,
-       {"src/"}},
-      {"using-namespace-header",
-       std::regex(R"(^\s*using\s+namespace\s+[A-Za-z_])"),
-       "`using namespace` at file scope in a header leaks into every "
-       "includer",
-       {},
-       true,
-       {},
-       {}},
-      {"raw-file-io",
-       std::regex(
-           R"(std\s*::\s*(o|i)?fstream\b|std\s*::\s*filebuf\b|\b(fopen|freopen|fdopen|tmpfile)\s*\(|(^|[^\w:])::\s*(open|creat|write|pwrite|fsync|fdatasync|ftruncate)\s*\()"),
-       "direct file I/O outside src/storage/; bytes on disk flow through "
-       "the WAL-backed storage layer so crash consistency stays provable",
-       {},
-       false,
-       {"src/"},
-       {"src/storage/"}},
-      {"raw-condvar",
-       std::regex(
-           R"(std\s*::\s*condition_variable(_any)?\b|\bnotify_(one|all)\s*\(|\.\s*wait(_for|_until)?\s*\()"),
-       "blocking condvar handoff in the tick pipeline; stages stream "
-       "through the lock-free core::Ring / core::SlotBoard (core/ring.h) "
-       "so the commit thread can help instead of sleeping",
-       {},
-       false,
-       {"src/engines/", "src/interrogate/"},
-       {}},
-  };
-  return kRules;
-}
-
-bool PathAllowed(const std::string& path,
-                 const std::vector<std::string>& suffixes) {
-  return std::any_of(suffixes.begin(), suffixes.end(),
-                     [&](const std::string& s) { return EndsWith(path, s); });
-}
-
-bool HasWaiver(const std::string& raw_line, const std::string& rule) {
-  const std::string tag = "censyslint:allow(" + rule + ")";
-  return raw_line.find(tag) != std::string::npos;
-}
-
-// The concurrency-contract rule: a file whose stripped text declares a
-// core::Mutex / core::SharedMutex member must contain a "Concurrency:"
-// comment somewhere (class-level contract). File granularity keeps the
-// scanner honest without parsing class extents.
-void CheckConcurrencyContract(const std::string& path,
-                              const std::vector<std::string>& raw_lines,
-                              const std::vector<std::string>& code_lines,
-                              std::vector<Finding>* findings) {
-  static const std::regex kLockMember(
-      R"(\bcore\s*::\s*(Mutex|SharedMutex)\s+\w+\s*;)");
-  std::size_t first_lock_line = 0;
-  for (std::size_t i = 0; i < code_lines.size(); ++i) {
-    if (std::regex_search(code_lines[i], kLockMember)) {
-      first_lock_line = i + 1;
-      break;
-    }
-  }
-  if (first_lock_line == 0) return;
-  for (const std::string& line : raw_lines) {
-    if (line.find("Concurrency:") != std::string::npos) return;
-  }
-  if (HasWaiver(raw_lines[first_lock_line - 1], "concurrency-contract")) {
-    return;
-  }
-  findings->push_back(
-      {path, first_lock_line, "concurrency-contract",
-       "class holds a core lock but the file has no \"// Concurrency:\" "
-       "contract comment"});
-}
-
-void LintFile(const fs::path& file, std::vector<Finding>* findings) {
-  std::ifstream in(file, std::ios::binary);
+std::string ReadAll(const fs::path& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
-    findings->push_back({NormalizePath(file), 0, "io", "cannot read file"});
-    return;
+    *ok = false;
+    return "";
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::string raw = buffer.str();
-  const std::string code = StripCommentsAndStrings(raw);
-  const std::vector<std::string> raw_lines = SplitLines(raw);
-  const std::vector<std::string> code_lines = SplitLines(code);
-  const std::string path = NormalizePath(file);
-  const bool header = IsHeader(file);
-
-  for (const LineRule& rule : Rules()) {
-    if (rule.headers_only && !header) continue;
-    if (!rule.only_under_any.empty() &&
-        std::none_of(rule.only_under_any.begin(), rule.only_under_any.end(),
-                     [&](const std::string& s) {
-                       return path.find(s) != std::string::npos;
-                     })) {
-      continue;
-    }
-    if (PathAllowed(path, rule.allowed_suffixes)) continue;
-    if (std::any_of(rule.allowed_contains.begin(), rule.allowed_contains.end(),
-                    [&](const std::string& s) {
-                      return path.find(s) != std::string::npos;
-                    })) {
-      continue;
-    }
-    for (std::size_t i = 0; i < code_lines.size(); ++i) {
-      if (!std::regex_search(code_lines[i], rule.pattern)) continue;
-      if (i < raw_lines.size() && HasWaiver(raw_lines[i], rule.id)) continue;
-      findings->push_back({path, i + 1, rule.id, rule.message});
-    }
-  }
-  CheckConcurrencyContract(path, raw_lines, code_lines, findings);
+  *ok = true;
+  return buffer.str();
 }
 
-void CollectFiles(const fs::path& root, std::vector<fs::path>* files) {
-  if (fs::is_regular_file(root)) {
-    if (IsSourceFile(root)) files->push_back(root);
-    return;
+// Runs the per-file fixture check: the file's `// expect: <rule-id>`
+// comments (one per expected finding, any order) must match the rules the
+// linter actually fires on it. Whole-program passes run on the single file
+// so per-file fixtures can cover lock-order and unordered-iter too; the
+// layering pass needs a DAG and is exercised by arch_* fixtures instead.
+int SelfTestFile(const fs::path& file) {
+  bool ok = false;
+  const std::string raw = ReadAll(file, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "self-test: cannot read %s\n", file.c_str());
+    return 1;
   }
-  if (!fs::is_directory(root)) return;
-  for (auto it = fs::recursive_directory_iterator(root);
-       it != fs::recursive_directory_iterator(); ++it) {
-    const fs::path& p = it->path();
-    const std::string name = p.filename().string();
-    if (it->is_directory() &&
-        (name.rfind("build", 0) == 0 || name == ".git")) {
-      it.disable_recursion_pending();
-      continue;
-    }
-    if (it->is_regular_file() && IsSourceFile(p)) files->push_back(p);
+  static const std::regex kExpect(R"(//\s*expect:\s*([a-z-]+))");
+  std::vector<std::string> expected;
+  for (std::sregex_iterator it(raw.begin(), raw.end(), kExpect), end;
+       it != end; ++it) {
+    expected.push_back((*it)[1].str());
   }
-  std::sort(files->begin(), files->end());
+  std::sort(expected.begin(), expected.end());
+
+  RunOptions options;
+  options.layering = false;
+  const RunResult result = censyslint::RunAllPasses({file}, options);
+  std::vector<std::string> got;
+  got.reserve(result.findings.size());
+  for (const Finding& f : result.findings) got.push_back(f.rule);
+  std::sort(got.begin(), got.end());
+
+  if (got == expected) return 0;
+  std::fprintf(stderr, "self-test FAIL %s\n", file.generic_string().c_str());
+  std::fprintf(stderr, "  expected:");
+  for (const auto& r : expected) std::fprintf(stderr, " %s", r.c_str());
+  std::fprintf(stderr, "\n  got:     ");
+  for (const auto& r : got) std::fprintf(stderr, " %s", r.c_str());
+  std::fprintf(stderr, "\n");
+  return 1;
 }
 
-// --self-test: every fixture file declares the rules it must fire with
-// `// expect: <rule-id>` comments (one per line, any order); clean twins
-// declare none and must produce zero findings.
+// Runs one whole-program fixture case: a directory named arch_* holding a
+// src/ tree, an optional layers.txt, and an expect.txt listing the rule ids
+// the case must fire (one per line, any order, # comments allowed). Line
+// rules are disabled so arch fixtures stay focused on the cross-file
+// passes.
+int SelfTestArchCase(const fs::path& dir) {
+  bool ok = false;
+  const std::string expect_text = ReadAll(dir / "expect.txt", &ok);
+  if (!ok) {
+    std::fprintf(stderr, "self-test: %s has no expect.txt\n",
+                 dir.generic_string().c_str());
+    return 1;
+  }
+  std::vector<std::string> expected;
+  for (const std::string& raw : censyslint::SplitLines(expect_text)) {
+    std::string line = raw;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream stream(line);
+    std::string rule;
+    while (stream >> rule) expected.push_back(rule);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  RunOptions options;
+  options.line_rules = false;
+  const fs::path layers = dir / "layers.txt";
+  if (fs::exists(layers)) {
+    options.layers_path = layers.generic_string();
+  } else {
+    options.layering = false;
+  }
+  const fs::path src = dir / "src";
+  const RunResult result = censyslint::RunAllPasses(
+      {fs::exists(src) ? src : dir}, options);
+  std::vector<std::string> got;
+  got.reserve(result.findings.size());
+  for (const Finding& f : result.findings) got.push_back(f.rule);
+  std::sort(got.begin(), got.end());
+
+  if (got == expected) return 0;
+  std::fprintf(stderr, "self-test FAIL %s\n", dir.generic_string().c_str());
+  std::fprintf(stderr, "  expected:");
+  for (const auto& r : expected) std::fprintf(stderr, " %s", r.c_str());
+  std::fprintf(stderr, "\n  got:     ");
+  for (const auto& r : got) std::fprintf(stderr, " %s", r.c_str());
+  std::fprintf(stderr, "\n");
+  for (const Finding& f : result.findings) {
+    std::fprintf(stderr, "    %s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  return 1;
+}
+
 int SelfTest(const std::vector<fs::path>& roots) {
   std::vector<fs::path> files;
-  for (const fs::path& root : roots) CollectFiles(root, &files);
-  if (files.empty()) {
+  std::vector<fs::path> arch_cases;
+  for (const fs::path& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::directory_iterator(root)) {
+        if (entry.is_directory() &&
+            entry.path().filename().string().rfind("arch_", 0) == 0) {
+          arch_cases.push_back(entry.path());
+          continue;
+        }
+        censyslint::CollectFiles(entry.path(), &files);
+      }
+    } else {
+      censyslint::CollectFiles(root, &files);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::sort(arch_cases.begin(), arch_cases.end());
+  if (files.empty() && arch_cases.empty()) {
     std::fprintf(stderr, "censyslint --self-test: no fixture files found\n");
     return 2;
   }
-  static const std::regex kExpect(R"(//\s*expect:\s*([a-z-]+))");
   int failures = 0;
-  for (const fs::path& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string raw = buffer.str();
+  for (const fs::path& file : files) failures += SelfTestFile(file);
+  for (const fs::path& dir : arch_cases) failures += SelfTestArchCase(dir);
+  std::printf("censyslint self-test: %zu fixture(s), %zu arch case(s), %d "
+              "failure(s)\n",
+              files.size(), arch_cases.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
 
-    std::vector<std::string> expected;
-    for (std::sregex_iterator it(raw.begin(), raw.end(), kExpect), end;
-         it != end; ++it) {
-      expected.push_back((*it)[1].str());
-    }
-    std::sort(expected.begin(), expected.end());
-
-    std::vector<Finding> findings;
-    LintFile(file, &findings);
-    std::vector<std::string> got;
-    got.reserve(findings.size());
-    for (const Finding& f : findings) got.push_back(f.rule);
-    std::sort(got.begin(), got.end());
-
-    if (got != expected) {
-      ++failures;
-      std::fprintf(stderr, "self-test FAIL %s\n",
-                   NormalizePath(file).c_str());
-      std::fprintf(stderr, "  expected:");
-      for (const auto& r : expected) std::fprintf(stderr, " %s", r.c_str());
-      std::fprintf(stderr, "\n  got:     ");
-      for (const auto& r : got) std::fprintf(stderr, " %s", r.c_str());
-      std::fprintf(stderr, "\n");
+bool ParsePasses(const std::string& list, RunOptions* options) {
+  options->line_rules = false;
+  options->layering = false;
+  options->lock_order = false;
+  options->unordered_iter = false;
+  std::istringstream stream(list);
+  std::string pass;
+  while (std::getline(stream, pass, ',')) {
+    if (pass == "line-rules") {
+      options->line_rules = true;
+    } else if (pass == "layering") {
+      options->layering = true;
+    } else if (pass == "lock-order") {
+      options->lock_order = true;
+    } else if (pass == "unordered-iter") {
+      options->unordered_iter = true;
+    } else {
+      std::fprintf(stderr, "censyslint: unknown pass `%s`\n", pass.c_str());
+      return false;
     }
   }
-  std::printf("censyslint self-test: %zu fixture(s), %d failure(s)\n",
-              files.size(), failures);
-  return failures == 0 ? 0 : 1;
+  return true;
+}
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: censyslint [--layers=<path>] [--baseline=<path>]\n"
+               "                  [--passes=<a,b,...>] [--json[=<path>]]\n"
+               "                  [--verbose] [--self-test] <file-or-dir>...\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool self_test = false;
+  bool verbose = false;
+  bool json = false;
+  std::string json_path;
+  std::string baseline_path;
+  RunOptions options;
   std::vector<fs::path> roots;
+
   for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
+    const std::string arg = argv[i];
+    auto value_of = [&](std::string_view flag) {
+      return arg.substr(flag.size());
+    };
     if (arg == "--self-test") {
       self_test = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = value_of("--json=");
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      options.layers_path = value_of("--layers=");
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = value_of("--baseline=");
+    } else if (arg.rfind("--passes=", 0) == 0) {
+      if (!ParsePasses(value_of("--passes="), &options)) return 2;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: censyslint [--self-test] <file-or-dir>...\n");
+      PrintUsage(stdout);
       return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "censyslint: unknown option %s\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
     } else {
       roots.emplace_back(arg);
     }
   }
   if (roots.empty()) {
-    std::fprintf(stderr, "usage: censyslint [--self-test] <file-or-dir>...\n");
+    PrintUsage(stderr);
     return 2;
   }
   if (self_test) return SelfTest(roots);
 
-  std::vector<fs::path> files;
   for (const fs::path& root : roots) {
     if (!fs::exists(root)) {
       std::fprintf(stderr, "censyslint: no such path: %s\n",
-                   NormalizePath(root).c_str());
+                   root.generic_string().c_str());
       return 2;
     }
-    CollectFiles(root, &files);
   }
-  std::vector<Finding> findings;
-  for (const fs::path& file : files) LintFile(file, &findings);
-  for (const Finding& f : findings) {
+  if (options.layering && !options.layers_path.empty() &&
+      !fs::exists(options.layers_path)) {
+    std::fprintf(stderr, "censyslint: no such layers file: %s\n",
+                 options.layers_path.c_str());
+    return 2;
+  }
+
+  RunResult result = censyslint::RunAllPasses(roots, options);
+  if (!baseline_path.empty()) {
+    bool ok = false;
+    const std::string text = ReadAll(baseline_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "censyslint: cannot read baseline: %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    censyslint::ApplyBaseline(censyslint::ParseBaseline(text),
+                              &result.findings);
+  }
+
+  std::size_t active = 0;
+  std::size_t suppressed = 0;
+  for (const Finding& f : result.findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    ++active;
     std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());
   }
-  std::printf("censyslint: %zu file(s), %zu finding(s)\n", files.size(),
-              findings.size());
-  return findings.empty() ? 0 : 1;
+
+  if (json) {
+    const std::string sarif = censyslint::ToSarif(result);
+    if (json_path.empty()) {
+      std::fwrite(sarif.data(), 1, sarif.size(), stdout);
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "censyslint: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+      }
+      out << sarif;
+    }
+  }
+
+  if (verbose) {
+    for (const censyslint::PassTiming& t : result.timings) {
+      std::fprintf(stderr, "censyslint: pass %-14s %8.1f ms  %zu finding(s)\n",
+                   t.pass.c_str(), t.micros / 1000.0, t.findings);
+    }
+  }
+  std::printf("censyslint: %zu file(s), %zu finding(s), %zu suppressed\n",
+              result.file_count, active, suppressed);
+  return active == 0 ? 0 : 1;
 }

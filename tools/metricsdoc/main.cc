@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "engines/world.h"
+#include "serving/frontend.h"
 
 namespace {
 
@@ -175,6 +176,14 @@ std::vector<Instrument> RegisteredInstruments(const std::string& wal_dir) {
   cfg.censys.warm_start = false;
   cfg.censys.journal_options.wal.dir = wal_dir;
   censys::engines::World world(cfg);
+
+  // The serving frontend lives above the engine in the layer DAG; bind one
+  // locally so the censys.serving.* instruments register like production.
+  censys::serving::ServingFrontend frontend(world.censys().read_side(),
+                                            world.censys().search_index(),
+                                            world.censys().analytics(),
+                                            censys::serving::ServingFrontend::Options{});
+  frontend.BindMetrics(&world.censys().metrics());
 
   std::vector<Instrument> instruments;
   world.censys().metrics().ForEachInstrument(
