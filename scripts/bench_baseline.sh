@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Pinned-seed benchmark baseline (DESIGN.md §10): runs the serving, WAL,
-# micro, and engine-tick benches at a fixed small scale and assembles a
+# replica-scaleout, micro, and engine-tick benches at a fixed small scale
+# and assembles a
 # committed BENCH_<tag>.json so later PRs can diff their trajectory against
 # this one. Rows follow one schema:
 #
@@ -14,6 +15,10 @@
 # Usage: scripts/bench_baseline.sh [--compare BASELINE.json] [tag]
 #   (default tag: pr5)
 #   BUILD_DIR=<dir> to point at a non-default build tree.
+#   BENCH_COOLDOWN=<seconds> idle pause between benches (default 30).
+#   Burstable 1-core runners throttle after sustained load, which skews
+#   whichever bench happens to run later in the sequence; the cool-down
+#   lets the CPU quota recover so the rows stay comparable within a run.
 #
 # --compare BASELINE.json: after assembling BENCH_<tag>.json, join it
 # against the given baseline on (bench, metric, unit) and print the
@@ -49,7 +54,8 @@ if [[ -n "$COMPARE" && ! -f "$COMPARE" ]]; then
   exit 2
 fi
 
-for bin in bench/serving_qps bench/wal_throughput bench/micro_core; do
+for bin in bench/serving_qps bench/wal_throughput bench/replica_scaleout \
+           bench/micro_core; do
   if [[ ! -x "$BUILD_DIR/$bin" ]]; then
     echo "bench_baseline: $BUILD_DIR/$bin missing — build first:" >&2
     echo "  cmake -B build -S . && cmake --build build -j" >&2
@@ -69,17 +75,25 @@ export CENSYSIM_WAL_FSYNC_OPS=2000
 SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT
 LINES="$SCRATCH/bench_lines.jsonl"
+COOLDOWN="${BENCH_COOLDOWN:-30}"
 
 echo "== bench_baseline: serving_qps =="
 CENSYSIM_BENCH_JSON="$LINES" "$BUILD_DIR/bench/serving_qps"
+sleep "$COOLDOWN"
 
 echo "== bench_baseline: wal_throughput =="
 CENSYSIM_BENCH_JSON="$LINES" "$BUILD_DIR/bench/wal_throughput"
+sleep "$COOLDOWN"
+
+echo "== bench_baseline: replica_scaleout (router QPS vs replica count) =="
+CENSYSIM_BENCH_JSON="$LINES" "$BUILD_DIR/bench/replica_scaleout"
+sleep "$COOLDOWN"
 
 echo "== bench_baseline: micro_core (hot-path micros) =="
 "$BUILD_DIR/bench/micro_core" \
   --benchmark_filter='BM_CyclicPermutationNext|BM_Sha256/1024|BM_JournalAppend|BM_JournalReconstruct|BM_SearchIndexQuery' \
   --benchmark_format=json >"$SCRATCH/micro_core.json"
+sleep "$COOLDOWN"
 
 echo "== bench_baseline: micro_core BM_EngineTick (staged tick) =="
 "$BUILD_DIR/bench/micro_core" \
@@ -119,9 +133,10 @@ rows.extend(google_benchmark_rows(micro_path, "micro_core"))
 rows.extend(google_benchmark_rows(tick_path, "engine_tick"))
 
 benches = sorted({r["bench"] for r in rows})
-if len(benches) < 4:
-    sys.exit(f"bench_baseline: only {benches} produced rows; expected >=4 "
-             "benches (serving_qps, wal_throughput, micro_core, engine_tick)")
+if len(benches) < 5:
+    sys.exit(f"bench_baseline: only {benches} produced rows; expected >=5 "
+             "benches (serving_qps, wal_throughput, replica_scaleout, "
+             "micro_core, engine_tick)")
 
 rows.sort(key=lambda r: (r["bench"], r["metric"]))
 with open(out_path, "w") as f:

@@ -58,6 +58,8 @@ SAN_TESTS=(
   "core_test:ExecutorTest.*:RingTest.*:SlotBoardTest.*:FaultInjectorTest.*:Crc32cTest.*"
   "failure_injection_test:WalTortureTest.*:WalFaultTest.*"
   "trace_test:"
+  "replication_test:"
+  "replica_router_test:"
 )
 
 run_sanitizer() { # run_sanitizer <address|thread|undefined> <dir>
@@ -172,6 +174,34 @@ PY
   record "scaling leg" $?
 }
 
+# Replication leg (DESIGN.md §11): the 10-seed chaos suites — link-fault
+# digest convergence, crash-mid-apply re-bootstrap, router kill/revive —
+# under ASan and TSan (reusing the sanitizer build dirs), plus a
+# CENSYSIM_FAULT_INJECTION=OFF build proving the replicate/serving router
+# sources compile with the injection layer folded away.
+run_replication() {
+  note "replication leg (build dirs build-asan, build-tsan, build-faultoff)"
+  local rc=0
+  local chaos="ReplicationChaosTest.*:ReplicaRouterChaosTest.*"
+  for pair in "address build-asan" "thread build-tsan"; do
+    local kind="${pair%% *}" dir="${pair#* }"
+    cmake -B "$dir" -S . -DCENSYSIM_SANITIZE="$kind" \
+      -DCENSYSIM_FAULT_INJECTION=ON >/dev/null &&
+      cmake --build "$dir" -j "$JOBS" \
+        --target replication_test replica_router_test || { rc=1; continue; }
+    "./$dir/tests/replication_test" --gtest_filter="$chaos" || rc=1
+    "./$dir/tests/replica_router_test" --gtest_filter="$chaos" || rc=1
+  done
+  # Production shape: replication must compile and its non-injection tests
+  # must pass with the fault layer compiled out.
+  cmake -B build-faultoff -S . -DCENSYSIM_FAULT_INJECTION=OFF >/dev/null &&
+    cmake --build build-faultoff -j "$JOBS" \
+      --target replication_test replica_router_test &&
+    ./build-faultoff/tests/replication_test &&
+    ./build-faultoff/tests/replica_router_test || rc=1
+  record "replication leg" $rc
+}
+
 run_lint() {
   note "censyslint"
   cmake -B build -S . >/dev/null &&
@@ -224,6 +254,7 @@ case "$LEG" in
   faultoff) run_faultoff ;;
   trace) run_trace ;;
   scaling) run_scaling ;;
+  replication) run_replication ;;
   lint) run_lint ;;
   archlint) run_archlint ;;
   all)
@@ -236,9 +267,10 @@ case "$LEG" in
     run_sanitizer address build-asan
     run_sanitizer thread build-tsan
     run_sanitizer undefined build-ubsan
+    run_replication
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|address|thread|undefined|faultoff|trace|scaling|lint|archlint|all]" >&2
+    echo "usage: scripts/check.sh [plain|address|thread|undefined|faultoff|trace|scaling|replication|lint|archlint|all]" >&2
     exit 2
     ;;
 esac

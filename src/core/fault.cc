@@ -29,6 +29,8 @@ std::string_view ToString(Mode mode) {
     case Mode::kTornWrite: return "torn-write";
     case Mode::kBitFlip: return "bit-flip";
     case Mode::kCrash: return "crash";
+    case Mode::kReorder: return "reorder";
+    case Mode::kStall: return "stall";
   }
   return "?";
 }

@@ -12,6 +12,17 @@
 //   kCrash        simulated process death: the site throws CrashException,
 //                 which unwinds to the torture harness (nothing in src/
 //                 catches it — it stands in for SIGKILL)
+//   kReorder      a message overtakes its predecessor on a link (the
+//                 replication shipper delivers the next run first, so the
+//                 receiver sees a gap and must NACK)
+//   kStall        the operation silently makes no progress this round (a
+//                 slow replica / congested link; retried later)
+//
+// The replication layer declares "replicate.ship" (one hit per shipment
+// on the leader->follower link: loss, reorder, bit-flip, torn shipment,
+// stall) and "replicate.apply" (one hit per shipped record on the
+// follower's apply path: kCrash dies mid-apply, anything else stalls the
+// rest of the shipment).
 //
 // Determinism: whether hit #i of point P fires — and the fault's tear
 // fraction / bit offset — is a pure stateless function of (seed, P, i),
@@ -41,6 +52,8 @@ enum class Mode : std::uint8_t {
   kTornWrite = 1,
   kBitFlip = 2,
   kCrash = 3,
+  kReorder = 4,
+  kStall = 5,
 };
 
 std::string_view ToString(Mode mode);

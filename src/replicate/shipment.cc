@@ -1,0 +1,66 @@
+#include "replicate/shipment.h"
+
+#include "core/crc32c.h"
+
+namespace censys::replicate {
+namespace {
+
+constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
+
+void PutU32Le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t GetU32Le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+Shipment EncodeShipment(std::uint64_t prev_lsn,
+                        const std::vector<storage::WalRecord>& records) {
+  Shipment shipment;
+  shipment.prev_lsn = prev_lsn;
+  shipment.last_lsn = records.empty() ? prev_lsn : records.back().lsn;
+  for (const storage::WalRecord& record : records) {
+    const std::string payload = storage::EncodeWalPayload(record);
+    PutU32Le(shipment.frames, static_cast<std::uint32_t>(payload.size()));
+    PutU32Le(shipment.frames, core::Crc32c(payload));
+    shipment.frames.append(payload);
+  }
+  return shipment;
+}
+
+DecodedShipment DecodeShipment(const Shipment& shipment) {
+  DecodedShipment decoded;
+  const std::string& data = shipment.frames;
+  std::size_t offset = 0;
+  while (offset + kFrameHeader <= data.size()) {
+    const std::uint32_t len = GetU32Le(data.data() + offset);
+    const std::uint32_t crc = GetU32Le(data.data() + offset + 4);
+    if (offset + kFrameHeader + len > data.size()) break;  // torn tail
+    const std::string_view payload(data.data() + offset + kFrameHeader, len);
+    if (core::Crc32c(payload) != crc) {
+      ++decoded.corrupt_frames;
+      break;
+    }
+    const auto record = storage::DecodeWalPayload(payload);
+    if (!record.has_value()) {
+      ++decoded.corrupt_frames;
+      break;
+    }
+    decoded.records.push_back(*record);
+    offset += kFrameHeader + len;
+  }
+  decoded.truncated_bytes += data.size() - offset;
+  return decoded;
+}
+
+}  // namespace censys::replicate

@@ -55,6 +55,101 @@ namespace {
 
 }  // namespace
 
+void ServingFrontend::ExecuteLadder(const Query& q, QueryOutcome& out,
+                                    metrics::Histogram* batch_lookup_latency,
+                                    bool capture_view) {
+  TRACE_SPAN("serving", QuerySpanName(q.kind));
+  const WallTimer timer;  // censyslint:allow(wall-timer)
+  // Retry ladder: every query passes the "serving.read" injection
+  // point. On a pure read path every fault mode is a transient error —
+  // a reader has nothing to tear or corrupt durably — so each one
+  // costs a retry, bounded by the per-query deadline.
+  bool done = false;
+  for (int attempt = 0; attempt <= options_.max_read_retries; ++attempt) {
+    if (attempt > 0) {
+      ++out.retries;
+      BusyWaitMicros(attempt * options_.retry_backoff_us);
+    }
+    if (fault::Hit("serving.read").has_value()) {
+      ++out.faults;
+      if (options_.query_deadline_us > 0 &&
+          timer.ElapsedMicros() > options_.query_deadline_us) {
+        break;  // budget gone: degrade now rather than retry further
+      }
+      continue;
+    }
+    switch (q.kind) {
+      case Query::Kind::kLookup: {
+        auto view = read_side_.GetHost(q.ip);
+        out.hit = view.has_value();
+        out.results = out.hit ? view->services.size() : 0;
+        out.latency_us = timer.ElapsedMicros();
+        if (batch_lookup_latency != nullptr) {
+          batch_lookup_latency->Observe(out.latency_us);
+        }
+        lookup_latency_.Observe(out.latency_us);
+        lookup_us_metric_.Observe(out.latency_us);
+        if (capture_view && view.has_value()) out.view = std::move(*view);
+        break;
+      }
+      case Query::Kind::kHistory: {
+        auto view = read_side_.GetHostAt(q.ip, q.at);
+        out.hit = view.has_value();
+        out.results = out.hit ? view->services.size() : 0;
+        out.latency_us = timer.ElapsedMicros();
+        if (capture_view && view.has_value()) out.view = std::move(*view);
+        break;
+      }
+      case Query::Kind::kSearch: {
+        std::string error;
+        const auto ids = index_.Search(q.text, &error);
+        out.hit = !ids.empty();
+        out.results = ids.size();
+        out.latency_us = timer.ElapsedMicros();
+        break;
+      }
+      case Query::Kind::kAnalytics: {
+        const auto series = analytics_.ProtocolSeries(q.text);
+        const auto latest =
+            analytics_.GetLatestUpToCopy(q.at.minutes / (24 * 60));
+        out.hit = !series.empty() || latest.has_value();
+        out.results = series.size();
+        out.latency_us = timer.ElapsedMicros();
+        break;
+      }
+    }
+    done = true;
+    break;
+  }
+  if (done) return;
+
+  // Retries exhausted. Lookups can still degrade to the last cached
+  // view at any watermark; everything else fails.
+  if (q.kind == Query::Kind::kLookup && options_.allow_stale_reads) {
+    if (auto stale = read_side_.GetHostStale(q.ip)) {
+      out.degraded = true;
+      out.hit = true;
+      out.results = stale->services.size();
+      out.latency_us = timer.ElapsedMicros();
+      if (capture_view) out.view = std::move(*stale);
+      return;
+    }
+  }
+  out.failed = true;
+  out.latency_us = timer.ElapsedMicros();
+}
+
+QueryOutcome ServingFrontend::ServeOne(const Query& query, bool capture_view) {
+  QueryOutcome out;
+  ExecuteLadder(query, out, /*batch_lookup_latency=*/nullptr, capture_view);
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  queries_metric_.Add();
+  if (out.degraded) degraded_metric_.Add();
+  retries_metric_.Add(out.retries);
+  read_faults_metric_.Add(out.faults);
+  return out;
+}
+
 BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
   TRACE_SPAN("serving", "batch");
   BatchReport report;
@@ -65,13 +160,17 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
   const std::uint64_t hits0 = cache != nullptr ? cache->hits() : 0;
   const std::uint64_t misses0 = cache != nullptr ? cache->misses() : 0;
 
+  // Compact per-query record for the batch path: QueryOutcome carries an
+  // optional HostView for ServeOne callers, which would blow up the
+  // outcomes vector's stride here; the batch never captures views, so it
+  // keeps the full outcome on the worker's stack and stores only the tally
+  // fields.
   struct Outcome {
     bool hit = false;
     bool shed = false;
     bool degraded = false;
     bool failed = false;
     std::size_t results = 0;
-    double latency_us = 0;
     std::uint32_t retries = 0;
     std::uint32_t faults = 0;
   };
@@ -91,80 +190,14 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
       return;
     }
 
-    TRACE_SPAN("serving", QuerySpanName(q.kind));
-    const WallTimer timer;  // censyslint:allow(wall-timer)
-    // Retry ladder: every query passes the "serving.read" injection
-    // point. On a pure read path every fault mode is a transient error —
-    // a reader has nothing to tear or corrupt durably — so each one
-    // costs a retry, bounded by the per-query deadline.
-    bool done = false;
-    for (int attempt = 0; attempt <= options_.max_read_retries; ++attempt) {
-      if (attempt > 0) {
-        ++out.retries;
-        BusyWaitMicros(attempt * options_.retry_backoff_us);
-      }
-      if (fault::Hit("serving.read").has_value()) {
-        ++out.faults;
-        if (options_.query_deadline_us > 0 &&
-            timer.ElapsedMicros() > options_.query_deadline_us) {
-          break;  // budget gone: degrade now rather than retry further
-        }
-        continue;
-      }
-      switch (q.kind) {
-        case Query::Kind::kLookup: {
-          const auto view = read_side_.GetHost(q.ip);
-          out.hit = view.has_value();
-          out.results = out.hit ? view->services.size() : 0;
-          out.latency_us = timer.ElapsedMicros();
-          batch_lookup_latency.Observe(out.latency_us);
-          lookup_latency_.Observe(out.latency_us);
-          lookup_us_metric_.Observe(out.latency_us);
-          break;
-        }
-        case Query::Kind::kHistory: {
-          const auto view = read_side_.GetHostAt(q.ip, q.at);
-          out.hit = view.has_value();
-          out.results = out.hit ? view->services.size() : 0;
-          out.latency_us = timer.ElapsedMicros();
-          break;
-        }
-        case Query::Kind::kSearch: {
-          std::string error;
-          const auto ids = index_.Search(q.text, &error);
-          out.hit = !ids.empty();
-          out.results = ids.size();
-          out.latency_us = timer.ElapsedMicros();
-          break;
-        }
-        case Query::Kind::kAnalytics: {
-          const auto series = analytics_.ProtocolSeries(q.text);
-          const auto latest =
-              analytics_.GetLatestUpToCopy(q.at.minutes / (24 * 60));
-          out.hit = !series.empty() || latest.has_value();
-          out.results = series.size();
-          out.latency_us = timer.ElapsedMicros();
-          break;
-        }
-      }
-      done = true;
-      break;
-    }
-    if (done) return;
-
-    // Retries exhausted. Lookups can still degrade to the last cached
-    // view at any watermark; everything else fails.
-    if (q.kind == Query::Kind::kLookup && options_.allow_stale_reads) {
-      if (const auto stale = read_side_.GetHostStale(q.ip)) {
-        out.degraded = true;
-        out.hit = true;
-        out.results = stale->services.size();
-        out.latency_us = timer.ElapsedMicros();
-        return;
-      }
-    }
-    out.failed = true;
-    out.latency_us = timer.ElapsedMicros();
+    QueryOutcome full;
+    ExecuteLadder(q, full, &batch_lookup_latency, /*capture_view=*/false);
+    out.hit = full.hit;
+    out.degraded = full.degraded;
+    out.failed = full.failed;
+    out.results = full.results;
+    out.retries = full.retries;
+    out.faults = full.faults;
   });
   report.elapsed_us = batch_timer.ElapsedMicros();
 

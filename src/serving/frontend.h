@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,23 @@ struct Query {
   IPv4Address ip;    // lookup / history target
   Timestamp at;      // history timestamp; analytics as-of day
   std::string text;  // search expression / analytics protocol name
+};
+
+// Outcome of one query through the degradation ladder (ServeOne, and
+// Run()'s per-query accounting).
+struct QueryOutcome {
+  bool hit = false;
+  bool shed = false;      // only set by Run()'s batch-deadline shedding
+  bool degraded = false;  // answered from a stale cached view
+  bool failed = false;    // retries exhausted, no stale fallback
+  std::size_t results = 0;
+  double latency_us = 0;
+  std::uint32_t retries = 0;
+  std::uint32_t faults = 0;
+  // The served view, filled for lookup/history queries when requested via
+  // ServeOne(capture_view): the replica router's correctness oracle reads
+  // the per-entity watermark off it.
+  std::optional<pipeline::HostView> view;
 };
 
 // Aggregate outcome of one Run() batch.
@@ -123,6 +141,14 @@ class ServingFrontend {
   // from two threads at once (one frontend = one query pump).
   BatchReport Run(const std::vector<Query>& queries);
 
+  // Executes one query inline on the calling thread through the same
+  // degradation ladder Run uses (retry -> stale -> fail; no batch-level
+  // shedding — that is the caller's budget to manage). Unlike Run this IS
+  // safe from many threads at once: it never touches the executor, and
+  // the read paths and metrics sinks are all concurrent. The replica
+  // router fans queries across followers' frontends through this.
+  QueryOutcome ServeOne(const Query& query, bool capture_view = false);
+
   std::uint64_t queries_served() const {
     return queries_served_.load(std::memory_order_relaxed);
   }
@@ -143,6 +169,12 @@ class ServingFrontend {
       const std::vector<std::string>& protocols, Timestamp now, Rng& rng);
 
  private:
+  // The ladder shared by Run and ServeOne: retry with backoff, then stale
+  // cache (lookups), then failed. Thread-safe.
+  void ExecuteLadder(const Query& query, QueryOutcome& out,
+                     metrics::Histogram* batch_lookup_latency,
+                     bool capture_view);
+
   const pipeline::ReadSide& read_side_;
   const search::SearchIndex& index_;
   const search::AnalyticsStore& analytics_;

@@ -1,0 +1,280 @@
+#include "serving/replica_router.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "core/trace.h"
+
+namespace censys::serving {
+namespace {
+
+// Bounded busy-wait between failover attempts: router threads hold no
+// locks here and must not sleep (the pool is shared across the batch).
+void BusyWaitMicros(double us) {
+  if (us <= 0) return;
+  // Backoff pacing, not stage timing. censyslint:allow(wall-timer)
+  const WallTimer timer;  // censyslint:allow(wall-timer)
+  while (timer.ElapsedMicros() < us) {
+  }
+}
+
+}  // namespace
+
+ReplicaRouter::ReplicaRouter(std::vector<Endpoint> endpoints,
+                             std::function<std::uint64_t()> leader_lsn)
+    : ReplicaRouter(std::move(endpoints), std::move(leader_lsn), Options()) {}
+
+ReplicaRouter::ReplicaRouter(std::vector<Endpoint> endpoints,
+                             std::function<std::uint64_t()> leader_lsn,
+                             Options options)
+    : endpoints_(std::move(endpoints)),
+      leader_lsn_(std::move(leader_lsn)),
+      options_(options),
+      executor_(options.threads),
+      policy_(endpoints_.size(), options.policy, options.seed) {}
+
+double ReplicaRouter::NowUs() const { return lifetime_timer_.ElapsedMicros(); }
+
+RouterPolicy::Health ReplicaRouter::ReplicaHealth(std::size_t i) const {
+  const core::MutexLock lock(mu_);
+  return policy_.health(i);
+}
+
+void ReplicaRouter::RouteOne(const Query& query, std::size_t index,
+                             std::uint64_t leader_lsn, RoutedAnswer& answer,
+                             PerQuery& pq) {
+  answer.leader_lsn = leader_lsn;
+  const std::size_t n = endpoints_.size();
+  std::vector<bool> tried(n, false);
+  const bool capture = options_.capture_views;
+  int max_attempts;
+  {
+    const core::MutexLock lock(mu_);
+    max_attempts = policy_.options().max_attempts;
+  }
+
+  int last_replica = -1;
+  while (static_cast<int>(pq.attempts) < max_attempts) {
+    std::size_t pick;
+    std::optional<std::size_t> hedge_pick;
+    {
+      const core::MutexLock lock(mu_);
+      const auto p = policy_.PickPrimary(NowUs(), tried);
+      if (!p.has_value()) break;
+      pick = *p;
+      if (policy_.ShouldHedge(pick)) hedge_pick = policy_.PickHedge(pick);
+    }
+    tried[pick] = true;
+    ++pq.attempts;
+    if (pq.attempts > 1) {
+      ++pq.retries;
+      if (last_replica >= 0 && static_cast<std::size_t>(last_replica) != pick) {
+        ++pq.failovers;
+      }
+      double backoff;
+      {
+        const core::MutexLock lock(mu_);
+        backoff = policy_.BackoffUs(static_cast<int>(pq.attempts),
+                                    static_cast<std::uint64_t>(index));
+      }
+      BusyWaitMicros(backoff);
+    }
+    last_replica = static_cast<int>(pick);
+
+    const replicate::Follower* f = endpoints_[pick].follower;
+    if (!f->serving()) {
+      const core::MutexLock lock(mu_);
+      policy_.OnFailure(pick, NowUs());
+      continue;
+    }
+    QueryOutcome out = endpoints_[pick].frontend->ServeOne(query, capture);
+    std::uint64_t lsn = f->applied_lsn();
+    if (out.failed || !f->serving()) {
+      // The ladder bottomed out, or the follower died mid-serve (its
+      // answer may predate an incomplete apply — don't trust it).
+      const core::MutexLock lock(mu_);
+      policy_.OnFailure(pick, NowUs());
+      continue;
+    }
+    {
+      const core::MutexLock lock(mu_);
+      policy_.OnSuccess(pick, out.latency_us);
+    }
+
+    // Hedged read: mirror to the fastest healthy partner; keep whichever
+    // answer carries the fresher watermark (ties keep the primary).
+    if (hedge_pick.has_value()) {
+      ++pq.hedged;
+      const std::size_t hp = *hedge_pick;
+      const replicate::Follower* hf = endpoints_[hp].follower;
+      if (hf->serving()) {
+        QueryOutcome hout = endpoints_[hp].frontend->ServeOne(query, capture);
+        const std::uint64_t hlsn = hf->applied_lsn();
+        if (!hout.failed && hf->serving()) {
+          {
+            const core::MutexLock lock(mu_);
+            policy_.OnSuccess(hp, hout.latency_us);
+          }
+          if (hlsn > lsn) {
+            out = std::move(hout);
+            lsn = hlsn;
+            pick = hp;
+            ++pq.hedge_wins;
+          }
+        } else {
+          const core::MutexLock lock(mu_);
+          policy_.OnFailure(hp, NowUs());
+        }
+      }
+    }
+
+    answer.answered = true;
+    answer.replica = static_cast<int>(pick);
+    answer.replica_lsn = lsn;
+    answer.stale = lsn < leader_lsn;
+    answer.outcome = std::move(out);
+    return;
+  }
+
+  // Degradation ladder: a stale-but-watermarked answer from a lagging
+  // replica beats shedding the query.
+  std::optional<std::size_t> sp;
+  {
+    const core::MutexLock lock(mu_);
+    sp = policy_.PickStale(NowUs(), tried);
+  }
+  if (sp.has_value() && endpoints_[*sp].follower->serving()) {
+    ++pq.attempts;
+    const replicate::Follower* f = endpoints_[*sp].follower;
+    QueryOutcome out = endpoints_[*sp].frontend->ServeOne(query, capture);
+    const std::uint64_t lsn = f->applied_lsn();
+    if (!out.failed && f->serving()) {
+      {
+        const core::MutexLock lock(mu_);
+        policy_.OnSuccess(*sp, out.latency_us);
+      }
+      answer.answered = true;
+      answer.replica = static_cast<int>(*sp);
+      answer.replica_lsn = lsn;
+      answer.stale = lsn < leader_lsn;
+      answer.outcome = std::move(out);
+      return;
+    }
+    const core::MutexLock lock(mu_);
+    policy_.OnFailure(*sp, NowUs());
+  }
+
+  // Nothing could answer. Zero attempts means no replica was even
+  // eligible (shed at admission); otherwise every try failed.
+  answer.shed = pq.attempts == 0;
+}
+
+RouterReport ReplicaRouter::Run(const std::vector<Query>& queries,
+                                std::vector<RoutedAnswer>* answers) {
+  TRACE_SPAN("serving", "router.batch");
+  RouterReport report;
+  report.queries = queries.size();
+  report.served_by.assign(endpoints_.size(), 0);
+  if (queries.empty() || endpoints_.empty()) {
+    report.shed = queries.size();
+    if (answers != nullptr) answers->assign(queries.size(), RoutedAnswer{});
+    return report;
+  }
+
+  const std::uint64_t leader = leader_lsn_ ? leader_lsn_() : 0;
+  // Refresh health from the replicas' published watermarks before
+  // dispatch: dead followers go down, watermark lag drives the
+  // healthy<->lagging hysteresis.
+  {
+    const core::MutexLock lock(mu_);
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      const replicate::Follower* f = endpoints_[i].follower;
+      if (!f->serving()) {
+        policy_.OnFailure(i, NowUs());
+      } else {
+        policy_.ObserveLag(i, f->LagBehind(leader));
+      }
+    }
+  }
+
+  std::vector<RoutedAnswer> routed(queries.size());
+  std::vector<PerQuery> per_query(queries.size());
+  const WallTimer batch_timer;  // censyslint:allow(wall-timer)
+  executor_.ParallelFor(queries.size(), [&](std::size_t i) {
+    RouteOne(queries[i], i, leader, routed[i], per_query[i]);
+  });
+  report.elapsed_us = batch_timer.ElapsedMicros();
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const RoutedAnswer& a = routed[i];
+    const PerQuery& pq = per_query[i];
+    if (a.answered) {
+      ++report.answered;
+      if (a.stale) ++report.stale;
+      report.served_by[static_cast<std::size_t>(a.replica)] += 1;
+    } else if (a.shed) {
+      ++report.shed;
+    } else {
+      ++report.failed;
+    }
+    report.retries += pq.retries;
+    report.failovers += pq.failovers;
+    report.hedged += pq.hedged;
+    report.hedge_wins += pq.hedge_wins;
+  }
+  report.qps = report.elapsed_us > 0
+                   ? static_cast<double>(report.queries) /
+                         (report.elapsed_us / 1e6)
+                   : 0;
+
+  queries_metric_.Add(report.queries);
+  answered_metric_.Add(report.answered);
+  stale_metric_.Add(report.stale);
+  shed_metric_.Add(report.shed);
+  failed_metric_.Add(report.failed);
+  retries_metric_.Add(report.retries);
+  failovers_metric_.Add(report.failovers);
+  hedged_metric_.Add(report.hedged);
+  hedge_wins_metric_.Add(report.hedge_wins);
+  {
+    const core::MutexLock lock(mu_);
+    healthy_metric_.Set(static_cast<std::int64_t>(
+        policy_.CountHealth(RouterPolicy::Health::kHealthy)));
+    lagging_metric_.Set(static_cast<std::int64_t>(
+        policy_.CountHealth(RouterPolicy::Health::kLagging)));
+    down_metric_.Set(static_cast<std::int64_t>(
+        policy_.CountHealth(RouterPolicy::Health::kDown)));
+  }
+
+  if (answers != nullptr) *answers = std::move(routed);
+  return report;
+}
+
+void ReplicaRouter::BindMetrics(metrics::Registry* registry) {
+  queries_metric_ =
+      metrics::BindCounter(registry, "censys.serving.router.queries");
+  answered_metric_ =
+      metrics::BindCounter(registry, "censys.serving.router.answered");
+  stale_metric_ =
+      metrics::BindCounter(registry, "censys.serving.router.stale_answers");
+  shed_metric_ = metrics::BindCounter(registry, "censys.serving.router.shed");
+  failed_metric_ =
+      metrics::BindCounter(registry, "censys.serving.router.failed");
+  retries_metric_ =
+      metrics::BindCounter(registry, "censys.serving.router.retries");
+  failovers_metric_ =
+      metrics::BindCounter(registry, "censys.serving.router.failovers");
+  hedged_metric_ =
+      metrics::BindCounter(registry, "censys.serving.router.hedged");
+  hedge_wins_metric_ =
+      metrics::BindCounter(registry, "censys.serving.router.hedge_wins");
+  healthy_metric_ =
+      metrics::BindGauge(registry, "censys.serving.router.replicas_healthy");
+  lagging_metric_ =
+      metrics::BindGauge(registry, "censys.serving.router.replicas_lagging");
+  down_metric_ =
+      metrics::BindGauge(registry, "censys.serving.router.replicas_down");
+}
+
+}  // namespace censys::serving

@@ -1,0 +1,158 @@
+// Replicated read serving: fans query batches across N replicas, each a
+// (ServingFrontend, replicate::Follower) pair, with health-aware replica
+// selection, deadline-bounded retry/failover, hedged reads, and a
+// degradation ladder that prefers a stale-but-watermarked answer from a
+// lagging replica over shedding.
+//
+// Per query:
+//   1. PickPrimary (round-robin over healthy replicas; a down replica is
+//      probed after its probe interval) and serve through the replica
+//      frontend's own ladder (ServeOne).
+//   2. On failure, mark the replica down and fail over: retry on the next
+//      pick with RouterPolicy::BackoffUs busy-waited (reader threads never
+//      sleep), up to max_attempts.
+//   3. If the picked primary's latency EWMA is over the hedge threshold,
+//      mirror the read to the fastest healthy partner and keep whichever
+//      answer carries the higher applied LSN (fresher watermark).
+//   4. Attempts exhausted or no healthy replica: degrade to the
+//      least-lagging lagging replica — the answer is served and labeled
+//      stale (replica LSN < leader LSN at dispatch), never wrong.
+//   5. Nothing can answer: the query is shed (no replica tried) or failed
+//      (replicas tried, all down).
+//
+// Staleness labeling is the correctness contract the chaos tests pin
+// down: every RoutedAnswer carries (replica_lsn, leader_lsn) so callers
+// can tell exactly how far behind the serving watermark was; an answer is
+// only `stale` when the replica had not applied the leader's last durable
+// LSN at dispatch.
+//
+// Concurrency: Run is single-caller (it owns an Executor), but replicas
+// may be killed/revived concurrently by a chaos thread — the router reads
+// Follower::serving()/applied_lsn() (atomics) and serves through
+// ServeOne (thread-safe). The RouterPolicy is guarded by mu_: router
+// threads take it briefly around pick/observe calls and never hold it
+// across a serve or a busy-wait.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/executor.h"
+#include "core/metrics.h"
+#include "core/thread_safety.h"
+#include "replicate/follower.h"
+#include "serving/frontend.h"
+#include "serving/router_policy.h"
+
+namespace censys::serving {
+
+// One query's routed outcome.
+struct RoutedAnswer {
+  bool answered = false;  // some replica produced a (possibly stale) answer
+  bool stale = false;     // replica watermark < leader watermark at dispatch
+  bool shed = false;      // no replica was eligible to even try
+  int replica = -1;       // who answered (-1 if none)
+  std::uint64_t replica_lsn = 0;  // answerer's applied LSN at answer time
+  std::uint64_t leader_lsn = 0;   // leader durable LSN at batch dispatch
+  QueryOutcome outcome;
+};
+
+// Aggregate outcome of one routed batch.
+struct RouterReport {
+  std::size_t queries = 0;
+  std::size_t answered = 0;
+  std::size_t stale = 0;   // answered with a stale label
+  std::size_t shed = 0;    // no eligible replica at all
+  std::size_t failed = 0;  // tried >= 1 replica, none answered
+  std::uint64_t retries = 0;    // serve attempts beyond each query's first
+  std::uint64_t failovers = 0;  // attempts that moved to a different replica
+  std::uint64_t hedged = 0;     // hedge reads issued
+  std::uint64_t hedge_wins = 0; // hedge answer was fresher and won
+  std::vector<std::size_t> served_by;  // answers per replica
+  double elapsed_us = 0;
+  double qps = 0;
+};
+
+class ReplicaRouter {
+ public:
+  struct Endpoint {
+    ServingFrontend* frontend = nullptr;
+    const replicate::Follower* follower = nullptr;
+  };
+
+  struct Options {
+    // Router threads; 0 routes queries inline on the caller.
+    int threads = 4;
+    RouterPolicy::Options policy{};
+    // Jitter seed for deterministic backoff schedules.
+    std::uint64_t seed = 1;
+    // Capture served host views into RoutedAnswer::outcome.view (the
+    // chaos oracle reads watermarks off them).
+    bool capture_views = false;
+  };
+
+  // leader_lsn() is sampled once per batch; answers at a lower replica
+  // watermark are labeled stale.
+  ReplicaRouter(std::vector<Endpoint> endpoints,
+                std::function<std::uint64_t()> leader_lsn);
+  ReplicaRouter(std::vector<Endpoint> endpoints,
+                std::function<std::uint64_t()> leader_lsn, Options options);
+
+  ReplicaRouter(const ReplicaRouter&) = delete;
+  ReplicaRouter& operator=(const ReplicaRouter&) = delete;
+
+  // Routes the batch; blocks until done. Single-caller (one router = one
+  // query pump), but tolerant of concurrent follower kill/revive.
+  // `answers`, when non-null, receives one RoutedAnswer per query.
+  RouterReport Run(const std::vector<Query>& queries,
+                   std::vector<RoutedAnswer>* answers = nullptr);
+
+  std::size_t size() const { return endpoints_.size(); }
+  RouterPolicy::Health ReplicaHealth(std::size_t i) const;
+
+  // Registers censys.serving.router.* instruments.
+  void BindMetrics(metrics::Registry* registry);
+
+ private:
+  struct PerQuery {
+    std::uint32_t attempts = 0;
+    std::uint32_t retries = 0;
+    std::uint32_t failovers = 0;
+    std::uint32_t hedged = 0;
+    std::uint32_t hedge_wins = 0;
+  };
+
+  void RouteOne(const Query& query, std::size_t index,
+                std::uint64_t leader_lsn, RoutedAnswer& answer, PerQuery& pq);
+  double NowUs() const;
+
+  std::vector<Endpoint> endpoints_;
+  std::function<std::uint64_t()> leader_lsn_;
+  Options options_;
+  Executor executor_;
+
+  // Monotonic microsecond clock for the policy's probe intervals; spans
+  // the router's lifetime so down-since stamps stay comparable across
+  // batches. Health bookkeeping, not stage timing.
+  const WallTimer lifetime_timer_;  // censyslint:allow(wall-timer)
+
+  mutable core::Mutex mu_;
+  RouterPolicy policy_ CENSYS_GUARDED_BY(mu_);
+
+  metrics::CounterHandle queries_metric_;
+  metrics::CounterHandle answered_metric_;
+  metrics::CounterHandle stale_metric_;
+  metrics::CounterHandle shed_metric_;
+  metrics::CounterHandle failed_metric_;
+  metrics::CounterHandle retries_metric_;
+  metrics::CounterHandle failovers_metric_;
+  metrics::CounterHandle hedged_metric_;
+  metrics::CounterHandle hedge_wins_metric_;
+  metrics::GaugeHandle healthy_metric_;
+  metrics::GaugeHandle lagging_metric_;
+  metrics::GaugeHandle down_metric_;
+};
+
+}  // namespace censys::serving

@@ -1,0 +1,147 @@
+#include "serving/router_policy.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+
+namespace censys::serving {
+
+RouterPolicy::RouterPolicy(std::size_t replicas, Options options,
+                           std::uint64_t seed)
+    : options_(options), seed_(seed), replicas_(replicas) {
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+  if (options_.healthy_streak < 1) options_.healthy_streak = 1;
+  options_.jitter_frac = std::clamp(options_.jitter_frac, 0.0, 1.0);
+}
+
+void RouterPolicy::ObserveLag(std::size_t replica, std::uint64_t lag) {
+  Replica& r = replicas_[replica];
+  r.lag = lag;
+  switch (r.health) {
+    case Health::kDown:
+      // Lag says nothing about a dead replica; only a probe serve
+      // resurrects it.
+      break;
+    case Health::kHealthy:
+      if (lag > options_.lagging_above) {
+        r.health = Health::kLagging;
+        r.streak = 0;
+      }
+      break;
+    case Health::kLagging:
+      if (lag < options_.healthy_below) {
+        if (++r.streak >= options_.healthy_streak) {
+          r.health = Health::kHealthy;
+          r.streak = 0;
+        }
+      } else {
+        r.streak = 0;  // hysteresis: one bad round restarts the streak
+      }
+      break;
+  }
+}
+
+void RouterPolicy::OnSuccess(std::size_t replica, double latency_us) {
+  Replica& r = replicas_[replica];
+  r.ewma_us = r.ewma_us == 0
+                  ? latency_us
+                  : options_.latency_alpha * latency_us +
+                        (1.0 - options_.latency_alpha) * r.ewma_us;
+  if (r.health == Health::kDown) {
+    // Probe succeeded: rejoin as lagging and re-earn healthy through the
+    // streak (the replica has been missing shipments while down).
+    r.health = Health::kLagging;
+    r.streak = 0;
+  }
+}
+
+void RouterPolicy::OnFailure(std::size_t replica, double now_us) {
+  Replica& r = replicas_[replica];
+  r.health = Health::kDown;
+  r.streak = 0;
+  r.down_since_us = now_us;
+}
+
+std::optional<std::size_t> RouterPolicy::PickPrimary(
+    double now_us, const std::vector<bool>& exclude) {
+  const std::size_t n = replicas_.size();
+  if (n == 0) return std::nullopt;
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i = (cursor_ + step) % n;
+    if (i < exclude.size() && exclude[i]) continue;
+    if (replicas_[i].health != Health::kHealthy) continue;
+    cursor_ = (i + 1) % n;
+    return i;
+  }
+  // No healthy replica: allow one down replica past its probe interval to
+  // take the read — the only way a dead-but-revived follower gets
+  // rediscovered.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < exclude.size() && exclude[i]) continue;
+    if (Probeable(replicas_[i], now_us)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> RouterPolicy::PickStale(
+    double now_us, const std::vector<bool>& exclude) const {
+  const std::size_t n = replicas_.size();
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < exclude.size() && exclude[i]) continue;
+    if (replicas_[i].health != Health::kLagging) continue;
+    if (!best.has_value() || replicas_[i].lag < replicas_[*best].lag) {
+      best = i;  // least-stale answer wins
+    }
+  }
+  if (best.has_value()) return best;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < exclude.size() && exclude[i]) continue;
+    if (Probeable(replicas_[i], now_us)) return i;
+  }
+  return std::nullopt;
+}
+
+bool RouterPolicy::ShouldHedge(std::size_t primary) const {
+  if (options_.hedge_latency_us <= 0) return false;
+  const Replica& r = replicas_[primary];
+  if (r.ewma_us < options_.hedge_latency_us) return false;
+  return PickHedge(primary).has_value();
+}
+
+std::optional<std::size_t> RouterPolicy::PickHedge(std::size_t primary) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i == primary) continue;
+    if (replicas_[i].health != Health::kHealthy) continue;
+    if (!best.has_value() || replicas_[i].ewma_us < replicas_[*best].ewma_us) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+double RouterPolicy::BackoffUs(int attempt, std::uint64_t salt) const {
+  if (attempt <= 1) return 0;
+  double backoff = options_.backoff_base_us;
+  for (int k = 2; k < attempt && backoff < options_.backoff_cap_us; ++k) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, options_.backoff_cap_us);
+  // Deterministic jitter in [0, jitter_frac] of the exponential value:
+  // same (seed, salt, attempt) -> same wait, different salts decorrelate.
+  const std::uint64_t h = SplitMix64(
+      seed_ ^ (salt * 0x9e3779b97f4a7c15ull) ^ static_cast<std::uint64_t>(attempt));
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return backoff * (1.0 - options_.jitter_frac * unit);
+}
+
+std::size_t RouterPolicy::CountHealth(Health h) const {
+  std::size_t count = 0;
+  for (const Replica& r : replicas_) {
+    if (r.health == h) ++count;
+  }
+  return count;
+}
+
+}  // namespace censys::serving

@@ -1,0 +1,123 @@
+// Replica selection policy for the serving router: a pure, deterministic
+// state machine over per-replica health, lag, and latency.
+//
+// The policy owns no clock and no locks. Every decision that depends on
+// time takes `now_us` as a parameter, so unit tests drive it with a
+// simulated clock (no sleeps, no wall-timer reads); the router feeds it
+// real elapsed time and guards it with its own mutex. Jitter is
+// deterministic too — SplitMix64 over (seed, salt, attempt) — so a given
+// seed always produces the same backoff schedule.
+//
+// Health ladder per replica:
+//   kHealthy --- lag > lagging_above ------------------------> kLagging
+//   kLagging --- healthy_streak consecutive observations
+//                with lag < healthy_below --------------------> kHealthy
+//   any      --- serve failure / follower not serving --------> kDown
+//   kDown    --- successful probe serve ----------------------> kLagging
+//
+// The lagging->healthy edge is hysteretic on purpose: a replica that
+// oscillates around the lag threshold would otherwise flap in and out of
+// the primary rotation. kDown replicas re-enter as kLagging (not
+// kHealthy) so they re-earn fresh-read traffic via the streak.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace censys::serving {
+
+class RouterPolicy {
+ public:
+  enum class Health : std::uint8_t { kHealthy = 0, kLagging = 1, kDown = 2 };
+
+  struct Options {
+    // Lag (leader LSN minus applied LSN) above which a healthy replica
+    // is demoted to lagging.
+    std::uint64_t lagging_above = 256;
+    // A lagging replica must observe lag below this...
+    std::uint64_t healthy_below = 64;
+    // ...for this many consecutive observations to re-promote (hysteresis).
+    int healthy_streak = 3;
+    // Serve attempts per query before the router degrades to stale.
+    int max_attempts = 3;
+    // Backoff before retry k (k >= 2) is base * 2^(k-2), capped, minus
+    // deterministic jitter in [0, jitter_frac] of the exponential value.
+    double backoff_base_us = 100;
+    double backoff_cap_us = 10000;
+    double jitter_frac = 0.25;
+    // Hedge a read when the picked primary's latency EWMA exceeds this
+    // and a distinct healthy partner exists. 0 disables hedging.
+    double hedge_latency_us = 500;
+    // A down replica becomes eligible for a probe serve after this long.
+    double down_probe_us = 5000;
+    // EWMA smoothing for per-replica serve latency.
+    double latency_alpha = 0.2;
+  };
+
+  RouterPolicy(std::size_t replicas, Options options, std::uint64_t seed);
+
+  // --- observations ----------------------------------------------------------
+  // Watermark observation at batch start (drives healthy<->lagging).
+  void ObserveLag(std::size_t replica, std::uint64_t lag);
+  // A serve completed; updates the latency EWMA. A down replica that
+  // serves (a probe) re-enters the rotation as lagging.
+  void OnSuccess(std::size_t replica, double latency_us);
+  // A serve failed or the follower is not serving: mark down and stamp
+  // the probe clock.
+  void OnFailure(std::size_t replica, double now_us);
+
+  // --- decisions -------------------------------------------------------------
+  // Round-robin over healthy replicas not in `exclude`; when none are
+  // healthy, a down replica whose probe interval has elapsed. nullopt
+  // means no replica may take a fresh read right now.
+  std::optional<std::size_t> PickPrimary(double now_us,
+                                         const std::vector<bool>& exclude);
+  // Degradation ladder: the least-lagging lagging replica not in
+  // `exclude` (its answer is stale but watermarked), else a probeable
+  // down replica.
+  std::optional<std::size_t> PickStale(double now_us,
+                                       const std::vector<bool>& exclude) const;
+  // Hedge when the primary's EWMA is over the hedge threshold and a
+  // distinct healthy partner exists.
+  bool ShouldHedge(std::size_t primary) const;
+  // The healthy replica (!= primary) with the lowest latency EWMA.
+  std::optional<std::size_t> PickHedge(std::size_t primary) const;
+  // Deterministic backoff before attempt k (1-based; attempt 1 never
+  // waits). `salt` decorrelates concurrent queries.
+  double BackoffUs(int attempt, std::uint64_t salt) const;
+
+  // --- inspection ------------------------------------------------------------
+  std::size_t size() const { return replicas_.size(); }
+  Health health(std::size_t replica) const {
+    return replicas_[replica].health;
+  }
+  std::uint64_t lag(std::size_t replica) const { return replicas_[replica].lag; }
+  double LatencyEwmaUs(std::size_t replica) const {
+    return replicas_[replica].ewma_us;
+  }
+  std::size_t CountHealth(Health h) const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Replica {
+    Health health = Health::kHealthy;
+    std::uint64_t lag = 0;
+    int streak = 0;           // consecutive below-threshold lag observations
+    double ewma_us = 0;       // 0 until the first success
+    double down_since_us = 0; // probe clock, valid while kDown
+  };
+
+  bool Probeable(const Replica& r, double now_us) const {
+    return r.health == Health::kDown &&
+           now_us - r.down_since_us >= options_.down_probe_us;
+  }
+
+  Options options_;
+  std::uint64_t seed_;
+  std::size_t cursor_ = 0;  // round-robin position for PickPrimary
+  std::vector<Replica> replicas_;
+};
+
+}  // namespace censys::serving

@@ -547,6 +547,38 @@ bool EventJournal::LoadCheckpoint(std::string_view payload,
   return true;
 }
 
+std::string EventJournal::EncodeReplicaSnapshot(std::uint64_t lsn) const {
+  return EncodeCheckpoint(lsn);
+}
+
+bool EventJournal::LoadReplicaSnapshot(std::string_view payload,
+                                       std::uint64_t lsn) {
+  const auto reset_in_place = [&] {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      const core::MutexLock lock(shards_[s].mu);
+      shards_[s].meta.clear();
+      shards_[s].table = OrderedKv{};
+    }
+    event_count_.store(0, std::memory_order_relaxed);
+    snapshot_count_.store(0, std::memory_order_relaxed);
+    delta_bytes_.store(0, std::memory_order_relaxed);
+    snapshot_bytes_.store(0, std::memory_order_relaxed);
+    full_bytes_equivalent_.store(0, std::memory_order_relaxed);
+    max_replay_.store(0, std::memory_order_relaxed);
+  };
+  reset_in_place();
+  if (!LoadCheckpoint(payload, lsn)) {
+    reset_in_place();  // LoadCheckpoint may have partially applied
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t EventJournal::ApplyReplicated(const WalRecord& record) {
+  return ApplyEvent(record.entity, static_cast<EventKind>(record.kind),
+                    record.at, record.delta, /*durable=*/false);
+}
+
 std::optional<std::uint64_t> EventJournal::Checkpoint(std::string* error) {
   if (wal_ == nullptr) {
     if (error != nullptr) *error = "journal has no WAL configured";

@@ -161,6 +161,29 @@ class EventJournal {
   // freshly constructed journal before any Append.
   RecoveryReport Recover();
 
+  // --- replication (src/replicate/) -------------------------------------------
+  // Serializes full journal state for replica bootstrap — the same payload
+  // format Checkpoint() persists, produced without touching disk. `lsn` is
+  // the WAL LSN the snapshot covers (the leader's last durable LSN at a
+  // quiescent point; the caller must not race Append).
+  std::string EncodeReplicaSnapshot(std::uint64_t lsn) const;
+
+  // Follower (re-)bootstrap: resets this journal *in place* and loads
+  // `payload` (which must cover `lsn`). Unlike Recover(), the Shard array
+  // is never reallocated — each shard is cleared under its own exclusive
+  // lock — so a ReadSide serving concurrent lookups against this journal
+  // stays memory-safe throughout (readers see empty-then-loading state,
+  // never freed memory). Returns false and leaves the journal empty on a
+  // corrupt payload.
+  bool LoadReplicaSnapshot(std::string_view payload, std::uint64_t lsn);
+
+  // Applies one shipped WAL record without logging it locally (followers
+  // keep no WAL of their own; durability lives on the leader). Equivalent
+  // to the Recover() replay path, one record at a time.
+  std::uint64_t ApplyReplicated(const WalRecord& record);
+
+  const Options& options() const { return options_; }
+
   // Cached current state (the fast path behind the Lookup API). The
   // returned pointer is stable but its contents are only safe to read from
   // the (single) writer thread; concurrent readers must use SnapshotState.

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 
 #include "core/crc32c.h"
 #include "core/fault.h"
@@ -173,7 +174,7 @@ std::vector<std::uint64_t> WriteAheadLog::ListSegmentIndexes() const {
 }
 
 bool WriteAheadLog::ScanSegment(
-    const std::string& path,
+    const std::string& path, bool truncate,
     const std::function<void(const WalRecord&)>& visit, ReplayStats* stats,
     std::uint64_t* valid_bytes, std::string* error) {
   std::string data;
@@ -193,11 +194,12 @@ bool WriteAheadLog::ScanSegment(
         case fault::Mode::kCrash:
           throw fault::CrashException{"storage.wal.read"};
         case fault::Mode::kErrorReturn:
+        case fault::Mode::kStall:
           // Unreadable sector: everything from here on is lost.
           corrupt = true;
           break;
-        case fault::Mode::kBitFlip:
-        case fault::Mode::kTornWrite: {
+        default: {
+          // Any corruption mode: one bit of this record's bytes flips.
           const std::size_t span = (kFrameHeader + len) * 8;
           const std::size_t bit = fault->bit % span;
           data[offset + bit / 8] ^= static_cast<char>(1u << (bit % 8));
@@ -233,12 +235,16 @@ bool WriteAheadLog::ScanSegment(
   const std::uint64_t file_size = data.size();
   *valid_bytes = offset;
   if (offset < file_size) {
-    // Torn or corrupt tail: truncate the file to the last whole record so
-    // future appends land on a record boundary.
     if (stats != nullptr) {
       stats->truncated_bytes += file_size - offset;
       if (corrupt) ++stats->corrupt_records;
     }
+    // Read-only scans (tail shipping) report the torn tail but leave the
+    // file alone: the writer may still be appending the very frame this
+    // reader saw half of.
+    if (!truncate) return true;
+    // Torn or corrupt tail: truncate the file to the last whole record so
+    // future appends land on a record boundary.
     truncated_bytes_.fetch_add(file_size - offset, std::memory_order_relaxed);
     if (corrupt) corrupt_records_.fetch_add(1, std::memory_order_relaxed);
     truncations_metric_.Add(file_size - offset);
@@ -293,7 +299,7 @@ bool WriteAheadLog::OpenLocked(std::string* error) {
     ReplayStats stats;
     std::uint64_t valid_bytes = 0;
     const bool ok = ScanSegment(
-        SegmentPath(index),
+        SegmentPath(index), /*truncate=*/true,
         [&](const WalRecord& record) {
           if (segment.first_lsn == 0) segment.first_lsn = record.lsn;
           const std::uint64_t next =
@@ -396,6 +402,7 @@ bool WriteAheadLog::Append(WalRecord& record, std::string* error) {
   if (const auto fault = fault::Hit("storage.wal.append")) {
     switch (fault->mode) {
       case fault::Mode::kErrorReturn:
+      default:
         SetError(error, "wal append: injected failure");
         return false;
       case fault::Mode::kCrash:
@@ -471,6 +478,7 @@ bool WriteAheadLog::AppendBatch(std::vector<WalRecord>& records,
     if (const auto fault = fault::Hit("storage.wal.append")) {
       switch (fault->mode) {
         case fault::Mode::kErrorReturn:
+        default:
           SetError(error, "wal append: injected failure");
           return false;
         case fault::Mode::kCrash:
@@ -532,34 +540,49 @@ bool WriteAheadLog::Sync(std::string* error) {
   return SyncLocked(error);
 }
 
-bool WriteAheadLog::Replay(
-    std::uint64_t from_lsn,
-    const std::function<void(const WalRecord&)>& visit, ReplayStats* stats,
-    std::string* error) {
-  TRACE_SPAN("storage", "wal.replay");
+bool WriteAheadLog::ScanRange(
+    std::uint64_t from_lsn, std::uint64_t end_lsn, std::size_t max_records,
+    bool truncate, const std::function<void(const WalRecord&)>& visit,
+    ReplayStats* stats, std::string* error) {
   std::vector<Segment> segments;
   {
     const core::MutexLock lock(mu_);
     if (!opened_ && !OpenLocked(error)) return false;
     segments = segments_;
   }
-  // The scan itself runs unlocked. Replay is startup-only (it must not
-  // race Append), and the journal's visitor re-enters the shard locks —
-  // holding mu_ across it would invert the shard-lock -> wal-lock order
-  // the append path establishes.
+  // The scan itself runs unlocked. The recovery path is startup-only (it
+  // must not race Append), and the journal's visitor re-enters the shard
+  // locks — holding mu_ across it would invert the shard-lock -> wal-lock
+  // order the append path establishes. Read-only tail scans tolerate a
+  // racing appender by construction (a half-written final frame just ends
+  // the scan).
   ReplayStats local;
   ReplayStats* out = stats != nullptr ? stats : &local;
-  for (const Segment& segment : segments) {
+  bool done = false;
+  for (std::size_t i = 0; i < segments.size() && !done; ++i) {
+    // A segment is fully covered by from_lsn when its successor's first
+    // record — which bounds every lsn it holds — is already at or below
+    // from_lsn + 1. Open() scanned these files once; skipping them here
+    // is what removed Recover()'s duplicate segment open.
+    if (i + 1 < segments.size() && segments[i + 1].first_lsn != 0 &&
+        segments[i + 1].first_lsn <= from_lsn + 1) {
+      continue;
+    }
     std::uint64_t valid_bytes = 0;
     ReplayStats scan;
     const bool ok = ScanSegment(
-        SegmentPath(segment.index),
+        SegmentPath(segments[i].index), truncate,
         [&](const WalRecord& record) {
+          if (done) return;
           if (record.lsn <= from_lsn) {
             ++out->skipped;
             return;
           }
-          replayed_metric_.Add();
+          if (record.lsn > end_lsn ||
+              (max_records > 0 && out->records >= max_records)) {
+            done = true;
+            return;
+          }
           ++out->records;
           if (visit) visit(record);
         },
@@ -570,6 +593,36 @@ bool WriteAheadLog::Replay(
     if (scan.truncated_bytes > 0) break;  // log cut: stop here
   }
   return true;
+}
+
+bool WriteAheadLog::Replay(
+    std::uint64_t from_lsn,
+    const std::function<void(const WalRecord&)>& visit, ReplayStats* stats,
+    std::string* error) {
+  TRACE_SPAN("storage", "wal.replay");
+  return ScanRange(from_lsn, std::numeric_limits<std::uint64_t>::max(), 0,
+                   /*truncate=*/true,
+                   [&](const WalRecord& record) {
+                     replayed_metric_.Add();
+                     if (visit) visit(record);
+                   },
+                   stats, error);
+}
+
+bool WriteAheadLog::ReadTail(std::uint64_t from_lsn, std::uint64_t end_lsn,
+                             std::size_t max_records,
+                             std::vector<WalRecord>* out, std::string* error) {
+  return ScanRange(from_lsn, end_lsn, max_records, /*truncate=*/false,
+                   [&](const WalRecord& record) { out->push_back(record); },
+                   nullptr, error);
+}
+
+std::uint64_t WriteAheadLog::oldest_lsn() const {
+  const core::MutexLock lock(mu_);
+  for (const Segment& segment : segments_) {
+    if (segment.first_lsn != 0) return segment.first_lsn;
+  }
+  return 0;
 }
 
 bool WriteAheadLog::WriteCheckpoint(std::uint64_t lsn,
@@ -593,6 +646,7 @@ bool WriteAheadLog::WriteCheckpoint(std::uint64_t lsn,
   if (const auto fault = fault::Hit("storage.wal.append")) {
     switch (fault->mode) {
       case fault::Mode::kErrorReturn:
+      default:
         SetError(error, "wal checkpoint: injected failure");
         return false;
       case fault::Mode::kCrash:

@@ -124,10 +124,29 @@ class WriteAheadLog {
   // Replays every valid record with lsn > from_lsn, in log order. The log
   // must be Open()ed. Returns false only on unrecoverable errors (an
   // unreadable directory); torn tails are truncated, counted, and NOT
-  // errors.
+  // errors. Segments whose records are all <= from_lsn (bounded by the
+  // next segment's first LSN) are skipped without reopening their files.
   bool Replay(std::uint64_t from_lsn,
               const std::function<void(const WalRecord&)>& visit,
               ReplayStats* stats, std::string* error);
+
+  // Read-only tail iterator for replication shipping: appends every valid
+  // record with from_lsn < lsn <= end_lsn, in log order, to `out`
+  // (`max_records` bounds the batch; 0 = unbounded). Unlike Open/Replay
+  // this NEVER mutates the log — a torn or corrupt tail just ends the
+  // read at the last whole record, so a reader can tail a log that a
+  // writer is still appending to. Returns false only on unrecoverable
+  // I/O errors (e.g. a segment pruned mid-read by a checkpoint; the
+  // caller re-checks oldest_lsn and re-bootstraps).
+  bool ReadTail(std::uint64_t from_lsn, std::uint64_t end_lsn,
+                std::size_t max_records, std::vector<WalRecord>* out,
+                std::string* error);
+
+  // First LSN still present in the segment files (0 when the log holds no
+  // records). Checkpoints prune covered segments, so a follower whose
+  // applied LSN has fallen below oldest_lsn() - 1 cannot be caught up
+  // from the tail and must re-bootstrap from a snapshot.
+  std::uint64_t oldest_lsn() const;
 
   // Durably writes a checkpoint payload covering `lsn` (tmp + rename),
   // prunes checkpoints beyond Options::keep_checkpoints, and deletes
@@ -207,12 +226,21 @@ class WriteAheadLog {
   bool SyncLocked(std::string* error) CENSYS_REQUIRES(mu_);
   bool WriteAllLocked(const void* data, std::size_t n, std::string* error)
       CENSYS_REQUIRES(mu_);
-  // Scans one segment file, delivering valid records; truncates the file
-  // at the first invalid record. Returns the file's valid byte length.
-  bool ScanSegment(const std::string& path,
+  // Scans one segment file, delivering valid records. With `truncate`
+  // set (the recovery paths), the file is cut back to the last whole
+  // record and the truncation counters advance; without it (read-only
+  // tail reads), an invalid record just stops the scan. Returns the
+  // file's valid byte length.
+  bool ScanSegment(const std::string& path, bool truncate,
                    const std::function<void(const WalRecord&)>& visit,
                    ReplayStats* stats, std::uint64_t* valid_bytes,
                    std::string* error);
+  // Shared walk behind Replay and ReadTail: segments fully covered by
+  // from_lsn are skipped, delivery stops past end_lsn / max_records.
+  bool ScanRange(std::uint64_t from_lsn, std::uint64_t end_lsn,
+                 std::size_t max_records, bool truncate,
+                 const std::function<void(const WalRecord&)>& visit,
+                 ReplayStats* stats, std::string* error);
   std::vector<std::uint64_t> ListSegmentIndexes() const;
   void RemoveSegmentsBelowLocked(std::uint64_t lsn) CENSYS_REQUIRES(mu_);
 

@@ -1,0 +1,9 @@
+// An upward include: a follower reaching into the serving router inverts
+// the declared DAG (replicate sits below serving) and must fire
+// `layering`.
+#pragma once
+#include "serving/router.h"
+
+namespace censys::replicate {
+inline int RouterReplicas() { return censys::serving::ReplicaCount(); }
+}  // namespace censys::replicate

@@ -1,0 +1,533 @@
+// Replicated read serving: shipment codec framing, read-only WAL tailing,
+// follower bootstrap/apply/NACK semantics, 10-seed chaos convergence
+// (digest equality at equal watermarks under a lossy/reordering/corrupting
+// link), crash-mid-apply re-bootstrap, the pure RouterPolicy state machine
+// (simulated clock, no sleeps), and the ReplicaRouter's
+// failover/degradation ladder under kill/revive load with a
+// version-token correctness oracle (stale answers allowed, wrong answers
+// never).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "core/strings.h"
+#include "interrogate/record.h"
+#include "pipeline/read_side.h"
+#include "pipeline/write_side.h"
+#include "replicate/follower.h"
+#include "replicate/group.h"
+#include "replicate/shipment.h"
+#include "serving/frontend.h"
+#include "serving/replica_router.h"
+#include "serving/router_policy.h"
+#include "storage/journal.h"
+#include "storage/wal.h"
+#include "test_tmpdir.h"
+
+namespace censys::replicate {
+namespace {
+
+using test::ScratchDir;
+
+constexpr int kEntities = 5;
+
+storage::EventJournal::Options DurableOptions(const std::string& dir) {
+  storage::EventJournal::Options options;
+  options.shards = 4;
+  options.wal.dir = dir;
+  options.wal.segment_bytes = 8u << 10;  // rotate often
+  return options;
+}
+
+// Op `i` of the workload script — a pure function of i, always an
+// explicit state change (never a journal no-op).
+void ApplyOp(storage::EventJournal& journal, int i) {
+  storage::Delta delta;
+  delta.ops.push_back({storage::FieldOp::Kind::kSet,
+                       "f" + std::to_string(i % 3),
+                       "v" + std::to_string(i)});
+  journal.Append("host/" + std::to_string(i % kEntities),
+                 storage::EventKind::kServiceChanged,
+                 Timestamp{static_cast<std::int64_t>(i + 1)}, delta);
+}
+
+std::vector<storage::WalRecord> TailOf(storage::EventJournal& journal,
+                                       std::uint64_t from, std::uint64_t end,
+                                       std::size_t max = 0) {
+  std::vector<storage::WalRecord> records;
+  std::string error;
+  EXPECT_TRUE(journal.wal()->ReadTail(from, end, max, &records, &error))
+      << error;
+  return records;
+}
+
+// ----------------------------------------------------------- shipment codec
+
+TEST(ShipmentCodecTest, RoundTripsARecordRun) {
+  std::vector<storage::WalRecord> records;
+  for (int i = 0; i < 4; ++i) {
+    storage::WalRecord r;
+    r.lsn = 10 + static_cast<std::uint64_t>(i);
+    r.entity = "host/" + std::to_string(i);
+    r.kind = static_cast<std::uint8_t>(storage::EventKind::kServiceChanged);
+    r.at = Timestamp{100 + i};
+    r.delta.ops.push_back({storage::FieldOp::Kind::kSet, "f", "v"});
+    records.push_back(std::move(r));
+  }
+  const Shipment shipment = EncodeShipment(9, records);
+  EXPECT_EQ(shipment.prev_lsn, 9u);
+  EXPECT_EQ(shipment.last_lsn, 13u);
+
+  const DecodedShipment decoded = DecodeShipment(shipment);
+  EXPECT_EQ(decoded.corrupt_frames, 0u);
+  EXPECT_EQ(decoded.truncated_bytes, 0u);
+  ASSERT_EQ(decoded.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(decoded.records[i].lsn, records[i].lsn);
+    EXPECT_EQ(decoded.records[i].entity, records[i].entity);
+    ASSERT_EQ(decoded.records[i].delta.ops.size(), 1u);
+    EXPECT_EQ(decoded.records[i].delta.ops[0].value, "v");
+  }
+}
+
+TEST(ShipmentCodecTest, BitFlipCutsDecodeAtTheBadFrame) {
+  std::vector<storage::WalRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    storage::WalRecord r;
+    r.lsn = 1 + static_cast<std::uint64_t>(i);
+    r.entity = "e";
+    r.at = Timestamp{i};
+    r.delta.ops.push_back({storage::FieldOp::Kind::kSet, "f", "v"});
+    records.push_back(std::move(r));
+  }
+  Shipment shipment = EncodeShipment(0, records);
+  // Flip a payload bit in the middle frame: frame 0 survives, the CRC
+  // kills frame 1, and the decoder refuses to resynchronize past it.
+  const std::size_t frame_bytes = shipment.frames.size() / 3;
+  shipment.frames[frame_bytes + 9] ^= 0x10;
+  const DecodedShipment decoded = DecodeShipment(shipment);
+  EXPECT_EQ(decoded.records.size(), 1u);
+  EXPECT_EQ(decoded.corrupt_frames, 1u);
+}
+
+TEST(ShipmentCodecTest, TornTailYieldsTheValidPrefix) {
+  std::vector<storage::WalRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    storage::WalRecord r;
+    r.lsn = 1 + static_cast<std::uint64_t>(i);
+    r.entity = "e";
+    r.at = Timestamp{i};
+    r.delta.ops.push_back({storage::FieldOp::Kind::kSet, "f", "v"});
+    records.push_back(std::move(r));
+  }
+  Shipment shipment = EncodeShipment(0, records);
+  shipment.frames.resize(shipment.frames.size() - 5);  // tear mid-frame
+  const DecodedShipment decoded = DecodeShipment(shipment);
+  EXPECT_EQ(decoded.records.size(), 2u);
+  EXPECT_GT(decoded.truncated_bytes, 0u);
+}
+
+// ------------------------------------------------------------- WAL tailing
+
+TEST(WalReadTailTest, ReturnsTheExactWindow) {
+  const std::string dir = ScratchDir("read_tail_window");
+  storage::EventJournal journal(DurableOptions(dir));
+  for (int i = 0; i < 50; ++i) ApplyOp(journal, i);
+  const std::uint64_t end = journal.wal()->last_lsn();
+  ASSERT_GE(end, 50u);
+
+  // (from, end] semantics, across segment rotations.
+  const auto all = TailOf(journal, 0, end);
+  ASSERT_EQ(all.size(), end);
+  EXPECT_EQ(all.front().lsn, 1u);
+  EXPECT_EQ(all.back().lsn, end);
+
+  const auto window = TailOf(journal, 10, 20);
+  ASSERT_EQ(window.size(), 10u);
+  EXPECT_EQ(window.front().lsn, 11u);
+  EXPECT_EQ(window.back().lsn, 20u);
+
+  // max_records caps the run without skipping anything.
+  const auto capped = TailOf(journal, 10, end, 5);
+  ASSERT_EQ(capped.size(), 5u);
+  EXPECT_EQ(capped.front().lsn, 11u);
+  EXPECT_EQ(capped.back().lsn, 15u);
+
+  EXPECT_EQ(journal.wal()->oldest_lsn(), 1u);
+}
+
+TEST(WalReadTailTest, NeverTruncatesATornTail) {
+  const std::string dir = ScratchDir("read_tail_readonly");
+  std::uint64_t end = 0;
+  {
+    storage::EventJournal journal(DurableOptions(dir));
+    for (int i = 0; i < 10; ++i) ApplyOp(journal, i);
+    end = journal.wal()->last_lsn();
+  }
+  // Tear the newest segment by appending garbage, as a crashed writer
+  // would leave it.
+  std::filesystem::path newest;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("wal-", 0) == 0 &&
+        (newest.empty() || entry.path() > newest)) {
+      newest = entry.path();
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  const auto before = std::filesystem::file_size(newest);
+  {
+    std::FILE* f = std::fopen(newest.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage-tail", f);
+    std::fclose(f);
+  }
+  const auto torn = std::filesystem::file_size(newest);
+  ASSERT_GT(torn, before);
+
+  // A reader tailing the log sees the valid records and leaves the torn
+  // bytes exactly where they were — truncation is Recover's job.
+  storage::EventJournal journal(DurableOptions(dir));
+  std::vector<storage::WalRecord> records;
+  std::string error;
+  ASSERT_TRUE(journal.wal()->Open(&error)) << error;
+  // Recovery (Open via the journal constructor) already trimmed the torn
+  // tail; re-tear it to exercise ReadTail against a dirty file.
+  {
+    std::FILE* f = std::fopen(newest.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage-tail", f);
+    std::fclose(f);
+  }
+  const auto dirty = std::filesystem::file_size(newest);
+  ASSERT_TRUE(journal.wal()->ReadTail(0, end, 0, &records, &error)) << error;
+  EXPECT_EQ(records.size(), end);
+  EXPECT_EQ(std::filesystem::file_size(newest), dirty);
+}
+
+// -------------------------------------------------------- follower protocol
+
+TEST(FollowerTest, BootstrapsAndTailsToLeaderDigest) {
+  const std::string dir = ScratchDir("follower_tail");
+  storage::EventJournal leader(DurableOptions(dir));
+  ReplicationGroup::Options go;
+  go.max_records_per_shipment = 7;  // force multi-shipment catch-up
+  ReplicationGroup group(leader, go);
+  group.AddFollower("f0");
+  std::string error;
+  ASSERT_TRUE(group.BootstrapFollower(0, &error)) << error;
+
+  for (int i = 0; i < 100; ++i) ApplyOp(leader, i);
+  ASSERT_TRUE(group.CatchUp(0, 1000, &error)) << error;
+
+  const Follower& f = group.follower(0);
+  EXPECT_EQ(f.applied_lsn(), group.leader_lsn());
+  EXPECT_EQ(f.LagBehind(group.leader_lsn()), 0u);
+  EXPECT_EQ(f.Digest(), JournalDigest(leader));
+  EXPECT_GT(f.applied_records(), 0u);
+}
+
+TEST(FollowerTest, NacksGapsSkipsDuplicatesAppliesInOrder) {
+  const std::string dir = ScratchDir("follower_nack");
+  storage::EventJournal leader(DurableOptions(dir));
+  ReplicationGroup group(leader);
+  Follower& f = group.AddFollower("f0");
+  std::string error;
+  ASSERT_TRUE(group.BootstrapFollower(0, &error)) << error;  // empty, lsn 0
+
+  for (int i = 0; i < 10; ++i) ApplyOp(leader, i);
+  const std::uint64_t end = leader.wal()->last_lsn();
+  const auto head = TailOf(leader, 0, 5);
+  const auto tail = TailOf(leader, 5, end);
+  const Shipment first = EncodeShipment(0, head);
+  const Shipment second = EncodeShipment(5, tail);
+
+  // The successor run arrives first: gap, nothing applied.
+  EXPECT_EQ(f.Apply(second).status, Follower::Ingest::kGap);
+  EXPECT_EQ(f.applied_lsn(), 0u);
+  EXPECT_EQ(f.gap_nacks(), 1u);
+
+  EXPECT_EQ(f.Apply(first).status, Follower::Ingest::kApplied);
+  EXPECT_EQ(f.applied_lsn(), 5u);
+
+  // Replaying the same run is a no-op, not a divergence.
+  EXPECT_EQ(f.Apply(first).status, Follower::Ingest::kDuplicate);
+  EXPECT_EQ(f.applied_lsn(), 5u);
+
+  // A corrupt frame keeps the valid prefix and NACKs the rest.
+  Shipment bad = second;
+  bad.frames[bad.frames.size() / 2] ^= 0x04;
+  const auto result = f.Apply(bad);
+  EXPECT_EQ(result.status, Follower::Ingest::kCorrupt);
+  EXPECT_EQ(f.corrupt_shipments(), 1u);
+  EXPECT_LT(f.applied_lsn(), end);
+
+  EXPECT_EQ(f.Apply(second).status, Follower::Ingest::kApplied);
+  EXPECT_EQ(f.applied_lsn(), end);
+  EXPECT_EQ(f.Digest(), JournalDigest(leader));
+}
+
+TEST(FollowerTest, KilledFollowerDropsShipmentsUntilRebootstrap) {
+  const std::string dir = ScratchDir("follower_kill");
+  storage::EventJournal leader(DurableOptions(dir));
+  ReplicationGroup group(leader);
+  Follower& f = group.AddFollower("f0");
+  std::string error;
+  ASSERT_TRUE(group.BootstrapFollower(0, &error)) << error;
+  for (int i = 0; i < 10; ++i) ApplyOp(leader, i);
+
+  f.Kill();
+  EXPECT_FALSE(f.serving());
+  const auto records = TailOf(leader, 0, leader.wal()->last_lsn());
+  EXPECT_EQ(f.Apply(EncodeShipment(0, records)).status,
+            Follower::Ingest::kDead);
+  EXPECT_EQ(f.applied_lsn(), 0u);
+
+  ASSERT_TRUE(group.BootstrapFollower(0, &error)) << error;
+  EXPECT_TRUE(f.serving());
+  EXPECT_EQ(f.applied_lsn(), group.leader_lsn());
+  EXPECT_EQ(f.Digest(), JournalDigest(leader));
+  EXPECT_EQ(f.bootstraps(), 2u);
+}
+
+TEST(FollowerTest, PrunedLeaderTailFallsBackToSnapshotBootstrap) {
+  const std::string dir = ScratchDir("follower_pruned");
+  storage::EventJournal::Options options = DurableOptions(dir);
+  options.wal.segment_bytes = 2u << 10;
+  options.snapshot_every = 0;  // explicit checkpoints only
+  storage::EventJournal leader(options);
+  ReplicationGroup group(leader);
+  group.AddFollower("f0");
+  std::string error;
+  ASSERT_TRUE(group.BootstrapFollower(0, &error)) << error;
+
+  // The follower sleeps through a lot of traffic and a checkpoint that
+  // prunes the segments it would have tailed.
+  for (int i = 0; i < 300; ++i) ApplyOp(leader, i);
+  ASSERT_TRUE(leader.Checkpoint(&error)) << error;
+  for (int i = 300; i < 320; ++i) ApplyOp(leader, i);
+  ASSERT_GT(leader.wal()->oldest_lsn(), 1u);
+
+  ASSERT_TRUE(group.CatchUp(0, 1000, &error)) << error;
+  EXPECT_EQ(group.follower(0).applied_lsn(), group.leader_lsn());
+  EXPECT_EQ(group.follower(0).Digest(), JournalDigest(leader));
+  EXPECT_GE(group.bootstraps(), 2u);  // initial + pruned-tail fallback
+}
+
+// ----------------------------------------------------------------- chaos (a)
+
+// 10 seeds x 5 link-fault modes: whatever the link does short of killing
+// the process, every follower converges to the leader's exact digest once
+// the link clears — the NACK/resend loop loses nothing and applies
+// nothing twice.
+TEST(ReplicationChaosTest, DigestsConvergeUnderLinkFaults) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const std::string dir =
+        ScratchDir("chaos_link_" + std::to_string(seed));
+    storage::EventJournal leader(DurableOptions(dir));
+    ReplicationGroup::Options go;
+    go.max_records_per_shipment = 9;
+    ReplicationGroup group(leader, go);
+    group.AddFollower("f0");
+    group.AddFollower("f1");
+    group.AddFollower("f2");
+    std::string error;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      ASSERT_TRUE(group.BootstrapFollower(i, &error)) << error;
+    }
+
+    {
+      const fault::Mode mode = static_cast<fault::Mode>(
+          (seed % 5) + 1);  // kTornWrite, kBitFlip, kCrash(=lost), kReorder, kStall
+      fault::ScopedPlan plan(seed + 1, {{.point = "replicate.ship",
+                                         .mode = mode,
+                                         .probability = 0.4}});
+      for (int i = 0; i < 200; ++i) {
+        ApplyOp(leader, i);
+        if (i % 4 == 3) {
+          ASSERT_TRUE(group.PumpAll(&error)) << error;
+        }
+      }
+    }
+
+    // Link clears: every follower drains to the leader watermark.
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      ASSERT_TRUE(group.CatchUp(i, 2000, &error))
+          << "seed " << seed << " follower " << i << ": " << error;
+    }
+    const std::uint64_t want = JournalDigest(leader);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      EXPECT_EQ(group.follower(i).applied_lsn(), group.leader_lsn());
+      EXPECT_EQ(group.follower(i).Digest(), want) << "seed " << seed;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- chaos (b)
+
+// A follower crash-killed mid-apply (fault::CrashException at an
+// arbitrary record) re-bootstraps from a fresh snapshot to the identical
+// digest: partial applies never leak into the converged state.
+TEST(ReplicationChaosTest, CrashMidApplyRebootstrapsToIdenticalDigest) {
+#if !defined(CENSYSIM_FAULT_INJECTION)
+  GTEST_SKIP() << "fault injection compiled out";
+#else
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const std::string dir =
+        ScratchDir("chaos_crash_" + std::to_string(seed));
+    storage::EventJournal leader(DurableOptions(dir));
+    ReplicationGroup group(leader);
+    Follower& f = group.AddFollower("f0");
+    std::string error;
+    ASSERT_TRUE(group.BootstrapFollower(0, &error)) << error;
+
+    for (int i = 0; i < 120; ++i) ApplyOp(leader, i);
+
+    bool crashed = false;
+    {
+      fault::ScopedPlan plan(seed + 1,
+                             {{.point = "replicate.apply",
+                               .mode = fault::Mode::kCrash,
+                               .skip_hits = (13 * seed + 5) % 100,
+                               .max_fires = 1}});
+      try {
+        ASSERT_TRUE(group.CatchUp(0, 2000, &error)) << error;
+      } catch (const fault::CrashException&) {
+        crashed = true;
+        f.Kill();  // the "process" died; its memory is gone
+      }
+    }
+    ASSERT_TRUE(crashed) << "seed " << seed;
+    EXPECT_FALSE(f.serving());
+
+    ASSERT_TRUE(group.BootstrapFollower(0, &error)) << error;
+    ASSERT_TRUE(group.CatchUp(0, 2000, &error)) << error;
+    EXPECT_EQ(f.applied_lsn(), group.leader_lsn());
+    EXPECT_EQ(f.Digest(), JournalDigest(leader)) << "seed " << seed;
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace censys::replicate
+
+// ============================================================ router policy
+
+namespace censys::serving {
+namespace {
+
+RouterPolicy::Options TightPolicy() {
+  RouterPolicy::Options o;
+  o.lagging_above = 10;
+  o.healthy_below = 4;
+  o.healthy_streak = 3;
+  o.max_attempts = 3;
+  o.backoff_base_us = 100;
+  o.backoff_cap_us = 800;
+  o.jitter_frac = 0.25;
+  o.hedge_latency_us = 500;
+  o.down_probe_us = 5000;
+  return o;
+}
+
+TEST(RouterPolicyTest, BackoffIsDeterministicBoundedAndCapped) {
+  const RouterPolicy policy(3, TightPolicy(), /*seed=*/7);
+  EXPECT_EQ(policy.BackoffUs(1, 0), 0);  // first attempt never waits
+
+  for (int attempt = 2; attempt <= 8; ++attempt) {
+    const double a = policy.BackoffUs(attempt, 42);
+    const double b = policy.BackoffUs(attempt, 42);
+    EXPECT_EQ(a, b);  // same (seed, salt, attempt) -> same wait
+    const double exp =
+        std::min(100.0 * static_cast<double>(1 << (attempt - 2)), 800.0);
+    EXPECT_LE(a, exp);
+    EXPECT_GE(a, exp * 0.75);  // jitter shaves at most jitter_frac
+  }
+  // Different salts decorrelate.
+  EXPECT_NE(policy.BackoffUs(3, 1), policy.BackoffUs(3, 2));
+}
+
+TEST(RouterPolicyTest, LaggingToHealthyRequiresAFullStreak) {
+  RouterPolicy policy(1, TightPolicy(), 1);
+  EXPECT_EQ(policy.health(0), RouterPolicy::Health::kHealthy);
+
+  policy.ObserveLag(0, 11);  // > lagging_above
+  EXPECT_EQ(policy.health(0), RouterPolicy::Health::kLagging);
+
+  // Two good rounds, then a spike: the streak restarts (hysteresis).
+  policy.ObserveLag(0, 1);
+  policy.ObserveLag(0, 2);
+  EXPECT_EQ(policy.health(0), RouterPolicy::Health::kLagging);
+  policy.ObserveLag(0, 7);  // not below healthy_below
+  policy.ObserveLag(0, 1);
+  policy.ObserveLag(0, 1);
+  EXPECT_EQ(policy.health(0), RouterPolicy::Health::kLagging);
+  policy.ObserveLag(0, 1);  // third consecutive good round
+  EXPECT_EQ(policy.health(0), RouterPolicy::Health::kHealthy);
+}
+
+TEST(RouterPolicyTest, DownReplicaIsProbedAfterTheInterval) {
+  RouterPolicy policy(1, TightPolicy(), 1);
+  policy.OnFailure(0, /*now_us=*/1000);
+  EXPECT_EQ(policy.health(0), RouterPolicy::Health::kDown);
+
+  const std::vector<bool> none(1, false);
+  EXPECT_FALSE(policy.PickPrimary(2000, none).has_value());
+  EXPECT_FALSE(policy.PickStale(2000, none).has_value());
+  // Probe interval elapses on the simulated clock: eligible again.
+  EXPECT_EQ(policy.PickPrimary(6001, none), std::optional<std::size_t>(0));
+
+  // A successful probe rejoins as lagging, not healthy: the replica must
+  // re-earn fresh-read traffic through the streak.
+  policy.OnSuccess(0, 50);
+  EXPECT_EQ(policy.health(0), RouterPolicy::Health::kLagging);
+}
+
+TEST(RouterPolicyTest, PrimaryRoundRobinsOverHealthyReplicas) {
+  RouterPolicy policy(3, TightPolicy(), 1);
+  const std::vector<bool> none(3, false);
+  EXPECT_EQ(policy.PickPrimary(0, none), std::optional<std::size_t>(0));
+  EXPECT_EQ(policy.PickPrimary(0, none), std::optional<std::size_t>(1));
+  EXPECT_EQ(policy.PickPrimary(0, none), std::optional<std::size_t>(2));
+  EXPECT_EQ(policy.PickPrimary(0, none), std::optional<std::size_t>(0));
+
+  policy.ObserveLag(1, 100);  // demote 1
+  std::vector<bool> tried(3, false);
+  tried[2] = true;
+  EXPECT_EQ(policy.PickPrimary(0, tried), std::optional<std::size_t>(0));
+  tried[0] = true;
+  EXPECT_FALSE(policy.PickPrimary(0, tried).has_value());
+}
+
+TEST(RouterPolicyTest, StalePickPrefersTheLeastLaggingReplica) {
+  RouterPolicy policy(3, TightPolicy(), 1);
+  policy.ObserveLag(0, 100);
+  policy.ObserveLag(1, 40);
+  policy.OnFailure(2, 0);
+  const std::vector<bool> none(3, false);
+  EXPECT_EQ(policy.PickStale(0, none), std::optional<std::size_t>(1));
+  std::vector<bool> tried(3, false);
+  tried[1] = true;
+  EXPECT_EQ(policy.PickStale(0, tried), std::optional<std::size_t>(0));
+}
+
+TEST(RouterPolicyTest, HedgesSlowPrimariesToTheFastestHealthyPartner) {
+  RouterPolicy policy(3, TightPolicy(), 1);
+  policy.OnSuccess(0, 900);  // slow primary (EWMA seeds at first sample)
+  policy.OnSuccess(1, 100);
+  policy.OnSuccess(2, 50);
+  EXPECT_TRUE(policy.ShouldHedge(0));
+  EXPECT_EQ(policy.PickHedge(0), std::optional<std::size_t>(2));
+  EXPECT_FALSE(policy.ShouldHedge(1));  // fast primary: no hedge
+
+  // No healthy partner, no hedge.
+  policy.OnFailure(1, 0);
+  policy.OnFailure(2, 0);
+  EXPECT_FALSE(policy.ShouldHedge(0));
+}
+
+}  // namespace
+}  // namespace censys::serving

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "engines/world.h"
+#include "replicate/group.h"
 #include "serving/frontend.h"
+#include "serving/replica_router.h"
 
 namespace {
 
@@ -78,6 +80,28 @@ constexpr MetricDoc kDocs[] = {
      "Services evicted after the unreachability window."},
     {"censys.pipeline.tracked_services", "pipeline",
      "Services currently tracked by the write side."},
+    {"censys.replicate.shipments", "replicate",
+     "WAL-tail shipments delivered to followers (including faulted ones)."},
+    {"censys.replicate.shipped_records", "replicate",
+     "WAL records applied by followers from shipments."},
+    {"censys.replicate.ship_lost", "replicate",
+     "Shipments lost in flight on the replication link."},
+    {"censys.replicate.ship_corrupt", "replicate",
+     "Shipments delivered with a flipped bit or torn tail."},
+    {"censys.replicate.ship_reordered", "replicate",
+     "Shipments overtaken by their successor run (gap NACK path)."},
+    {"censys.replicate.ship_stalled", "replicate",
+     "Shipping rounds where the link silently made no progress."},
+    {"censys.replicate.nacks", "replicate",
+     "Shipments NACKed by a follower (gap, corrupt frame, or apply "
+     "stall); the next pump re-reads from the follower watermark."},
+    {"censys.replicate.bootstraps", "replicate",
+     "Follower snapshot bootstraps (initial, revival, and pruned-tail "
+     "fallback)."},
+    {"censys.replicate.max_lag", "replicate",
+     "Max LSN lag behind the leader across serving followers."},
+    {"censys.replicate.followers_down", "replicate",
+     "Followers currently killed / not serving."},
     {"censys.serving.lookups", "serving", "Host view lookups served."},
     {"censys.serving.queries", "serving",
      "Queries served by the frontend (all kinds)."},
@@ -102,6 +126,31 @@ constexpr MetricDoc kDocs[] = {
      "View-cache resident entries."},
     {"censys.serving.cache_stale_hits", "serving",
      "Degraded reads answered from a stale cached view."},
+    {"censys.serving.router.queries", "serving",
+     "Queries routed across the replica set."},
+    {"censys.serving.router.answered", "serving",
+     "Routed queries answered by some replica (fresh or stale)."},
+    {"censys.serving.router.stale_answers", "serving",
+     "Answers labeled stale (replica watermark behind the leader LSN at "
+     "dispatch)."},
+    {"censys.serving.router.shed", "serving",
+     "Routed queries shed with no replica eligible to try."},
+    {"censys.serving.router.failed", "serving",
+     "Routed queries where every tried replica failed."},
+    {"censys.serving.router.retries", "serving",
+     "Routed serve attempts beyond each query's first."},
+    {"censys.serving.router.failovers", "serving",
+     "Retries that moved to a different replica."},
+    {"censys.serving.router.hedged", "serving",
+     "Hedge reads mirrored to a second replica."},
+    {"censys.serving.router.hedge_wins", "serving",
+     "Hedge reads that returned a fresher watermark and won."},
+    {"censys.serving.router.replicas_healthy", "serving",
+     "Replicas currently healthy in the router's view."},
+    {"censys.serving.router.replicas_lagging", "serving",
+     "Replicas currently lagging in the router's view."},
+    {"censys.serving.router.replicas_down", "serving",
+     "Replicas currently down in the router's view."},
     {"censys.search.docs", "search",
      "Documents currently in the search index."},
     {"censys.search.indexed", "search",
@@ -184,6 +233,18 @@ std::vector<Instrument> RegisteredInstruments(const std::string& wal_dir) {
                                             world.censys().analytics(),
                                             censys::serving::ServingFrontend::Options{});
   frontend.BindMetrics(&world.censys().metrics());
+
+  // Same for the replica tier: a group + one follower + a router, so the
+  // censys.replicate.* and censys.serving.router.* instruments register.
+  censys::replicate::ReplicationGroup group(world.censys().journal());
+  const censys::replicate::Follower& follower = group.AddFollower("f0");
+  group.BindMetrics(&world.censys().metrics());
+  censys::serving::ServingFrontend replica_frontend(
+      follower.read_side(), follower.index(), follower.analytics(),
+      censys::serving::ServingFrontend::Options{});
+  censys::serving::ReplicaRouter router(
+      {{&replica_frontend, &follower}}, [&group] { return group.leader_lsn(); });
+  router.BindMetrics(&world.censys().metrics());
 
   std::vector<Instrument> instruments;
   world.censys().metrics().ForEachInstrument(
