@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Pinned-seed benchmark baseline (DESIGN.md §10): runs the serving, WAL,
-# replica-scaleout, micro, and engine-tick benches at a fixed small scale
-# and assembles a
+# replica-scaleout, query-tier (columnar analytics + standing queries),
+# micro, and engine-tick benches at a fixed small scale and assembles a
 # committed BENCH_<tag>.json so later PRs can diff their trajectory against
 # this one. Rows follow one schema:
 #
@@ -55,7 +55,7 @@ if [[ -n "$COMPARE" && ! -f "$COMPARE" ]]; then
 fi
 
 for bin in bench/serving_qps bench/wal_throughput bench/replica_scaleout \
-           bench/micro_core; do
+           bench/analytics_scan bench/standing_queries bench/micro_core; do
   if [[ ! -x "$BUILD_DIR/$bin" ]]; then
     echo "bench_baseline: $BUILD_DIR/$bin missing — build first:" >&2
     echo "  cmake -B build -S . && cmake --build build -j" >&2
@@ -87,6 +87,14 @@ sleep "$COOLDOWN"
 
 echo "== bench_baseline: replica_scaleout (router QPS vs replica count) =="
 CENSYSIM_BENCH_JSON="$LINES" "$BUILD_DIR/bench/replica_scaleout"
+sleep "$COOLDOWN"
+
+echo "== bench_baseline: analytics_scan (columnar vs journal walk) =="
+CENSYSIM_BENCH_JSON="$LINES" "$BUILD_DIR/bench/analytics_scan"
+sleep "$COOLDOWN"
+
+echo "== bench_baseline: standing_queries (commit-observer fan-out) =="
+CENSYSIM_BENCH_JSON="$LINES" "$BUILD_DIR/bench/standing_queries"
 sleep "$COOLDOWN"
 
 echo "== bench_baseline: micro_core (hot-path micros) =="
@@ -133,10 +141,10 @@ rows.extend(google_benchmark_rows(micro_path, "micro_core"))
 rows.extend(google_benchmark_rows(tick_path, "engine_tick"))
 
 benches = sorted({r["bench"] for r in rows})
-if len(benches) < 5:
-    sys.exit(f"bench_baseline: only {benches} produced rows; expected >=5 "
+if len(benches) < 7:
+    sys.exit(f"bench_baseline: only {benches} produced rows; expected >=7 "
              "benches (serving_qps, wal_throughput, replica_scaleout, "
-             "micro_core, engine_tick)")
+             "analytics_scan, standing_queries, micro_core, engine_tick)")
 
 rows.sort(key=lambda r: (r["bench"], r["metric"]))
 with open(out_path, "w") as f:

@@ -12,6 +12,8 @@
 #                               # tracereport smoke, TRACE=OFF compile-out
 #   scripts/check.sh scaling    # BM_EngineTick 4-thread >= 2x 1-thread
 #                               # (skips on runners with < 4 cores)
+#   scripts/check.sh query      # standing-query determinism + columnar
+#                               # corruption fallback under ASan and TSan
 #   scripts/check.sh lint       # just censyslint (builds it if needed)
 #   scripts/check.sh archlint   # architecture passes only (layering,
 #                               # lock-order, unordered-iter) with the SARIF
@@ -60,6 +62,7 @@ SAN_TESTS=(
   "trace_test:"
   "replication_test:"
   "replica_router_test:"
+  "query_test:"
 )
 
 run_sanitizer() { # run_sanitizer <address|thread|undefined> <dir>
@@ -202,6 +205,29 @@ run_replication() {
   record "replication leg" $rc
 }
 
+# Query-tier leg (DESIGN.md §12): the standing-query determinism run and
+# the columnar corruption-fallback suite under ASan and TSan (reusing the
+# sanitizer build dirs). The registry's commit observer shares the
+# command thread with the write side and its consumers drain from reader
+# threads, so this is where a lock-order or lifetime mistake would show.
+run_query() {
+  note "query leg (build dirs build-asan, build-tsan)"
+  local rc=0
+  for pair in "address build-asan" "thread build-tsan"; do
+    local kind="${pair%% *}" dir="${pair#* }"
+    cmake -B "$dir" -S . -DCENSYSIM_SANITIZE="$kind" \
+      -DCENSYSIM_FAULT_INJECTION=ON >/dev/null &&
+      cmake --build "$dir" -j "$JOBS" --target query_test || {
+      rc=1
+      continue
+    }
+    "./$dir/tests/query_test" || rc=1
+    CENSYSIM_THREADS=4 "./$dir/tests/query_test" \
+      --gtest_filter="StandingDeterminismTest.*" || rc=1
+  done
+  record "query leg" $rc
+}
+
 run_lint() {
   note "censyslint"
   cmake -B build -S . >/dev/null &&
@@ -255,6 +281,7 @@ case "$LEG" in
   trace) run_trace ;;
   scaling) run_scaling ;;
   replication) run_replication ;;
+  query) run_query ;;
   lint) run_lint ;;
   archlint) run_archlint ;;
   all)
@@ -268,9 +295,10 @@ case "$LEG" in
     run_sanitizer thread build-tsan
     run_sanitizer undefined build-ubsan
     run_replication
+    run_query
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|address|thread|undefined|faultoff|trace|scaling|replication|lint|archlint|all]" >&2
+    echo "usage: scripts/check.sh [plain|address|thread|undefined|faultoff|trace|scaling|replication|query|lint|archlint|all]" >&2
     exit 2
     ;;
 esac

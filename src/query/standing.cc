@@ -1,0 +1,222 @@
+#include "query/standing.h"
+
+#include <utility>
+
+#include "core/trace.h"
+#include "search/match.h"
+
+namespace censys::query {
+
+std::string_view ToString(MatchEvent::Kind kind) {
+  switch (kind) {
+    case MatchEvent::Kind::kEnter: return "enter";
+    case MatchEvent::Kind::kLeave: return "leave";
+  }
+  return "?";
+}
+
+std::string MatchEvent::ToString() const {
+  std::string out = "q" + std::to_string(query);
+  out += kind == Kind::kEnter ? " + " : " - ";
+  out += entity_id;
+  out += " #" + std::to_string(seqno);
+  out += " @" + std::to_string(at.minutes);
+  return out;
+}
+
+std::optional<StandingQueryId> StandingQueryRegistry::Register(
+    std::string_view name, std::string_view expression, std::string* error,
+    const storage::EventJournal* backfill, Callback callback) {
+  std::string local_error;
+  const auto parsed = search::ParseQuery(
+      expression, error != nullptr ? error : &local_error);
+  if (!parsed.has_value()) return std::nullopt;
+
+  Entry entry;
+  entry.name = std::string(name);
+  entry.expression = std::string(expression);
+  entry.compiled = *parsed;
+  search::CollectQueryFields(entry.compiled, &entry.fields, &entry.any_field);
+  if (callback) {
+    entry.callback = std::make_shared<const Callback>(std::move(callback));
+  }
+
+  const core::MutexLock lock(mu_);
+  const StandingQueryId id = next_id_++;
+  if (backfill != nullptr) {
+    // Seed silently under the lock: a commit racing this registration is
+    // either fully in the seed (it landed first) or fully delivered as
+    // events (OnCommit serialized after us) — never half of each.
+    backfill->ForEachEntity(
+        [&](std::string_view entity, const storage::FieldMap& fields) {
+          if (fields.empty()) return;
+          known_.insert(std::string(entity));
+          if (search::MatchesDocument(entry.compiled, fields)) {
+            entry.matched.insert(std::string(entity));
+          }
+        });
+  }
+  for (const std::string& field : entry.fields) field_index_[field].insert(id);
+  if (entry.any_field) any_field_.insert(id);
+  entries_.emplace(id, std::move(entry));
+  registered_metric_.Set(static_cast<std::int64_t>(entries_.size()));
+  return id;
+}
+
+bool StandingQueryRegistry::Unregister(StandingQueryId id) {
+  const core::MutexLock lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  for (const std::string& field : it->second.fields) {
+    const auto fi = field_index_.find(field);
+    if (fi != field_index_.end()) {
+      fi->second.erase(id);
+      if (fi->second.empty()) field_index_.erase(fi);
+    }
+  }
+  any_field_.erase(id);
+  entries_.erase(it);
+  // With no queries left the universe no longer needs tracking; the next
+  // registration reseeds it (backfill) or reconverges lazily.
+  if (entries_.empty()) known_.clear();
+  registered_metric_.Set(static_cast<std::int64_t>(entries_.size()));
+  return true;
+}
+
+bool StandingQueryRegistry::EvaluateLocked(
+    StandingQueryId id, Entry& entry, const storage::AppliedEvent& ev,
+    bool now_present,
+    std::vector<std::pair<std::shared_ptr<const Callback>, MatchEvent>>*
+        fired) {
+  bool ran = false;
+  bool matches = false;
+  if (now_present) {
+    matches = search::MatchesDocument(entry.compiled, *ev.post_state);
+    ran = true;
+  }
+  const std::string entity(ev.entity_id);
+  const bool had = entry.matched.contains(entity);
+  if (matches == had) return ran;
+
+  MatchEvent event;
+  event.query = id;
+  event.kind = matches ? MatchEvent::Kind::kEnter : MatchEvent::Kind::kLeave;
+  event.entity_id = entity;
+  event.seqno = ev.seqno;
+  event.at = ev.at;
+  if (matches) {
+    entry.matched.insert(entity);
+  } else {
+    entry.matched.erase(entity);
+  }
+  if (entry.callback != nullptr) fired->emplace_back(entry.callback, event);
+  entry.pending.push_back(std::move(event));
+  if (entry.pending.size() > options_.max_pending) {
+    entry.pending.pop_front();
+    ++entry.dropped;
+    dropped_metric_.Add();
+  }
+  events_metric_.Add();
+  return ran;
+}
+
+void StandingQueryRegistry::OnCommit(
+    const std::vector<storage::AppliedEvent>& batch) {
+  std::vector<std::pair<std::shared_ptr<const Callback>, MatchEvent>> fired;
+  {
+    const core::MutexLock lock(mu_);
+    if (entries_.empty()) return;
+    TRACE_SPAN("query", "standing.commit");
+    const metrics::ScopedTimer timer(eval_us_metric_);
+    std::uint64_t evals = 0;
+    for (const storage::AppliedEvent& ev : batch) {
+      const std::string entity(ev.entity_id);
+      const bool now_present =
+          ev.post_state != nullptr && !ev.post_state->empty();
+      const bool was_known = known_.contains(entity);
+      if (!was_known || !now_present) {
+        // Universe membership may be changing: every query's NOT (and
+        // plain) status can flip, so the field shortlist is unsound here
+        // — evaluate all of them.
+        for (auto& [id, entry] : entries_) {
+          if (EvaluateLocked(id, entry, ev, now_present, &fired)) ++evals;
+        }
+      } else {
+        // Steady state: only queries constraining a touched field (plus
+        // any-field queries) can change status.
+        std::set<StandingQueryId> affected = any_field_;
+        if (ev.delta != nullptr) {
+          for (const storage::FieldOp& op : ev.delta->ops) {
+            const auto fi = field_index_.find(op.key);
+            if (fi != field_index_.end()) {
+              affected.insert(fi->second.begin(), fi->second.end());
+            }
+          }
+        }
+        for (const StandingQueryId id : affected) {
+          const auto it = entries_.find(id);
+          if (it == entries_.end()) continue;
+          if (EvaluateLocked(id, it->second, ev, now_present, &fired)) {
+            ++evals;
+          }
+        }
+      }
+      if (now_present) {
+        known_.insert(entity);
+      } else {
+        known_.erase(entity);
+      }
+    }
+    evals_metric_.Add(evals);
+  }
+  // Push delivery outside the lock: a callback may re-enter the registry
+  // (Drain, Unregister) without deadlocking.
+  for (const auto& [callback, event] : fired) {
+    if (callback != nullptr && *callback) (*callback)(event);
+  }
+}
+
+std::vector<MatchEvent> StandingQueryRegistry::Drain(StandingQueryId id) {
+  const core::MutexLock lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return {};
+  std::vector<MatchEvent> out(it->second.pending.begin(),
+                              it->second.pending.end());
+  it->second.pending.clear();
+  return out;
+}
+
+std::vector<std::string> StandingQueryRegistry::MatchedEntities(
+    StandingQueryId id) const {
+  const core::MutexLock lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return {};
+  return std::vector<std::string>(it->second.matched.begin(),
+                                  it->second.matched.end());
+}
+
+std::size_t StandingQueryRegistry::query_count() const {
+  const core::MutexLock lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t StandingQueryRegistry::dropped(StandingQueryId id) const {
+  const core::MutexLock lock(mu_);
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? 0 : it->second.dropped;
+}
+
+void StandingQueryRegistry::BindMetrics(metrics::Registry* registry) {
+  registered_metric_ =
+      metrics::BindGauge(registry, "censys.query.standing.registered");
+  evals_metric_ =
+      metrics::BindCounter(registry, "censys.query.standing.evals");
+  events_metric_ =
+      metrics::BindCounter(registry, "censys.query.standing.events");
+  dropped_metric_ =
+      metrics::BindCounter(registry, "censys.query.standing.dropped");
+  eval_us_metric_ =
+      metrics::BindHistogram(registry, "censys.query.standing.eval_us");
+}
+
+}  // namespace censys::query

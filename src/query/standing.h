@@ -1,0 +1,169 @@
+// Standing queries: register a search expression once, get matches pushed
+// as commits land (the percolator inversion of §5.3's search path).
+//
+// Each registered expression is compiled once (search::ParseQuery) and
+// indexed by the fields its terms constrain (search/match.h
+// CollectQueryFields). On every group commit the journal's commit
+// observer hands the registry the applied events; for each event the
+// registry shortlists the queries whose match status could have changed —
+// queries naming a field the delta touched, plus every any-field query —
+// and re-evaluates only those, per document, with MatchesDocument. No
+// full search re-runs, ever.
+//
+// Universe tracking makes NOT sound: the index evaluates NOT against the
+// set of documents with non-empty state, so the registry tracks that
+// same universe (`known_`). An entity first entering the universe (or
+// leaving it — post-state emptied) bypasses the field shortlist and is
+// evaluated against EVERY query: `NOT foo:bar` matches a brand-new
+// entity even when its delta never touches `foo`.
+//
+// Determinism: commits are applied by the one command thread in seqno
+// order, queries are kept and evaluated in registration-id order, and
+// every container that shapes evaluation order is an ordered std::map /
+// std::set — so the per-query event streams are byte-identical across
+// engine thread counts (the determinism test diffs the streams across
+// threads {1,4} and against a from-scratch search per tick).
+//
+// Concurrency: one mutex guards all registry state. OnCommit runs on the
+// command thread; Register / Unregister / Drain may be called from any
+// other thread and serialize against it — registration mid-commit either
+// sees the whole commit or none of it. Optional per-query callbacks are
+// invoked AFTER the lock is released (on the command thread), so a
+// callback may call back into the registry, but must not append to the
+// journal.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/thread_safety.h"
+#include "core/types.h"
+#include "search/query.h"
+#include "storage/journal.h"
+
+namespace censys::query {
+
+using StandingQueryId = std::uint64_t;
+
+// One pushed match-set transition: `entity_id` started (kEnter) or
+// stopped (kLeave) matching query `query` at the commit of seqno `seqno`.
+struct MatchEvent {
+  enum class Kind : std::uint8_t { kEnter = 0, kLeave = 1 };
+
+  StandingQueryId query = 0;
+  Kind kind = Kind::kEnter;
+  std::string entity_id;
+  std::uint64_t seqno = 0;  // the triggering event's per-entity seqno
+  Timestamp at;
+
+  // Stable textual form ("q3 + 1.2.3.4 #17 @1440") — the determinism
+  // test's digest unit.
+  std::string ToString() const;
+
+  bool operator==(const MatchEvent&) const = default;
+};
+
+class StandingQueryRegistry {
+ public:
+  struct Options {
+    // Per-query pending-event cap; the oldest events are dropped (and
+    // counted) once a subscriber falls this far behind.
+    std::size_t max_pending = 65536;
+  };
+
+  // Pushed-delivery hook, invoked outside the registry lock.
+  using Callback = std::function<void(const MatchEvent&)>;
+
+  StandingQueryRegistry() : StandingQueryRegistry(Options{}) {}
+  explicit StandingQueryRegistry(Options options) : options_(options) {}
+
+  StandingQueryRegistry(const StandingQueryRegistry&) = delete;
+  StandingQueryRegistry& operator=(const StandingQueryRegistry&) = delete;
+
+  // Compiles and registers `expression`. Returns nullopt with *error set
+  // on a malformed expression. When `backfill` is non-null the current
+  // matches are seeded from it silently (no kEnter flood for
+  // already-matching entities) under the registry lock, so a commit
+  // racing the registration is either fully reflected in the seed or
+  // delivered as events — never half of each.
+  std::optional<StandingQueryId> Register(
+      std::string_view name, std::string_view expression, std::string* error,
+      const storage::EventJournal* backfill = nullptr,
+      Callback callback = nullptr);
+
+  // Tears the query down; its undrained events are discarded. Safe
+  // against a concurrent OnCommit. Returns false for unknown ids.
+  bool Unregister(StandingQueryId id);
+
+  // The journal commit hook (EventJournal::SetCommitObserver target).
+  // Command thread; evaluates the shortlisted queries per event.
+  void OnCommit(const std::vector<storage::AppliedEvent>& batch);
+
+  // Pops (up to) all pending events of one query, in commit order.
+  std::vector<MatchEvent> Drain(StandingQueryId id);
+
+  // Current matched set, sorted (a consistency check for tests).
+  std::vector<std::string> MatchedEntities(StandingQueryId id) const;
+
+  std::size_t query_count() const;
+  // Events dropped on `id` because the subscriber fell behind.
+  std::uint64_t dropped(StandingQueryId id) const;
+
+  // Registers the censys.query.standing.* instruments.
+  void BindMetrics(metrics::Registry* registry);
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string expression;
+    search::QueryPtr compiled;
+    std::set<std::string> fields;  // term-constrained fields
+    bool any_field = false;
+    std::set<std::string> matched;
+    std::deque<MatchEvent> pending;
+    std::uint64_t dropped = 0;
+    std::shared_ptr<const Callback> callback;  // shared so delivery can
+                                               // outlive an Unregister
+  };
+
+  // Re-evaluates `entry` against one applied event; queues/pushes the
+  // transition event if the match status flipped. Returns true when a
+  // MatchesDocument evaluation ran (for the evals counter).
+  bool EvaluateLocked(StandingQueryId id, Entry& entry,
+                      const storage::AppliedEvent& ev, bool now_present,
+                      std::vector<std::pair<std::shared_ptr<const Callback>,
+                                            MatchEvent>>* fired)
+      CENSYS_REQUIRES(mu_);
+
+  Options options_;
+
+  mutable core::Mutex mu_;
+  std::map<StandingQueryId, Entry> entries_ CENSYS_GUARDED_BY(mu_);
+  // field name -> queries constraining it (the per-delta shortlist).
+  std::map<std::string, std::set<StandingQueryId>> field_index_
+      CENSYS_GUARDED_BY(mu_);
+  std::set<StandingQueryId> any_field_ CENSYS_GUARDED_BY(mu_);
+  // The non-empty-entity universe (mirrors the search index's skip of
+  // empty-field entities).
+  std::set<std::string> known_ CENSYS_GUARDED_BY(mu_);
+  StandingQueryId next_id_ CENSYS_GUARDED_BY(mu_) = 1;
+
+  metrics::GaugeHandle registered_metric_;
+  metrics::CounterHandle evals_metric_;
+  metrics::CounterHandle events_metric_;
+  metrics::CounterHandle dropped_metric_;
+  metrics::HistogramHandle eval_us_metric_;
+};
+
+std::string_view ToString(MatchEvent::Kind kind);
+
+}  // namespace censys::query

@@ -1,9 +1,9 @@
 #include "search/index.h"
 
 #include <algorithm>
-#include <cctype>
 
 #include "core/strings.h"
+#include "search/match.h"
 
 namespace censys::search {
 namespace {
@@ -18,24 +18,9 @@ bool HasWildcard(std::string_view pattern) {
 }  // namespace
 
 std::vector<std::string> SearchIndex::Tokenize(std::string_view value) {
-  std::vector<std::string> tokens;
-  std::string current;
-  auto flush = [&] {
-    if (!current.empty()) {
-      tokens.push_back(current);
-      current.clear();
-    }
-  };
-  for (char c : value) {
-    const unsigned char uc = static_cast<unsigned char>(c);
-    if (std::isalnum(uc) || c == '.' || c == '_' || c == '-') {
-      current.push_back(static_cast<char>(std::tolower(uc)));
-    } else {
-      flush();
-    }
-  }
-  flush();
-  return tokens;
+  // Shared with the per-document matcher (search/match.h) so the index
+  // and standing-query evaluations can never tokenize differently.
+  return TokenizeValue(value);
 }
 
 void SearchIndex::BindMetrics(metrics::Registry* registry) {

@@ -1,0 +1,134 @@
+#include "search/match.h"
+
+#include <cctype>
+
+#include "core/strings.h"
+
+namespace censys::search {
+namespace {
+
+bool HasWildcard(std::string_view pattern) {
+  return pattern.find('*') != std::string_view::npos ||
+         pattern.find('?') != std::string_view::npos;
+}
+
+// Does any token of `value` equal `word`? (The per-document equivalent of
+// a posting-list membership probe.)
+bool ValueHasWord(std::string_view value, std::string_view word) {
+  for (const std::string& token : TokenizeValue(value)) {
+    if (token == word) return true;
+  }
+  return false;
+}
+
+bool MatchesTerm(const QueryNode& term, const storage::FieldMap& fields) {
+  if (HasWildcard(term.pattern)) {
+    // Wildcard: glob against the stored value, field-narrowed when the
+    // term names one (mirrors EvalTerm's field_docs_ narrowing).
+    const std::string pattern_lower = ToLower(term.pattern);
+    if (!term.field.empty()) {
+      const auto it = fields.find(term.field);
+      return it != fields.end() &&
+             GlobMatch(pattern_lower, ToLower(it->second));
+    }
+    for (const auto& [field, value] : fields) {
+      if (GlobMatch(pattern_lower, ToLower(value))) return true;
+    }
+    return false;
+  }
+
+  const std::vector<std::string> words = TokenizeValue(term.pattern);
+  if (words.empty()) return false;
+
+  // AND of word memberships. Any-field words may match in *different*
+  // fields — exactly how the "\x1fword" postings intersect.
+  for (const std::string& word : words) {
+    bool found = false;
+    if (!term.field.empty()) {
+      const auto it = fields.find(term.field);
+      found = it != fields.end() && ValueHasWord(it->second, word);
+    } else {
+      for (const auto& [field, value] : fields) {
+        if (ValueHasWord(value, word)) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) return false;
+  }
+
+  // Multi-word phrases additionally require contiguity inside ONE value.
+  if (term.is_phrase && words.size() > 1) {
+    if (!term.field.empty()) {
+      const auto it = fields.find(term.field);
+      return it != fields.end() &&
+             ContainsIgnoreCase(it->second, term.pattern);
+    }
+    for (const auto& [field, value] : fields) {
+      if (ContainsIgnoreCase(value, term.pattern)) return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeValue(std::string_view value) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char c : value) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc) || c == '.' || c == '_' || c == '-') {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+bool MatchesDocument(const QueryPtr& query, const storage::FieldMap& fields) {
+  switch (query->kind) {
+    case QueryNode::Kind::kTerm:
+      return MatchesTerm(*query, fields);
+    case QueryNode::Kind::kAnd:
+      for (const QueryPtr& child : query->children) {
+        if (!MatchesDocument(child, fields)) return false;
+      }
+      return true;
+    case QueryNode::Kind::kOr:
+      for (const QueryPtr& child : query->children) {
+        if (MatchesDocument(child, fields)) return true;
+      }
+      return false;
+    case QueryNode::Kind::kNot:
+      return !MatchesDocument(query->children[0], fields);
+  }
+  return false;
+}
+
+void CollectQueryFields(const QueryPtr& query, std::set<std::string>* fields,
+                        bool* any_field) {
+  if (query->kind == QueryNode::Kind::kTerm) {
+    if (query->field.empty()) {
+      *any_field = true;
+    } else {
+      fields->insert(query->field);
+    }
+    return;
+  }
+  for (const QueryPtr& child : query->children) {
+    CollectQueryFields(child, fields, any_field);
+  }
+}
+
+}  // namespace censys::search

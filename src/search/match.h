@@ -1,0 +1,46 @@
+// Per-document query evaluation (the percolator half of §5.3).
+//
+// SearchIndex answers "which documents match this query" through posting
+// lists; standing queries need the transpose — "does THIS document match"
+// — evaluated against a single field map with no index at all. The two
+// must agree exactly: MatchesDocument(q, fields) holds iff an index
+// containing the document would return it from Execute(q). The matcher
+// test asserts that equivalence over randomized documents and queries.
+//
+// One deliberate asymmetry: NOT. The index evaluates NOT against its
+// document universe (docs minus matches); per-document it is plain
+// negation. The two coincide exactly for documents *in* the universe,
+// which is why StandingQueryRegistry tracks the non-empty-entity universe
+// itself and only evaluates members.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "search/query.h"
+#include "storage/delta.h"
+
+namespace censys::search {
+
+// Tokenization shared with SearchIndex: lowercased maximal runs of
+// [alnum '.' '_' '-'].
+std::vector<std::string> TokenizeValue(std::string_view value);
+
+// True iff `query` matches the document `fields` under the index's exact
+// semantics (word-AND terms, phrase post-filter, glob wildcards, NOT as
+// negation). An empty field map matches nothing except via NOT — callers
+// enforcing index equivalence must not evaluate empty documents.
+bool MatchesDocument(const QueryPtr& query, const storage::FieldMap& fields);
+
+// Collects the field names the query's terms constrain into `fields`, and
+// sets *any_field when some term searches all fields (bare word, bare
+// wildcard). A delta touching none of the collected fields cannot change
+// the document's match status — unless *any_field, when every field
+// counts. Used by the standing-query registry to shortlist queries per
+// commit delta.
+void CollectQueryFields(const QueryPtr& query, std::set<std::string>* fields,
+                        bool* any_field);
+
+}  // namespace censys::search

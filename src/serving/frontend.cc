@@ -49,6 +49,7 @@ namespace {
     case Query::Kind::kHistory: return "query.history";
     case Query::Kind::kSearch: return "query.search";
     case Query::Kind::kAnalytics: return "query.analytics";
+    case Query::Kind::kAggregate: return "query.aggregate";
   }
   return "query";
 }
@@ -114,6 +115,25 @@ void ServingFrontend::ExecuteLadder(const Query& q, QueryOutcome& out,
             analytics_.GetLatestUpToCopy(q.at.minutes / (24 * 60));
         out.hit = !series.empty() || latest.has_value();
         out.results = series.size();
+        out.latency_us = timer.ElapsedMicros();
+        break;
+      }
+      case Query::Kind::kAggregate: {
+        if (analytics_tier_ == nullptr) {
+          // No tier attached: fall through the ladder like an exhausted
+          // read (degrades to failed below).
+          ++out.faults;
+          continue;
+        }
+        const std::int64_t day = q.at.minutes / (24 * 60);
+        const query::AnalyticsTier::Aggregate agg =
+            q.suffix_aggregate ? analytics_tier_->GroupCountSuffix(day, q.text)
+                               : analytics_tier_->GroupCount(day, q.text);
+        out.hit = !agg.groups.empty();
+        out.results = agg.groups.size();
+        // A journal-walk fallback is a degraded (but correct) answer,
+        // mirroring the stale-read labeling of the lookup ladder.
+        out.degraded = !agg.from_segment;
         out.latency_us = timer.ElapsedMicros();
         break;
       }
@@ -222,6 +242,9 @@ BatchReport ServingFrontend::Run(const std::vector<Query>& queries) {
         break;
       case Query::Kind::kAnalytics:
         ++report.analytics;
+        break;
+      case Query::Kind::kAggregate:
+        ++report.aggregates;
         break;
     }
   }

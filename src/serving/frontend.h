@@ -34,6 +34,7 @@
 #include "core/rng.h"
 #include "core/types.h"
 #include "pipeline/read_side.h"
+#include "query/columnar.h"
 #include "search/analytics.h"
 #include "search/index.h"
 
@@ -45,12 +46,17 @@ struct Query {
     kHistory = 1,    // host view at a past timestamp (replay)
     kSearch = 2,     // full-text search expression
     kAnalytics = 3,  // protocol series + latest daily snapshot
+    kAggregate = 4,  // columnar group-count sweep (query::AnalyticsTier)
   };
 
   Kind kind = Kind::kLookup;
   IPv4Address ip;    // lookup / history target
-  Timestamp at;      // history timestamp; analytics as-of day
-  std::string text;  // search expression / analytics protocol name
+  Timestamp at;      // history timestamp; analytics/aggregate as-of day
+  std::string text;  // search expression / analytics protocol name /
+                     // aggregate field name
+  // kAggregate: treat `text` as a field-name suffix (".service.name"
+  // sweeps every port's column) instead of an exact field.
+  bool suffix_aggregate = false;
 };
 
 // Outcome of one query through the degradation ladder (ServeOne, and
@@ -77,6 +83,7 @@ struct BatchReport {
   std::size_t histories = 0;
   std::size_t searches = 0;
   std::size_t analytics = 0;
+  std::size_t aggregates = 0;
 
   std::size_t lookup_hits = 0;     // lookups that returned a view
   std::size_t search_results = 0;  // total doc ids matched across searches
@@ -160,6 +167,14 @@ class ServingFrontend {
   // degradation instruments shed / degraded / retries / read_faults.
   void BindMetrics(metrics::Registry* registry);
 
+  // Wires the columnar analytics tier behind kAggregate queries. The
+  // tier must outlive the frontend; without one, aggregate queries fail
+  // through the ladder like any exhausted read. Call before serving
+  // traffic (not thread-safe against in-flight queries).
+  void AttachAnalyticsTier(const query::AnalyticsTier* tier) {
+    analytics_tier_ = tier;
+  }
+
   // Deterministic mixed workload: ~70% lookups, 10% history, 10% search,
   // 10% analytics, targets drawn from `hosts` via `rng`. Search queries
   // cycle through `search_texts`; analytics queries through `protocols`.
@@ -178,6 +193,7 @@ class ServingFrontend {
   const pipeline::ReadSide& read_side_;
   const search::SearchIndex& index_;
   const search::AnalyticsStore& analytics_;
+  const query::AnalyticsTier* analytics_tier_ = nullptr;
   Executor executor_;
 
   std::atomic<std::uint64_t> queries_served_{0};

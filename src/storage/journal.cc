@@ -124,7 +124,14 @@ void EventJournal::BindMetrics(metrics::Registry* registry) {
 
 std::uint64_t EventJournal::Append(std::string_view entity_id, EventKind kind,
                                    Timestamp at, const Delta& delta) {
-  return ApplyEvent(entity_id, kind, at, delta, /*durable=*/true);
+  // A crash/WAL failure on an earlier append may have left a stale staged
+  // batch behind (its pointers are long dead); drop it before staging.
+  observed_.clear();
+  const std::uint64_t seqno =
+      ApplyEvent(entity_id, kind, at, delta, /*durable=*/true,
+                 /*observe=*/true);
+  NotifyObserver();
+  return seqno;
 }
 
 void EventJournal::AppendBatch(std::vector<PendingEvent> events) {
@@ -163,14 +170,26 @@ void EventJournal::AppendBatch(std::vector<PendingEvent> events) {
       framed[i]->delta = std::move(records[i].delta);
     }
   }
+  observed_.clear();
   for (const PendingEvent& ev : events) {
-    ApplyEvent(ev.entity_id, ev.kind, ev.at, ev.delta, /*durable=*/false);
+    ApplyEvent(ev.entity_id, ev.kind, ev.at, ev.delta, /*durable=*/false,
+               /*observe=*/true);
   }
+  // Deliver while `events` is still alive: the staged AppliedEvents alias
+  // its entity ids and deltas.
+  NotifyObserver();
+}
+
+void EventJournal::NotifyObserver() {
+  if (observed_.empty()) return;
+  if (observer_) observer_(observed_);
+  observed_.clear();
 }
 
 std::uint64_t EventJournal::ApplyEvent(std::string_view entity_id,
                                        EventKind kind, Timestamp at,
-                                       const Delta& delta, bool durable) {
+                                       const Delta& delta, bool durable,
+                                       bool observe) {
   // Whichever thread appends is the command thread: CurrentState pointer
   // holders must be on it (debug builds enforce this).
   command_role_.AdoptCurrentThread();
@@ -225,6 +244,13 @@ std::uint64_t EventJournal::ApplyEvent(std::string_view entity_id,
 
   if (meta.events_since_snapshot >= options_.snapshot_every) {
     WriteSnapshot(shard, entity_id, meta, at);
+  }
+  if (observe && observer_) {
+    // `delta` and `entity_id` belong to the caller and outlive the
+    // enclosing Append/AppendBatch; `meta.current` is a node in the
+    // shard's meta map (stable across rehash, command-thread mutated).
+    observed_.push_back(
+        AppliedEvent{entity_id, seqno, kind, at, &delta, &meta.current});
   }
   return seqno;
 }
@@ -576,7 +602,8 @@ bool EventJournal::LoadReplicaSnapshot(std::string_view payload,
 
 std::uint64_t EventJournal::ApplyReplicated(const WalRecord& record) {
   return ApplyEvent(record.entity, static_cast<EventKind>(record.kind),
-                    record.at, record.delta, /*durable=*/false);
+                    record.at, record.delta, /*durable=*/false,
+                    /*observe=*/false);
 }
 
 std::optional<std::uint64_t> EventJournal::Checkpoint(std::string* error) {
@@ -645,7 +672,8 @@ RecoveryReport EventJournal::Recover() {
       checkpoint_lsn,
       [&](const WalRecord& record) {
         ApplyEvent(record.entity, static_cast<EventKind>(record.kind),
-                   record.at, record.delta, /*durable=*/false);
+                   record.at, record.delta, /*durable=*/false,
+                   /*observe=*/false);
       },
       &stats, &error);
   if (!ok) {

@@ -90,6 +90,20 @@ struct RecoveryReport {
   std::uint64_t recovered_events = 0;
 };
 
+// One event as applied by Append/AppendBatch, as seen by a commit
+// observer. Every pointer / view aliases storage owned by the caller or
+// the journal and is valid only for the duration of the observer call:
+// `post_state` points at the entity's live current-state map (stable
+// across rehash, but mutated by the next command-thread append).
+struct AppliedEvent {
+  std::string_view entity_id;
+  std::uint64_t seqno = 0;
+  EventKind kind = EventKind::kEntityUpdated;
+  Timestamp at;
+  const Delta* delta = nullptr;
+  const FieldMap* post_state = nullptr;  // state *after* applying delta
+};
+
 class EventJournal {
  public:
   struct Options {
@@ -181,6 +195,18 @@ class EventJournal {
   // keep no WAL of their own; durability lives on the leader). Equivalent
   // to the Recover() replay path, one record at a time.
   std::uint64_t ApplyReplicated(const WalRecord& record);
+
+  // --- commit observation (src/query/ standing queries) -----------------------
+  // Called once per Append / AppendBatch, on the command thread, after
+  // every shard lock is released, with the events the call applied in
+  // seqno order. The vector and everything its elements point at are
+  // valid only during the call. NOT invoked for Recover() replay or
+  // ApplyReplicated() — observers see live commits, not catch-up; attach
+  // (and detach) only at a quiescent point (no concurrent Append).
+  using CommitObserver = std::function<void(const std::vector<AppliedEvent>&)>;
+  void SetCommitObserver(CommitObserver observer) {
+    observer_ = std::move(observer);
+  }
 
   const Options& options() const { return options_; }
 
@@ -291,9 +317,16 @@ class EventJournal {
 
   // The shared body of Append and WAL replay: applies and journals one
   // event. `durable` selects whether the record is WAL-logged first
-  // (replay must not re-log what it reads from the log).
+  // (replay must not re-log what it reads from the log); `observe` stages
+  // the event for the commit observer (live appends only — replay and
+  // replication apply with observe=false).
   std::uint64_t ApplyEvent(std::string_view entity_id, EventKind kind,
-                           Timestamp at, const Delta& delta, bool durable);
+                           Timestamp at, const Delta& delta, bool durable,
+                           bool observe);
+
+  // Delivers (and clears) the staged observed_ batch. Command thread
+  // only; called by Append/AppendBatch after their shard locks drop.
+  void NotifyObserver();
 
   // Serializes / restores full journal state for checkpoints.
   std::string EncodeCheckpoint(std::uint64_t lsn) const;
@@ -304,6 +337,11 @@ class EventJournal {
   std::unique_ptr<Shard[]> shards_;
   std::unique_ptr<WriteAheadLog> wal_;
   core::ThreadRole command_role_;
+
+  // Commit observation: both are touched only on the command thread
+  // (Append/AppendBatch callers), so they need no lock of their own.
+  CommitObserver observer_;
+  std::vector<AppliedEvent> observed_;
 
   std::atomic<std::uint64_t> event_count_{0};
   std::atomic<std::uint64_t> snapshot_count_{0};

@@ -1,0 +1,9 @@
+// An upward include: the query tier reaching into the serving frontend
+// inverts the declared DAG (query sits below serving — serving consumes
+// aggregates, the tier never calls back up) and must fire `layering`.
+#pragma once
+#include "serving/frontend.h"
+
+namespace censys::query {
+inline int ServedAggregates() { return censys::serving::AggregateCount(); }
+}  // namespace censys::query

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace censys::serving {
+inline int AggregateCount() { return 0; }
+}  // namespace censys::serving

@@ -453,6 +453,7 @@ TEST_F(FrontendTest, MixedWorkloadIsDeterministicAndLookupHeavy) {
       case Query::Kind::kHistory: ++histories; break;
       case Query::Kind::kSearch: ++searches; break;
       case Query::Kind::kAnalytics: ++analytics; break;
+      case Query::Kind::kAggregate: break;  // not emitted by MixedWorkload
     }
     EXPECT_GE(q.at.minutes, 0);
   }

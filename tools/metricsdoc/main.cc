@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "engines/world.h"
+#include "query/columnar.h"
+#include "query/standing.h"
 #include "replicate/group.h"
 #include "serving/frontend.h"
 #include "serving/replica_router.h"
@@ -151,6 +153,31 @@ constexpr MetricDoc kDocs[] = {
      "Replicas currently lagging in the router's view."},
     {"censys.serving.router.replicas_down", "serving",
      "Replicas currently down in the router's view."},
+    {"censys.query.standing.registered", "query",
+     "Standing queries currently registered."},
+    {"censys.query.standing.evals", "query",
+     "Per-document match evaluations run by the commit observer."},
+    {"censys.query.standing.events", "query",
+     "Match-set transitions (enter/leave) pushed to subscribers."},
+    {"censys.query.standing.dropped", "query",
+     "Pending match events dropped because a subscriber fell behind its "
+     "per-query cap."},
+    {"censys.query.standing.eval_us", "query",
+     "Time spent evaluating standing queries per observed commit."},
+    {"censys.query.segments_built", "query",
+     "Columnar day segments built from the journal."},
+    {"censys.query.segment_bytes", "query",
+     "Encoded bytes written into columnar segments."},
+    {"censys.query.scans", "query",
+     "Aggregation scans requested (segment-served or fallback)."},
+    {"censys.query.scan_rows", "query",
+     "Universe rows covered by segment-served aggregation scans."},
+    {"censys.query.segment_corrupt", "query",
+     "Segment files rejected by the CRC frame or strict decode; the scan "
+     "fell back to the journal walk."},
+    {"censys.query.fallback_walks", "query",
+     "Aggregation scans answered by the live journal walk (no usable "
+     "segment)."},
     {"censys.search.docs", "search",
      "Documents currently in the search index."},
     {"censys.search.indexed", "search",
@@ -245,6 +272,13 @@ std::vector<Instrument> RegisteredInstruments(const std::string& wal_dir) {
   censys::serving::ReplicaRouter router(
       {{&replica_frontend, &follower}}, [&group] { return group.leader_lsn(); });
   router.BindMetrics(&world.censys().metrics());
+
+  // The query tier (standing queries + columnar analytics) also lives
+  // above the journal; bind both halves so censys.query.* registers.
+  censys::query::StandingQueryRegistry standing;
+  standing.BindMetrics(&world.censys().metrics());
+  censys::query::AnalyticsTier analytics_tier(world.censys().journal(), {});
+  analytics_tier.BindMetrics(&world.censys().metrics());
 
   std::vector<Instrument> instruments;
   world.censys().metrics().ForEachInstrument(
